@@ -1,0 +1,54 @@
+#ifndef CPULLM_BENCH_BENCH_COMMON_H
+#define CPULLM_BENCH_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark binaries: print a
+ * reproduced figure as a console table (and as CSV when
+ * CPULLM_RESULTS_DIR is set), then hand control to google-benchmark
+ * for the registered simulator timers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiments.h"
+#include "core/figure.h"
+#include "util/logging.h"
+
+namespace cpullm {
+namespace bench {
+
+/** Print one figure; dump CSV when CPULLM_RESULTS_DIR is set. */
+inline void
+printFigure(const core::FigureData& f)
+{
+    f.toTable().print(std::cout);
+    std::cout << '\n';
+    if (const char* dir = std::getenv("CPULLM_RESULTS_DIR")) {
+        const std::string path =
+            std::string(dir) + "/" + f.id() + ".csv";
+        if (f.writeCsv(path))
+            inform("wrote ", path);
+    }
+}
+
+/** Standard google-benchmark driver tail for every binary. */
+inline int
+runBenchmarks(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace bench
+} // namespace cpullm
+
+#endif // CPULLM_BENCH_BENCH_COMMON_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension: CXL memory expansion (Section III points at CXL as the
+ * CPU capacity lever). Attaches a 512 GiB CXL expander per socket and
+ * serves OPT-175B -- impossible on the unexpanded machine -- plus the
+ * bandwidth cost it pays for models that spill into CXL.
+ */
+
+#include "bench_common.h"
+
+#include "perf/cpu_model.h"
+#include "util/units.h"
+
+namespace {
+
+using namespace cpullm;
+
+hw::PlatformConfig
+cxlPlatform()
+{
+    hw::PlatformConfig p;
+    p.cpu = hw::sprXeonMax9468WithCxl(512ULL * GiB);
+    p.memoryMode = hw::MemoryMode::Flat;
+    p.clusteringMode = hw::ClusteringMode::Quadrant;
+    p.coresUsed = 48;
+    return p;
+}
+
+core::FigureData
+buildCxlFigure()
+{
+    core::FigureData f(
+        "ext_cxl", "SPR + 512 GiB/socket CXL expander (batch 1)",
+        "model", "value");
+    const perf::CpuPerfModel with_cxl(cxlPlatform());
+    const auto w = perf::paperWorkload(1);
+
+    std::vector<model::ModelSpec> zoo = {
+        model::opt13b(), model::opt66b(), model::llama2_70b(),
+        model::opt175b()};
+    std::vector<std::string> labels;
+    std::vector<double> tpot, tput;
+    for (const auto& m : zoo) {
+        labels.push_back(m.name);
+        const auto t = with_cxl.run(m, w);
+        tpot.push_back(t.tpot);
+        tput.push_back(t.totalThroughput);
+    }
+    f.setXLabels(labels);
+    f.addSeries("tpot_s", std::move(tpot));
+    f.addSeries("tokens_per_s", std::move(tput));
+    return f;
+}
+
+void
+BM_CxlSimulation(benchmark::State& state)
+{
+    const perf::CpuPerfModel with_cxl(cxlPlatform());
+    const auto w = perf::paperWorkload(1);
+    for (auto _ : state) {
+        auto t = with_cxl.run(model::opt175b(), w);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_CxlSimulation);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::cout << "Without CXL, OPT-175B does not fit the SPR server "
+                 "(see tests/perf RunDeath.ModelTooBigForMachine for "
+                 "the ICL case); with the expander it serves:\n\n";
+    cpullm::bench::printFigure(buildCxlFigure());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

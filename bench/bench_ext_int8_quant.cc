@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Extension: weight-only INT8 quantization (related work [48],
+ * Shen et al.). Weights stream at half the bytes and compute at the
+ * AMX INT8 rate while activations/KV stay BF16. Prints BF16 vs INT8
+ * decode throughput and HBM residency over the model zoo.
+ */
+
+#include "bench_common.h"
+
+#include "engine/inference_engine.h"
+#include "perf/cpu_model.h"
+
+namespace {
+
+using namespace cpullm;
+
+core::FigureData
+buildInt8Figure()
+{
+    core::FigureData f("ext_int8",
+                       "BF16 vs weight-only INT8 on SPR (batch 1)",
+                       "model", "value");
+    std::vector<std::string> labels;
+    std::vector<double> bf16_tput, int8_tput, gain, hbm_bf16,
+        hbm_int8;
+
+    for (const auto& m : model::evaluatedModels()) {
+        engine::CpuInferenceEngine eng(hw::sprDefaultPlatform(), m);
+        const auto wb = perf::paperWorkload(1);
+        perf::Workload wq = wb;
+        wq.dtype = DType::I8;
+        const auto rb = eng.infer(wb);
+        const auto rq = eng.infer(wq);
+        labels.push_back(m.name);
+        bf16_tput.push_back(rb.timing.decodeThroughput);
+        int8_tput.push_back(rq.timing.decodeThroughput);
+        gain.push_back(rq.timing.decodeThroughput /
+                       rb.timing.decodeThroughput);
+        hbm_bf16.push_back(rb.weightsHbmFraction);
+        hbm_int8.push_back(rq.weightsHbmFraction);
+    }
+    f.setXLabels(labels);
+    f.addSeries("bf16_decode_tok_s", std::move(bf16_tput));
+    f.addSeries("int8_decode_tok_s", std::move(int8_tput));
+    f.addSeries("int8_gain", std::move(gain));
+    f.addSeries("bf16_hbm_frac", std::move(hbm_bf16));
+    f.addSeries("int8_hbm_frac", std::move(hbm_int8));
+    return f;
+}
+
+void
+BM_Int8Simulation(benchmark::State& state)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    perf::Workload w = perf::paperWorkload(8);
+    w.dtype = DType::I8;
+    for (auto _ : state) {
+        auto t = spr.run(model::opt66b(), w);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_Int8Simulation);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(buildInt8Figure());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig 1: GEMM throughput across CPUs and GPUs with varying matrix
+ * dimensions (modeled achieved TFLOPS). The google-benchmark section
+ * additionally times the *functional* emulated AMX and AVX-512 GEMMs
+ * on this host, demonstrating the instruction-level substrate.
+ */
+
+#include "bench_common.h"
+
+#include <vector>
+
+#include "gemm/gemm.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace {
+
+using cpullm::DType;
+using cpullm::Rng;
+using cpullm::Tensor;
+
+void
+BM_FunctionalAmxGemm(benchmark::State& state)
+{
+    const auto n = state.range(0);
+    Rng rng(1);
+    const Tensor a =
+        Tensor::randomUniform({n, n}, DType::BF16, rng, -1, 1);
+    const Tensor b =
+        Tensor::randomUniform({n, n}, DType::BF16, rng, -1, 1);
+    for (auto _ : state) {
+        Tensor c = cpullm::gemm::matmul(cpullm::gemm::Engine::AmxBf16,
+                                        a, b);
+        benchmark::DoNotOptimize(c.raw());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_FunctionalAmxGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_FunctionalAvx512Gemm(benchmark::State& state)
+{
+    const auto n = state.range(0);
+    Rng rng(2);
+    const Tensor a =
+        Tensor::randomUniform({n, n}, DType::BF16, rng, -1, 1);
+    const Tensor b =
+        Tensor::randomUniform({n, n}, DType::BF16, rng, -1, 1);
+    for (auto _ : state) {
+        Tensor c = cpullm::gemm::matmul(
+            cpullm::gemm::Engine::Avx512Bf16, a, b);
+        benchmark::DoNotOptimize(c.raw());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_FunctionalAvx512Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(cpullm::core::fig01GemmThroughput());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

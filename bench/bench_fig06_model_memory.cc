@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fig 6: FP16 weight memory footprint of the OPT and LLaMA-2 model
+ * zoo (plus OPT-175B, the Section III example).
+ */
+
+#include "bench_common.h"
+
+#include "model/spec.h"
+
+namespace {
+
+void
+BM_ParameterCounting(benchmark::State& state)
+{
+    const auto zoo = cpullm::model::evaluatedModels();
+    for (auto _ : state) {
+        std::uint64_t total = 0;
+        for (const auto& m : zoo)
+            total += m.numParameters();
+        benchmark::DoNotOptimize(total);
+    }
+}
+BENCHMARK(BM_ParameterCounting);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(cpullm::core::fig06ModelMemory());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

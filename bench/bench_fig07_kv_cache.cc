@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fig 7: KV-cache memory footprint for LLaMA2-13B across sequence
+ * lengths and batch sizes; the benchmark times functional KV-cache
+ * writes through the kv::KvCache substrate.
+ */
+
+#include "bench_common.h"
+
+#include <vector>
+
+#include "kv/kv_cache.h"
+
+namespace {
+
+void
+BM_KvCacheWriteToken(benchmark::State& state)
+{
+    // One layer's worth of K/V appends for a 5120-wide model.
+    cpullm::kv::KvCache cache(1, 1, 5120, 2048, cpullm::DType::BF16);
+    std::vector<float> k(5120, 0.5f), v(5120, -0.5f);
+    std::int64_t pos = 0;
+    for (auto _ : state) {
+        cache.write(0, 0, pos, k.data(), v.data());
+        pos = (pos + 1) % 2048;
+    }
+    state.SetBytesProcessed(state.iterations() * 5120 * 2 * 2);
+}
+BENCHMARK(BM_KvCacheWriteToken);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(cpullm::core::fig07KvCacheFootprint());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

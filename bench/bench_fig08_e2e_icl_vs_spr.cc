@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig 8: end-to-end latency and throughput of LLM inference on the
+ * ICL and SPR CPUs, normalized to ICL, over the full model zoo and
+ * batch sweep (input 128 / output 32 tokens, BF16).
+ */
+
+#include "bench_common.h"
+
+#include "perf/cpu_model.h"
+
+namespace {
+
+void
+BM_SimulateFullRequestSpr(benchmark::State& state)
+{
+    const cpullm::perf::CpuPerfModel spr(
+        cpullm::hw::sprDefaultPlatform());
+    const auto m = cpullm::model::opt13b();
+    const auto w = cpullm::perf::paperWorkload(state.range(0));
+    for (auto _ : state) {
+        auto t = spr.run(m, w);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_SimulateFullRequestSpr)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_SimulateFullRequestIcl(benchmark::State& state)
+{
+    const cpullm::perf::CpuPerfModel icl(
+        cpullm::hw::iclDefaultPlatform());
+    const auto m = cpullm::model::opt13b();
+    const auto w = cpullm::perf::paperWorkload(state.range(0));
+    for (auto _ : state) {
+        auto t = icl.run(m, w);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_SimulateFullRequestIcl)->Arg(1)->Arg(32);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto fig = cpullm::core::fig08E2eIclVsSpr();
+    cpullm::bench::printFigure(fig.latency);
+    cpullm::bench::printFigure(fig.throughput);
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig 9: prefill (TTFT) and decode (TPOT) latency of ICL vs SPR,
+ * normalized to ICL.
+ */
+
+#include "bench_common.h"
+
+#include "perf/cpu_model.h"
+
+namespace {
+
+void
+BM_TimePrefillPhase(benchmark::State& state)
+{
+    const cpullm::perf::CpuPerfModel spr(
+        cpullm::hw::sprDefaultPlatform());
+    const auto m = cpullm::model::llama2_13b();
+    const auto w = cpullm::perf::paperWorkload(8);
+    for (auto _ : state) {
+        auto bd = spr.timePhase(m, cpullm::perf::Phase::Prefill, w,
+                                w.promptLen);
+        benchmark::DoNotOptimize(bd);
+    }
+}
+BENCHMARK(BM_TimePrefillPhase);
+
+void
+BM_TimeDecodePhase(benchmark::State& state)
+{
+    const cpullm::perf::CpuPerfModel spr(
+        cpullm::hw::sprDefaultPlatform());
+    const auto m = cpullm::model::llama2_13b();
+    const auto w = cpullm::perf::paperWorkload(8);
+    for (auto _ : state) {
+        auto bd = spr.timePhase(m, cpullm::perf::Phase::Decode, w,
+                                129);
+        benchmark::DoNotOptimize(bd);
+    }
+}
+BENCHMARK(BM_TimeDecodePhase);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto fig = cpullm::core::fig09PhaseLatency();
+    cpullm::bench::printFigure(fig.prefill);
+    cpullm::bench::printFigure(fig.decode);
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

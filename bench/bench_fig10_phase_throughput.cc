@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig 10: prefill and decode throughput improvements of SPR over ICL
+ * (normalized to ICL).
+ */
+
+#include "bench_common.h"
+
+#include "perf/cpu_model.h"
+
+namespace {
+
+void
+BM_PhaseOpsBuild(benchmark::State& state)
+{
+    const auto m = cpullm::model::opt66b();
+    const auto w = cpullm::perf::paperWorkload(16);
+    for (auto _ : state) {
+        auto ops = cpullm::perf::buildPhaseOps(
+            m, cpullm::perf::Phase::Prefill, w, w.promptLen);
+        benchmark::DoNotOptimize(ops);
+    }
+}
+BENCHMARK(BM_PhaseOpsBuild);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto fig = cpullm::core::fig10PhaseThroughput();
+    cpullm::bench::printFigure(fig.prefill);
+    cpullm::bench::printFigure(fig.decode);
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

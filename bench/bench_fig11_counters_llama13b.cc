@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig 11: modeled hardware counters (LLC MPKI, core utilization,
+ * normalized load/store counts) for LLaMA2-13B inference on the SPR
+ * CPU across batch sizes.
+ */
+
+#include "bench_common.h"
+
+#include "engine/inference_engine.h"
+
+namespace {
+
+void
+BM_CounterEstimation(benchmark::State& state)
+{
+    cpullm::engine::CpuInferenceEngine eng(
+        cpullm::hw::sprDefaultPlatform(), cpullm::model::llama2_13b());
+    const auto w = cpullm::perf::paperWorkload(state.range(0));
+    for (auto _ : state) {
+        auto r = eng.infer(w);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_CounterEstimation)->Arg(1)->Arg(32);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(
+        cpullm::core::figCountersVsBatch(cpullm::model::llama2_13b()));
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

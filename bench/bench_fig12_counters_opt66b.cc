@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig 12: modeled hardware counters for OPT-66B inference on the SPR
+ * CPU across batch sizes (the DDR-spilling large-model counterpart of
+ * Fig 11).
+ */
+
+#include "bench_common.h"
+
+#include "engine/inference_engine.h"
+
+namespace {
+
+void
+BM_CounterEstimationOpt66b(benchmark::State& state)
+{
+    cpullm::engine::CpuInferenceEngine eng(
+        cpullm::hw::sprDefaultPlatform(), cpullm::model::opt66b());
+    const auto w = cpullm::perf::paperWorkload(state.range(0));
+    for (auto _ : state) {
+        auto r = eng.infer(w);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_CounterEstimationOpt66b)->Arg(1)->Arg(32);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(
+        cpullm::core::figCountersVsBatch(cpullm::model::opt66b()));
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

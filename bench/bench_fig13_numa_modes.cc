@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig 13: normalized latency/throughput metrics for the four SPR
+ * memory + clustering configurations (quad/snc x cache/flat),
+ * averaged over all models and batches, normalized to quad_cache.
+ */
+
+#include "bench_common.h"
+
+#include "perf/cpu_model.h"
+
+namespace {
+
+void
+BM_NumaModeSimulation(benchmark::State& state)
+{
+    const auto sweep = cpullm::hw::sprModeSweepPlatforms();
+    const auto m = cpullm::model::llama2_13b();
+    const auto w = cpullm::perf::paperWorkload(8);
+    for (auto _ : state) {
+        for (const auto& p : sweep) {
+            cpullm::perf::CpuPerfModel model(p);
+            auto t = model.run(m, w);
+            benchmark::DoNotOptimize(t);
+        }
+    }
+}
+BENCHMARK(BM_NumaModeSimulation);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(cpullm::core::fig13NumaModes());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig 14: normalized latency/throughput metrics for 12/24/48/96 SPR
+ * cores (normalized to 12 cores), averaged over all models and
+ * batches.
+ */
+
+#include "bench_common.h"
+
+#include "perf/cpu_model.h"
+
+namespace {
+
+void
+BM_CoreScalingSimulation(benchmark::State& state)
+{
+    const int cores = static_cast<int>(state.range(0));
+    const cpullm::perf::CpuPerfModel m(cpullm::hw::sprPlatform(
+        cpullm::hw::ClusteringMode::Quadrant,
+        cpullm::hw::MemoryMode::Flat, cores));
+    const auto spec = cpullm::model::llama2_7b();
+    const auto w = cpullm::perf::paperWorkload(8);
+    for (auto _ : state) {
+        auto t = m.run(spec, w);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_CoreScalingSimulation)->Arg(12)->Arg(48)->Arg(96);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(cpullm::core::fig14CoreScaling());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig 15: LLC MPKI, core utilization, and remote-LLC accesses for
+ * LLaMA2-13B (batch 8) under the four NUMA configurations.
+ */
+
+#include "bench_common.h"
+
+#include "mem/memory_system.h"
+
+namespace {
+
+void
+BM_MemoryPlanSolve(benchmark::State& state)
+{
+    const cpullm::mem::MemorySystem ms(
+        cpullm::hw::sprDefaultPlatform());
+    cpullm::mem::RegionSizes sizes;
+    sizes.weights = cpullm::model::llama2_13b().weightBytes(
+        cpullm::DType::BF16);
+    sizes.kvCache = 4ULL << 30;
+    sizes.activations = 1ULL << 30;
+    for (auto _ : state) {
+        auto plan = ms.plan(sizes);
+        benchmark::DoNotOptimize(plan);
+    }
+}
+BENCHMARK(BM_MemoryPlanSolve);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(cpullm::core::fig15NumaCounters());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

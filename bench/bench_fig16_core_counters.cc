@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig 16: LLC MPKI, core utilization, and UPI utilization for
+ * LLaMA2-7B (batch 8) as the core count increases from 12 to 96.
+ */
+
+#include "bench_common.h"
+
+#include "perf/cpu_model.h"
+
+namespace {
+
+void
+BM_CrossSocketSimulation(benchmark::State& state)
+{
+    const cpullm::perf::CpuPerfModel m(cpullm::hw::sprPlatform(
+        cpullm::hw::ClusteringMode::Quadrant,
+        cpullm::hw::MemoryMode::Flat, 96));
+    const auto spec = cpullm::model::llama2_7b();
+    const auto w = cpullm::perf::paperWorkload(8);
+    for (auto _ : state) {
+        auto t = m.run(spec, w);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_CrossSocketSimulation);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(cpullm::core::fig16CoreCounters());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fig 17: end-to-end latency and throughput of the SPR Max CPU vs
+ * A100/H100 GPUs at batch size 1, normalized to the CPU. Models
+ * exceeding GPU memory run through the FlexGen-style offload engine.
+ */
+
+#include "bench_common.h"
+
+#include "gpu/gpu_model.h"
+
+namespace {
+
+void
+BM_GpuResidentSimulation(benchmark::State& state)
+{
+    const cpullm::gpu::GpuPerfModel h100(cpullm::hw::nvidiaH100());
+    const auto m = cpullm::model::opt13b();
+    const auto w = cpullm::perf::paperWorkload(1);
+    for (auto _ : state) {
+        auto r = h100.run(m, w);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_GpuResidentSimulation);
+
+void
+BM_GpuOffloadSimulation(benchmark::State& state)
+{
+    const cpullm::gpu::GpuPerfModel a100(cpullm::hw::nvidiaA100());
+    const auto m = cpullm::model::opt30b();
+    const auto w = cpullm::perf::paperWorkload(1);
+    for (auto _ : state) {
+        auto r = a100.run(m, w);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_GpuOffloadSimulation);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto fig = cpullm::core::figCpuVsGpu(1);
+    cpullm::bench::printFigure(fig.latency);
+    cpullm::bench::printFigure(fig.throughput);
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

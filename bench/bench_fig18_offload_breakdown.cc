@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fig 18: execution-time breakdown of offloading-based GPU inference
+ * (A100/OPT-30B and H100/OPT-66B) across batch sizes: visible PCIe
+ * load time vs GPU compute vs host-side attention vs overheads.
+ */
+
+#include "bench_common.h"
+
+#include "gpu/gpu_model.h"
+
+namespace {
+
+void
+BM_OffloadBreakdownSweep(benchmark::State& state)
+{
+    const cpullm::gpu::GpuPerfModel h100(cpullm::hw::nvidiaH100());
+    const auto m = cpullm::model::opt66b();
+    for (auto _ : state) {
+        for (std::int64_t b : {1, 4, 8, 16, 32}) {
+            auto r = h100.run(m, cpullm::perf::paperWorkload(b));
+            benchmark::DoNotOptimize(r);
+        }
+    }
+}
+BENCHMARK(BM_OffloadBreakdownSweep);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto fig = cpullm::core::fig18OffloadBreakdown();
+    cpullm::bench::printFigure(fig.a100Opt30b);
+    cpullm::bench::printFigure(fig.h100Opt66b);
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig 19: end-to-end latency and throughput of the SPR Max CPU vs
+ * A100/H100 at batch size 16, normalized to the CPU.
+ */
+
+#include "bench_common.h"
+
+#include "gpu/gpu_model.h"
+
+namespace {
+
+void
+BM_GpuBatchedSimulation(benchmark::State& state)
+{
+    const cpullm::gpu::GpuPerfModel h100(cpullm::hw::nvidiaH100());
+    const auto m = cpullm::model::llama2_13b();
+    const auto w = cpullm::perf::paperWorkload(16);
+    for (auto _ : state) {
+        auto r = h100.run(m, w);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_GpuBatchedSimulation);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto fig = cpullm::core::figCpuVsGpu(16);
+    cpullm::bench::printFigure(fig.latency);
+    cpullm::bench::printFigure(fig.throughput);
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

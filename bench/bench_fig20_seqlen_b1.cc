@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig 20: CPU vs GPU latency/throughput across input sequence lengths
+ * at batch size 1 (output fixed at 32 tokens).
+ */
+
+#include "bench_common.h"
+
+#include "perf/cpu_model.h"
+
+namespace {
+
+void
+BM_LongSequenceSimulation(benchmark::State& state)
+{
+    const cpullm::perf::CpuPerfModel spr(
+        cpullm::hw::sprDefaultPlatform());
+    const auto m = cpullm::model::llama2_70b();
+    cpullm::perf::Workload w;
+    w.batch = 1;
+    w.promptLen = state.range(0);
+    w.genLen = 32;
+    for (auto _ : state) {
+        auto t = spr.run(m, w);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_LongSequenceSimulation)->Arg(128)->Arg(1024)->Arg(4096);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto fig = cpullm::core::figSeqLenSweep(1);
+    cpullm::bench::printFigure(fig.latency);
+    cpullm::bench::printFigure(fig.throughput);
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

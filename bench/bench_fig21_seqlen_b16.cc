@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig 21: CPU vs GPU latency/throughput across input sequence lengths
+ * at batch size 16. The sweep extends past the paper's 1024 tokens to
+ * show the H100/CPU crossover on LLaMA2-70B (see EXPERIMENTS.md for
+ * the paper-vs-model discussion).
+ */
+
+#include "bench_common.h"
+
+#include "gpu/gpu_model.h"
+#include "perf/cpu_model.h"
+
+namespace {
+
+void
+BM_CrossoverPointSearch(benchmark::State& state)
+{
+    const cpullm::perf::CpuPerfModel spr(
+        cpullm::hw::sprDefaultPlatform());
+    const cpullm::gpu::GpuPerfModel h100(cpullm::hw::nvidiaH100());
+    const auto m = cpullm::model::llama2_70b();
+    for (auto _ : state) {
+        std::int64_t crossover = -1;
+        for (std::int64_t s : {128, 256, 512, 1024, 2048, 4096}) {
+            cpullm::perf::Workload w;
+            w.batch = 16;
+            w.promptLen = s;
+            w.genLen = 32;
+            if (h100.run(m, w).timing.e2eLatency <
+                spr.run(m, w).e2eLatency) {
+                crossover = s;
+                break;
+            }
+        }
+        benchmark::DoNotOptimize(crossover);
+    }
+}
+BENCHMARK(BM_CrossoverPointSearch);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto fig = cpullm::core::figSeqLenSweep(16);
+    cpullm::bench::printFigure(fig.latency);
+    cpullm::bench::printFigure(fig.throughput);
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation for the paper's Section VI "CPU-GPU hybrid execution"
+ * proposal: split decoder layers between the AMX CPU and a GPU so
+ * offload-class models stop streaming weights over PCIe. Prints the
+ * optimal split and its gain over the best pure strategy.
+ */
+
+#include "bench_common.h"
+
+#include "opt/hybrid.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace cpullm;
+
+core::FigureData
+buildHybridFigure(std::int64_t batch)
+{
+    core::FigureData f(
+        strformat("opt_hybrid_b%lld", static_cast<long long>(batch)),
+        strformat("CPU-GPU hybrid execution, batch %lld",
+                  static_cast<long long>(batch)),
+        "model/gpu", "E2E latency (s)");
+
+    std::vector<std::string> labels;
+    std::vector<double> pure_cpu, pure_gpu, hybrid, frac;
+    const auto w = perf::paperWorkload(batch);
+    for (const auto& gpu_cfg :
+         {hw::nvidiaA100(), hw::nvidiaH100()}) {
+        const opt::HybridExecutionModel hy(hw::sprDefaultPlatform(),
+                                           gpu_cfg);
+        for (const auto& m : {model::opt30b(), model::opt66b(),
+                              model::llama2_70b()}) {
+            const auto r = hy.optimize(m, w);
+            labels.push_back(m.name + "/" + gpu_cfg.shortName);
+            pure_cpu.push_back(r.pureCpu.e2eLatency);
+            pure_gpu.push_back(r.pureGpu.e2eLatency);
+            hybrid.push_back(r.best.timing.e2eLatency);
+            frac.push_back(r.best.cpuFraction);
+        }
+    }
+    f.setXLabels(labels);
+    f.addSeries("pure_cpu", std::move(pure_cpu));
+    f.addSeries("pure_gpu", std::move(pure_gpu));
+    f.addSeries("hybrid", std::move(hybrid));
+    f.addSeries("cpu_fraction", std::move(frac));
+    return f;
+}
+
+void
+BM_HybridOptimize(benchmark::State& state)
+{
+    const opt::HybridExecutionModel hy(hw::sprDefaultPlatform(),
+                                       hw::nvidiaH100());
+    const auto w = perf::paperWorkload(8);
+    for (auto _ : state) {
+        auto r = hy.optimize(model::opt66b(), w);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_HybridOptimize);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(buildHybridFigure(1));
+    cpullm::bench::printFigure(buildHybridFigure(16));
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

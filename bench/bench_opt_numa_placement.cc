@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation for the paper's Section VI "NUMA-aware designs" proposal:
+ * re-run the configurations Key Findings #2/#3 rejected (SNC-4
+ * clustering, 96-core two-socket) with hot/cold-aware data placement
+ * and quantify how much of the gap to quad_flat/48c closes.
+ */
+
+#include "bench_common.h"
+
+#include "opt/numa_placement.h"
+#include "perf/cpu_model.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace cpullm;
+
+core::FigureData
+buildAblation()
+{
+    core::FigureData f(
+        "opt_numa", "NUMA-aware placement ablation (LLaMA2-13B b8)",
+        "platform", "E2E latency (s)");
+    const auto spec = model::llama2_13b();
+    const auto w = perf::paperWorkload(8);
+
+    std::vector<std::string> labels{"spr/quad_flat/48c (ref)"};
+    std::vector<double> oblivious, aware;
+    const perf::CpuPerfModel ref(hw::sprDefaultPlatform());
+    const double ref_lat = ref.run(spec, w).e2eLatency;
+    oblivious.push_back(ref_lat);
+    aware.push_back(ref_lat);
+
+    for (const auto& r : opt::numaPlacementAblation(spec, w)) {
+        labels.push_back(r.platform.label());
+        oblivious.push_back(r.oblivious.e2eLatency);
+        aware.push_back(r.aware.e2eLatency);
+    }
+    f.setXLabels(labels);
+    f.addSeries("oblivious", std::move(oblivious));
+    f.addSeries("hot_cold_aware", std::move(aware));
+    return f;
+}
+
+void
+BM_NumaPlacementAblation(benchmark::State& state)
+{
+    const auto spec = cpullm::model::llama2_13b();
+    const auto w = cpullm::perf::paperWorkload(8);
+    for (auto _ : state) {
+        auto results = cpullm::opt::numaPlacementAblation(spec, w);
+        benchmark::DoNotOptimize(results);
+    }
+}
+BENCHMARK(BM_NumaPlacementAblation);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::bench::printFigure(buildAblation());
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table I: the CPU server configurations (ICL 8352Y vs SPR Max 9468),
+ * printed from the hardware registry. The benchmark times platform
+ * construction + validation.
+ */
+
+#include "bench_common.h"
+
+#include "hw/platform.h"
+
+namespace {
+
+void
+BM_PlatformConstruction(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto p = cpullm::hw::sprDefaultPlatform();
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_PlatformConstruction);
+
+void
+BM_PlatformParse(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto p = cpullm::hw::platformByName("spr/snc_cache/24c");
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_PlatformParse);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::core::table1CpuConfigs().print(std::cout);
+    std::cout << '\n';
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table II: the GPU server configurations (A100-40GB, H100-80GB)
+ * printed from the hardware registry.
+ */
+
+#include "bench_common.h"
+
+#include "hw/gpu.h"
+
+namespace {
+
+void
+BM_GpuConfigConstruction(benchmark::State& state)
+{
+    for (auto _ : state) {
+        auto a = cpullm::hw::nvidiaA100();
+        auto h = cpullm::hw::nvidiaH100();
+        benchmark::DoNotOptimize(a);
+        benchmark::DoNotOptimize(h);
+    }
+}
+BENCHMARK(BM_GpuConfigConstruction);
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    cpullm::core::table2GpuConfigs().print(std::cout);
+    std::cout << '\n';
+    return cpullm::bench::runBenchmarks(argc, argv);
+}

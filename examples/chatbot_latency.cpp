@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Chatbot-serving scenario (Section II-C): a real-time chatbot cares
+ * about TTFT first and TPOT second. This example compares the two
+ * CPU platforms and both GPUs for an interactive request across
+ * prompt lengths, and reports which deployment meets a TTFT budget.
+ */
+
+#include <iostream>
+
+#include "core/cpullm.h"
+
+using namespace cpullm;
+
+int
+main(int argc, char** argv)
+{
+    const double ttft_budget =
+        argc > 1 ? std::atof(argv[1]) : 0.5; // seconds
+    const std::string model_name = argc > 2 ? argv[2] : "llama2-13b";
+    const model::ModelSpec spec = model::modelByName(model_name);
+
+    std::cout << "== chatbot latency explorer ==\n"
+              << "model: " << spec.name
+              << ", TTFT budget: " << formatTime(ttft_budget)
+              << ", single user (batch 1), 32-token replies\n\n";
+
+    const perf::CpuPerfModel icl(hw::iclDefaultPlatform());
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const gpu::GpuPerfModel h100(hw::nvidiaH100());
+
+    Table t({"prompt", "device", "TTFT", "TPOT", "E2E",
+             "meets budget"});
+    t.setCaption("Interactive request latency by device");
+    for (std::int64_t prompt : {128, 512, 1024, 2048}) {
+        perf::Workload w;
+        w.batch = 1;
+        w.promptLen = prompt;
+        w.genLen = 32;
+
+        auto add_cpu = [&](const char* name,
+                           const perf::CpuPerfModel& m) {
+            const auto r = m.run(spec, w);
+            t.addRow({std::to_string(prompt), name,
+                      formatTime(r.ttft), formatTime(r.tpot),
+                      formatTime(r.e2eLatency),
+                      r.ttft <= ttft_budget ? "yes" : "no"});
+        };
+        auto add_gpu = [&](const char* name,
+                           const gpu::GpuPerfModel& m) {
+            const auto r = m.run(spec, w);
+            const std::string tag =
+                r.placement == gpu::GpuPlacement::Offloaded
+                    ? std::string(name) + " (offload)"
+                    : std::string(name);
+            t.addRow({std::to_string(prompt), tag,
+                      formatTime(r.timing.ttft),
+                      formatTime(r.timing.tpot),
+                      formatTime(r.timing.e2eLatency),
+                      r.timing.ttft <= ttft_budget ? "yes" : "no"});
+        };
+        add_cpu("ICL 8352Y", icl);
+        add_cpu("SPR Max9468", spr);
+        add_gpu("A100", a100);
+        add_gpu("H100", h100);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nNote: devices labeled (offload) stream weights "
+                 "over PCIe because "
+              << spec.name << " exceeds their memory.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * NUMA tuning assistant (Key Findings #2/#3): sweep the SPR server's
+ * memory mode, clustering mode, and core count for a chosen model and
+ * batch, and report the best configuration.
+ */
+
+#include <iostream>
+#include <limits>
+
+#include "core/cpullm.h"
+
+using namespace cpullm;
+
+int
+main(int argc, char** argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "llama2-13b";
+    const std::int64_t batch = argc > 2 ? std::atoll(argv[2]) : 8;
+    const model::ModelSpec spec = model::modelByName(model_name);
+    const auto w = perf::paperWorkload(batch);
+
+    std::cout << "== NUMA tuning for " << spec.name << ", batch "
+              << batch << " ==\n\n";
+
+    Table t({"platform", "TTFT", "TPOT", "E2E", "tok/s",
+             "weights in HBM"});
+    t.setCaption("SPR server configuration sweep");
+
+    double best_lat = std::numeric_limits<double>::infinity();
+    std::string best_label;
+    for (const auto cm :
+         {hw::ClusteringMode::Quadrant, hw::ClusteringMode::Snc4}) {
+        for (const auto mm :
+             {hw::MemoryMode::Cache, hw::MemoryMode::Flat}) {
+            for (int cores : {12, 24, 48, 96}) {
+                const auto p = hw::sprPlatform(cm, mm, cores);
+                const perf::CpuPerfModel m(p);
+                const auto r = m.run(spec, w);
+
+                mem::RegionSizes sizes;
+                sizes.weights = spec.weightBytes(w.dtype);
+                sizes.kvCache = spec.kvCacheBytes(w.finalSeqLen(),
+                                                  w.batch, w.dtype);
+                const double hbm_frac =
+                    m.memorySystem()
+                        .plan(sizes)
+                        .weights.hbmFraction();
+
+                t.addRow({p.label(), formatTime(r.ttft),
+                          formatTime(r.tpot),
+                          formatTime(r.e2eLatency),
+                          formatNumber(r.totalThroughput, 1),
+                          formatNumber(100.0 * hbm_frac, 0) + " %"});
+                if (r.e2eLatency < best_lat) {
+                    best_lat = r.e2eLatency;
+                    best_label = p.label();
+                }
+            }
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\nBest configuration: " << best_label
+              << " (E2E " << formatTime(best_lat)
+              << ") -- the paper's quad_flat/48c finding.\n";
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Offload advisor (Key Finding #4 / Section VI): given a model and a
+ * batch size, should you serve it on the AMX CPU, on a GPU, or on a
+ * GPU with offloading? Prints the decision matrix over the model zoo
+ * with the measured (simulated) advantage.
+ */
+
+#include <iostream>
+
+#include "core/cpullm.h"
+
+using namespace cpullm;
+
+namespace {
+
+std::string
+speedupString(double ratio)
+{
+    // ratio = candidate/cpu latency; <1 means candidate faster.
+    if (ratio < 1.0)
+        return formatNumber(1.0 / ratio, 2) + "x faster";
+    return formatNumber(ratio, 2) + "x slower";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::int64_t batch = argc > 1 ? std::atoll(argv[1]) : 1;
+
+    std::cout << "== offload advisor ==\n"
+              << "workload: input 128 / output 32 tokens, batch "
+              << batch << "\n\n";
+
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const gpu::GpuPerfModel h100(hw::nvidiaH100());
+    const auto w = perf::paperWorkload(batch);
+
+    Table t({"model", "weights", "A100 mode", "A100 vs CPU",
+             "H100 mode", "H100 vs CPU", "recommendation"});
+    t.setCaption("Device recommendation per model");
+
+    for (const auto& spec : model::evaluatedModels()) {
+        const double cpu = spr.run(spec, w).e2eLatency;
+        const auto ra = a100.run(spec, w);
+        const auto rh = h100.run(spec, w);
+        const double a_ratio = ra.timing.e2eLatency / cpu;
+        const double h_ratio = rh.timing.e2eLatency / cpu;
+
+        std::string best = "SPR CPU";
+        double best_ratio = 1.0;
+        if (a_ratio < best_ratio) {
+            best = "A100";
+            best_ratio = a_ratio;
+        }
+        if (h_ratio < best_ratio)
+            best = "H100";
+
+        auto mode = [](gpu::GpuPlacement p) {
+            return p == gpu::GpuPlacement::Offloaded ? "offload"
+                                                     : "resident";
+        };
+        t.addRow({spec.name,
+                  formatBytes(spec.weightBytes(DType::BF16)),
+                  mode(ra.placement), speedupString(a_ratio),
+                  mode(rh.placement), speedupString(h_ratio), best});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nRule of thumb (paper Key Finding #4): once a model "
+                 "must stream weights over PCIe, the AMX CPU with HBM "
+                 "wins; while the model fits in GPU memory, the GPU "
+                 "wins.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Serving simulation: the paper's Section II-C use cases as a served
+ * system. Sweeps the request arrival rate for one model and reports
+ * p50/p99 TTFT and E2E latency plus sustained token throughput for
+ * the SPR CPU, the ICL CPU, and an H100 -- showing where each device
+ * saturates.
+ *
+ * Usage: serving_sim [model] [max_batch]
+ */
+
+#include <iostream>
+
+#include "core/cpullm.h"
+
+using namespace cpullm;
+
+int
+main(int argc, char** argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "llama2-13b";
+    const std::int64_t max_batch =
+        argc > 2 ? std::atoll(argv[2]) : 16;
+    const auto spec = model::modelByName(model_name);
+    const perf::Workload per_request = perf::paperWorkload(1);
+
+    std::cout << "== serving simulator: " << spec.name
+              << ", prompt 128 / output 32, max batch " << max_batch
+              << " ==\n\n";
+
+    const auto spr =
+        serve::cpuLatencyFn(hw::sprDefaultPlatform(), spec,
+                            per_request);
+    const auto icl = serve::cpuLatencyFn(hw::iclDefaultPlatform(),
+                                         spec, per_request);
+    const auto h100 =
+        serve::gpuLatencyFn(hw::nvidiaH100(), spec, per_request);
+
+    Table t({"arrival req/s", "device", "p50 TTFT", "p99 TTFT",
+             "p50 E2E", "p99 E2E", "tok/s", "util", "avg batch"});
+    t.setCaption("Load sweep (Poisson arrivals, static batching)");
+
+    for (double rate : {0.2, 0.5, 1.0, 2.0, 4.0}) {
+        serve::ServingConfig cfg;
+        cfg.arrivalRate = rate;
+        cfg.maxBatch = max_batch;
+        cfg.numRequests = 400;
+        cfg.seed = 11;
+
+        auto add = [&](const char* name,
+                       const serve::LatencyFn& dev) {
+            const auto r = serve::simulateServing(cfg, dev);
+            t.addRow({formatNumber(rate, 1), name,
+                      formatTime(r.ttftPercentile(50)),
+                      formatTime(r.ttftPercentile(99)),
+                      formatTime(r.e2ePercentile(50)),
+                      formatTime(r.e2ePercentile(99)),
+                      formatNumber(r.tokenThroughput(32), 1),
+                      formatNumber(r.utilization(), 2),
+                      formatNumber(r.meanBatchSize, 1)});
+        };
+        add("SPR Max9468", spr);
+        add("ICL 8352Y", icl);
+        add("H100", h100);
+
+        // Orca-style continuous batching on the SPR CPU.
+        const auto costs = serve::cpuStepCosts(
+            hw::sprDefaultPlatform(), spec, per_request);
+        const auto rc = serve::simulateContinuousBatching(cfg, costs);
+        t.addRow({formatNumber(rate, 1), "SPR (continuous)",
+                  formatTime(rc.ttftPercentile(50)),
+                  formatTime(rc.ttftPercentile(99)),
+                  formatTime(rc.e2ePercentile(50)),
+                  formatTime(rc.e2ePercentile(99)),
+                  formatNumber(rc.tokenThroughput(32), 1),
+                  formatNumber(rc.utilization(), 2),
+                  formatNumber(rc.meanBatchSize, 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading guide: once utilization pins at ~1.0 the "
+                 "device is saturated and p99 explodes; larger "
+                 "batches absorb load at the cost of TTFT "
+                 "(Section II-C's TTFT/TPOT/throughput triangle).\n";
+    return 0;
+}

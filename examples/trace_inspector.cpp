@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace inspector: record an operator-level timeline of a simulated
+ * request, print where the time goes (the prefill/decode, compute/
+ * memory structure the paper characterizes), and export a Chrome-
+ * trace JSON for chrome://tracing or Perfetto.
+ *
+ * Usage: trace_inspector [model] [platform] [batch] [out.json]
+ */
+
+#include <iostream>
+
+#include "core/cpullm.h"
+
+using namespace cpullm;
+
+int
+main(int argc, char** argv)
+{
+    const std::string model_name = argc > 1 ? argv[1] : "opt-13b";
+    const std::string platform_name = argc > 2 ? argv[2] : "spr";
+    const std::int64_t batch = argc > 3 ? std::atoll(argv[3]) : 1;
+    const std::string out =
+        argc > 4 ? argv[4] : "cpullm_trace.json";
+
+    const auto platform = hw::platformByName(platform_name);
+    const auto spec = model::modelByName(model_name);
+    const perf::CpuPerfModel model(platform);
+    perf::Workload w = perf::paperWorkload(batch);
+    w.genLen = 4; // keep the trace readable
+
+    const trace::Timeline tl = trace::traceRun(model, spec, w);
+
+    std::cout << "== trace inspector: " << spec.name << " on "
+              << platform.label() << ", batch " << batch << " ==\n"
+              << "events:   " << tl.events().size() << "\n"
+              << "makespan: " << formatTime(tl.makespan()) << "\n\n";
+
+    Table cat({"category", "time", "share"});
+    cat.setCaption("Time by operator category");
+    for (const char* c :
+         {"gemm", "attention", "elementwise", "embedding"}) {
+        cat.addRow({c, formatTime(tl.categoryTime(c)),
+                    formatNumber(100.0 * tl.categoryFraction(c), 1) +
+                        " %"});
+    }
+    cat.print(std::cout);
+
+    Table top({"operator", "category", "duration", "bound by"});
+    top.setCaption("\nTop 8 operators");
+    for (const auto& e : tl.topEvents(8)) {
+        top.addRow({e.name, e.category, formatTime(e.duration),
+                    e.boundBy});
+    }
+    top.print(std::cout);
+
+    if (tl.writeChromeTraceFile(out)) {
+        std::cout << "\nwrote " << out
+                  << " (load in chrome://tracing)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,658 @@
+#include "core/experiments.h"
+
+#include <cmath>
+
+#include "engine/inference_engine.h"
+#include "gpu/gpu_model.h"
+#include "hw/platform.h"
+#include "perf/cpu_model.h"
+#include "util/string_util.h"
+#include "util/units.h"
+
+namespace cpullm {
+namespace core {
+
+namespace {
+
+std::string
+batchLabel(const model::ModelSpec& m, std::int64_t b)
+{
+    return strformat("%s/b%lld", m.name.c_str(),
+                     static_cast<long long>(b));
+}
+
+} // namespace
+
+std::vector<std::int64_t>
+paperBatchSweep()
+{
+    return {1, 2, 4, 8, 16, 32};
+}
+
+Table
+table1CpuConfigs()
+{
+    const hw::CpuConfig icl = hw::iclXeon8352Y();
+    const hw::CpuConfig spr = hw::sprXeonMax9468();
+    Table t({"", "CPU 1 (ICL CPU)", "CPU 2 (SPR CPU)"});
+    t.setCaption("Table I: Evaluation Setup for CPU Servers");
+    auto row = [&](const std::string& k, const std::string& a,
+                   const std::string& b) {
+        t.addRow({k, a, b});
+    };
+    row("Generation", icl.generation, spr.generation);
+    row("CPU", icl.name, spr.name);
+    row("Core Frequency",
+        strformat("%.2f GHz", icl.coreFrequency / GHz),
+        strformat("%.2f GHz", spr.coreFrequency / GHz));
+    row("Compute Throughput (BF16)",
+        strformat("%.1f TFLOPS (AVX-512)",
+                  icl.compute.avx512Bf16FlopsPerSocket / TFLOPS),
+        strformat("%.1f (AVX-512) / %.1f (AMX) TFLOPS",
+                  spr.compute.avx512Bf16FlopsPerSocket / TFLOPS,
+                  spr.compute.amxBf16FlopsPerSocket / TFLOPS));
+    row("# cores (per socket) / sockets",
+        strformat("%d / %d", icl.coresPerSocket, icl.sockets),
+        strformat("%d / %d", spr.coresPerSocket, spr.sockets));
+    row("L1D / L2 Cache (per core)",
+        strformat("%s / %s", formatBytes(icl.cache.l1dPerCore).c_str(),
+                  formatBytes(icl.cache.l2PerCore).c_str()),
+        strformat("%s / %s", formatBytes(spr.cache.l1dPerCore).c_str(),
+                  formatBytes(spr.cache.l2PerCore).c_str()));
+    row("L3 Cache", formatBytes(icl.cache.l3Shared),
+        formatBytes(spr.cache.l3Shared));
+    row("CPU Memory",
+        strformat("%s %s", hw::memKindName(icl.ddr.kind).c_str(),
+                  formatBytes(icl.ddr.capacityBytes * 2).c_str()),
+        strformat("%s %s, HBM %s",
+                  hw::memKindName(spr.ddr.kind).c_str(),
+                  formatBytes(spr.ddr.capacityBytes * 2).c_str(),
+                  formatBytes(spr.hbm->capacityBytes * 2).c_str()));
+    row("Memory Bandwidth (per socket)",
+        formatBandwidth(icl.ddr.bandwidth),
+        strformat("%s DDR5, %s HBM",
+                  formatBandwidth(spr.ddr.bandwidth).c_str(),
+                  formatBandwidth(spr.hbm->bandwidth).c_str()));
+    return t;
+}
+
+Table
+table2GpuConfigs()
+{
+    const hw::GpuConfig a = hw::nvidiaA100();
+    const hw::GpuConfig h = hw::nvidiaH100();
+    Table t({"", "GPU 1", "GPU 2"});
+    t.setCaption("Table II: Evaluation Setup for GPU Servers");
+    t.addRow({"GPU", a.name, h.name});
+    t.addRow({"Number of SMs", std::to_string(a.numSms),
+              std::to_string(h.numSms)});
+    t.addRow({"Compute Throughput (BF16)",
+              strformat("%.0f TFLOPS", a.bf16Flops / TFLOPS),
+              strformat("%.0f TFLOPS", h.bf16Flops / TFLOPS)});
+    t.addRow({"L1 / L2 Cache",
+              strformat("%s / %s", formatBytes(a.l1PerSm).c_str(),
+                        formatBytes(a.l2Shared).c_str()),
+              strformat("%s / %s", formatBytes(h.l1PerSm).c_str(),
+                        formatBytes(h.l2Shared).c_str())});
+    t.addRow({"GPU Memory", formatBytes(a.memory.capacityBytes),
+              formatBytes(h.memory.capacityBytes)});
+    t.addRow({"Memory Bandwidth", formatBandwidth(a.memory.bandwidth),
+              formatBandwidth(h.memory.bandwidth)});
+    t.addRow({"CPU-GPU Interconnect",
+              strformat("%s, %s", a.pcie.name.c_str(),
+                        formatBandwidth(a.pcie.bandwidth).c_str()),
+              strformat("%s, %s", h.pcie.name.c_str(),
+                        formatBandwidth(h.pcie.bandwidth).c_str())});
+    return t;
+}
+
+FigureData
+fig01GemmThroughput(const std::vector<std::int64_t>& sizes)
+{
+    FigureData f("fig01", "GEMM throughput across CPUs and GPUs",
+                 "matrix dim (M=N=K)", "TFLOPS");
+    std::vector<std::string> labels;
+    for (auto s : sizes)
+        labels.push_back(std::to_string(s));
+    f.setXLabels(labels);
+
+    const perf::CpuPerfModel icl(hw::iclDefaultPlatform());
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const gpu::GpuPerfModel h100(hw::nvidiaH100());
+
+    std::vector<double> vi, vs, va, vh;
+    for (auto s : sizes) {
+        vi.push_back(icl.gemmThroughput(s, s, s, DType::BF16) / TFLOPS);
+        vs.push_back(spr.gemmThroughput(s, s, s, DType::BF16) / TFLOPS);
+        va.push_back(a100.gemmThroughput(s, s, s, DType::BF16) /
+                     TFLOPS);
+        vh.push_back(h100.gemmThroughput(s, s, s, DType::BF16) /
+                     TFLOPS);
+    }
+    f.addSeries("8352Y (AVX-512)", std::move(vi));
+    f.addSeries("Max9468 (AMX)", std::move(vs));
+    f.addSeries("A100", std::move(va));
+    f.addSeries("H100", std::move(vh));
+    return f;
+}
+
+FigureData
+fig06ModelMemory()
+{
+    FigureData f("fig06", "Model weight memory footprint (FP16)",
+                 "model", "GB");
+    std::vector<model::ModelSpec> zoo = model::evaluatedModels();
+    zoo.push_back(model::opt175b());
+    std::vector<std::string> labels;
+    std::vector<double> gb;
+    for (const auto& m : zoo) {
+        labels.push_back(m.name);
+        gb.push_back(static_cast<double>(m.weightBytes(DType::F16)) /
+                     GB);
+    }
+    f.setXLabels(labels);
+    f.addSeries("fp16 weights", std::move(gb));
+    return f;
+}
+
+FigureData
+fig07KvCacheFootprint()
+{
+    const model::ModelSpec m = model::llama2_13b();
+    FigureData f("fig07",
+                 "KV cache footprint, " + m.name +
+                     " (dotted line = model size)",
+                 "sequence length", "GB");
+    const std::vector<std::int64_t> seqs = {128,  512,  1024, 2048,
+                                            4096, 8192, 16384, 32768};
+    std::vector<std::string> labels;
+    for (auto s : seqs)
+        labels.push_back(std::to_string(s));
+    f.setXLabels(labels);
+    for (std::int64_t b : {1, 4, 8, 16, 32, 64}) {
+        std::vector<double> vals;
+        for (auto s : seqs) {
+            vals.push_back(static_cast<double>(
+                               m.kvCacheBytes(s, b, DType::BF16)) /
+                           GB);
+        }
+        f.addSeries(strformat("batch %lld", static_cast<long long>(b)),
+                    std::move(vals));
+    }
+    f.addSeries("model size (FP16)",
+                std::vector<double>(
+                    seqs.size(),
+                    static_cast<double>(m.weightBytes(DType::F16)) /
+                        GB));
+    return f;
+}
+
+ComparisonFigure
+fig08E2eIclVsSpr(const std::vector<model::ModelSpec>& models,
+                 const std::vector<std::int64_t>& batches)
+{
+    ComparisonFigure out;
+    out.latency = FigureData("fig08a",
+                             "E2E latency normalized to ICL CPU",
+                             "model/batch", "normalized latency");
+    out.throughput = FigureData(
+        "fig08b", "E2E throughput normalized to ICL CPU",
+        "model/batch", "normalized throughput");
+
+    const perf::CpuPerfModel icl(hw::iclDefaultPlatform());
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+
+    std::vector<std::string> labels;
+    std::vector<double> icl_lat, spr_lat, icl_tput, spr_tput;
+    for (const auto& m : models) {
+        for (auto b : batches) {
+            labels.push_back(batchLabel(m, b));
+            const auto w = perf::paperWorkload(b);
+            const auto ti = icl.run(m, w);
+            const auto ts = spr.run(m, w);
+            icl_lat.push_back(1.0);
+            spr_lat.push_back(ts.e2eLatency / ti.e2eLatency);
+            icl_tput.push_back(1.0);
+            spr_tput.push_back(ts.totalThroughput /
+                               ti.totalThroughput);
+        }
+    }
+    out.latency.setXLabels(labels);
+    out.latency.addSeries("ICL", icl_lat);
+    out.latency.addSeries("SPR", spr_lat);
+    out.throughput.setXLabels(labels);
+    out.throughput.addSeries("ICL", icl_tput);
+    out.throughput.addSeries("SPR", spr_tput);
+    return out;
+}
+
+PhaseFigure
+fig09PhaseLatency(const std::vector<model::ModelSpec>& models,
+                  const std::vector<std::int64_t>& batches)
+{
+    PhaseFigure out;
+    out.prefill = FigureData("fig09a",
+                             "Prefill latency (TTFT) normalized to ICL",
+                             "model/batch", "normalized latency");
+    out.decode = FigureData("fig09b",
+                            "Decode latency (TPOT) normalized to ICL",
+                            "model/batch", "normalized latency");
+    const perf::CpuPerfModel icl(hw::iclDefaultPlatform());
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+
+    std::vector<std::string> labels;
+    std::vector<double> base_p, base_d, spr_p, spr_d;
+    for (const auto& m : models) {
+        for (auto b : batches) {
+            labels.push_back(batchLabel(m, b));
+            const auto w = perf::paperWorkload(b);
+            const auto ti = icl.run(m, w);
+            const auto ts = spr.run(m, w);
+            base_p.push_back(1.0);
+            base_d.push_back(1.0);
+            spr_p.push_back(ts.ttft / ti.ttft);
+            spr_d.push_back(ts.tpot / ti.tpot);
+        }
+    }
+    out.prefill.setXLabels(labels);
+    out.prefill.addSeries("ICL", base_p);
+    out.prefill.addSeries("SPR", spr_p);
+    out.decode.setXLabels(labels);
+    out.decode.addSeries("ICL", base_d);
+    out.decode.addSeries("SPR", spr_d);
+    return out;
+}
+
+PhaseFigure
+fig10PhaseThroughput(const std::vector<model::ModelSpec>& models,
+                     const std::vector<std::int64_t>& batches)
+{
+    PhaseFigure out;
+    out.prefill = FigureData("fig10a",
+                             "Prefill throughput normalized to ICL",
+                             "model/batch", "normalized throughput");
+    out.decode = FigureData("fig10b",
+                            "Decode throughput normalized to ICL",
+                            "model/batch", "normalized throughput");
+    const perf::CpuPerfModel icl(hw::iclDefaultPlatform());
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+
+    std::vector<std::string> labels;
+    std::vector<double> base_p, base_d, spr_p, spr_d;
+    for (const auto& m : models) {
+        for (auto b : batches) {
+            labels.push_back(batchLabel(m, b));
+            const auto w = perf::paperWorkload(b);
+            const auto ti = icl.run(m, w);
+            const auto ts = spr.run(m, w);
+            base_p.push_back(1.0);
+            base_d.push_back(1.0);
+            spr_p.push_back(ts.prefillThroughput /
+                            ti.prefillThroughput);
+            spr_d.push_back(ts.decodeThroughput /
+                            ti.decodeThroughput);
+        }
+    }
+    out.prefill.setXLabels(labels);
+    out.prefill.addSeries("ICL", base_p);
+    out.prefill.addSeries("SPR", spr_p);
+    out.decode.setXLabels(labels);
+    out.decode.addSeries("ICL", base_d);
+    out.decode.addSeries("SPR", spr_d);
+    return out;
+}
+
+FigureData
+figCountersVsBatch(const model::ModelSpec& spec,
+                   const std::vector<std::int64_t>& batches)
+{
+    FigureData f(spec.family == "opt" ? "fig12" : "fig11",
+                 "Hardware counters on SPR vs batch size, " + spec.name,
+                 "batch", "value");
+    std::vector<std::string> labels;
+    for (auto b : batches)
+        labels.push_back(std::to_string(b));
+    f.setXLabels(labels);
+
+    engine::CpuInferenceEngine eng(hw::sprDefaultPlatform(), spec);
+    std::vector<double> mpki, util, loads, stores;
+    for (auto b : batches) {
+        const auto r = eng.infer(perf::paperWorkload(b));
+        mpki.push_back(r.counters.mpki());
+        util.push_back(r.counters.coreUtilization);
+        loads.push_back(r.counters.loads);
+        stores.push_back(r.counters.stores);
+    }
+    const double l0 = loads.empty() || loads[0] == 0.0 ? 1.0 : loads[0];
+    const double s0 =
+        stores.empty() || stores[0] == 0.0 ? 1.0 : stores[0];
+    for (auto& v : loads)
+        v /= l0;
+    for (auto& v : stores)
+        v /= s0;
+    f.addSeries("llc_mpki", std::move(mpki));
+    f.addSeries("core_utilization", std::move(util));
+    f.addSeries("norm_loads", std::move(loads));
+    f.addSeries("norm_stores", std::move(stores));
+    return f;
+}
+
+namespace {
+
+/** The six latency/throughput metrics of Figs 13 and 14. */
+struct MetricSet
+{
+    double e2eLatency = 0.0;
+    double ttft = 0.0;
+    double tpot = 0.0;
+    double totalTput = 0.0;
+    double prefillTput = 0.0;
+    double decodeTput = 0.0;
+};
+
+/** Each metric averaged across all (model, batch) workloads. */
+MetricSet
+averageMetrics(const perf::CpuPerfModel& m,
+               const std::vector<model::ModelSpec>& models,
+               const std::vector<std::int64_t>& batches)
+{
+    MetricSet avg;
+    double n = 0.0;
+    for (const auto& spec : models) {
+        for (auto b : batches) {
+            const auto t = m.run(spec, perf::paperWorkload(b));
+            avg.e2eLatency += t.e2eLatency;
+            avg.ttft += t.ttft;
+            avg.tpot += t.tpot;
+            avg.totalTput += t.totalThroughput;
+            avg.prefillTput += t.prefillThroughput;
+            avg.decodeTput += t.decodeThroughput;
+            n += 1.0;
+        }
+    }
+    avg.e2eLatency /= n;
+    avg.ttft /= n;
+    avg.tpot /= n;
+    avg.totalTput /= n;
+    avg.prefillTput /= n;
+    avg.decodeTput /= n;
+    return avg;
+}
+
+FigureData
+normalizedMetricFigure(const std::string& id, const std::string& title,
+                       const std::vector<std::string>& config_labels,
+                       const std::vector<MetricSet>& metrics,
+                       std::size_t baseline_index)
+{
+    FigureData f(id, title, "metric", "normalized to baseline");
+    f.setXLabels({"e2e_latency", "ttft", "tpot", "total_tput",
+                  "prefill_tput", "decode_tput"});
+    const MetricSet& base = metrics[baseline_index];
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const MetricSet& m = metrics[i];
+        f.addSeries(config_labels[i],
+                    {m.e2eLatency / base.e2eLatency,
+                     m.ttft / base.ttft, m.tpot / base.tpot,
+                     m.totalTput / base.totalTput,
+                     m.prefillTput / base.prefillTput,
+                     m.decodeTput / base.decodeTput});
+    }
+    return f;
+}
+
+} // namespace
+
+FigureData
+fig13NumaModes(const std::vector<model::ModelSpec>& models,
+               const std::vector<std::int64_t>& batches)
+{
+    std::vector<std::string> labels;
+    std::vector<MetricSet> metrics;
+    for (const auto& p : hw::sprModeSweepPlatforms()) {
+        labels.push_back(
+            strformat("%s_%s",
+                      hw::clusteringModeName(p.clusteringMode).c_str(),
+                      hw::memoryModeName(p.memoryMode).c_str()));
+        const perf::CpuPerfModel m(p);
+        metrics.push_back(averageMetrics(m, models, batches));
+    }
+    return normalizedMetricFigure(
+        "fig13",
+        "SPR memory/clustering mode comparison (normalized to "
+        "quad_cache)",
+        labels, metrics, 0);
+}
+
+FigureData
+fig14CoreScaling(const std::vector<model::ModelSpec>& models,
+                 const std::vector<std::int64_t>& batches)
+{
+    std::vector<std::string> labels;
+    std::vector<MetricSet> metrics;
+    for (int cores : {12, 24, 48, 96}) {
+        labels.push_back(strformat("%dc", cores));
+        const perf::CpuPerfModel m(hw::sprPlatform(
+            hw::ClusteringMode::Quadrant, hw::MemoryMode::Flat, cores));
+        metrics.push_back(averageMetrics(m, models, batches));
+    }
+    return normalizedMetricFigure(
+        "fig14",
+        "SPR core-count comparison (normalized to 12 cores)", labels,
+        metrics, 0);
+}
+
+FigureData
+fig15NumaCounters()
+{
+    FigureData f("fig15",
+                 "Counters per NUMA config, LLaMA2-13B batch 8",
+                 "config", "value");
+    std::vector<std::string> labels;
+    std::vector<double> mpki, util, remote;
+    for (const auto& p : hw::sprModeSweepPlatforms()) {
+        labels.push_back(
+            strformat("%s_%s",
+                      hw::clusteringModeName(p.clusteringMode).c_str(),
+                      hw::memoryModeName(p.memoryMode).c_str()));
+        engine::CpuInferenceEngine eng(p, model::llama2_13b());
+        const auto r = eng.infer(perf::paperWorkload(8));
+        mpki.push_back(r.counters.mpki());
+        util.push_back(r.counters.coreUtilization);
+        remote.push_back(r.counters.remoteLlcAccesses);
+    }
+    // Remote accesses normalized to quad_cache for plotting.
+    const double r0 = remote[0] > 0.0 ? remote[0] : 1.0;
+    for (auto& v : remote)
+        v /= r0;
+    f.setXLabels(labels);
+    f.addSeries("llc_mpki", std::move(mpki));
+    f.addSeries("core_utilization", std::move(util));
+    f.addSeries("norm_remote_llc", std::move(remote));
+    return f;
+}
+
+FigureData
+fig16CoreCounters()
+{
+    FigureData f("fig16",
+                 "Counters vs core count, LLaMA2-7B batch 8", "cores",
+                 "value");
+    std::vector<std::string> labels;
+    std::vector<double> mpki, util, upi;
+    for (int cores : {12, 24, 48, 96}) {
+        labels.push_back(std::to_string(cores));
+        engine::CpuInferenceEngine eng(
+            hw::sprPlatform(hw::ClusteringMode::Quadrant,
+                            hw::MemoryMode::Flat, cores),
+            model::llama2_7b());
+        const auto r = eng.infer(perf::paperWorkload(8));
+        mpki.push_back(r.counters.mpki());
+        util.push_back(r.counters.coreUtilization);
+        upi.push_back(r.counters.upiUtilization);
+    }
+    f.setXLabels(labels);
+    f.addSeries("llc_mpki", std::move(mpki));
+    f.addSeries("core_utilization", std::move(util));
+    f.addSeries("upi_utilization", std::move(upi));
+    return f;
+}
+
+ComparisonFigure
+figCpuVsGpu(std::int64_t batch,
+            const std::vector<model::ModelSpec>& models)
+{
+    const std::string id = batch == 1 ? "fig17" : "fig19";
+    ComparisonFigure out;
+    out.latency =
+        FigureData(id + "a",
+                   strformat("E2E latency vs GPUs, batch %lld "
+                             "(normalized to SPR CPU)",
+                             static_cast<long long>(batch)),
+                   "model", "normalized latency");
+    out.throughput =
+        FigureData(id + "b",
+                   strformat("Throughput vs GPUs, batch %lld "
+                             "(normalized to SPR CPU)",
+                             static_cast<long long>(batch)),
+                   "model", "normalized throughput");
+
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const gpu::GpuPerfModel h100(hw::nvidiaH100());
+
+    std::vector<std::string> labels;
+    std::vector<double> lat_spr, lat_a, lat_h;
+    std::vector<double> tput_spr, tput_a, tput_h;
+    for (const auto& m : models) {
+        labels.push_back(m.name);
+        const auto w = perf::paperWorkload(batch);
+        const auto ts = spr.run(m, w);
+        const auto ra = a100.run(m, w);
+        const auto rh = h100.run(m, w);
+        lat_spr.push_back(1.0);
+        lat_a.push_back(ra.timing.e2eLatency / ts.e2eLatency);
+        lat_h.push_back(rh.timing.e2eLatency / ts.e2eLatency);
+        tput_spr.push_back(1.0);
+        tput_a.push_back(ra.timing.totalThroughput /
+                         ts.totalThroughput);
+        tput_h.push_back(rh.timing.totalThroughput /
+                         ts.totalThroughput);
+    }
+    out.latency.setXLabels(labels);
+    out.latency.addSeries("Max9468", lat_spr);
+    out.latency.addSeries("A100", lat_a);
+    out.latency.addSeries("H100", lat_h);
+    out.throughput.setXLabels(labels);
+    out.throughput.addSeries("Max9468", tput_spr);
+    out.throughput.addSeries("A100", tput_a);
+    out.throughput.addSeries("H100", tput_h);
+    return out;
+}
+
+OffloadBreakdownFigure
+fig18OffloadBreakdown(const std::vector<std::int64_t>& batches)
+{
+    OffloadBreakdownFigure out;
+    auto build = [&](const hw::GpuConfig& g, const model::ModelSpec& m,
+                     const std::string& id) {
+        FigureData f(id,
+                     strformat("%s execution breakdown, %s (offload)",
+                               g.name.c_str(), m.name.c_str()),
+                     "batch", "fraction of time");
+        std::vector<std::string> labels;
+        for (auto b : batches)
+            labels.push_back(std::to_string(b));
+        f.setXLabels(labels);
+
+        const gpu::GpuPerfModel gm(g);
+        std::vector<double> load, compute, attn, other;
+        for (auto b : batches) {
+            const auto r = gm.run(m, perf::paperWorkload(b));
+            const auto& bd = r.totalBreakdown;
+            const double tot =
+                bd.totalTime > 0.0 ? bd.totalTime : 1.0;
+            load.push_back(bd.pcieLoadTime / tot);
+            compute.push_back(bd.gpuComputeTime / tot);
+            attn.push_back(bd.cpuAttentionTime / tot);
+            other.push_back(
+                std::max(0.0, 1.0 - (bd.pcieLoadTime +
+                                     bd.gpuComputeTime +
+                                     bd.cpuAttentionTime) /
+                                        tot));
+        }
+        f.addSeries("pcie_load", std::move(load));
+        f.addSeries("gpu_compute", std::move(compute));
+        f.addSeries("cpu_attention", std::move(attn));
+        f.addSeries("other", std::move(other));
+        return f;
+    };
+    out.a100Opt30b =
+        build(hw::nvidiaA100(), model::opt30b(), "fig18a");
+    out.h100Opt66b =
+        build(hw::nvidiaH100(), model::opt66b(), "fig18b");
+    return out;
+}
+
+ComparisonFigure
+figSeqLenSweep(std::int64_t batch,
+               const std::vector<std::int64_t>& seq_lens)
+{
+    const std::string id = batch == 1 ? "fig20" : "fig21";
+    ComparisonFigure out;
+    out.latency = FigureData(
+        id + "a",
+        strformat("E2E latency vs input length, batch %lld",
+                  static_cast<long long>(batch)),
+        "input tokens", "seconds");
+    out.throughput = FigureData(
+        id + "b",
+        strformat("Throughput vs input length, batch %lld",
+                  static_cast<long long>(batch)),
+        "input tokens", "tokens/s");
+
+    std::vector<std::string> labels;
+    for (auto s : seq_lens)
+        labels.push_back(std::to_string(s));
+    out.latency.setXLabels(labels);
+    out.throughput.setXLabels(labels);
+
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const gpu::GpuPerfModel h100(hw::nvidiaH100());
+
+    const std::vector<model::ModelSpec> models = {
+        model::opt13b(), model::opt30b(), model::llama2_70b()};
+
+    for (const auto& m : models) {
+        std::vector<double> lat_s, lat_a, lat_h;
+        std::vector<double> tput_s, tput_a, tput_h;
+        for (auto s : seq_lens) {
+            perf::Workload w;
+            w.batch = batch;
+            w.promptLen = s;
+            w.genLen = 32;
+            const auto ts = spr.run(m, w);
+            const auto ra = a100.run(m, w);
+            const auto rh = h100.run(m, w);
+            lat_s.push_back(ts.e2eLatency);
+            lat_a.push_back(ra.timing.e2eLatency);
+            lat_h.push_back(rh.timing.e2eLatency);
+            tput_s.push_back(ts.totalThroughput);
+            tput_a.push_back(ra.timing.totalThroughput);
+            tput_h.push_back(rh.timing.totalThroughput);
+        }
+        out.latency.addSeries(m.name + "/Max9468", std::move(lat_s));
+        out.latency.addSeries(m.name + "/A100", std::move(lat_a));
+        out.latency.addSeries(m.name + "/H100", std::move(lat_h));
+        out.throughput.addSeries(m.name + "/Max9468",
+                                 std::move(tput_s));
+        out.throughput.addSeries(m.name + "/A100", std::move(tput_a));
+        out.throughput.addSeries(m.name + "/H100", std::move(tput_h));
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace cpullm

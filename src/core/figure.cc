@@ -1,0 +1,91 @@
+#include "core/figure.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace core {
+
+void
+FigureData::setXLabels(std::vector<std::string> labels)
+{
+    CPULLM_ASSERT(series_.empty(),
+                  "set x labels before adding series");
+    xLabels_ = std::move(labels);
+}
+
+void
+FigureData::addSeries(const std::string& name,
+                      std::vector<double> values)
+{
+    CPULLM_ASSERT(values.size() == xLabels_.size(),
+                  "series '", name, "' has ", values.size(),
+                  " values for ", xLabels_.size(), " x labels");
+    series_.push_back(Series{name, std::move(values)});
+}
+
+bool
+FigureData::hasSeries(const std::string& name) const
+{
+    for (const auto& s : series_)
+        if (s.name == name)
+            return true;
+    return false;
+}
+
+const std::vector<double>&
+FigureData::seriesValues(const std::string& name) const
+{
+    for (const auto& s : series_)
+        if (s.name == name)
+            return s.values;
+    CPULLM_PANIC("no series '", name, "' in figure ", id_);
+}
+
+double
+FigureData::value(const std::string& series_name,
+                  const std::string& x_label) const
+{
+    const auto& vals = seriesValues(series_name);
+    for (std::size_t i = 0; i < xLabels_.size(); ++i)
+        if (xLabels_[i] == x_label)
+            return vals[i];
+    CPULLM_PANIC("no x label '", x_label, "' in figure ", id_);
+}
+
+Table
+FigureData::toTable(int digits) const
+{
+    std::vector<std::string> headers{xAxis_.empty() ? "x" : xAxis_};
+    for (const auto& s : series_)
+        headers.push_back(s.name);
+    Table t(std::move(headers));
+    t.setCaption(strformat("%s: %s (%s)", id_.c_str(), title_.c_str(),
+                           yAxis_.c_str()));
+    for (std::size_t i = 0; i < xLabels_.size(); ++i) {
+        std::vector<std::string> row{xLabels_[i]};
+        for (const auto& s : series_)
+            row.push_back(formatNumber(s.values[i], digits));
+        t.addRow(std::move(row));
+    }
+    return t;
+}
+
+bool
+FigureData::writeCsv(const std::string& path) const
+{
+    std::vector<std::string> headers{xAxis_.empty() ? "x" : xAxis_};
+    for (const auto& s : series_)
+        headers.push_back(s.name);
+    CsvWriter csv(std::move(headers));
+    for (std::size_t i = 0; i < xLabels_.size(); ++i) {
+        std::vector<std::string> row{xLabels_[i]};
+        for (const auto& s : series_)
+            row.push_back(formatNumber(s.values[i], 6));
+        csv.addRow(std::move(row));
+    }
+    return csv.writeFile(path);
+}
+
+} // namespace core
+} // namespace cpullm

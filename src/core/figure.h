@@ -1,0 +1,79 @@
+#ifndef CPULLM_CORE_FIGURE_H
+#define CPULLM_CORE_FIGURE_H
+
+/**
+ * @file
+ * Figure data container: the series a paper figure plots, in a form
+ * the bench harness can print as a table, dump as CSV, and tests can
+ * assert against.
+ */
+
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace cpullm {
+namespace core {
+
+/** One plotted line/bar group. */
+struct Series
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/** Data behind one (sub-)figure. */
+class FigureData
+{
+  public:
+    FigureData() = default;
+    FigureData(std::string id, std::string title, std::string x_axis,
+               std::string y_axis)
+        : id_(std::move(id)), title_(std::move(title)),
+          xAxis_(std::move(x_axis)), yAxis_(std::move(y_axis))
+    {
+    }
+
+    const std::string& id() const { return id_; }
+    const std::string& title() const { return title_; }
+    const std::string& xAxis() const { return xAxis_; }
+    const std::string& yAxis() const { return yAxis_; }
+
+    void setXLabels(std::vector<std::string> labels);
+    const std::vector<std::string>& xLabels() const { return xLabels_; }
+
+    /** Append a series; its length must match the x labels. */
+    void addSeries(const std::string& name, std::vector<double> values);
+
+    const std::vector<Series>& series() const { return series_; }
+    bool hasSeries(const std::string& name) const;
+
+    /** Value of @p series_name at @p x_label; panics if absent. */
+    double value(const std::string& series_name,
+                 const std::string& x_label) const;
+
+    /** All values of one series; panics if absent. */
+    const std::vector<double>& seriesValues(
+        const std::string& name) const;
+
+    /** Render as a console table (rows = x, columns = series). */
+    Table toTable(int digits = 3) const;
+
+    /** Dump as CSV ("x,series1,series2,..."). */
+    bool writeCsv(const std::string& path) const;
+
+  private:
+    std::string id_;
+    std::string title_;
+    std::string xAxis_;
+    std::string yAxis_;
+    std::vector<std::string> xLabels_;
+    std::vector<Series> series_;
+};
+
+} // namespace core
+} // namespace cpullm
+
+#endif // CPULLM_CORE_FIGURE_H

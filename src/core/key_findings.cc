@@ -1,0 +1,217 @@
+#include "core/key_findings.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/experiments.h"
+#include "gpu/gpu_model.h"
+#include "hw/platform.h"
+#include "perf/cpu_model.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace core {
+
+namespace {
+
+/** Reduced sweep keeping the checks fast but representative. */
+const std::vector<std::int64_t> kBatches = {1, 8, 32};
+
+std::vector<model::ModelSpec>
+reducedModels()
+{
+    return {model::opt6p7b(), model::llama2_13b(), model::opt66b()};
+}
+
+} // namespace
+
+KeyFindingCheck
+checkKeyFinding1()
+{
+    KeyFindingCheck c;
+    c.number = 1;
+    c.summary = "SPR (AMX + HBM) reduces latency and increases "
+                "throughput vs ICL for all models and batches";
+    const perf::CpuPerfModel icl(hw::iclDefaultPlatform());
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+
+    double min_speedup = 1e30, max_speedup = 0.0;
+    bool all_faster = true;
+    for (const auto& m : reducedModels()) {
+        for (auto b : kBatches) {
+            const auto w = perf::paperWorkload(b);
+            const double speedup = icl.run(m, w).e2eLatency /
+                                   spr.run(m, w).e2eLatency;
+            min_speedup = std::min(min_speedup, speedup);
+            max_speedup = std::max(max_speedup, speedup);
+            all_faster = all_faster && speedup > 1.0;
+        }
+    }
+    // Paper band: 3.2-6.3x E2E. Accept a generous trend band.
+    c.passed = all_faster && min_speedup >= 2.0 && max_speedup <= 8.0;
+    c.detail = strformat("E2E speedup range %.2fx - %.2fx "
+                         "(paper: 3.2x - 6.3x)",
+                         min_speedup, max_speedup);
+    return c;
+}
+
+KeyFindingCheck
+checkKeyFinding2()
+{
+    KeyFindingCheck c;
+    c.number = 2;
+    c.summary = "Flat memory mode with Quadrant clustering offers the "
+                "best latency and throughput";
+    const FigureData f = fig13NumaModes(reducedModels(), kBatches);
+
+    // quad_flat must have the lowest normalized E2E latency and the
+    // highest normalized total throughput of the four configs.
+    double best_lat = 1e30, best_tput = 0.0;
+    std::string best_lat_cfg, best_tput_cfg;
+    for (const auto& s : f.series()) {
+        const double lat = f.value(s.name, "e2e_latency");
+        const double tput = f.value(s.name, "total_tput");
+        if (lat < best_lat) {
+            best_lat = lat;
+            best_lat_cfg = s.name;
+        }
+        if (tput > best_tput) {
+            best_tput = tput;
+            best_tput_cfg = s.name;
+        }
+    }
+    c.passed = best_lat_cfg == "quad_flat" &&
+               best_tput_cfg == "quad_flat";
+    c.detail = strformat("best latency: %s, best throughput: %s "
+                         "(paper: quad_flat)",
+                         best_lat_cfg.c_str(), best_tput_cfg.c_str());
+    return c;
+}
+
+KeyFindingCheck
+checkKeyFinding3()
+{
+    KeyFindingCheck c;
+    c.number = 3;
+    c.summary = "48 cores (one socket) maximizes performance; 96 "
+                "cores regress due to UPI traffic";
+    const FigureData f = fig14CoreScaling(reducedModels(), kBatches);
+
+    const double lat12 = f.value("12c", "e2e_latency");
+    const double lat48 = f.value("48c", "e2e_latency");
+    const double lat96 = f.value("96c", "e2e_latency");
+    const double lat24 = f.value("24c", "e2e_latency");
+    const bool best_is_48 = lat48 < lat12 && lat48 < lat24 &&
+                            lat48 < lat96;
+    const double reduction = 1.0 - lat48 / lat12;
+    c.passed = best_is_48 && reduction > 0.35;
+    c.detail = strformat("e2e latency normalized to 12c: 24c=%.2f "
+                         "48c=%.2f 96c=%.2f; 48c reduction %.1f%% "
+                         "(paper: 59.8%%)",
+                         lat24, lat48, lat96, 100.0 * reduction);
+    return c;
+}
+
+KeyFindingCheck
+checkKeyFinding4()
+{
+    KeyFindingCheck c;
+    c.number = 4;
+    c.summary = "GPUs win on models that fit; AMX CPU wins on models "
+                "that require offloading";
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const gpu::GpuPerfModel h100(hw::nvidiaH100());
+    const auto w = perf::paperWorkload(1);
+
+    // Small model: both GPUs must win.
+    const auto small = model::opt13b();
+    const double spr_small = spr.run(small, w).e2eLatency;
+    const bool small_gpu_wins =
+        a100.run(small, w).timing.e2eLatency < spr_small &&
+        h100.run(small, w).timing.e2eLatency < spr_small;
+
+    // OPT-30B: offloads on A100 (CPU wins big), resident on H100
+    // (H100 wins).
+    const auto mid = model::opt30b();
+    const auto ra_mid = a100.run(mid, w);
+    const auto rh_mid = h100.run(mid, w);
+    const double spr_mid = spr.run(mid, w).e2eLatency;
+    const double cpu_adv_a100 =
+        ra_mid.timing.e2eLatency / spr_mid;
+    const bool mid_ok =
+        ra_mid.placement == gpu::GpuPlacement::Offloaded &&
+        cpu_adv_a100 > 5.0 &&
+        rh_mid.placement == gpu::GpuPlacement::Resident &&
+        rh_mid.timing.e2eLatency < spr_mid;
+
+    // OPT-66B: offloads on both; CPU wins on both.
+    const auto big = model::opt66b();
+    const auto ra_big = a100.run(big, w);
+    const auto rh_big = h100.run(big, w);
+    const double spr_big = spr.run(big, w).e2eLatency;
+    const bool big_ok =
+        ra_big.placement == gpu::GpuPlacement::Offloaded &&
+        rh_big.placement == gpu::GpuPlacement::Offloaded &&
+        ra_big.timing.e2eLatency > spr_big &&
+        rh_big.timing.e2eLatency > spr_big;
+
+    c.passed = small_gpu_wins && mid_ok && big_ok;
+    c.detail = strformat(
+        "OPT-13B: GPUs faster=%s; OPT-30B: CPU %.1fx faster than "
+        "A100 (paper ~12x), H100 resident faster=%s; OPT-66B: CPU "
+        "beats A100 %.1fx and H100 %.1fx (paper ~5x for H100)",
+        small_gpu_wins ? "yes" : "NO", cpu_adv_a100,
+        rh_mid.timing.e2eLatency < spr_mid ? "yes" : "NO",
+        ra_big.timing.e2eLatency / spr_big,
+        rh_big.timing.e2eLatency / spr_big);
+    return c;
+}
+
+KeyFindingCheck
+checkKeyFinding5()
+{
+    KeyFindingCheck c;
+    c.number = 5;
+    c.summary = "At batch 16 and long input sequences, the H100 "
+                "overtakes the CPU on LLaMA2-70B; the A100 never does";
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const gpu::GpuPerfModel h100(hw::nvidiaH100());
+    const auto m = model::llama2_70b();
+
+    bool h100_crosses = false;
+    bool a100_crosses = false;
+    std::int64_t cross_seq = 0;
+    for (std::int64_t s : {128, 256, 512, 1024, 2048, 4096}) {
+        perf::Workload w;
+        w.batch = 16;
+        w.promptLen = s;
+        w.genLen = 32;
+        const double cpu = spr.run(m, w).e2eLatency;
+        if (!h100_crosses &&
+            h100.run(m, w).timing.e2eLatency < cpu) {
+            h100_crosses = true;
+            cross_seq = s;
+        }
+        if (a100.run(m, w).timing.e2eLatency < cpu)
+            a100_crosses = true;
+    }
+    c.passed = h100_crosses && !a100_crosses;
+    c.detail = strformat(
+        "H100 overtakes CPU at seq=%lld (paper: 256); A100 "
+        "overtakes: %s (paper: never)",
+        static_cast<long long>(cross_seq),
+        a100_crosses ? "YES" : "never");
+    return c;
+}
+
+std::vector<KeyFindingCheck>
+checkAllKeyFindings()
+{
+    return {checkKeyFinding1(), checkKeyFinding2(), checkKeyFinding3(),
+            checkKeyFinding4(), checkKeyFinding5()};
+}
+
+} // namespace core
+} // namespace cpullm

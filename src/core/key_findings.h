@@ -1,0 +1,53 @@
+#ifndef CPULLM_CORE_KEY_FINDINGS_H
+#define CPULLM_CORE_KEY_FINDINGS_H
+
+/**
+ * @file
+ * Programmatic validation of the paper's five Key Findings against
+ * the simulation (DESIGN.md Section 3). Each check runs a reduced
+ * sweep and asserts the *trend*, not absolute numbers.
+ */
+
+#include <string>
+#include <vector>
+
+namespace cpullm {
+namespace core {
+
+/** Result of one key-finding validation. */
+struct KeyFindingCheck
+{
+    int number = 0;       ///< paper key-finding number (1-5)
+    std::string summary;  ///< what the paper claims
+    bool passed = false;
+    std::string detail;   ///< measured evidence
+};
+
+/** KF1: SPR beats ICL on all models/batches, with sizable speedups. */
+KeyFindingCheck checkKeyFinding1();
+
+/** KF2: quad_flat is the best memory/clustering configuration. */
+KeyFindingCheck checkKeyFinding2();
+
+/** KF3: 48 cores (one socket) is the best core count; 96 regresses. */
+KeyFindingCheck checkKeyFinding3();
+
+/**
+ * KF4: GPUs win on models that fit; the CPU wins (latency and
+ * throughput) on models that force offloading.
+ */
+KeyFindingCheck checkKeyFinding4();
+
+/**
+ * KF5: at batch 16, the H100 eventually overtakes the CPU on
+ * LLaMA2-70B as the sequence grows, while the A100 never does.
+ */
+KeyFindingCheck checkKeyFinding5();
+
+/** Run all five checks. */
+std::vector<KeyFindingCheck> checkAllKeyFindings();
+
+} // namespace core
+} // namespace cpullm
+
+#endif // CPULLM_CORE_KEY_FINDINGS_H

@@ -1,0 +1,120 @@
+#include "engine/inference_engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/units.h"
+
+namespace cpullm {
+namespace engine {
+
+std::vector<std::vector<std::int64_t>>
+syntheticPrompts(std::int64_t vocab, std::int64_t batch,
+                 std::int64_t prompt_len, std::uint64_t seed)
+{
+    CPULLM_ASSERT(vocab > 0 && batch > 0 && prompt_len > 0,
+                  "degenerate prompt request");
+    Rng rng(seed);
+    std::vector<std::vector<std::int64_t>> prompts(
+        static_cast<std::size_t>(batch));
+    for (auto& p : prompts) {
+        p.resize(static_cast<std::size_t>(prompt_len));
+        for (auto& tok : p) {
+            tok = static_cast<std::int64_t>(
+                rng.uniformInt(static_cast<std::uint64_t>(vocab)));
+        }
+    }
+    return prompts;
+}
+
+CpuInferenceEngine::CpuInferenceEngine(const hw::PlatformConfig& platform,
+                                       model::ModelSpec spec,
+                                       ExecutionMode mode,
+                                       std::uint64_t seed)
+    : spec_(std::move(spec)), mode_(mode), perf_(platform), seed_(seed)
+{
+    spec_.validate();
+    if (mode_ == ExecutionMode::FunctionalAndTiming) {
+        const std::uint64_t wbytes = spec_.weightBytes(DType::F32);
+        if (wbytes > kMaxFunctionalWeightBytes) {
+            CPULLM_FATAL(
+                "functional execution of ", spec_.name, " needs ",
+                formatBytes(wbytes),
+                " of host memory; use ExecutionMode::TimingOnly");
+        }
+        functional_.emplace(spec_, gemmEngine(), seed_);
+    }
+}
+
+gemm::Engine
+CpuInferenceEngine::gemmEngine() const
+{
+    return platform().cpu.compute.hasAmx() ? gemm::Engine::AmxBf16
+                                           : gemm::Engine::Avx512Bf16;
+}
+
+InferenceResult
+CpuInferenceEngine::infer(const perf::Workload& workload)
+{
+    InferenceResult result;
+    result.timing = perf_.run(spec_, workload);
+
+    // Whole-run counters: prefill plus the decode-step sums.
+    result.counters = result.timing.prefill.counters;
+    result.counters += result.timing.decodeStep.counters;
+    const double total_time = result.timing.e2eLatency;
+    result.counters.coreUtilization = std::min(
+        1.0,
+        (result.timing.prefill.computeTime +
+         result.timing.decodeStep.computeTime *
+             std::max<std::int64_t>(0, workload.genLen - 1)) /
+            std::max(1e-12, total_time));
+    const double upi_bw =
+        2.0 * platform().cpu.upi.effectiveBandwidth();
+    result.counters.upiUtilization = std::min(
+        1.0, result.counters.upiBytes / (total_time * upi_bw));
+
+    mem::RegionSizes sizes;
+    sizes.weights = spec_.weightBytes(workload.dtype);
+    sizes.kvCache = spec_.kvCacheBytes(
+        workload.finalSeqLen(), workload.batch, workload.kvDtype);
+    sizes.activations = spec_.activationBytes(
+        workload.batch * workload.promptLen, workload.finalSeqLen(),
+        workload.dtype);
+    result.regions = sizes;
+    result.weightsHbmFraction =
+        perf_.memorySystem().plan(sizes).weights.hbmFraction();
+
+    stats_.scalar("engine.requests", "requests simulated") += 1.0;
+    stats_.scalar("engine.tokens_generated",
+                  "greedy tokens produced (simulated)") +=
+        static_cast<double>(workload.generatedTokens());
+    stats_.scalar("engine.sim_seconds",
+                  "simulated wall time accumulated") +=
+        result.timing.e2eLatency;
+    stats_.distribution("engine.ttft", "time to first token, s")
+        .sample(result.timing.ttft);
+    if (workload.genLen > 1) {
+        stats_.distribution("engine.tpot", "time per output token, s")
+            .sample(result.timing.tpot);
+    }
+
+    if (functional_) {
+        if (workload.finalSeqLen() > spec_.maxSeqLen) {
+            CPULLM_FATAL("workload sequence ", workload.finalSeqLen(),
+                         " exceeds ", spec_.name, " max ",
+                         spec_.maxSeqLen);
+        }
+        auto prompts = syntheticPrompts(spec_.vocabSize, workload.batch,
+                                        workload.promptLen, seed_ + 1);
+        kv::KvCache cache = functional_->makeKvCache(
+            workload.batch, workload.finalSeqLen());
+        result.generatedTokens =
+            functional_->generate(prompts, workload.genLen, cache);
+    }
+    return result;
+}
+
+} // namespace engine
+} // namespace cpullm

@@ -1,0 +1,109 @@
+#ifndef CPULLM_ENGINE_INFERENCE_ENGINE_H
+#define CPULLM_ENGINE_INFERENCE_ENGINE_H
+
+/**
+ * @file
+ * The CPU inference engine: the user-facing entry point combining the
+ * functional transformer (real math through the emulated AMX/AVX-512
+ * kernels) with the analytical timing model. Paper-scale models run
+ * timing-only; small models can additionally execute functionally so
+ * the computation being timed is demonstrably the real computation.
+ */
+
+#include <optional>
+#include <vector>
+
+#include "hw/platform.h"
+#include "mem/memory_system.h"
+#include "model/spec.h"
+#include "model/transformer.h"
+#include "perf/cpu_model.h"
+#include "perf/timing.h"
+#include "perf/workload.h"
+#include "stats/stats.h"
+
+namespace cpullm {
+namespace engine {
+
+/** How much of the stack actually executes. */
+enum class ExecutionMode {
+    TimingOnly,          ///< operator graph + timing model only
+    FunctionalAndTiming, ///< also run real forward passes
+};
+
+/** Outcome of one simulated (and optionally executed) request. */
+struct InferenceResult
+{
+    perf::InferenceTiming timing;
+    /** Whole-run counters (prefill + all decode steps). */
+    perf::Counters counters;
+    /** Solved memory placement of the run. */
+    mem::RegionSizes regions;
+    double weightsHbmFraction = 0.0;
+
+    /** Greedy tokens, present only in FunctionalAndTiming mode. */
+    std::vector<std::vector<std::int64_t>> generatedTokens;
+};
+
+/**
+ * Upper weight-size bound for functional execution; beyond this the
+ * engine refuses (user error) since host memory would be exhausted.
+ */
+inline constexpr std::uint64_t kMaxFunctionalWeightBytes =
+    2ULL * 1024 * 1024 * 1024;
+
+/** Deterministic synthetic prompts (uniform token ids). */
+std::vector<std::vector<std::int64_t>>
+syntheticPrompts(std::int64_t vocab, std::int64_t batch,
+                 std::int64_t prompt_len, std::uint64_t seed);
+
+/** LLM inference on one CPU platform. */
+class CpuInferenceEngine
+{
+  public:
+    /**
+     * @param platform validated platform (see hw::platformByName)
+     * @param spec     model architecture
+     * @param mode     TimingOnly for paper-scale models
+     */
+    CpuInferenceEngine(const hw::PlatformConfig& platform,
+                       model::ModelSpec spec,
+                       ExecutionMode mode = ExecutionMode::TimingOnly,
+                       std::uint64_t seed = 7);
+
+    const hw::PlatformConfig& platform() const
+    {
+        return perf_.platform();
+    }
+    const model::ModelSpec& spec() const { return spec_; }
+    const perf::CpuPerfModel& perfModel() const { return perf_; }
+    ExecutionMode mode() const { return mode_; }
+
+    /** The GEMM engine the platform maps to (AMX on SPR, AVX-512 on
+     *  ICL). */
+    gemm::Engine gemmEngine() const;
+
+    /** Simulate (and in functional mode also execute) one request. */
+    InferenceResult infer(const perf::Workload& workload);
+
+    /**
+     * Lifetime statistics of this engine ("engine.requests",
+     * "engine.tokens_generated", "engine.sim_seconds", TTFT/TPOT
+     * distributions), dumpable via stats::Registry::dump.
+     */
+    const stats::Registry& statistics() const { return stats_; }
+    stats::Registry& statistics() { return stats_; }
+
+  private:
+    model::ModelSpec spec_;
+    ExecutionMode mode_;
+    perf::CpuPerfModel perf_;
+    std::optional<model::TransformerModel> functional_;
+    std::uint64_t seed_;
+    stats::Registry stats_;
+};
+
+} // namespace engine
+} // namespace cpullm
+
+#endif // CPULLM_ENGINE_INFERENCE_ENGINE_H

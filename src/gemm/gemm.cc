@@ -1,0 +1,282 @@
+#include "gemm/gemm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gemm/pack.h"
+#include "isa/amx.h"
+#include "isa/avx512.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace cpullm {
+namespace gemm {
+
+namespace {
+
+// AMX palette-1 native block sizes.
+constexpr int kTileM = 16; // rows of A / C per tile
+constexpr int kTileN = 16; // FP32/INT32 columns of C per tile
+constexpr int kTileKBf16 = 32; // BF16 K elements per tile step
+constexpr int kTileKI8 = 64; // INT8 K elements per tile step
+
+} // namespace
+
+std::string
+engineName(Engine e)
+{
+    switch (e) {
+      case Engine::Reference:
+        return "reference-fp32";
+      case Engine::AmxBf16:
+        return "amx-bf16";
+      case Engine::Avx512Bf16:
+        return "avx512-bf16";
+      case Engine::AmxI8:
+        return "amx-int8";
+    }
+    CPULLM_PANIC("unhandled engine");
+}
+
+void
+gemmRef(const float* a, const float* b, float* c, std::int64_t m,
+        std::int64_t n, std::int64_t k)
+{
+    parallelFor(0, static_cast<std::size_t>(m), [&](std::size_t mi) {
+        const float* arow = a + static_cast<std::int64_t>(mi) * k;
+        float* crow = c + static_cast<std::int64_t>(mi) * n;
+        std::fill(crow, crow + n, 0.0f);
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            const float* brow = b + kk * n;
+            for (std::int64_t ni = 0; ni < n; ++ni)
+                crow[ni] += av * brow[ni];
+        }
+    }, 4);
+}
+
+void
+gemmAmxBf16(const BFloat16* a, const BFloat16* b, float* c, std::int64_t m,
+            std::int64_t n, std::int64_t k)
+{
+    const std::int64_t m_blocks = (m + kTileM - 1) / kTileM;
+    const std::int64_t n_blocks = (n + kTileN - 1) / kTileN;
+
+    parallelFor(
+        0, static_cast<std::size_t>(m_blocks * n_blocks),
+        [&](std::size_t idx) {
+            const std::int64_t bm = static_cast<std::int64_t>(idx) /
+                                    n_blocks;
+            const std::int64_t bn = static_cast<std::int64_t>(idx) %
+                                    n_blocks;
+            const std::int64_t m0 = bm * kTileM;
+            const std::int64_t n0 = bn * kTileN;
+            const int mrem = static_cast<int>(
+                std::min<std::int64_t>(kTileM, m - m0));
+            const int nrem = static_cast<int>(
+                std::min<std::int64_t>(kTileN, n - n0));
+
+            // One AMX context per block task; TMM0 = accumulator,
+            // TMM1 = A tile, TMM2 = B tile (VNNI).
+            isa::AmxUnit amx;
+            isa::TileConfig cfg;
+            cfg.setTile(0, kTileM, kTileN * 4);
+            cfg.setTile(1, kTileM, kTileKBf16 * 2);
+            cfg.setTile(2, kTileKBf16 / 2, kTileN * 4);
+            amx.ldtilecfg(cfg);
+
+            alignas(64) BFloat16 a_img[kTileM * kTileKBf16];
+            alignas(64) BFloat16 b_img[(kTileKBf16 / 2) * (kTileN * 2)];
+            alignas(64) float c_img[kTileM * kTileN];
+
+            amx.tilezero(0);
+            for (std::int64_t k0 = 0; k0 < k; k0 += kTileKBf16) {
+                const int krem = static_cast<int>(
+                    std::min<std::int64_t>(kTileKBf16, k - k0));
+                packATile(a, k, m0, k0, mrem, krem, kTileM, kTileKBf16,
+                          a_img);
+                packBTileVnni(b, n, k0, n0, krem, nrem, kTileKBf16 / 2,
+                              kTileN, b_img);
+                amx.tileloadd(1, a_img, kTileKBf16 * sizeof(BFloat16));
+                amx.tileloadd(2, b_img,
+                              kTileN * 2 * sizeof(BFloat16));
+                amx.tdpbf16ps(0, 1, 2);
+            }
+            amx.tilestored(0, c_img, kTileN * sizeof(float));
+            for (int r = 0; r < mrem; ++r) {
+                float* crow = c + (m0 + r) * n + n0;
+                for (int cc = 0; cc < nrem; ++cc)
+                    crow[cc] = c_img[r * kTileN + cc];
+            }
+        },
+        1);
+}
+
+void
+gemmAvx512Bf16(const BFloat16* a, const BFloat16* b, float* c,
+               std::int64_t m, std::int64_t n, std::int64_t k)
+{
+    using isa::Vec512;
+    using isa::Vec512Bf16;
+
+    const std::int64_t n_vec = Vec512::kF32Lanes; // 16 outputs per vector
+    parallelFor(0, static_cast<std::size_t>(m), [&](std::size_t mi_s) {
+        const auto mi = static_cast<std::int64_t>(mi_s);
+        const BFloat16* arow = a + mi * k;
+        float* crow = c + mi * n;
+        for (std::int64_t n0 = 0; n0 < n; n0 += n_vec) {
+            const int nrem = static_cast<int>(
+                std::min<std::int64_t>(n_vec, n - n0));
+            Vec512 acc = Vec512::zero();
+            std::int64_t kk = 0;
+            for (; kk + 1 < k; kk += 2) {
+                const Vec512Bf16 av = Vec512Bf16::broadcastPair(
+                    arow[kk], arow[kk + 1]);
+                // Assemble the VNNI pair register from two B rows.
+                Vec512Bf16 bv;
+                const BFloat16* b0 = b + kk * n + n0;
+                const BFloat16* b1 = b + (kk + 1) * n + n0;
+                for (int lane = 0; lane < nrem; ++lane) {
+                    bv.lanes[static_cast<size_t>(2 * lane)] = b0[lane];
+                    bv.lanes[static_cast<size_t>(2 * lane + 1)] =
+                        b1[lane];
+                }
+                acc = isa::dpbf16ps(acc, av, bv);
+            }
+            if (kk < k) { // odd K tail: single-element pair
+                const Vec512Bf16 av = Vec512Bf16::broadcastPair(
+                    arow[kk], BFloat16());
+                Vec512Bf16 bv;
+                const BFloat16* b0 = b + kk * n + n0;
+                for (int lane = 0; lane < nrem; ++lane)
+                    bv.lanes[static_cast<size_t>(2 * lane)] = b0[lane];
+                acc = isa::dpbf16ps(acc, av, bv);
+            }
+            for (int lane = 0; lane < nrem; ++lane)
+                crow[n0 + lane] = acc.f32[static_cast<size_t>(lane)];
+        }
+    }, 2);
+}
+
+void
+gemmAmxI8(const std::int8_t* a, const std::int8_t* b, float* c,
+          std::int64_t m, std::int64_t n, std::int64_t k, float scale_a,
+          float scale_b)
+{
+    const std::int64_t m_blocks = (m + kTileM - 1) / kTileM;
+    const std::int64_t n_blocks = (n + kTileN - 1) / kTileN;
+    const float scale = scale_a * scale_b;
+
+    parallelFor(
+        0, static_cast<std::size_t>(m_blocks * n_blocks),
+        [&](std::size_t idx) {
+            const std::int64_t bm = static_cast<std::int64_t>(idx) /
+                                    n_blocks;
+            const std::int64_t bn = static_cast<std::int64_t>(idx) %
+                                    n_blocks;
+            const std::int64_t m0 = bm * kTileM;
+            const std::int64_t n0 = bn * kTileN;
+            const int mrem = static_cast<int>(
+                std::min<std::int64_t>(kTileM, m - m0));
+            const int nrem = static_cast<int>(
+                std::min<std::int64_t>(kTileN, n - n0));
+
+            isa::AmxUnit amx;
+            isa::TileConfig cfg;
+            cfg.setTile(0, kTileM, kTileN * 4);
+            cfg.setTile(1, kTileM, kTileKI8);
+            cfg.setTile(2, kTileKI8 / 4, kTileN * 4);
+            amx.ldtilecfg(cfg);
+
+            alignas(64) std::int8_t a_img[kTileM * kTileKI8];
+            alignas(64) std::int8_t b_img[(kTileKI8 / 4) * (kTileN * 4)];
+            alignas(64) std::int32_t c_img[kTileM * kTileN];
+
+            amx.tilezero(0);
+            for (std::int64_t k0 = 0; k0 < k; k0 += kTileKI8) {
+                const int krem = static_cast<int>(
+                    std::min<std::int64_t>(kTileKI8, k - k0));
+                packATileI8(a, k, m0, k0, mrem, krem, kTileM, kTileKI8,
+                            a_img);
+                packBTileVnniI8(b, n, k0, n0, krem, nrem, kTileKI8 / 4,
+                                kTileN, b_img);
+                amx.tileloadd(1, a_img, kTileKI8);
+                amx.tileloadd(2, b_img, kTileN * 4);
+                amx.tdpbssd(0, 1, 2);
+            }
+            amx.tilestored(0, c_img, kTileN * sizeof(std::int32_t));
+            for (int r = 0; r < mrem; ++r) {
+                float* crow = c + (m0 + r) * n + n0;
+                for (int cc = 0; cc < nrem; ++cc)
+                    crow[cc] = scale *
+                               static_cast<float>(c_img[r * kTileN + cc]);
+            }
+        },
+        1);
+}
+
+Tensor
+matmul(Engine engine, const Tensor& a, const Tensor& b)
+{
+    CPULLM_ASSERT(a.rank() == 2 && b.rank() == 2,
+                  "matmul expects rank-2 operands, got ",
+                  shapeToString(a.shape()), " x ",
+                  shapeToString(b.shape()));
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    const std::int64_t n = b.dim(1);
+    CPULLM_ASSERT(b.dim(0) == k, "matmul inner dimension mismatch: ",
+                  shapeToString(a.shape()), " x ",
+                  shapeToString(b.shape()));
+
+    Tensor out({m, n}, DType::F32);
+    float* cp = out.data<float>();
+
+    switch (engine) {
+      case Engine::Reference: {
+        const Tensor af = a.dtype() == DType::F32 ? a.cast(DType::F32)
+                                                  : a.cast(DType::F32);
+        const Tensor bf = b.cast(DType::F32);
+        gemmRef(af.data<float>(), bf.data<float>(), cp, m, n, k);
+        return out;
+      }
+      case Engine::AmxBf16: {
+        const Tensor ab = a.dtype() == DType::BF16 ? a.cast(DType::BF16)
+                                                   : a.cast(DType::BF16);
+        const Tensor bb = b.cast(DType::BF16);
+        gemmAmxBf16(ab.data<BFloat16>(), bb.data<BFloat16>(), cp, m, n,
+                    k);
+        return out;
+      }
+      case Engine::Avx512Bf16: {
+        const Tensor ab = a.cast(DType::BF16);
+        const Tensor bb = b.cast(DType::BF16);
+        gemmAvx512Bf16(ab.data<BFloat16>(), bb.data<BFloat16>(), cp, m,
+                       n, k);
+        return out;
+      }
+      case Engine::AmxI8: {
+        // Per-tensor symmetric quantization from the observed range.
+        float amax = 0.0f, bmax = 0.0f;
+        for (std::int64_t i = 0; i < a.size(); ++i)
+            amax = std::max(amax, std::fabs(a.at(i)));
+        for (std::int64_t i = 0; i < b.size(); ++i)
+            bmax = std::max(bmax, std::fabs(b.at(i)));
+        const QuantParams qa = QuantParams::forAbsMax(amax);
+        const QuantParams qb = QuantParams::forAbsMax(bmax);
+        std::vector<std::int8_t> aq(static_cast<size_t>(a.size()));
+        std::vector<std::int8_t> bq(static_cast<size_t>(b.size()));
+        for (std::int64_t i = 0; i < a.size(); ++i)
+            aq[static_cast<size_t>(i)] = qa.quantize(a.at(i));
+        for (std::int64_t i = 0; i < b.size(); ++i)
+            bq[static_cast<size_t>(i)] = qb.quantize(b.at(i));
+        gemmAmxI8(aq.data(), bq.data(), cp, m, n, k, qa.scale, qb.scale);
+        return out;
+      }
+    }
+    CPULLM_PANIC("unhandled engine");
+}
+
+} // namespace gemm
+} // namespace cpullm

@@ -1,0 +1,73 @@
+#ifndef CPULLM_GEMM_GEMM_H
+#define CPULLM_GEMM_GEMM_H
+
+/**
+ * @file
+ * Blocked GEMM kernels over the emulated matrix engines. All kernels
+ * compute C[M,N] = A[M,K] * B[K,N] with row-major operands:
+ *
+ *  - gemmRef:       FP32 reference (ground truth for tests)
+ *  - gemmAmxBf16:   BF16 inputs through the functional AMX tiles
+ *                   (Sapphire Rapids path)
+ *  - gemmAvx512Bf16: BF16 inputs through the functional VDPBF16PS
+ *                   vector kernel (IceLake path)
+ *  - gemmAmxI8:     symmetric INT8 through TDPBSSD with FP32 output
+ *
+ * All BF16/INT8 kernels accumulate in FP32/INT32 exactly as the
+ * instructions define, so the three paths agree to within BF16
+ * rounding of the inputs.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "numerics/bf16.h"
+#include "numerics/dtype.h"
+#include "tensor/tensor.h"
+
+namespace cpullm {
+namespace gemm {
+
+/** Which emulated engine executes a GEMM. */
+enum class Engine {
+    Reference, ///< plain FP32 loops
+    AmxBf16,   ///< Sapphire Rapids AMX tiles
+    Avx512Bf16, ///< IceLake AVX-512 VDPBF16PS
+    AmxI8,     ///< AMX INT8 (TDPBSSD)
+};
+
+/** Human-readable engine name. */
+std::string engineName(Engine e);
+
+/** FP32 reference: C = A*B. A:[M,K] B:[K,N] C:[M,N], row-major. */
+void gemmRef(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k);
+
+/** BF16 GEMM on the functional AMX unit; FP32 output. */
+void gemmAmxBf16(const BFloat16* a, const BFloat16* b, float* c,
+                 std::int64_t m, std::int64_t n, std::int64_t k);
+
+/** BF16 GEMM on the functional AVX-512 BF16 kernel; FP32 output. */
+void gemmAvx512Bf16(const BFloat16* a, const BFloat16* b, float* c,
+                    std::int64_t m, std::int64_t n, std::int64_t k);
+
+/**
+ * Symmetric INT8 GEMM through TDPBSSD; output dequantized to FP32
+ * using scale_a * scale_b.
+ */
+void gemmAmxI8(const std::int8_t* a, const std::int8_t* b, float* c,
+               std::int64_t m, std::int64_t n, std::int64_t k,
+               float scale_a, float scale_b);
+
+/**
+ * Tensor-level facade: dispatch on @p engine. FP32 inputs are
+ * converted to the engine's native dtype first (mirroring what a BF16
+ * inference stack does to weights/activations). Returns an FP32
+ * tensor [M,N].
+ */
+Tensor matmul(Engine engine, const Tensor& a, const Tensor& b);
+
+} // namespace gemm
+} // namespace cpullm
+
+#endif // CPULLM_GEMM_GEMM_H

@@ -1,0 +1,101 @@
+#include "gemm/pack.h"
+
+#include <cstring>
+
+namespace cpullm {
+namespace gemm {
+
+void
+packATile(const BFloat16* src, std::int64_t ld, std::int64_t r0,
+          std::int64_t c0, int rows, int cols, int tile_rows,
+          int tile_cols, BFloat16* dst)
+{
+    for (int r = 0; r < tile_rows; ++r) {
+        BFloat16* out = dst + static_cast<std::int64_t>(r) * tile_cols;
+        if (r < rows) {
+            const BFloat16* in = src + (r0 + r) * ld + c0;
+            int c = 0;
+            for (; c < cols; ++c)
+                out[c] = in[c];
+            for (; c < tile_cols; ++c)
+                out[c] = BFloat16();
+        } else {
+            for (int c = 0; c < tile_cols; ++c)
+                out[c] = BFloat16();
+        }
+    }
+}
+
+void
+packBTileVnni(const BFloat16* src, std::int64_t ld, std::int64_t k0,
+              std::int64_t n0, int k, int n, int tile_kpairs, int tile_n,
+              BFloat16* dst)
+{
+    for (int p = 0; p < tile_kpairs; ++p) {
+        BFloat16* out =
+            dst + static_cast<std::int64_t>(p) * (2 * tile_n);
+        const int klo = 2 * p;
+        const int khi = 2 * p + 1;
+        for (int c = 0; c < tile_n; ++c) {
+            BFloat16 lo, hi;
+            if (c < n && klo < k)
+                lo = src[(k0 + klo) * ld + n0 + c];
+            if (c < n && khi < k)
+                hi = src[(k0 + khi) * ld + n0 + c];
+            out[2 * c] = lo;
+            out[2 * c + 1] = hi;
+        }
+    }
+}
+
+void
+packATileI8(const std::int8_t* src, std::int64_t ld, std::int64_t r0,
+            std::int64_t c0, int rows, int cols, int tile_rows,
+            int tile_cols, std::int8_t* dst)
+{
+    for (int r = 0; r < tile_rows; ++r) {
+        std::int8_t* out = dst + static_cast<std::int64_t>(r) * tile_cols;
+        if (r < rows) {
+            const std::int8_t* in = src + (r0 + r) * ld + c0;
+            int c = 0;
+            for (; c < cols; ++c)
+                out[c] = in[c];
+            for (; c < tile_cols; ++c)
+                out[c] = 0;
+        } else {
+            std::memset(out, 0, static_cast<size_t>(tile_cols));
+        }
+    }
+}
+
+void
+packBTileVnniI8(const std::int8_t* src, std::int64_t ld, std::int64_t k0,
+                std::int64_t n0, int k, int n, int tile_kquads, int tile_n,
+                std::int8_t* dst)
+{
+    for (int q = 0; q < tile_kquads; ++q) {
+        std::int8_t* out =
+            dst + static_cast<std::int64_t>(q) * (4 * tile_n);
+        for (int c = 0; c < tile_n; ++c) {
+            for (int i = 0; i < 4; ++i) {
+                const int kk = 4 * q + i;
+                std::int8_t v = 0;
+                if (c < n && kk < k)
+                    v = src[(k0 + kk) * ld + n0 + c];
+                out[4 * c + i] = v;
+            }
+        }
+    }
+}
+
+std::vector<BFloat16>
+toBf16(const float* src, std::int64_t count)
+{
+    std::vector<BFloat16> out(static_cast<size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i)
+        out[static_cast<size_t>(i)] = BFloat16(src[i]);
+    return out;
+}
+
+} // namespace gemm
+} // namespace cpullm

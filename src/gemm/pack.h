@@ -1,0 +1,73 @@
+#ifndef CPULLM_GEMM_PACK_H
+#define CPULLM_GEMM_PACK_H
+
+/**
+ * @file
+ * Operand packing for the tiled kernels. AMX's TDPBF16PS consumes the
+ * B operand in VNNI layout: consecutive K elements are interleaved in
+ * pairs so each tile row holds one K-pair across all N columns.
+ * Packing routines zero-pad partial blocks so edge tiles can use the
+ * full 16x64 tile configuration.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "numerics/bf16.h"
+
+namespace cpullm {
+namespace gemm {
+
+/**
+ * Pack a [rows x cols] sub-block of a row-major BF16 matrix into a
+ * tile image of @p tile_rows rows x @p tile_cols BF16 columns,
+ * zero-padded.
+ *
+ * @param src      base of the full matrix
+ * @param ld       leading dimension (elements) of the full matrix
+ * @param r0,c0    top-left of the block within the matrix
+ * @param rows,cols valid extent of the block (<= tile dims)
+ * @param dst      tile image, tile_rows*tile_cols elements
+ */
+void packATile(const BFloat16* src, std::int64_t ld, std::int64_t r0,
+               std::int64_t c0, int rows, int cols, int tile_rows,
+               int tile_cols, BFloat16* dst);
+
+/**
+ * Pack a K x N sub-block of a row-major BF16 matrix into VNNI pair
+ * layout: output row p holds, for each column n, the pair
+ * (src[2p][n], src[2p+1][n]). Odd K is padded with zero.
+ *
+ * @param dst tile image of tile_kpairs rows x (2*tile_n) BF16 elements
+ */
+void packBTileVnni(const BFloat16* src, std::int64_t ld, std::int64_t k0,
+                   std::int64_t n0, int k, int n, int tile_kpairs,
+                   int tile_n, BFloat16* dst);
+
+/**
+ * INT8 variant of packATile (quads along K, no interleave needed for
+ * the A operand).
+ */
+void packATileI8(const std::int8_t* src, std::int64_t ld, std::int64_t r0,
+                 std::int64_t c0, int rows, int cols, int tile_rows,
+                 int tile_cols, std::int8_t* dst);
+
+/**
+ * Pack a K x N INT8 block into VNNI quad layout: output row q holds,
+ * for each column n, the quad (src[4q][n] .. src[4q+3][n]), zero
+ * padded when K is not a multiple of 4.
+ */
+void packBTileVnniI8(const std::int8_t* src, std::int64_t ld,
+                     std::int64_t k0, std::int64_t n0, int k, int n,
+                     int tile_kquads, int tile_n, std::int8_t* dst);
+
+/**
+ * Convert a full row-major FP32 matrix to BF16 (round-nearest-even),
+ * the precision weights are stored in.
+ */
+std::vector<BFloat16> toBf16(const float* src, std::int64_t count);
+
+} // namespace gemm
+} // namespace cpullm
+
+#endif // CPULLM_GEMM_PACK_H

@@ -1,0 +1,269 @@
+#include "gpu/gpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/units.h"
+
+namespace cpullm {
+namespace gpu {
+
+namespace {
+
+double
+tileUtil(std::int64_t x, std::int64_t tile)
+{
+    if (x <= 0)
+        return 1.0;
+    const std::int64_t tiles = (x + tile - 1) / tile;
+    return static_cast<double>(x) / static_cast<double>(tiles * tile);
+}
+
+} // namespace
+
+GpuPerfModel::GpuPerfModel(const hw::GpuConfig& gpu,
+                           GpuCalibration calibration)
+    : gpu_(gpu), cal_(calibration)
+{
+}
+
+std::uint64_t
+GpuPerfModel::memoryBudget() const
+{
+    return static_cast<std::uint64_t>(
+        static_cast<double>(gpu_.memory.capacityBytes) *
+        (1.0 - cal_.memoryReserve));
+}
+
+GpuPlacement
+GpuPerfModel::choosePlacement(const model::ModelSpec& spec,
+                              const perf::Workload& w) const
+{
+    const std::uint64_t weights = spec.weightBytes(w.dtype);
+    const std::uint64_t kvc =
+        spec.kvCacheBytes(w.finalSeqLen(), w.batch, w.kvDtype);
+    const std::uint64_t act = spec.activationBytes(
+        w.batch * w.promptLen, w.finalSeqLen(), DType::BF16);
+    if (weights + kvc + act <= memoryBudget())
+        return GpuPlacement::Resident;
+    return GpuPlacement::Offloaded;
+}
+
+double
+GpuPerfModel::gemmEfficiency(std::int64_t m, std::int64_t n,
+                             std::int64_t k) const
+{
+    // Ramp reaches the ceiling once min(n, k) ~ tensorRampHalfSize.
+    const double s = static_cast<double>(std::min(n, k));
+    const double ramp =
+        std::min(1.0, 2.0 * s / (s + cal_.tensorRampHalfSize));
+    return cal_.tensorBaseEfficiency * tileUtil(m, 16) * ramp;
+}
+
+GpuPerfModel::StepCost
+GpuPerfModel::timeStep(const model::ModelSpec& spec, perf::Phase phase,
+                       const perf::Workload& w, std::int64_t ctx_len,
+                       GpuPlacement placement) const
+{
+    const std::vector<perf::OpDesc> ops =
+        perf::buildPhaseOps(spec, phase, w, ctx_len);
+    const double gpu_bw = gpu_.memory.bandwidth;
+    const double pcie_bw = gpu_.pcie.effectiveBandwidth();
+
+    StepCost cost;
+    double gpu_compute = 0.0;
+    double gpu_memory = 0.0;
+    double kv_bytes = 0.0;
+    double act_bytes = 0.0;
+    double weight_bytes = 0.0;
+
+    for (const auto& op : ops) {
+        weight_bytes += static_cast<double>(op.weightBytes);
+        act_bytes += static_cast<double>(op.actBytes);
+        switch (op.kind) {
+          case perf::OpKind::Gemm:
+            gpu_compute += op.flops /
+                           (gpu_.bf16Flops *
+                            gemmEfficiency(op.m, op.n, op.k));
+            break;
+          case perf::OpKind::Attention:
+            kv_bytes += static_cast<double>(op.kvBytes);
+            if (placement == GpuPlacement::Resident ||
+                phase == perf::Phase::Prefill) {
+                // On-GPU attention (tensor cores, fused kernels).
+                gpu_compute += op.flops / (gpu_.bf16Flops * 0.35);
+            }
+            break;
+          case perf::OpKind::Elementwise:
+          case perf::OpKind::Embedding:
+            gpu_compute += op.flops / gpu_.fp32Flops;
+            break;
+        }
+    }
+    // Device-memory streaming of weights (resident or staged) plus
+    // activations; KV streams from device memory only when resident.
+    gpu_memory = (weight_bytes + act_bytes) / gpu_bw;
+    if (placement == GpuPlacement::Resident)
+        gpu_memory += kv_bytes / gpu_bw;
+
+    cost.overhead =
+        static_cast<double>(ops.size()) * cal_.kernelOverhead;
+    cost.gpuBusy = std::max(gpu_compute, gpu_memory);
+
+    if (placement == GpuPlacement::Resident) {
+        cost.transfer = 0.0;
+        cost.cpuAttention = 0.0;
+        cost.total = cost.gpuBusy + cost.overhead;
+        cost.visibleLoad = 0.0;
+        return cost;
+    }
+
+    // ---- Offloaded step (FlexGen) ----------------------------------
+    // Weights stream from host DRAM over PCIe once per step; the
+    // zig-zag block schedule reuses each layer's weights across the
+    // whole batch before moving on.
+    cost.transfer = weight_bytes / pcie_bw;
+
+    if (phase == perf::Phase::Decode) {
+        // KV lives on the host; decode attention runs there to avoid
+        // shipping the cache across PCIe.
+        cost.cpuAttention = kv_bytes / cal_.cpuAttentionBandwidth;
+    } else {
+        // Prefill attention runs on the GPU; freshly produced KV
+        // entries are written back to host DRAM over PCIe.
+        cost.transfer += kv_bytes / pcie_bw;
+    }
+
+    // Per-layer activation shuttling between host and device.
+    const double act_pcie =
+        2.0 * static_cast<double>(w.batch) *
+        (phase == perf::Phase::Prefill ? w.promptLen : 1) *
+        static_cast<double>(spec.dModel) * dtypeSize(w.dtype) *
+        static_cast<double>(spec.numLayers) / pcie_bw;
+
+    cost.overhead += static_cast<double>(spec.numLayers) *
+                         cal_.offloadLayerOverhead +
+                     act_pcie;
+
+    const double non_transfer =
+        cost.gpuBusy + cost.cpuAttention + cost.overhead;
+    const double overlap_eff =
+        static_cast<double>(w.batch) /
+        (static_cast<double>(w.batch) + cal_.overlapHalfBatch);
+    const double hidden =
+        overlap_eff * std::min(cost.transfer, non_transfer);
+
+    cost.total = cost.transfer + non_transfer - hidden;
+    cost.visibleLoad = cost.transfer - hidden;
+    return cost;
+}
+
+GpuRunResult
+GpuPerfModel::run(const model::ModelSpec& spec,
+                  const perf::Workload& w) const
+{
+    CPULLM_ASSERT(w.batch >= 1 && w.promptLen >= 1 && w.genLen >= 1,
+                  "degenerate workload");
+    const GpuPlacement placement = choosePlacement(spec, w);
+
+    if (placement == GpuPlacement::Offloaded) {
+        const std::uint64_t state =
+            spec.weightBytes(w.dtype) +
+            spec.kvCacheBytes(w.finalSeqLen(), w.batch, w.kvDtype);
+        if (state > gpu_.hostMemoryBytes) {
+            CPULLM_FATAL("offloaded state (", formatBytes(state),
+                         ") exceeds host DRAM (",
+                         formatBytes(gpu_.hostMemoryBytes), ")");
+        }
+    }
+
+    GpuRunResult r;
+    r.placement = placement;
+
+    const StepCost pre =
+        timeStep(spec, perf::Phase::Prefill, w, w.promptLen, placement);
+    r.prefillBreakdown.pcieLoadTime = pre.visibleLoad;
+    r.prefillBreakdown.gpuComputeTime = pre.gpuBusy;
+    r.prefillBreakdown.cpuAttentionTime = pre.cpuAttention;
+    r.prefillBreakdown.otherTime = pre.overhead;
+    r.prefillBreakdown.totalTime = pre.total;
+
+    const std::int64_t steps = w.genLen - 1;
+    OffloadBreakdown dec;
+    for (std::int64_t s = 0; s < steps; ++s) {
+        const StepCost step = timeStep(spec, perf::Phase::Decode, w,
+                                       w.promptLen + s + 1, placement);
+        dec.pcieLoadTime += step.visibleLoad;
+        dec.gpuComputeTime += step.gpuBusy;
+        dec.cpuAttentionTime += step.cpuAttention;
+        dec.otherTime += step.overhead;
+        dec.totalTime += step.total;
+    }
+
+    r.totalBreakdown.pcieLoadTime =
+        r.prefillBreakdown.pcieLoadTime + dec.pcieLoadTime;
+    r.totalBreakdown.gpuComputeTime =
+        r.prefillBreakdown.gpuComputeTime + dec.gpuComputeTime;
+    r.totalBreakdown.cpuAttentionTime =
+        r.prefillBreakdown.cpuAttentionTime + dec.cpuAttentionTime;
+    r.totalBreakdown.otherTime =
+        r.prefillBreakdown.otherTime + dec.otherTime;
+    r.totalBreakdown.totalTime =
+        r.prefillBreakdown.totalTime + dec.totalTime;
+
+    r.decodeBreakdown = dec;
+    if (steps > 0) {
+        const double inv = 1.0 / static_cast<double>(steps);
+        r.decodeBreakdown.pcieLoadTime *= inv;
+        r.decodeBreakdown.gpuComputeTime *= inv;
+        r.decodeBreakdown.cpuAttentionTime *= inv;
+        r.decodeBreakdown.otherTime *= inv;
+        r.decodeBreakdown.totalTime *= inv;
+    }
+
+    perf::InferenceTiming& t = r.timing;
+    t.ttft = pre.total;
+    t.decodeTime = dec.totalTime;
+    t.tpot = steps > 0 ? dec.totalTime / static_cast<double>(steps)
+                       : 0.0;
+    t.e2eLatency = t.ttft + t.decodeTime;
+    t.totalThroughput =
+        static_cast<double>(w.generatedTokens()) / t.e2eLatency;
+    t.prefillThroughput =
+        static_cast<double>(w.batch * w.promptLen) / t.ttft;
+    t.decodeThroughput =
+        steps > 0 ? static_cast<double>(w.batch * steps) / dec.totalTime
+                  : 0.0;
+    t.prefill.totalTime = pre.total;
+    t.prefill.computeTime = pre.gpuBusy;
+    t.prefill.overheadTime = pre.overhead;
+    t.decodeStep.totalTime = r.decodeBreakdown.totalTime;
+    t.decodeStep.computeTime = r.decodeBreakdown.gpuComputeTime;
+    t.decodeStep.overheadTime = r.decodeBreakdown.otherTime;
+    return r;
+}
+
+double
+GpuPerfModel::gemmThroughput(std::int64_t m, std::int64_t n,
+                             std::int64_t k, DType dtype) const
+{
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) *
+                         static_cast<double>(k);
+    const double bytes = static_cast<double>(
+        (static_cast<std::uint64_t>(m) * k +
+         static_cast<std::uint64_t>(k) * n +
+         static_cast<std::uint64_t>(m) * n) *
+        dtypeSize(dtype));
+    const double compute =
+        flops / (gpu_.bf16Flops * gemmEfficiency(m, n, k));
+    const double memory = bytes / gpu_.memory.bandwidth;
+    const double time =
+        std::max(compute, memory) + cal_.kernelOverhead;
+    return flops / time;
+}
+
+} // namespace gpu
+} // namespace cpullm

@@ -1,0 +1,139 @@
+#ifndef CPULLM_GPU_GPU_MODEL_H
+#define CPULLM_GPU_GPU_MODEL_H
+
+/**
+ * @file
+ * GPU inference timing model with FlexGen-style offloading.
+ *
+ * Placement policy (Section V of the paper): when the model state
+ * (weights + KV + activations) fits in GPU memory (after a workspace
+ * reserve), inference runs fully resident. Otherwise the engine
+ * offloads: weights live in host DRAM and stream over PCIe layer by
+ * layer each step (FlexGen's published configurations place the
+ * weights of over-capacity models fully on the CPU), the KV cache
+ * lives in host DRAM, decode attention executes on the host CPU, and
+ * zig-zag block scheduling overlaps PCIe transfer with computation
+ * with an effectiveness that grows with batch size (Fig 18).
+ */
+
+#include "hw/gpu.h"
+#include "model/spec.h"
+#include "perf/ops.h"
+#include "perf/timing.h"
+#include "perf/workload.h"
+
+namespace cpullm {
+namespace gpu {
+
+/** Calibration constants of the GPU/offload model. */
+struct GpuCalibration
+{
+    /** Tensor-core GEMM efficiency ceiling. */
+    double tensorBaseEfficiency = 0.80;
+    /** Dimension at which the tensor-core ramp reaches half. */
+    double tensorRampHalfSize = 1536.0;
+    /** Kernel launch + framework cost per operator, seconds. */
+    double kernelOverhead = 5e-6;
+    /** Extra per-layer runtime cost in offload mode (FlexGen). */
+    double offloadLayerOverhead = 0.3e-3;
+    /** Effective bandwidth of FlexGen's host-side attention. */
+    double cpuAttentionBandwidth = 16.0e9;
+    /** GPU memory fraction reserved for workspace/fragmentation. */
+    double memoryReserve = 0.15;
+    /** Zig-zag overlap efficiency = batch / (batch + this). */
+    double overlapHalfBatch = 32.0;
+};
+
+/** Where inference state lives for one run. */
+enum class GpuPlacement {
+    Resident, ///< weights + KV + activations fit in GPU memory
+    Offloaded ///< weights/KV in host DRAM, streamed over PCIe
+};
+
+/** Execution time decomposition of offloading inference (Fig 18). */
+struct OffloadBreakdown
+{
+    double pcieLoadTime = 0.0;     ///< visible (un-hidden) PCIe time
+    double gpuComputeTime = 0.0;   ///< GEMMs + on-GPU attention
+    double cpuAttentionTime = 0.0; ///< host-side decode attention
+    double otherTime = 0.0;        ///< framework / kernel overheads
+    double totalTime = 0.0;
+
+    /** Fraction of time spent loading over PCIe. */
+    double
+    loadFraction() const
+    {
+        return totalTime > 0.0 ? pcieLoadTime / totalTime : 0.0;
+    }
+};
+
+/** Result of one simulated GPU run. */
+struct GpuRunResult
+{
+    perf::InferenceTiming timing;
+    GpuPlacement placement = GpuPlacement::Resident;
+    OffloadBreakdown prefillBreakdown;
+    /** Per-step average decode breakdown. */
+    OffloadBreakdown decodeBreakdown;
+    /** Whole-run breakdown (prefill + all decode steps). */
+    OffloadBreakdown totalBreakdown;
+};
+
+/** Analytical GPU inference model for one board. */
+class GpuPerfModel
+{
+  public:
+    explicit GpuPerfModel(const hw::GpuConfig& gpu,
+                          GpuCalibration calibration = {});
+
+    const hw::GpuConfig& gpu() const { return gpu_; }
+    const GpuCalibration& calibration() const { return cal_; }
+
+    /** GPU memory available to model state, bytes. */
+    std::uint64_t memoryBudget() const;
+
+    /** Placement the engine would choose for this run. */
+    GpuPlacement choosePlacement(const model::ModelSpec& spec,
+                                 const perf::Workload& w) const;
+
+    /** Simulate a full request. fatal() if host DRAM cannot hold it. */
+    GpuRunResult run(const model::ModelSpec& spec,
+                     const perf::Workload& w) const;
+
+    /** Achieved GEMM throughput for Fig 1. */
+    double gemmThroughput(std::int64_t m, std::int64_t n,
+                          std::int64_t k, DType dtype) const;
+
+    /** Dimension-dependent tensor-core efficiency. */
+    double gemmEfficiency(std::int64_t m, std::int64_t n,
+                          std::int64_t k) const;
+
+    /** Cost decomposition of one phase step. */
+    struct StepCost
+    {
+        double transfer = 0.0;     ///< PCIe weight/KV streaming
+        double gpuBusy = 0.0;      ///< max(compute, device memory)
+        double cpuAttention = 0.0;
+        double overhead = 0.0;
+        double total = 0.0;        ///< after overlap
+        double visibleLoad = 0.0;  ///< transfer minus hidden part
+    };
+
+    /**
+     * Time one phase step under an explicit placement (exposed for
+     * the hybrid CPU-GPU execution model, which forces Resident on
+     * the GPU's share of the layers).
+     */
+    StepCost timeStep(const model::ModelSpec& spec, perf::Phase phase,
+                      const perf::Workload& w, std::int64_t ctx_len,
+                      GpuPlacement placement) const;
+
+  private:
+    hw::GpuConfig gpu_;
+    GpuCalibration cal_;
+};
+
+} // namespace gpu
+} // namespace cpullm
+
+#endif // CPULLM_GPU_GPU_MODEL_H

@@ -1,0 +1,147 @@
+#include "hw/cpu.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/units.h"
+
+namespace cpullm {
+namespace hw {
+
+std::string
+memKindName(MemKind kind)
+{
+    switch (kind) {
+      case MemKind::DDR4:
+        return "DDR4";
+      case MemKind::DDR5:
+        return "DDR5";
+      case MemKind::HBM2e:
+        return "HBM2e";
+      case MemKind::GpuHBM:
+        return "GPU-HBM";
+      case MemKind::CXL:
+        return "CXL";
+    }
+    CPULLM_PANIC("unhandled MemKind");
+}
+
+std::uint64_t
+CpuConfig::totalMemoryBytes() const
+{
+    std::uint64_t per_socket = ddr.capacityBytes;
+    if (hbm)
+        per_socket += hbm->capacityBytes;
+    if (cxl)
+        per_socket += cxl->capacityBytes;
+    return per_socket * static_cast<std::uint64_t>(sockets);
+}
+
+CpuConfig
+iclXeon8352Y()
+{
+    CpuConfig c;
+    c.name = "Xeon 3rd 8352Y";
+    c.generation = "IceLake (ICL)";
+    c.shortName = "icl";
+    c.coresPerSocket = 32;
+    c.sockets = 2;
+    c.coreFrequency = 2.20 * GHz;
+
+    // Table I: 18.0 TFLOPS BF16 via AVX-512 per socket. ICL has no
+    // AMX; BF16 runs through FP32 FMA after upconversion, which the
+    // 18.0 figure already reflects.
+    c.compute.avx512Bf16FlopsPerSocket = 18.0 * TFLOPS;
+    c.compute.avx512Int8OpsPerSocket = 36.0 * TFLOPS; // AVX512-VNNI
+    c.compute.amxBf16FlopsPerSocket = 0.0;
+    c.compute.amxInt8OpsPerSocket = 0.0;
+
+    c.cache.l1dPerCore = 48 * KiB;
+    c.cache.l2PerCore = 1280 * KiB; // 1.25 MB
+    c.cache.l3Shared = 48 * MiB;
+
+    c.ddr.kind = MemKind::DDR4;
+    c.ddr.capacityBytes = 128 * GiB; // 256 GB across two sockets
+    c.ddr.bandwidth = 156.2 * GB;    // STREAM, single socket
+    c.ddr.latency = 95e-9;
+    c.ddr.streamEfficiency = 0.78;
+
+    c.upi.name = "UPI 11.2GT/s x3";
+    c.upi.bandwidth = 41.6 * GB;
+    c.upi.efficiency = 0.75;
+    c.upi.latency = 600e-9;
+    return c;
+}
+
+CpuConfig
+sprXeonMax9468()
+{
+    CpuConfig c;
+    c.name = "Xeon 4th Max 9468";
+    c.generation = "Sapphire Rapids (SPR)";
+    c.shortName = "spr";
+    c.coresPerSocket = 48;
+    c.sockets = 2;
+    c.coreFrequency = 2.10 * GHz;
+
+    // Table I: 25.6 TFLOPS (AVX-512) / 206.4 TFLOPS (AMX) per socket.
+    // AMX peak: 48 cores x 2.1 GHz x 1024 BF16 MAC/cycle = 206.4e12.
+    c.compute.avx512Bf16FlopsPerSocket = 25.6 * TFLOPS;
+    c.compute.avx512Int8OpsPerSocket = 51.2 * TFLOPS; // AVX512-VNNI
+    c.compute.amxBf16FlopsPerSocket = 206.4 * TFLOPS;
+    c.compute.amxInt8OpsPerSocket = 412.8 * TFLOPS; // 2x BF16 rate
+
+    c.cache.l1dPerCore = 48 * KiB;
+    c.cache.l2PerCore = 2 * MiB;
+    c.cache.l3Shared = 105 * MiB;
+
+    c.ddr.kind = MemKind::DDR5;
+    c.ddr.capacityBytes = 256 * GiB; // 512 GB across two sockets
+    c.ddr.bandwidth = 233.8 * GB;    // STREAM, single socket
+    c.ddr.latency = 90e-9;
+    c.ddr.streamEfficiency = 0.88;
+
+    MemoryDeviceConfig hbm;
+    hbm.kind = MemKind::HBM2e;
+    hbm.capacityBytes = 64 * GiB; // 128 GB across two sockets
+    hbm.bandwidth = 588.0 * GB;   // STREAM, single socket
+    hbm.latency = 115e-9;         // HBM trades latency for bandwidth
+    hbm.streamEfficiency = 0.95;
+    c.hbm = hbm;
+
+    c.upi.name = "UPI 16GT/s x4";
+    c.upi.bandwidth = 62.4 * GB;
+    c.upi.efficiency = 0.75;
+    c.upi.latency = 550e-9;
+    return c;
+}
+
+CpuConfig
+sprXeonMax9468WithCxl(std::uint64_t capacity_per_socket)
+{
+    CpuConfig c = sprXeonMax9468();
+    MemoryDeviceConfig cxl;
+    cxl.kind = MemKind::CXL;
+    cxl.capacityBytes = capacity_per_socket;
+    // CXL 1.1 x8 expander: ~PCIe5 x8 wire rate, ~64 GB/s raw,
+    // far-memory latency in the 200-300 ns range.
+    cxl.bandwidth = 56.0 * GB;
+    cxl.latency = 250e-9;
+    cxl.streamEfficiency = 0.85;
+    c.cxl = cxl;
+    return c;
+}
+
+CpuConfig
+cpuByName(const std::string& short_name)
+{
+    const std::string n = toLower(short_name);
+    if (n == "icl" || n == "8352y" || n == "icelake")
+        return iclXeon8352Y();
+    if (n == "spr" || n == "9468" || n == "sapphirerapids" ||
+        n == "spr-max")
+        return sprXeonMax9468();
+    CPULLM_FATAL("unknown CPU '", short_name, "' (try: icl, spr)");
+}
+
+} // namespace hw
+} // namespace cpullm

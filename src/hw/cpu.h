@@ -1,0 +1,107 @@
+#ifndef CPULLM_HW_CPU_H
+#define CPULLM_HW_CPU_H
+
+/**
+ * @file
+ * CPU chip descriptions. The two presets mirror Table I of the paper:
+ * the Xeon 3rd-gen 8352Y ("ICL CPU", AVX-512 only, DDR4) and the Xeon
+ * 4th-gen Max 9468 ("SPR CPU", AMX + DDR5 + on-package HBM).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "hw/types.h"
+#include "numerics/dtype.h"
+
+namespace cpullm {
+namespace hw {
+
+/** Matrix-compute capability of one CPU core generation. */
+struct CpuComputeConfig
+{
+    /** Peak BF16 FLOP/s of one socket through AVX-512 (VDPBF16PS). */
+    double avx512Bf16FlopsPerSocket = 0.0;
+    /** Peak INT8 OP/s of one socket through AVX-512 VNNI. */
+    double avx512Int8OpsPerSocket = 0.0;
+    /** Peak BF16 FLOP/s of one socket through AMX (0 = no AMX). */
+    double amxBf16FlopsPerSocket = 0.0;
+    /** Peak INT8 OP/s of one socket through AMX (0 = no AMX). */
+    double amxInt8OpsPerSocket = 0.0;
+
+    bool hasAmx() const { return amxBf16FlopsPerSocket > 0.0; }
+
+    /** Best available BF16 peak for one socket. */
+    double
+    bestBf16FlopsPerSocket() const
+    {
+        return hasAmx() ? amxBf16FlopsPerSocket
+                        : avx512Bf16FlopsPerSocket;
+    }
+
+    /** Best available peak for one socket at a given GEMM dtype. */
+    double
+    bestFlopsPerSocket(DType dtype) const
+    {
+        if (dtype == DType::I8) {
+            return hasAmx() ? amxInt8OpsPerSocket
+                            : avx512Int8OpsPerSocket;
+        }
+        return bestBf16FlopsPerSocket();
+    }
+};
+
+/** A CPU chip / server description. */
+struct CpuConfig
+{
+    std::string name;       ///< e.g. "Xeon Max 9468"
+    std::string generation; ///< e.g. "Sapphire Rapids (SPR)"
+    std::string shortName;  ///< e.g. "spr"
+
+    int coresPerSocket = 0;
+    int sockets = 0;
+    double coreFrequency = 0.0; ///< Hz
+
+    CpuComputeConfig compute;
+    CacheConfig cache;
+
+    /** Commodity DRAM attached to each socket. */
+    MemoryDeviceConfig ddr;
+    /** On-package HBM per socket, if present. */
+    std::optional<MemoryDeviceConfig> hbm;
+    /**
+     * CXL-attached memory expansion per socket, if present (the
+     * capacity-expansion option Section III points at).
+     */
+    std::optional<MemoryDeviceConfig> cxl;
+
+    /** Socket-to-socket interconnect (UPI). */
+    InterconnectConfig upi;
+
+    int totalCores() const { return coresPerSocket * sockets; }
+    bool hasHbm() const { return hbm.has_value(); }
+
+    /** Total DRAM capacity across sockets (DDR + HBM), bytes. */
+    std::uint64_t totalMemoryBytes() const;
+};
+
+/** Xeon 3rd-gen 8352Y (IceLake): Table I, CPU 1. */
+CpuConfig iclXeon8352Y();
+
+/** Xeon 4th-gen Max 9468 (Sapphire Rapids Max): Table I, CPU 2. */
+CpuConfig sprXeonMax9468();
+
+/**
+ * SPR Max 9468 with a CXL 1.1 x8 memory expander per socket
+ * (extension experiment; see DESIGN.md).
+ */
+CpuConfig sprXeonMax9468WithCxl(std::uint64_t capacity_per_socket);
+
+/** Look up a CPU preset by short name ("icl", "spr"); fatal if unknown. */
+CpuConfig cpuByName(const std::string& short_name);
+
+} // namespace hw
+} // namespace cpullm
+
+#endif // CPULLM_HW_CPU_H

@@ -1,0 +1,76 @@
+#include "hw/gpu.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/units.h"
+
+namespace cpullm {
+namespace hw {
+
+GpuConfig
+nvidiaA100()
+{
+    GpuConfig g;
+    g.name = "NVIDIA A100";
+    g.shortName = "a100";
+    g.numSms = 108;
+    g.bf16Flops = 312.0 * TFLOPS; // dense, no sparsity
+    g.fp32Flops = 19.5 * TFLOPS;
+    g.l1PerSm = 192 * KiB;
+    g.l2Shared = 40 * MiB;
+
+    g.memory.kind = MemKind::GpuHBM;
+    g.memory.capacityBytes = 40ULL * GiB;
+    g.memory.bandwidth = 1299.9 * GB; // STREAM-measured (Table II)
+    g.memory.latency = 350e-9;
+
+    g.pcie.name = "PCIe 4.0 x16";
+    g.pcie.bandwidth = 64.0 * GB;
+    g.pcie.efficiency = 0.8;
+    g.pcie.latency = 1.5e-6;
+
+    g.hostMemoryBandwidth = 150.0 * GB;
+    g.hostMemoryBytes = 512ULL * GiB;
+    return g;
+}
+
+GpuConfig
+nvidiaH100()
+{
+    GpuConfig g;
+    g.name = "NVIDIA H100";
+    g.shortName = "h100";
+    g.numSms = 132;
+    g.bf16Flops = 756.0 * TFLOPS; // dense, no sparsity
+    g.fp32Flops = 51.0 * TFLOPS;
+    g.l1PerSm = 256 * KiB;
+    g.l2Shared = 50 * MiB;
+
+    g.memory.kind = MemKind::GpuHBM;
+    g.memory.capacityBytes = 80ULL * GiB;
+    g.memory.bandwidth = 1754.4 * GB; // STREAM-measured (Table II)
+    g.memory.latency = 330e-9;
+
+    g.pcie.name = "PCIe 5.0 x16";
+    g.pcie.bandwidth = 128.0 * GB;
+    g.pcie.efficiency = 0.8;
+    g.pcie.latency = 1.2e-6;
+
+    g.hostMemoryBandwidth = 180.0 * GB;
+    g.hostMemoryBytes = 512ULL * GiB;
+    return g;
+}
+
+GpuConfig
+gpuByName(const std::string& short_name)
+{
+    const std::string n = toLower(short_name);
+    if (n == "a100" || n == "a100-40gb")
+        return nvidiaA100();
+    if (n == "h100" || n == "h100-80gb")
+        return nvidiaH100();
+    CPULLM_FATAL("unknown GPU '", short_name, "' (try: a100, h100)");
+}
+
+} // namespace hw
+} // namespace cpullm

@@ -1,0 +1,61 @@
+#ifndef CPULLM_HW_GPU_H
+#define CPULLM_HW_GPU_H
+
+/**
+ * @file
+ * GPU board descriptions. The two presets mirror Table II of the
+ * paper: NVIDIA A100-40GB (PCIe 4.0 host link) and H100-80GB
+ * (PCIe 5.0 host link).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "hw/types.h"
+
+namespace cpullm {
+namespace hw {
+
+/** A GPU board plus its host link, as used for offloading inference. */
+struct GpuConfig
+{
+    std::string name;      ///< e.g. "NVIDIA H100"
+    std::string shortName; ///< e.g. "h100"
+
+    int numSms = 0;
+    /** Peak dense BF16 FLOP/s (tensor cores, no sparsity). */
+    double bf16Flops = 0.0;
+    /** Peak FP32 (CUDA core) FLOP/s, for non-GEMM ops. */
+    double fp32Flops = 0.0;
+
+    std::uint64_t l1PerSm = 0;
+    std::uint64_t l2Shared = 0;
+
+    /** Device memory. */
+    MemoryDeviceConfig memory;
+
+    /** Host link used to reach CPU DRAM for offloading. */
+    InterconnectConfig pcie;
+
+    /**
+     * Host DRAM bandwidth available to the offload runtime for
+     * CPU-side work (attention over offloaded KV cache), bytes/s.
+     */
+    double hostMemoryBandwidth = 150.0e9;
+    /** Host DRAM capacity available for offloaded state, bytes. */
+    std::uint64_t hostMemoryBytes = 0;
+};
+
+/** NVIDIA A100-40GB over PCIe 4.0 x16: Table II, GPU 1. */
+GpuConfig nvidiaA100();
+
+/** NVIDIA H100-80GB over PCIe 5.0 x16: Table II, GPU 2. */
+GpuConfig nvidiaH100();
+
+/** Look up a GPU preset ("a100", "h100"); fatal if unknown. */
+GpuConfig gpuByName(const std::string& short_name);
+
+} // namespace hw
+} // namespace cpullm
+
+#endif // CPULLM_HW_GPU_H

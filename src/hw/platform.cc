@@ -1,0 +1,162 @@
+#include "hw/platform.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace hw {
+
+std::string
+memoryModeName(MemoryMode mode)
+{
+    switch (mode) {
+      case MemoryMode::DdrOnly:
+        return "ddr";
+      case MemoryMode::HbmOnly:
+        return "hbm_only";
+      case MemoryMode::Flat:
+        return "flat";
+      case MemoryMode::Cache:
+        return "cache";
+    }
+    CPULLM_PANIC("unhandled MemoryMode");
+}
+
+std::string
+clusteringModeName(ClusteringMode mode)
+{
+    switch (mode) {
+      case ClusteringMode::Quadrant:
+        return "quad";
+      case ClusteringMode::Snc4:
+        return "snc";
+    }
+    CPULLM_PANIC("unhandled ClusteringMode");
+}
+
+MemoryMode
+memoryModeFromName(const std::string& name)
+{
+    const std::string n = toLower(name);
+    if (n == "ddr" || n == "ddr_only")
+        return MemoryMode::DdrOnly;
+    if (n == "hbm_only" || n == "hbm")
+        return MemoryMode::HbmOnly;
+    if (n == "flat")
+        return MemoryMode::Flat;
+    if (n == "cache")
+        return MemoryMode::Cache;
+    CPULLM_FATAL("unknown memory mode '", name, "'");
+}
+
+ClusteringMode
+clusteringModeFromName(const std::string& name)
+{
+    const std::string n = toLower(name);
+    if (n == "quad" || n == "quadrant")
+        return ClusteringMode::Quadrant;
+    if (n == "snc" || n == "snc4" || n == "snc-4")
+        return ClusteringMode::Snc4;
+    CPULLM_FATAL("unknown clustering mode '", name, "'");
+}
+
+std::string
+PlatformConfig::label() const
+{
+    return strformat("%s/%s_%s/%dc", cpu.shortName.c_str(),
+                     clusteringModeName(clusteringMode).c_str(),
+                     memoryModeName(memoryMode).c_str(), coresUsed);
+}
+
+void
+validatePlatform(const PlatformConfig& p)
+{
+    if (p.coresUsed <= 0 || p.coresUsed > p.cpu.totalCores()) {
+        CPULLM_FATAL("core count ", p.coresUsed,
+                     " out of range for ", p.cpu.name, " (1-",
+                     p.cpu.totalCores(), ")");
+    }
+    const bool needs_hbm = p.memoryMode == MemoryMode::HbmOnly ||
+                           p.memoryMode == MemoryMode::Flat ||
+                           p.memoryMode == MemoryMode::Cache;
+    if (needs_hbm && !p.cpu.hasHbm()) {
+        CPULLM_FATAL("memory mode '", memoryModeName(p.memoryMode),
+                     "' requires HBM, but ", p.cpu.name,
+                     " has none");
+    }
+}
+
+PlatformConfig
+iclDefaultPlatform()
+{
+    PlatformConfig p;
+    p.cpu = iclXeon8352Y();
+    p.memoryMode = MemoryMode::DdrOnly;
+    p.clusteringMode = ClusteringMode::Quadrant;
+    p.coresUsed = 32;
+    return p;
+}
+
+PlatformConfig
+sprDefaultPlatform()
+{
+    return sprPlatform(ClusteringMode::Quadrant, MemoryMode::Flat, 48);
+}
+
+PlatformConfig
+sprPlatform(ClusteringMode cm, MemoryMode mm, int cores)
+{
+    PlatformConfig p;
+    p.cpu = sprXeonMax9468();
+    p.memoryMode = mm;
+    p.clusteringMode = cm;
+    p.coresUsed = cores;
+    validatePlatform(p);
+    return p;
+}
+
+std::vector<PlatformConfig>
+sprModeSweepPlatforms()
+{
+    return {
+        sprPlatform(ClusteringMode::Quadrant, MemoryMode::Cache, 48),
+        sprPlatform(ClusteringMode::Quadrant, MemoryMode::Flat, 48),
+        sprPlatform(ClusteringMode::Snc4, MemoryMode::Cache, 48),
+        sprPlatform(ClusteringMode::Snc4, MemoryMode::Flat, 48),
+    };
+}
+
+PlatformConfig
+platformByName(const std::string& name)
+{
+    const std::string n = toLower(name);
+    if (n == "icl")
+        return iclDefaultPlatform();
+    if (n == "spr")
+        return sprDefaultPlatform();
+
+    // "cpu/clustering_memory/NNc"
+    const auto parts = split(n, '/');
+    if (parts.size() != 3) {
+        CPULLM_FATAL("bad platform name '", name,
+                     "' (expected e.g. spr/quad_flat/48c)");
+    }
+    PlatformConfig p;
+    p.cpu = cpuByName(parts[0]);
+    const auto modes = split(parts[1], '_');
+    if (modes.size() != 2) {
+        CPULLM_FATAL("bad mode spec '", parts[1],
+                     "' (expected e.g. quad_flat)");
+    }
+    p.clusteringMode = clusteringModeFromName(modes[0]);
+    p.memoryMode = memoryModeFromName(modes[1]);
+    std::string cores = parts[2];
+    if (!cores.empty() && cores.back() == 'c')
+        cores.pop_back();
+    p.coresUsed = std::atoi(cores.c_str());
+    validatePlatform(p);
+    return p;
+}
+
+} // namespace hw
+} // namespace cpullm

@@ -1,0 +1,94 @@
+#ifndef CPULLM_HW_PLATFORM_H
+#define CPULLM_HW_PLATFORM_H
+
+/**
+ * @file
+ * A Platform is a CPU chip plus the server knobs the paper sweeps:
+ * the HBM memory mode (HBM-only / Flat / Cache), the clustering mode
+ * (Quadrant / SNC-4), and the number of cores given to inference.
+ */
+
+#include <string>
+#include <vector>
+
+#include "hw/cpu.h"
+
+namespace cpullm {
+namespace hw {
+
+/** HBM operating modes of the SPR Max series (Section II-E). */
+enum class MemoryMode {
+    DdrOnly,  ///< no HBM present (ICL) or HBM unused
+    HbmOnly,  ///< only HBM visible; capacity-limited
+    Flat,     ///< HBM and DDR as separate NUMA nodes (software managed)
+    Cache,    ///< HBM acts as a memory-side cache in front of DDR
+};
+
+/** Clustering modes (Section II-E). */
+enum class ClusteringMode {
+    Quadrant, ///< one NUMA node per socket
+    Snc4,     ///< four sub-NUMA clusters per socket
+};
+
+std::string memoryModeName(MemoryMode mode);
+std::string clusteringModeName(ClusteringMode mode);
+MemoryMode memoryModeFromName(const std::string& name);
+ClusteringMode clusteringModeFromName(const std::string& name);
+
+/** A fully-specified CPU execution platform. */
+struct PlatformConfig
+{
+    CpuConfig cpu;
+    MemoryMode memoryMode = MemoryMode::DdrOnly;
+    ClusteringMode clusteringMode = ClusteringMode::Quadrant;
+    /** Cores used for inference (numactl-style binding). */
+    int coresUsed = 0;
+
+    /** Sockets spanned by coresUsed. */
+    int
+    socketsUsed() const
+    {
+        return (coresUsed + cpu.coresPerSocket - 1) /
+               cpu.coresPerSocket;
+    }
+
+    bool spansSockets() const { return socketsUsed() > 1; }
+
+    /** e.g. "spr/quad_flat/48c". */
+    std::string label() const;
+};
+
+/**
+ * Validate a platform; fatal() on user errors such as HBM modes on a
+ * chip without HBM or a core count exceeding the machine.
+ */
+void validatePlatform(const PlatformConfig& p);
+
+/** ICL reference platform: 32 cores, DDR4, quadrant (Section IV-B). */
+PlatformConfig iclDefaultPlatform();
+
+/**
+ * SPR reference platform: 48 cores (one socket), quad + flat, the
+ * configuration Key Finding #2/#3 identify as best.
+ */
+PlatformConfig sprDefaultPlatform();
+
+/** SPR with explicit memory/clustering modes and core count. */
+PlatformConfig sprPlatform(ClusteringMode cm, MemoryMode mm, int cores);
+
+/**
+ * The four mode combinations of Fig 13, in the paper's order:
+ * quad_cache, quad_flat, snc_cache, snc_flat (48 cores each).
+ */
+std::vector<PlatformConfig> sprModeSweepPlatforms();
+
+/**
+ * Parse "spr/quad_flat/48c"-style labels (also accepts "icl" and
+ * "spr" shorthands for the default platforms); fatal on bad syntax.
+ */
+PlatformConfig platformByName(const std::string& name);
+
+} // namespace hw
+} // namespace cpullm
+
+#endif // CPULLM_HW_PLATFORM_H

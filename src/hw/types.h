@@ -1,0 +1,76 @@
+#ifndef CPULLM_HW_TYPES_H
+#define CPULLM_HW_TYPES_H
+
+/**
+ * @file
+ * Shared hardware-description types: memory devices, caches, and
+ * chip-to-chip interconnects. Capacities are bytes; bandwidths are
+ * bytes/second (vendor-decimal); latencies are seconds.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace cpullm {
+namespace hw {
+
+/** Kind of memory device attached to a socket or GPU. */
+enum class MemKind {
+    DDR4,
+    DDR5,
+    HBM2e,   ///< on-package HBM of the SPR Max series
+    GpuHBM,  ///< GPU device memory
+    CXL,     ///< CXL-attached memory expansion (Section III)
+};
+
+/** Human-readable kind name. */
+std::string memKindName(MemKind kind);
+
+/** One memory device (per socket for CPUs, per board for GPUs). */
+struct MemoryDeviceConfig
+{
+    MemKind kind = MemKind::DDR5;
+    /** Capacity attached to one socket/board, bytes. */
+    std::uint64_t capacityBytes = 0;
+    /** Peak sustained bandwidth per socket/board, bytes/s (STREAM). */
+    double bandwidth = 0.0;
+    /** Idle access latency, seconds. */
+    double latency = 90e-9;
+    /**
+     * Fraction of STREAM bandwidth achieved by inference access
+     * patterns (mixed reads/writes, GEMV strides). DDR4 degrades the
+     * most; HBM's many channels degrade least.
+     */
+    double streamEfficiency = 0.9;
+};
+
+/** Per-core and shared cache capacities. */
+struct CacheConfig
+{
+    std::uint64_t l1dPerCore = 0;
+    std::uint64_t l2PerCore = 0;
+    /** Shared LLC per socket. */
+    std::uint64_t l3Shared = 0;
+    /** Cache line size, bytes. */
+    std::uint32_t lineSize = 64;
+};
+
+/** A chip-to-chip link (UPI between sockets, PCIe to a GPU). */
+struct InterconnectConfig
+{
+    std::string name;
+    /** Peak bandwidth per direction, bytes/s. */
+    double bandwidth = 0.0;
+    /** Achievable fraction of peak for bulk transfers. */
+    double efficiency = 0.8;
+    /** One-way latency, seconds. */
+    double latency = 500e-9;
+
+    /** Effective bulk-transfer bandwidth. */
+    double effectiveBandwidth() const { return bandwidth * efficiency; }
+};
+
+} // namespace hw
+} // namespace cpullm
+
+#endif // CPULLM_HW_TYPES_H

@@ -1,0 +1,234 @@
+#include "isa/amx.h"
+
+#include <cstring>
+
+#include "numerics/bf16.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace isa {
+
+void
+AmxUnit::ldtilecfg(const TileConfig& cfg)
+{
+    if (cfg.palette == 0) {
+        tilerelease();
+        return;
+    }
+    if (cfg.palette != 1) {
+        throw AmxFault(strformat("ldtilecfg: unsupported palette %u",
+                                 cfg.palette));
+    }
+    for (int t = 0; t < kNumTiles; ++t) {
+        const int r = cfg.rows[static_cast<size_t>(t)];
+        const int cb = cfg.colsb[static_cast<size_t>(t)];
+        // A tile may be unused (0x0) but a partially-zero shape is a
+        // configuration error on hardware.
+        if ((r == 0) != (cb == 0)) {
+            throw AmxFault(strformat(
+                "ldtilecfg: tile %d has rows=%d colsb=%d (must be both "
+                "zero or both non-zero)", t, r, cb));
+        }
+        if (r > kMaxRows || cb > kMaxColsb) {
+            throw AmxFault(strformat(
+                "ldtilecfg: tile %d shape %dx%d exceeds palette-1 "
+                "limits %dx%d", t, r, cb, kMaxRows, kMaxColsb));
+        }
+    }
+    cfg_ = cfg;
+    configured_ = true;
+    for (auto& tile : tiles_)
+        tile.fill(0);
+}
+
+void
+AmxUnit::tilerelease()
+{
+    configured_ = false;
+    cfg_ = TileConfig{};
+    cfg_.palette = 0;
+    for (auto& tile : tiles_)
+        tile.fill(0);
+}
+
+void
+AmxUnit::checkTileIndex(int t) const
+{
+    if (t < 0 || t >= kNumTiles)
+        throw AmxFault(strformat("tile index %d out of range", t));
+}
+
+void
+AmxUnit::checkTileConfigured(int t) const
+{
+    checkTileIndex(t);
+    if (!configured_)
+        throw AmxFault("tile access with no tile configuration loaded");
+    if (cfg_.rows[static_cast<size_t>(t)] == 0)
+        throw AmxFault(strformat("tile %d is not configured", t));
+}
+
+int
+AmxUnit::rows(int t) const
+{
+    checkTileIndex(t);
+    return cfg_.rows[static_cast<size_t>(t)];
+}
+
+int
+AmxUnit::colsb(int t) const
+{
+    checkTileIndex(t);
+    return cfg_.colsb[static_cast<size_t>(t)];
+}
+
+const std::uint8_t*
+AmxUnit::tileData(int t) const
+{
+    checkTileIndex(t);
+    return tiles_[static_cast<size_t>(t)].data();
+}
+
+void
+AmxUnit::tileloadd(int t, const void* base, std::size_t stride_bytes)
+{
+    checkTileConfigured(t);
+    const int r = rows(t);
+    const int cb = colsb(t);
+    const auto* src = static_cast<const std::uint8_t*>(base);
+    auto& tile = tiles_[static_cast<size_t>(t)];
+    // Rows beyond the configured count are architecturally zeroed.
+    tile.fill(0);
+    for (int row = 0; row < r; ++row) {
+        std::memcpy(tile.data() + row * kMaxColsb,
+                    src + static_cast<std::size_t>(row) * stride_bytes,
+                    static_cast<std::size_t>(cb));
+    }
+    ++loads_;
+}
+
+void
+AmxUnit::tilestored(int t, void* base, std::size_t stride_bytes) const
+{
+    checkTileConfigured(t);
+    const int r = rows(t);
+    const int cb = colsb(t);
+    auto* dst = static_cast<std::uint8_t*>(base);
+    const auto& tile = tiles_[static_cast<size_t>(t)];
+    for (int row = 0; row < r; ++row) {
+        std::memcpy(dst + static_cast<std::size_t>(row) * stride_bytes,
+                    tile.data() + row * kMaxColsb,
+                    static_cast<std::size_t>(cb));
+    }
+    ++const_cast<AmxUnit*>(this)->stores_;
+}
+
+void
+AmxUnit::tilezero(int t)
+{
+    checkTileConfigured(t);
+    tiles_[static_cast<size_t>(t)].fill(0);
+}
+
+void
+AmxUnit::tdpbf16ps(int dst, int a, int b)
+{
+    checkTileConfigured(dst);
+    checkTileConfigured(a);
+    checkTileConfigured(b);
+
+    const int m = rows(dst);
+    const int n = colsb(dst) / 4; // FP32 elements per dst row
+    const int a_pairs = colsb(a) / 4; // BF16 pairs per a row
+    if (colsb(dst) % 4 || colsb(a) % 4 || colsb(b) % 4) {
+        throw AmxFault("tdpbf16ps: colsb must be multiples of 4");
+    }
+    if (rows(a) != m) {
+        throw AmxFault(strformat(
+            "tdpbf16ps: rows(a)=%d != rows(dst)=%d", rows(a), m));
+    }
+    if (rows(b) != a_pairs) {
+        throw AmxFault(strformat(
+            "tdpbf16ps: rows(b)=%d != colsb(a)/4=%d", rows(b), a_pairs));
+    }
+    if (colsb(b) != colsb(dst)) {
+        throw AmxFault(strformat(
+            "tdpbf16ps: colsb(b)=%d != colsb(dst)=%d", colsb(b),
+            colsb(dst)));
+    }
+
+    auto& dtile = tiles_[static_cast<size_t>(dst)];
+    const auto& atile = tiles_[static_cast<size_t>(a)];
+    const auto& btile = tiles_[static_cast<size_t>(b)];
+
+    for (int mi = 0; mi < m; ++mi) {
+        auto* drow = reinterpret_cast<float*>(
+            dtile.data() + mi * kMaxColsb);
+        const auto* arow = reinterpret_cast<const BFloat16*>(
+            atile.data() + mi * kMaxColsb);
+        for (int k = 0; k < a_pairs; ++k) {
+            const float a0 = arow[2 * k].toFloat();
+            const float a1 = arow[2 * k + 1].toFloat();
+            const auto* brow = reinterpret_cast<const BFloat16*>(
+                btile.data() + k * kMaxColsb);
+            for (int ni = 0; ni < n; ++ni) {
+                drow[ni] += a0 * brow[2 * ni].toFloat() +
+                            a1 * brow[2 * ni + 1].toFloat();
+            }
+        }
+    }
+    ++tmuls_;
+}
+
+void
+AmxUnit::tdpbssd(int dst, int a, int b)
+{
+    checkTileConfigured(dst);
+    checkTileConfigured(a);
+    checkTileConfigured(b);
+
+    const int m = rows(dst);
+    const int n = colsb(dst) / 4; // INT32 elements per dst row
+    const int a_quads = colsb(a) / 4; // INT8 quads per a row
+    if (colsb(dst) % 4 || colsb(a) % 4 || colsb(b) % 4) {
+        throw AmxFault("tdpbssd: colsb must be multiples of 4");
+    }
+    if (rows(a) != m) {
+        throw AmxFault(strformat(
+            "tdpbssd: rows(a)=%d != rows(dst)=%d", rows(a), m));
+    }
+    if (rows(b) != a_quads) {
+        throw AmxFault(strformat(
+            "tdpbssd: rows(b)=%d != colsb(a)/4=%d", rows(b), a_quads));
+    }
+    if (colsb(b) != colsb(dst)) {
+        throw AmxFault("tdpbssd: colsb(b) != colsb(dst)");
+    }
+
+    auto& dtile = tiles_[static_cast<size_t>(dst)];
+    const auto& atile = tiles_[static_cast<size_t>(a)];
+    const auto& btile = tiles_[static_cast<size_t>(b)];
+
+    for (int mi = 0; mi < m; ++mi) {
+        auto* drow = reinterpret_cast<std::int32_t*>(
+            dtile.data() + mi * kMaxColsb);
+        const auto* arow = reinterpret_cast<const std::int8_t*>(
+            atile.data() + mi * kMaxColsb);
+        for (int k = 0; k < a_quads; ++k) {
+            const auto* brow = reinterpret_cast<const std::int8_t*>(
+                btile.data() + k * kMaxColsb);
+            for (int ni = 0; ni < n; ++ni) {
+                std::int32_t acc = drow[ni];
+                for (int i = 0; i < 4; ++i) {
+                    acc += static_cast<std::int32_t>(arow[4 * k + i]) *
+                           static_cast<std::int32_t>(brow[4 * ni + i]);
+                }
+                drow[ni] = acc;
+            }
+        }
+    }
+    ++tmuls_;
+}
+
+} // namespace isa
+} // namespace cpullm

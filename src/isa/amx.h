@@ -1,0 +1,155 @@
+#ifndef CPULLM_ISA_AMX_H
+#define CPULLM_ISA_AMX_H
+
+/**
+ * @file
+ * Functional model of Intel Advanced Matrix Extensions (AMX) as
+ * introduced on Sapphire Rapids: a tile configuration register, eight
+ * 1 KiB two-dimensional tile registers (TMM0-TMM7, 16 rows x 64 bytes),
+ * and the TMUL dot-product instructions TDPBF16PS (BF16 pairs, FP32
+ * accumulate) and TDPBSSD (signed INT8 quads, INT32 accumulate).
+ *
+ * The model executes the real arithmetic the instructions define, so
+ * GEMMs built on it are numerically faithful to hardware; architectural
+ * fault conditions (bad palette, out-of-range shapes, unconfigured
+ * tiles, operand shape mismatches) raise AmxFault so tests can observe
+ * them.
+ */
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace cpullm {
+namespace isa {
+
+/** Architectural tile limits for palette 1 (Sapphire Rapids). */
+inline constexpr int kNumTiles = 8;
+inline constexpr int kMaxRows = 16;
+inline constexpr int kMaxColsb = 64;
+inline constexpr int kTileBytes = kMaxRows * kMaxColsb;
+
+/**
+ * Raised on AMX architectural fault conditions (the hardware would
+ * raise #GP or #UD).
+ */
+class AmxFault : public std::runtime_error
+{
+  public:
+    explicit AmxFault(const std::string& what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * In-memory image of the 64-byte tile configuration data consumed by
+ * LDTILECFG. Palette 0 releases the tiles; palette 1 is the only
+ * supported operating palette.
+ */
+struct TileConfig
+{
+    std::uint8_t palette = 1;
+    std::uint8_t startRow = 0;
+    /** Bytes per row for each tile (0 = tile unused). */
+    std::array<std::uint16_t, kNumTiles> colsb{};
+    /** Rows for each tile (0 = tile unused). */
+    std::array<std::uint8_t, kNumTiles> rows{};
+
+    /** Configure tile @p t as rows x colsb. */
+    void
+    setTile(int t, int r, int cb)
+    {
+        rows[static_cast<size_t>(t)] = static_cast<std::uint8_t>(r);
+        colsb[static_cast<size_t>(t)] = static_cast<std::uint16_t>(cb);
+    }
+};
+
+/**
+ * One AMX execution context: TILECFG plus TMM0-TMM7. A real core has
+ * exactly one; the emulated GEMM creates one per worker thread.
+ */
+class AmxUnit
+{
+  public:
+    AmxUnit() = default;
+
+    /** @name Configuration instructions */
+    /// @{
+    /**
+     * LDTILECFG: validate and install a tile configuration; zeroes all
+     * tile data. Palette 0 behaves as TILERELEASE.
+     * @throws AmxFault on invalid palette or shape limits.
+     */
+    void ldtilecfg(const TileConfig& cfg);
+
+    /** TILERELEASE: return to the init state (tiles unconfigured). */
+    void tilerelease();
+
+    /** True once a palette-1 configuration is installed. */
+    bool configured() const { return configured_; }
+    /// @}
+
+    /** @name Data movement */
+    /// @{
+    /**
+     * TILELOADD: load rows(t) rows of colsb(t) bytes from
+     * base + r*stride into tile @p t.
+     */
+    void tileloadd(int t, const void* base, std::size_t stride_bytes);
+
+    /** TILESTORED: store tile @p t to memory with a row stride. */
+    void tilestored(int t, void* base, std::size_t stride_bytes) const;
+
+    /** TILEZERO: zero all data of tile @p t. */
+    void tilezero(int t);
+    /// @}
+
+    /** @name TMUL compute */
+    /// @{
+    /**
+     * TDPBF16PS dst, a, b: for every dst element (m, n), accumulate
+     * sum over k of a[m][2k]*b[k][2n] + a[m][2k+1]*b[k][2n+1] in FP32,
+     * where a holds BF16 pairs along rows and b holds the VNNI-packed
+     * (pair-interleaved) operand.
+     * @throws AmxFault on shape constraint violations.
+     */
+    void tdpbf16ps(int dst, int a, int b);
+
+    /**
+     * TDPBSSD dst, a, b: signed INT8 quads with INT32 accumulation:
+     * dst[m][n] += sum_k sum_{i<4} a[m][4k+i] * b[k][4n+i].
+     */
+    void tdpbssd(int dst, int a, int b);
+    /// @}
+
+    /** @name Introspection (for tests and debugging) */
+    /// @{
+    int rows(int t) const;
+    int colsb(int t) const;
+    const std::uint8_t* tileData(int t) const;
+
+    /** Instruction issue counters, by mnemonic. */
+    std::uint64_t loadCount() const { return loads_; }
+    std::uint64_t storeCount() const { return stores_; }
+    std::uint64_t tmulCount() const { return tmuls_; }
+    /// @}
+
+  private:
+    void checkTileIndex(int t) const;
+    void checkTileConfigured(int t) const;
+
+    bool configured_ = false;
+    TileConfig cfg_{};
+    std::array<std::array<std::uint8_t, kTileBytes>, kNumTiles> tiles_{};
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+    std::uint64_t tmuls_ = 0;
+};
+
+} // namespace isa
+} // namespace cpullm
+
+#endif // CPULLM_ISA_AMX_H

@@ -1,0 +1,118 @@
+#include "isa/avx512.h"
+
+namespace cpullm {
+namespace isa {
+
+Vec512
+Vec512::broadcast(float v)
+{
+    Vec512 r;
+    r.f32.fill(v);
+    return r;
+}
+
+Vec512
+Vec512::loadF32(const float* p)
+{
+    Vec512 r;
+    for (int i = 0; i < kF32Lanes; ++i)
+        r.f32[static_cast<size_t>(i)] = p[i];
+    return r;
+}
+
+void
+Vec512::storeF32(float* p) const
+{
+    for (int i = 0; i < kF32Lanes; ++i)
+        p[i] = f32[static_cast<size_t>(i)];
+}
+
+Vec512Bf16
+Vec512Bf16::load(const BFloat16* p)
+{
+    Vec512Bf16 r;
+    for (int i = 0; i < Vec512::kBf16Lanes; ++i)
+        r.lanes[static_cast<size_t>(i)] = p[i];
+    return r;
+}
+
+Vec512Bf16
+Vec512Bf16::broadcastPair(BFloat16 lo, BFloat16 hi)
+{
+    Vec512Bf16 r;
+    for (int i = 0; i < Vec512::kF32Lanes; ++i) {
+        r.lanes[static_cast<size_t>(2 * i)] = lo;
+        r.lanes[static_cast<size_t>(2 * i + 1)] = hi;
+    }
+    return r;
+}
+
+Vec512
+fma(const Vec512& acc, const Vec512& a, const Vec512& b)
+{
+    Vec512 r;
+    for (int i = 0; i < Vec512::kF32Lanes; ++i) {
+        const auto s = static_cast<size_t>(i);
+        r.f32[s] = acc.f32[s] + a.f32[s] * b.f32[s];
+    }
+    return r;
+}
+
+Vec512
+add(const Vec512& a, const Vec512& b)
+{
+    Vec512 r;
+    for (int i = 0; i < Vec512::kF32Lanes; ++i) {
+        const auto s = static_cast<size_t>(i);
+        r.f32[s] = a.f32[s] + b.f32[s];
+    }
+    return r;
+}
+
+Vec512
+mul(const Vec512& a, const Vec512& b)
+{
+    Vec512 r;
+    for (int i = 0; i < Vec512::kF32Lanes; ++i) {
+        const auto s = static_cast<size_t>(i);
+        r.f32[s] = a.f32[s] * b.f32[s];
+    }
+    return r;
+}
+
+Vec512
+dpbf16ps(const Vec512& acc, const Vec512Bf16& a, const Vec512Bf16& b)
+{
+    Vec512 r;
+    for (int i = 0; i < Vec512::kF32Lanes; ++i) {
+        const auto s = static_cast<size_t>(i);
+        const float p0 = a.lanes[2 * s].toFloat() *
+                         b.lanes[2 * s].toFloat();
+        const float p1 = a.lanes[2 * s + 1].toFloat() *
+                         b.lanes[2 * s + 1].toFloat();
+        r.f32[s] = acc.f32[s] + p0 + p1;
+    }
+    return r;
+}
+
+std::array<BFloat16, Vec512::kF32Lanes>
+cvtneps2bf16(const Vec512& v)
+{
+    std::array<BFloat16, Vec512::kF32Lanes> out;
+    for (int i = 0; i < Vec512::kF32Lanes; ++i)
+        out[static_cast<size_t>(i)] =
+            BFloat16(v.f32[static_cast<size_t>(i)]);
+    return out;
+}
+
+float
+horizontalSum(const Vec512& v)
+{
+    float s = 0.0f;
+    for (float f : v.f32)
+        s += f;
+    return s;
+}
+
+} // namespace isa
+} // namespace cpullm

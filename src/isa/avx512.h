@@ -1,0 +1,87 @@
+#ifndef CPULLM_ISA_AVX512_H
+#define CPULLM_ISA_AVX512_H
+
+/**
+ * @file
+ * Functional model of the AVX-512 operations the IceLake GEMM path
+ * uses: 512-bit registers holding 16 FP32 lanes or 32 BF16 lanes, FMA,
+ * and VDPBF16PS (BF16 pair dot product with FP32 accumulation, the
+ * avx512_bf16 extension). The emulation computes the exact lane
+ * arithmetic so the AVX-512 GEMM is numerically faithful.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "numerics/bf16.h"
+
+namespace cpullm {
+namespace isa {
+
+/** A 512-bit vector register viewed as FP32 or BF16 lanes. */
+struct Vec512
+{
+    static constexpr int kF32Lanes = 16;
+    static constexpr int kBf16Lanes = 32;
+
+    alignas(64) std::array<float, kF32Lanes> f32{};
+
+    /** All-zero register. */
+    static Vec512
+    zero()
+    {
+        return Vec512{};
+    }
+
+    /** Broadcast a scalar into all FP32 lanes (VBROADCASTSS). */
+    static Vec512 broadcast(float v);
+
+    /** Load 16 FP32 lanes from memory (VMOVUPS). */
+    static Vec512 loadF32(const float* p);
+
+    /** Store 16 FP32 lanes (VMOVUPS). */
+    void storeF32(float* p) const;
+};
+
+/** A 512-bit register holding 32 BF16 lanes. */
+struct Vec512Bf16
+{
+    alignas(64) std::array<BFloat16, Vec512::kBf16Lanes> lanes{};
+
+    /** Load 32 BF16 values. */
+    static Vec512Bf16 load(const BFloat16* p);
+
+    /**
+     * Broadcast one BF16 *pair* into all 16 pair positions
+     * (VPBROADCASTD of a 32-bit pair, the idiom BF16 GEMMs use for the
+     * A operand).
+     */
+    static Vec512Bf16 broadcastPair(BFloat16 lo, BFloat16 hi);
+};
+
+/** VFMADD231PS: acc + a*b per FP32 lane. */
+Vec512 fma(const Vec512& acc, const Vec512& a, const Vec512& b);
+
+/** VADDPS. */
+Vec512 add(const Vec512& a, const Vec512& b);
+
+/** VMULPS. */
+Vec512 mul(const Vec512& a, const Vec512& b);
+
+/**
+ * VDPBF16PS: per FP32 lane i, acc[i] + a[2i]*b[2i] + a[2i+1]*b[2i+1]
+ * with BF16 inputs widened to FP32 (no intermediate rounding).
+ */
+Vec512 dpbf16ps(const Vec512& acc, const Vec512Bf16& a,
+                const Vec512Bf16& b);
+
+/** VCVTNEPS2BF16: round 16 FP32 lanes to BF16 (nearest-even). */
+std::array<BFloat16, Vec512::kF32Lanes> cvtneps2bf16(const Vec512& v);
+
+/** Horizontal sum of all FP32 lanes (reduction idiom). */
+float horizontalSum(const Vec512& v);
+
+} // namespace isa
+} // namespace cpullm
+
+#endif // CPULLM_ISA_AVX512_H

@@ -1,0 +1,91 @@
+#ifndef CPULLM_KV_KV_CACHE_H
+#define CPULLM_KV_KV_CACHE_H
+
+/**
+ * @file
+ * The KV cache: stored key/value vectors of already-processed tokens,
+ * the de-facto decode-phase optimization whose footprint growth
+ * (linear in sequence length and batch size) drives the paper's
+ * memory-capacity argument (Fig 7).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cpullm {
+namespace kv {
+
+/**
+ * Functional KV cache for a whole model: per layer, K and V tensors of
+ * shape [batch, max_seq, numKvHeads * headDim]. Values are stored in
+ * the cache dtype (BF16 in the paper's setup) and read back as FP32.
+ */
+class KvCache
+{
+  public:
+    /**
+     * Allocate a cache.
+     * @param layers   decoder block count
+     * @param batch    sequences in the batch
+     * @param d_kv     numKvHeads * headDim
+     * @param max_seq  capacity in tokens per sequence
+     * @param dtype    storage dtype
+     */
+    KvCache(std::int64_t layers, std::int64_t batch, std::int64_t d_kv,
+            std::int64_t max_seq, DType dtype);
+
+    std::int64_t layers() const { return layers_; }
+    std::int64_t batch() const { return batch_; }
+    std::int64_t dKv() const { return d_kv_; }
+    std::int64_t maxSeq() const { return max_seq_; }
+    DType dtype() const { return dtype_; }
+
+    /** Tokens currently cached per sequence. */
+    std::int64_t seqLen() const { return seq_len_; }
+
+    /**
+     * Store the K and V vectors (d_kv floats each) of token @p pos of
+     * sequence @p b at layer @p layer. @p pos must be < maxSeq.
+     */
+    void write(std::int64_t layer, std::int64_t b, std::int64_t pos,
+               const float* k, const float* v);
+
+    /** Mark @p n tokens as valid (after writing all layers). */
+    void setSeqLen(std::int64_t n);
+
+    /** Read one cached K vector into @p out (d_kv floats). */
+    void readK(std::int64_t layer, std::int64_t b, std::int64_t pos,
+               float* out) const;
+
+    /** Read one cached V vector into @p out (d_kv floats). */
+    void readV(std::int64_t layer, std::int64_t b, std::int64_t pos,
+               float* out) const;
+
+    /** Bytes held by the cache allocation (full capacity). */
+    std::uint64_t capacityBytes() const;
+
+    /** Bytes of currently valid entries (seqLen tokens). */
+    std::uint64_t usedBytes() const;
+
+    /** Drop all cached tokens (new request), keeping the allocation. */
+    void reset() { seq_len_ = 0; }
+
+  private:
+    std::int64_t offset(std::int64_t b, std::int64_t pos) const;
+
+    std::int64_t layers_;
+    std::int64_t batch_;
+    std::int64_t d_kv_;
+    std::int64_t max_seq_;
+    DType dtype_;
+    std::int64_t seq_len_ = 0;
+    std::vector<Tensor> k_; ///< one [batch, max_seq, d_kv] per layer
+    std::vector<Tensor> v_;
+};
+
+} // namespace kv
+} // namespace cpullm
+
+#endif // CPULLM_KV_KV_CACHE_H

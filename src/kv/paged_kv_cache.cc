@@ -1,0 +1,185 @@
+#include "kv/paged_kv_cache.h"
+
+#include "util/logging.h"
+
+namespace cpullm {
+namespace kv {
+
+PagedKvCache::PagedKvCache(std::int64_t layers, std::int64_t d_kv,
+                           std::int64_t block_size,
+                           std::int64_t num_blocks, DType dtype)
+    : layers_(layers), d_kv_(d_kv), block_size_(block_size),
+      num_blocks_(num_blocks), dtype_(dtype),
+      k_pool_(Shape{num_blocks, layers, block_size, d_kv}, dtype),
+      v_pool_(Shape{num_blocks, layers, block_size, d_kv}, dtype)
+{
+    CPULLM_ASSERT(layers > 0 && d_kv > 0 && block_size > 0 &&
+                      num_blocks > 0,
+                  "invalid PagedKvCache geometry");
+    free_.reserve(static_cast<std::size_t>(num_blocks));
+    // LIFO free list; push in reverse so block 0 allocates first.
+    for (std::int64_t b = num_blocks - 1; b >= 0; --b)
+        free_.push_back(b);
+}
+
+std::int64_t
+PagedKvCache::addSequence()
+{
+    Sequence s;
+    s.live = true;
+    seqs_.push_back(std::move(s));
+    return static_cast<std::int64_t>(seqs_.size()) - 1;
+}
+
+const PagedKvCache::Sequence&
+PagedKvCache::seqRef(std::int64_t seq) const
+{
+    CPULLM_ASSERT(seq >= 0 &&
+                      seq < static_cast<std::int64_t>(seqs_.size()),
+                  "sequence id out of range");
+    const Sequence& s = seqs_[static_cast<std::size_t>(seq)];
+    CPULLM_ASSERT(s.live, "sequence ", seq, " was released");
+    return s;
+}
+
+std::int64_t
+PagedKvCache::seqLen(std::int64_t seq) const
+{
+    return seqRef(seq).length;
+}
+
+bool
+PagedKvCache::canAppend(std::int64_t seq) const
+{
+    const Sequence& s = seqRef(seq);
+    if (s.length % block_size_ != 0)
+        return true; // room in the tail block
+    return !free_.empty();
+}
+
+void
+PagedKvCache::releaseSequence(std::int64_t seq)
+{
+    Sequence& s = seqs_[static_cast<std::size_t>(seq)];
+    CPULLM_ASSERT(seq >= 0 &&
+                      seq < static_cast<std::int64_t>(seqs_.size()) &&
+                      s.live,
+                  "releasing an invalid sequence");
+    for (std::int64_t b : s.blockTable)
+        free_.push_back(b);
+    s.blockTable.clear();
+    s.length = 0;
+    s.live = false;
+}
+
+std::int64_t
+PagedKvCache::elemOffset(std::int64_t block, std::int64_t layer,
+                         std::int64_t slot) const
+{
+    return ((block * layers_ + layer) * block_size_ + slot) * d_kv_;
+}
+
+bool
+PagedKvCache::appendToken(std::int64_t seq, const float* k,
+                          const float* v)
+{
+    Sequence& s = seqs_[static_cast<std::size_t>(seq)];
+    CPULLM_ASSERT(s.live, "append to released sequence");
+    const std::int64_t slot = s.length % block_size_;
+    if (slot == 0) {
+        if (free_.empty())
+            return false;
+        s.blockTable.push_back(free_.back());
+        free_.pop_back();
+    }
+    const std::int64_t block = s.blockTable.back();
+    for (std::int64_t l = 0; l < layers_; ++l) {
+        const std::int64_t base = elemOffset(block, l, slot);
+        for (std::int64_t i = 0; i < d_kv_; ++i) {
+            k_pool_.setAt(base + i, k[l * d_kv_ + i]);
+            v_pool_.setAt(base + i, v[l * d_kv_ + i]);
+        }
+    }
+    ++s.length;
+    return true;
+}
+
+void
+PagedKvCache::readK(std::int64_t seq, std::int64_t layer,
+                    std::int64_t pos, float* out) const
+{
+    const Sequence& s = seqRef(seq);
+    CPULLM_ASSERT(layer >= 0 && layer < layers_, "layer out of range");
+    CPULLM_ASSERT(pos >= 0 && pos < s.length, "position ", pos,
+                  " beyond sequence length ", s.length);
+    const std::int64_t block =
+        s.blockTable[static_cast<std::size_t>(pos / block_size_)];
+    const std::int64_t base =
+        elemOffset(block, layer, pos % block_size_);
+    for (std::int64_t i = 0; i < d_kv_; ++i)
+        out[i] = k_pool_.at(base + i);
+}
+
+void
+PagedKvCache::readV(std::int64_t seq, std::int64_t layer,
+                    std::int64_t pos, float* out) const
+{
+    const Sequence& s = seqRef(seq);
+    CPULLM_ASSERT(layer >= 0 && layer < layers_, "layer out of range");
+    CPULLM_ASSERT(pos >= 0 && pos < s.length, "position ", pos,
+                  " beyond sequence length ", s.length);
+    const std::int64_t block =
+        s.blockTable[static_cast<std::size_t>(pos / block_size_)];
+    const std::int64_t base =
+        elemOffset(block, layer, pos % block_size_);
+    for (std::int64_t i = 0; i < d_kv_; ++i)
+        out[i] = v_pool_.at(base + i);
+}
+
+std::uint64_t
+PagedKvCache::blockBytes() const
+{
+    return 2ULL * static_cast<std::uint64_t>(layers_) *
+           static_cast<std::uint64_t>(block_size_) *
+           static_cast<std::uint64_t>(d_kv_) * dtypeSize(dtype_);
+}
+
+std::uint64_t
+PagedKvCache::poolBytes() const
+{
+    return blockBytes() * static_cast<std::uint64_t>(num_blocks_);
+}
+
+std::uint64_t
+PagedKvCache::allocatedBytes() const
+{
+    std::uint64_t blocks = 0;
+    for (const auto& s : seqs_)
+        if (s.live)
+            blocks += s.blockTable.size();
+    return blocks * blockBytes();
+}
+
+std::uint64_t
+PagedKvCache::usedBytes() const
+{
+    std::uint64_t tokens = 0;
+    for (const auto& s : seqs_)
+        if (s.live)
+            tokens += static_cast<std::uint64_t>(s.length);
+    return tokens * 2ULL * static_cast<std::uint64_t>(layers_) *
+           static_cast<std::uint64_t>(d_kv_) * dtypeSize(dtype_);
+}
+
+double
+PagedKvCache::fragmentation() const
+{
+    const std::uint64_t alloc = allocatedBytes();
+    if (alloc == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(usedBytes()) /
+                     static_cast<double>(alloc);
+}
+
+} // namespace kv
+} // namespace cpullm

@@ -1,0 +1,290 @@
+#include "mem/memory_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/units.h"
+
+namespace cpullm {
+namespace mem {
+
+namespace {
+
+/**
+ * Per-core streaming demand, bytes/s. Limited by the number of
+ * outstanding misses a core sustains; HBM-attached SPR cores prefetch
+ * more aggressively than ICL's DDR4 pipeline.
+ */
+double
+perCoreDemand(const hw::CpuConfig& cpu)
+{
+    return cpu.hasHbm() ? 16.0 * GB : 10.0 * GB;
+}
+
+/** Bandwidth efficiency of SNC-4 when placement is NUMA-oblivious. */
+constexpr double kSncDerate = 0.80;
+
+/** Extra latency-driven derate applied to remote-cluster traffic. */
+constexpr double kHbmCacheOverhead = 0.93;
+
+} // namespace
+
+std::string
+regionName(Region r)
+{
+    switch (r) {
+      case Region::Weights:
+        return "weights";
+      case Region::KvCache:
+        return "kv_cache";
+      case Region::Activations:
+        return "activations";
+    }
+    CPULLM_PANIC("unhandled Region");
+}
+
+double
+RegionPlacement::hbmFraction() const
+{
+    if (totalBytes == 0)
+        return 0.0;
+    std::uint64_t hbm = 0;
+    for (const auto& s : shares)
+        if (s.kind == hw::MemKind::HBM2e)
+            hbm += s.bytes;
+    return static_cast<double>(hbm) / static_cast<double>(totalBytes);
+}
+
+double
+RegionPlacement::remoteSocketFraction() const
+{
+    if (totalBytes == 0)
+        return 0.0;
+    std::uint64_t remote = 0;
+    for (const auto& s : shares)
+        if (s.crossSocket)
+            remote += s.bytes;
+    return static_cast<double>(remote) / static_cast<double>(totalBytes);
+}
+
+const RegionPlacement&
+MemoryPlan::placement(Region r) const
+{
+    switch (r) {
+      case Region::Weights:
+        return weights;
+      case Region::KvCache:
+        return kvCache;
+      case Region::Activations:
+        return activations;
+    }
+    CPULLM_PANIC("unhandled Region");
+}
+
+MemorySystem::MemorySystem(const hw::PlatformConfig& platform,
+                           PlacementPolicy policy)
+    : platform_(platform), policy_(policy)
+{
+    hw::validatePlatform(platform_);
+}
+
+std::vector<MemorySystem::Device>
+MemorySystem::allocationOrder() const
+{
+    const hw::CpuConfig& cpu = platform_.cpu;
+    const int local_sockets = std::max(1, platform_.socketsUsed());
+    const int remote_sockets = cpu.sockets - local_sockets;
+    std::vector<Device> order;
+
+    auto push = [&](const hw::MemoryDeviceConfig& dev, int nsockets,
+                    bool cross, double extra_latency) {
+        if (nsockets <= 0 || dev.capacityBytes == 0)
+            return;
+        order.push_back(Device{
+            dev.kind,
+            dev.capacityBytes * static_cast<std::uint64_t>(nsockets),
+            dev.bandwidth * dev.streamEfficiency * nsockets,
+            dev.latency + extra_latency, cross});
+    };
+
+    const bool use_hbm = platform_.memoryMode == hw::MemoryMode::Flat ||
+                         platform_.memoryMode == hw::MemoryMode::HbmOnly;
+    const bool use_ddr = platform_.memoryMode != hw::MemoryMode::HbmOnly;
+
+    if (use_hbm && cpu.hbm)
+        push(*cpu.hbm, local_sockets, false, 0.0);
+    if (use_ddr)
+        push(cpu.ddr, local_sockets, false, 0.0);
+    // CXL expansion fills after local DRAM: slower than DDR but does
+    // not share the UPI with remote-socket traffic.
+    if (use_ddr && cpu.cxl)
+        push(*cpu.cxl, local_sockets, false, 0.0);
+    // Remote-socket spill, reached over UPI.
+    if (use_hbm && cpu.hbm)
+        push(*cpu.hbm, remote_sockets, true, cpu.upi.latency);
+    if (use_ddr)
+        push(cpu.ddr, remote_sockets, true, cpu.upi.latency);
+    if (use_ddr && cpu.cxl)
+        push(*cpu.cxl, remote_sockets, true, cpu.upi.latency);
+    return order;
+}
+
+MemoryPlan
+MemorySystem::plan(const RegionSizes& sizes) const
+{
+    std::vector<Device> order = allocationOrder();
+    std::vector<std::uint64_t> remaining;
+    remaining.reserve(order.size());
+    for (const auto& d : order)
+        remaining.push_back(d.capacity);
+
+    auto place = [&](Region region, std::uint64_t bytes) {
+        RegionPlacement p;
+        p.region = region;
+        p.totalBytes = bytes;
+        std::uint64_t left = bytes;
+        for (std::size_t i = 0; i < order.size() && left > 0; ++i) {
+            if (remaining[i] == 0)
+                continue;
+            const std::uint64_t take = std::min(left, remaining[i]);
+            remaining[i] -= take;
+            left -= take;
+            p.shares.push_back(NodeShare{order[i].kind, take,
+                                         order[i].bandwidth,
+                                         order[i].latency,
+                                         order[i].crossSocket});
+        }
+        if (left > 0) {
+            CPULLM_FATAL("out of memory on ", platform_.label(), ": ",
+                         regionName(region), " needs ",
+                         formatBytes(bytes), ", machine capacity is ",
+                         formatBytes(machineCapacity()));
+        }
+        return p;
+    };
+
+    MemoryPlan plan;
+    // Allocation priority mirrors inference stacks: weights are placed
+    // first (they are hottest per token), then KV, then activations.
+    plan.weights = place(Region::Weights, sizes.weights);
+    plan.kvCache = place(Region::KvCache, sizes.kvCache);
+    plan.activations = place(Region::Activations, sizes.activations);
+    return plan;
+}
+
+double
+MemorySystem::coreDemandBandwidth(int cores) const
+{
+    return perCoreDemand(platform_.cpu) * std::max(0, cores);
+}
+
+double
+MemorySystem::hbmCacheHitRate(std::uint64_t working_set) const
+{
+    if (platform_.memoryMode != hw::MemoryMode::Cache)
+        return platform_.cpu.hasHbm() ? 1.0 : 0.0;
+    const auto& hbm = *platform_.cpu.hbm;
+    const double cap = static_cast<double>(hbm.capacityBytes) *
+                       platform_.socketsUsed();
+    const double ws = static_cast<double>(std::max<std::uint64_t>(
+        working_set, 1));
+    if (ws <= cap) {
+        // Fits: only cold/conflict misses remain.
+        return 0.95;
+    }
+    // Streaming working set larger than the cache: hits bounded by the
+    // resident fraction, with a derate for LRU thrash on a stream.
+    return std::min(0.95, 0.85 * cap / ws);
+}
+
+double
+MemorySystem::remoteClusterFraction() const
+{
+    if (platform_.clusteringMode == hw::ClusteringMode::Snc4) {
+        if (policy_ == PlacementPolicy::HotColdAware) {
+            // Hot data bound to the local sub-NUMA domain; only the
+            // cold access tail crosses domains.
+            return 0.15;
+        }
+        // Interleaved pages across 4 sub-NUMA domains, placement
+        // NUMA-oblivious: 3 of 4 accesses land remote.
+        return 0.75;
+    }
+    return 0.05; // quadrant: mesh-interleaved, effectively uniform
+}
+
+double
+MemorySystem::clusteringDerate() const
+{
+    if (platform_.clusteringMode == hw::ClusteringMode::Snc4) {
+        if (policy_ == PlacementPolicy::HotColdAware) {
+            // Localized SNC traffic realizes the mode's latency
+            // advantage (Section II-E: "higher bandwidth and lower
+            // latency" when managed properly).
+            return 1.02;
+        }
+        return kSncDerate;
+    }
+    return 1.0;
+}
+
+double
+MemorySystem::regionBandwidth(const MemoryPlan& plan, Region region,
+                              int cores) const
+{
+    const RegionPlacement& p = plan.placement(region);
+    if (p.totalBytes == 0)
+        return coreDemandBandwidth(cores);
+
+    const hw::CpuConfig& cpu = platform_.cpu;
+    const double upi_bw = cpu.upi.effectiveBandwidth();
+    const double hit = hbmCacheHitRate(RegionSizes{
+        plan.weights.totalBytes, plan.kvCache.totalBytes,
+        plan.activations.totalBytes}.total());
+
+    // Harmonic composition over the shares: total stream time is the
+    // sum of per-share times at each share's service bandwidth.
+    double time = 0.0;
+    for (const auto& s : p.shares) {
+        double bw = s.peakBandwidth;
+        if (platform_.memoryMode == hw::MemoryMode::Cache &&
+            s.kind != hw::MemKind::HBM2e) {
+            // A hit fraction is served from the HBM-side cache.
+            const double hbm_bw = cpu.hbm->bandwidth *
+                                  cpu.hbm->streamEfficiency *
+                                  platform_.socketsUsed() *
+                                  kHbmCacheOverhead;
+            bw = 1.0 / (hit / hbm_bw + (1.0 - hit) / s.peakBandwidth);
+        }
+        if (s.crossSocket)
+            bw = std::min(bw, upi_bw);
+        time += static_cast<double>(s.bytes) / bw;
+    }
+    double composite = static_cast<double>(p.totalBytes) / time;
+    composite *= clusteringDerate();
+    return std::min(composite, coreDemandBandwidth(cores));
+}
+
+std::uint64_t
+MemorySystem::localCapacity() const
+{
+    std::uint64_t cap = 0;
+    for (const auto& d : allocationOrder())
+        if (!d.crossSocket)
+            cap += d.capacity;
+    return cap;
+}
+
+std::uint64_t
+MemorySystem::machineCapacity() const
+{
+    std::uint64_t cap = 0;
+    for (const auto& d : allocationOrder())
+        cap += d.capacity;
+    return cap;
+}
+
+} // namespace mem
+} // namespace cpullm

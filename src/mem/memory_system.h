@@ -1,0 +1,175 @@
+#ifndef CPULLM_MEM_MEMORY_SYSTEM_H
+#define CPULLM_MEM_MEMORY_SYSTEM_H
+
+/**
+ * @file
+ * The CPU memory-system model: where inference state lives under each
+ * memory/clustering mode, and what streaming bandwidth each region
+ * sees. This is the substrate behind the paper's NUMA findings
+ * (Key Finding #2) and core-count findings (Key Finding #3).
+ *
+ * Model summary:
+ *  - Placement. Flat mode allocates HBM-first with DDR spill (the
+ *    paper's numactl policy, Section IV-B); HBM-only refuses DDR;
+ *    Cache/DDR modes allocate DDR. Capacity overflow spills to the
+ *    remote socket before failing.
+ *  - Effective bandwidth. A region spread over several devices streams
+ *    at the harmonic composite of the device bandwidths; cross-socket
+ *    shares are capped by UPI. Demand is limited by the cores driving
+ *    it (per-core demand cap), which is what makes 12 cores unable to
+ *    saturate HBM.
+ *  - Mode deratings. SNC-4 without NUMA-aware placement sends ~3/4 of
+ *    accesses to remote sub-NUMA domains (latency + mesh penalty);
+ *    Cache mode serves a working-set-dependent fraction of traffic at
+ *    HBM speed and pays a metadata/fill overhead.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/platform.h"
+
+namespace cpullm {
+namespace mem {
+
+/** Logical regions of LLM inference state. */
+enum class Region { Weights, KvCache, Activations };
+
+/**
+ * How software assigns data to NUMA domains.
+ *
+ * Oblivious matches the paper's measurements: default page placement,
+ * no binding, so SNC-4 sends ~3/4 of accesses to remote sub-NUMA
+ * domains and cross-socket runs pay heavy UPI traffic. HotColdAware
+ * models the paper's Section VI proposal: hot activations/weights are
+ * bound to HBM and the local domain, cold data to remote DDR, so only
+ * the cold tail of accesses leaves the local domain.
+ */
+enum class PlacementPolicy { Oblivious, HotColdAware };
+
+std::string regionName(Region r);
+
+/** Bytes of one region resident on one memory device. */
+struct NodeShare
+{
+    hw::MemKind kind;
+    std::uint64_t bytes = 0;
+    /** Peak device bandwidth for this share (per socket), bytes/s. */
+    double peakBandwidth = 0.0;
+    double latency = 0.0;
+    /** Share lives on the other socket (UPI in the path). */
+    bool crossSocket = false;
+};
+
+/** Placement of one region across devices. */
+struct RegionPlacement
+{
+    Region region = Region::Weights;
+    std::uint64_t totalBytes = 0;
+    std::vector<NodeShare> shares;
+
+    /** Fraction of the region on HBM (0 if none). */
+    double hbmFraction() const;
+    /** Fraction of the region on the remote socket. */
+    double remoteSocketFraction() const;
+};
+
+/** Sizes of the three regions, bytes. */
+struct RegionSizes
+{
+    std::uint64_t weights = 0;
+    std::uint64_t kvCache = 0;
+    std::uint64_t activations = 0;
+
+    std::uint64_t
+    total() const
+    {
+        return weights + kvCache + activations;
+    }
+};
+
+/** A solved memory plan for one platform + workload. */
+struct MemoryPlan
+{
+    RegionPlacement weights;
+    RegionPlacement kvCache;
+    RegionPlacement activations;
+
+    const RegionPlacement& placement(Region r) const;
+};
+
+/**
+ * Memory-system model for one platform. Construction validates the
+ * platform; plan() solves placement, and the bandwidth queries give
+ * effective streaming rates used by the timing model.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(
+        const hw::PlatformConfig& platform,
+        PlacementPolicy policy = PlacementPolicy::Oblivious);
+
+    const hw::PlatformConfig& platform() const { return platform_; }
+    PlacementPolicy policy() const { return policy_; }
+
+    /**
+     * Place the three regions under the platform's memory mode.
+     * fatal() if the state cannot fit in the machine at all.
+     */
+    MemoryPlan plan(const RegionSizes& sizes) const;
+
+    /**
+     * Effective bandwidth for streaming one region of @p plan once,
+     * driven by @p cores. Accounts for device mix, UPI caps, SNC and
+     * cache-mode deratings, and the per-core demand limit.
+     */
+    double regionBandwidth(const MemoryPlan& plan, Region region,
+                           int cores) const;
+
+    /** Demand bandwidth cap of @p cores, bytes/s. */
+    double coreDemandBandwidth(int cores) const;
+
+    /**
+     * HBM hit fraction in Cache mode for a given total working set
+     * (1.0 outside Cache mode when HBM holds the data, 0 without HBM).
+     */
+    double hbmCacheHitRate(std::uint64_t working_set) const;
+
+    /**
+     * Fraction of memory/LLC accesses that land in a remote sub-NUMA
+     * cluster (SNC-4 without NUMA-aware data placement -> ~0.75).
+     */
+    double remoteClusterFraction() const;
+
+    /** Capacity of the local socket's devices under the memory mode. */
+    std::uint64_t localCapacity() const;
+
+    /** Capacity of the whole machine under the memory mode. */
+    std::uint64_t machineCapacity() const;
+
+  private:
+    struct Device
+    {
+        hw::MemKind kind;
+        std::uint64_t capacity;
+        double bandwidth;
+        double latency;
+        bool crossSocket;
+    };
+
+    /** Allocation order for the platform's memory mode. */
+    std::vector<Device> allocationOrder() const;
+
+    /** Derating applied to device bandwidth by the clustering mode. */
+    double clusteringDerate() const;
+
+    hw::PlatformConfig platform_;
+    PlacementPolicy policy_;
+};
+
+} // namespace mem
+} // namespace cpullm
+
+#endif // CPULLM_MEM_MEMORY_SYSTEM_H

@@ -1,0 +1,52 @@
+#ifndef CPULLM_MODEL_LAYERS_H
+#define CPULLM_MODEL_LAYERS_H
+
+/**
+ * @file
+ * Functional transformer building blocks. Activations flow in FP32;
+ * linear projections execute on one of the emulated matrix engines
+ * (AMX, AVX-512, or the FP32 reference), which is where BF16 rounding
+ * enters — exactly as in a BF16 inference stack.
+ */
+
+#include "gemm/gemm.h"
+#include "model/spec.h"
+#include "tensor/tensor.h"
+
+namespace cpullm {
+namespace model {
+
+/**
+ * y = x * w (+ bias). x: [tokens, d_in], w: [d_in, d_out] row-major,
+ * bias: [d_out] or nullptr. Returns FP32 [tokens, d_out].
+ */
+Tensor linear(gemm::Engine engine, const Tensor& x, const Tensor& w,
+              const Tensor* bias);
+
+/** In-place LayerNorm over the last dimension. */
+void layerNormInPlace(Tensor& x, const Tensor& gamma, const Tensor& beta,
+                      float eps = 1e-5f);
+
+/** In-place RMSNorm over the last dimension. */
+void rmsNormInPlace(Tensor& x, const Tensor& gamma, float eps = 1e-5f);
+
+/** In-place numerically-stable softmax over the last dimension. */
+void softmaxRowsInPlace(Tensor& x);
+
+/** In-place elementwise activation. */
+void activationInPlace(Tensor& x, Activation act);
+
+/**
+ * Rotary position embedding applied in place to one token's projected
+ * vector laid out as [heads, head_dim] (rotate-half convention).
+ */
+void applyRope(float* vec, std::int64_t heads, std::int64_t head_dim,
+               std::int64_t position);
+
+/** Index of the maximum element in row @p row of [rows, cols] logits. */
+std::int64_t argmaxRow(const Tensor& logits, std::int64_t row);
+
+} // namespace model
+} // namespace cpullm
+
+#endif // CPULLM_MODEL_LAYERS_H

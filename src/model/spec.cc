@@ -1,0 +1,264 @@
+#include "model/spec.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace model {
+
+std::uint64_t
+ModelSpec::numParameters() const
+{
+    const auto d = static_cast<std::uint64_t>(dModel);
+    const auto dkv = static_cast<std::uint64_t>(dKv());
+    const auto ff = static_cast<std::uint64_t>(dFf);
+    const auto v = static_cast<std::uint64_t>(vocabSize);
+    const auto L = static_cast<std::uint64_t>(numLayers);
+
+    // Attention: Q and O are d x d; K and V are d x dKv.
+    std::uint64_t attn = 2 * d * d + 2 * d * dkv;
+    if (linearBias)
+        attn += 2 * d + 2 * dkv;
+
+    // FFN: two matrices (up d x ff, down ff x d), plus a gate matrix
+    // for SwiGLU.
+    std::uint64_t ffn = 2 * d * ff + (gatedFfn ? d * ff : 0);
+    if (linearBias)
+        ffn += ff + d;
+
+    // Norms: LayerNorm has weight+bias, RMSNorm weight only; two per
+    // decoder block plus one final.
+    const std::uint64_t norm_params =
+        (norm == NormKind::LayerNorm ? 2 : 1) * d;
+    const std::uint64_t per_layer = attn + ffn + 2 * norm_params;
+
+    std::uint64_t emb = v * d;
+    if (posEmbedding == PosEmbedding::Learned)
+        emb += static_cast<std::uint64_t>(maxSeqLen) * d;
+    if (!tiedEmbedding)
+        emb += v * d; // separate LM head
+
+    return L * per_layer + emb + norm_params;
+}
+
+std::uint64_t
+ModelSpec::weightBytes(DType dtype) const
+{
+    return numParameters() * dtypeSize(dtype);
+}
+
+std::uint64_t
+ModelSpec::kvBytesPerToken(DType dtype) const
+{
+    return 2ULL * static_cast<std::uint64_t>(numLayers) *
+           static_cast<std::uint64_t>(dKv()) * dtypeSize(dtype);
+}
+
+std::uint64_t
+ModelSpec::kvCacheBytes(std::int64_t seq_len, std::int64_t batch,
+                        DType dtype) const
+{
+    return kvBytesPerToken(dtype) * static_cast<std::uint64_t>(seq_len) *
+           static_cast<std::uint64_t>(batch);
+}
+
+std::uint64_t
+ModelSpec::activationBytes(std::int64_t tokens, std::int64_t seq_len,
+                           DType dtype) const
+{
+    const auto t = static_cast<std::uint64_t>(tokens);
+    // Residual stream + FFN hidden + attention scores for one layer
+    // (layers reuse the same buffers).
+    const std::uint64_t stream = t * static_cast<std::uint64_t>(dModel);
+    const std::uint64_t hidden = t * static_cast<std::uint64_t>(dFf);
+    const std::uint64_t scores = t *
+        static_cast<std::uint64_t>(numHeads) *
+        static_cast<std::uint64_t>(seq_len);
+    return (3 * stream + hidden + scores) * dtypeSize(dtype);
+}
+
+void
+ModelSpec::validate() const
+{
+    if (dModel % numHeads != 0) {
+        CPULLM_FATAL(name, ": dModel ", dModel,
+                     " not divisible by numHeads ", numHeads);
+    }
+    if (numHeads % numKvHeads != 0) {
+        CPULLM_FATAL(name, ": numHeads ", numHeads,
+                     " not divisible by numKvHeads ", numKvHeads);
+    }
+    if (numLayers <= 0 || dModel <= 0 || dFf <= 0 || vocabSize <= 0) {
+        CPULLM_FATAL(name, ": non-positive architecture dimension");
+    }
+}
+
+namespace {
+
+ModelSpec
+optBase(const std::string& name, std::int64_t layers, std::int64_t d,
+        std::int64_t heads, std::int64_t ff)
+{
+    ModelSpec s;
+    s.name = name;
+    s.family = "opt";
+    s.numLayers = layers;
+    s.dModel = d;
+    s.numHeads = heads;
+    s.numKvHeads = heads;
+    s.dFf = ff;
+    s.vocabSize = 50272;
+    s.maxSeqLen = 2048;
+    s.activation = Activation::ReLU;
+    s.norm = NormKind::LayerNorm;
+    s.posEmbedding = PosEmbedding::Learned;
+    s.gatedFfn = false;
+    s.linearBias = true;
+    s.tiedEmbedding = true;
+    s.validate();
+    return s;
+}
+
+ModelSpec
+llamaBase(const std::string& name, std::int64_t layers, std::int64_t d,
+          std::int64_t heads, std::int64_t kv_heads, std::int64_t ff)
+{
+    ModelSpec s;
+    s.name = name;
+    s.family = "llama2";
+    s.numLayers = layers;
+    s.dModel = d;
+    s.numHeads = heads;
+    s.numKvHeads = kv_heads;
+    s.dFf = ff;
+    s.vocabSize = 32000;
+    s.maxSeqLen = 4096;
+    s.activation = Activation::SiLU;
+    s.norm = NormKind::RMSNorm;
+    s.posEmbedding = PosEmbedding::Rotary;
+    s.gatedFfn = true;
+    s.linearBias = false;
+    s.tiedEmbedding = false;
+    s.validate();
+    return s;
+}
+
+} // namespace
+
+ModelSpec
+opt1p3b()
+{
+    return optBase("OPT-1.3B", 24, 2048, 32, 8192);
+}
+
+ModelSpec
+opt6p7b()
+{
+    return optBase("OPT-6.7B", 32, 4096, 32, 16384);
+}
+
+ModelSpec
+opt13b()
+{
+    return optBase("OPT-13B", 40, 5120, 40, 20480);
+}
+
+ModelSpec
+opt30b()
+{
+    return optBase("OPT-30B", 48, 7168, 56, 28672);
+}
+
+ModelSpec
+opt66b()
+{
+    return optBase("OPT-66B", 64, 9216, 72, 36864);
+}
+
+ModelSpec
+opt175b()
+{
+    return optBase("OPT-175B", 96, 12288, 96, 49152);
+}
+
+ModelSpec
+llama2_7b()
+{
+    return llamaBase("LLaMA2-7B", 32, 4096, 32, 32, 11008);
+}
+
+ModelSpec
+llama2_13b()
+{
+    return llamaBase("LLaMA2-13B", 40, 5120, 40, 40, 13824);
+}
+
+ModelSpec
+llama2_70b()
+{
+    return llamaBase("LLaMA2-70B", 80, 8192, 64, 8, 28672);
+}
+
+ModelSpec
+tinyTestModel()
+{
+    ModelSpec s;
+    s.name = "Tiny-Test";
+    s.family = "test";
+    s.numLayers = 2;
+    s.dModel = 64;
+    s.numHeads = 4;
+    s.numKvHeads = 4;
+    s.dFf = 128;
+    s.vocabSize = 97;
+    s.maxSeqLen = 64;
+    s.activation = Activation::SiLU;
+    s.norm = NormKind::RMSNorm;
+    s.posEmbedding = PosEmbedding::Rotary;
+    s.gatedFfn = true;
+    s.linearBias = false;
+    s.tiedEmbedding = false;
+    s.validate();
+    return s;
+}
+
+std::vector<ModelSpec>
+evaluatedModels()
+{
+    return {opt1p3b(),     opt6p7b(),   llama2_7b(),
+            opt13b(),      llama2_13b(), opt30b(),
+            opt66b(),      llama2_70b()};
+}
+
+ModelSpec
+modelByName(const std::string& name)
+{
+    std::string n = toLower(name);
+    for (char& c : n)
+        if (c == '_' || c == ' ')
+            c = '-';
+    if (n == "opt-1.3b")
+        return opt1p3b();
+    if (n == "opt-6.7b")
+        return opt6p7b();
+    if (n == "opt-13b")
+        return opt13b();
+    if (n == "opt-30b")
+        return opt30b();
+    if (n == "opt-66b")
+        return opt66b();
+    if (n == "opt-175b")
+        return opt175b();
+    if (n == "llama2-7b")
+        return llama2_7b();
+    if (n == "llama2-13b")
+        return llama2_13b();
+    if (n == "llama2-70b")
+        return llama2_70b();
+    if (n == "tiny" || n == "tiny-test")
+        return tinyTestModel();
+    CPULLM_FATAL("unknown model '", name, "'");
+}
+
+} // namespace model
+} // namespace cpullm

@@ -1,0 +1,116 @@
+#ifndef CPULLM_MODEL_SPEC_H
+#define CPULLM_MODEL_SPEC_H
+
+/**
+ * @file
+ * Architecture descriptions of the decoder-only LLM families the
+ * paper evaluates (OPT and LLaMA-2), with exact parameter/footprint
+ * accounting used by Figures 6 and 7.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numerics/dtype.h"
+
+namespace cpullm {
+namespace model {
+
+/** FFN activation function. */
+enum class Activation { ReLU, GELU, SiLU };
+
+/** Normalization layer type. */
+enum class NormKind { LayerNorm, RMSNorm };
+
+/** Positional embedding scheme. */
+enum class PosEmbedding { Learned, Rotary };
+
+/** A decoder-only transformer architecture. */
+struct ModelSpec
+{
+    std::string name;   ///< e.g. "LLaMA2-13B"
+    std::string family; ///< "opt" or "llama2"
+
+    std::int64_t numLayers = 0;
+    std::int64_t dModel = 0;
+    std::int64_t numHeads = 0;
+    /** KV heads (grouped-query attention); == numHeads for MHA. */
+    std::int64_t numKvHeads = 0;
+    std::int64_t dFf = 0;
+    std::int64_t vocabSize = 0;
+    std::int64_t maxSeqLen = 0;
+
+    Activation activation = Activation::ReLU;
+    NormKind norm = NormKind::LayerNorm;
+    PosEmbedding posEmbedding = PosEmbedding::Learned;
+    /** Gated FFN (SwiGLU): three FFN matrices instead of two. */
+    bool gatedFfn = false;
+    /** Linear layers carry bias terms (OPT yes, LLaMA no). */
+    bool linearBias = false;
+    /** Output head shares the token embedding matrix. */
+    bool tiedEmbedding = false;
+
+    std::int64_t headDim() const { return dModel / numHeads; }
+    /** KV projection width: numKvHeads * headDim. */
+    std::int64_t dKv() const { return numKvHeads * headDim(); }
+
+    /** Exact parameter count from the architecture. */
+    std::uint64_t numParameters() const;
+
+    /** Bytes to store the weights in @p dtype (Fig 6 uses F16). */
+    std::uint64_t weightBytes(DType dtype) const;
+
+    /**
+     * KV-cache bytes for one token of one sequence:
+     * 2 (K and V) * numLayers * dKv * dtypeSize. The paper's formula
+     * (Section II-B) is the numKvHeads == numHeads case.
+     */
+    std::uint64_t kvBytesPerToken(DType dtype) const;
+
+    /** KV-cache bytes for @p batch sequences of @p seq_len tokens. */
+    std::uint64_t kvCacheBytes(std::int64_t seq_len, std::int64_t batch,
+                               DType dtype) const;
+
+    /**
+     * Peak activation working-set bytes for a step over @p tokens
+     * tokens (batch * step length): the widest intermediate is the
+     * FFN hidden plus attention scores.
+     */
+    std::uint64_t activationBytes(std::int64_t tokens,
+                                  std::int64_t seq_len,
+                                  DType dtype) const;
+
+    /** Sanity checks (head divisibility etc.); fatal on user error. */
+    void validate() const;
+};
+
+/** @name Model zoo (paper Section IV-A) */
+/// @{
+ModelSpec opt1p3b();
+ModelSpec opt6p7b();
+ModelSpec opt13b();
+ModelSpec opt30b();
+ModelSpec opt66b();
+ModelSpec opt175b(); ///< GPT-3 scale, used in Fig 6 commentary
+ModelSpec llama2_7b();
+ModelSpec llama2_13b();
+ModelSpec llama2_70b();
+/// @}
+
+/**
+ * A miniature spec for functional tests and examples: real math at
+ * interactive speed.
+ */
+ModelSpec tinyTestModel();
+
+/** The eight evaluated models in the paper's plotting order. */
+std::vector<ModelSpec> evaluatedModels();
+
+/** Look up by case-insensitive name ("opt-13b", "llama2-7b"). */
+ModelSpec modelByName(const std::string& name);
+
+} // namespace model
+} // namespace cpullm
+
+#endif // CPULLM_MODEL_SPEC_H

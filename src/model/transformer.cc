@@ -1,0 +1,330 @@
+#include "model/transformer.h"
+
+#include <cmath>
+
+#include "model/layers.h"
+#include "util/logging.h"
+
+namespace cpullm {
+namespace model {
+
+namespace {
+
+/** Scaled init keeps activations O(1) through deep stacks. */
+Tensor
+initWeight(Shape shape, Rng& rng, float fan_in)
+{
+    const float stddev = 1.0f / std::sqrt(fan_in);
+    return Tensor::randomNormal(std::move(shape), DType::F32, rng,
+                                stddev);
+}
+
+} // namespace
+
+TransformerModel::TransformerModel(ModelSpec spec, gemm::Engine engine,
+                                   std::uint64_t seed)
+    : spec_(std::move(spec)), engine_(engine)
+{
+    spec_.validate();
+    Rng rng(seed);
+    const std::int64_t d = spec_.dModel;
+    const std::int64_t dkv = spec_.dKv();
+    const std::int64_t ff = spec_.dFf;
+
+    tokenEmbedding_ = initWeight({spec_.vocabSize, d}, rng,
+                                 static_cast<float>(d));
+    if (spec_.posEmbedding == PosEmbedding::Learned) {
+        posEmbedding_ = initWeight({spec_.maxSeqLen, d}, rng,
+                                   static_cast<float>(d));
+    }
+    finalNormW_ = Tensor({d}, DType::F32);
+    finalNormW_.fill(1.0f);
+    if (spec_.norm == NormKind::LayerNorm)
+        finalNormB_ = Tensor({d}, DType::F32);
+    if (!spec_.tiedEmbedding) {
+        lmHead_ = initWeight({d, spec_.vocabSize}, rng,
+                             static_cast<float>(d));
+    }
+
+    layers_.reserve(static_cast<size_t>(spec_.numLayers));
+    for (std::int64_t l = 0; l < spec_.numLayers; ++l) {
+        LayerWeights w;
+        w.attnNormW = Tensor({d}, DType::F32);
+        w.attnNormW.fill(1.0f);
+        w.ffnNormW = Tensor({d}, DType::F32);
+        w.ffnNormW.fill(1.0f);
+        if (spec_.norm == NormKind::LayerNorm) {
+            w.attnNormB = Tensor({d}, DType::F32);
+            w.ffnNormB = Tensor({d}, DType::F32);
+        }
+        w.wq = initWeight({d, d}, rng, static_cast<float>(d));
+        w.wk = initWeight({d, dkv}, rng, static_cast<float>(d));
+        w.wv = initWeight({d, dkv}, rng, static_cast<float>(d));
+        w.wo = initWeight({d, d}, rng, static_cast<float>(d));
+        if (spec_.gatedFfn)
+            w.wGate = initWeight({d, ff}, rng, static_cast<float>(d));
+        w.wUp = initWeight({d, ff}, rng, static_cast<float>(d));
+        w.wDown = initWeight({ff, d}, rng, static_cast<float>(ff));
+        if (spec_.linearBias) {
+            w.bq = Tensor({d}, DType::F32);
+            w.bk = Tensor({dkv}, DType::F32);
+            w.bv = Tensor({dkv}, DType::F32);
+            w.bo = Tensor({d}, DType::F32);
+            w.bUp = Tensor({ff}, DType::F32);
+            w.bDown = Tensor({d}, DType::F32);
+        }
+        layers_.push_back(std::move(w));
+    }
+}
+
+kv::KvCache
+TransformerModel::makeKvCache(std::int64_t batch,
+                              std::int64_t max_seq) const
+{
+    return kv::KvCache(spec_.numLayers, batch, spec_.dKv(), max_seq,
+                       DType::BF16);
+}
+
+Tensor
+TransformerModel::embed(const std::vector<std::int64_t>& tokens,
+                        std::int64_t position) const
+{
+    const std::int64_t d = spec_.dModel;
+    const auto batch = static_cast<std::int64_t>(tokens.size());
+    Tensor x({batch, d}, DType::F32);
+    float* xp = x.data<float>();
+    const float* emb = tokenEmbedding_.data<float>();
+    for (std::int64_t b = 0; b < batch; ++b) {
+        const std::int64_t tok = tokens[static_cast<size_t>(b)];
+        CPULLM_ASSERT(tok >= 0 && tok < spec_.vocabSize,
+                      "token id ", tok, " out of vocab");
+        for (std::int64_t c = 0; c < d; ++c)
+            xp[b * d + c] = emb[tok * d + c];
+        if (spec_.posEmbedding == PosEmbedding::Learned) {
+            const float* pos = posEmbedding_.data<float>() +
+                               position * d;
+            for (std::int64_t c = 0; c < d; ++c)
+                xp[b * d + c] += pos[c];
+        }
+    }
+    return x;
+}
+
+Tensor
+TransformerModel::attention(std::int64_t layer, const Tensor& x,
+                            std::int64_t position, kv::KvCache& cache)
+{
+    const LayerWeights& w = layers_[static_cast<size_t>(layer)];
+    const std::int64_t batch = x.dim(0);
+    const std::int64_t d = spec_.dModel;
+    const std::int64_t heads = spec_.numHeads;
+    const std::int64_t hd = spec_.headDim();
+    const std::int64_t kv_heads = spec_.numKvHeads;
+    const std::int64_t group = heads / kv_heads;
+
+    Tensor q = linear(engine_, x, w.wq,
+                      spec_.linearBias ? &w.bq : nullptr);
+    Tensor k = linear(engine_, x, w.wk,
+                      spec_.linearBias ? &w.bk : nullptr);
+    Tensor v = linear(engine_, x, w.wv,
+                      spec_.linearBias ? &w.bv : nullptr);
+
+    float* qp = q.data<float>();
+    float* kp = k.data<float>();
+    const float* vp = v.data<float>();
+
+    if (spec_.posEmbedding == PosEmbedding::Rotary) {
+        for (std::int64_t b = 0; b < batch; ++b) {
+            applyRope(qp + b * d, heads, hd, position);
+            applyRope(kp + b * spec_.dKv(), kv_heads, hd, position);
+        }
+    }
+
+    // Append this token's K/V, then attend over positions <= current.
+    for (std::int64_t b = 0; b < batch; ++b) {
+        cache.write(layer, b, position, kp + b * spec_.dKv(),
+                    vp + b * spec_.dKv());
+    }
+    const std::int64_t span = position + 1;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+
+    Tensor ctx({batch, d}, DType::F32);
+    float* cp = ctx.data<float>();
+    std::vector<float> kbuf(static_cast<size_t>(spec_.dKv()));
+    std::vector<float> vbuf(static_cast<size_t>(spec_.dKv()));
+    std::vector<float> scores(static_cast<size_t>(span));
+
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t h = 0; h < heads; ++h) {
+            const std::int64_t kvh = h / group;
+            const float* qh = qp + b * d + h * hd;
+            // Scores over the cached span.
+            for (std::int64_t p = 0; p < span; ++p) {
+                cache.readK(layer, b, p, kbuf.data());
+                const float* kh = kbuf.data() + kvh * hd;
+                float dot = 0.0f;
+                for (std::int64_t i = 0; i < hd; ++i)
+                    dot += qh[i] * kh[i];
+                scores[static_cast<size_t>(p)] = dot * scale;
+            }
+            // Softmax.
+            float mx = scores[0];
+            for (std::int64_t p = 1; p < span; ++p)
+                mx = std::max(mx, scores[static_cast<size_t>(p)]);
+            float sum = 0.0f;
+            for (std::int64_t p = 0; p < span; ++p) {
+                scores[static_cast<size_t>(p)] =
+                    std::exp(scores[static_cast<size_t>(p)] - mx);
+                sum += scores[static_cast<size_t>(p)];
+            }
+            const float inv = 1.0f / sum;
+            // Weighted value sum.
+            float* ch = cp + b * d + h * hd;
+            for (std::int64_t i = 0; i < hd; ++i)
+                ch[i] = 0.0f;
+            for (std::int64_t p = 0; p < span; ++p) {
+                cache.readV(layer, b, p, vbuf.data());
+                const float* vh = vbuf.data() + kvh * hd;
+                const float pw = scores[static_cast<size_t>(p)] * inv;
+                for (std::int64_t i = 0; i < hd; ++i)
+                    ch[i] += pw * vh[i];
+            }
+        }
+    }
+    return linear(engine_, ctx, w.wo,
+                  spec_.linearBias ? &w.bo : nullptr);
+}
+
+Tensor
+TransformerModel::ffn(std::int64_t layer, const Tensor& x)
+{
+    const LayerWeights& w = layers_[static_cast<size_t>(layer)];
+    Tensor up = linear(engine_, x, w.wUp,
+                       spec_.linearBias ? &w.bUp : nullptr);
+    if (spec_.gatedFfn) {
+        Tensor gate = linear(engine_, x, w.wGate, nullptr);
+        activationInPlace(gate, spec_.activation);
+        float* up_p = up.data<float>();
+        const float* g_p = gate.data<float>();
+        for (std::int64_t i = 0; i < up.size(); ++i)
+            up_p[i] *= g_p[i];
+    } else {
+        activationInPlace(up, spec_.activation);
+    }
+    return linear(engine_, up, w.wDown,
+                  spec_.linearBias ? &w.bDown : nullptr);
+}
+
+Tensor
+TransformerModel::forwardTokens(const std::vector<std::int64_t>& tokens,
+                                std::int64_t position,
+                                kv::KvCache& cache)
+{
+    CPULLM_ASSERT(static_cast<std::int64_t>(tokens.size()) ==
+                      cache.batch(),
+                  "token batch mismatches cache batch");
+    Tensor x = embed(tokens, position);
+
+    for (std::int64_t l = 0; l < spec_.numLayers; ++l) {
+        const LayerWeights& w = layers_[static_cast<size_t>(l)];
+        // Pre-norm residual block: x += Attn(Norm(x)).
+        Tensor normed = x.cast(DType::F32);
+        if (spec_.norm == NormKind::LayerNorm)
+            layerNormInPlace(normed, w.attnNormW, w.attnNormB);
+        else
+            rmsNormInPlace(normed, w.attnNormW);
+        Tensor attn = attention(l, normed, position, cache);
+        float* xp = x.data<float>();
+        const float* ap = attn.data<float>();
+        for (std::int64_t i = 0; i < x.size(); ++i)
+            xp[i] += ap[i];
+
+        Tensor normed2 = x.cast(DType::F32);
+        if (spec_.norm == NormKind::LayerNorm)
+            layerNormInPlace(normed2, w.ffnNormW, w.ffnNormB);
+        else
+            rmsNormInPlace(normed2, w.ffnNormW);
+        Tensor f = ffn(l, normed2);
+        const float* fp = f.data<float>();
+        for (std::int64_t i = 0; i < x.size(); ++i)
+            xp[i] += fp[i];
+    }
+
+    if (spec_.norm == NormKind::LayerNorm)
+        layerNormInPlace(x, finalNormW_, finalNormB_);
+    else
+        rmsNormInPlace(x, finalNormW_);
+
+    cache.setSeqLen(position + 1);
+
+    if (spec_.tiedEmbedding) {
+        // logits = x * E^T; compute with explicit transpose since the
+        // GEMM kernels take row-major [K, N].
+        const std::int64_t d = spec_.dModel;
+        Tensor et({d, spec_.vocabSize}, DType::F32);
+        float* ep = et.data<float>();
+        const float* emb = tokenEmbedding_.data<float>();
+        for (std::int64_t vtok = 0; vtok < spec_.vocabSize; ++vtok)
+            for (std::int64_t c = 0; c < d; ++c)
+                ep[c * spec_.vocabSize + vtok] = emb[vtok * d + c];
+        return linear(engine_, x, et, nullptr);
+    }
+    return linear(engine_, x, lmHead_, nullptr);
+}
+
+std::vector<std::int64_t>
+TransformerModel::prefill(
+    const std::vector<std::vector<std::int64_t>>& prompts,
+    kv::KvCache& cache)
+{
+    CPULLM_ASSERT(!prompts.empty(), "empty prompt batch");
+    const std::size_t plen = prompts[0].size();
+    for (const auto& p : prompts) {
+        CPULLM_ASSERT(p.size() == plen,
+                      "all prompts must have equal length");
+    }
+    Tensor logits;
+    std::vector<std::int64_t> column(prompts.size());
+    for (std::size_t pos = 0; pos < plen; ++pos) {
+        for (std::size_t b = 0; b < prompts.size(); ++b)
+            column[b] = prompts[b][pos];
+        logits = forwardTokens(column,
+                               static_cast<std::int64_t>(pos), cache);
+    }
+    std::vector<std::int64_t> next(prompts.size());
+    for (std::size_t b = 0; b < prompts.size(); ++b)
+        next[b] = argmaxRow(logits, static_cast<std::int64_t>(b));
+    return next;
+}
+
+std::vector<std::int64_t>
+TransformerModel::decodeStep(const std::vector<std::int64_t>& last_tokens,
+                             kv::KvCache& cache)
+{
+    Tensor logits = forwardTokens(last_tokens, cache.seqLen(), cache);
+    std::vector<std::int64_t> next(last_tokens.size());
+    for (std::size_t b = 0; b < last_tokens.size(); ++b)
+        next[b] = argmaxRow(logits, static_cast<std::int64_t>(b));
+    return next;
+}
+
+std::vector<std::vector<std::int64_t>>
+TransformerModel::generate(
+    const std::vector<std::vector<std::int64_t>>& prompts,
+    std::int64_t gen_len, kv::KvCache& cache)
+{
+    CPULLM_ASSERT(gen_len >= 1, "gen_len must be >= 1");
+    std::vector<std::vector<std::int64_t>> out(prompts.size());
+    std::vector<std::int64_t> last = prefill(prompts, cache);
+    for (std::size_t b = 0; b < prompts.size(); ++b)
+        out[b].push_back(last[b]);
+    for (std::int64_t step = 1; step < gen_len; ++step) {
+        last = decodeStep(last, cache);
+        for (std::size_t b = 0; b < prompts.size(); ++b)
+            out[b].push_back(last[b]);
+    }
+    return out;
+}
+
+} // namespace model
+} // namespace cpullm

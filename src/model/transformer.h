@@ -1,0 +1,120 @@
+#ifndef CPULLM_MODEL_TRANSFORMER_H
+#define CPULLM_MODEL_TRANSFORMER_H
+
+/**
+ * @file
+ * The functional decoder-only transformer. Executes real forward
+ * passes (through the emulated matrix engines) for specs small enough
+ * to hold weights in memory; the timing-only path in src/engine uses
+ * the same operator structure with shapes alone.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "gemm/gemm.h"
+#include "kv/kv_cache.h"
+#include "model/spec.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cpullm {
+namespace model {
+
+/** Weights of one decoder block. */
+struct LayerWeights
+{
+    Tensor attnNormW, attnNormB;
+    Tensor wq, wk, wv, wo;
+    Tensor bq, bk, bv, bo;
+    Tensor ffnNormW, ffnNormB;
+    Tensor wGate; ///< SwiGLU gate (empty when !gatedFfn)
+    Tensor wUp, wDown;
+    Tensor bUp, bDown;
+};
+
+/**
+ * A decoder-only transformer with synthetic (random) weights.
+ *
+ * Token values never affect the measured performance quantities, so
+ * random weights preserve everything the paper characterizes while
+ * keeping the substrate exercised end to end (DESIGN.md Section 1).
+ */
+class TransformerModel
+{
+  public:
+    /**
+     * Build a model with random weights.
+     * @param spec   architecture (use tinyTestModel() for tests)
+     * @param engine matrix engine for all linear projections
+     * @param seed   RNG seed for weight init
+     */
+    TransformerModel(ModelSpec spec, gemm::Engine engine,
+                     std::uint64_t seed = 7);
+
+    const ModelSpec& spec() const { return spec_; }
+    gemm::Engine engine() const { return engine_; }
+
+    /** Allocate a KV cache sized for @p batch x @p max_seq. */
+    kv::KvCache makeKvCache(std::int64_t batch,
+                            std::int64_t max_seq) const;
+
+    /**
+     * Prefill: run all prompt tokens through the model, filling the
+     * cache, and return the first generated token (greedy) for each
+     * sequence. All prompts must have equal length (the paper's
+     * workloads do).
+     */
+    std::vector<std::int64_t>
+    prefill(const std::vector<std::vector<std::int64_t>>& prompts,
+            kv::KvCache& cache);
+
+    /**
+     * One decode step: feed the last generated token of each sequence,
+     * append to the cache, and return the next greedy tokens.
+     */
+    std::vector<std::int64_t>
+    decodeStep(const std::vector<std::int64_t>& last_tokens,
+               kv::KvCache& cache);
+
+    /**
+     * Full greedy generation: prefill then @p gen_len - 1 decode
+     * steps; returns [batch][gen_len] generated tokens.
+     */
+    std::vector<std::vector<std::int64_t>>
+    generate(const std::vector<std::vector<std::int64_t>>& prompts,
+             std::int64_t gen_len, kv::KvCache& cache);
+
+    /**
+     * Logits for the tokens at one position (all sequences), also
+     * appending K/V to the cache. Exposed for tests.
+     * @param tokens    one token id per sequence
+     * @param position  absolute position of these tokens
+     * @return [batch, vocab] FP32 logits
+     */
+    Tensor forwardTokens(const std::vector<std::int64_t>& tokens,
+                         std::int64_t position, kv::KvCache& cache);
+
+  private:
+    Tensor embed(const std::vector<std::int64_t>& tokens,
+                 std::int64_t position) const;
+
+    /** Attention for one position across the batch. */
+    Tensor attention(std::int64_t layer, const Tensor& x,
+                     std::int64_t position, kv::KvCache& cache);
+
+    Tensor ffn(std::int64_t layer, const Tensor& x);
+
+    ModelSpec spec_;
+    gemm::Engine engine_;
+    Tensor tokenEmbedding_; ///< [vocab, d]
+    Tensor posEmbedding_;   ///< [max_seq, d] (learned only)
+    Tensor finalNormW_, finalNormB_;
+    Tensor lmHead_; ///< [d, vocab] (empty when tied)
+    std::vector<LayerWeights> layers_;
+};
+
+} // namespace model
+} // namespace cpullm
+
+#endif // CPULLM_MODEL_TRANSFORMER_H

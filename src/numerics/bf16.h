@@ -1,0 +1,81 @@
+#ifndef CPULLM_NUMERICS_BF16_H
+#define CPULLM_NUMERICS_BF16_H
+
+/**
+ * @file
+ * Brain floating point (BF16) with the exact conversion semantics the
+ * AMX/AVX-512 BF16 instructions use: truncation of an FP32 value keeps
+ * the top 16 bits; FP32->BF16 conversion rounds to nearest-even. The
+ * functional AMX model (tdpbf16ps) multiplies BF16 pairs and
+ * accumulates in FP32, matching hardware.
+ */
+
+#include <cstdint>
+#include <cstring>
+
+namespace cpullm {
+
+/** 16-bit brain float: 1 sign, 8 exponent, 7 mantissa bits. */
+class BFloat16
+{
+  public:
+    BFloat16() = default;
+
+    /** Round-to-nearest-even conversion from FP32, as VCVTNEPS2BF16. */
+    explicit BFloat16(float f) : bits_(fromFloatBits(f)) {}
+
+    /** Reinterpret raw 16-bit storage. */
+    static BFloat16
+    fromBits(std::uint16_t bits)
+    {
+        BFloat16 b;
+        b.bits_ = bits;
+        return b;
+    }
+
+    std::uint16_t bits() const { return bits_; }
+
+    /** Widen to FP32 (exact: append 16 zero mantissa bits). */
+    float
+    toFloat() const
+    {
+        std::uint32_t w = static_cast<std::uint32_t>(bits_) << 16;
+        float f;
+        std::memcpy(&f, &w, sizeof(f));
+        return f;
+    }
+
+    explicit operator float() const { return toFloat(); }
+
+    bool operator==(const BFloat16& o) const { return bits_ == o.bits_; }
+    bool operator!=(const BFloat16& o) const { return bits_ != o.bits_; }
+
+  private:
+    static std::uint16_t
+    fromFloatBits(float f)
+    {
+        std::uint32_t w;
+        std::memcpy(&w, &f, sizeof(w));
+        // NaN: keep a quiet NaN, don't let rounding turn it into Inf.
+        if ((w & 0x7F800000u) == 0x7F800000u && (w & 0x007FFFFFu) != 0)
+            return static_cast<std::uint16_t>((w >> 16) | 0x0040u);
+        // Round to nearest even on the 16 discarded bits.
+        const std::uint32_t rounding =
+            0x7FFFu + ((w >> 16) & 1u);
+        w += rounding;
+        return static_cast<std::uint16_t>(w >> 16);
+    }
+
+    std::uint16_t bits_ = 0;
+};
+
+/** BF16 * BF16 with FP32 accumulation, the TMUL primitive. */
+inline float
+bf16MulAcc(BFloat16 a, BFloat16 b, float acc)
+{
+    return acc + a.toFloat() * b.toFloat();
+}
+
+} // namespace cpullm
+
+#endif // CPULLM_NUMERICS_BF16_H

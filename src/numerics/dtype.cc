@@ -1,0 +1,81 @@
+#include "numerics/dtype.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+
+std::size_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::F32:
+      case DType::I32:
+        return 4;
+      case DType::BF16:
+      case DType::F16:
+        return 2;
+      case DType::I8:
+        return 1;
+    }
+    CPULLM_PANIC("unhandled dtype");
+}
+
+std::string
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::F32:
+        return "f32";
+      case DType::BF16:
+        return "bf16";
+      case DType::F16:
+        return "f16";
+      case DType::I8:
+        return "i8";
+      case DType::I32:
+        return "i32";
+    }
+    CPULLM_PANIC("unhandled dtype");
+}
+
+DType
+dtypeFromName(const std::string& name)
+{
+    const std::string n = toLower(name);
+    if (n == "f32" || n == "fp32" || n == "float32")
+        return DType::F32;
+    if (n == "bf16" || n == "bfloat16")
+        return DType::BF16;
+    if (n == "f16" || n == "fp16" || n == "half")
+        return DType::F16;
+    if (n == "i8" || n == "int8")
+        return DType::I8;
+    if (n == "i32" || n == "int32")
+        return DType::I32;
+    CPULLM_FATAL("unknown dtype '", name, "'");
+}
+
+std::int8_t
+QuantParams::quantize(float v) const
+{
+    const float scaled = v / scale;
+    float r = std::nearbyint(scaled);
+    if (r > 127.0f)
+        r = 127.0f;
+    if (r < -127.0f)
+        r = -127.0f;
+    return static_cast<std::int8_t>(r);
+}
+
+QuantParams
+QuantParams::forAbsMax(float absmax)
+{
+    QuantParams p;
+    p.scale = absmax > 0.0f ? absmax / 127.0f : 1.0f;
+    return p;
+}
+
+} // namespace cpullm

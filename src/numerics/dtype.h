@@ -1,0 +1,53 @@
+#ifndef CPULLM_NUMERICS_DTYPE_H
+#define CPULLM_NUMERICS_DTYPE_H
+
+/**
+ * @file
+ * Data types the framework models, with the element sizes used in all
+ * footprint and bandwidth computations.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cpullm {
+
+/** Element types supported by the tensors and hardware models. */
+enum class DType : std::uint8_t {
+    F32,  ///< IEEE binary32
+    BF16, ///< brain float 16 (AMX/AVX-512 native)
+    F16,  ///< IEEE binary16 (footprint accounting, GPU native)
+    I8,   ///< signed 8-bit integer (AMX INT8 path)
+    I32,  ///< 32-bit integer (INT8 accumulator)
+};
+
+/** Bytes per element of @p t. */
+std::size_t dtypeSize(DType t);
+
+/** Human-readable name ("bf16", ...). */
+std::string dtypeName(DType t);
+
+/** Parse a dtype name; fatal on unknown names (user input). */
+DType dtypeFromName(const std::string& name);
+
+/**
+ * Symmetric per-tensor INT8 quantization parameters: real = scale * q.
+ */
+struct QuantParams
+{
+    float scale = 1.0f;
+
+    /** Quantize with round-to-nearest and saturation to [-127, 127]. */
+    std::int8_t quantize(float v) const;
+
+    /** Dequantize. */
+    float dequantize(std::int8_t q) const { return scale * q; }
+
+    /** Pick a scale covering [-absmax, absmax]. */
+    static QuantParams forAbsMax(float absmax);
+};
+
+} // namespace cpullm
+
+#endif // CPULLM_NUMERICS_DTYPE_H

@@ -1,0 +1,114 @@
+#ifndef CPULLM_NUMERICS_FP16_H
+#define CPULLM_NUMERICS_FP16_H
+
+/**
+ * @file
+ * IEEE-754 binary16 used for footprint accounting (the paper quotes
+ * FP16 model sizes) and as an alternative activation dtype.
+ */
+
+#include <cstdint>
+#include <cstring>
+
+namespace cpullm {
+
+/** 16-bit IEEE half: 1 sign, 5 exponent, 10 mantissa bits. */
+class Float16
+{
+  public:
+    Float16() = default;
+
+    /** Round-to-nearest-even conversion from FP32. */
+    explicit Float16(float f) : bits_(fromFloat(f)) {}
+
+    static Float16
+    fromBits(std::uint16_t bits)
+    {
+        Float16 h;
+        h.bits_ = bits;
+        return h;
+    }
+
+    std::uint16_t bits() const { return bits_; }
+
+    float
+    toFloat() const
+    {
+        const std::uint32_t sign = (bits_ & 0x8000u) << 16;
+        const std::uint32_t exp = (bits_ >> 10) & 0x1Fu;
+        const std::uint32_t man = bits_ & 0x3FFu;
+        std::uint32_t w;
+        if (exp == 0) {
+            if (man == 0) {
+                w = sign; // signed zero
+            } else {
+                // Subnormal: normalize.
+                int e = -1;
+                std::uint32_t m = man;
+                do {
+                    ++e;
+                    m <<= 1;
+                } while ((m & 0x400u) == 0);
+                w = sign | ((127 - 15 - e) << 23) | ((m & 0x3FFu) << 13);
+            }
+        } else if (exp == 0x1F) {
+            w = sign | 0x7F800000u | (man << 13); // Inf/NaN
+        } else {
+            w = sign | ((exp - 15 + 127) << 23) | (man << 13);
+        }
+        float f;
+        std::memcpy(&f, &w, sizeof(f));
+        return f;
+    }
+
+    explicit operator float() const { return toFloat(); }
+
+    bool operator==(const Float16& o) const { return bits_ == o.bits_; }
+
+  private:
+    static std::uint16_t
+    fromFloat(float f)
+    {
+        std::uint32_t w;
+        std::memcpy(&w, &f, sizeof(w));
+        const std::uint32_t sign = (w >> 16) & 0x8000u;
+        const std::int32_t exp =
+            static_cast<std::int32_t>((w >> 23) & 0xFFu) - 127 + 15;
+        std::uint32_t man = w & 0x7FFFFFu;
+
+        if (((w >> 23) & 0xFFu) == 0xFFu) { // Inf/NaN
+            const std::uint32_t nan = man ? 0x200u : 0u;
+            return static_cast<std::uint16_t>(
+                sign | 0x7C00u | nan | (man >> 13));
+        }
+        if (exp >= 0x1F) // overflow -> Inf
+            return static_cast<std::uint16_t>(sign | 0x7C00u);
+        if (exp <= 0) {
+            if (exp < -10)
+                return static_cast<std::uint16_t>(sign); // underflow -> 0
+            // Subnormal half.
+            man |= 0x800000u;
+            const int shift = 14 - exp;
+            std::uint32_t half_man = man >> shift;
+            // Round to nearest even.
+            const std::uint32_t rem = man & ((1u << shift) - 1);
+            const std::uint32_t halfway = 1u << (shift - 1);
+            if (rem > halfway || (rem == halfway && (half_man & 1)))
+                ++half_man;
+            return static_cast<std::uint16_t>(sign | half_man);
+        }
+        // Normal number; round mantissa to nearest even on 13 bits.
+        std::uint32_t out = sign |
+            (static_cast<std::uint32_t>(exp) << 10) | (man >> 13);
+        const std::uint32_t rem = man & 0x1FFFu;
+        if (rem > 0x1000u || (rem == 0x1000u && (out & 1)))
+            ++out; // may carry into exponent, which is correct rounding
+        return static_cast<std::uint16_t>(out);
+    }
+
+    std::uint16_t bits_ = 0;
+};
+
+} // namespace cpullm
+
+#endif // CPULLM_NUMERICS_FP16_H

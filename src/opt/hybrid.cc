@@ -1,0 +1,158 @@
+#include "opt/hybrid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cpullm {
+namespace opt {
+
+HybridExecutionModel::HybridExecutionModel(
+    const hw::PlatformConfig& cpu_platform, const hw::GpuConfig& gpu,
+    HybridCalibration cal)
+    : cpu_(cpu_platform), gpu_(gpu), cal_(cal)
+{
+}
+
+double
+HybridExecutionModel::minCpuFraction(const model::ModelSpec& spec,
+                                     const perf::Workload& w) const
+{
+    const double weights =
+        static_cast<double>(spec.weightBytes(w.dtype));
+    const double kv = static_cast<double>(
+        spec.kvCacheBytes(w.finalSeqLen(), w.batch, w.kvDtype));
+    const double act = static_cast<double>(spec.activationBytes(
+        w.batch * w.promptLen, w.finalSeqLen(), DType::BF16));
+    const double budget =
+        static_cast<double>(gpu_.memoryBudget()) - kv - act;
+    if (budget <= 0.0)
+        return 1.0; // KV alone exceeds the GPU: everything on CPU
+    if (budget >= weights)
+        return 0.0; // whole model fits
+    return 1.0 - budget / weights;
+}
+
+namespace {
+
+/** Scale a phase breakdown by the share of layers it covers. */
+double
+scaledPhaseTime(const perf::PhaseBreakdown& full, double fraction)
+{
+    return full.totalTime * fraction;
+}
+
+} // namespace
+
+HybridEvaluation
+HybridExecutionModel::evaluate(const model::ModelSpec& spec,
+                               const perf::Workload& w,
+                               double cpu_fraction) const
+{
+    CPULLM_ASSERT(cpu_fraction >= 0.0 && cpu_fraction <= 1.0,
+                  "cpu fraction out of range: ", cpu_fraction);
+    const double f = cpu_fraction;
+    const double g = 1.0 - f;
+
+    // Boundary activation transfer: the residual stream crosses PCIe
+    // once per step (per direction amortized into one crossing).
+    const double pcie = gpu_.gpu().pcie.effectiveBandwidth();
+    auto boundary = [&](std::int64_t tokens) {
+        if (f == 0.0 || g == 0.0)
+            return 0.0;
+        const double bytes = static_cast<double>(tokens) *
+                             static_cast<double>(spec.dModel) * 2.0;
+        return bytes / pcie + gpu_.gpu().pcie.latency;
+    };
+    const double sync = (f > 0.0 && g > 0.0) ? cal_.syncOverhead : 0.0;
+    const bool pipelined =
+        w.batch >= cal_.pipelineDepth && f > 0.0 && g > 0.0;
+
+    auto step_time = [&](perf::Phase phase, std::int64_t ctx) {
+        const double cpu_t =
+            f > 0.0
+                ? scaledPhaseTime(cpu_.timePhase(spec, phase, w, ctx),
+                                  f)
+                : 0.0;
+        const double gpu_t =
+            g > 0.0 ? gpu_.timeStep(spec, phase, w, ctx,
+                                    gpu::GpuPlacement::Resident)
+                              .total *
+                          g
+                    : 0.0;
+        const std::int64_t tokens =
+            w.batch * (phase == perf::Phase::Prefill ? w.promptLen : 1);
+        const double cross = boundary(tokens) + sync;
+        if (pipelined)
+            return std::max(cpu_t, gpu_t) + cross;
+        return cpu_t + gpu_t + cross;
+    };
+
+    HybridEvaluation ev;
+    ev.cpuFraction = f;
+    perf::InferenceTiming& t = ev.timing;
+    t.ttft = step_time(perf::Phase::Prefill, w.promptLen);
+    const std::int64_t steps = w.genLen - 1;
+    t.decodeTime = 0.0;
+    for (std::int64_t s = 0; s < steps; ++s)
+        t.decodeTime += step_time(perf::Phase::Decode,
+                                  w.promptLen + s + 1);
+    t.tpot = steps > 0 ? t.decodeTime / static_cast<double>(steps)
+                       : 0.0;
+    t.e2eLatency = t.ttft + t.decodeTime;
+    t.totalThroughput =
+        static_cast<double>(w.generatedTokens()) / t.e2eLatency;
+    t.prefillThroughput =
+        static_cast<double>(w.batch * w.promptLen) / t.ttft;
+    t.decodeThroughput =
+        steps > 0 ? static_cast<double>(w.batch * steps) / t.decodeTime
+                  : 0.0;
+    return ev;
+}
+
+HybridResult
+HybridExecutionModel::optimize(const model::ModelSpec& spec,
+                               const perf::Workload& w,
+                               int granularity) const
+{
+    CPULLM_ASSERT(granularity >= 1, "granularity must be >= 1");
+    HybridResult r;
+    r.pureCpu = cpu_.run(spec, w);
+    const gpu::GpuRunResult pure_gpu = gpu_.run(spec, w);
+    r.pureGpu = pure_gpu.timing;
+    r.pureGpuPlacement = pure_gpu.placement;
+
+    const double f_min = minCpuFraction(spec, w);
+    double best_lat = r.pureCpu.e2eLatency;
+    HybridEvaluation best;
+    best.cpuFraction = 1.0;
+    best.timing = r.pureCpu;
+
+    // Pure GPU counts as a candidate only when it needs no streaming;
+    // an offloaded pure-GPU baseline is already captured in pureGpu.
+    if (f_min == 0.0 && r.pureGpu.e2eLatency < best_lat) {
+        best_lat = r.pureGpu.e2eLatency;
+        best.cpuFraction = 0.0;
+        best.timing = r.pureGpu;
+    }
+
+    for (int i = 0; i <= granularity; ++i) {
+        const double f =
+            f_min + (1.0 - f_min) * static_cast<double>(i) /
+                        static_cast<double>(granularity);
+        if (f <= 0.0 || f >= 1.0)
+            continue;
+        const HybridEvaluation ev = evaluate(spec, w, f);
+        r.sweep.push_back(ev);
+        if (ev.timing.e2eLatency < best_lat) {
+            best_lat = ev.timing.e2eLatency;
+            best = ev;
+        }
+    }
+    r.best = best;
+    return r;
+}
+
+} // namespace opt
+} // namespace cpullm

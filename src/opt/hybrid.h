@@ -1,0 +1,108 @@
+#ifndef CPULLM_OPT_HYBRID_H
+#define CPULLM_OPT_HYBRID_H
+
+/**
+ * @file
+ * Section VI optimization #2: CPU-GPU hybrid execution. FlexGen
+ * leaves the host CPU nearly idle (attention only); the paper argues
+ * that for models exceeding GPU memory, running a *share of the
+ * decoder layers* on the AMX CPU — instead of streaming their weights
+ * over PCIe — should beat both pure strategies.
+ *
+ * Model: the GPU keeps as many layers resident as fit its memory
+ * budget; the CPU executes the remaining fraction f from HBM. Within
+ * a token the two parts are sequential; with batch >= 2 the runtime
+ * splits the batch into micro-batches and pipelines the two devices,
+ * so the steady-state step cost is max(cpu, gpu) + boundary transfer.
+ */
+
+#include <vector>
+
+#include "gpu/gpu_model.h"
+#include "hw/platform.h"
+#include "model/spec.h"
+#include "perf/cpu_model.h"
+#include "perf/timing.h"
+#include "perf/workload.h"
+
+namespace cpullm {
+namespace opt {
+
+/** Calibration of the hybrid runtime glue. */
+struct HybridCalibration
+{
+    /** Per-step cross-device synchronization cost, seconds. */
+    double syncOverhead = 150e-6;
+    /** Micro-batches used to pipeline CPU and GPU stages. */
+    int pipelineDepth = 2;
+};
+
+/** One evaluated split point. */
+struct HybridEvaluation
+{
+    /** Fraction of decoder layers executed on the CPU. */
+    double cpuFraction = 0.0;
+    perf::InferenceTiming timing;
+};
+
+/** Outcome of a hybrid-execution search. */
+struct HybridResult
+{
+    HybridEvaluation best;
+    perf::InferenceTiming pureCpu;
+    perf::InferenceTiming pureGpu;
+    gpu::GpuPlacement pureGpuPlacement = gpu::GpuPlacement::Resident;
+    /** All evaluated split points (for ablation plots). */
+    std::vector<HybridEvaluation> sweep;
+
+    /** Hybrid speedup over the better pure strategy (>1 = wins). */
+    double
+    speedupVsBestPure() const
+    {
+        const double best_pure = pureCpu.e2eLatency <
+                                         pureGpu.e2eLatency
+                                     ? pureCpu.e2eLatency
+                                     : pureGpu.e2eLatency;
+        return best_pure / best.timing.e2eLatency;
+    }
+};
+
+/** CPU-GPU hybrid (pipelined layer-split) execution model. */
+class HybridExecutionModel
+{
+  public:
+    HybridExecutionModel(const hw::PlatformConfig& cpu_platform,
+                         const hw::GpuConfig& gpu,
+                         HybridCalibration cal = {});
+
+    /**
+     * Smallest CPU fraction such that the GPU share of the weights
+     * (plus KV/activations) fits the GPU memory budget.
+     */
+    double minCpuFraction(const model::ModelSpec& spec,
+                          const perf::Workload& w) const;
+
+    /** Evaluate one split point (cpu_fraction in [0, 1]). */
+    HybridEvaluation evaluate(const model::ModelSpec& spec,
+                              const perf::Workload& w,
+                              double cpu_fraction) const;
+
+    /**
+     * Search split points (including the pure strategies) and return
+     * the best, with the pure baselines for comparison.
+     * @param granularity number of interior split points to test
+     */
+    HybridResult optimize(const model::ModelSpec& spec,
+                          const perf::Workload& w,
+                          int granularity = 20) const;
+
+  private:
+    perf::CpuPerfModel cpu_;
+    gpu::GpuPerfModel gpu_;
+    HybridCalibration cal_;
+};
+
+} // namespace opt
+} // namespace cpullm
+
+#endif // CPULLM_OPT_HYBRID_H

@@ -1,0 +1,43 @@
+#include "opt/numa_placement.h"
+
+namespace cpullm {
+namespace opt {
+
+NumaPlacementResult
+compareNumaPlacement(const hw::PlatformConfig& platform,
+                     const model::ModelSpec& spec,
+                     const perf::Workload& workload)
+{
+    NumaPlacementResult r;
+    r.platform = platform;
+
+    perf::CpuCalibration oblivious_cal;
+    oblivious_cal.placementPolicy = mem::PlacementPolicy::Oblivious;
+    const perf::CpuPerfModel oblivious(platform, oblivious_cal);
+    r.oblivious = oblivious.run(spec, workload);
+
+    perf::CpuCalibration aware_cal;
+    aware_cal.placementPolicy = mem::PlacementPolicy::HotColdAware;
+    const perf::CpuPerfModel aware(platform, aware_cal);
+    r.aware = aware.run(spec, workload);
+    return r;
+}
+
+std::vector<NumaPlacementResult>
+numaPlacementAblation(const model::ModelSpec& spec,
+                      const perf::Workload& workload)
+{
+    std::vector<NumaPlacementResult> out;
+    out.push_back(compareNumaPlacement(
+        hw::sprPlatform(hw::ClusteringMode::Snc4, hw::MemoryMode::Flat,
+                        48),
+        spec, workload));
+    out.push_back(compareNumaPlacement(
+        hw::sprPlatform(hw::ClusteringMode::Quadrant,
+                        hw::MemoryMode::Flat, 96),
+        spec, workload));
+    return out;
+}
+
+} // namespace opt
+} // namespace cpullm

@@ -1,0 +1,69 @@
+#ifndef CPULLM_OPT_NUMA_PLACEMENT_H
+#define CPULLM_OPT_NUMA_PLACEMENT_H
+
+/**
+ * @file
+ * Section VI optimization #1: NUMA-aware data placement. The paper
+ * proposes placing hot activations in HBM/local DDR and cold data in
+ * remote DDR, motivated by activation-importance studies (Deja Vu,
+ * Flash-LLM). This module evaluates that proposal inside the timing
+ * model: the same platform simulated with NUMA-oblivious vs.
+ * hot/cold-aware placement.
+ */
+
+#include "hw/platform.h"
+#include "model/spec.h"
+#include "perf/cpu_model.h"
+#include "perf/timing.h"
+#include "perf/workload.h"
+
+namespace cpullm {
+namespace opt {
+
+/** Outcome of one placement-policy comparison. */
+struct NumaPlacementResult
+{
+    hw::PlatformConfig platform;
+    perf::InferenceTiming oblivious;
+    perf::InferenceTiming aware;
+
+    /** E2E latency improvement factor (>1 = aware is faster). */
+    double
+    e2eSpeedup() const
+    {
+        return oblivious.e2eLatency / aware.e2eLatency;
+    }
+
+    /** Decode (TPOT) improvement factor. */
+    double
+    tpotSpeedup() const
+    {
+        return aware.tpot > 0.0 ? oblivious.tpot / aware.tpot : 1.0;
+    }
+};
+
+/**
+ * Simulate @p spec/@p workload on @p platform under both placement
+ * policies. The interesting platforms are the ones the paper found
+ * degraded: SNC-4 clustering and 96-core (two-socket) runs.
+ */
+NumaPlacementResult compareNumaPlacement(
+    const hw::PlatformConfig& platform, const model::ModelSpec& spec,
+    const perf::Workload& workload);
+
+/**
+ * The headline ablation: does NUMA-aware placement rehabilitate the
+ * configurations Key Findings #2/#3 rejected?
+ *
+ * Returns results for snc_flat/48c and quad_flat/96c, whose oblivious
+ * versions lose to quad_flat/48c; with aware placement both should
+ * close most of the gap (and SNC can edge ahead, as Section II-E's
+ * "higher bandwidth and lower latency" suggests).
+ */
+std::vector<NumaPlacementResult> numaPlacementAblation(
+    const model::ModelSpec& spec, const perf::Workload& workload);
+
+} // namespace opt
+} // namespace cpullm
+
+#endif // CPULLM_OPT_NUMA_PLACEMENT_H

@@ -1,0 +1,344 @@
+#include "perf/cpu_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cpullm {
+namespace perf {
+
+namespace {
+
+/** Fraction of a 16-wide tile dimension actually used. */
+double
+tileUtil(std::int64_t x, std::int64_t tile)
+{
+    if (x <= 0)
+        return 1.0;
+    const std::int64_t tiles = (x + tile - 1) / tile;
+    return static_cast<double>(x) / static_cast<double>(tiles * tile);
+}
+
+double
+ramp(double size, double half)
+{
+    return size / (size + half);
+}
+
+} // namespace
+
+Counters&
+Counters::operator+=(const Counters& o)
+{
+    instructions += o.instructions;
+    llcMisses += o.llcMisses;
+    llcAccesses += o.llcAccesses;
+    loads += o.loads;
+    stores += o.stores;
+    remoteLlcAccesses += o.remoteLlcAccesses;
+    upiBytes += o.upiBytes;
+    // Utilizations are time-weighted by the callers; adding here keeps
+    // plain sums out of them.
+    return *this;
+}
+
+CpuPerfModel::CpuPerfModel(const hw::PlatformConfig& platform,
+                           CpuCalibration calibration)
+    : platform_(platform), cal_(calibration),
+      memsys_(platform, calibration.placementPolicy)
+{
+}
+
+double
+CpuPerfModel::peakFlops(DType dtype) const
+{
+    const hw::CpuConfig& cpu = platform_.cpu;
+    const double per_socket = cpu.compute.bestFlopsPerSocket(dtype);
+    const int cps = cpu.coresPerSocket;
+    const int cores = platform_.coresUsed;
+    if (cores <= cps) {
+        return per_socket * static_cast<double>(cores) /
+               static_cast<double>(cps);
+    }
+    // Beyond one socket, GEMM scaling collapses: OpenMP barriers and
+    // coherence over UPI (Key Finding #3).
+    const double full = per_socket +
+                        per_socket * static_cast<double>(cores - cps) /
+                            static_cast<double>(cps);
+    return full * cal_.crossSocketComputeEfficiency;
+}
+
+double
+CpuPerfModel::gemmEfficiency(std::int64_t m, std::int64_t n,
+                             std::int64_t k) const
+{
+    if (platform_.cpu.compute.hasAmx()) {
+        return cal_.amxBaseEfficiency * tileUtil(m, 16) *
+               tileUtil(n, 16) *
+               ramp(static_cast<double>(std::min(n, k)),
+                    cal_.amxRampHalfSize);
+    }
+    return cal_.avx512BaseEfficiency * tileUtil(n, 16) *
+           ramp(static_cast<double>(std::min(n, k)),
+                cal_.avx512RampHalfSize);
+}
+
+double
+CpuPerfModel::opOverhead() const
+{
+    double o = cal_.opOverheadBase +
+               cal_.opOverheadPerCore * platform_.coresUsed;
+    if (platform_.spansSockets())
+        o += cal_.crossSocketOpOverhead;
+    return o;
+}
+
+mem::RegionSizes
+CpuPerfModel::regionSizes(const model::ModelSpec& spec,
+                          const Workload& w) const
+{
+    mem::RegionSizes sizes;
+    sizes.weights = spec.weightBytes(w.dtype);
+    sizes.kvCache = spec.kvCacheBytes(w.finalSeqLen(), w.batch,
+                                     w.kvDtype);
+    sizes.activations = spec.activationBytes(
+        w.batch * w.promptLen, w.finalSeqLen(), DType::BF16);
+    return sizes;
+}
+
+CpuPerfModel::PhaseContext
+CpuPerfModel::makePhaseContext(const model::ModelSpec& spec,
+                               const Workload& w) const
+{
+    PhaseContext ctx;
+    const mem::RegionSizes sizes = regionSizes(spec, w);
+    const mem::MemoryPlan plan = memsys_.plan(sizes);
+
+    const int cores = platform_.coresUsed;
+    ctx.weightBw =
+        memsys_.regionBandwidth(plan, mem::Region::Weights, cores);
+    ctx.kvBw =
+        memsys_.regionBandwidth(plan, mem::Region::KvCache, cores);
+    ctx.actBw = cal_.actBandwidthPerCore * cores;
+
+    // NUMA-oblivious allocation across two sockets routes part of the
+    // stream over UPI; hot/cold-aware placement shrinks that share.
+    ctx.remoteFrac =
+        cal_.placementPolicy == mem::PlacementPolicy::HotColdAware
+            ? cal_.crossSocketRemoteFractionAware
+            : cal_.crossSocketRemoteFraction;
+    if (platform_.spansSockets()) {
+        ctx.upiAgg = 2.0 * platform_.cpu.upi.effectiveBandwidth();
+        auto derate = [&](double bw) {
+            return 1.0 / ((1.0 - ctx.remoteFrac) / bw +
+                          ctx.remoteFrac / ctx.upiAgg);
+        };
+        ctx.weightBw = derate(ctx.weightBw);
+        ctx.kvBw = derate(ctx.kvBw);
+    }
+
+    ctx.peak = peakFlops(w.dtype);
+    ctx.avxPeak =
+        platform_.cpu.compute.avx512Bf16FlopsPerSocket *
+        std::min<double>(1.0, static_cast<double>(cores) /
+                                  platform_.cpu.coresPerSocket) *
+        (platform_.spansSockets()
+             ? 2.0 * cal_.crossSocketComputeEfficiency
+             : 1.0);
+    ctx.ewPeak = cores * platform_.cpu.coreFrequency * 16.0;
+    ctx.overhead = opOverhead();
+    return ctx;
+}
+
+CpuPerfModel::OpCost
+CpuPerfModel::costOp(const OpDesc& op, const PhaseContext& ctx) const
+{
+    OpCost cost;
+    switch (op.kind) {
+      case OpKind::Gemm:
+        cost.compute =
+            op.flops / (ctx.peak * gemmEfficiency(op.m, op.n, op.k));
+        break;
+      case OpKind::Attention:
+        // Attention kernels run on the vector units (the KV layout
+        // defeats AMX tiling in practice).
+        cost.compute = op.flops / (ctx.avxPeak * 0.5);
+        break;
+      case OpKind::Elementwise:
+      case OpKind::Embedding:
+        cost.compute = op.flops / ctx.ewPeak;
+        break;
+    }
+    cost.memory = static_cast<double>(op.weightBytes) / ctx.weightBw +
+                  static_cast<double>(op.kvBytes) / ctx.kvBw +
+                  static_cast<double>(op.actBytes) / ctx.actBw;
+    cost.overhead = ctx.overhead;
+    cost.total = std::max(cost.compute, cost.memory) + cost.overhead;
+    cost.memoryBound = cost.memory > cost.compute;
+    return cost;
+}
+
+std::vector<CpuPerfModel::OpCost>
+CpuPerfModel::costPhaseOps(const model::ModelSpec& spec, Phase phase,
+                           const Workload& w,
+                           std::int64_t ctx_len) const
+{
+    const PhaseContext ctx = makePhaseContext(spec, w);
+    const std::vector<OpDesc> ops =
+        buildPhaseOps(spec, phase, w, ctx_len);
+    std::vector<OpCost> costs;
+    costs.reserve(ops.size());
+    for (const OpDesc& op : ops)
+        costs.push_back(costOp(op, ctx));
+    return costs;
+}
+
+PhaseBreakdown
+CpuPerfModel::timePhase(const model::ModelSpec& spec, Phase phase,
+                        const Workload& w, std::int64_t ctx_len) const
+{
+    const std::vector<OpDesc> ops = buildPhaseOps(spec, phase, w,
+                                                  ctx_len);
+    const PhaseContext pctx = makePhaseContext(spec, w);
+    const double upi_agg = pctx.upiAgg;
+    const double remote_frac = pctx.remoteFrac;
+    const bool has_amx = platform_.cpu.compute.hasAmx();
+
+    PhaseBreakdown out;
+    Counters& cnt = out.counters;
+
+    for (const OpDesc& op : ops) {
+        const OpCost cost = costOp(op, pctx);
+        out.computeTime += cost.compute;
+        out.memoryTime += std::max(0.0, cost.memory - cost.compute);
+        out.overheadTime += cost.overhead;
+        out.totalTime += cost.total;
+
+        // --- Counter estimation -------------------------------------
+        const double mem_lines =
+            static_cast<double>(op.weightBytes + op.kvBytes) / 64.0;
+        const double act_lines = static_cast<double>(op.actBytes) / 64.0;
+        const double flops_per_instr =
+            op.kind == OpKind::Gemm
+                ? (has_amx ? cal_.amxFlopsPerInstr
+                           : cal_.avx512FlopsPerInstr)
+                : 16.0;
+        cnt.instructions += op.flops / flops_per_instr +
+                            3.0 * (mem_lines + act_lines) + 5e3;
+        cnt.loads += mem_lines + 0.7 * act_lines;
+        cnt.stores += 0.3 * act_lines;
+        cnt.llcAccesses += mem_lines + 0.5 * act_lines;
+        cnt.llcMisses += mem_lines;
+    }
+
+    // Cross-socket activation exchange (allreduce-style), not
+    // overlapped with compute.
+    if (platform_.spansSockets()) {
+        const OpTotals totals = sumOps(ops);
+        const double upi_bytes =
+            0.5 * static_cast<double>(totals.actBytes);
+        out.upiTime = upi_bytes / upi_agg;
+        out.totalTime += out.upiTime;
+        cnt.upiBytes += upi_bytes +
+                        remote_frac *
+                            static_cast<double>(totals.weightBytes +
+                                                totals.kvBytes);
+        cnt.upiUtilization = std::min(
+            1.0, cnt.upiBytes / (out.totalTime * upi_agg));
+    }
+
+    cnt.remoteLlcAccesses =
+        cnt.llcAccesses * memsys_.remoteClusterFraction();
+    cnt.coreUtilization =
+        std::min(1.0, out.computeTime / std::max(1e-12, out.totalTime));
+    return out;
+}
+
+InferenceTiming
+CpuPerfModel::run(const model::ModelSpec& spec, const Workload& w) const
+{
+    CPULLM_ASSERT(w.batch >= 1 && w.promptLen >= 1 && w.genLen >= 1,
+                  "degenerate workload");
+
+    InferenceTiming t;
+    t.prefill = timePhase(spec, Phase::Prefill, w, w.promptLen);
+    t.ttft = t.prefill.totalTime;
+
+    const std::int64_t steps = w.genLen - 1;
+    PhaseBreakdown decode_sum;
+    for (std::int64_t s = 0; s < steps; ++s) {
+        const std::int64_t ctx = w.promptLen + s + 1;
+        const PhaseBreakdown step =
+            timePhase(spec, Phase::Decode, w, ctx);
+        decode_sum.computeTime += step.computeTime;
+        decode_sum.memoryTime += step.memoryTime;
+        decode_sum.overheadTime += step.overheadTime;
+        decode_sum.upiTime += step.upiTime;
+        decode_sum.totalTime += step.totalTime;
+        decode_sum.counters += step.counters;
+    }
+    t.decodeTime = decode_sum.totalTime;
+    t.tpot = steps > 0 ? t.decodeTime / static_cast<double>(steps) : 0.0;
+
+    // Average per-step view.
+    t.decodeStep = decode_sum;
+    if (steps > 0) {
+        const auto inv = 1.0 / static_cast<double>(steps);
+        t.decodeStep.computeTime *= inv;
+        t.decodeStep.memoryTime *= inv;
+        t.decodeStep.overheadTime *= inv;
+        t.decodeStep.upiTime *= inv;
+        t.decodeStep.totalTime *= inv;
+    }
+    t.decodeStep.counters.coreUtilization =
+        std::min(1.0, decode_sum.computeTime /
+                          std::max(1e-12, decode_sum.totalTime));
+    if (platform_.spansSockets() && decode_sum.totalTime > 0.0) {
+        const double upi_agg =
+            2.0 * platform_.cpu.upi.effectiveBandwidth();
+        t.decodeStep.counters.upiUtilization = std::min(
+            1.0, decode_sum.counters.upiBytes /
+                     (decode_sum.totalTime * upi_agg));
+    }
+
+    t.e2eLatency = t.ttft + t.decodeTime;
+    t.totalThroughput =
+        static_cast<double>(w.generatedTokens()) / t.e2eLatency;
+    t.prefillThroughput =
+        static_cast<double>(w.batch * w.promptLen) / t.ttft;
+    t.decodeThroughput =
+        steps > 0 ? static_cast<double>(w.batch * steps) / t.decodeTime
+                  : 0.0;
+    return t;
+}
+
+double
+CpuPerfModel::gemmThroughput(std::int64_t m, std::int64_t n,
+                             std::int64_t k, DType dtype) const
+{
+    const double flops = 2.0 * static_cast<double>(m) *
+                         static_cast<double>(n) *
+                         static_cast<double>(k);
+    const std::uint64_t bytes =
+        (static_cast<std::uint64_t>(m) * k +
+         static_cast<std::uint64_t>(k) * n +
+         static_cast<std::uint64_t>(m) * n) *
+        dtypeSize(dtype);
+
+    // Operands stream from the fastest local memory.
+    mem::RegionSizes sizes;
+    sizes.weights = bytes;
+    const mem::MemoryPlan plan = memsys_.plan(sizes);
+    const double bw = memsys_.regionBandwidth(
+        plan, mem::Region::Weights, platform_.coresUsed);
+
+    const double compute =
+        flops / (peakFlops(dtype) * gemmEfficiency(m, n, k));
+    const double memory = static_cast<double>(bytes) / bw;
+    const double time = std::max(compute, memory) + opOverhead();
+    return flops / time;
+}
+
+} // namespace perf
+} // namespace cpullm

@@ -1,0 +1,159 @@
+#ifndef CPULLM_PERF_CPU_MODEL_H
+#define CPULLM_PERF_CPU_MODEL_H
+
+/**
+ * @file
+ * The analytical CPU timing model (DESIGN.md Section 4). Per
+ * operator: compute time from the engine peak and a dimension-
+ * dependent efficiency, memory time from the memory-system model's
+ * effective bandwidths, op time = max(compute, memory) + dispatch
+ * overhead. Phase time sums operators; cross-socket runs add UPI
+ * exchange time and lose parallel efficiency.
+ */
+
+#include <vector>
+
+#include "hw/platform.h"
+#include "mem/memory_system.h"
+#include "model/spec.h"
+#include "perf/ops.h"
+#include "perf/timing.h"
+#include "perf/workload.h"
+
+namespace cpullm {
+namespace perf {
+
+/**
+ * Calibration constants of the CPU model. Defaults reproduce the
+ * paper's trend bands; tests pin the bands, not the constants.
+ */
+struct CpuCalibration
+{
+    /** Macro-kernel efficiency ceiling of an AMX GEMM. */
+    double amxBaseEfficiency = 0.80;
+    /** Size at which the AMX blocking ramp reaches half efficiency. */
+    double amxRampHalfSize = 384.0;
+    /** Macro-kernel efficiency ceiling of an AVX-512 GEMM. */
+    double avx512BaseEfficiency = 0.85;
+    double avx512RampHalfSize = 48.0;
+
+    /** Kernel dispatch + barrier cost per operator, seconds. */
+    double opOverheadBase = 10e-6;
+    double opOverheadPerCore = 0.25e-6;
+    /** Extra per-op cost when threads span sockets. */
+    double crossSocketOpOverhead = 30e-6;
+
+    /** Parallel efficiency of GEMMs spanning two sockets. */
+    double crossSocketComputeEfficiency = 0.50;
+    /** Fraction of memory traffic crossing UPI when spanning sockets
+     *  with NUMA-oblivious allocation. */
+    double crossSocketRemoteFraction = 0.25;
+    /** Same, under hot/cold-aware placement (Section VI proposal). */
+    double crossSocketRemoteFractionAware = 0.08;
+
+    /** NUMA data-placement policy the software layer applies. */
+    mem::PlacementPolicy placementPolicy =
+        mem::PlacementPolicy::Oblivious;
+
+    /** Activation bandwidth per core (cache-resident traffic). */
+    double actBandwidthPerCore = 30.0e9;
+
+    /** Modeled FLOPs retired per dynamic instruction. */
+    double amxFlopsPerInstr = 1500.0;
+    double avx512FlopsPerInstr = 90.0;
+};
+
+/** Analytical performance model of LLM inference on one platform. */
+class CpuPerfModel
+{
+  public:
+    explicit CpuPerfModel(const hw::PlatformConfig& platform,
+                          CpuCalibration calibration = {});
+
+    const hw::PlatformConfig& platform() const { return platform_; }
+    const CpuCalibration& calibration() const { return cal_; }
+    const mem::MemorySystem& memorySystem() const { return memsys_; }
+
+    /**
+     * Simulate one full request: prefill then genLen-1 decode steps.
+     * fatal() if the model does not fit in the machine's memory.
+     */
+    InferenceTiming run(const model::ModelSpec& spec,
+                        const Workload& w) const;
+
+    /** Time one phase step (exposed for tests and ablations). */
+    PhaseBreakdown timePhase(const model::ModelSpec& spec, Phase phase,
+                             const Workload& w,
+                             std::int64_t ctx_len) const;
+
+    /** Cost decomposition of one operator. */
+    struct OpCost
+    {
+        double compute = 0.0;  ///< engine-bound time
+        double memory = 0.0;   ///< memory-bound time
+        double overhead = 0.0; ///< dispatch/barrier cost
+        double total = 0.0;    ///< max(compute, memory) + overhead
+        bool memoryBound = false;
+    };
+
+    /**
+     * Per-operator costs for one phase step, parallel to
+     * buildPhaseOps(spec, phase, w, ctx_len). This is the data the
+     * trace::Timeline visualizer consumes.
+     */
+    std::vector<OpCost> costPhaseOps(const model::ModelSpec& spec,
+                                     Phase phase, const Workload& w,
+                                     std::int64_t ctx_len) const;
+
+    /**
+     * Achieved GEMM throughput (FLOP/s) for an isolated C=A*B of the
+     * given dimensions, including streaming the operands (Fig 1).
+     */
+    double gemmThroughput(std::int64_t m, std::int64_t n,
+                          std::int64_t k, DType dtype) const;
+
+    /**
+     * Peak matrix FLOP/s (or INT8 OP/s) available to coresUsed on
+     * this platform for GEMMs in @p dtype. INT8 runs at twice the
+     * BF16 rate on AMX/VNNI (weight-only quantization extension).
+     */
+    double peakFlops(DType dtype = DType::BF16) const;
+
+    /** Dimension-dependent GEMM efficiency on this platform. */
+    double gemmEfficiency(std::int64_t m, std::int64_t n,
+                          std::int64_t k) const;
+
+  private:
+    /** Solved per-phase bandwidths and peaks. */
+    struct PhaseContext
+    {
+        double weightBw = 0.0;
+        double kvBw = 0.0;
+        double actBw = 0.0;
+        double peak = 0.0;
+        double avxPeak = 0.0;
+        double ewPeak = 0.0;
+        double overhead = 0.0;
+        double upiAgg = 0.0;
+        double remoteFrac = 0.0;
+    };
+
+    PhaseContext makePhaseContext(const model::ModelSpec& spec,
+                                  const Workload& w) const;
+
+    OpCost costOp(const OpDesc& op, const PhaseContext& ctx) const;
+
+    mem::RegionSizes regionSizes(const model::ModelSpec& spec,
+                                 const Workload& w) const;
+
+    double opOverhead() const;
+
+    hw::PlatformConfig platform_;
+    CpuCalibration cal_;
+    mem::MemorySystem memsys_;
+};
+
+} // namespace perf
+} // namespace cpullm
+
+#endif // CPULLM_PERF_CPU_MODEL_H

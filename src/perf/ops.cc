@@ -1,0 +1,188 @@
+#include "perf/ops.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace perf {
+
+OpTotals
+sumOps(const std::vector<OpDesc>& ops)
+{
+    OpTotals t;
+    for (const auto& op : ops) {
+        t.flops += op.flops;
+        t.weightBytes += op.weightBytes;
+        t.kvBytes += op.kvBytes;
+        t.actBytes += op.actBytes;
+    }
+    t.count = ops.size();
+    return t;
+}
+
+namespace {
+
+/** Weight GEMM over t tokens: y[t,n] = x[t,k] * W[k,n]. */
+OpDesc
+weightGemm(const std::string& name, std::int64_t tokens, std::int64_t k,
+           std::int64_t n, std::size_t wbytes, std::size_t abytes)
+{
+    OpDesc op;
+    op.name = name;
+    op.kind = OpKind::Gemm;
+    op.m = tokens;
+    op.k = k;
+    op.n = n;
+    op.flops = 2.0 * static_cast<double>(tokens) *
+               static_cast<double>(k) * static_cast<double>(n);
+    op.weightBytes = static_cast<std::uint64_t>(k) *
+                     static_cast<std::uint64_t>(n) * wbytes;
+    op.actBytes = static_cast<std::uint64_t>(tokens) *
+                  (static_cast<std::uint64_t>(k) +
+                   static_cast<std::uint64_t>(n)) *
+                  abytes;
+    return op;
+}
+
+} // namespace
+
+std::vector<OpDesc>
+buildPhaseOps(const model::ModelSpec& spec, Phase phase, const Workload& w,
+              std::int64_t ctx_len)
+{
+    CPULLM_ASSERT(ctx_len >= 1, "context length must be >= 1");
+    const std::int64_t B = w.batch;
+    const std::int64_t t = phase == Phase::Prefill ? w.promptLen : 1;
+    const std::int64_t tokens = B * t; // tokens processed this step
+    const std::int64_t d = spec.dModel;
+    const std::int64_t dkv = spec.dKv();
+    const std::int64_t ff = spec.dFf;
+    // Weight-only quantization can give weights a narrower dtype
+    // than activations/KV; activations stay 16-bit.
+    const std::size_t we = dtypeSize(w.dtype);
+    const std::size_t kve = dtypeSize(w.kvDtype);
+    const std::size_t e = 2;
+
+    std::vector<OpDesc> ops;
+    ops.reserve(static_cast<std::size_t>(spec.numLayers) * 12 + 3);
+
+    // Embedding gather (token + positional).
+    {
+        OpDesc op;
+        op.name = "embedding";
+        op.kind = OpKind::Embedding;
+        op.actBytes = static_cast<std::uint64_t>(tokens) *
+                      static_cast<std::uint64_t>(d) * e * 2;
+        op.flops = static_cast<double>(tokens) * static_cast<double>(d);
+        ops.push_back(op);
+    }
+
+    for (std::int64_t l = 0; l < spec.numLayers; ++l) {
+        const std::string p = strformat("layer%lld.",
+                                        static_cast<long long>(l));
+        // Pre-attention norm (+ residual add folded in).
+        {
+            OpDesc op;
+            op.name = p + "attn_norm";
+            op.kind = OpKind::Elementwise;
+            op.flops = 6.0 * static_cast<double>(tokens * d);
+            op.actBytes = static_cast<std::uint64_t>(tokens * d) * e * 3;
+            ops.push_back(op);
+        }
+        ops.push_back(weightGemm(p + "q_proj", tokens, d, d, we, e));
+        ops.push_back(weightGemm(p + "k_proj", tokens, d, dkv, we, e));
+        ops.push_back(weightGemm(p + "v_proj", tokens, d, dkv, we, e));
+
+        // Attention against the KV cache. For prefill the causal mask
+        // halves the score volume; KV traffic covers writing the new
+        // entries and reading the visible span once per step.
+        {
+            OpDesc op;
+            op.name = p + "attention";
+            op.kind = OpKind::Attention;
+            const double span =
+                phase == Phase::Prefill
+                    ? static_cast<double>(ctx_len + 1) / 2.0
+                    : static_cast<double>(ctx_len);
+            op.m = tokens;
+            op.n = ctx_len;
+            op.k = spec.headDim();
+            // Scores + context accumulation, all heads.
+            op.flops = 4.0 * static_cast<double>(tokens) *
+                       static_cast<double>(spec.numHeads) *
+                       static_cast<double>(spec.headDim()) * span;
+            const auto kv_write = static_cast<std::uint64_t>(tokens) *
+                                  static_cast<std::uint64_t>(dkv) *
+                                  kve * 2;
+            const auto kv_read =
+                phase == Phase::Prefill
+                    // Quadratic reuse hits cache; DRAM sees ~one pass.
+                    ? static_cast<std::uint64_t>(tokens) *
+                          static_cast<std::uint64_t>(dkv) * kve * 2
+                    : static_cast<std::uint64_t>(B) *
+                          static_cast<std::uint64_t>(ctx_len) *
+                          static_cast<std::uint64_t>(dkv) * kve * 2;
+            op.kvBytes = kv_write + kv_read;
+            op.actBytes = static_cast<std::uint64_t>(
+                              static_cast<double>(tokens) *
+                              static_cast<double>(spec.numHeads) * span) *
+                          4 /* fp32 scores */;
+            ops.push_back(op);
+        }
+        {
+            OpDesc op;
+            op.name = p + "softmax";
+            op.kind = OpKind::Elementwise;
+            const double span =
+                phase == Phase::Prefill
+                    ? static_cast<double>(ctx_len + 1) / 2.0
+                    : static_cast<double>(ctx_len);
+            const double elems = static_cast<double>(tokens) *
+                                 static_cast<double>(spec.numHeads) *
+                                 span;
+            op.flops = 5.0 * elems;
+            op.actBytes = static_cast<std::uint64_t>(elems) * 4 * 2;
+            ops.push_back(op);
+        }
+        ops.push_back(weightGemm(p + "out_proj", tokens, d, d, we, e));
+        {
+            OpDesc op;
+            op.name = p + "ffn_norm";
+            op.kind = OpKind::Elementwise;
+            op.flops = 6.0 * static_cast<double>(tokens * d);
+            op.actBytes = static_cast<std::uint64_t>(tokens * d) * e * 3;
+            ops.push_back(op);
+        }
+        if (spec.gatedFfn) {
+            ops.push_back(
+                weightGemm(p + "ffn_gate", tokens, d, ff, we, e));
+        }
+        ops.push_back(weightGemm(p + "ffn_up", tokens, d, ff, we, e));
+        {
+            OpDesc op;
+            op.name = p + "ffn_act";
+            op.kind = OpKind::Elementwise;
+            op.flops = 8.0 * static_cast<double>(tokens * ff);
+            op.actBytes = static_cast<std::uint64_t>(tokens * ff) * e * 2;
+            ops.push_back(op);
+        }
+        ops.push_back(weightGemm(p + "ffn_down", tokens, ff, d, we, e));
+    }
+
+    // Final norm + LM head. Prefill only needs logits for the last
+    // position of each sequence.
+    {
+        OpDesc op;
+        op.name = "final_norm";
+        op.kind = OpKind::Elementwise;
+        op.flops = 6.0 * static_cast<double>(tokens * d);
+        op.actBytes = static_cast<std::uint64_t>(tokens * d) * e * 2;
+        ops.push_back(op);
+    }
+    ops.push_back(weightGemm("lm_head", B, d, spec.vocabSize, we, e));
+
+    return ops;
+}
+
+} // namespace perf
+} // namespace cpullm

@@ -1,0 +1,77 @@
+#ifndef CPULLM_PERF_OPS_H
+#define CPULLM_PERF_OPS_H
+
+/**
+ * @file
+ * Operator-level cost descriptors. Both the CPU and GPU timing models
+ * consume the same operator graph, built from a ModelSpec and a
+ * workload; the graph mirrors the functional TransformerModel
+ * structure operator for operator.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/spec.h"
+#include "perf/workload.h"
+
+namespace cpullm {
+namespace perf {
+
+/** Coarse operator classes with distinct cost behaviour. */
+enum class OpKind {
+    Gemm,        ///< weight GEMM (projections, FFN, LM head)
+    Attention,   ///< score + context GEMMs against the KV cache
+    Elementwise, ///< norms, softmax, residual adds, activations
+    Embedding,   ///< token + positional embedding gather
+};
+
+/** Cost descriptor for one operator (already scaled by batch). */
+struct OpDesc
+{
+    std::string name;
+    OpKind kind = OpKind::Gemm;
+
+    /** GEMM-equivalent dimensions (m = tokens processed). */
+    std::int64_t m = 0, n = 0, k = 0;
+
+    double flops = 0.0;
+    /** Streamed weight bytes (read once per phase step). */
+    std::uint64_t weightBytes = 0;
+    /** KV-cache bytes read from / written to memory. */
+    std::uint64_t kvBytes = 0;
+    /** Activation bytes (read + write), mostly cache-resident. */
+    std::uint64_t actBytes = 0;
+};
+
+/** Totals over an operator list. */
+struct OpTotals
+{
+    double flops = 0.0;
+    std::uint64_t weightBytes = 0;
+    std::uint64_t kvBytes = 0;
+    std::uint64_t actBytes = 0;
+    std::size_t count = 0;
+};
+
+OpTotals sumOps(const std::vector<OpDesc>& ops);
+
+/**
+ * Build the operator list for one phase step.
+ *
+ * For Prefill, the step processes all promptLen tokens of every
+ * sequence (context grows 0 -> promptLen). For Decode, the step
+ * processes one token per sequence against @p ctx_len cached tokens.
+ *
+ * @param ctx_len KV entries visible to attention in this step
+ *                (prefill: promptLen; decode: current sequence length)
+ */
+std::vector<OpDesc> buildPhaseOps(const model::ModelSpec& spec,
+                                  Phase phase, const Workload& w,
+                                  std::int64_t ctx_len);
+
+} // namespace perf
+} // namespace cpullm
+
+#endif // CPULLM_PERF_OPS_H

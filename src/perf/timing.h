@@ -1,0 +1,77 @@
+#ifndef CPULLM_PERF_TIMING_H
+#define CPULLM_PERF_TIMING_H
+
+/**
+ * @file
+ * Timing and counter result types shared by the CPU and GPU models.
+ * Times are seconds; throughputs are tokens/second.
+ */
+
+#include <cstdint>
+
+namespace cpullm {
+namespace perf {
+
+/** Modeled hardware performance counters for one phase or run. */
+struct Counters
+{
+    double instructions = 0.0;
+    double llcMisses = 0.0;
+    double llcAccesses = 0.0;
+    double loads = 0.0;
+    double stores = 0.0;
+    /** LLC accesses served by a remote sub-NUMA cluster. */
+    double remoteLlcAccesses = 0.0;
+    /** Bytes moved over the socket interconnect. */
+    double upiBytes = 0.0;
+    /** Effective core busy fraction, 0-1. */
+    double coreUtilization = 0.0;
+    /** UPI bandwidth utilization, 0-1. */
+    double upiUtilization = 0.0;
+
+    /** LLC misses per kilo-instruction. */
+    double
+    mpki() const
+    {
+        return instructions > 0.0 ? llcMisses / (instructions / 1000.0)
+                                  : 0.0;
+    }
+
+    Counters& operator+=(const Counters& o);
+};
+
+/** Time decomposition of one phase step. */
+struct PhaseBreakdown
+{
+    double computeTime = 0.0;  ///< visible compute-bound time
+    double memoryTime = 0.0;   ///< visible memory-bound time
+    double overheadTime = 0.0; ///< kernel dispatch / sync overhead
+    double upiTime = 0.0;      ///< cross-socket activation exchange
+    double totalTime = 0.0;
+    Counters counters;
+};
+
+/** Full-request timing (the paper's metrics, Section II-C). */
+struct InferenceTiming
+{
+    PhaseBreakdown prefill;
+    /** Averaged per-step decode breakdown. */
+    PhaseBreakdown decodeStep;
+
+    double ttft = 0.0;       ///< time to first token (prefill)
+    double tpot = 0.0;       ///< mean time per output token (decode)
+    double decodeTime = 0.0; ///< all decode steps
+    double e2eLatency = 0.0; ///< ttft + decodeTime
+
+    /** tokens/s over the whole request (paper's system throughput). */
+    double totalThroughput = 0.0;
+    /** prompt tokens processed per second during prefill. */
+    double prefillThroughput = 0.0;
+    /** generated tokens per second during decode. */
+    double decodeThroughput = 0.0;
+};
+
+} // namespace perf
+} // namespace cpullm
+
+#endif // CPULLM_PERF_TIMING_H

@@ -1,0 +1,64 @@
+#ifndef CPULLM_PERF_WORKLOAD_H
+#define CPULLM_PERF_WORKLOAD_H
+
+/**
+ * @file
+ * Inference workload description. The paper's default workload is
+ * input length 128, output length 32, batch 1-32, BF16 weights and
+ * activations (Section IV-A).
+ */
+
+#include <cstdint>
+
+#include "numerics/dtype.h"
+
+namespace cpullm {
+namespace perf {
+
+/** The two phases of autoregressive LLM inference. */
+enum class Phase { Prefill, Decode };
+
+/** One batched generation request. */
+struct Workload
+{
+    std::int64_t batch = 1;
+    std::int64_t promptLen = 128;
+    std::int64_t genLen = 32;
+    /** Weight storage dtype (paper: BF16; I8 = weight-only quant). */
+    DType dtype = DType::BF16;
+    /**
+     * KV-cache dtype. Weight-only quantization (related work [48])
+     * keeps activations and KV in BF16 while weights are INT8.
+     */
+    DType kvDtype = DType::BF16;
+
+    /** Final context length after generation completes. */
+    std::int64_t
+    finalSeqLen() const
+    {
+        return promptLen + genLen;
+    }
+
+    /** Total generated tokens across the batch. */
+    std::int64_t
+    generatedTokens() const
+    {
+        return batch * genLen;
+    }
+};
+
+/** The paper's default workload at a given batch size. */
+inline Workload
+paperWorkload(std::int64_t batch)
+{
+    Workload w;
+    w.batch = batch;
+    w.promptLen = 128;
+    w.genLen = 32;
+    return w;
+}
+
+} // namespace perf
+} // namespace cpullm
+
+#endif // CPULLM_PERF_WORKLOAD_H

@@ -1,0 +1,341 @@
+#include "serve/serving_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cpullm {
+namespace serve {
+
+LatencyFn
+cpuLatencyFn(const hw::PlatformConfig& platform,
+             const model::ModelSpec& spec,
+             const perf::Workload& per_request)
+{
+    auto perf_model = std::make_shared<perf::CpuPerfModel>(platform);
+    auto spec_copy = std::make_shared<model::ModelSpec>(spec);
+    auto cache =
+        std::make_shared<std::map<std::int64_t, BatchLatency>>();
+    return [=](std::int64_t batch) {
+        auto it = cache->find(batch);
+        if (it != cache->end())
+            return it->second;
+        perf::Workload w = per_request;
+        w.batch = batch;
+        const perf::InferenceTiming t =
+            perf_model->run(*spec_copy, w);
+        const BatchLatency lat{t.ttft, t.e2eLatency};
+        (*cache)[batch] = lat;
+        return lat;
+    };
+}
+
+LatencyFn
+gpuLatencyFn(const hw::GpuConfig& gpu_config,
+             const model::ModelSpec& spec,
+             const perf::Workload& per_request)
+{
+    auto gpu_model = std::make_shared<gpu::GpuPerfModel>(gpu_config);
+    auto spec_copy = std::make_shared<model::ModelSpec>(spec);
+    auto cache =
+        std::make_shared<std::map<std::int64_t, BatchLatency>>();
+    return [=](std::int64_t batch) {
+        auto it = cache->find(batch);
+        if (it != cache->end())
+            return it->second;
+        perf::Workload w = per_request;
+        w.batch = batch;
+        const auto r = gpu_model->run(*spec_copy, w);
+        const BatchLatency lat{r.timing.ttft, r.timing.e2eLatency};
+        (*cache)[batch] = lat;
+        return lat;
+    };
+}
+
+namespace {
+
+double
+percentile(std::vector<double> values, double p)
+{
+    CPULLM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 *
+                        static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+} // namespace
+
+double
+ServingResult::tokenThroughput(std::int64_t gen_len_per_request) const
+{
+    if (makespan <= 0.0)
+        return 0.0;
+    return static_cast<double>(requests.size()) *
+           static_cast<double>(gen_len_per_request) / makespan;
+}
+
+double
+ServingResult::ttftPercentile(double p) const
+{
+    std::vector<double> v;
+    v.reserve(requests.size());
+    for (const auto& r : requests)
+        v.push_back(r.ttft());
+    return percentile(std::move(v), p);
+}
+
+double
+ServingResult::e2ePercentile(double p) const
+{
+    std::vector<double> v;
+    v.reserve(requests.size());
+    for (const auto& r : requests)
+        v.push_back(r.e2e());
+    return percentile(std::move(v), p);
+}
+
+ServingResult
+simulateServing(const ServingConfig& cfg, const LatencyFn& device)
+{
+    CPULLM_ASSERT(cfg.arrivalRate > 0.0, "arrival rate must be > 0");
+    CPULLM_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
+    CPULLM_ASSERT(cfg.numRequests >= 1, "need at least one request");
+
+    // Arrival times (Poisson process).
+    Rng rng(cfg.seed);
+    std::vector<RequestStats> requests(
+        static_cast<std::size_t>(cfg.numRequests));
+    double t = 0.0;
+    for (auto& r : requests) {
+        double u = rng.uniform();
+        if (u < 1e-12)
+            u = 1e-12;
+        t += -std::log(u) / cfg.arrivalRate;
+        r.arrival = t;
+    }
+
+    ServingResult result;
+    double server_free = 0.0;
+    std::size_t next = 0; // first request not yet dispatched
+    double batch_count = 0.0;
+    double batch_sum = 0.0;
+
+    while (next < requests.size()) {
+        // The server can look at the queue once it is free and at
+        // least one request has arrived.
+        const double head_arrival = requests[next].arrival;
+        double launch = std::max(server_free, head_arrival);
+
+        // Batching window: wait (bounded) for followers to arrive.
+        if (cfg.maxWait > 0.0) {
+            const double deadline =
+                std::max(head_arrival, server_free) + cfg.maxWait;
+            launch = deadline;
+        }
+
+        // Collect everything that has arrived by the launch instant,
+        // up to the batch cap.
+        std::size_t count = 0;
+        while (next + count < requests.size() &&
+               count < static_cast<std::size_t>(cfg.maxBatch) &&
+               requests[next + count].arrival <= launch) {
+            ++count;
+        }
+        if (count == 0) {
+            // Window expired with nothing queued (only possible with
+            // maxWait > 0 when launch < head arrival): move to the
+            // head request.
+            launch = head_arrival;
+            count = 1;
+        }
+        // Greedy launch may begin exactly when the batch is complete.
+        launch = std::max(launch,
+                          requests[next + count - 1].arrival);
+        launch = std::max(launch, server_free);
+
+        const BatchLatency lat =
+            device(static_cast<std::int64_t>(count));
+        for (std::size_t i = 0; i < count; ++i) {
+            RequestStats& r = requests[next + i];
+            r.start = launch;
+            r.firstToken = launch + lat.ttft;
+            r.finish = launch + lat.e2e;
+            r.batchSize = static_cast<std::int64_t>(count);
+        }
+        server_free = launch + lat.e2e;
+        result.busyTime += lat.e2e;
+        batch_sum += static_cast<double>(count);
+        batch_count += 1.0;
+        next += count;
+    }
+
+    result.makespan = server_free;
+    result.meanBatchSize =
+        batch_count > 0.0 ? batch_sum / batch_count : 0.0;
+    result.requests = std::move(requests);
+    return result;
+}
+
+StepCosts
+cpuStepCosts(const hw::PlatformConfig& platform,
+             const model::ModelSpec& spec,
+             const perf::Workload& per_request)
+{
+    auto perf_model = std::make_shared<perf::CpuPerfModel>(platform);
+    auto spec_copy = std::make_shared<model::ModelSpec>(spec);
+    auto prefill_cache =
+        std::make_shared<std::map<std::int64_t, double>>();
+    auto decode_cache =
+        std::make_shared<std::map<std::int64_t, double>>();
+    const std::int64_t mid_ctx =
+        per_request.promptLen + per_request.genLen / 2;
+
+    StepCosts costs;
+    costs.genLen = per_request.genLen;
+    costs.prefill = [=](std::int64_t batch) {
+        auto it = prefill_cache->find(batch);
+        if (it != prefill_cache->end())
+            return it->second;
+        perf::Workload w = per_request;
+        w.batch = batch;
+        const double t =
+            perf_model
+                ->timePhase(*spec_copy, perf::Phase::Prefill, w,
+                            w.promptLen)
+                .totalTime;
+        (*prefill_cache)[batch] = t;
+        return t;
+    };
+    costs.decode = [=](std::int64_t batch) {
+        auto it = decode_cache->find(batch);
+        if (it != decode_cache->end())
+            return it->second;
+        perf::Workload w = per_request;
+        w.batch = batch;
+        const double t =
+            perf_model
+                ->timePhase(*spec_copy, perf::Phase::Decode, w,
+                            mid_ctx)
+                .totalTime;
+        (*decode_cache)[batch] = t;
+        return t;
+    };
+    return costs;
+}
+
+ServingResult
+simulateContinuousBatching(const ServingConfig& cfg,
+                           const StepCosts& costs)
+{
+    CPULLM_ASSERT(cfg.arrivalRate > 0.0, "arrival rate must be > 0");
+    CPULLM_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
+    CPULLM_ASSERT(cfg.numRequests >= 1, "need at least one request");
+    CPULLM_ASSERT(costs.prefill && costs.decode,
+                  "step cost oracles required");
+
+    Rng rng(cfg.seed);
+    std::vector<RequestStats> requests(
+        static_cast<std::size_t>(cfg.numRequests));
+    double t = 0.0;
+    for (auto& r : requests) {
+        double u = rng.uniform();
+        if (u < 1e-12)
+            u = 1e-12;
+        t += -std::log(u) / cfg.arrivalRate;
+        r.arrival = t;
+    }
+
+    struct Active
+    {
+        std::size_t index;
+        std::int64_t remaining; // decode tokens still to produce
+    };
+
+    ServingResult result;
+    std::vector<Active> active;
+    std::size_t next = 0;
+    std::size_t done = 0;
+    double now = 0.0;
+    double batch_sum = 0.0;
+    double batch_steps = 0.0;
+
+    while (done < requests.size()) {
+        // Idle with nothing queued: jump to the next arrival.
+        if (active.empty() && next < requests.size() &&
+            requests[next].arrival > now) {
+            now = requests[next].arrival;
+        }
+
+        // Admit arrivals into free slots at this iteration boundary.
+        std::size_t admit = 0;
+        while (next + admit < requests.size() &&
+               active.size() + admit <
+                   static_cast<std::size_t>(cfg.maxBatch) &&
+               requests[next + admit].arrival <= now) {
+            ++admit;
+        }
+        if (admit > 0) {
+            const double start = now;
+            const std::size_t running_before = active.size();
+            now += costs.prefill(static_cast<std::int64_t>(admit));
+            for (std::size_t i = 0; i < admit; ++i) {
+                RequestStats& r = requests[next + i];
+                r.start = start;
+                r.firstToken = now; // prefill emits token #1
+                r.batchSize = static_cast<std::int64_t>(
+                    running_before + admit);
+                if (costs.genLen <= 1) {
+                    r.finish = now;
+                    ++done;
+                } else {
+                    active.push_back(
+                        Active{next + i, costs.genLen - 1});
+                }
+            }
+            result.busyTime += now - start;
+            next += admit;
+        }
+
+        if (active.empty())
+            continue;
+
+        // One decode iteration over the running batch.
+        const double step =
+            costs.decode(static_cast<std::int64_t>(active.size()));
+        now += step;
+        result.busyTime += step;
+        batch_sum += static_cast<double>(active.size());
+        batch_steps += 1.0;
+
+        for (std::size_t i = 0; i < active.size();) {
+            Active& a = active[i];
+            if (--a.remaining == 0) {
+                requests[a.index].finish = now;
+                ++done;
+                active[i] = active.back();
+                active.pop_back();
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    result.makespan = now;
+    result.meanBatchSize =
+        batch_steps > 0.0 ? batch_sum / batch_steps : 0.0;
+    result.requests = std::move(requests);
+    return result;
+}
+
+} // namespace serve
+} // namespace cpullm

@@ -1,0 +1,146 @@
+#ifndef CPULLM_SERVE_SERVING_SIM_H
+#define CPULLM_SERVE_SERVING_SIM_H
+
+/**
+ * @file
+ * Event-driven inference *serving* simulator. The paper's metrics
+ * discussion (Section II-C) distinguishes chatbot (TTFT), translation
+ * (TPOT), and batch-analytics (throughput) use cases; this module
+ * turns the single-request timing models into a served-system view:
+ * Poisson arrivals, a bounded batching window, static batches, and
+ * tail-latency statistics.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gpu/gpu_model.h"
+#include "hw/platform.h"
+#include "model/spec.h"
+#include "perf/cpu_model.h"
+#include "perf/workload.h"
+
+namespace cpullm {
+namespace serve {
+
+/** Latency of one batched execution. */
+struct BatchLatency
+{
+    double ttft = 0.0; ///< prefill completion for the whole batch
+    double e2e = 0.0;  ///< full generation for the whole batch
+};
+
+/** Device latency oracle: batch size -> batch latency. */
+using LatencyFn = std::function<BatchLatency(std::int64_t batch)>;
+
+/** Memoizing oracle over the CPU timing model. */
+LatencyFn cpuLatencyFn(const hw::PlatformConfig& platform,
+                       const model::ModelSpec& spec,
+                       const perf::Workload& per_request);
+
+/** Memoizing oracle over the GPU (+offload) timing model. */
+LatencyFn gpuLatencyFn(const hw::GpuConfig& gpu,
+                       const model::ModelSpec& spec,
+                       const perf::Workload& per_request);
+
+/** Serving-system configuration. */
+struct ServingConfig
+{
+    /** Mean request arrival rate, requests/second (Poisson). */
+    double arrivalRate = 1.0;
+    /** Maximum batch size the server forms. */
+    std::int64_t maxBatch = 16;
+    /**
+     * Batching window: after the first queued request, wait at most
+     * this long for more arrivals before launching (0 = greedy).
+     */
+    double maxWait = 0.0;
+    /** Requests to simulate. */
+    std::int64_t numRequests = 500;
+    std::uint64_t seed = 1;
+};
+
+/** Per-request observable timings. */
+struct RequestStats
+{
+    double arrival = 0.0;
+    double start = 0.0;      ///< batch launch
+    double firstToken = 0.0; ///< arrival-relative TTFT is ttft()
+    double finish = 0.0;
+    std::int64_t batchSize = 0;
+
+    double ttft() const { return firstToken - arrival; }
+    double e2e() const { return finish - arrival; }
+    double queueing() const { return start - arrival; }
+};
+
+/** Aggregate outcome of one serving simulation. */
+struct ServingResult
+{
+    std::vector<RequestStats> requests;
+    double makespan = 0.0;
+    double busyTime = 0.0;
+    double meanBatchSize = 0.0;
+
+    /** Server busy fraction. */
+    double
+    utilization() const
+    {
+        return makespan > 0.0 ? busyTime / makespan : 0.0;
+    }
+
+    /** Generated-token throughput over the whole run. */
+    double tokenThroughput(std::int64_t gen_len_per_request) const;
+
+    /** Percentile (0-100) of arrival-relative TTFT. */
+    double ttftPercentile(double p) const;
+
+    /** Percentile (0-100) of arrival-relative E2E latency. */
+    double e2ePercentile(double p) const;
+};
+
+/**
+ * Simulate a single-server static-batching queue.
+ *
+ * The server launches a batch whenever it is idle and either
+ * maxBatch requests are waiting or the oldest waiting request has
+ * aged past maxWait (and at least one request is waiting).
+ */
+ServingResult simulateServing(const ServingConfig& cfg,
+                              const LatencyFn& device);
+
+/** @name Continuous batching (Orca-style iteration scheduling) */
+/// @{
+
+/** Per-step cost oracles for iteration-level scheduling. */
+struct StepCosts
+{
+    /** Prefill time for @p batch newly admitted requests. */
+    std::function<double(std::int64_t batch)> prefill;
+    /** One decode iteration over @p batch active sequences. */
+    std::function<double(std::int64_t batch)> decode;
+    /** Output tokens each request generates. */
+    std::int64_t genLen = 32;
+};
+
+/** Memoizing step-cost oracles over the CPU timing model. */
+StepCosts cpuStepCosts(const hw::PlatformConfig& platform,
+                       const model::ModelSpec& spec,
+                       const perf::Workload& per_request);
+
+/**
+ * Simulate iteration-level (continuous) batching, the scheduling of
+ * Orca/vLLM (related work [56]/[28]): requests join the running batch
+ * at iteration boundaries as soon as a slot is free and leave the
+ * moment they finish, instead of waiting for whole static batches.
+ * maxWait is ignored (admission is continuous).
+ */
+ServingResult simulateContinuousBatching(const ServingConfig& cfg,
+                                         const StepCosts& costs);
+/// @}
+
+} // namespace serve
+} // namespace cpullm
+
+#endif // CPULLM_SERVE_SERVING_SIM_H

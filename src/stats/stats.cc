@@ -1,0 +1,175 @@
+#include "stats/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace stats {
+
+void
+Distribution::sample(double v)
+{
+    ++count_;
+    if (count_ == 1) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (v - mean_);
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    min_ = max_ = mean_ = m2_ = 0.0;
+}
+
+double
+Distribution::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets, 0)
+{
+    CPULLM_ASSERT(hi > lo && buckets > 0, "invalid histogram bounds");
+}
+
+void
+Histogram::sample(double v)
+{
+    ++count_;
+    if (v < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (v >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double frac = (v - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(buckets_.size()));
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = underflow_ = overflow_ = 0;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(buckets_.size());
+}
+
+double
+Histogram::bucketHigh(std::size_t i) const
+{
+    return bucketLow(i + 1);
+}
+
+Scalar&
+Registry::scalar(const std::string& name, const std::string& desc)
+{
+    Entry& e = entries_[name];
+    if (!e.scalar) {
+        e.scalar = std::make_unique<Scalar>();
+        if (!desc.empty())
+            e.desc = desc;
+    }
+    return *e.scalar;
+}
+
+Distribution&
+Registry::distribution(const std::string& name, const std::string& desc)
+{
+    Entry& e = entries_[name];
+    if (!e.dist) {
+        e.dist = std::make_unique<Distribution>();
+        if (!desc.empty())
+            e.desc = desc;
+    }
+    return *e.dist;
+}
+
+bool
+Registry::has(const std::string& name) const
+{
+    return entries_.count(name) != 0;
+}
+
+const Scalar&
+Registry::getScalar(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    CPULLM_ASSERT(it != entries_.end() && it->second.scalar,
+                  "unknown scalar stat '", name, "'");
+    return *it->second.scalar;
+}
+
+void
+Registry::resetAll()
+{
+    for (auto& [name, e] : entries_) {
+        if (e.scalar)
+            e.scalar->reset();
+        if (e.dist)
+            e.dist->reset();
+    }
+}
+
+void
+Registry::dump(std::ostream& os) const
+{
+    for (const auto& [name, e] : entries_) {
+        if (e.scalar) {
+            os << strformat("%-48s %18s", name.c_str(),
+                            formatNumber(e.scalar->value(), 6).c_str());
+        } else if (e.dist) {
+            os << strformat("%-48s mean=%s min=%s max=%s n=%llu",
+                            name.c_str(),
+                            formatNumber(e.dist->mean(), 6).c_str(),
+                            formatNumber(e.dist->min(), 6).c_str(),
+                            formatNumber(e.dist->max(), 6).c_str(),
+                            static_cast<unsigned long long>(
+                                e.dist->count()));
+        }
+        if (!e.desc.empty())
+            os << "  # " << e.desc;
+        os << '\n';
+    }
+}
+
+std::vector<std::string>
+Registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, e] : entries_)
+        out.push_back(name);
+    return out;
+}
+
+} // namespace stats
+} // namespace cpullm

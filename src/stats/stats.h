@@ -1,0 +1,145 @@
+#ifndef CPULLM_STATS_STATS_H
+#define CPULLM_STATS_STATS_H
+
+/**
+ * @file
+ * Lightweight statistics package in the spirit of gem5's Stats. A
+ * Registry owns named statistics; simulation components register
+ * scalars/distributions and the harness dumps them as a table.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cpullm {
+namespace stats {
+
+/** A named scalar accumulator (sum; also tracks sample count). */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar& operator+=(double v)
+    {
+        sum_ += v;
+        ++samples_;
+        return *this;
+    }
+
+    void set(double v)
+    {
+        sum_ = v;
+        samples_ = 1;
+    }
+
+    void reset()
+    {
+        sum_ = 0.0;
+        samples_ = 0;
+    }
+
+    double value() const { return sum_; }
+    std::uint64_t samples() const { return samples_; }
+    double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t samples_ = 0;
+};
+
+/** Running min/max/mean/variance (Welford) over samples. */
+class Distribution
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return mean_; }
+    double variance() const;
+    double stddev() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with overflow/underflow bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v);
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+    double bucketLow(std::size_t i) const;
+    double bucketHigh(std::size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+/**
+ * Owns named statistics. Names are hierarchical, dot-separated
+ * ("engine.decode.tokens"); dump() emits them in sorted order.
+ */
+class Registry
+{
+  public:
+    /** Register (or fetch) a scalar by name. */
+    Scalar& scalar(const std::string& name, const std::string& desc = "");
+
+    /** Register (or fetch) a distribution by name. */
+    Distribution& distribution(const std::string& name,
+                               const std::string& desc = "");
+
+    /** True if a statistic with this name exists. */
+    bool has(const std::string& name) const;
+
+    /** Look up a scalar; panics if absent (internal error). */
+    const Scalar& getScalar(const std::string& name) const;
+
+    /** Reset all statistics to zero. */
+    void resetAll();
+
+    /** Emit "name value description" lines, sorted by name. */
+    void dump(std::ostream& os) const;
+
+    /** Names in sorted order. */
+    std::vector<std::string> names() const;
+
+  private:
+    struct Entry
+    {
+        std::string desc;
+        std::unique_ptr<Scalar> scalar;
+        std::unique_ptr<Distribution> dist;
+    };
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace stats
+} // namespace cpullm
+
+#endif // CPULLM_STATS_STATS_H

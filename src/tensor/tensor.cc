@@ -1,0 +1,235 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+
+std::int64_t
+numElements(const Shape& shape)
+{
+    std::int64_t n = 1;
+    for (std::int64_t d : shape) {
+        CPULLM_ASSERT(d >= 0, "negative dimension");
+        n *= d;
+    }
+    return n;
+}
+
+std::string
+shapeToString(const Shape& shape)
+{
+    std::string out = "[";
+    for (size_t i = 0; i < shape.size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(shape[i]);
+    }
+    return out + "]";
+}
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(std::move(shape)), dtype_(dtype), elems_(numElements(shape_)),
+      storage_(static_cast<size_t>(elems_) * dtypeSize(dtype), 0)
+{
+}
+
+Tensor
+Tensor::fromValues(Shape shape, const std::vector<float>& vals)
+{
+    Tensor t(std::move(shape), DType::F32);
+    CPULLM_ASSERT(static_cast<std::int64_t>(vals.size()) == t.size(),
+                  "value count ", vals.size(), " != tensor size ",
+                  t.size());
+    std::memcpy(t.raw(), vals.data(), vals.size() * sizeof(float));
+    return t;
+}
+
+Tensor
+Tensor::randomNormal(Shape shape, DType dtype, Rng& rng, float stddev)
+{
+    Tensor t(std::move(shape), dtype);
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        t.setAt(i, static_cast<float>(rng.normal()) * stddev);
+    return t;
+}
+
+Tensor
+Tensor::randomUniform(Shape shape, DType dtype, Rng& rng, float lo,
+                      float hi)
+{
+    Tensor t(std::move(shape), dtype);
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        t.setAt(i, static_cast<float>(rng.uniform(lo, hi)));
+    return t;
+}
+
+std::int64_t
+Tensor::dim(std::int64_t i) const
+{
+    CPULLM_ASSERT(i >= 0 && i < rank(), "dim index ", i,
+                  " out of range for rank ", rank());
+    return shape_[static_cast<size_t>(i)];
+}
+
+void
+Tensor::checkDType(DType expect) const
+{
+    CPULLM_ASSERT(dtype_ == expect, "dtype mismatch: tensor is ",
+                  dtypeName(dtype_), ", access as ", dtypeName(expect));
+}
+
+template <>
+const float*
+Tensor::data<float>() const
+{
+    checkDType(DType::F32);
+    return reinterpret_cast<const float*>(storage_.data());
+}
+
+template <>
+const BFloat16*
+Tensor::data<BFloat16>() const
+{
+    checkDType(DType::BF16);
+    return reinterpret_cast<const BFloat16*>(storage_.data());
+}
+
+template <>
+const Float16*
+Tensor::data<Float16>() const
+{
+    checkDType(DType::F16);
+    return reinterpret_cast<const Float16*>(storage_.data());
+}
+
+template <>
+const std::int8_t*
+Tensor::data<std::int8_t>() const
+{
+    checkDType(DType::I8);
+    return reinterpret_cast<const std::int8_t*>(storage_.data());
+}
+
+template <>
+const std::int32_t*
+Tensor::data<std::int32_t>() const
+{
+    checkDType(DType::I32);
+    return reinterpret_cast<const std::int32_t*>(storage_.data());
+}
+
+float
+Tensor::at(std::int64_t index) const
+{
+    CPULLM_ASSERT(index >= 0 && index < elems_, "index ", index,
+                  " out of range for size ", elems_);
+    const auto* base = storage_.data();
+    switch (dtype_) {
+      case DType::F32:
+        return reinterpret_cast<const float*>(base)[index];
+      case DType::BF16:
+        return reinterpret_cast<const BFloat16*>(base)[index].toFloat();
+      case DType::F16:
+        return reinterpret_cast<const Float16*>(base)[index].toFloat();
+      case DType::I8:
+        return static_cast<float>(
+            reinterpret_cast<const std::int8_t*>(base)[index]);
+      case DType::I32:
+        return static_cast<float>(
+            reinterpret_cast<const std::int32_t*>(base)[index]);
+    }
+    CPULLM_PANIC("unhandled dtype");
+}
+
+void
+Tensor::setAt(std::int64_t index, float value)
+{
+    CPULLM_ASSERT(index >= 0 && index < elems_, "index ", index,
+                  " out of range for size ", elems_);
+    auto* base = storage_.data();
+    switch (dtype_) {
+      case DType::F32:
+        reinterpret_cast<float*>(base)[index] = value;
+        return;
+      case DType::BF16:
+        reinterpret_cast<BFloat16*>(base)[index] = BFloat16(value);
+        return;
+      case DType::F16:
+        reinterpret_cast<Float16*>(base)[index] = Float16(value);
+        return;
+      case DType::I8:
+        reinterpret_cast<std::int8_t*>(base)[index] =
+            static_cast<std::int8_t>(std::clamp(
+                std::nearbyintf(value), -128.0f, 127.0f));
+        return;
+      case DType::I32:
+        reinterpret_cast<std::int32_t*>(base)[index] =
+            static_cast<std::int32_t>(std::llrint(value));
+        return;
+    }
+    CPULLM_PANIC("unhandled dtype");
+}
+
+Tensor
+Tensor::cast(DType target) const
+{
+    if (target == dtype_) {
+        Tensor out(shape_, dtype_);
+        std::memcpy(out.raw(), storage_.data(), storage_.size());
+        return out;
+    }
+    Tensor out(shape_, target);
+    for (std::int64_t i = 0; i < elems_; ++i)
+        out.setAt(i, at(i));
+    return out;
+}
+
+Tensor
+Tensor::reshaped(Shape new_shape) const
+{
+    CPULLM_ASSERT(numElements(new_shape) == elems_,
+                  "reshape element mismatch: ", shapeToString(new_shape),
+                  " vs ", shapeToString(shape_));
+    Tensor out(std::move(new_shape), dtype_);
+    std::memcpy(out.raw(), storage_.data(), storage_.size());
+    return out;
+}
+
+void
+Tensor::fill(float value)
+{
+    for (std::int64_t i = 0; i < elems_; ++i)
+        setAt(i, value);
+}
+
+float
+maxAbsDiff(const Tensor& a, const Tensor& b)
+{
+    CPULLM_ASSERT(a.shape() == b.shape(), "shape mismatch: ",
+                  shapeToString(a.shape()), " vs ",
+                  shapeToString(b.shape()));
+    float m = 0.0f;
+    for (std::int64_t i = 0; i < a.size(); ++i)
+        m = std::max(m, std::fabs(a.at(i) - b.at(i)));
+    return m;
+}
+
+bool
+allClose(const Tensor& a, const Tensor& b, float rtol, float atol)
+{
+    if (a.shape() != b.shape())
+        return false;
+    for (std::int64_t i = 0; i < a.size(); ++i) {
+        const float x = a.at(i);
+        const float y = b.at(i);
+        if (std::fabs(x - y) > atol + rtol * std::fabs(y))
+            return false;
+    }
+    return true;
+}
+
+} // namespace cpullm

@@ -1,0 +1,133 @@
+#ifndef CPULLM_TENSOR_TENSOR_H
+#define CPULLM_TENSOR_TENSOR_H
+
+/**
+ * @file
+ * Dense row-major tensor used by the functional execution path. The
+ * timing-only path never allocates tensors; it works with shapes alone,
+ * so this class favours clarity over exotic features (no strided views,
+ * no broadcasting).
+ */
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "numerics/bf16.h"
+#include "numerics/dtype.h"
+#include "numerics/fp16.h"
+#include "util/rng.h"
+
+namespace cpullm {
+
+/** Shape as a list of dimension extents. */
+using Shape = std::vector<std::int64_t>;
+
+/** Number of elements in a shape. */
+std::int64_t numElements(const Shape& shape);
+
+/** Render e.g. "[2, 128, 4096]". */
+std::string shapeToString(const Shape& shape);
+
+/**
+ * A dense, contiguous, row-major tensor owning its storage.
+ *
+ * Element access is through typed data<T>() pointers; T must match the
+ * dtype's storage type (float for F32, BFloat16 for BF16, ...).
+ */
+class Tensor
+{
+  public:
+    /** Empty tensor (rank 0, no storage). */
+    Tensor() = default;
+
+    /** Allocate a zero-initialized tensor. */
+    Tensor(Shape shape, DType dtype);
+
+    /** @name Factories */
+    /// @{
+    /** FP32 tensor from explicit values; size must match the shape. */
+    static Tensor fromValues(Shape shape, const std::vector<float>& vals);
+
+    /** i.i.d. normal(0, stddev) values in the given dtype. */
+    static Tensor randomNormal(Shape shape, DType dtype, Rng& rng,
+                               float stddev = 1.0f);
+
+    /** Uniform [lo, hi) values in the given dtype. */
+    static Tensor randomUniform(Shape shape, DType dtype, Rng& rng,
+                                float lo = -1.0f, float hi = 1.0f);
+    /// @}
+
+    const Shape& shape() const { return shape_; }
+    DType dtype() const { return dtype_; }
+    std::int64_t rank() const
+    {
+        return static_cast<std::int64_t>(shape_.size());
+    }
+    std::int64_t dim(std::int64_t i) const;
+    std::int64_t size() const { return elems_; }
+    std::uint64_t byteSize() const
+    {
+        return static_cast<std::uint64_t>(elems_) * dtypeSize(dtype_);
+    }
+    bool empty() const { return elems_ == 0; }
+
+    /** Typed storage pointer; panics if T mismatches the dtype. */
+    template <typename T> T* data();
+    template <typename T> const T* data() const;
+
+    /** Raw bytes. */
+    void* raw() { return storage_.data(); }
+    const void* raw() const { return storage_.data(); }
+
+    /** Element as float regardless of dtype (linear index). */
+    float at(std::int64_t index) const;
+
+    /** Store a float into a linear index, converting to the dtype. */
+    void setAt(std::int64_t index, float value);
+
+    /** Copy-convert to another dtype. */
+    Tensor cast(DType target) const;
+
+    /** Return a same-data tensor with a different shape. */
+    Tensor reshaped(Shape new_shape) const;
+
+    /** Fill with a constant. */
+    void fill(float value);
+
+  private:
+    void checkDType(DType expect) const;
+
+    Shape shape_;
+    DType dtype_ = DType::F32;
+    std::int64_t elems_ = 0;
+    std::vector<std::uint8_t> storage_;
+};
+
+/**
+ * Max absolute difference between two tensors (must be same shape);
+ * compares in FP32.
+ */
+float maxAbsDiff(const Tensor& a, const Tensor& b);
+
+/** True if max |a-b| <= atol + rtol*max|b| elementwise (FP32 compare). */
+bool allClose(const Tensor& a, const Tensor& b, float rtol = 1e-3f,
+              float atol = 1e-5f);
+
+template <typename T>
+T*
+Tensor::data()
+{
+    return const_cast<T*>(
+        static_cast<const Tensor*>(this)->data<T>());
+}
+
+template <> const float* Tensor::data<float>() const;
+template <> const BFloat16* Tensor::data<BFloat16>() const;
+template <> const Float16* Tensor::data<Float16>() const;
+template <> const std::int8_t* Tensor::data<std::int8_t>() const;
+template <> const std::int32_t* Tensor::data<std::int32_t>() const;
+
+} // namespace cpullm
+
+#endif // CPULLM_TENSOR_TENSOR_H

@@ -1,0 +1,171 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace trace {
+
+void
+Timeline::add(TraceEvent event)
+{
+    if (!events_.empty()) {
+        CPULLM_ASSERT(event.startTime >= events_.back().startTime,
+                      "events must be added in start order");
+    }
+    events_.push_back(std::move(event));
+}
+
+double
+Timeline::makespan() const
+{
+    double end = 0.0;
+    for (const auto& e : events_)
+        end = std::max(end, e.startTime + e.duration);
+    return end;
+}
+
+double
+Timeline::categoryTime(const std::string& category) const
+{
+    double t = 0.0;
+    for (const auto& e : events_)
+        if (e.category == category)
+            t += e.duration;
+    return t;
+}
+
+double
+Timeline::categoryFraction(const std::string& category) const
+{
+    const double span = makespan();
+    return span > 0.0 ? categoryTime(category) / span : 0.0;
+}
+
+std::vector<TraceEvent>
+Timeline::topEvents(std::size_t n) const
+{
+    std::vector<TraceEvent> sorted = events_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.duration > b.duration;
+                     });
+    if (sorted.size() > n)
+        sorted.resize(n);
+    return sorted;
+}
+
+void
+Timeline::writeChromeTrace(std::ostream& os) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto& e : events_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << strformat(
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,"
+            "\"args\":{\"bound_by\":\"%s\",\"gflops\":%.3f,"
+            "\"mbytes\":%.3f}}",
+            e.name.c_str(), e.category.c_str(), e.startTime * 1e6,
+            e.duration * 1e6, e.boundBy.c_str(), e.flops / 1e9,
+            static_cast<double>(e.bytes) / 1e6);
+    }
+    os << "]}";
+}
+
+bool
+Timeline::writeChromeTraceFile(const std::string& path) const
+{
+    std::ofstream ofs(path);
+    if (!ofs) {
+        warn("could not open '", path, "' for writing");
+        return false;
+    }
+    writeChromeTrace(ofs);
+    return static_cast<bool>(ofs);
+}
+
+std::string
+opKindCategory(perf::OpKind kind)
+{
+    switch (kind) {
+      case perf::OpKind::Gemm:
+        return "gemm";
+      case perf::OpKind::Attention:
+        return "attention";
+      case perf::OpKind::Elementwise:
+        return "elementwise";
+      case perf::OpKind::Embedding:
+        return "embedding";
+    }
+    CPULLM_PANIC("unhandled OpKind");
+}
+
+namespace {
+
+double
+appendPhase(Timeline& tl, const perf::CpuPerfModel& model,
+            const model::ModelSpec& spec, perf::Phase phase,
+            const perf::Workload& workload, std::int64_t ctx_len,
+            double t0, const std::string& prefix)
+{
+    const auto ops =
+        perf::buildPhaseOps(spec, phase, workload, ctx_len);
+    const auto costs =
+        model.costPhaseOps(spec, phase, workload, ctx_len);
+    CPULLM_ASSERT(ops.size() == costs.size(),
+                  "op/cost arity mismatch");
+    double t = t0;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        TraceEvent e;
+        e.name = prefix + ops[i].name;
+        e.category = opKindCategory(ops[i].kind);
+        e.startTime = t;
+        e.duration = costs[i].total;
+        e.boundBy = costs[i].memoryBound ? "memory" : "compute";
+        e.flops = ops[i].flops;
+        e.bytes = ops[i].weightBytes + ops[i].kvBytes +
+                  ops[i].actBytes;
+        tl.add(std::move(e));
+        t += costs[i].total;
+    }
+    return t;
+}
+
+} // namespace
+
+Timeline
+tracePhase(const perf::CpuPerfModel& model, const model::ModelSpec& spec,
+           perf::Phase phase, const perf::Workload& workload,
+           std::int64_t ctx_len)
+{
+    Timeline tl;
+    appendPhase(tl, model, spec, phase, workload, ctx_len, 0.0, "");
+    return tl;
+}
+
+Timeline
+traceRun(const perf::CpuPerfModel& model, const model::ModelSpec& spec,
+         const perf::Workload& workload)
+{
+    Timeline tl;
+    double t = appendPhase(tl, model, spec, perf::Phase::Prefill,
+                           workload, workload.promptLen, 0.0,
+                           "prefill.");
+    for (std::int64_t s = 0; s < workload.genLen - 1; ++s) {
+        const std::string prefix =
+            strformat("decode%lld.", static_cast<long long>(s));
+        t = appendPhase(tl, model, spec, perf::Phase::Decode, workload,
+                        workload.promptLen + s + 1, t, prefix);
+    }
+    return tl;
+}
+
+} // namespace trace
+} // namespace cpullm

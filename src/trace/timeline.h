@@ -1,0 +1,98 @@
+#ifndef CPULLM_TRACE_TIMELINE_H
+#define CPULLM_TRACE_TIMELINE_H
+
+/**
+ * @file
+ * Operator-level execution timelines. The timing model produces one
+ * event per operator with its cost decomposition; the timeline can be
+ * inspected programmatically, summarized per operator class, or
+ * exported as Chrome-trace JSON (chrome://tracing, Perfetto).
+ */
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "hw/platform.h"
+#include "model/spec.h"
+#include "perf/cpu_model.h"
+#include "perf/ops.h"
+#include "perf/workload.h"
+
+namespace cpullm {
+namespace trace {
+
+/** One traced operator execution. */
+struct TraceEvent
+{
+    std::string name;       ///< operator name ("layer3.ffn_up")
+    std::string category;   ///< "gemm" / "attention" / ...
+    double startTime = 0.0; ///< seconds from run start
+    double duration = 0.0;  ///< seconds
+    /** Which resource bound this op: "compute" or "memory". */
+    std::string boundBy;
+    double flops = 0.0;
+    std::uint64_t bytes = 0;
+};
+
+/** A recorded timeline of one simulated phase or run. */
+class Timeline
+{
+  public:
+    /** Append an event; events must be added in start order. */
+    void add(TraceEvent event);
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+    /** End time of the last event (run makespan), seconds. */
+    double makespan() const;
+
+    /** Total duration attributed to a category. */
+    double categoryTime(const std::string& category) const;
+
+    /** Fraction of makespan the given category occupies. */
+    double categoryFraction(const std::string& category) const;
+
+    /** The @p n longest events, longest first. */
+    std::vector<TraceEvent> topEvents(std::size_t n) const;
+
+    /**
+     * Write Chrome-trace JSON ("traceEvents" array of complete "X"
+     * events, microsecond timestamps).
+     */
+    void writeChromeTrace(std::ostream& os) const;
+
+    /** Write to a file path; false on I/O failure. */
+    bool writeChromeTraceFile(const std::string& path) const;
+
+  private:
+    std::vector<TraceEvent> events_;
+};
+
+/** Human-readable operator-kind category. */
+std::string opKindCategory(perf::OpKind kind);
+
+/**
+ * Record the operator timeline of one phase step on a CPU platform:
+ * each operator gets its modeled duration laid out back to back, the
+ * way the (serial inter-op) inference loop executes them.
+ */
+Timeline tracePhase(const perf::CpuPerfModel& model,
+                    const model::ModelSpec& spec, perf::Phase phase,
+                    const perf::Workload& workload,
+                    std::int64_t ctx_len);
+
+/**
+ * Record a whole request: prefill plus every decode step, decode
+ * steps labeled by token index.
+ */
+Timeline traceRun(const perf::CpuPerfModel& model,
+                  const model::ModelSpec& spec,
+                  const perf::Workload& workload);
+
+} // namespace trace
+} // namespace cpullm
+
+#endif // CPULLM_TRACE_TIMELINE_H

@@ -1,0 +1,73 @@
+#include "util/csv.h"
+
+#include <fstream>
+
+#include "util/logging.h"
+
+namespace cpullm {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CPULLM_ASSERT(!headers_.empty(), "csv needs at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    CPULLM_ASSERT(cells.size() == headers_.size(),
+                  "csv row arity mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::escape(const std::string& field)
+{
+    bool needs_quote = false;
+    for (char c : field) {
+        if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+            needs_quote = true;
+            break;
+        }
+    }
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::write(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i) os << ',';
+            os << escape(row[i]);
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+bool
+CsvWriter::writeFile(const std::string& path) const
+{
+    std::ofstream ofs(path);
+    if (!ofs) {
+        warn("could not open '", path, "' for writing");
+        return false;
+    }
+    write(ofs);
+    return static_cast<bool>(ofs);
+}
+
+} // namespace cpullm

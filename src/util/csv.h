@@ -1,0 +1,44 @@
+#ifndef CPULLM_UTIL_CSV_H
+#define CPULLM_UTIL_CSV_H
+
+/**
+ * @file
+ * Minimal CSV emission so benchmark harnesses can dump figure data for
+ * external plotting. Fields containing separators/quotes are quoted per
+ * RFC 4180.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cpullm {
+
+/** Accumulates rows and writes RFC-4180 CSV. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::vector<std::string> headers);
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Write all rows (with header) to the stream. */
+    void write(std::ostream& os) const;
+
+    /** Write to a file path; returns false on I/O failure. */
+    bool writeFile(const std::string& path) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+    /** Quote a single field per RFC 4180 if needed. */
+    static std::string escape(const std::string& field);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cpullm
+
+#endif // CPULLM_UTIL_CSV_H

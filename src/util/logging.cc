@@ -1,0 +1,60 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+
+namespace cpullm {
+
+namespace {
+
+std::atomic<LogLevel> global_level{LogLevel::Info};
+std::mutex log_mutex;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logLine(LogLevel level, const std::string& tag, const std::string& msg)
+{
+    if (static_cast<int>(level) >
+        static_cast<int>(global_level.load(std::memory_order_relaxed))) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(log_mutex);
+    std::fprintf(stderr, "[cpullm:%s] %s\n", tag.c_str(), msg.c_str());
+}
+
+void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "[cpullm:fatal] %s (%s:%d)\n", msg.c_str(), file,
+                 line);
+    std::exit(1);
+}
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "[cpullm:panic] %s (%s:%d)\n", msg.c_str(), file,
+                 line);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace cpullm

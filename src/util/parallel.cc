@@ -1,0 +1,70 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace cpullm {
+
+namespace {
+
+std::atomic<std::size_t> max_threads{0};
+
+} // namespace
+
+std::size_t
+hardwareThreads()
+{
+    const std::size_t cap = max_threads.load(std::memory_order_relaxed);
+    std::size_t hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    if (cap != 0 && cap < hw)
+        hw = cap;
+    return hw;
+}
+
+void
+setMaxThreads(std::size_t n)
+{
+    max_threads.store(n, std::memory_order_relaxed);
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t)>& fn, std::size_t grain)
+{
+    if (end <= begin)
+        return;
+    const std::size_t total = end - begin;
+    const std::size_t workers = hardwareThreads();
+    if (workers <= 1 || total <= grain) {
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{begin};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t start =
+                next.fetch_add(grain, std::memory_order_relaxed);
+            if (start >= end)
+                return;
+            const std::size_t stop = std::min(start + grain, end);
+            for (std::size_t i = start; i < stop; ++i)
+                fn(i);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    const std::size_t spawn = std::min(workers - 1, total / grain);
+    threads.reserve(spawn);
+    for (std::size_t t = 0; t < spawn; ++t)
+        threads.emplace_back(worker);
+    worker();
+    for (auto& t : threads)
+        t.join();
+}
+
+} // namespace cpullm

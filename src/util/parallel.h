@@ -1,0 +1,36 @@
+#ifndef CPULLM_UTIL_PARALLEL_H
+#define CPULLM_UTIL_PARALLEL_H
+
+/**
+ * @file
+ * Host-side parallelism for the *functional* kernels (the emulated AMX
+ * and AVX-512 GEMMs). This is about making the emulator usable on the
+ * development machine; it has no bearing on simulated timing, which the
+ * perf models compute analytically.
+ */
+
+#include <cstddef>
+#include <functional>
+
+namespace cpullm {
+
+/** Number of worker threads parallelFor will use (>= 1). */
+std::size_t hardwareThreads();
+
+/** Cap the number of threads parallelFor uses (0 = hardware default). */
+void setMaxThreads(std::size_t n);
+
+/**
+ * Run fn(i) for i in [begin, end) across worker threads, blocking
+ * until all iterations complete. Falls back to serial execution for
+ * small ranges.
+ *
+ * @param grain minimum iterations per task before splitting further.
+ */
+void parallelFor(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain = 1);
+
+} // namespace cpullm
+
+#endif // CPULLM_UTIL_PARALLEL_H

@@ -1,0 +1,97 @@
+#ifndef CPULLM_UTIL_RNG_H
+#define CPULLM_UTIL_RNG_H
+
+/**
+ * @file
+ * Deterministic random number generation. All stochastic behaviour in
+ * the framework (synthetic weights, token streams) flows through Rng so
+ * experiments are exactly reproducible from a seed.
+ */
+
+#include <cstdint>
+
+namespace cpullm {
+
+/**
+ * xoshiro256** generator; small, fast, and deterministic across
+ * platforms (unlike std::default_random_engine).
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        // SplitMix64 seeding to fill the state from a single word.
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            x += 0x9E3779B97F4A7C15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        // Lemire's nearly-divisionless bounded sampling, simplified:
+        // modulo bias is negligible for the n used here (vocab sizes).
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller (one value per call). */
+    double
+    normal()
+    {
+        double u1 = uniform();
+        double u2 = uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+               __builtin_cos(6.283185307179586 * u2);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace cpullm
+
+#endif // CPULLM_UTIL_RNG_H

@@ -1,0 +1,96 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace cpullm {
+
+namespace {
+
+bool
+looksNumeric(const std::string& s)
+{
+    if (s.empty())
+        return false;
+    bool digit = false;
+    for (char c : s) {
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digit = true;
+        } else if (c != '.' && c != '-' && c != '+' && c != 'e' &&
+                   c != 'E' && c != '%' && c != 'x') {
+            return false;
+        }
+    }
+    return digit;
+}
+
+} // namespace
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    CPULLM_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    CPULLM_ASSERT(cells.size() == headers_.size(),
+                  "row arity ", cells.size(), " != header arity ",
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto rule = [&] {
+        os << '+';
+        for (size_t c = 0; c < width.size(); ++c)
+            os << std::string(width[c] + 2, '-') << '+';
+        os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& row, bool header) {
+        os << '|';
+        for (size_t c = 0; c < row.size(); ++c) {
+            const bool right = !header && looksNumeric(row[c]);
+            const size_t pad = width[c] - row[c].size();
+            os << ' ';
+            if (right)
+                os << std::string(pad, ' ') << row[c];
+            else
+                os << row[c] << std::string(pad, ' ');
+            os << " |";
+        }
+        os << '\n';
+    };
+
+    if (!caption_.empty())
+        os << caption_ << '\n';
+    rule();
+    emit(headers_, true);
+    rule();
+    for (const auto& row : rows_)
+        emit(row, false);
+    rule();
+}
+
+std::string
+Table::str() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace cpullm

@@ -1,0 +1,49 @@
+#ifndef CPULLM_UTIL_TABLE_H
+#define CPULLM_UTIL_TABLE_H
+
+/**
+ * @file
+ * Console table rendering used by the benchmark harness to print
+ * paper-style rows/series.
+ */
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cpullm {
+
+/**
+ * A simple aligned console table. Columns are sized to the widest
+ * cell; numeric-looking cells are right-aligned, text left-aligned.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Optional caption printed above the table. */
+    void setCaption(std::string caption) { caption_ = std::move(caption); }
+
+    /** Append a row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a stream. */
+    void print(std::ostream& os) const;
+
+    /** Render to a string. */
+    std::string str() const;
+
+    size_t rowCount() const { return rows_.size(); }
+    size_t columnCount() const { return headers_.size(); }
+
+  private:
+    std::string caption_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cpullm
+
+#endif // CPULLM_UTIL_TABLE_H

@@ -1,0 +1,55 @@
+#ifndef CPULLM_UTIL_UNITS_H
+#define CPULLM_UTIL_UNITS_H
+
+/**
+ * @file
+ * Unit helpers: byte sizes, rates, and times used throughout the
+ * hardware models. Conventions:
+ *  - byte capacities are std::uint64_t in bytes,
+ *  - bandwidths are double in bytes/second,
+ *  - compute rates are double in FLOP/s,
+ *  - times are double in seconds.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace cpullm {
+
+inline constexpr std::uint64_t KiB = 1024ULL;
+inline constexpr std::uint64_t MiB = 1024ULL * KiB;
+inline constexpr std::uint64_t GiB = 1024ULL * MiB;
+inline constexpr std::uint64_t TiB = 1024ULL * GiB;
+
+/** Decimal units, used for bandwidths and FLOP rates as vendors quote. */
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+inline constexpr double TB = 1e12;
+
+inline constexpr double KFLOPS = 1e3;
+inline constexpr double MFLOPS = 1e6;
+inline constexpr double GFLOPS = 1e9;
+inline constexpr double TFLOPS = 1e12;
+
+inline constexpr double GHz = 1e9;
+inline constexpr double MHz = 1e6;
+
+inline constexpr double USEC = 1e-6;
+inline constexpr double MSEC = 1e-3;
+
+/** Render a byte count as a human-friendly string, e.g. "12.6 GiB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Render a bandwidth (bytes/s) as e.g. "588.0 GB/s". */
+std::string formatBandwidth(double bytes_per_sec);
+
+/** Render a time in seconds as e.g. "12.5 ms". */
+std::string formatTime(double seconds);
+
+/** Render a FLOP rate as e.g. "206.4 TFLOPS". */
+std::string formatFlops(double flops_per_sec);
+
+} // namespace cpullm
+
+#endif // CPULLM_UTIL_UNITS_H

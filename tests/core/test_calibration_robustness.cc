@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_model.h"
+#include "perf/cpu_model.h"
+
+namespace cpullm {
+namespace core {
+namespace {
+
+/**
+ * Robustness of the paper's conclusions to the model's calibration
+ * constants: the key findings are roofline phenomena, so they must
+ * survive +/-20% perturbations of every tunable. If one of these
+ * tests fails after a recalibration, the corresponding conclusion was
+ * resting on a knife's edge — exactly what a characterization
+ * reproduction needs to know.
+ */
+class CalibrationRobustness : public testing::TestWithParam<double>
+{
+  protected:
+    perf::CpuCalibration
+    scaled() const
+    {
+        const double f = GetParam();
+        perf::CpuCalibration c;
+        c.amxBaseEfficiency *= f;
+        c.avx512BaseEfficiency = std::min(
+            0.95, c.avx512BaseEfficiency * f);
+        c.opOverheadBase *= f;
+        c.opOverheadPerCore *= f;
+        c.actBandwidthPerCore *= f;
+        c.crossSocketComputeEfficiency *= f;
+        return c;
+    }
+};
+
+TEST_P(CalibrationRobustness, SprStillBeatsIcl)
+{
+    const perf::CpuPerfModel icl(hw::iclDefaultPlatform(), scaled());
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform(), scaled());
+    for (std::int64_t b : {1, 32}) {
+        const auto w = perf::paperWorkload(b);
+        EXPECT_LT(spr.run(model::opt13b(), w).e2eLatency,
+                  icl.run(model::opt13b(), w).e2eLatency)
+            << "batch " << b;
+    }
+}
+
+TEST_P(CalibrationRobustness, QuadFlatStillBest)
+{
+    const auto w = perf::paperWorkload(8);
+    double best = 1e30;
+    std::string best_cfg;
+    for (const auto& p : hw::sprModeSweepPlatforms()) {
+        const double lat = perf::CpuPerfModel(p, scaled())
+                               .run(model::llama2_13b(), w)
+                               .e2eLatency;
+        if (lat < best) {
+            best = lat;
+            best_cfg = p.label();
+        }
+    }
+    EXPECT_EQ(best_cfg, "spr/quad_flat/48c");
+}
+
+TEST_P(CalibrationRobustness, FortyEightCoresStillBeatNinetySix)
+{
+    const auto w = perf::paperWorkload(8);
+    const double l48 =
+        perf::CpuPerfModel(hw::sprDefaultPlatform(), scaled())
+            .run(model::llama2_7b(), w)
+            .e2eLatency;
+    const double l96 =
+        perf::CpuPerfModel(
+            hw::sprPlatform(hw::ClusteringMode::Quadrant,
+                            hw::MemoryMode::Flat, 96),
+            scaled())
+            .run(model::llama2_7b(), w)
+            .e2eLatency;
+    EXPECT_LT(l48, l96);
+}
+
+TEST_P(CalibrationRobustness, OffloadCrossoverStillHolds)
+{
+    // KF4's core: A100 offloading OPT-30B loses to the CPU; H100
+    // resident OPT-13B beats the CPU. Perturb both sides.
+    const double f = GetParam();
+    gpu::GpuCalibration gcal;
+    gcal.tensorBaseEfficiency =
+        std::min(0.95, gcal.tensorBaseEfficiency * f);
+    gcal.kernelOverhead *= f;
+    gcal.cpuAttentionBandwidth *= f;
+
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform(), scaled());
+    const gpu::GpuPerfModel a100(hw::nvidiaA100(), gcal);
+    const gpu::GpuPerfModel h100(hw::nvidiaH100(), gcal);
+    const auto w = perf::paperWorkload(1);
+
+    EXPECT_GT(a100.run(model::opt30b(), w).timing.e2eLatency,
+              2.0 * spr.run(model::opt30b(), w).e2eLatency);
+    EXPECT_LT(h100.run(model::opt13b(), w).timing.e2eLatency,
+              spr.run(model::opt13b(), w).e2eLatency);
+}
+
+TEST_P(CalibrationRobustness, DecodeStaysMemoryBound)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform(), scaled());
+    const auto bd = spr.timePhase(model::opt13b(),
+                                  perf::Phase::Decode,
+                                  perf::paperWorkload(1), 129);
+    EXPECT_GT(bd.memoryTime, bd.computeTime);
+}
+
+INSTANTIATE_TEST_SUITE_P(Perturbations, CalibrationRobustness,
+                         testing::Values(0.8, 0.9, 1.0, 1.1, 1.2),
+                         [](const auto& info) {
+                             return "scale_" +
+                                    std::to_string(static_cast<int>(
+                                        info.param * 100));
+                         });
+
+} // namespace
+} // namespace core
+} // namespace cpullm

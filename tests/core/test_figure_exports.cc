@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/experiments.h"
+
+namespace cpullm {
+namespace core {
+namespace {
+
+/** Reduced sweep keeps this export-shape test fast. */
+std::vector<model::ModelSpec>
+twoModels()
+{
+    return {model::opt6p7b(), model::opt13b()};
+}
+
+void
+expectExportable(const FigureData& f)
+{
+    SCOPED_TRACE(f.id());
+    EXPECT_FALSE(f.id().empty());
+    EXPECT_FALSE(f.title().empty());
+    EXPECT_FALSE(f.xLabels().empty());
+    EXPECT_FALSE(f.series().empty());
+    for (const auto& s : f.series()) {
+        EXPECT_EQ(s.values.size(), f.xLabels().size()) << s.name;
+        for (double v : s.values) {
+            EXPECT_TRUE(std::isfinite(v)) << s.name;
+            EXPECT_GE(v, 0.0) << s.name;
+        }
+    }
+    // Table renders without panicking and carries every series.
+    const Table t = f.toTable();
+    EXPECT_EQ(t.rowCount(), f.xLabels().size());
+    EXPECT_EQ(t.columnCount(), f.series().size() + 1);
+
+    // CSV round-trip: header contains every series name.
+    const std::string path = testing::TempDir() + "cpullm_" + f.id() +
+                             "_export_test.csv";
+    ASSERT_TRUE(f.writeCsv(path));
+    std::ifstream ifs(path);
+    std::string header;
+    std::getline(ifs, header);
+    for (const auto& s : f.series())
+        EXPECT_NE(header.find(CsvWriter::escape(s.name)),
+                  std::string::npos)
+            << s.name;
+    // Row count = x labels + header.
+    std::size_t lines = 1;
+    std::string line;
+    while (std::getline(ifs, line))
+        ++lines;
+    EXPECT_EQ(lines, f.xLabels().size() + 1);
+    std::remove(path.c_str());
+}
+
+TEST(FigureExports, StaticFigures)
+{
+    expectExportable(fig01GemmThroughput({512, 4096}));
+    expectExportable(fig06ModelMemory());
+    expectExportable(fig07KvCacheFootprint());
+}
+
+TEST(FigureExports, CpuComparisonFigures)
+{
+    const auto f8 = fig08E2eIclVsSpr(twoModels(), {1, 8});
+    expectExportable(f8.latency);
+    expectExportable(f8.throughput);
+    const auto f9 = fig09PhaseLatency(twoModels(), {8});
+    expectExportable(f9.prefill);
+    expectExportable(f9.decode);
+    const auto f10 = fig10PhaseThroughput(twoModels(), {8});
+    expectExportable(f10.prefill);
+    expectExportable(f10.decode);
+}
+
+TEST(FigureExports, CounterAndConfigFigures)
+{
+    expectExportable(figCountersVsBatch(model::llama2_13b(), {1, 8}));
+    expectExportable(fig13NumaModes(twoModels(), {8}));
+    expectExportable(fig14CoreScaling(twoModels(), {8}));
+    expectExportable(fig15NumaCounters());
+    expectExportable(fig16CoreCounters());
+}
+
+TEST(FigureExports, GpuComparisonFigures)
+{
+    const auto f17 = figCpuVsGpu(1, twoModels());
+    expectExportable(f17.latency);
+    expectExportable(f17.throughput);
+    const auto f18 = fig18OffloadBreakdown({1, 8});
+    expectExportable(f18.a100Opt30b);
+    expectExportable(f18.h100Opt66b);
+    const auto f20 = figSeqLenSweep(1, {128, 512});
+    expectExportable(f20.latency);
+    expectExportable(f20.throughput);
+}
+
+TEST(FigureExports, LabelsUniquePerFigure)
+{
+    const auto f = fig08E2eIclVsSpr(twoModels(), {1, 8});
+    std::set<std::string> seen;
+    for (const auto& x : f.latency.xLabels())
+        EXPECT_TRUE(seen.insert(x).second) << x;
+}
+
+} // namespace
+} // namespace core
+} // namespace cpullm

@@ -1,0 +1,273 @@
+#include "core/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include "core/figure.h"
+
+namespace cpullm {
+namespace core {
+namespace {
+
+std::vector<model::ModelSpec>
+smallSet()
+{
+    return {model::opt6p7b(), model::llama2_13b()};
+}
+
+const std::vector<std::int64_t> kBatches = {1, 8, 32};
+
+TEST(FigureData, TableAndValueAccess)
+{
+    FigureData f("t", "title", "x", "y");
+    f.setXLabels({"a", "b"});
+    f.addSeries("s1", {1.0, 2.0});
+    f.addSeries("s2", {3.0, 4.0});
+    EXPECT_DOUBLE_EQ(f.value("s2", "b"), 4.0);
+    EXPECT_TRUE(f.hasSeries("s1"));
+    EXPECT_FALSE(f.hasSeries("s3"));
+    const Table t = f.toTable();
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.columnCount(), 3u);
+}
+
+TEST(FigureDataDeath, MismatchedSeriesPanics)
+{
+    FigureData f("t", "title", "x", "y");
+    f.setXLabels({"a", "b"});
+    EXPECT_DEATH(f.addSeries("s", {1.0}), "values for");
+}
+
+TEST(FigureData, CsvRoundTrip)
+{
+    FigureData f("t", "title", "x", "y");
+    f.setXLabels({"a"});
+    f.addSeries("s", {1.5});
+    const std::string path =
+        testing::TempDir() + "cpullm_fig_test.csv";
+    EXPECT_TRUE(f.writeCsv(path));
+    std::remove(path.c_str());
+}
+
+TEST(Tables, ConfigTablesPopulated)
+{
+    EXPECT_GE(table1CpuConfigs().rowCount(), 8u);
+    EXPECT_GE(table2GpuConfigs().rowCount(), 7u);
+}
+
+TEST(Fig01, AmxDominatesAvx512AndGpusDominateAtLargeSizes)
+{
+    const FigureData f = fig01GemmThroughput({512, 4096});
+    EXPECT_GT(f.value("Max9468 (AMX)", "4096"),
+              5.0 * f.value("8352Y (AVX-512)", "4096"));
+    EXPECT_GT(f.value("H100", "4096"), f.value("A100", "4096"));
+    EXPECT_GT(f.value("A100", "4096"),
+              f.value("Max9468 (AMX)", "4096"));
+}
+
+TEST(Fig06, FootprintsIncludeOpt175b)
+{
+    const FigureData f = fig06ModelMemory();
+    EXPECT_GT(f.value("fp16 weights", "OPT-175B"), 320.0);
+    EXPECT_GT(f.value("fp16 weights", "LLaMA2-70B"), 120.0);
+    EXPECT_LT(f.value("fp16 weights", "OPT-1.3B"), 4.0);
+}
+
+TEST(Fig07, KvCacheSurpassesModelSize)
+{
+    // The paper's point: KV cache eventually exceeds the model size.
+    const FigureData f = fig07KvCacheFootprint();
+    EXPECT_GT(f.value("batch 32", "8192"),
+              f.value("model size (FP16)", "8192"));
+    EXPECT_LT(f.value("batch 1", "128"), 1.0);
+    // Linear in both axes.
+    EXPECT_NEAR(f.value("batch 32", "1024") /
+                    f.value("batch 8", "1024"),
+                4.0, 1e-6);
+}
+
+TEST(Fig08, SprNormalizedBelowOne)
+{
+    const auto fig = fig08E2eIclVsSpr(smallSet(), kBatches);
+    for (double v : fig.latency.seriesValues("SPR")) {
+        EXPECT_LT(v, 0.5);
+        EXPECT_GT(v, 0.1);
+    }
+    for (double v : fig.latency.seriesValues("ICL"))
+        EXPECT_DOUBLE_EQ(v, 1.0);
+    for (double v : fig.throughput.seriesValues("SPR"))
+        EXPECT_GT(v, 2.0);
+}
+
+TEST(Fig09, PrefillGainsExceedDecodeGainsAtLargeBatch)
+{
+    const auto fig = fig09PhaseLatency(smallSet(), {32});
+    for (std::size_t i = 0; i < fig.prefill.xLabels().size(); ++i) {
+        const double pre = fig.prefill.seriesValues("SPR")[i];
+        const double dec = fig.decode.seriesValues("SPR")[i];
+        // AMX shines in compute-bound prefill: normalized latency
+        // smaller (better) than in bandwidth-bound decode.
+        EXPECT_LT(pre, dec);
+    }
+}
+
+TEST(Fig10, ThroughputBandsMatchPaper)
+{
+    const auto fig = fig10PhaseThroughput(smallSet(), kBatches);
+    for (double v : fig.prefill.seriesValues("SPR")) {
+        EXPECT_GT(v, 2.0);
+        EXPECT_LT(v, 12.0); // paper: 6.3-9.1x (averaged)
+    }
+    for (double v : fig.decode.seriesValues("SPR")) {
+        EXPECT_GT(v, 1.5);
+        EXPECT_LT(v, 7.0); // paper: 2.7-5.5x (averaged)
+    }
+}
+
+TEST(Fig11, TrendsMatchPaper)
+{
+    const FigureData f =
+        figCountersVsBatch(model::llama2_13b(), {1, 8, 32});
+    const auto& mpki = f.seriesValues("llc_mpki");
+    EXPECT_GT(mpki[0], mpki[1]);
+    EXPECT_GT(mpki[1], mpki[2]);
+    const auto& util = f.seriesValues("core_utilization");
+    EXPECT_LT(util[0], util[1]);
+    EXPECT_LT(util[1], util[2]);
+    const auto& loads = f.seriesValues("norm_loads");
+    EXPECT_DOUBLE_EQ(loads[0], 1.0);
+    EXPECT_GT(loads[2], loads[0]);
+}
+
+TEST(Fig12, Opt66bSameTrends)
+{
+    const FigureData f =
+        figCountersVsBatch(model::opt66b(), {1, 32});
+    EXPECT_GT(f.value("llc_mpki", "1"), f.value("llc_mpki", "32"));
+    EXPECT_LT(f.value("core_utilization", "1"),
+              f.value("core_utilization", "32"));
+}
+
+TEST(Fig13, QuadFlatBestAcrossMetrics)
+{
+    const FigureData f = fig13NumaModes(smallSet(), {8});
+    // Latency metrics: lower is better; quad_flat <= all others.
+    for (const char* metric : {"e2e_latency", "tpot"}) {
+        const double qf = f.value("quad_flat", metric);
+        for (const char* cfg :
+             {"quad_cache", "snc_cache", "snc_flat"}) {
+            EXPECT_LE(qf, f.value(cfg, metric))
+                << metric << " " << cfg;
+        }
+    }
+    // Throughput: higher is better.
+    const double qf_tput = f.value("quad_flat", "total_tput");
+    for (const char* cfg : {"quad_cache", "snc_cache", "snc_flat"})
+        EXPECT_GE(qf_tput, f.value(cfg, "total_tput")) << cfg;
+    // Baseline normalization.
+    EXPECT_DOUBLE_EQ(f.value("quad_cache", "e2e_latency"), 1.0);
+}
+
+TEST(Fig14, FortyEightCoresBestAndNinetySixRegresses)
+{
+    const FigureData f = fig14CoreScaling(smallSet(), {8});
+    EXPECT_DOUBLE_EQ(f.value("12c", "e2e_latency"), 1.0);
+    const double l24 = f.value("24c", "e2e_latency");
+    const double l48 = f.value("48c", "e2e_latency");
+    const double l96 = f.value("96c", "e2e_latency");
+    EXPECT_LT(l24, 1.0);
+    EXPECT_LT(l48, l24);
+    EXPECT_GT(l96, l48);
+    // Paper: 48 cores cut E2E latency by ~59.8% vs 12.
+    EXPECT_LT(l48, 0.65);
+    EXPECT_GT(l48, 0.25);
+}
+
+TEST(Fig15, SncModesShowRemoteAccesses)
+{
+    const FigureData f = fig15NumaCounters();
+    EXPECT_GT(f.value("norm_remote_llc", "snc_flat"),
+              5.0 * f.value("norm_remote_llc", "quad_flat"));
+    EXPECT_DOUBLE_EQ(f.value("norm_remote_llc", "quad_cache"), 1.0);
+}
+
+TEST(Fig16, UpiUtilizationOnlyAt96Cores)
+{
+    const FigureData f = fig16CoreCounters();
+    EXPECT_DOUBLE_EQ(f.value("upi_utilization", "12"), 0.0);
+    EXPECT_DOUBLE_EQ(f.value("upi_utilization", "48"), 0.0);
+    EXPECT_GT(f.value("upi_utilization", "96"), 0.1);
+}
+
+TEST(Fig17, GpuWinsSmallCpuWinsOffloaded)
+{
+    const auto fig = figCpuVsGpu(
+        1, {model::opt13b(), model::opt30b(), model::opt66b()});
+    // Normalized latency: <1 means GPU faster than CPU.
+    EXPECT_LT(fig.latency.value("A100", "OPT-13B"), 1.0);
+    EXPECT_LT(fig.latency.value("H100", "OPT-13B"), 1.0);
+    EXPECT_GT(fig.latency.value("A100", "OPT-30B"), 5.0);
+    EXPECT_LT(fig.latency.value("H100", "OPT-30B"), 1.0);
+    EXPECT_GT(fig.latency.value("A100", "OPT-66B"), 1.0);
+    EXPECT_GT(fig.latency.value("H100", "OPT-66B"), 1.0);
+    EXPECT_DOUBLE_EQ(fig.latency.value("Max9468", "OPT-13B"), 1.0);
+}
+
+TEST(Fig18, LoadFractionsDecline)
+{
+    const auto fig = fig18OffloadBreakdown({1, 32});
+    EXPECT_GT(fig.a100Opt30b.value("pcie_load", "1"), 0.85);
+    EXPECT_LT(fig.a100Opt30b.value("pcie_load", "32"),
+              fig.a100Opt30b.value("pcie_load", "1"));
+    EXPECT_GT(fig.h100Opt66b.value("pcie_load", "1"), 0.8);
+    // Fractions plus other sum to ~1.
+    for (const auto& x : fig.a100Opt30b.xLabels()) {
+        const double sum =
+            fig.a100Opt30b.value("pcie_load", x) +
+            fig.a100Opt30b.value("gpu_compute", x) +
+            fig.a100Opt30b.value("cpu_attention", x) +
+            fig.a100Opt30b.value("other", x);
+        EXPECT_NEAR(sum, 1.0, 0.25) << x;
+    }
+}
+
+TEST(Fig19, Batch16WidensGpuLead)
+{
+    const auto f1 = figCpuVsGpu(1, {model::opt13b()});
+    const auto f16 = figCpuVsGpu(16, {model::opt13b()});
+    // Paper KF5: GPU advantage grows with batch for small models.
+    EXPECT_LT(f16.latency.value("H100", "OPT-13B"),
+              f1.latency.value("H100", "OPT-13B"));
+}
+
+TEST(Fig20, CpuAlwaysWinsLlama70bAtBatchOne)
+{
+    const auto fig = figSeqLenSweep(1, {128, 1024});
+    for (const auto& x : fig.latency.xLabels()) {
+        EXPECT_LT(fig.latency.value("LLaMA2-70B/Max9468", x),
+                  fig.latency.value("LLaMA2-70B/A100", x));
+        EXPECT_LT(fig.latency.value("LLaMA2-70B/Max9468", x),
+                  fig.latency.value("LLaMA2-70B/H100", x));
+    }
+}
+
+TEST(Fig21, H100CrossoverAppearsInSweep)
+{
+    const auto fig = figSeqLenSweep(16);
+    bool crossed = false;
+    for (const auto& x : fig.latency.xLabels()) {
+        if (fig.latency.value("LLaMA2-70B/H100", x) <
+            fig.latency.value("LLaMA2-70B/Max9468", x)) {
+            crossed = true;
+        }
+    }
+    EXPECT_TRUE(crossed);
+    // A100 never crosses.
+    for (const auto& x : fig.latency.xLabels()) {
+        EXPECT_GT(fig.latency.value("LLaMA2-70B/A100", x),
+                  fig.latency.value("LLaMA2-70B/Max9468", x));
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace cpullm

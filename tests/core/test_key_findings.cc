@@ -1,0 +1,31 @@
+#include "core/key_findings.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace core {
+namespace {
+
+TEST(KeyFindings, AllFivePass)
+{
+    const auto checks = checkAllKeyFindings();
+    ASSERT_EQ(checks.size(), 5u);
+    for (const auto& c : checks) {
+        EXPECT_TRUE(c.passed)
+            << "KF" << c.number << ": " << c.summary << " -- "
+            << c.detail;
+        EXPECT_FALSE(c.summary.empty());
+        EXPECT_FALSE(c.detail.empty());
+    }
+}
+
+TEST(KeyFindings, NumberedInOrder)
+{
+    const auto checks = checkAllKeyFindings();
+    for (std::size_t i = 0; i < checks.size(); ++i)
+        EXPECT_EQ(checks[i].number, static_cast<int>(i) + 1);
+}
+
+} // namespace
+} // namespace core
+} // namespace cpullm

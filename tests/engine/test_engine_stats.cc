@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/inference_engine.h"
+
+namespace cpullm {
+namespace engine {
+namespace {
+
+TEST(EngineStats, AccumulateAcrossRequests)
+{
+    CpuInferenceEngine eng(hw::sprDefaultPlatform(),
+                           model::opt13b());
+    eng.infer(perf::paperWorkload(1));
+    eng.infer(perf::paperWorkload(8));
+
+    const stats::Registry& reg = eng.statistics();
+    EXPECT_DOUBLE_EQ(reg.getScalar("engine.requests").value(), 2.0);
+    EXPECT_DOUBLE_EQ(reg.getScalar("engine.tokens_generated").value(),
+                     32.0 + 8 * 32.0);
+    EXPECT_GT(reg.getScalar("engine.sim_seconds").value(), 0.0);
+}
+
+TEST(EngineStats, TtftDistributionSampled)
+{
+    CpuInferenceEngine eng(hw::sprDefaultPlatform(),
+                           model::llama2_7b());
+    const auto r1 = eng.infer(perf::paperWorkload(1));
+    const auto r32 = eng.infer(perf::paperWorkload(32));
+
+    auto& dist = eng.statistics().distribution("engine.ttft");
+    EXPECT_EQ(dist.count(), 2u);
+    EXPECT_NEAR(dist.min(), r1.timing.ttft, 1e-12);
+    EXPECT_NEAR(dist.max(), r32.timing.ttft, 1e-12);
+}
+
+TEST(EngineStats, NoTpotSampleForSingleTokenRuns)
+{
+    CpuInferenceEngine eng(hw::sprDefaultPlatform(),
+                           model::opt1p3b());
+    perf::Workload w = perf::paperWorkload(1);
+    w.genLen = 1;
+    eng.infer(w);
+    EXPECT_EQ(eng.statistics().distribution("engine.tpot").count(),
+              0u);
+}
+
+TEST(EngineStats, DumpReadable)
+{
+    CpuInferenceEngine eng(hw::sprDefaultPlatform(),
+                           model::opt1p3b());
+    eng.infer(perf::paperWorkload(2));
+    std::ostringstream os;
+    eng.statistics().dump(os);
+    EXPECT_NE(os.str().find("engine.requests"), std::string::npos);
+    EXPECT_NE(os.str().find("engine.ttft"), std::string::npos);
+}
+
+TEST(EngineStats, ResettableViaRegistry)
+{
+    CpuInferenceEngine eng(hw::sprDefaultPlatform(),
+                           model::opt1p3b());
+    eng.infer(perf::paperWorkload(1));
+    eng.statistics().resetAll();
+    EXPECT_DOUBLE_EQ(
+        eng.statistics().getScalar("engine.requests").value(), 0.0);
+}
+
+} // namespace
+} // namespace engine
+} // namespace cpullm

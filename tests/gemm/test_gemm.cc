@@ -1,0 +1,159 @@
+#include "gemm/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cpullm {
+namespace gemm {
+namespace {
+
+Tensor
+randomMatrix(std::int64_t r, std::int64_t c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::randomUniform({r, c}, DType::F32, rng, -1.0f, 1.0f);
+}
+
+TEST(GemmRef, KnownSmallProduct)
+{
+    // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+    const Tensor a = Tensor::fromValues({2, 2}, {1, 2, 3, 4});
+    const Tensor b = Tensor::fromValues({2, 2}, {5, 6, 7, 8});
+    const Tensor c = matmul(Engine::Reference, a, b);
+    EXPECT_FLOAT_EQ(c.at(0), 19.0f);
+    EXPECT_FLOAT_EQ(c.at(1), 22.0f);
+    EXPECT_FLOAT_EQ(c.at(2), 43.0f);
+    EXPECT_FLOAT_EQ(c.at(3), 50.0f);
+}
+
+TEST(GemmRef, IdentityIsNoop)
+{
+    const std::int64_t n = 17;
+    Tensor eye({n, n}, DType::F32);
+    for (std::int64_t i = 0; i < n; ++i)
+        eye.setAt(i * n + i, 1.0f);
+    const Tensor a = randomMatrix(n, n, 3);
+    const Tensor c = matmul(Engine::Reference, a, eye);
+    EXPECT_TRUE(allClose(c, a, 1e-6f, 1e-6f));
+}
+
+using GemmShape = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+class GemmEngineAgreement
+    : public testing::TestWithParam<std::tuple<Engine, GemmShape>>
+{
+};
+
+TEST_P(GemmEngineAgreement, MatchesReferenceWithinBf16Tolerance)
+{
+    const auto [engine, shape] = GetParam();
+    const auto [m, n, k] = shape;
+    const Tensor a = randomMatrix(m, k, 11 + static_cast<unsigned>(m));
+    const Tensor b = randomMatrix(k, n, 23 + static_cast<unsigned>(n));
+
+    // Reference on BF16-rounded inputs: same rounding as the engines.
+    const Tensor aq = a.cast(DType::BF16).cast(DType::F32);
+    const Tensor bq = b.cast(DType::BF16).cast(DType::F32);
+    const Tensor want = matmul(Engine::Reference, aq, bq);
+
+    const Tensor got = matmul(engine, a, b);
+    // FP32 accumulation ordering differs; allow tiny slack scaled by K.
+    const float tol = 1e-5f * static_cast<float>(k) + 1e-4f;
+    EXPECT_LE(maxAbsDiff(got, want), tol)
+        << engineName(engine) << " m=" << m << " n=" << n
+        << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BF16Engines, GemmEngineAgreement,
+    testing::Combine(
+        testing::Values(Engine::AmxBf16, Engine::Avx512Bf16),
+        testing::Values(GemmShape{16, 16, 32}, GemmShape{1, 16, 64},
+                        GemmShape{16, 1, 32}, GemmShape{1, 1, 1},
+                        GemmShape{5, 7, 9}, GemmShape{33, 17, 31},
+                        GemmShape{64, 48, 96}, GemmShape{2, 100, 3},
+                        GemmShape{100, 2, 5}, GemmShape{31, 31, 33})));
+
+TEST(GemmAmxVsAvx512, BitwiseComparableResults)
+{
+    // Both paths widen BF16 to FP32 and accumulate in FP32; on the
+    // same K ordering they should agree very tightly.
+    const Tensor a = randomMatrix(24, 40, 5);
+    const Tensor b = randomMatrix(40, 24, 6);
+    const Tensor amx = matmul(Engine::AmxBf16, a, b);
+    const Tensor avx = matmul(Engine::Avx512Bf16, a, b);
+    EXPECT_LE(maxAbsDiff(amx, avx), 2e-4f);
+}
+
+TEST(GemmInt8, ApproximatesReference)
+{
+    const Tensor a = randomMatrix(16, 32, 7);
+    const Tensor b = randomMatrix(32, 16, 8);
+    const Tensor want = matmul(Engine::Reference, a, b);
+    const Tensor got = matmul(Engine::AmxI8, a, b);
+    // INT8 per-tensor quantization: coarse but correlated.
+    const float tol = 0.05f * 32.0f / 4.0f; // scale with K
+    EXPECT_LE(maxAbsDiff(got, want), tol);
+}
+
+TEST(GemmInt8, ExactForSmallIntegers)
+{
+    // Integer matrices within the int8 range quantize exactly when
+    // absmax is 127.
+    Tensor a({2, 2}, DType::F32);
+    Tensor b({2, 2}, DType::F32);
+    a.setAt(0, 127.0f);
+    a.setAt(1, -127.0f);
+    a.setAt(2, 127.0f);
+    a.setAt(3, 127.0f);
+    b.setAt(0, 127.0f);
+    b.setAt(1, 0.0f);
+    b.setAt(2, 0.0f);
+    b.setAt(3, 127.0f);
+    const Tensor got = matmul(Engine::AmxI8, a, b);
+    EXPECT_NEAR(got.at(0), 127.0f * 127.0f, 1.0f);
+    EXPECT_NEAR(got.at(1), -127.0f * 127.0f, 1.0f);
+}
+
+TEST(GemmFacade, AcceptsBf16Inputs)
+{
+    Rng rng(9);
+    const Tensor a =
+        Tensor::randomUniform({8, 8}, DType::BF16, rng, -1, 1);
+    const Tensor b =
+        Tensor::randomUniform({8, 8}, DType::BF16, rng, -1, 1);
+    const Tensor c = matmul(Engine::AmxBf16, a, b);
+    EXPECT_EQ(c.dtype(), DType::F32);
+    EXPECT_EQ(c.dim(0), 8);
+}
+
+TEST(GemmFacadeDeath, InnerDimMismatchPanics)
+{
+    const Tensor a = randomMatrix(4, 5, 1);
+    const Tensor b = randomMatrix(6, 4, 2);
+    EXPECT_DEATH(matmul(Engine::Reference, a, b), "inner dimension");
+}
+
+TEST(GemmFacadeDeath, NonMatrixPanics)
+{
+    Rng rng(1);
+    const Tensor a = Tensor::randomNormal({2, 3, 4}, DType::F32, rng);
+    const Tensor b = randomMatrix(4, 4, 2);
+    EXPECT_DEATH(matmul(Engine::Reference, a, b), "rank-2");
+}
+
+TEST(EngineName, AllNamed)
+{
+    EXPECT_EQ(engineName(Engine::Reference), "reference-fp32");
+    EXPECT_EQ(engineName(Engine::AmxBf16), "amx-bf16");
+    EXPECT_EQ(engineName(Engine::Avx512Bf16), "avx512-bf16");
+    EXPECT_EQ(engineName(Engine::AmxI8), "amx-int8");
+}
+
+} // namespace
+} // namespace gemm
+} // namespace cpullm

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gemm/gemm.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace cpullm {
+namespace gemm {
+namespace {
+
+/**
+ * Property sweep over randomized shapes: algebraic identities every
+ * GEMM engine must satisfy regardless of dimensions.
+ */
+class GemmAlgebra : public testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Rng dims(GetParam());
+        m_ = 1 + static_cast<std::int64_t>(dims.uniformInt(40));
+        n_ = 1 + static_cast<std::int64_t>(dims.uniformInt(40));
+        k_ = 1 + static_cast<std::int64_t>(dims.uniformInt(64));
+        Rng rng(GetParam() * 7919 + 13);
+        a_ = Tensor::randomUniform({m_, k_}, DType::F32, rng, -1, 1);
+        b_ = Tensor::randomUniform({k_, n_}, DType::F32, rng, -1, 1);
+    }
+
+    std::int64_t m_ = 0, n_ = 0, k_ = 0;
+    Tensor a_, b_;
+};
+
+TEST_P(GemmAlgebra, EnginesAgreeOnRandomShapes)
+{
+    const Tensor aq = a_.cast(DType::BF16).cast(DType::F32);
+    const Tensor bq = b_.cast(DType::BF16).cast(DType::F32);
+    const Tensor want = matmul(Engine::Reference, aq, bq);
+    const float tol = 1e-5f * static_cast<float>(k_) + 1e-4f;
+    EXPECT_LE(maxAbsDiff(matmul(Engine::AmxBf16, a_, b_), want), tol)
+        << m_ << "x" << n_ << "x" << k_;
+    EXPECT_LE(maxAbsDiff(matmul(Engine::Avx512Bf16, a_, b_), want),
+              tol)
+        << m_ << "x" << n_ << "x" << k_;
+}
+
+TEST_P(GemmAlgebra, ZeroOperandGivesZero)
+{
+    Tensor zero({m_, k_}, DType::F32);
+    const Tensor c = matmul(Engine::AmxBf16, zero, b_);
+    for (std::int64_t i = 0; i < c.size(); ++i)
+        EXPECT_EQ(c.at(i), 0.0f);
+}
+
+TEST_P(GemmAlgebra, ScalingCommutes)
+{
+    // (2A)B == 2(AB) exactly: scaling by a power of two is lossless
+    // in BF16.
+    Tensor a2 = a_.cast(DType::F32);
+    float* p = a2.data<float>();
+    for (std::int64_t i = 0; i < a2.size(); ++i)
+        p[i] *= 2.0f;
+    const Tensor c1 = matmul(Engine::AmxBf16, a2, b_);
+    Tensor c2 = matmul(Engine::AmxBf16, a_, b_);
+    float* q = c2.data<float>();
+    for (std::int64_t i = 0; i < c2.size(); ++i)
+        q[i] *= 2.0f;
+    EXPECT_LE(maxAbsDiff(c1, c2), 1e-5f * static_cast<float>(k_));
+}
+
+TEST_P(GemmAlgebra, OutputShapeCorrect)
+{
+    const Tensor c = matmul(Engine::Avx512Bf16, a_, b_);
+    EXPECT_EQ(c.dim(0), m_);
+    EXPECT_EQ(c.dim(1), n_);
+    EXPECT_EQ(c.dtype(), DType::F32);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomShapes, GemmAlgebra,
+                         testing::Range<std::uint64_t>(1, 13));
+
+} // namespace
+} // namespace gemm
+} // namespace cpullm

@@ -1,0 +1,122 @@
+#include "gemm/pack.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpullm {
+namespace gemm {
+namespace {
+
+TEST(PackATile, FullBlockCopies)
+{
+    const int rows = 4, cols = 6;
+    std::vector<BFloat16> src(static_cast<size_t>(rows * cols));
+    for (int i = 0; i < rows * cols; ++i)
+        src[static_cast<size_t>(i)] = BFloat16(static_cast<float>(i));
+    std::vector<BFloat16> dst(4 * 6);
+    packATile(src.data(), cols, 0, 0, rows, cols, 4, 6, dst.data());
+    for (int i = 0; i < rows * cols; ++i)
+        EXPECT_EQ(dst[static_cast<size_t>(i)].toFloat(),
+                  static_cast<float>(i));
+}
+
+TEST(PackATile, PadsPartialBlockWithZeros)
+{
+    const int ld = 8;
+    std::vector<BFloat16> src(static_cast<size_t>(4 * ld),
+                              BFloat16(1.0f));
+    std::vector<BFloat16> dst(16 * 8, BFloat16(9.0f));
+    // Valid region 2x3, tile 16x8.
+    packATile(src.data(), ld, 1, 2, 2, 3, 16, 8, dst.data());
+    for (int r = 0; r < 16; ++r) {
+        for (int c = 0; c < 8; ++c) {
+            const float v = dst[static_cast<size_t>(r * 8 + c)]
+                                .toFloat();
+            if (r < 2 && c < 3)
+                EXPECT_EQ(v, 1.0f);
+            else
+                EXPECT_EQ(v, 0.0f) << r << "," << c;
+        }
+    }
+}
+
+TEST(PackBTileVnni, InterleavesKPairs)
+{
+    // B is 4x2: rows are K, cols are N.
+    const int n = 2, k = 4;
+    std::vector<BFloat16> src(static_cast<size_t>(k * n));
+    for (int i = 0; i < k * n; ++i)
+        src[static_cast<size_t>(i)] = BFloat16(static_cast<float>(i));
+    std::vector<BFloat16> dst(static_cast<size_t>(2 * 2 * n));
+    packBTileVnni(src.data(), n, 0, 0, k, n, 2, n, dst.data());
+    // Row 0 of dst: (b[0][0], b[1][0], b[0][1], b[1][1]) = (0,2,1,3)
+    EXPECT_EQ(dst[0].toFloat(), 0.0f);
+    EXPECT_EQ(dst[1].toFloat(), 2.0f);
+    EXPECT_EQ(dst[2].toFloat(), 1.0f);
+    EXPECT_EQ(dst[3].toFloat(), 3.0f);
+    // Row 1: (b[2][0], b[3][0], b[2][1], b[3][1]) = (4,6,5,7)
+    EXPECT_EQ(dst[4].toFloat(), 4.0f);
+    EXPECT_EQ(dst[5].toFloat(), 6.0f);
+    EXPECT_EQ(dst[6].toFloat(), 5.0f);
+    EXPECT_EQ(dst[7].toFloat(), 7.0f);
+}
+
+TEST(PackBTileVnni, OddKPadsSecondOfPair)
+{
+    const int n = 1, k = 3;
+    std::vector<BFloat16> src = {BFloat16(1.0f), BFloat16(2.0f),
+                                 BFloat16(3.0f)};
+    std::vector<BFloat16> dst(static_cast<size_t>(2 * 2 * n));
+    packBTileVnni(src.data(), n, 0, 0, k, n, 2, n, dst.data());
+    EXPECT_EQ(dst[0].toFloat(), 1.0f);
+    EXPECT_EQ(dst[1].toFloat(), 2.0f);
+    EXPECT_EQ(dst[2].toFloat(), 3.0f);
+    EXPECT_EQ(dst[3].toFloat(), 0.0f); // padded
+}
+
+TEST(PackBTileVnniI8, QuadInterleave)
+{
+    const int n = 2, k = 4;
+    std::vector<std::int8_t> src(static_cast<size_t>(k * n));
+    for (int i = 0; i < k * n; ++i)
+        src[static_cast<size_t>(i)] = static_cast<std::int8_t>(i);
+    std::vector<std::int8_t> dst(static_cast<size_t>(1 * 4 * n));
+    packBTileVnniI8(src.data(), n, 0, 0, k, n, 1, n, dst.data());
+    // Column 0 quad: b[0][0], b[1][0], b[2][0], b[3][0] = 0,2,4,6.
+    EXPECT_EQ(dst[0], 0);
+    EXPECT_EQ(dst[1], 2);
+    EXPECT_EQ(dst[2], 4);
+    EXPECT_EQ(dst[3], 6);
+    // Column 1 quad: 1,3,5,7.
+    EXPECT_EQ(dst[4], 1);
+    EXPECT_EQ(dst[5], 3);
+    EXPECT_EQ(dst[6], 5);
+    EXPECT_EQ(dst[7], 7);
+}
+
+TEST(PackATileI8, ZeroPadsOutside)
+{
+    std::vector<std::int8_t> src(16, 5);
+    std::vector<std::int8_t> dst(8 * 8, 99);
+    packATileI8(src.data(), 4, 0, 0, 2, 2, 8, 8, dst.data());
+    EXPECT_EQ(dst[0], 5);
+    EXPECT_EQ(dst[1], 5);
+    EXPECT_EQ(dst[2], 0);
+    EXPECT_EQ(dst[8], 5);
+    EXPECT_EQ(dst[63], 0);
+}
+
+TEST(ToBf16, ConvertsAll)
+{
+    const float src[3] = {1.0f, -2.5f, 0.0f};
+    const auto out = toBf16(src, 3);
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].toFloat(), 1.0f);
+    EXPECT_EQ(out[1].toFloat(), -2.5f);
+    EXPECT_EQ(out[2].toFloat(), 0.0f);
+}
+
+} // namespace
+} // namespace gemm
+} // namespace cpullm

@@ -1,0 +1,208 @@
+#include "gpu/gpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "perf/cpu_model.h"
+#include "util/units.h"
+
+namespace cpullm {
+namespace gpu {
+namespace {
+
+TEST(MemoryBudget, AppliesReserve)
+{
+    const GpuPerfModel a100(hw::nvidiaA100());
+    EXPECT_NEAR(static_cast<double>(a100.memoryBudget()),
+                0.85 * 40.0 * static_cast<double>(GiB),
+                static_cast<double>(GiB));
+}
+
+TEST(Placement, SmallModelsResident)
+{
+    const GpuPerfModel a100(hw::nvidiaA100());
+    const GpuPerfModel h100(hw::nvidiaH100());
+    const auto w = perf::paperWorkload(1);
+    for (const auto& m : {model::opt1p3b(), model::opt6p7b(),
+                          model::opt13b(), model::llama2_13b()}) {
+        EXPECT_EQ(static_cast<int>(a100.choosePlacement(m, w)),
+                  static_cast<int>(GpuPlacement::Resident))
+            << m.name;
+        EXPECT_EQ(static_cast<int>(h100.choosePlacement(m, w)),
+                  static_cast<int>(GpuPlacement::Resident))
+            << m.name;
+    }
+}
+
+TEST(Placement, PaperSplitAtOpt30b)
+{
+    // Section V-B: A100 must offload OPT-30B; H100 holds it.
+    const auto w = perf::paperWorkload(1);
+    EXPECT_EQ(static_cast<int>(GpuPerfModel(hw::nvidiaA100())
+                                   .choosePlacement(model::opt30b(),
+                                                    w)),
+              static_cast<int>(GpuPlacement::Offloaded));
+    EXPECT_EQ(static_cast<int>(GpuPerfModel(hw::nvidiaH100())
+                                   .choosePlacement(model::opt30b(),
+                                                    w)),
+              static_cast<int>(GpuPlacement::Resident));
+    // Both offload OPT-66B and LLaMA2-70B.
+    for (const auto& m : {model::opt66b(), model::llama2_70b()}) {
+        EXPECT_EQ(static_cast<int>(GpuPerfModel(hw::nvidiaH100())
+                                       .choosePlacement(m, w)),
+                  static_cast<int>(GpuPlacement::Offloaded))
+            << m.name;
+    }
+}
+
+TEST(Placement, KvGrowthForcesOffload)
+{
+    // OPT-13B fits at seq 160 but a 32-batch 4096-token KV cache
+    // (~200+ GB, Fig 7's point) cannot stay resident.
+    const GpuPerfModel a100(hw::nvidiaA100());
+    perf::Workload w;
+    w.batch = 32;
+    w.promptLen = 4064;
+    w.genLen = 32;
+    EXPECT_EQ(static_cast<int>(
+                  a100.choosePlacement(model::opt13b(), w)),
+              static_cast<int>(GpuPlacement::Offloaded));
+}
+
+TEST(ResidentRun, MetricsConsistent)
+{
+    const GpuPerfModel h100(hw::nvidiaH100());
+    const auto r = h100.run(model::opt13b(), perf::paperWorkload(4));
+    EXPECT_EQ(static_cast<int>(r.placement),
+              static_cast<int>(GpuPlacement::Resident));
+    EXPECT_NEAR(r.timing.e2eLatency,
+                r.timing.ttft + r.timing.decodeTime, 1e-9);
+    EXPECT_EQ(r.totalBreakdown.pcieLoadTime, 0.0);
+    EXPECT_EQ(r.totalBreakdown.cpuAttentionTime, 0.0);
+    EXPECT_GT(r.timing.totalThroughput, 0.0);
+}
+
+TEST(ResidentRun, DecodeNearMemoryBandwidthBound)
+{
+    const GpuPerfModel h100(hw::nvidiaH100());
+    const auto r = h100.run(model::opt13b(), perf::paperWorkload(1));
+    const double stream = static_cast<double>(model::opt13b()
+                              .weightBytes(DType::BF16)) /
+                          (1754.4 * GB);
+    EXPECT_GT(r.timing.tpot, stream);
+    EXPECT_LT(r.timing.tpot, 3.0 * stream);
+}
+
+TEST(OffloadRun, TransferDominatedAtBatchOne)
+{
+    const GpuPerfModel a100(hw::nvidiaA100());
+    const auto r = a100.run(model::opt30b(), perf::paperWorkload(1));
+    EXPECT_EQ(static_cast<int>(r.placement),
+              static_cast<int>(GpuPlacement::Offloaded));
+    // Paper Fig 18: up to 95% of time on PCIe loading.
+    EXPECT_GT(r.totalBreakdown.loadFraction(), 0.85);
+    EXPECT_GT(r.decodeBreakdown.cpuAttentionTime, 0.0);
+}
+
+TEST(OffloadRun, LoadFractionDecreasesWithBatch)
+{
+    const GpuPerfModel a100(hw::nvidiaA100());
+    double prev = 1.0;
+    for (std::int64_t b : {1, 4, 8, 16, 32}) {
+        const auto r =
+            a100.run(model::opt30b(), perf::paperWorkload(b));
+        const double frac = r.totalBreakdown.loadFraction();
+        EXPECT_LT(frac, prev + 1e-9) << b;
+        prev = frac;
+    }
+    // Paper: down to ~67% at batch 32; accept a band.
+    EXPECT_GT(prev, 0.45);
+    EXPECT_LT(prev, 0.8);
+}
+
+TEST(OffloadRun, H100Opt66bBandMatchesFig18)
+{
+    const GpuPerfModel h100(hw::nvidiaH100());
+    const auto r1 = h100.run(model::opt66b(), perf::paperWorkload(1));
+    const auto r32 =
+        h100.run(model::opt66b(), perf::paperWorkload(32));
+    EXPECT_GT(r1.totalBreakdown.loadFraction(), 0.8);
+    EXPECT_LT(r32.totalBreakdown.loadFraction(),
+              r1.totalBreakdown.loadFraction());
+}
+
+TEST(OffloadRun, DecodeStepBoundedBelowByPcieTransfer)
+{
+    const GpuPerfModel a100(hw::nvidiaA100());
+    const auto r = a100.run(model::opt30b(), perf::paperWorkload(1));
+    const double min_transfer =
+        static_cast<double>(model::opt30b().weightBytes(DType::BF16)) /
+        hw::nvidiaA100().pcie.effectiveBandwidth();
+    EXPECT_GT(r.timing.tpot, 0.9 * min_transfer);
+}
+
+TEST(CrossDevice, GpuBeatsCpuOnSmallResidentModels)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const GpuPerfModel a100(hw::nvidiaA100());
+    const GpuPerfModel h100(hw::nvidiaH100());
+    const auto w = perf::paperWorkload(1);
+    for (const auto& m : {model::opt6p7b(), model::opt13b()}) {
+        const double cpu = spr.run(m, w).e2eLatency;
+        EXPECT_LT(a100.run(m, w).timing.e2eLatency, cpu) << m.name;
+        EXPECT_LT(h100.run(m, w).timing.e2eLatency, cpu) << m.name;
+    }
+}
+
+TEST(CrossDevice, CpuBeatsOffloadedGpus)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const GpuPerfModel a100(hw::nvidiaA100());
+    const auto w = perf::paperWorkload(1);
+    const double cpu = spr.run(model::opt30b(), w).e2eLatency;
+    const double gpu =
+        a100.run(model::opt30b(), w).timing.e2eLatency;
+    // Paper: 92.1% latency reduction (~12.7x throughput).
+    EXPECT_GT(gpu / cpu, 6.0);
+    EXPECT_LT(gpu / cpu, 20.0);
+}
+
+TEST(GemmThroughput, RampsWithSizeAndBeatsCpuAtLarge)
+{
+    const GpuPerfModel h100(hw::nvidiaH100());
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const double small =
+        h100.gemmThroughput(256, 256, 256, DType::BF16);
+    const double large =
+        h100.gemmThroughput(8192, 8192, 8192, DType::BF16);
+    EXPECT_GT(large, 10.0 * small);
+    EXPECT_GT(large,
+              spr.gemmThroughput(8192, 8192, 8192, DType::BF16));
+    EXPECT_GT(large, 300.0 * TFLOPS);
+}
+
+TEST(GemmEfficiency, CappedAtCeiling)
+{
+    const GpuPerfModel h100(hw::nvidiaH100());
+    EXPECT_LE(h100.gemmEfficiency(16384, 16384, 16384), 0.80 + 1e-9);
+}
+
+TEST(RunDeath, OffloadBeyondHostDramIsFatal)
+{
+    hw::GpuConfig small_host = hw::nvidiaA100();
+    small_host.hostMemoryBytes = 32ULL * GiB;
+    const GpuPerfModel gm(small_host);
+    EXPECT_EXIT(gm.run(model::opt66b(), perf::paperWorkload(1)),
+                testing::ExitedWithCode(1), "host DRAM");
+}
+
+TEST(RunDeath, DegenerateWorkloadPanics)
+{
+    const GpuPerfModel a100(hw::nvidiaA100());
+    perf::Workload w;
+    w.genLen = 0;
+    EXPECT_DEATH(a100.run(model::opt13b(), w), "degenerate");
+}
+
+} // namespace
+} // namespace gpu
+} // namespace cpullm

@@ -1,0 +1,131 @@
+#include "hw/cpu.h"
+#include "hw/gpu.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace cpullm {
+namespace hw {
+namespace {
+
+TEST(IclConfig, MatchesTable1)
+{
+    const CpuConfig c = iclXeon8352Y();
+    EXPECT_EQ(c.coresPerSocket, 32);
+    EXPECT_EQ(c.sockets, 2);
+    EXPECT_EQ(c.totalCores(), 64);
+    EXPECT_NEAR(c.coreFrequency / GHz, 2.20, 1e-9);
+    EXPECT_NEAR(c.compute.avx512Bf16FlopsPerSocket / TFLOPS, 18.0,
+                1e-9);
+    EXPECT_FALSE(c.compute.hasAmx());
+    EXPECT_FALSE(c.hasHbm());
+    EXPECT_EQ(c.cache.l3Shared, 48 * MiB);
+    EXPECT_NEAR(c.ddr.bandwidth / GB, 156.2, 1e-9);
+    EXPECT_EQ(c.totalMemoryBytes(), 256ULL * GiB);
+}
+
+TEST(SprConfig, MatchesTable1)
+{
+    const CpuConfig c = sprXeonMax9468();
+    EXPECT_EQ(c.coresPerSocket, 48);
+    EXPECT_EQ(c.totalCores(), 96);
+    EXPECT_NEAR(c.coreFrequency / GHz, 2.10, 1e-9);
+    EXPECT_NEAR(c.compute.amxBf16FlopsPerSocket / TFLOPS, 206.4, 1e-9);
+    EXPECT_NEAR(c.compute.avx512Bf16FlopsPerSocket / TFLOPS, 25.6,
+                1e-9);
+    EXPECT_TRUE(c.compute.hasAmx());
+    ASSERT_TRUE(c.hasHbm());
+    EXPECT_EQ(c.hbm->capacityBytes, 64ULL * GiB);
+    EXPECT_NEAR(c.hbm->bandwidth / GB, 588.0, 1e-9);
+    EXPECT_NEAR(c.ddr.bandwidth / GB, 233.8, 1e-9);
+    EXPECT_EQ(c.cache.l2PerCore, 2 * MiB);
+    EXPECT_EQ(c.cache.l3Shared, 105 * MiB);
+    // DDR 512 GB + HBM 128 GB across both sockets.
+    EXPECT_EQ(c.totalMemoryBytes(), (512ULL + 128ULL) * GiB);
+}
+
+TEST(SprConfig, AmxPeakConsistentWithMicroarchitecture)
+{
+    // 48 cores x 2.1 GHz x 2048 BF16 FLOP/cycle (one 16x16x32 TMUL
+    // per cycle) = 206.4 TFLOPS.
+    const CpuConfig c = sprXeonMax9468();
+    const double derived = c.coresPerSocket * c.coreFrequency * 2048.0;
+    EXPECT_NEAR(c.compute.amxBf16FlopsPerSocket / derived, 1.0, 0.001);
+}
+
+TEST(SprConfig, BestBf16PicksAmx)
+{
+    EXPECT_NEAR(
+        sprXeonMax9468().compute.bestBf16FlopsPerSocket() / TFLOPS,
+        206.4, 1e-9);
+    EXPECT_NEAR(
+        iclXeon8352Y().compute.bestBf16FlopsPerSocket() / TFLOPS, 18.0,
+        1e-9);
+}
+
+TEST(CpuByName, Aliases)
+{
+    EXPECT_EQ(cpuByName("icl").shortName, "icl");
+    EXPECT_EQ(cpuByName("SPR").shortName, "spr");
+    EXPECT_EQ(cpuByName("8352y").shortName, "icl");
+}
+
+TEST(CpuByNameDeath, UnknownIsFatal)
+{
+    EXPECT_EXIT(cpuByName("epyc"), testing::ExitedWithCode(1),
+                "unknown CPU");
+}
+
+TEST(A100Config, MatchesTable2)
+{
+    const GpuConfig g = nvidiaA100();
+    EXPECT_EQ(g.numSms, 108);
+    EXPECT_NEAR(g.bf16Flops / TFLOPS, 312.0, 1e-9);
+    EXPECT_EQ(g.memory.capacityBytes, 40ULL * GiB);
+    EXPECT_NEAR(g.memory.bandwidth / GB, 1299.9, 1e-9);
+    EXPECT_NEAR(g.pcie.bandwidth / GB, 64.0, 1e-9);
+    EXPECT_EQ(g.l2Shared, 40 * MiB);
+}
+
+TEST(H100Config, MatchesTable2)
+{
+    const GpuConfig g = nvidiaH100();
+    EXPECT_EQ(g.numSms, 132);
+    EXPECT_NEAR(g.bf16Flops / TFLOPS, 756.0, 1e-9);
+    EXPECT_EQ(g.memory.capacityBytes, 80ULL * GiB);
+    EXPECT_NEAR(g.memory.bandwidth / GB, 1754.4, 1e-9);
+    EXPECT_NEAR(g.pcie.bandwidth / GB, 128.0, 1e-9);
+}
+
+TEST(GpuByName, Lookup)
+{
+    EXPECT_EQ(gpuByName("a100").shortName, "a100");
+    EXPECT_EQ(gpuByName("H100").shortName, "h100");
+}
+
+TEST(GpuByNameDeath, UnknownIsFatal)
+{
+    EXPECT_EXIT(gpuByName("mi300"), testing::ExitedWithCode(1),
+                "unknown GPU");
+}
+
+TEST(Interconnect, EffectiveBandwidthAppliesEfficiency)
+{
+    InterconnectConfig ic;
+    ic.bandwidth = 100.0;
+    ic.efficiency = 0.8;
+    EXPECT_DOUBLE_EQ(ic.effectiveBandwidth(), 80.0);
+}
+
+TEST(MemKindName, AllNamed)
+{
+    EXPECT_EQ(memKindName(MemKind::DDR4), "DDR4");
+    EXPECT_EQ(memKindName(MemKind::DDR5), "DDR5");
+    EXPECT_EQ(memKindName(MemKind::HBM2e), "HBM2e");
+    EXPECT_EQ(memKindName(MemKind::GpuHBM), "GPU-HBM");
+}
+
+} // namespace
+} // namespace hw
+} // namespace cpullm

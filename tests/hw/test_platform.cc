@@ -1,0 +1,123 @@
+#include "hw/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace hw {
+namespace {
+
+TEST(ModeNames, RoundTrip)
+{
+    for (MemoryMode m : {MemoryMode::DdrOnly, MemoryMode::HbmOnly,
+                         MemoryMode::Flat, MemoryMode::Cache}) {
+        EXPECT_EQ(static_cast<int>(memoryModeFromName(
+                      memoryModeName(m))),
+                  static_cast<int>(m));
+    }
+    for (ClusteringMode c :
+         {ClusteringMode::Quadrant, ClusteringMode::Snc4}) {
+        EXPECT_EQ(static_cast<int>(clusteringModeFromName(
+                      clusteringModeName(c))),
+                  static_cast<int>(c));
+    }
+}
+
+TEST(Platform, DefaultsMatchPaperSetup)
+{
+    const PlatformConfig icl = iclDefaultPlatform();
+    EXPECT_EQ(icl.coresUsed, 32);
+    EXPECT_EQ(static_cast<int>(icl.memoryMode),
+              static_cast<int>(MemoryMode::DdrOnly));
+
+    const PlatformConfig spr = sprDefaultPlatform();
+    EXPECT_EQ(spr.coresUsed, 48);
+    EXPECT_EQ(static_cast<int>(spr.memoryMode),
+              static_cast<int>(MemoryMode::Flat));
+    EXPECT_EQ(static_cast<int>(spr.clusteringMode),
+              static_cast<int>(ClusteringMode::Quadrant));
+}
+
+TEST(Platform, SocketSpanDerivedFromCores)
+{
+    EXPECT_EQ(sprPlatform(ClusteringMode::Quadrant, MemoryMode::Flat,
+                          48)
+                  .socketsUsed(),
+              1);
+    EXPECT_FALSE(sprPlatform(ClusteringMode::Quadrant,
+                             MemoryMode::Flat, 48)
+                     .spansSockets());
+    EXPECT_EQ(sprPlatform(ClusteringMode::Quadrant, MemoryMode::Flat,
+                          96)
+                  .socketsUsed(),
+              2);
+    EXPECT_TRUE(sprPlatform(ClusteringMode::Quadrant, MemoryMode::Flat,
+                            96)
+                    .spansSockets());
+    EXPECT_EQ(sprPlatform(ClusteringMode::Quadrant, MemoryMode::Flat,
+                          49)
+                  .socketsUsed(),
+              2);
+}
+
+TEST(Platform, LabelFormat)
+{
+    EXPECT_EQ(sprDefaultPlatform().label(), "spr/quad_flat/48c");
+    EXPECT_EQ(iclDefaultPlatform().label(), "icl/quad_ddr/32c");
+}
+
+TEST(Platform, ModeSweepIsPaperOrder)
+{
+    const auto sweep = sprModeSweepPlatforms();
+    ASSERT_EQ(sweep.size(), 4u);
+    EXPECT_EQ(sweep[0].label(), "spr/quad_cache/48c");
+    EXPECT_EQ(sweep[1].label(), "spr/quad_flat/48c");
+    EXPECT_EQ(sweep[2].label(), "spr/snc_cache/48c");
+    EXPECT_EQ(sweep[3].label(), "spr/snc_flat/48c");
+}
+
+TEST(PlatformByName, Shorthands)
+{
+    EXPECT_EQ(platformByName("icl").label(), "icl/quad_ddr/32c");
+    EXPECT_EQ(platformByName("spr").label(), "spr/quad_flat/48c");
+}
+
+TEST(PlatformByName, FullSyntax)
+{
+    const PlatformConfig p = platformByName("spr/snc_cache/24c");
+    EXPECT_EQ(static_cast<int>(p.clusteringMode),
+              static_cast<int>(ClusteringMode::Snc4));
+    EXPECT_EQ(static_cast<int>(p.memoryMode),
+              static_cast<int>(MemoryMode::Cache));
+    EXPECT_EQ(p.coresUsed, 24);
+}
+
+TEST(PlatformByNameDeath, BadSyntaxIsFatal)
+{
+    EXPECT_EXIT(platformByName("spr/quad"), testing::ExitedWithCode(1),
+                "bad platform name");
+    EXPECT_EXIT(platformByName("spr/quadflat/48c"),
+                testing::ExitedWithCode(1), "bad mode spec");
+}
+
+TEST(ValidateDeath, HbmModeWithoutHbmIsFatal)
+{
+    PlatformConfig p = iclDefaultPlatform();
+    p.memoryMode = MemoryMode::Flat;
+    EXPECT_EXIT(validatePlatform(p), testing::ExitedWithCode(1),
+                "requires HBM");
+}
+
+TEST(ValidateDeath, CoreCountOutOfRangeIsFatal)
+{
+    PlatformConfig p = sprDefaultPlatform();
+    p.coresUsed = 97;
+    EXPECT_EXIT(validatePlatform(p), testing::ExitedWithCode(1),
+                "out of range");
+    p.coresUsed = 0;
+    EXPECT_EXIT(validatePlatform(p), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace
+} // namespace hw
+} // namespace cpullm

@@ -1,0 +1,361 @@
+#include "isa/amx.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "numerics/bf16.h"
+#include "util/rng.h"
+
+namespace cpullm {
+namespace isa {
+namespace {
+
+TileConfig
+standardBf16Config()
+{
+    // TMM0: 16x16 FP32 accumulator; TMM1: 16x32 BF16 A; TMM2: VNNI B.
+    TileConfig cfg;
+    cfg.setTile(0, 16, 64);
+    cfg.setTile(1, 16, 64);
+    cfg.setTile(2, 16, 64);
+    return cfg;
+}
+
+TEST(AmxConfig, StartsUnconfigured)
+{
+    AmxUnit amx;
+    EXPECT_FALSE(amx.configured());
+}
+
+TEST(AmxConfig, LdtilecfgInstallsPalette1)
+{
+    AmxUnit amx;
+    amx.ldtilecfg(standardBf16Config());
+    EXPECT_TRUE(amx.configured());
+    EXPECT_EQ(amx.rows(0), 16);
+    EXPECT_EQ(amx.colsb(0), 64);
+}
+
+TEST(AmxConfig, Palette0Releases)
+{
+    AmxUnit amx;
+    amx.ldtilecfg(standardBf16Config());
+    TileConfig release;
+    release.palette = 0;
+    amx.ldtilecfg(release);
+    EXPECT_FALSE(amx.configured());
+}
+
+TEST(AmxConfig, TilereleaseClearsState)
+{
+    AmxUnit amx;
+    amx.ldtilecfg(standardBf16Config());
+    amx.tilerelease();
+    EXPECT_FALSE(amx.configured());
+    EXPECT_THROW(amx.tilezero(0), AmxFault);
+}
+
+TEST(AmxConfig, InvalidPaletteFaults)
+{
+    AmxUnit amx;
+    TileConfig cfg = standardBf16Config();
+    cfg.palette = 3;
+    EXPECT_THROW(amx.ldtilecfg(cfg), AmxFault);
+}
+
+TEST(AmxConfig, OversizedRowsFault)
+{
+    AmxUnit amx;
+    TileConfig cfg = standardBf16Config();
+    cfg.rows[1] = 17;
+    EXPECT_THROW(amx.ldtilecfg(cfg), AmxFault);
+}
+
+TEST(AmxConfig, OversizedColsbFaults)
+{
+    AmxUnit amx;
+    TileConfig cfg = standardBf16Config();
+    cfg.colsb[2] = 65;
+    EXPECT_THROW(amx.ldtilecfg(cfg), AmxFault);
+}
+
+TEST(AmxConfig, HalfConfiguredTileFaults)
+{
+    AmxUnit amx;
+    TileConfig cfg = standardBf16Config();
+    cfg.rows[3] = 4; // colsb stays 0
+    EXPECT_THROW(amx.ldtilecfg(cfg), AmxFault);
+}
+
+TEST(AmxFaults, UnconfiguredTileUseFaults)
+{
+    AmxUnit amx;
+    amx.ldtilecfg(standardBf16Config());
+    float buf[16 * 16] = {};
+    EXPECT_THROW(amx.tileloadd(5, buf, 64), AmxFault); // tile 5 unused
+    EXPECT_THROW(amx.tilezero(7), AmxFault);
+    EXPECT_THROW(amx.tileloadd(-1, buf, 64), AmxFault);
+    EXPECT_THROW(amx.tileloadd(8, buf, 64), AmxFault);
+}
+
+TEST(AmxFaults, NoConfigLoadedFaults)
+{
+    AmxUnit amx;
+    float buf[16 * 16] = {};
+    EXPECT_THROW(amx.tileloadd(0, buf, 64), AmxFault);
+    EXPECT_THROW(amx.tdpbf16ps(0, 1, 2), AmxFault);
+}
+
+TEST(AmxLoadStore, RoundTripWithStride)
+{
+    AmxUnit amx;
+    TileConfig cfg;
+    cfg.setTile(0, 4, 16); // 4 rows x 16 bytes
+    amx.ldtilecfg(cfg);
+
+    std::vector<std::uint8_t> src(4 * 32);
+    for (std::size_t i = 0; i < src.size(); ++i)
+        src[i] = static_cast<std::uint8_t>(i);
+    amx.tileloadd(0, src.data(), 32); // stride 32, load 16 per row
+
+    std::vector<std::uint8_t> dst(4 * 20, 0xFF);
+    amx.tilestored(0, dst.data(), 20);
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 16; ++c)
+            EXPECT_EQ(dst[r * 20 + c], src[r * 32 + c]);
+        // Bytes beyond colsb untouched.
+        for (int c = 16; c < 20; ++c)
+            EXPECT_EQ(dst[r * 20 + c], 0xFF);
+    }
+    EXPECT_EQ(amx.loadCount(), 1u);
+    EXPECT_EQ(amx.storeCount(), 1u);
+}
+
+TEST(AmxLoadStore, TilezeroClearsData)
+{
+    AmxUnit amx;
+    TileConfig cfg;
+    cfg.setTile(0, 2, 8);
+    amx.ldtilecfg(cfg);
+    std::uint8_t src[16];
+    for (int i = 0; i < 16; ++i)
+        src[i] = 0xAB;
+    amx.tileloadd(0, src, 8);
+    amx.tilezero(0);
+    std::uint8_t dst[16] = {};
+    amx.tilestored(0, dst, 8);
+    for (unsigned char c : dst)
+        EXPECT_EQ(c, 0);
+}
+
+/** Reference BF16 matmul with FP32 accumulation. */
+void
+refGemm(const std::vector<BFloat16>& a, const std::vector<BFloat16>& b,
+        std::vector<float>& c, int m, int n, int k)
+{
+    for (int mi = 0; mi < m; ++mi) {
+        for (int ni = 0; ni < n; ++ni) {
+            float acc = 0.0f;
+            for (int ki = 0; ki < k; ++ki) {
+                acc += a[mi * k + ki].toFloat() *
+                       b[ki * n + ni].toFloat();
+            }
+            c[mi * n + ni] = acc;
+        }
+    }
+}
+
+struct TmulShape
+{
+    int m, n, k; // k in BF16 elements (pairs*2)
+};
+
+class TdpBf16Test : public testing::TestWithParam<TmulShape>
+{
+};
+
+TEST_P(TdpBf16Test, MatchesReference)
+{
+    const auto [m, n, k] = GetParam();
+    ASSERT_LE(m, 16);
+    ASSERT_LE(n, 16);
+    ASSERT_LE(k, 32);
+    ASSERT_EQ(k % 2, 0);
+
+    Rng rng(91);
+    std::vector<BFloat16> a(static_cast<std::size_t>(m * k));
+    std::vector<BFloat16> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a)
+        v = BFloat16(static_cast<float>(rng.uniform(-1, 1)));
+    for (auto& v : b)
+        v = BFloat16(static_cast<float>(rng.uniform(-1, 1)));
+
+    // Pack B into VNNI: row p holds pairs (b[2p][*], b[2p+1][*]).
+    std::vector<BFloat16> bvnni(static_cast<std::size_t>(
+        (k / 2) * (2 * n)));
+    for (int p = 0; p < k / 2; ++p) {
+        for (int c = 0; c < n; ++c) {
+            bvnni[p * 2 * n + 2 * c] = b[(2 * p) * n + c];
+            bvnni[p * 2 * n + 2 * c + 1] = b[(2 * p + 1) * n + c];
+        }
+    }
+
+    AmxUnit amx;
+    TileConfig cfg;
+    cfg.setTile(0, m, n * 4);
+    cfg.setTile(1, m, k * 2);
+    cfg.setTile(2, k / 2, n * 4);
+    amx.ldtilecfg(cfg);
+    amx.tilezero(0);
+    amx.tileloadd(1, a.data(), static_cast<std::size_t>(k) * 2);
+    amx.tileloadd(2, bvnni.data(), static_cast<std::size_t>(n) * 4);
+    amx.tdpbf16ps(0, 1, 2);
+
+    std::vector<float> got(static_cast<std::size_t>(m * n));
+    amx.tilestored(0, got.data(), static_cast<std::size_t>(n) * 4);
+
+    std::vector<float> want(static_cast<std::size_t>(m * n));
+    refGemm(a, b, want, m, n, k);
+    for (int i = 0; i < m * n; ++i)
+        EXPECT_NEAR(got[static_cast<std::size_t>(i)],
+                    want[static_cast<std::size_t>(i)], 1e-4f)
+            << "elem " << i;
+    EXPECT_EQ(amx.tmulCount(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TdpBf16Test,
+    testing::Values(TmulShape{16, 16, 32}, TmulShape{1, 16, 32},
+                    TmulShape{16, 1, 32}, TmulShape{16, 16, 2},
+                    TmulShape{3, 5, 10}, TmulShape{7, 13, 32},
+                    TmulShape{16, 16, 16}, TmulShape{2, 2, 2}));
+
+TEST(TdpBf16, AccumulatesOntoDst)
+{
+    AmxUnit amx;
+    TileConfig cfg;
+    cfg.setTile(0, 1, 4);
+    cfg.setTile(1, 1, 4);
+    cfg.setTile(2, 1, 4);
+    amx.ldtilecfg(cfg);
+    // a = (1, 2), b pair for the single output = (3, 4).
+    const BFloat16 a[2] = {BFloat16(1.0f), BFloat16(2.0f)};
+    const BFloat16 b[2] = {BFloat16(3.0f), BFloat16(4.0f)};
+    const float init = 10.0f;
+    amx.tileloadd(0, &init, 4);
+    amx.tileloadd(1, a, 4);
+    amx.tileloadd(2, b, 4);
+    amx.tdpbf16ps(0, 1, 2);
+    float out = 0.0f;
+    amx.tilestored(0, &out, 4);
+    EXPECT_FLOAT_EQ(out, 10.0f + 1.0f * 3.0f + 2.0f * 4.0f);
+}
+
+TEST(TdpBf16, ShapeConstraintViolationsFault)
+{
+    AmxUnit amx;
+    TileConfig cfg;
+    cfg.setTile(0, 16, 64);
+    cfg.setTile(1, 8, 64); // rows(a) != rows(dst)
+    cfg.setTile(2, 16, 64);
+    amx.ldtilecfg(cfg);
+    EXPECT_THROW(amx.tdpbf16ps(0, 1, 2), AmxFault);
+
+    TileConfig cfg2;
+    cfg2.setTile(0, 16, 64);
+    cfg2.setTile(1, 16, 64);
+    cfg2.setTile(2, 8, 64); // rows(b) != colsb(a)/4
+    amx.ldtilecfg(cfg2);
+    EXPECT_THROW(amx.tdpbf16ps(0, 1, 2), AmxFault);
+
+    TileConfig cfg3;
+    cfg3.setTile(0, 16, 64);
+    cfg3.setTile(1, 16, 64);
+    cfg3.setTile(2, 16, 32); // colsb(b) != colsb(dst)
+    amx.ldtilecfg(cfg3);
+    EXPECT_THROW(amx.tdpbf16ps(0, 1, 2), AmxFault);
+}
+
+TEST(TdpBssd, SmallSignedInt8Case)
+{
+    AmxUnit amx;
+    TileConfig cfg;
+    cfg.setTile(0, 1, 4); // one INT32 output
+    cfg.setTile(1, 1, 4); // one quad of A
+    cfg.setTile(2, 1, 4); // one quad of B (VNNI)
+    amx.ldtilecfg(cfg);
+    const std::int8_t a[4] = {1, -2, 3, -4};
+    const std::int8_t b[4] = {5, 6, -7, 8};
+    amx.tilezero(0);
+    amx.tileloadd(1, a, 4);
+    amx.tileloadd(2, b, 4);
+    amx.tdpbssd(0, 1, 2);
+    std::int32_t out = 0;
+    amx.tilestored(0, &out, 4);
+    EXPECT_EQ(out, 1 * 5 + (-2) * 6 + 3 * (-7) + (-4) * 8);
+}
+
+TEST(TdpBssd, MatchesReferenceFullTile)
+{
+    const int m = 16, n = 16, k = 64;
+    Rng rng(7);
+    std::vector<std::int8_t> a(static_cast<std::size_t>(m * k));
+    std::vector<std::int8_t> b(static_cast<std::size_t>(k * n));
+    for (auto& v : a)
+        v = static_cast<std::int8_t>(rng.uniformInt(255)) ;
+    for (auto& v : b)
+        v = static_cast<std::int8_t>(rng.uniformInt(255));
+
+    std::vector<std::int8_t> bvnni(static_cast<std::size_t>(
+        (k / 4) * (4 * n)));
+    for (int q = 0; q < k / 4; ++q)
+        for (int c = 0; c < n; ++c)
+            for (int i = 0; i < 4; ++i)
+                bvnni[q * 4 * n + 4 * c + i] = b[(4 * q + i) * n + c];
+
+    AmxUnit amx;
+    TileConfig cfg;
+    cfg.setTile(0, m, n * 4);
+    cfg.setTile(1, m, k);
+    cfg.setTile(2, k / 4, n * 4);
+    amx.ldtilecfg(cfg);
+    amx.tilezero(0);
+    amx.tileloadd(1, a.data(), k);
+    amx.tileloadd(2, bvnni.data(), static_cast<std::size_t>(n) * 4);
+    amx.tdpbssd(0, 1, 2);
+
+    std::vector<std::int32_t> got(static_cast<std::size_t>(m * n));
+    amx.tilestored(0, got.data(), static_cast<std::size_t>(n) * 4);
+    for (int mi = 0; mi < m; ++mi) {
+        for (int ni = 0; ni < n; ++ni) {
+            std::int32_t want = 0;
+            for (int ki = 0; ki < k; ++ki) {
+                want += static_cast<std::int32_t>(a[mi * k + ki]) *
+                        static_cast<std::int32_t>(b[ki * n + ni]);
+            }
+            EXPECT_EQ(got[static_cast<std::size_t>(mi * n + ni)], want);
+        }
+    }
+}
+
+TEST(AmxLoad, RowsBeyondConfiguredAreZeroed)
+{
+    AmxUnit amx;
+    TileConfig cfg;
+    cfg.setTile(0, 2, 8);
+    amx.ldtilecfg(cfg);
+    std::uint8_t ones[16];
+    for (auto& v : ones)
+        v = 1;
+    amx.tileloadd(0, ones, 8);
+    // Internal tile rows beyond 2 must be zero (checked via raw data).
+    const std::uint8_t* data = amx.tileData(0);
+    for (int r = 2; r < kMaxRows; ++r)
+        for (int c = 0; c < kMaxColsb; ++c)
+            EXPECT_EQ(data[r * kMaxColsb + c], 0);
+}
+
+} // namespace
+} // namespace isa
+} // namespace cpullm

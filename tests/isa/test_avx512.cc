@@ -1,0 +1,119 @@
+#include "isa/avx512.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cpullm {
+namespace isa {
+namespace {
+
+TEST(Vec512, ZeroAndBroadcast)
+{
+    const Vec512 z = Vec512::zero();
+    for (float v : z.f32)
+        EXPECT_EQ(v, 0.0f);
+    const Vec512 b = Vec512::broadcast(2.5f);
+    for (float v : b.f32)
+        EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Vec512, LoadStoreRoundTrip)
+{
+    float src[16], dst[16];
+    for (int i = 0; i < 16; ++i)
+        src[i] = static_cast<float>(i) * 1.5f;
+    Vec512::loadF32(src).storeF32(dst);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(dst[i], src[i]);
+}
+
+TEST(Vec512, FmaPerLane)
+{
+    const Vec512 acc = Vec512::broadcast(1.0f);
+    const Vec512 a = Vec512::broadcast(2.0f);
+    const Vec512 b = Vec512::broadcast(3.0f);
+    const Vec512 r = fma(acc, a, b);
+    for (float v : r.f32)
+        EXPECT_EQ(v, 7.0f);
+}
+
+TEST(Vec512, AddMul)
+{
+    const Vec512 a = Vec512::broadcast(2.0f);
+    const Vec512 b = Vec512::broadcast(5.0f);
+    for (float v : add(a, b).f32)
+        EXPECT_EQ(v, 7.0f);
+    for (float v : mul(a, b).f32)
+        EXPECT_EQ(v, 10.0f);
+}
+
+TEST(Vec512Bf16, BroadcastPairInterleaves)
+{
+    const auto v = Vec512Bf16::broadcastPair(BFloat16(1.0f),
+                                             BFloat16(2.0f));
+    for (int i = 0; i < Vec512::kF32Lanes; ++i) {
+        EXPECT_EQ(v.lanes[static_cast<size_t>(2 * i)].toFloat(), 1.0f);
+        EXPECT_EQ(v.lanes[static_cast<size_t>(2 * i + 1)].toFloat(),
+                  2.0f);
+    }
+}
+
+TEST(DpBf16Ps, MatchesScalarReference)
+{
+    Rng rng(3);
+    Vec512Bf16 a, b;
+    for (int i = 0; i < Vec512::kBf16Lanes; ++i) {
+        a.lanes[static_cast<size_t>(i)] =
+            BFloat16(static_cast<float>(rng.uniform(-2, 2)));
+        b.lanes[static_cast<size_t>(i)] =
+            BFloat16(static_cast<float>(rng.uniform(-2, 2)));
+    }
+    const Vec512 acc = Vec512::broadcast(0.5f);
+    const Vec512 r = dpbf16ps(acc, a, b);
+    for (int i = 0; i < Vec512::kF32Lanes; ++i) {
+        const auto s = static_cast<size_t>(i);
+        const float want = 0.5f +
+            a.lanes[2 * s].toFloat() * b.lanes[2 * s].toFloat() +
+            a.lanes[2 * s + 1].toFloat() * b.lanes[2 * s + 1].toFloat();
+        EXPECT_NEAR(r.f32[s], want, 1e-6f);
+    }
+}
+
+TEST(Cvtneps2Bf16, RoundsEveryLane)
+{
+    Vec512 v;
+    for (int i = 0; i < 16; ++i)
+        v.f32[static_cast<size_t>(i)] = 1.0f + 0.001f * i;
+    const auto out = cvtneps2bf16(v);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(out[static_cast<size_t>(i)].bits(),
+                  BFloat16(v.f32[static_cast<size_t>(i)]).bits());
+    }
+}
+
+TEST(HorizontalSum, SumsAllLanes)
+{
+    Vec512 v;
+    for (int i = 0; i < 16; ++i)
+        v.f32[static_cast<size_t>(i)] = static_cast<float>(i);
+    EXPECT_EQ(horizontalSum(v), 120.0f);
+}
+
+TEST(Vec512Bf16, LoadReadsThirtyTwoLanes)
+{
+    std::vector<BFloat16> src(32);
+    for (int i = 0; i < 32; ++i)
+        src[static_cast<size_t>(i)] =
+            BFloat16(static_cast<float>(i));
+    const auto v = Vec512Bf16::load(src.data());
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(v.lanes[static_cast<size_t>(i)].toFloat(),
+                  static_cast<float>(i));
+}
+
+} // namespace
+} // namespace isa
+} // namespace cpullm

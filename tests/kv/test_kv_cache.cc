@@ -1,0 +1,114 @@
+#include "kv/kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpullm {
+namespace kv {
+namespace {
+
+TEST(KvCache, Geometry)
+{
+    const KvCache c(4, 2, 64, 128, DType::BF16);
+    EXPECT_EQ(c.layers(), 4);
+    EXPECT_EQ(c.batch(), 2);
+    EXPECT_EQ(c.dKv(), 64);
+    EXPECT_EQ(c.maxSeq(), 128);
+    EXPECT_EQ(c.seqLen(), 0);
+}
+
+TEST(KvCache, WriteReadRoundTrip)
+{
+    KvCache c(2, 2, 8, 16, DType::F32);
+    std::vector<float> k(8), v(8);
+    for (int i = 0; i < 8; ++i) {
+        k[static_cast<size_t>(i)] = static_cast<float>(i);
+        v[static_cast<size_t>(i)] = static_cast<float>(-i);
+    }
+    c.write(1, 1, 5, k.data(), v.data());
+    std::vector<float> ko(8), vo(8);
+    c.readK(1, 1, 5, ko.data());
+    c.readV(1, 1, 5, vo.data());
+    EXPECT_EQ(ko, k);
+    EXPECT_EQ(vo, v);
+}
+
+TEST(KvCache, EntriesIsolatedAcrossLayersAndBatch)
+{
+    KvCache c(2, 2, 4, 8, DType::F32);
+    const float a[4] = {1, 1, 1, 1};
+    const float b[4] = {2, 2, 2, 2};
+    c.write(0, 0, 0, a, a);
+    c.write(1, 1, 0, b, b);
+    float out[4];
+    c.readK(1, 0, 0, out); // untouched slot stays zero
+    EXPECT_EQ(out[0], 0.0f);
+    c.readK(1, 1, 0, out);
+    EXPECT_EQ(out[0], 2.0f);
+}
+
+TEST(KvCache, Bf16StorageRoundsValues)
+{
+    KvCache c(1, 1, 2, 4, DType::BF16);
+    const float k[2] = {1.0f + 0.001f, -3.0f};
+    c.write(0, 0, 0, k, k);
+    float out[2];
+    c.readK(0, 0, 0, out);
+    EXPECT_NEAR(out[0], 1.0f, 0.01f);
+    EXPECT_EQ(out[1], -3.0f);
+}
+
+TEST(KvCache, CapacityBytesMatchFormula)
+{
+    const KvCache c(40, 8, 5120, 160, DType::BF16);
+    // 2 (K/V) * layers * batch * seq * dkv * 2 bytes.
+    EXPECT_EQ(c.capacityBytes(),
+              2ULL * 40 * 8 * 160 * 5120 * 2);
+}
+
+TEST(KvCache, UsedBytesTrackSeqLen)
+{
+    KvCache c(2, 1, 4, 8, DType::BF16);
+    EXPECT_EQ(c.usedBytes(), 0u);
+    c.setSeqLen(3);
+    EXPECT_EQ(c.usedBytes(), 2ULL * 2 * 1 * 3 * 4 * 2);
+    c.reset();
+    EXPECT_EQ(c.usedBytes(), 0u);
+}
+
+TEST(KvCacheDeath, PositionBeyondCapacityPanics)
+{
+    KvCache c(1, 1, 2, 4, DType::F32);
+    const float k[2] = {};
+    EXPECT_DEATH(c.write(0, 0, 4, k, k), "out of capacity");
+}
+
+TEST(KvCacheDeath, BadLayerPanics)
+{
+    KvCache c(1, 1, 2, 4, DType::F32);
+    float out[2];
+    EXPECT_DEATH(c.readK(1, 0, 0, out), "layer out of range");
+}
+
+TEST(KvCacheDeath, BadBatchPanics)
+{
+    KvCache c(1, 1, 2, 4, DType::F32);
+    const float k[2] = {};
+    EXPECT_DEATH(c.write(0, 1, 0, k, k), "batch index");
+}
+
+TEST(KvCacheDeath, BadSeqLenPanics)
+{
+    KvCache c(1, 1, 2, 4, DType::F32);
+    EXPECT_DEATH(c.setSeqLen(5), "bad seq len");
+}
+
+TEST(KvCacheDeath, DegenerateGeometryPanics)
+{
+    EXPECT_DEATH(KvCache(0, 1, 2, 4, DType::F32), "geometry");
+}
+
+} // namespace
+} // namespace kv
+} // namespace cpullm

@@ -1,0 +1,183 @@
+#include "kv/paged_kv_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cpullm {
+namespace kv {
+namespace {
+
+PagedKvCache
+smallCache(std::int64_t blocks = 8)
+{
+    // 2 layers, d_kv 4, block size 4 tokens.
+    return PagedKvCache(2, 4, 4, blocks, DType::F32);
+}
+
+std::vector<float>
+tokenData(float base, std::int64_t layers = 2, std::int64_t dkv = 4)
+{
+    std::vector<float> v(static_cast<std::size_t>(layers * dkv));
+    for (std::size_t i = 0; i < v.size(); ++i)
+        v[i] = base + static_cast<float>(i);
+    return v;
+}
+
+TEST(PagedKv, StartsWithFullFreePool)
+{
+    const auto c = smallCache();
+    EXPECT_EQ(c.freeBlocks(), 8);
+    EXPECT_EQ(c.allocatedBytes(), 0u);
+    EXPECT_EQ(c.poolBytes(), 8ULL * 2 * 4 * 4 * 4 * 2);
+}
+
+TEST(PagedKv, AppendReadRoundTrip)
+{
+    auto c = smallCache();
+    const auto seq = c.addSequence();
+    const auto k = tokenData(10.0f);
+    const auto v = tokenData(-10.0f);
+    ASSERT_TRUE(c.appendToken(seq, k.data(), v.data()));
+    EXPECT_EQ(c.seqLen(seq), 1);
+
+    float out[4];
+    c.readK(seq, 1, 0, out); // layer 1
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(out[i], 10.0f + 4.0f + i);
+    c.readV(seq, 0, 0, out); // layer 0
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(out[i], -10.0f + i);
+}
+
+TEST(PagedKv, BlocksAllocatedOnDemand)
+{
+    auto c = smallCache();
+    const auto seq = c.addSequence();
+    const auto k = tokenData(1.0f);
+    for (int t = 0; t < 4; ++t)
+        ASSERT_TRUE(c.appendToken(seq, k.data(), k.data()));
+    EXPECT_EQ(c.freeBlocks(), 7); // one block holds 4 tokens
+    ASSERT_TRUE(c.appendToken(seq, k.data(), k.data()));
+    EXPECT_EQ(c.freeBlocks(), 6); // 5th token opens a new block
+}
+
+TEST(PagedKv, CrossBlockReadsCorrect)
+{
+    auto c = smallCache();
+    const auto seq = c.addSequence();
+    for (int t = 0; t < 9; ++t) {
+        const auto k = tokenData(static_cast<float>(100 * t));
+        ASSERT_TRUE(c.appendToken(seq, k.data(), k.data()));
+    }
+    float out[4];
+    c.readK(seq, 0, 7, out); // second block, last slot
+    EXPECT_EQ(out[0], 700.0f);
+    c.readK(seq, 0, 8, out); // third block, first slot
+    EXPECT_EQ(out[0], 800.0f);
+}
+
+TEST(PagedKv, PoolExhaustionReturnsFalse)
+{
+    auto c = smallCache(1); // one block only
+    const auto seq = c.addSequence();
+    const auto k = tokenData(0.0f);
+    for (int t = 0; t < 4; ++t)
+        ASSERT_TRUE(c.appendToken(seq, k.data(), k.data()));
+    EXPECT_FALSE(c.canAppend(seq));
+    EXPECT_FALSE(c.appendToken(seq, k.data(), k.data()));
+    EXPECT_EQ(c.seqLen(seq), 4);
+}
+
+TEST(PagedKv, ReleaseReturnsBlocks)
+{
+    auto c = smallCache(2);
+    const auto s1 = c.addSequence();
+    const auto k = tokenData(0.0f);
+    for (int t = 0; t < 8; ++t)
+        ASSERT_TRUE(c.appendToken(s1, k.data(), k.data()));
+    EXPECT_EQ(c.freeBlocks(), 0);
+    c.releaseSequence(s1);
+    EXPECT_EQ(c.freeBlocks(), 2);
+
+    const auto s2 = c.addSequence();
+    EXPECT_TRUE(c.canAppend(s2));
+    EXPECT_TRUE(c.appendToken(s2, k.data(), k.data()));
+}
+
+TEST(PagedKv, SequencesIsolated)
+{
+    auto c = smallCache();
+    const auto s1 = c.addSequence();
+    const auto s2 = c.addSequence();
+    const auto k1 = tokenData(1.0f);
+    const auto k2 = tokenData(2.0f);
+    ASSERT_TRUE(c.appendToken(s1, k1.data(), k1.data()));
+    ASSERT_TRUE(c.appendToken(s2, k2.data(), k2.data()));
+    float out[4];
+    c.readK(s1, 0, 0, out);
+    EXPECT_EQ(out[0], 1.0f);
+    c.readK(s2, 0, 0, out);
+    EXPECT_EQ(out[0], 2.0f);
+}
+
+TEST(PagedKv, FragmentationBoundedByOneBlock)
+{
+    auto c = smallCache();
+    const auto seq = c.addSequence();
+    const auto k = tokenData(0.0f);
+    // 5 tokens occupy 2 blocks (8 slots): 3/8 slack.
+    for (int t = 0; t < 5; ++t)
+        ASSERT_TRUE(c.appendToken(seq, k.data(), k.data()));
+    EXPECT_NEAR(c.fragmentation(), 3.0 / 8.0, 1e-12);
+    // Contrast: a contiguous reservation of max_seq=32 would waste
+    // 27/32 = 84% for the same sequence.
+}
+
+TEST(PagedKv, FragmentationZeroOnFullBlocks)
+{
+    auto c = smallCache();
+    const auto seq = c.addSequence();
+    const auto k = tokenData(0.0f);
+    for (int t = 0; t < 8; ++t)
+        ASSERT_TRUE(c.appendToken(seq, k.data(), k.data()));
+    EXPECT_DOUBLE_EQ(c.fragmentation(), 0.0);
+}
+
+TEST(PagedKv, UsedBytesTracksTokens)
+{
+    auto c = smallCache();
+    const auto seq = c.addSequence();
+    const auto k = tokenData(0.0f);
+    ASSERT_TRUE(c.appendToken(seq, k.data(), k.data()));
+    // 1 token x 2 (K/V) x 2 layers x d_kv 4 x 4 bytes.
+    EXPECT_EQ(c.usedBytes(), 2ULL * 2 * 4 * 4);
+}
+
+TEST(PagedKvDeath, UseAfterReleasePanics)
+{
+    auto c = smallCache();
+    const auto seq = c.addSequence();
+    const auto k = tokenData(0.0f);
+    ASSERT_TRUE(c.appendToken(seq, k.data(), k.data()));
+    c.releaseSequence(seq);
+    float out[4];
+    EXPECT_DEATH(c.readK(seq, 0, 0, out), "released");
+}
+
+TEST(PagedKvDeath, ReadBeyondLengthPanics)
+{
+    auto c = smallCache();
+    const auto seq = c.addSequence();
+    float out[4];
+    EXPECT_DEATH(c.readK(seq, 0, 0, out), "beyond sequence length");
+}
+
+TEST(PagedKvDeath, BadGeometryPanics)
+{
+    EXPECT_DEATH(PagedKvCache(0, 4, 4, 4, DType::F32), "geometry");
+}
+
+} // namespace
+} // namespace kv
+} // namespace cpullm

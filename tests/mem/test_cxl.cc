@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "mem/memory_system.h"
+#include "perf/cpu_model.h"
+#include "util/units.h"
+
+namespace cpullm {
+namespace mem {
+namespace {
+
+hw::PlatformConfig
+cxlPlatform(std::uint64_t capacity_per_socket = 512ULL * GiB)
+{
+    hw::PlatformConfig p;
+    p.cpu = hw::sprXeonMax9468WithCxl(capacity_per_socket);
+    p.memoryMode = hw::MemoryMode::Flat;
+    p.clusteringMode = hw::ClusteringMode::Quadrant;
+    p.coresUsed = 48;
+    return p;
+}
+
+TEST(Cxl, ExtendsTotalCapacity)
+{
+    const hw::CpuConfig base = hw::sprXeonMax9468();
+    const hw::CpuConfig cxl =
+        hw::sprXeonMax9468WithCxl(512ULL * GiB);
+    EXPECT_EQ(cxl.totalMemoryBytes(),
+              base.totalMemoryBytes() + 2 * 512ULL * GiB);
+    ASSERT_TRUE(cxl.cxl.has_value());
+    EXPECT_EQ(static_cast<int>(cxl.cxl->kind),
+              static_cast<int>(hw::MemKind::CXL));
+}
+
+TEST(Cxl, LocalCapacityIncludesExpander)
+{
+    const MemorySystem ms(cxlPlatform());
+    EXPECT_EQ(ms.localCapacity(), (64ULL + 256ULL + 512ULL) * GiB);
+}
+
+TEST(Cxl, FillsAfterLocalDramBeforeRemoteSocket)
+{
+    const MemorySystem ms(cxlPlatform());
+    RegionSizes sizes;
+    // 400 GB of weights: HBM (68.7 GB) + DDR (274.9 GB) + rest CXL.
+    sizes.weights = static_cast<std::uint64_t>(400.0 * GB);
+    const MemoryPlan plan = ms.plan(sizes);
+    bool has_cxl = false;
+    for (const auto& s : plan.weights.shares) {
+        if (s.kind == hw::MemKind::CXL) {
+            has_cxl = true;
+            EXPECT_FALSE(s.crossSocket);
+        }
+    }
+    EXPECT_TRUE(has_cxl);
+    EXPECT_DOUBLE_EQ(plan.weights.remoteSocketFraction(), 0.0);
+}
+
+TEST(Cxl, Opt175bBecomesServable)
+{
+    // OPT-175B (350 GB of BF16 weights) does not fit one SPR socket
+    // (320 GiB local); with a CXL expander it does -- the Section III
+    // capacity-expansion argument.
+    const perf::CpuPerfModel with_cxl(cxlPlatform());
+    const auto t = with_cxl.run(model::opt175b(),
+                                perf::paperWorkload(1));
+    EXPECT_GT(t.totalThroughput, 0.0);
+    EXPECT_GT(t.tpot, 0.5); // CXL-resident share streams slowly
+}
+
+TEST(Cxl, SlowerThanDdrForSpillingModels)
+{
+    // A model spilling into CXL streams slower than one spilling into
+    // DDR only.
+    const MemorySystem ms(cxlPlatform());
+    RegionSizes in_dram;
+    in_dram.weights = static_cast<std::uint64_t>(200.0 * GB);
+    RegionSizes into_cxl;
+    into_cxl.weights = static_cast<std::uint64_t>(500.0 * GB);
+    const double bw_dram = ms.regionBandwidth(ms.plan(in_dram),
+                                              Region::Weights, 48);
+    const double bw_cxl = ms.regionBandwidth(ms.plan(into_cxl),
+                                             Region::Weights, 48);
+    EXPECT_GT(bw_dram, bw_cxl);
+}
+
+TEST(Cxl, NoEffectOnModelsThatFitDram)
+{
+    // Placement priority keeps small models out of CXL entirely.
+    const perf::CpuPerfModel base(hw::sprDefaultPlatform());
+    const perf::CpuPerfModel with_cxl(cxlPlatform());
+    const auto w = perf::paperWorkload(8);
+    EXPECT_NEAR(with_cxl.run(model::opt13b(), w).e2eLatency,
+                base.run(model::opt13b(), w).e2eLatency, 1e-9);
+}
+
+TEST(Cxl, MemKindNamed)
+{
+    EXPECT_EQ(hw::memKindName(hw::MemKind::CXL), "CXL");
+}
+
+} // namespace
+} // namespace mem
+} // namespace cpullm

@@ -1,0 +1,209 @@
+#include "mem/memory_system.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace cpullm {
+namespace mem {
+namespace {
+
+RegionSizes
+sizesGb(double w, double k, double a)
+{
+    RegionSizes s;
+    s.weights = static_cast<std::uint64_t>(w * GB);
+    s.kvCache = static_cast<std::uint64_t>(k * GB);
+    s.activations = static_cast<std::uint64_t>(a * GB);
+    return s;
+}
+
+TEST(Placement, SmallModelAllOnHbmInFlatMode)
+{
+    const MemorySystem ms(hw::sprDefaultPlatform());
+    const MemoryPlan plan = ms.plan(sizesGb(13, 2, 1));
+    EXPECT_DOUBLE_EQ(plan.weights.hbmFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(plan.kvCache.hbmFraction(), 1.0);
+    EXPECT_DOUBLE_EQ(plan.weights.remoteSocketFraction(), 0.0);
+}
+
+TEST(Placement, LargeModelSpillsToDdrInFlatMode)
+{
+    const MemorySystem ms(hw::sprDefaultPlatform());
+    // 132 GB of weights vs 64 GiB of local HBM.
+    const MemoryPlan plan = ms.plan(sizesGb(132, 8, 2));
+    EXPECT_GT(plan.weights.hbmFraction(), 0.4);
+    EXPECT_LT(plan.weights.hbmFraction(), 0.6);
+    // KV lands in DDR after the weights exhausted HBM.
+    EXPECT_DOUBLE_EQ(plan.kvCache.hbmFraction(), 0.0);
+}
+
+TEST(Placement, CacheModeUsesDdrOnly)
+{
+    const MemorySystem ms(hw::sprPlatform(hw::ClusteringMode::Quadrant,
+                                          hw::MemoryMode::Cache, 48));
+    const MemoryPlan plan = ms.plan(sizesGb(13, 2, 1));
+    EXPECT_DOUBLE_EQ(plan.weights.hbmFraction(), 0.0);
+}
+
+TEST(Placement, WeightsPlacedBeforeKv)
+{
+    const MemorySystem ms(hw::sprDefaultPlatform());
+    // Weights fill HBM (64 GiB = 68.7 GB); KV must go to DDR.
+    const MemoryPlan plan = ms.plan(sizesGb(69, 10, 1));
+    EXPECT_GT(plan.weights.hbmFraction(), 0.99);
+    EXPECT_LT(plan.kvCache.hbmFraction(), 0.01);
+}
+
+TEST(Placement, SpillsToRemoteSocketBeforeFailing)
+{
+    const MemorySystem ms(hw::sprDefaultPlatform());
+    // 64 (HBM) + 256 (DDR) local GiB; ask for more.
+    const MemoryPlan plan = ms.plan(sizesGb(400, 8, 2));
+    EXPECT_GT(plan.weights.remoteSocketFraction(), 0.0);
+}
+
+TEST(PlacementDeath, ExceedingMachineIsFatal)
+{
+    const MemorySystem ms(hw::sprDefaultPlatform());
+    EXPECT_EXIT(ms.plan(sizesGb(1000, 0, 0)),
+                testing::ExitedWithCode(1), "out of memory");
+}
+
+TEST(PlacementDeath, HbmOnlyRefusesDdr)
+{
+    const MemorySystem ms(hw::sprPlatform(hw::ClusteringMode::Quadrant,
+                                          hw::MemoryMode::HbmOnly,
+                                          48));
+    // Both sockets' HBM = 128 GiB; 200 GB cannot fit.
+    EXPECT_EXIT(ms.plan(sizesGb(200, 0, 0)),
+                testing::ExitedWithCode(1), "out of memory");
+}
+
+TEST(Capacity, ModesExposeExpectedCapacity)
+{
+    const MemorySystem flat(hw::sprDefaultPlatform());
+    EXPECT_EQ(flat.localCapacity(), (64ULL + 256ULL) * GiB);
+    const MemorySystem hbm(hw::sprPlatform(hw::ClusteringMode::Quadrant,
+                                           hw::MemoryMode::HbmOnly,
+                                           48));
+    EXPECT_EQ(hbm.localCapacity(), 64ULL * GiB);
+    EXPECT_EQ(hbm.machineCapacity(), 128ULL * GiB);
+    const MemorySystem icl(hw::iclDefaultPlatform());
+    EXPECT_EQ(icl.localCapacity(), 128ULL * GiB);
+}
+
+TEST(Bandwidth, HbmFasterThanDdrSpill)
+{
+    const MemorySystem ms(hw::sprDefaultPlatform());
+    const MemoryPlan small = ms.plan(sizesGb(13, 1, 1));
+    const MemoryPlan big = ms.plan(sizesGb(132, 1, 1));
+    const double bw_small =
+        ms.regionBandwidth(small, Region::Weights, 48);
+    const double bw_big = ms.regionBandwidth(big, Region::Weights, 48);
+    EXPECT_GT(bw_small, bw_big);
+    EXPECT_GT(bw_small, 500.0 * GB);
+}
+
+TEST(Bandwidth, MonotonicallyNondecreasingInCores)
+{
+    const MemorySystem ms(hw::sprDefaultPlatform());
+    const MemoryPlan plan = ms.plan(sizesGb(26, 2, 1));
+    double prev = 0.0;
+    for (int cores : {1, 4, 8, 12, 24, 36, 48}) {
+        const double bw =
+            ms.regionBandwidth(plan, Region::Weights, cores);
+        EXPECT_GE(bw, prev) << cores;
+        prev = bw;
+    }
+}
+
+TEST(Bandwidth, FewCoresCannotSaturateHbm)
+{
+    const MemorySystem ms(hw::sprDefaultPlatform());
+    const MemoryPlan plan = ms.plan(sizesGb(26, 2, 1));
+    const double bw12 = ms.regionBandwidth(plan, Region::Weights, 12);
+    const double bw48 = ms.regionBandwidth(plan, Region::Weights, 48);
+    EXPECT_LT(bw12, 0.5 * bw48 + 1.0);
+}
+
+TEST(Bandwidth, SncModeSlowerThanQuadrant)
+{
+    const MemorySystem quad(hw::sprDefaultPlatform());
+    const MemorySystem snc(hw::sprPlatform(hw::ClusteringMode::Snc4,
+                                           hw::MemoryMode::Flat, 48));
+    const RegionSizes s = sizesGb(26, 2, 1);
+    const double bw_quad =
+        quad.regionBandwidth(quad.plan(s), Region::Weights, 48);
+    const double bw_snc =
+        snc.regionBandwidth(snc.plan(s), Region::Weights, 48);
+    EXPECT_LT(bw_snc, bw_quad);
+}
+
+TEST(Bandwidth, FlatBeatsCacheMode)
+{
+    const MemorySystem flat(hw::sprDefaultPlatform());
+    const MemorySystem cache(hw::sprPlatform(
+        hw::ClusteringMode::Quadrant, hw::MemoryMode::Cache, 48));
+    const RegionSizes s = sizesGb(26, 2, 1);
+    const double bw_flat =
+        flat.regionBandwidth(flat.plan(s), Region::Weights, 48);
+    const double bw_cache =
+        cache.regionBandwidth(cache.plan(s), Region::Weights, 48);
+    EXPECT_GT(bw_flat, bw_cache);
+    // But the HBM cache still beats raw DDR for a fitting working set.
+    EXPECT_GT(bw_cache, 233.8 * GB);
+}
+
+TEST(HbmCacheHitRate, DegradesWithWorkingSet)
+{
+    const MemorySystem cache(hw::sprPlatform(
+        hw::ClusteringMode::Quadrant, hw::MemoryMode::Cache, 48));
+    const double h_small =
+        cache.hbmCacheHitRate(static_cast<std::uint64_t>(20 * GB));
+    const double h_large =
+        cache.hbmCacheHitRate(static_cast<std::uint64_t>(200 * GB));
+    EXPECT_NEAR(h_small, 0.95, 1e-9);
+    EXPECT_LT(h_large, 0.4);
+    EXPECT_GT(h_large, 0.0);
+}
+
+TEST(HbmCacheHitRate, NonCacheModes)
+{
+    EXPECT_DOUBLE_EQ(MemorySystem(hw::sprDefaultPlatform())
+                         .hbmCacheHitRate(1000),
+                     1.0);
+    EXPECT_DOUBLE_EQ(MemorySystem(hw::iclDefaultPlatform())
+                         .hbmCacheHitRate(1000),
+                     0.0);
+}
+
+TEST(RemoteClusterFraction, SncVsQuadrant)
+{
+    EXPECT_DOUBLE_EQ(MemorySystem(hw::sprDefaultPlatform())
+                         .remoteClusterFraction(),
+                     0.05);
+    EXPECT_DOUBLE_EQ(
+        MemorySystem(hw::sprPlatform(hw::ClusteringMode::Snc4,
+                                     hw::MemoryMode::Flat, 48))
+            .remoteClusterFraction(),
+        0.75);
+}
+
+TEST(CoreDemand, ScalesLinearly)
+{
+    const MemorySystem ms(hw::sprDefaultPlatform());
+    EXPECT_DOUBLE_EQ(ms.coreDemandBandwidth(2),
+                     2.0 * ms.coreDemandBandwidth(1));
+}
+
+TEST(RegionName, AllNamed)
+{
+    EXPECT_EQ(regionName(Region::Weights), "weights");
+    EXPECT_EQ(regionName(Region::KvCache), "kv_cache");
+    EXPECT_EQ(regionName(Region::Activations), "activations");
+}
+
+} // namespace
+} // namespace mem
+} // namespace cpullm

@@ -1,0 +1,166 @@
+#include "model/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace cpullm {
+namespace model {
+namespace {
+
+TEST(Zoo, ParameterCountsNearNominal)
+{
+    // Each model's exact parameter count should be within ~8% of its
+    // marketing name.
+    const struct
+    {
+        ModelSpec spec;
+        double nominal; // billions
+    } cases[] = {
+        {opt1p3b(), 1.3e9},   {opt6p7b(), 6.7e9},
+        {opt13b(), 13e9},     {opt30b(), 30e9},
+        {opt66b(), 66e9},     {opt175b(), 175e9},
+        {llama2_7b(), 6.7e9}, {llama2_13b(), 13e9},
+        {llama2_70b(), 69e9},
+    };
+    for (const auto& c : cases) {
+        const double params =
+            static_cast<double>(c.spec.numParameters());
+        EXPECT_NEAR(params / c.nominal, 1.0, 0.08) << c.spec.name;
+    }
+}
+
+TEST(Zoo, FootprintsMatchPaperFigure6)
+{
+    // Fig 6 quotes ~13-14 GB for 7B-class and ~140 GB for 70B at FP16.
+    EXPECT_NEAR(static_cast<double>(
+                    llama2_7b().weightBytes(DType::F16)) / GB,
+                13.5, 1.0);
+    EXPECT_NEAR(static_cast<double>(
+                    llama2_70b().weightBytes(DType::F16)) / GB,
+                138.0, 8.0);
+    // OPT-175B needs >320 GB (Section III).
+    EXPECT_GT(static_cast<double>(
+                  opt175b().weightBytes(DType::F16)) / GB,
+              320.0);
+}
+
+TEST(KvFootprint, MatchesPaperFormula)
+{
+    // Section II-B: 2 B * 2 (K/V) * n_layers * d_model * n_seq *
+    // n_batch for MHA models in BF16.
+    const ModelSpec m = llama2_13b();
+    const std::uint64_t expect = 2ULL * 2 *
+        static_cast<std::uint64_t>(m.numLayers) *
+        static_cast<std::uint64_t>(m.dModel) * 4096 * 8;
+    EXPECT_EQ(m.kvCacheBytes(4096, 8, DType::BF16), expect);
+}
+
+TEST(KvFootprint, Opt66bPaperExample)
+{
+    // Section I: OPT-66B at seq 4096, batch 32 needs ~288 GB.
+    const double gb = static_cast<double>(
+                          opt66b().kvCacheBytes(4096, 32,
+                                                DType::BF16)) / GB;
+    EXPECT_NEAR(gb, 288.0, 25.0);
+}
+
+TEST(KvFootprint, LinearInSeqAndBatch)
+{
+    const ModelSpec m = opt13b();
+    EXPECT_EQ(m.kvCacheBytes(256, 4, DType::BF16),
+              2 * m.kvCacheBytes(128, 4, DType::BF16));
+    EXPECT_EQ(m.kvCacheBytes(128, 8, DType::BF16),
+              2 * m.kvCacheBytes(128, 4, DType::BF16));
+}
+
+TEST(KvFootprint, GqaShrinksCache)
+{
+    // LLaMA2-70B uses 8 KV heads out of 64: cache is 1/8 of the MHA
+    // equivalent.
+    const ModelSpec m = llama2_70b();
+    EXPECT_EQ(m.dKv() * 8, m.dModel);
+    const std::uint64_t mha_equiv = 2ULL * 2 *
+        static_cast<std::uint64_t>(m.numLayers) *
+        static_cast<std::uint64_t>(m.dModel) * 128;
+    EXPECT_EQ(m.kvCacheBytes(128, 1, DType::BF16), mha_equiv / 8);
+}
+
+TEST(Spec, HeadDimConsistency)
+{
+    for (const auto& m : evaluatedModels()) {
+        EXPECT_EQ(m.headDim() * m.numHeads, m.dModel) << m.name;
+        EXPECT_EQ(m.dKv(), m.numKvHeads * m.headDim()) << m.name;
+    }
+}
+
+TEST(Spec, FamiliesHaveExpectedArchitecture)
+{
+    const ModelSpec o = opt13b();
+    EXPECT_EQ(static_cast<int>(o.activation),
+              static_cast<int>(Activation::ReLU));
+    EXPECT_EQ(static_cast<int>(o.norm),
+              static_cast<int>(NormKind::LayerNorm));
+    EXPECT_TRUE(o.linearBias);
+    EXPECT_TRUE(o.tiedEmbedding);
+    EXPECT_FALSE(o.gatedFfn);
+
+    const ModelSpec l = llama2_13b();
+    EXPECT_EQ(static_cast<int>(l.activation),
+              static_cast<int>(Activation::SiLU));
+    EXPECT_EQ(static_cast<int>(l.norm),
+              static_cast<int>(NormKind::RMSNorm));
+    EXPECT_FALSE(l.linearBias);
+    EXPECT_TRUE(l.gatedFfn);
+    EXPECT_EQ(static_cast<int>(l.posEmbedding),
+              static_cast<int>(PosEmbedding::Rotary));
+}
+
+TEST(Spec, WeightBytesScaleWithDtype)
+{
+    const ModelSpec m = opt6p7b();
+    EXPECT_EQ(m.weightBytes(DType::F32), 2 * m.weightBytes(DType::F16));
+    EXPECT_EQ(m.weightBytes(DType::BF16), m.weightBytes(DType::F16));
+    EXPECT_EQ(m.weightBytes(DType::F16), 2 * m.weightBytes(DType::I8));
+}
+
+TEST(Spec, ActivationBytesGrowWithTokens)
+{
+    const ModelSpec m = opt13b();
+    EXPECT_GT(m.activationBytes(4096, 160, DType::BF16),
+              m.activationBytes(128, 160, DType::BF16));
+}
+
+TEST(ModelByName, AcceptsVariants)
+{
+    EXPECT_EQ(modelByName("opt-13b").name, "OPT-13B");
+    EXPECT_EQ(modelByName("OPT_13B").name, "OPT-13B");
+    EXPECT_EQ(modelByName("LLaMA2-70B").name, "LLaMA2-70B");
+    EXPECT_EQ(modelByName("tiny").name, "Tiny-Test");
+}
+
+TEST(ModelByNameDeath, UnknownIsFatal)
+{
+    EXPECT_EXIT(modelByName("gpt-5"), testing::ExitedWithCode(1),
+                "unknown model");
+}
+
+TEST(EvaluatedModels, PaperOrderAndCount)
+{
+    const auto zoo = evaluatedModels();
+    ASSERT_EQ(zoo.size(), 8u);
+    EXPECT_EQ(zoo.front().name, "OPT-1.3B");
+    EXPECT_EQ(zoo.back().name, "LLaMA2-70B");
+}
+
+TEST(ValidateDeath, BadHeadDivisibilityIsFatal)
+{
+    ModelSpec s = tinyTestModel();
+    s.numHeads = 3; // 64 % 3 != 0
+    EXPECT_EXIT(s.validate(), testing::ExitedWithCode(1),
+                "not divisible");
+}
+
+} // namespace
+} // namespace model
+} // namespace cpullm

@@ -1,0 +1,180 @@
+#include "model/transformer.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/inference_engine.h"
+
+namespace cpullm {
+namespace model {
+namespace {
+
+std::vector<std::vector<std::int64_t>>
+testPrompts(const ModelSpec& spec, std::int64_t batch,
+            std::int64_t len)
+{
+    return engine::syntheticPrompts(spec.vocabSize, batch, len, 99);
+}
+
+TEST(Transformer, GeneratesRequestedTokens)
+{
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel m(spec, gemm::Engine::Reference, 1);
+    kv::KvCache cache = m.makeKvCache(2, 32);
+    const auto out = m.generate(testPrompts(spec, 2, 8), 5, cache);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].size(), 5u);
+    EXPECT_EQ(out[1].size(), 5u);
+    for (const auto& seq : out)
+        for (auto tok : seq)
+            EXPECT_LT(tok, spec.vocabSize);
+    EXPECT_EQ(cache.seqLen(), 8 + 4); // prompt + 4 appended decodes
+}
+
+TEST(Transformer, DeterministicForSameSeed)
+{
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel m1(spec, gemm::Engine::Reference, 7);
+    TransformerModel m2(spec, gemm::Engine::Reference, 7);
+    kv::KvCache c1 = m1.makeKvCache(1, 32);
+    kv::KvCache c2 = m2.makeKvCache(1, 32);
+    const auto p = testPrompts(spec, 1, 6);
+    EXPECT_EQ(m1.generate(p, 8, c1), m2.generate(p, 8, c2));
+}
+
+TEST(Transformer, DifferentSeedsGiveDifferentModels)
+{
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel m1(spec, gemm::Engine::Reference, 7);
+    TransformerModel m2(spec, gemm::Engine::Reference, 8);
+    kv::KvCache c1 = m1.makeKvCache(1, 32);
+    kv::KvCache c2 = m2.makeKvCache(1, 32);
+    const auto p = testPrompts(spec, 1, 6);
+    EXPECT_NE(m1.generate(p, 8, c1), m2.generate(p, 8, c2));
+}
+
+TEST(Transformer, AmxAndAvx512AgreeTokenForToken)
+{
+    // The two BF16 engines implement the same arithmetic; greedy
+    // decoding should agree token for token on a tiny model.
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel amx(spec, gemm::Engine::AmxBf16, 21);
+    TransformerModel avx(spec, gemm::Engine::Avx512Bf16, 21);
+    kv::KvCache c1 = amx.makeKvCache(2, 40);
+    kv::KvCache c2 = avx.makeKvCache(2, 40);
+    const auto p = testPrompts(spec, 2, 10);
+    EXPECT_EQ(amx.generate(p, 12, c1), avx.generate(p, 12, c2));
+}
+
+TEST(Transformer, Bf16EnginesTrackFp32Reference)
+{
+    // Logits from the BF16 engines must stay close to the FP32
+    // reference on the same weights (same seed -> same weights).
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel ref(spec, gemm::Engine::Reference, 5);
+    TransformerModel amx(spec, gemm::Engine::AmxBf16, 5);
+    kv::KvCache c1 = ref.makeKvCache(1, 16);
+    kv::KvCache c2 = amx.makeKvCache(1, 16);
+    const std::vector<std::int64_t> toks{3};
+    const Tensor l1 = ref.forwardTokens(toks, 0, c1);
+    const Tensor l2 = amx.forwardTokens(toks, 0, c2);
+    EXPECT_LE(maxAbsDiff(l1, l2), 0.15f);
+}
+
+TEST(Transformer, PrefillThenDecodeMatchesAllAtOnceContext)
+{
+    // Decoding one extra token after a prefill of N must equal the
+    // prefill of the same N+1-token prompt (KV-cache correctness).
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel m(spec, gemm::Engine::Reference, 13);
+
+    const auto p9 = testPrompts(spec, 1, 9);
+    std::vector<std::vector<std::int64_t>> p8{
+        {p9[0].begin(), p9[0].end() - 1}};
+
+    kv::KvCache c1 = m.makeKvCache(1, 16);
+    m.prefill(p8, c1);
+    const Tensor via_decode =
+        m.forwardTokens({p9[0].back()}, 8, c1);
+
+    TransformerModel m2(spec, gemm::Engine::Reference, 13);
+    kv::KvCache c2 = m2.makeKvCache(1, 16);
+    Tensor via_prefill;
+    for (std::size_t pos = 0; pos < p9[0].size(); ++pos) {
+        via_prefill = m2.forwardTokens({p9[0][pos]},
+                                       static_cast<std::int64_t>(pos),
+                                       c2);
+    }
+    EXPECT_LE(maxAbsDiff(via_decode, via_prefill), 1e-4f);
+}
+
+TEST(Transformer, BatchEntriesIndependent)
+{
+    // Sequence 0's output must not depend on what sequence 1 contains.
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel m(spec, gemm::Engine::Reference, 17);
+
+    auto prompts = testPrompts(spec, 2, 6);
+    kv::KvCache c1 = m.makeKvCache(2, 24);
+    const auto out_a = m.generate(prompts, 6, c1);
+
+    auto prompts_b = prompts;
+    for (auto& tok : prompts_b[1])
+        tok = (tok + 13) % spec.vocabSize; // perturb sequence 1 only
+    TransformerModel m2(spec, gemm::Engine::Reference, 17);
+    kv::KvCache c2 = m2.makeKvCache(2, 24);
+    const auto out_b = m2.generate(prompts_b, 6, c2);
+
+    EXPECT_EQ(out_a[0], out_b[0]);
+    EXPECT_NE(out_a[1], out_b[1]);
+}
+
+TEST(Transformer, OptStyleArchitectureRuns)
+{
+    ModelSpec spec = tinyTestModel();
+    spec.name = "Tiny-OPT";
+    spec.norm = NormKind::LayerNorm;
+    spec.activation = Activation::ReLU;
+    spec.posEmbedding = PosEmbedding::Learned;
+    spec.gatedFfn = false;
+    spec.linearBias = true;
+    spec.tiedEmbedding = true;
+    TransformerModel m(spec, gemm::Engine::AmxBf16, 3);
+    kv::KvCache cache = m.makeKvCache(1, 16);
+    const auto out = m.generate(testPrompts(spec, 1, 4), 4, cache);
+    EXPECT_EQ(out[0].size(), 4u);
+}
+
+TEST(Transformer, GqaArchitectureRuns)
+{
+    ModelSpec spec = tinyTestModel();
+    spec.name = "Tiny-GQA";
+    spec.numKvHeads = 2; // 4 heads share 2 KV heads
+    spec.validate();
+    TransformerModel m(spec, gemm::Engine::Reference, 3);
+    kv::KvCache cache = m.makeKvCache(1, 16);
+    EXPECT_EQ(cache.dKv(), spec.dKv());
+    const auto out = m.generate(testPrompts(spec, 1, 4), 3, cache);
+    EXPECT_EQ(out[0].size(), 3u);
+}
+
+TEST(TransformerDeath, UnequalPromptLengthsPanic)
+{
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel m(spec, gemm::Engine::Reference, 1);
+    kv::KvCache cache = m.makeKvCache(2, 16);
+    std::vector<std::vector<std::int64_t>> ragged{{1, 2, 3}, {1, 2}};
+    EXPECT_DEATH(m.prefill(ragged, cache), "equal length");
+}
+
+TEST(TransformerDeath, TokenOutOfVocabPanics)
+{
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel m(spec, gemm::Engine::Reference, 1);
+    kv::KvCache cache = m.makeKvCache(1, 16);
+    EXPECT_DEATH(m.forwardTokens({spec.vocabSize}, 0, cache),
+                 "out of vocab");
+}
+
+} // namespace
+} // namespace model
+} // namespace cpullm

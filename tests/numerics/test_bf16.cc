@@ -1,0 +1,111 @@
+#include "numerics/bf16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace cpullm {
+namespace {
+
+TEST(BFloat16, ExactForSmallIntegers)
+{
+    // Integers up to 2^8 are exactly representable (7 mantissa bits).
+    for (int i = -256; i <= 256; ++i) {
+        EXPECT_EQ(BFloat16(static_cast<float>(i)).toFloat(),
+                  static_cast<float>(i))
+            << i;
+    }
+}
+
+TEST(BFloat16, WideningIsExact)
+{
+    // BF16 -> FP32 -> BF16 must be the identity on bits.
+    for (std::uint32_t bits = 0; bits < 0x10000u; bits += 7) {
+        const auto b = BFloat16::fromBits(
+            static_cast<std::uint16_t>(bits));
+        const float f = b.toFloat();
+        if (std::isnan(f))
+            continue; // NaN payload may be quieted
+        EXPECT_EQ(BFloat16(f).bits(), b.bits()) << bits;
+    }
+}
+
+TEST(BFloat16, RoundToNearestEven)
+{
+    // 1.0 + 2^-8 is exactly between 1.0 and 1.0+2^-7: ties to even
+    // mantissa (0), i.e. down to 1.0.
+    const float halfway = 1.0f + std::ldexp(1.0f, -8);
+    EXPECT_EQ(BFloat16(halfway).toFloat(), 1.0f);
+    // Slightly above the midpoint rounds up.
+    const float above = 1.0f + std::ldexp(1.0f, -8) +
+                        std::ldexp(1.0f, -12);
+    EXPECT_EQ(BFloat16(above).toFloat(),
+              1.0f + std::ldexp(1.0f, -7));
+}
+
+TEST(BFloat16, RelativeErrorBounded)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const float f =
+            static_cast<float>(rng.uniform(-1e6, 1e6));
+        const float r = BFloat16(f).toFloat();
+        if (f != 0.0f) {
+            // 7 mantissa bits: relative error <= 2^-8.
+            EXPECT_LE(std::fabs(r - f) / std::fabs(f),
+                      std::ldexp(1.0f, -8) + 1e-7f)
+                << f;
+        }
+    }
+}
+
+TEST(BFloat16, SignedZeroPreserved)
+{
+    EXPECT_EQ(BFloat16(0.0f).bits(), 0u);
+    EXPECT_EQ(BFloat16(-0.0f).bits(), 0x8000u);
+}
+
+TEST(BFloat16, InfinityPreserved)
+{
+    const float inf = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(std::isinf(BFloat16(inf).toFloat()));
+    EXPECT_TRUE(std::isinf(BFloat16(-inf).toFloat()));
+    EXPECT_LT(BFloat16(-inf).toFloat(), 0.0f);
+}
+
+TEST(BFloat16, NanStaysNanNotInf)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(BFloat16(nan).toFloat()));
+}
+
+TEST(BFloat16, LargeFiniteDoesNotWrap)
+{
+    // Largest float rounds to BF16 infinity, not to a garbage value.
+    const float big = std::numeric_limits<float>::max();
+    EXPECT_TRUE(std::isinf(BFloat16(big).toFloat()));
+}
+
+TEST(Bf16MulAcc, AccumulatesInFp32)
+{
+    // The product of two BF16 values accumulates without BF16
+    // rounding of the accumulator: sum 1e-3 1000 times onto 1.0.
+    const BFloat16 a(0.03125f); // exact in BF16
+    const BFloat16 b(0.03125f);
+    float acc = 1.0f;
+    for (int i = 0; i < 1024; ++i)
+        acc = bf16MulAcc(a, b, acc);
+    EXPECT_NEAR(acc, 1.0f + 1024 * 0.03125f * 0.03125f, 1e-3f);
+}
+
+TEST(BFloat16, EqualityOnBits)
+{
+    EXPECT_EQ(BFloat16(1.5f), BFloat16(1.5f));
+    EXPECT_NE(BFloat16(1.5f), BFloat16(-1.5f));
+}
+
+} // namespace
+} // namespace cpullm

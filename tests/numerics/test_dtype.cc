@@ -1,0 +1,72 @@
+#include "numerics/dtype.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace {
+
+TEST(DTypeSize, MatchesStorage)
+{
+    EXPECT_EQ(dtypeSize(DType::F32), 4u);
+    EXPECT_EQ(dtypeSize(DType::I32), 4u);
+    EXPECT_EQ(dtypeSize(DType::BF16), 2u);
+    EXPECT_EQ(dtypeSize(DType::F16), 2u);
+    EXPECT_EQ(dtypeSize(DType::I8), 1u);
+}
+
+TEST(DTypeName, RoundTripsThroughParser)
+{
+    for (DType t : {DType::F32, DType::BF16, DType::F16, DType::I8,
+                    DType::I32}) {
+        EXPECT_EQ(dtypeFromName(dtypeName(t)), t);
+    }
+}
+
+TEST(DTypeName, AcceptsAliases)
+{
+    EXPECT_EQ(dtypeFromName("fp32"), DType::F32);
+    EXPECT_EQ(dtypeFromName("BFLOAT16"), DType::BF16);
+    EXPECT_EQ(dtypeFromName("half"), DType::F16);
+    EXPECT_EQ(dtypeFromName("int8"), DType::I8);
+}
+
+TEST(DTypeNameDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(dtypeFromName("float128"),
+                testing::ExitedWithCode(1), "unknown dtype");
+}
+
+TEST(QuantParams, RoundTripWithinScale)
+{
+    const QuantParams q = QuantParams::forAbsMax(2.54f);
+    for (float v : {-2.54f, -1.0f, 0.0f, 0.5f, 2.54f}) {
+        const float r = q.dequantize(q.quantize(v));
+        EXPECT_NEAR(r, v, q.scale / 2.0f + 1e-6f) << v;
+    }
+}
+
+TEST(QuantParams, SaturatesOutOfRange)
+{
+    const QuantParams q = QuantParams::forAbsMax(1.0f);
+    EXPECT_EQ(q.quantize(100.0f), 127);
+    EXPECT_EQ(q.quantize(-100.0f), -127);
+}
+
+TEST(QuantParams, ZeroAbsMaxSafe)
+{
+    const QuantParams q = QuantParams::forAbsMax(0.0f);
+    EXPECT_EQ(q.quantize(0.0f), 0);
+    EXPECT_FLOAT_EQ(q.scale, 1.0f);
+}
+
+TEST(QuantParams, RoundToNearest)
+{
+    QuantParams q;
+    q.scale = 1.0f;
+    EXPECT_EQ(q.quantize(1.4f), 1);
+    EXPECT_EQ(q.quantize(1.6f), 2);
+    EXPECT_EQ(q.quantize(-1.6f), -2);
+}
+
+} // namespace
+} // namespace cpullm

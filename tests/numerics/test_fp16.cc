@@ -1,0 +1,76 @@
+#include "numerics/fp16.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cpullm {
+namespace {
+
+TEST(Float16, ExactSmallIntegers)
+{
+    for (int i = -2048; i <= 2048; i += 13) {
+        EXPECT_EQ(Float16(static_cast<float>(i)).toFloat(),
+                  static_cast<float>(i))
+            << i;
+    }
+}
+
+TEST(Float16, RoundTripAllBitPatterns)
+{
+    for (std::uint32_t bits = 0; bits < 0x10000u; ++bits) {
+        const auto h =
+            Float16::fromBits(static_cast<std::uint16_t>(bits));
+        const float f = h.toFloat();
+        if (std::isnan(f))
+            continue;
+        EXPECT_EQ(Float16(f).bits(), h.bits()) << bits;
+    }
+}
+
+TEST(Float16, SubnormalsRepresented)
+{
+    // Smallest positive subnormal half = 2^-24.
+    const float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(Float16(tiny).toFloat(), tiny);
+    // Below half of it underflows to zero.
+    EXPECT_EQ(Float16(std::ldexp(1.0f, -26)).toFloat(), 0.0f);
+}
+
+TEST(Float16, OverflowToInfinity)
+{
+    EXPECT_TRUE(std::isinf(Float16(70000.0f).toFloat()));
+    EXPECT_TRUE(std::isinf(Float16(-70000.0f).toFloat()));
+}
+
+TEST(Float16, MaxFiniteValue)
+{
+    EXPECT_EQ(Float16(65504.0f).toFloat(), 65504.0f);
+}
+
+TEST(Float16, NanPreserved)
+{
+    EXPECT_TRUE(std::isnan(
+        Float16(std::numeric_limits<float>::quiet_NaN()).toFloat()));
+}
+
+TEST(Float16, SignedZero)
+{
+    EXPECT_EQ(Float16(0.0f).bits(), 0u);
+    EXPECT_EQ(Float16(-0.0f).bits(), 0x8000u);
+}
+
+TEST(Float16, RoundNearestEvenAtMantissaBoundary)
+{
+    // 1 + 2^-11 is halfway between 1 and 1+2^-10: ties to even -> 1.
+    EXPECT_EQ(Float16(1.0f + std::ldexp(1.0f, -11)).toFloat(), 1.0f);
+    // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: ties to even
+    // -> 1+2^-9.
+    EXPECT_EQ(
+        Float16(1.0f + 3.0f * std::ldexp(1.0f, -11)).toFloat(),
+        1.0f + std::ldexp(1.0f, -9));
+}
+
+} // namespace
+} // namespace cpullm

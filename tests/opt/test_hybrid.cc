@@ -1,0 +1,132 @@
+#include "opt/hybrid.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace opt {
+namespace {
+
+HybridExecutionModel
+a100Hybrid()
+{
+    return HybridExecutionModel(hw::sprDefaultPlatform(),
+                                hw::nvidiaA100());
+}
+
+HybridExecutionModel
+h100Hybrid()
+{
+    return HybridExecutionModel(hw::sprDefaultPlatform(),
+                                hw::nvidiaH100());
+}
+
+TEST(MinCpuFraction, ZeroWhenModelFits)
+{
+    EXPECT_DOUBLE_EQ(h100Hybrid().minCpuFraction(
+                         model::opt13b(), perf::paperWorkload(1)),
+                     0.0);
+}
+
+TEST(MinCpuFraction, PositiveWhenModelExceedsGpu)
+{
+    const double f = a100Hybrid().minCpuFraction(
+        model::opt30b(), perf::paperWorkload(1));
+    EXPECT_GT(f, 0.3);
+    EXPECT_LT(f, 0.6); // ~34 GB budget of 60 GB weights
+}
+
+TEST(MinCpuFraction, GrowsWithKvPressure)
+{
+    const auto hy = a100Hybrid();
+    perf::Workload small = perf::paperWorkload(1);
+    perf::Workload big = perf::paperWorkload(32);
+    big.promptLen = 2016;
+    EXPECT_GT(hy.minCpuFraction(model::opt13b(), big),
+              hy.minCpuFraction(model::opt13b(), small));
+}
+
+TEST(Evaluate, PureEndpointsMatchIntuition)
+{
+    const auto hy = h100Hybrid();
+    const auto w = perf::paperWorkload(4);
+    const auto all_cpu = hy.evaluate(model::opt13b(), w, 1.0);
+    const auto all_gpu = hy.evaluate(model::opt13b(), w, 0.0);
+    // GPU-only must be much faster for a fitting small model.
+    EXPECT_LT(all_gpu.timing.e2eLatency,
+              all_cpu.timing.e2eLatency);
+}
+
+TEST(Evaluate, TimingInternallyConsistent)
+{
+    const auto hy = h100Hybrid();
+    const auto w = perf::paperWorkload(8);
+    const auto ev = hy.evaluate(model::opt66b(), w, 0.6);
+    const auto& t = ev.timing;
+    EXPECT_NEAR(t.e2eLatency, t.ttft + t.decodeTime, 1e-9);
+    EXPECT_NEAR(t.tpot, t.decodeTime / (w.genLen - 1), 1e-9);
+    EXPECT_GT(t.totalThroughput, 0.0);
+}
+
+TEST(Optimize, HybridBeatsBothPureStrategiesOnOffloadModels)
+{
+    // The paper's Section VI claim, quantified.
+    const auto r = h100Hybrid().optimize(model::opt66b(),
+                                         perf::paperWorkload(8));
+    EXPECT_EQ(static_cast<int>(r.pureGpuPlacement),
+              static_cast<int>(gpu::GpuPlacement::Offloaded));
+    EXPECT_LT(r.best.timing.e2eLatency, r.pureCpu.e2eLatency);
+    EXPECT_LT(r.best.timing.e2eLatency, r.pureGpu.e2eLatency);
+    EXPECT_GT(r.speedupVsBestPure(), 1.2);
+    // The optimal split is interior: both devices contribute.
+    EXPECT_GT(r.best.cpuFraction, 0.05);
+    EXPECT_LT(r.best.cpuFraction, 0.95);
+}
+
+TEST(Optimize, A100Opt30bGainsOverPureCpu)
+{
+    const auto r = a100Hybrid().optimize(model::opt30b(),
+                                         perf::paperWorkload(16));
+    EXPECT_GT(r.speedupVsBestPure(), 1.5);
+}
+
+TEST(Optimize, SmallModelBatchOnePrefersPureGpu)
+{
+    const auto r = h100Hybrid().optimize(model::opt13b(),
+                                         perf::paperWorkload(1));
+    EXPECT_DOUBLE_EQ(r.best.cpuFraction, 0.0);
+    EXPECT_NEAR(r.best.timing.e2eLatency, r.pureGpu.e2eLatency,
+                1e-9);
+}
+
+TEST(Optimize, BatchedSmallModelCanUseIdleCpu)
+{
+    // At batch 16 the CPU's spare FLOPs are worth using even though
+    // the model fits on the GPU (the paper's data-center utilization
+    // argument).
+    const auto r = h100Hybrid().optimize(model::opt13b(),
+                                         perf::paperWorkload(16));
+    EXPECT_GT(r.best.cpuFraction, 0.0);
+    EXPECT_LT(r.best.timing.e2eLatency, r.pureGpu.e2eLatency);
+}
+
+TEST(Optimize, SweepRespectsMinFraction)
+{
+    const auto hy = a100Hybrid();
+    const auto w = perf::paperWorkload(1);
+    const double f_min = hy.minCpuFraction(model::opt66b(), w);
+    const auto r = hy.optimize(model::opt66b(), w);
+    for (const auto& ev : r.sweep)
+        EXPECT_GE(ev.cpuFraction, f_min - 1e-9);
+}
+
+TEST(EvaluateDeath, FractionOutOfRangePanics)
+{
+    const auto hy = h100Hybrid();
+    EXPECT_DEATH(
+        hy.evaluate(model::opt13b(), perf::paperWorkload(1), 1.5),
+        "out of range");
+}
+
+} // namespace
+} // namespace opt
+} // namespace cpullm

@@ -1,0 +1,99 @@
+#include "opt/numa_placement.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace opt {
+namespace {
+
+const model::ModelSpec kModel = model::llama2_13b();
+const perf::Workload kWork = perf::paperWorkload(8);
+
+TEST(NumaPlacement, AwareNeverSlower)
+{
+    for (const auto& p : hw::sprModeSweepPlatforms()) {
+        const auto r = compareNumaPlacement(p, kModel, kWork);
+        EXPECT_GE(r.e2eSpeedup(), 0.999) << p.label();
+    }
+}
+
+TEST(NumaPlacement, SncGainsSubstantially)
+{
+    const auto r = compareNumaPlacement(
+        hw::sprPlatform(hw::ClusteringMode::Snc4, hw::MemoryMode::Flat,
+                        48),
+        kModel, kWork);
+    EXPECT_GT(r.e2eSpeedup(), 1.1);
+    EXPECT_GT(r.tpotSpeedup(), 1.1);
+}
+
+TEST(NumaPlacement, QuadrantBarelyChanges)
+{
+    // Quadrant mode is already NUMA-uniform within a socket; the
+    // policy should have almost no effect.
+    const auto r = compareNumaPlacement(hw::sprDefaultPlatform(),
+                                        kModel, kWork);
+    EXPECT_NEAR(r.e2eSpeedup(), 1.0, 0.02);
+}
+
+TEST(NumaPlacement, AwareSncCompetitiveWithQuadFlat)
+{
+    // Section VI: with proper placement, SNC-4's latency advantage
+    // can materialize. Aware snc_flat must at least match oblivious
+    // quad_flat.
+    const auto snc = compareNumaPlacement(
+        hw::sprPlatform(hw::ClusteringMode::Snc4, hw::MemoryMode::Flat,
+                        48),
+        kModel, kWork);
+    const perf::CpuPerfModel quad(hw::sprDefaultPlatform());
+    const double quad_lat = quad.run(kModel, kWork).e2eLatency;
+    EXPECT_LE(snc.aware.e2eLatency, quad_lat * 1.01);
+}
+
+TEST(NumaPlacement, CrossSocketRunsImproveMost)
+{
+    const auto r = compareNumaPlacement(
+        hw::sprPlatform(hw::ClusteringMode::Quadrant,
+                        hw::MemoryMode::Flat, 96),
+        kModel, kWork);
+    EXPECT_GT(r.e2eSpeedup(), 1.3);
+}
+
+TEST(NumaPlacement, NinetySixCoresStillBehindFortyEight)
+{
+    // Aware placement softens but does not erase the UPI penalty:
+    // activation exchange still crosses the socket boundary.
+    const auto r96 = compareNumaPlacement(
+        hw::sprPlatform(hw::ClusteringMode::Quadrant,
+                        hw::MemoryMode::Flat, 96),
+        kModel, kWork);
+    const perf::CpuPerfModel m48(hw::sprDefaultPlatform());
+    EXPECT_GT(r96.aware.e2eLatency,
+              m48.run(kModel, kWork).e2eLatency);
+}
+
+TEST(NumaPlacement, AblationCoversBothRehabCandidates)
+{
+    const auto results = numaPlacementAblation(kModel, kWork);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].platform.label(), "spr/snc_flat/48c");
+    EXPECT_EQ(results[1].platform.label(), "spr/quad_flat/96c");
+    for (const auto& r : results)
+        EXPECT_GT(r.e2eSpeedup(), 1.0);
+}
+
+TEST(NumaPlacement, RemoteLlcAccessesDropUnderAwarePolicy)
+{
+    const auto p = hw::sprPlatform(hw::ClusteringMode::Snc4,
+                                   hw::MemoryMode::Flat, 48);
+    const mem::MemorySystem oblivious(p,
+                                      mem::PlacementPolicy::Oblivious);
+    const mem::MemorySystem aware(p,
+                                  mem::PlacementPolicy::HotColdAware);
+    EXPECT_GT(oblivious.remoteClusterFraction(),
+              4.0 * aware.remoteClusterFraction());
+}
+
+} // namespace
+} // namespace opt
+} // namespace cpullm

@@ -1,0 +1,287 @@
+#include "perf/cpu_model.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace cpullm {
+namespace perf {
+namespace {
+
+const model::ModelSpec kSmall = model::llama2_7b();
+const model::ModelSpec kMid = model::opt13b();
+
+TEST(PeakFlops, ScalesLinearlyWithinSocket)
+{
+    const CpuPerfModel m12(hw::sprPlatform(
+        hw::ClusteringMode::Quadrant, hw::MemoryMode::Flat, 12));
+    const CpuPerfModel m48(hw::sprDefaultPlatform());
+    EXPECT_NEAR(m48.peakFlops() / m12.peakFlops(), 4.0, 1e-9);
+    EXPECT_NEAR(m48.peakFlops() / TFLOPS, 206.4, 1e-6);
+}
+
+TEST(PeakFlops, CrossSocketScalingCollapses)
+{
+    const CpuPerfModel m48(hw::sprDefaultPlatform());
+    const CpuPerfModel m96(hw::sprPlatform(
+        hw::ClusteringMode::Quadrant, hw::MemoryMode::Flat, 96));
+    // 96 cores give no more GEMM peak than 48 in this model.
+    EXPECT_LE(m96.peakFlops(), m48.peakFlops() * 1.05);
+}
+
+TEST(GemmEfficiency, TileQuantizationPenalizesThinM)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    // m=1 uses 1/16 of the tile rows.
+    EXPECT_LT(spr.gemmEfficiency(1, 4096, 4096),
+              0.1 * spr.gemmEfficiency(16, 4096, 4096));
+}
+
+TEST(GemmEfficiency, RampsWithSize)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    EXPECT_LT(spr.gemmEfficiency(256, 256, 256),
+              spr.gemmEfficiency(4096, 4096, 4096));
+    EXPECT_LE(spr.gemmEfficiency(8192, 8192, 8192), 0.85);
+}
+
+TEST(GemmThroughput, AmxFarExceedsAvx512AtLargeSizes)
+{
+    const CpuPerfModel icl(hw::iclDefaultPlatform());
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    const double ti = icl.gemmThroughput(4096, 4096, 4096,
+                                         DType::BF16);
+    const double ts = spr.gemmThroughput(4096, 4096, 4096,
+                                         DType::BF16);
+    EXPECT_GT(ts / ti, 5.0);  // paper Fig 1: AMX ~10x
+    EXPECT_LT(ts / ti, 15.0);
+    EXPECT_GT(ts, 100.0 * TFLOPS);
+}
+
+TEST(GemmThroughput, SmallSizesOverheadBound)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    EXPECT_LT(spr.gemmThroughput(256, 256, 256, DType::BF16),
+              0.3 * spr.gemmThroughput(8192, 8192, 8192, DType::BF16));
+}
+
+TEST(TimePhase, PrefillComputeBoundAtLargeBatch)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    const auto bd = spr.timePhase(kMid, Phase::Prefill,
+                                  paperWorkload(32), 128);
+    EXPECT_GT(bd.computeTime, bd.memoryTime);
+    EXPECT_GT(bd.counters.coreUtilization, 0.7);
+}
+
+TEST(TimePhase, DecodeMemoryBound)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    const auto bd =
+        spr.timePhase(kMid, Phase::Decode, paperWorkload(1), 129);
+    EXPECT_GT(bd.memoryTime, bd.computeTime);
+    EXPECT_LT(bd.counters.coreUtilization, 0.3);
+}
+
+TEST(TimePhase, DecodeStepNearWeightStreamTime)
+{
+    // Decode at batch 1 should take roughly weights/bandwidth.
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    const auto bd =
+        spr.timePhase(kMid, Phase::Decode, paperWorkload(1), 129);
+    const double stream = static_cast<double>(
+                              kMid.weightBytes(DType::BF16)) /
+                          (588.0 * GB);
+    EXPECT_GT(bd.totalTime, stream);
+    EXPECT_LT(bd.totalTime, 2.0 * stream);
+}
+
+TEST(Run, MetricsInternallyConsistent)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    const Workload w = paperWorkload(4);
+    const auto t = spr.run(kSmall, w);
+    EXPECT_NEAR(t.e2eLatency, t.ttft + t.decodeTime, 1e-9);
+    EXPECT_NEAR(t.tpot, t.decodeTime / (w.genLen - 1), 1e-9);
+    EXPECT_NEAR(t.totalThroughput,
+                static_cast<double>(w.generatedTokens()) /
+                    t.e2eLatency,
+                1e-6);
+    EXPECT_GT(t.ttft, 0.0);
+    EXPECT_GT(t.prefillThroughput, 0.0);
+}
+
+TEST(Run, SingleTokenGenHasNoDecode)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    Workload w = paperWorkload(1);
+    w.genLen = 1;
+    const auto t = spr.run(kSmall, w);
+    EXPECT_EQ(t.decodeTime, 0.0);
+    EXPECT_EQ(t.tpot, 0.0);
+    EXPECT_NEAR(t.e2eLatency, t.ttft, 1e-12);
+}
+
+TEST(Run, SprBeatsIclEverywhere)
+{
+    const CpuPerfModel icl(hw::iclDefaultPlatform());
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    for (std::int64_t b : {1, 8, 32}) {
+        const auto w = paperWorkload(b);
+        EXPECT_LT(spr.run(kMid, w).e2eLatency,
+                  icl.run(kMid, w).e2eLatency)
+            << "batch " << b;
+    }
+}
+
+TEST(Run, ThroughputImprovesWithBatch)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    double prev = 0.0;
+    for (std::int64_t b : {1, 2, 4, 8, 16, 32}) {
+        const double tput =
+            spr.run(kMid, paperWorkload(b)).totalThroughput;
+        EXPECT_GT(tput, prev) << "batch " << b;
+        prev = tput;
+    }
+}
+
+TEST(Run, TtftGrowsWithPromptLength)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    Workload w = paperWorkload(1);
+    double prev = 0.0;
+    for (std::int64_t len : {128, 256, 512, 1024}) {
+        w.promptLen = len;
+        const double ttft = spr.run(kSmall, w).ttft;
+        EXPECT_GT(ttft, prev);
+        prev = ttft;
+    }
+}
+
+TEST(Run, TpotGrowsWithContext)
+{
+    // Longer prompts mean more KV to stream per decode step.
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    Workload w128 = paperWorkload(8);
+    Workload w1024 = paperWorkload(8);
+    w1024.promptLen = 1024;
+    EXPECT_GT(spr.run(kMid, w1024).tpot, spr.run(kMid, w128).tpot);
+}
+
+class BatchSweepTrends : public testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(BatchSweepTrends, PrefillSpeedupGrowsOrHoldsWithBatch)
+{
+    // SPR/ICL prefill speedup at any batch stays within the paper's
+    // plausible band.
+    const std::int64_t b = GetParam();
+    const CpuPerfModel icl(hw::iclDefaultPlatform());
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    const auto w = paperWorkload(b);
+    const double speedup =
+        icl.run(kMid, w).ttft / spr.run(kMid, w).ttft;
+    EXPECT_GT(speedup, 2.0) << b;
+    EXPECT_LT(speedup, 12.0) << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweepTrends,
+                         testing::Values(1, 2, 4, 8, 16, 32));
+
+TEST(Counters, MpkiDecreasesWithBatch)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    double prev = 1e30;
+    for (std::int64_t b : {1, 4, 16}) {
+        const auto t = spr.run(kMid, paperWorkload(b));
+        Counters total = t.prefill.counters;
+        total += t.decodeStep.counters;
+        EXPECT_LT(total.mpki(), prev) << b;
+        prev = total.mpki();
+    }
+}
+
+TEST(Counters, SncHasMoreRemoteLlcAccesses)
+{
+    const CpuPerfModel quad(hw::sprDefaultPlatform());
+    const CpuPerfModel snc(hw::sprPlatform(hw::ClusteringMode::Snc4,
+                                           hw::MemoryMode::Flat, 48));
+    const auto w = paperWorkload(8);
+    const auto tq = quad.timePhase(kMid, Phase::Decode, w, 129);
+    const auto ts = snc.timePhase(kMid, Phase::Decode, w, 129);
+    EXPECT_GT(ts.counters.remoteLlcAccesses,
+              5.0 * tq.counters.remoteLlcAccesses);
+}
+
+TEST(Counters, UpiOnlyWhenSpanningSockets)
+{
+    const CpuPerfModel single(hw::sprDefaultPlatform());
+    const CpuPerfModel dual(hw::sprPlatform(
+        hw::ClusteringMode::Quadrant, hw::MemoryMode::Flat, 96));
+    const auto w = paperWorkload(8);
+    EXPECT_EQ(single.run(kSmall, w).decodeStep.counters.upiUtilization,
+              0.0);
+    EXPECT_GT(dual.run(kSmall, w).decodeStep.counters.upiUtilization,
+              0.1);
+}
+
+TEST(NumaModes, QuadFlatFastestForFittingModel)
+{
+    const auto w = paperWorkload(8);
+    double best = 1e30;
+    std::string best_label;
+    for (const auto& p : hw::sprModeSweepPlatforms()) {
+        const double lat =
+            CpuPerfModel(p).run(kMid, w).e2eLatency;
+        if (lat < best) {
+            best = lat;
+            best_label = p.label();
+        }
+    }
+    EXPECT_EQ(best_label, "spr/quad_flat/48c");
+}
+
+TEST(CoreScaling, FortyEightBest)
+{
+    const auto w = paperWorkload(8);
+    double lat48 = 0.0;
+    for (int cores : {12, 24, 48, 96}) {
+        const CpuPerfModel m(hw::sprPlatform(
+            hw::ClusteringMode::Quadrant, hw::MemoryMode::Flat,
+            cores));
+        const double lat = m.run(kSmall, w).e2eLatency;
+        if (cores == 48)
+            lat48 = lat;
+        else
+            EXPECT_GT(lat, 0.0);
+    }
+    for (int cores : {12, 24, 96}) {
+        const CpuPerfModel m(hw::sprPlatform(
+            hw::ClusteringMode::Quadrant, hw::MemoryMode::Flat,
+            cores));
+        EXPECT_GT(m.run(kSmall, w).e2eLatency, lat48) << cores;
+    }
+}
+
+TEST(RunDeath, ModelTooBigForMachineIsFatal)
+{
+    // OPT-175B (350 GB BF16) exceeds even two SPR sockets' 640 GB?
+    // No - it fits. ICL's 256 GB it does not.
+    const CpuPerfModel icl(hw::iclDefaultPlatform());
+    EXPECT_EXIT(icl.run(model::opt175b(), paperWorkload(1)),
+                testing::ExitedWithCode(1), "out of memory");
+}
+
+TEST(RunDeath, DegenerateWorkloadPanics)
+{
+    const CpuPerfModel spr(hw::sprDefaultPlatform());
+    Workload w;
+    w.batch = 0;
+    EXPECT_DEATH(spr.run(kSmall, w), "degenerate");
+}
+
+} // namespace
+} // namespace perf
+} // namespace cpullm

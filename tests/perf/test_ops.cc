@@ -1,0 +1,134 @@
+#include "perf/ops.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace perf {
+namespace {
+
+const model::ModelSpec kModel = model::opt13b();
+
+TEST(BuildPhaseOps, OpCountMatchesArchitecture)
+{
+    const Workload w = paperWorkload(1);
+    const auto ops = buildPhaseOps(kModel, Phase::Decode, w, 129);
+    // Per layer: norm, q, k, v, attention, softmax, out, norm, up,
+    // act, down = 11 (no gate for OPT); plus embedding, final norm,
+    // lm head.
+    EXPECT_EQ(ops.size(),
+              static_cast<std::size_t>(kModel.numLayers) * 11 + 3);
+}
+
+TEST(BuildPhaseOps, GatedFfnAddsOnePerLayer)
+{
+    const model::ModelSpec llama = model::llama2_13b();
+    const Workload w = paperWorkload(1);
+    const auto ops = buildPhaseOps(llama, Phase::Decode, w, 129);
+    EXPECT_EQ(ops.size(),
+              static_cast<std::size_t>(llama.numLayers) * 12 + 3);
+}
+
+TEST(BuildPhaseOps, WeightBytesMatchModelFootprint)
+{
+    // Summed streamed weight bytes per step should be close to the
+    // total weight footprint (embeddings are gathered, not streamed).
+    const Workload w = paperWorkload(1);
+    const auto totals =
+        sumOps(buildPhaseOps(kModel, Phase::Decode, w, 129));
+    const double footprint =
+        static_cast<double>(kModel.weightBytes(DType::BF16));
+    EXPECT_GT(static_cast<double>(totals.weightBytes),
+              0.75 * footprint);
+    EXPECT_LT(static_cast<double>(totals.weightBytes),
+              1.05 * footprint);
+}
+
+TEST(BuildPhaseOps, PrefillFlopsMatchTwoPKFormula)
+{
+    // GEMM flops for prefill ~= 2 * params * tokens.
+    const Workload w = paperWorkload(4);
+    const auto totals =
+        sumOps(buildPhaseOps(kModel, Phase::Prefill, w, w.promptLen));
+    const double expect = 2.0 *
+        static_cast<double>(kModel.numParameters()) *
+        static_cast<double>(w.batch * w.promptLen);
+    EXPECT_NEAR(totals.flops / expect, 1.0, 0.2);
+}
+
+TEST(BuildPhaseOps, DecodeFlopsScaleWithBatch)
+{
+    const auto t1 = sumOps(
+        buildPhaseOps(kModel, Phase::Decode, paperWorkload(1), 129));
+    const auto t8 = sumOps(
+        buildPhaseOps(kModel, Phase::Decode, paperWorkload(8), 129));
+    EXPECT_NEAR(t8.flops / t1.flops, 8.0, 0.5);
+    // Weight traffic does NOT scale with batch (reuse).
+    EXPECT_EQ(t1.weightBytes, t8.weightBytes);
+}
+
+TEST(BuildPhaseOps, KvBytesGrowWithContext)
+{
+    const Workload w = paperWorkload(2);
+    const auto t_small =
+        sumOps(buildPhaseOps(kModel, Phase::Decode, w, 129));
+    const auto t_large =
+        sumOps(buildPhaseOps(kModel, Phase::Decode, w, 1024));
+    EXPECT_GT(t_large.kvBytes, 5 * t_small.kvBytes);
+}
+
+TEST(BuildPhaseOps, DecodeKvReadMatchesCacheSize)
+{
+    // One decode step reads the whole visible KV cache once plus the
+    // new token's write.
+    const Workload w = paperWorkload(1);
+    const std::int64_t ctx = 160;
+    const auto totals =
+        sumOps(buildPhaseOps(kModel, Phase::Decode, w, ctx));
+    const double cache_bytes = static_cast<double>(
+        kModel.kvCacheBytes(ctx, w.batch, w.dtype));
+    EXPECT_NEAR(static_cast<double>(totals.kvBytes) / cache_bytes,
+                1.0, 0.05);
+}
+
+TEST(BuildPhaseOps, LmHeadOnlyLastPosition)
+{
+    const Workload w = paperWorkload(2);
+    const auto ops =
+        buildPhaseOps(kModel, Phase::Prefill, w, w.promptLen);
+    const OpDesc& head = ops.back();
+    EXPECT_EQ(head.name, "lm_head");
+    EXPECT_EQ(head.m, w.batch); // not batch*promptLen
+    EXPECT_EQ(head.n, kModel.vocabSize);
+}
+
+TEST(BuildPhaseOps, AttentionOpHasNoWeightBytes)
+{
+    const auto ops = buildPhaseOps(kModel, Phase::Decode,
+                                   paperWorkload(1), 129);
+    for (const auto& op : ops) {
+        if (op.kind == OpKind::Attention) {
+            EXPECT_EQ(op.weightBytes, 0u);
+            EXPECT_GT(op.kvBytes, 0u);
+        }
+    }
+}
+
+TEST(BuildPhaseOpsDeath, ZeroContextPanics)
+{
+    EXPECT_DEATH(
+        buildPhaseOps(kModel, Phase::Decode, paperWorkload(1), 0),
+        "context length");
+}
+
+TEST(Workload, Helpers)
+{
+    const Workload w = paperWorkload(8);
+    EXPECT_EQ(w.finalSeqLen(), 160);
+    EXPECT_EQ(w.generatedTokens(), 8 * 32);
+    EXPECT_EQ(static_cast<int>(w.dtype),
+              static_cast<int>(DType::BF16));
+}
+
+} // namespace
+} // namespace perf
+} // namespace cpullm

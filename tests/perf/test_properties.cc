@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "perf/cpu_model.h"
+
+namespace cpullm {
+namespace perf {
+namespace {
+
+/**
+ * Property sweep: the timing-model invariants must hold for every
+ * (platform, model, batch) combination, not just the ones the paper
+ * plots.
+ */
+using SweepParam =
+    std::tuple<std::string /*platform*/, std::string /*model*/,
+               std::int64_t /*batch*/>;
+
+class TimingInvariants : public testing::TestWithParam<SweepParam>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto& [pname, mname, batch] = GetParam();
+        platform_ = hw::platformByName(pname);
+        spec_ = model::modelByName(mname);
+        workload_ = paperWorkload(batch);
+        // Skip combinations that legitimately do not fit (the model
+        // fatals on them by design).
+        const std::uint64_t need =
+            spec_.weightBytes(workload_.dtype) +
+            spec_.kvCacheBytes(workload_.finalSeqLen(),
+                               workload_.batch, workload_.kvDtype);
+        const mem::MemorySystem ms(platform_);
+        if (need > ms.machineCapacity())
+            GTEST_SKIP() << "model exceeds machine capacity";
+    }
+
+    hw::PlatformConfig platform_;
+    model::ModelSpec spec_;
+    Workload workload_;
+};
+
+TEST_P(TimingInvariants, MetricsWellFormed)
+{
+    const CpuPerfModel m(platform_);
+    const auto t = m.run(spec_, workload_);
+
+    EXPECT_GT(t.ttft, 0.0);
+    EXPECT_GT(t.tpot, 0.0);
+    EXPECT_NEAR(t.e2eLatency, t.ttft + t.decodeTime, 1e-9);
+    EXPECT_NEAR(t.decodeTime, t.tpot * (workload_.genLen - 1),
+                t.decodeTime * 1e-9 + 1e-12);
+    EXPECT_NEAR(t.totalThroughput,
+                static_cast<double>(workload_.generatedTokens()) /
+                    t.e2eLatency,
+                t.totalThroughput * 1e-9);
+
+    // Phase decomposition covers the total.
+    const auto& p = t.prefill;
+    EXPECT_LE(p.computeTime, p.totalTime + 1e-12);
+    EXPECT_NEAR(p.totalTime,
+                p.computeTime + p.memoryTime + p.overheadTime +
+                    p.upiTime,
+                p.totalTime * 1e-6 + 1e-12);
+
+    // Counters sane.
+    EXPECT_GT(p.counters.instructions, 0.0);
+    EXPECT_GE(p.counters.llcMisses, 0.0);
+    EXPECT_LE(p.counters.llcMisses, p.counters.llcAccesses + 1.0);
+    EXPECT_GE(p.counters.coreUtilization, 0.0);
+    EXPECT_LE(p.counters.coreUtilization, 1.0);
+}
+
+TEST_P(TimingInvariants, PerOpCostsSumToPhaseTotal)
+{
+    const CpuPerfModel m(platform_);
+    const auto costs = m.costPhaseOps(spec_, Phase::Decode, workload_,
+                                      workload_.promptLen + 1);
+    const auto bd = m.timePhase(spec_, Phase::Decode, workload_,
+                                workload_.promptLen + 1);
+    double sum = 0.0;
+    for (const auto& c : costs) {
+        EXPECT_GE(c.compute, 0.0);
+        EXPECT_GE(c.memory, 0.0);
+        EXPECT_NEAR(c.total,
+                    std::max(c.compute, c.memory) + c.overhead,
+                    1e-12);
+        sum += c.total;
+    }
+    // timePhase adds only the UPI exchange on top of the op costs.
+    EXPECT_NEAR(sum + bd.upiTime, bd.totalTime,
+                bd.totalTime * 1e-9 + 1e-12);
+}
+
+TEST_P(TimingInvariants, PrefillDominatedByGemmFlops)
+{
+    const CpuPerfModel m(platform_);
+    const auto ops = buildPhaseOps(spec_, Phase::Prefill, workload_,
+                                   workload_.promptLen);
+    double gemm_flops = 0.0, total_flops = 0.0;
+    for (const auto& op : ops) {
+        total_flops += op.flops;
+        if (op.kind == OpKind::Gemm)
+            gemm_flops += op.flops;
+    }
+    EXPECT_GT(gemm_flops / total_flops, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TimingInvariants,
+    testing::Combine(
+        testing::Values("icl", "spr", "spr/snc_cache/24c",
+                        "spr/quad_flat/96c"),
+        testing::Values("opt-1.3b", "opt-13b", "llama2-13b",
+                        "opt-66b", "llama2-70b"),
+        testing::Values<std::int64_t>(1, 8, 32)),
+    [](const testing::TestParamInfo<SweepParam>& info) {
+        std::string name = std::get<0>(info.param) + "_" +
+                           std::get<1>(info.param) + "_b" +
+                           std::to_string(std::get<2>(info.param));
+        for (char& c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });
+
+/** Batch-monotonicity properties per model on the SPR platform. */
+class BatchMonotonicity
+    : public testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BatchMonotonicity, ThroughputRisesLatencyRises)
+{
+    const model::ModelSpec spec = model::modelByName(GetParam());
+    const CpuPerfModel m(hw::sprDefaultPlatform());
+    double prev_tput = 0.0, prev_ttft = 0.0, prev_e2e = 0.0;
+    for (std::int64_t b : {1, 2, 4, 8, 16, 32}) {
+        const auto t = m.run(spec, paperWorkload(b));
+        EXPECT_GT(t.totalThroughput, prev_tput) << "batch " << b;
+        EXPECT_GE(t.ttft, prev_ttft) << "batch " << b;
+        EXPECT_GE(t.e2eLatency, prev_e2e) << "batch " << b;
+        prev_tput = t.totalThroughput;
+        prev_ttft = t.ttft;
+        prev_e2e = t.e2eLatency;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, BatchMonotonicity,
+                         testing::Values("opt-1.3b", "opt-6.7b",
+                                         "llama2-7b", "opt-13b",
+                                         "llama2-13b", "opt-30b"),
+                         [](const auto& info) {
+                             std::string n = info.param;
+                             for (char& c : n)
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(
+                                             c)))
+                                     c = '_';
+                             return n;
+                         });
+
+/** GEMM throughput must never exceed the platform peak. */
+class GemmPeakBound : public testing::TestWithParam<std::int64_t>
+{
+};
+
+TEST_P(GemmPeakBound, BelowPeakAboveZero)
+{
+    const std::int64_t s = GetParam();
+    for (const char* pname : {"icl", "spr"}) {
+        const CpuPerfModel m(hw::platformByName(pname));
+        const double tput = m.gemmThroughput(s, s, s, DType::BF16);
+        EXPECT_GT(tput, 0.0);
+        EXPECT_LE(tput, m.peakFlops(DType::BF16) * (1.0 + 1e-9))
+            << pname << " " << s;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmPeakBound,
+                         testing::Values<std::int64_t>(
+                             16, 64, 256, 1024, 4096, 16384));
+
+} // namespace
+} // namespace perf
+} // namespace cpullm

@@ -1,0 +1,143 @@
+#include "serve/serving_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace serve {
+namespace {
+
+/** Synthetic costs: prefill 0.1*b, decode iteration 0.01*b + 0.02. */
+StepCosts
+linearCosts(std::int64_t gen_len = 8)
+{
+    StepCosts c;
+    c.genLen = gen_len;
+    c.prefill = [](std::int64_t b) {
+        return 0.1 * static_cast<double>(b);
+    };
+    c.decode = [](std::int64_t b) {
+        return 0.02 + 0.01 * static_cast<double>(b);
+    };
+    return c;
+}
+
+ServingConfig
+baseConfig()
+{
+    ServingConfig cfg;
+    cfg.arrivalRate = 1.0;
+    cfg.maxBatch = 8;
+    cfg.numRequests = 150;
+    cfg.seed = 5;
+    return cfg;
+}
+
+TEST(ContinuousBatching, AllRequestsComplete)
+{
+    const auto r =
+        simulateContinuousBatching(baseConfig(), linearCosts());
+    ASSERT_EQ(r.requests.size(), 150u);
+    for (const auto& req : r.requests) {
+        EXPECT_GE(req.start, req.arrival);
+        EXPECT_GT(req.firstToken, req.start);
+        EXPECT_GT(req.finish, req.firstToken);
+    }
+}
+
+TEST(ContinuousBatching, Deterministic)
+{
+    const auto a =
+        simulateContinuousBatching(baseConfig(), linearCosts());
+    const auto b =
+        simulateContinuousBatching(baseConfig(), linearCosts());
+    for (std::size_t i = 0; i < a.requests.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.requests[i].finish, b.requests[i].finish);
+}
+
+TEST(ContinuousBatching, GenLenOneFinishesAtPrefill)
+{
+    auto cfg = baseConfig();
+    cfg.numRequests = 20;
+    const auto r = simulateContinuousBatching(cfg, linearCosts(1));
+    for (const auto& req : r.requests)
+        EXPECT_DOUBLE_EQ(req.finish, req.firstToken);
+}
+
+TEST(ContinuousBatching, BatchCapRespected)
+{
+    auto cfg = baseConfig();
+    cfg.arrivalRate = 100.0; // flood
+    const auto r =
+        simulateContinuousBatching(cfg, linearCosts());
+    EXPECT_LE(r.meanBatchSize, static_cast<double>(cfg.maxBatch));
+    for (const auto& req : r.requests)
+        EXPECT_LE(req.batchSize, cfg.maxBatch);
+}
+
+TEST(ContinuousBatching, BeatsStaticBatchingTtftUnderLoad)
+{
+    // The Orca argument: newcomers join mid-generation instead of
+    // waiting for the running batch to finish.
+    auto cfg = baseConfig();
+    cfg.arrivalRate = 3.0;
+    cfg.numRequests = 300;
+
+    // Equivalent static device: prefill + genLen-1 decode iterations.
+    const auto costs = linearCosts();
+    const LatencyFn static_dev = [&](std::int64_t b) {
+        BatchLatency lat;
+        lat.ttft = costs.prefill(b);
+        lat.e2e = lat.ttft + static_cast<double>(costs.genLen - 1) *
+                                 costs.decode(b);
+        return lat;
+    };
+    const auto stat = simulateServing(cfg, static_dev);
+    const auto cont = simulateContinuousBatching(cfg, costs);
+    EXPECT_LT(cont.ttftPercentile(99), stat.ttftPercentile(99));
+    EXPECT_LT(cont.ttftPercentile(50), stat.ttftPercentile(50));
+}
+
+TEST(ContinuousBatching, UtilizationBounded)
+{
+    const auto r =
+        simulateContinuousBatching(baseConfig(), linearCosts());
+    EXPECT_GT(r.utilization(), 0.0);
+    EXPECT_LE(r.utilization(), 1.0 + 1e-9);
+}
+
+TEST(ContinuousBatching, CpuOracleEndToEnd)
+{
+    const auto spec = model::llama2_7b();
+    const auto w = perf::paperWorkload(1);
+    auto cfg = baseConfig();
+    cfg.arrivalRate = 2.0;
+    cfg.numRequests = 60;
+    const auto costs =
+        cpuStepCosts(hw::sprDefaultPlatform(), spec, w);
+    const auto r = simulateContinuousBatching(cfg, costs);
+    EXPECT_EQ(r.requests.size(), 60u);
+    EXPECT_GT(r.tokenThroughput(w.genLen), 0.0);
+    EXPECT_GT(r.meanBatchSize, 1.0); // load forms real batches
+}
+
+TEST(ContinuousBatching, HigherLoadGrowsBatches)
+{
+    auto low = baseConfig();
+    low.arrivalRate = 0.2;
+    auto high = baseConfig();
+    high.arrivalRate = 10.0;
+    const auto rl = simulateContinuousBatching(low, linearCosts());
+    const auto rh = simulateContinuousBatching(high, linearCosts());
+    EXPECT_GT(rh.meanBatchSize, rl.meanBatchSize);
+}
+
+TEST(ContinuousBatchingDeath, MissingOraclesPanic)
+{
+    StepCosts empty;
+    EXPECT_DEATH(simulateContinuousBatching(baseConfig(), empty),
+                 "oracle");
+}
+
+} // namespace
+} // namespace serve
+} // namespace cpullm

@@ -1,0 +1,161 @@
+#include "serve/serving_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace serve {
+namespace {
+
+/** Synthetic device: ttft = 0.1 * batch, e2e = 1.0 * batch. */
+LatencyFn
+linearDevice(double ttft_per = 0.1, double e2e_per = 1.0)
+{
+    return [=](std::int64_t batch) {
+        return BatchLatency{ttft_per * static_cast<double>(batch),
+                            e2e_per * static_cast<double>(batch)};
+    };
+}
+
+ServingConfig
+baseConfig()
+{
+    ServingConfig cfg;
+    cfg.arrivalRate = 0.5;
+    cfg.maxBatch = 8;
+    cfg.numRequests = 200;
+    cfg.seed = 3;
+    return cfg;
+}
+
+TEST(ServingSim, AllRequestsServedInOrder)
+{
+    const auto r = simulateServing(baseConfig(), linearDevice());
+    ASSERT_EQ(r.requests.size(), 200u);
+    for (std::size_t i = 1; i < r.requests.size(); ++i) {
+        EXPECT_GE(r.requests[i].start, r.requests[i - 1].start);
+        EXPECT_GE(r.requests[i].arrival, r.requests[i - 1].arrival);
+    }
+    for (const auto& req : r.requests) {
+        EXPECT_GE(req.start, req.arrival);
+        EXPECT_GT(req.firstToken, req.start);
+        EXPECT_GE(req.finish, req.firstToken);
+        EXPECT_GE(req.batchSize, 1);
+        EXPECT_LE(req.batchSize, 8);
+    }
+}
+
+TEST(ServingSim, DeterministicBySeed)
+{
+    const auto a = simulateServing(baseConfig(), linearDevice());
+    const auto b = simulateServing(baseConfig(), linearDevice());
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i)
+        EXPECT_DOUBLE_EQ(a.requests[i].finish, b.requests[i].finish);
+}
+
+TEST(ServingSim, UtilizationBounded)
+{
+    const auto r = simulateServing(baseConfig(), linearDevice());
+    EXPECT_GT(r.utilization(), 0.0);
+    EXPECT_LE(r.utilization(), 1.0 + 1e-9);
+}
+
+TEST(ServingSim, LowLoadMeansNoQueueing)
+{
+    ServingConfig cfg = baseConfig();
+    cfg.arrivalRate = 0.01; // far below service rate
+    const auto r = simulateServing(cfg, linearDevice());
+    // p50 TTFT ~ batch-1 TTFT: no queueing, batch of one.
+    EXPECT_NEAR(r.ttftPercentile(50), 0.1, 0.05);
+    EXPECT_LT(r.meanBatchSize, 1.2);
+}
+
+TEST(ServingSim, HighLoadGrowsBatchesAndTails)
+{
+    ServingConfig low = baseConfig();
+    low.arrivalRate = 0.2;
+    ServingConfig high = baseConfig();
+    high.arrivalRate = 5.0;
+    const auto rl = simulateServing(low, linearDevice());
+    const auto rh = simulateServing(high, linearDevice());
+    EXPECT_GT(rh.meanBatchSize, rl.meanBatchSize);
+    EXPECT_GT(rh.e2ePercentile(99), rl.e2ePercentile(99));
+}
+
+TEST(ServingSim, PercentilesMonotone)
+{
+    const auto r = simulateServing(baseConfig(), linearDevice());
+    EXPECT_LE(r.ttftPercentile(50), r.ttftPercentile(90));
+    EXPECT_LE(r.ttftPercentile(90), r.ttftPercentile(99));
+    EXPECT_LE(r.e2ePercentile(50), r.e2ePercentile(99));
+}
+
+TEST(ServingSim, BatchingWindowTradesTtftForBatchSize)
+{
+    ServingConfig greedy = baseConfig();
+    greedy.arrivalRate = 2.0;
+    greedy.maxWait = 0.0;
+    ServingConfig windowed = greedy;
+    windowed.maxWait = 2.0;
+    // Sub-linear batch scaling rewards batching: e2e grows slower
+    // than batch size.
+    const auto dev = [](std::int64_t batch) {
+        return BatchLatency{0.05,
+                            0.5 + 0.1 * static_cast<double>(batch)};
+    };
+    const auto rg = simulateServing(greedy, dev);
+    const auto rw = simulateServing(windowed, dev);
+    EXPECT_GT(rw.meanBatchSize, rg.meanBatchSize);
+}
+
+TEST(ServingSim, TokenThroughputComputed)
+{
+    const auto r = simulateServing(baseConfig(), linearDevice());
+    EXPECT_NEAR(r.tokenThroughput(32),
+                200.0 * 32.0 / r.makespan, 1e-9);
+}
+
+TEST(ServingSim, CpuOracleSprSustainsMoreLoadThanIcl)
+{
+    const auto spec = model::llama2_7b();
+    const perf::Workload w = perf::paperWorkload(1);
+    ServingConfig cfg;
+    cfg.arrivalRate = 1.5; // requests/s
+    cfg.maxBatch = 16;
+    cfg.numRequests = 120;
+    const auto spr = simulateServing(
+        cfg, cpuLatencyFn(hw::sprDefaultPlatform(), spec, w));
+    const auto icl = simulateServing(
+        cfg, cpuLatencyFn(hw::iclDefaultPlatform(), spec, w));
+    EXPECT_LT(spr.e2ePercentile(99), icl.e2ePercentile(99));
+    EXPECT_GT(spr.tokenThroughput(32), icl.tokenThroughput(32));
+}
+
+TEST(ServingSim, GpuOracleWorksForResidentModel)
+{
+    const auto spec = model::opt13b();
+    const perf::Workload w = perf::paperWorkload(1);
+    ServingConfig cfg;
+    cfg.arrivalRate = 2.0;
+    cfg.numRequests = 100;
+    const auto h100 =
+        simulateServing(cfg, gpuLatencyFn(hw::nvidiaH100(), spec, w));
+    const auto cpu = simulateServing(
+        cfg, cpuLatencyFn(hw::sprDefaultPlatform(), spec, w));
+    EXPECT_LT(h100.e2ePercentile(50), cpu.e2ePercentile(50));
+}
+
+TEST(ServingSimDeath, BadConfigsPanic)
+{
+    ServingConfig cfg = baseConfig();
+    cfg.arrivalRate = 0.0;
+    EXPECT_DEATH(simulateServing(cfg, linearDevice()),
+                 "arrival rate");
+    ServingConfig cfg2 = baseConfig();
+    cfg2.maxBatch = 0;
+    EXPECT_DEATH(simulateServing(cfg2, linearDevice()), "maxBatch");
+}
+
+} // namespace
+} // namespace serve
+} // namespace cpullm

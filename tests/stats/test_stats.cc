@@ -1,0 +1,145 @@
+#include "stats/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+namespace cpullm {
+namespace stats {
+namespace {
+
+TEST(Scalar, AccumulatesAndCounts)
+{
+    Scalar s;
+    s += 2.0;
+    s += 3.0;
+    EXPECT_DOUBLE_EQ(s.value(), 5.0);
+    EXPECT_EQ(s.samples(), 2u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+TEST(Scalar, SetOverridesAccumulation)
+{
+    Scalar s;
+    s += 10.0;
+    s.set(4.0);
+    EXPECT_DOUBLE_EQ(s.value(), 4.0);
+    EXPECT_EQ(s.samples(), 1u);
+}
+
+TEST(Scalar, ResetZeroes)
+{
+    Scalar s;
+    s += 1.0;
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Distribution, TracksMinMaxMean)
+{
+    Distribution d;
+    for (double v : {4.0, 1.0, 7.0, 2.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 7.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.5);
+}
+
+TEST(Distribution, WelfordVarianceMatchesDirect)
+{
+    Distribution d;
+    const std::vector<double> vals{1, 2, 3, 4, 5, 6};
+    for (double v : vals)
+        d.sample(v);
+    // Sample variance of 1..6 is 3.5.
+    EXPECT_NEAR(d.variance(), 3.5, 1e-12);
+    EXPECT_NEAR(d.stddev(), std::sqrt(3.5), 1e-12);
+}
+
+TEST(Distribution, SingleSampleHasZeroVariance)
+{
+    Distribution d;
+    d.sample(42.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.sample(-1.0); // underflow
+    h.sample(0.0);  // bucket 0
+    h.sample(9.99); // bucket 4
+    h.sample(10.0); // overflow (hi is exclusive)
+    h.sample(5.0);  // bucket 2
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[4], 1u);
+}
+
+TEST(Histogram, BucketBounds)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(4), 8.0);
+}
+
+TEST(Registry, ScalarPersistence)
+{
+    Registry r;
+    r.scalar("a.b", "desc") += 1.0;
+    r.scalar("a.b") += 2.0;
+    EXPECT_DOUBLE_EQ(r.getScalar("a.b").value(), 3.0);
+    EXPECT_TRUE(r.has("a.b"));
+    EXPECT_FALSE(r.has("a.c"));
+}
+
+TEST(Registry, NamesSorted)
+{
+    Registry r;
+    r.scalar("z");
+    r.scalar("a");
+    r.distribution("m");
+    const auto names = r.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a");
+    EXPECT_EQ(names[1], "m");
+    EXPECT_EQ(names[2], "z");
+}
+
+TEST(Registry, ResetAllZeroesEverything)
+{
+    Registry r;
+    r.scalar("s") += 5.0;
+    r.distribution("d").sample(1.0);
+    r.resetAll();
+    EXPECT_DOUBLE_EQ(r.getScalar("s").value(), 0.0);
+    EXPECT_EQ(r.distribution("d").count(), 0u);
+}
+
+TEST(Registry, DumpContainsNamesAndDescriptions)
+{
+    Registry r;
+    r.scalar("engine.tokens", "generated tokens") += 32.0;
+    std::ostringstream os;
+    r.dump(os);
+    EXPECT_NE(os.str().find("engine.tokens"), std::string::npos);
+    EXPECT_NE(os.str().find("generated tokens"), std::string::npos);
+    EXPECT_NE(os.str().find("32"), std::string::npos);
+}
+
+TEST(RegistryDeath, UnknownScalarPanics)
+{
+    Registry r;
+    EXPECT_DEATH(r.getScalar("missing"), "unknown scalar");
+}
+
+} // namespace
+} // namespace stats
+} // namespace cpullm

@@ -1,0 +1,150 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace {
+
+TEST(Shape, NumElements)
+{
+    EXPECT_EQ(numElements({}), 1);
+    EXPECT_EQ(numElements({5}), 5);
+    EXPECT_EQ(numElements({2, 3, 4}), 24);
+    EXPECT_EQ(numElements({2, 0, 4}), 0);
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(shapeToString({2, 128}), "[2, 128]");
+    EXPECT_EQ(shapeToString({}), "[]");
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t({3, 4}, DType::F32);
+    for (std::int64_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.at(i), 0.0f);
+    EXPECT_EQ(t.byteSize(), 48u);
+}
+
+TEST(Tensor, FromValues)
+{
+    Tensor t = Tensor::fromValues({2, 2}, {1, 2, 3, 4});
+    EXPECT_EQ(t.at(0), 1.0f);
+    EXPECT_EQ(t.at(3), 4.0f);
+    EXPECT_EQ(t.dim(0), 2);
+    EXPECT_EQ(t.rank(), 2);
+}
+
+TEST(Tensor, SetAtGetAtRoundTripF32)
+{
+    Tensor t({5}, DType::F32);
+    t.setAt(2, 3.25f);
+    EXPECT_EQ(t.at(2), 3.25f);
+}
+
+TEST(Tensor, Bf16StorageRounds)
+{
+    Tensor t({1}, DType::BF16);
+    t.setAt(0, 1.0009765625f); // 1 + 2^-10, rounds to 1.0 in BF16
+    EXPECT_EQ(t.at(0), 1.0f);
+}
+
+TEST(Tensor, I8StorageClampsAndRounds)
+{
+    Tensor t({3}, DType::I8);
+    t.setAt(0, 300.0f);
+    t.setAt(1, -300.0f);
+    t.setAt(2, 1.6f);
+    EXPECT_EQ(t.at(0), 127.0f);
+    EXPECT_EQ(t.at(1), -128.0f);
+    EXPECT_EQ(t.at(2), 2.0f);
+}
+
+TEST(Tensor, CastPreservesValuesWithinPrecision)
+{
+    Rng rng(3);
+    Tensor f32 = Tensor::randomNormal({4, 8}, DType::F32, rng);
+    Tensor bf = f32.cast(DType::BF16);
+    Tensor back = bf.cast(DType::F32);
+    EXPECT_EQ(bf.dtype(), DType::BF16);
+    EXPECT_TRUE(allClose(back, f32, 0.01f, 0.01f));
+}
+
+TEST(Tensor, CastSameTypeIsCopy)
+{
+    Tensor a = Tensor::fromValues({2}, {1, 2});
+    Tensor b = a.cast(DType::F32);
+    b.setAt(0, 9.0f);
+    EXPECT_EQ(a.at(0), 1.0f); // deep copy
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor a = Tensor::fromValues({2, 3}, {1, 2, 3, 4, 5, 6});
+    Tensor b = a.reshaped({3, 2});
+    EXPECT_EQ(b.dim(0), 3);
+    EXPECT_EQ(b.at(5), 6.0f);
+}
+
+TEST(TensorDeath, ReshapeElementMismatchPanics)
+{
+    Tensor a({2, 3}, DType::F32);
+    EXPECT_DEATH(a.reshaped({4, 2}), "reshape");
+}
+
+TEST(TensorDeath, WrongTypedAccessPanics)
+{
+    Tensor a({2}, DType::F32);
+    EXPECT_DEATH(a.data<BFloat16>(), "dtype mismatch");
+}
+
+TEST(TensorDeath, OutOfRangeIndexPanics)
+{
+    Tensor a({2}, DType::F32);
+    EXPECT_DEATH(a.at(2), "out of range");
+    EXPECT_DEATH(a.setAt(-1, 0.0f), "out of range");
+}
+
+TEST(Tensor, FillSetsEveryElement)
+{
+    Tensor t({7}, DType::BF16);
+    t.fill(2.5f);
+    for (std::int64_t i = 0; i < 7; ++i)
+        EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(Tensor, RandomNormalDeterministicBySeed)
+{
+    Rng r1(42), r2(42);
+    Tensor a = Tensor::randomNormal({16}, DType::F32, r1);
+    Tensor b = Tensor::randomNormal({16}, DType::F32, r2);
+    EXPECT_EQ(maxAbsDiff(a, b), 0.0f);
+}
+
+TEST(Tensor, RandomUniformInRange)
+{
+    Rng rng(1);
+    Tensor t = Tensor::randomUniform({1000}, DType::F32, rng, -2, 3);
+    for (std::int64_t i = 0; i < t.size(); ++i) {
+        EXPECT_GE(t.at(i), -2.0f);
+        EXPECT_LT(t.at(i), 3.0f);
+    }
+}
+
+TEST(MaxAbsDiff, ComputesCorrectly)
+{
+    Tensor a = Tensor::fromValues({3}, {1, 2, 3});
+    Tensor b = Tensor::fromValues({3}, {1, 2.5, 2});
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 1.0f);
+}
+
+TEST(AllClose, ShapeMismatchIsFalse)
+{
+    Tensor a({2}, DType::F32);
+    Tensor b({3}, DType::F32);
+    EXPECT_FALSE(allClose(a, b));
+}
+
+} // namespace
+} // namespace cpullm

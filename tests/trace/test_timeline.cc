@@ -1,0 +1,165 @@
+#include "trace/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cpullm {
+namespace trace {
+namespace {
+
+TraceEvent
+makeEvent(const std::string& name, const std::string& cat,
+          double start, double dur)
+{
+    TraceEvent e;
+    e.name = name;
+    e.category = cat;
+    e.startTime = start;
+    e.duration = dur;
+    e.boundBy = "memory";
+    return e;
+}
+
+TEST(Timeline, MakespanAndCategoryTimes)
+{
+    Timeline tl;
+    tl.add(makeEvent("a", "gemm", 0.0, 1.0));
+    tl.add(makeEvent("b", "attention", 1.0, 0.5));
+    tl.add(makeEvent("c", "gemm", 1.5, 2.0));
+    EXPECT_DOUBLE_EQ(tl.makespan(), 3.5);
+    EXPECT_DOUBLE_EQ(tl.categoryTime("gemm"), 3.0);
+    EXPECT_DOUBLE_EQ(tl.categoryTime("attention"), 0.5);
+    EXPECT_NEAR(tl.categoryFraction("gemm"), 3.0 / 3.5, 1e-12);
+    EXPECT_DOUBLE_EQ(tl.categoryTime("missing"), 0.0);
+}
+
+TEST(Timeline, TopEventsSortedByDuration)
+{
+    Timeline tl;
+    tl.add(makeEvent("short", "gemm", 0.0, 0.1));
+    tl.add(makeEvent("long", "gemm", 0.1, 5.0));
+    tl.add(makeEvent("mid", "gemm", 5.1, 1.0));
+    const auto top = tl.topEvents(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].name, "long");
+    EXPECT_EQ(top[1].name, "mid");
+}
+
+TEST(TimelineDeath, OutOfOrderEventsPanic)
+{
+    Timeline tl;
+    tl.add(makeEvent("a", "gemm", 1.0, 0.1));
+    EXPECT_DEATH(tl.add(makeEvent("b", "gemm", 0.5, 0.1)),
+                 "start order");
+}
+
+TEST(Timeline, ChromeTraceJsonShape)
+{
+    Timeline tl;
+    tl.add(makeEvent("op1", "gemm", 0.0, 0.001));
+    tl.add(makeEvent("op2", "attention", 0.001, 0.002));
+    std::ostringstream os;
+    tl.writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(json.find("\"name\":\"op1\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"attention\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // Durations in microseconds.
+    EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(OpKindCategory, AllNamed)
+{
+    EXPECT_EQ(opKindCategory(perf::OpKind::Gemm), "gemm");
+    EXPECT_EQ(opKindCategory(perf::OpKind::Attention), "attention");
+    EXPECT_EQ(opKindCategory(perf::OpKind::Elementwise),
+              "elementwise");
+    EXPECT_EQ(opKindCategory(perf::OpKind::Embedding), "embedding");
+}
+
+TEST(TracePhase, EventCountMatchesOpGraph)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const auto spec = model::opt13b();
+    const auto w = perf::paperWorkload(1);
+    const Timeline tl =
+        tracePhase(spr, spec, perf::Phase::Decode, w, 129);
+    const auto ops =
+        perf::buildPhaseOps(spec, perf::Phase::Decode, w, 129);
+    EXPECT_EQ(tl.events().size(), ops.size());
+}
+
+TEST(TracePhase, MakespanMatchesTimingModel)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const auto spec = model::llama2_7b();
+    const auto w = perf::paperWorkload(4);
+    const Timeline tl =
+        tracePhase(spr, spec, perf::Phase::Prefill, w, w.promptLen);
+    const auto bd =
+        spr.timePhase(spec, perf::Phase::Prefill, w, w.promptLen);
+    EXPECT_NEAR(tl.makespan(), bd.totalTime,
+                bd.totalTime * 0.02 + bd.upiTime + 1e-9);
+}
+
+TEST(TracePhase, EventsAreContiguous)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const Timeline tl = tracePhase(spr, model::opt13b(),
+                                   perf::Phase::Decode,
+                                   perf::paperWorkload(1), 129);
+    double t = 0.0;
+    for (const auto& e : tl.events()) {
+        EXPECT_NEAR(e.startTime, t, 1e-12);
+        t += e.duration;
+    }
+}
+
+TEST(TracePhase, DecodeEventsAreMemoryBound)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const Timeline tl = tracePhase(spr, model::opt13b(),
+                                   perf::Phase::Decode,
+                                   perf::paperWorkload(1), 129);
+    std::size_t memory_bound = 0;
+    for (const auto& e : tl.events())
+        if (e.boundBy == "memory" && e.category == "gemm")
+            ++memory_bound;
+    EXPECT_GT(memory_bound, tl.events().size() / 3);
+}
+
+TEST(TraceRun, CoversPrefillAndAllDecodeSteps)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    perf::Workload w = perf::paperWorkload(1);
+    w.genLen = 4;
+    const Timeline tl = traceRun(spr, model::opt13b(), w);
+    bool has_prefill = false, has_last_decode = false;
+    for (const auto& e : tl.events()) {
+        if (e.name.rfind("prefill.", 0) == 0)
+            has_prefill = true;
+        if (e.name.rfind("decode2.", 0) == 0)
+            has_last_decode = true;
+    }
+    EXPECT_TRUE(has_prefill);
+    EXPECT_TRUE(has_last_decode);
+    const auto t = spr.run(model::opt13b(), w);
+    EXPECT_NEAR(tl.makespan(), t.e2eLatency,
+                t.e2eLatency * 0.02 + 1e-9);
+}
+
+TEST(TraceRun, GemmsDominateDecodeTimeline)
+{
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    perf::Workload w = perf::paperWorkload(1);
+    w.genLen = 2;
+    const Timeline tl = traceRun(spr, model::opt13b(), w);
+    EXPECT_GT(tl.categoryFraction("gemm"), 0.5);
+}
+
+} // namespace
+} // namespace trace
+} // namespace cpullm

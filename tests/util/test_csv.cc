@@ -1,0 +1,69 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cpullm {
+namespace {
+
+TEST(CsvEscape, PlainFieldUnchanged)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(CsvEscape, CommaQuoted)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, QuoteDoubled)
+{
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, NewlineQuoted)
+{
+    EXPECT_EQ(CsvWriter::escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows)
+{
+    CsvWriter w({"x", "y"});
+    w.addRow({"1", "2"});
+    w.addRow({"3", "4,5"});
+    std::ostringstream os;
+    w.write(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n3,\"4,5\"\n");
+    EXPECT_EQ(w.rowCount(), 2u);
+}
+
+TEST(CsvWriter, WriteFileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "cpullm_csv_test.csv";
+    CsvWriter w({"a"});
+    w.addRow({"v"});
+    ASSERT_TRUE(w.writeFile(path));
+    std::ifstream ifs(path);
+    std::stringstream ss;
+    ss << ifs.rdbuf();
+    EXPECT_EQ(ss.str(), "a\nv\n");
+    std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WriteFileBadPathReturnsFalse)
+{
+    CsvWriter w({"a"});
+    EXPECT_FALSE(w.writeFile("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(CsvWriterDeath, ArityMismatchPanics)
+{
+    CsvWriter w({"a", "b"});
+    EXPECT_DEATH(w.addRow({"1"}), "arity");
+}
+
+} // namespace
+} // namespace cpullm

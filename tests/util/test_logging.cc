@@ -1,0 +1,54 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace {
+
+TEST(LogLevel, DefaultIsInfo)
+{
+    EXPECT_EQ(static_cast<int>(logLevel()),
+              static_cast<int>(LogLevel::Info));
+}
+
+TEST(LogLevel, SetAndGet)
+{
+    const LogLevel prev = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(static_cast<int>(logLevel()),
+              static_cast<int>(LogLevel::Silent));
+    setLogLevel(prev);
+}
+
+TEST(ComposeMessage, StreamsArbitraryArgs)
+{
+    EXPECT_EQ(detail::composeMessage("a=", 1, " b=", 2.5), "a=1 b=2.5");
+    EXPECT_EQ(detail::composeMessage(), "");
+}
+
+TEST(Assert, PassingConditionIsQuiet)
+{
+    // Must not abort.
+    CPULLM_ASSERT(1 + 1 == 2, "math works");
+    SUCCEED();
+}
+
+TEST(AssertDeath, FailingConditionAborts)
+{
+    EXPECT_DEATH({ CPULLM_ASSERT(false, "expected failure"); },
+                 "assertion failed");
+}
+
+TEST(PanicDeath, PanicAborts)
+{
+    EXPECT_DEATH({ CPULLM_PANIC("internal bug"); }, "internal bug");
+}
+
+TEST(FatalDeath, FatalExitsWithCode1)
+{
+    EXPECT_EXIT({ CPULLM_FATAL("user error"); },
+                testing::ExitedWithCode(1), "user error");
+}
+
+} // namespace
+} // namespace cpullm

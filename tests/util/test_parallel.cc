@@ -1,0 +1,67 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cpullm {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    const std::size_t n = 10000;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(0, n, [&](std::size_t i) { ++hits[i]; }, 16);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop)
+{
+    std::atomic<int> calls{0};
+    parallelFor(5, 5, [&](std::size_t) { ++calls; });
+    parallelFor(5, 3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, NonZeroBegin)
+{
+    std::atomic<std::size_t> sum{0};
+    parallelFor(10, 20, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 145u); // 10+11+...+19
+}
+
+TEST(ParallelFor, SerialFallbackForSmallRange)
+{
+    // grain >= range forces the serial path; result must match.
+    std::vector<int> v(8, 0);
+    parallelFor(0, v.size(), [&](std::size_t i) {
+        v[i] = static_cast<int>(i) * 2;
+    }, 100);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        EXPECT_EQ(v[i], static_cast<int>(i) * 2);
+}
+
+TEST(MaxThreads, CapIsRespected)
+{
+    setMaxThreads(1);
+    EXPECT_EQ(hardwareThreads(), 1u);
+    setMaxThreads(0);
+    EXPECT_GE(hardwareThreads(), 1u);
+}
+
+TEST(ParallelFor, LargeGrainStillCoversAll)
+{
+    const std::size_t n = 1003; // not a multiple of grain
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(0, n, [&](std::size_t i) { ++hits[i]; }, 64);
+    int total = 0;
+    for (auto& h : hits)
+        total += h.load();
+    EXPECT_EQ(total, static_cast<int>(n));
+}
+
+} // namespace
+} // namespace cpullm

@@ -1,0 +1,105 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include "util/units.h"
+
+namespace cpullm {
+namespace {
+
+TEST(StrFormat, BasicFormatting)
+{
+    EXPECT_EQ(strformat("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strformat("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strformat("empty"), "empty");
+}
+
+TEST(StrFormat, LongStrings)
+{
+    const std::string big(1000, 'a');
+    EXPECT_EQ(strformat("%s", big.c_str()).size(), 1000u);
+}
+
+TEST(Split, KeepsEmptyFields)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, NoSeparator)
+{
+    const auto parts = split("abc", '/');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyString)
+{
+    const auto parts = split("", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "");
+}
+
+TEST(Join, RoundTripsSplit)
+{
+    const std::vector<std::string> v{"x", "y", "z"};
+    EXPECT_EQ(join(v, "/"), "x/y/z");
+    EXPECT_EQ(split(join(v, "/"), '/'), v);
+}
+
+TEST(Join, Empty)
+{
+    EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, MixedCase)
+{
+    EXPECT_EQ(toLower("LLaMA2-13B"), "llama2-13b");
+}
+
+TEST(StartsWith, Cases)
+{
+    EXPECT_TRUE(startsWith("fig08a", "fig"));
+    EXPECT_FALSE(startsWith("fig", "fig08a"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(FormatNumber, TrimsTrailingZeros)
+{
+    EXPECT_EQ(formatNumber(3.0), "3");
+    EXPECT_EQ(formatNumber(3.20), "3.2");
+    EXPECT_EQ(formatNumber(0.125, 3), "0.125");
+}
+
+TEST(FormatBytes, UnitSelection)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2 * KiB), "2.00 KiB");
+    EXPECT_EQ(formatBytes(64ULL * GiB), "64.00 GiB");
+}
+
+TEST(FormatBandwidth, UnitSelection)
+{
+    EXPECT_EQ(formatBandwidth(588.0 * GB), "588.0 GB/s");
+    EXPECT_EQ(formatBandwidth(1.3 * TB), "1.3 TB/s");
+}
+
+TEST(FormatTime, UnitSelection)
+{
+    EXPECT_EQ(formatTime(1.5), "1.500 s");
+    EXPECT_EQ(formatTime(0.0125), "12.500 ms");
+    EXPECT_EQ(formatTime(42e-6), "42.000 us");
+    EXPECT_EQ(formatTime(5e-9), "5.0 ns");
+}
+
+TEST(FormatFlops, UnitSelection)
+{
+    EXPECT_EQ(formatFlops(206.4e12), "206.4 TFLOPS");
+    EXPECT_EQ(formatFlops(18.0e9), "18.0 GFLOPS");
+}
+
+} // namespace
+} // namespace cpullm

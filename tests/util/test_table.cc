@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace {
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+    EXPECT_EQ(t.columnCount(), 2u);
+}
+
+TEST(Table, CaptionAppearsFirst)
+{
+    Table t({"a"});
+    t.setCaption("My Caption");
+    t.addRow({"x"});
+    const std::string s = t.str();
+    EXPECT_EQ(s.rfind("My Caption", 0), 0u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell)
+{
+    Table t({"h"});
+    t.addRow({"wide-cell-content"});
+    const std::string s = t.str();
+    // Every rendered line must be equally long (aligned box).
+    size_t first_len = std::string::npos;
+    size_t pos = 0;
+    while (pos < s.size()) {
+        const size_t nl = s.find('\n', pos);
+        const std::string line = s.substr(pos, nl - pos);
+        if (first_len == std::string::npos)
+            first_len = line.size();
+        EXPECT_EQ(line.size(), first_len);
+        pos = nl + 1;
+    }
+}
+
+TEST(TableDeath, ArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row arity");
+}
+
+TEST(TableDeath, EmptyHeadersPanic)
+{
+    EXPECT_DEATH(Table{std::vector<std::string>{}}, "at least one");
+}
+
+} // namespace
+} // namespace cpullm

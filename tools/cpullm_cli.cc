@@ -1,0 +1,227 @@
+/**
+ * @file
+ * cpullm command-line driver.
+ *
+ *   cpullm run --model opt-13b --platform spr --batch 8 [--prompt N]
+ *              [--gen N] [--dtype bf16|i8] [--json]
+ *   cpullm compare --model opt-66b --batch 1
+ *   cpullm findings
+ *   cpullm list
+ *
+ * `run` simulates one request on a CPU platform; `compare` pits the
+ * SPR CPU against both GPUs; `findings` validates the paper's five
+ * key findings; `list` shows known models and platforms.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/cpullm.h"
+
+using namespace cpullm;
+
+namespace {
+
+/** Minimal --key value parser; fatal() on malformed input. */
+std::map<std::string, std::string>
+parseFlags(int argc, char** argv, int first)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = first; i < argc; ++i) {
+        std::string key = argv[i];
+        if (!startsWith(key, "--"))
+            CPULLM_FATAL("expected --flag, got '", key, "'");
+        key = key.substr(2);
+        if (key == "json") {
+            flags[key] = "1";
+            continue;
+        }
+        if (i + 1 >= argc)
+            CPULLM_FATAL("missing value for --", key);
+        flags[key] = argv[++i];
+    }
+    return flags;
+}
+
+std::string
+flagOr(const std::map<std::string, std::string>& flags,
+       const std::string& key, const std::string& fallback)
+{
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+}
+
+perf::Workload
+workloadFromFlags(const std::map<std::string, std::string>& flags)
+{
+    perf::Workload w;
+    w.batch = std::atoll(flagOr(flags, "batch", "1").c_str());
+    w.promptLen = std::atoll(flagOr(flags, "prompt", "128").c_str());
+    w.genLen = std::atoll(flagOr(flags, "gen", "32").c_str());
+    w.dtype = dtypeFromName(flagOr(flags, "dtype", "bf16"));
+    return w;
+}
+
+int
+cmdRun(int argc, char** argv)
+{
+    const auto flags = parseFlags(argc, argv, 2);
+    const auto spec =
+        model::modelByName(flagOr(flags, "model", "llama2-7b"));
+    const auto platform =
+        hw::platformByName(flagOr(flags, "platform", "spr"));
+    const perf::Workload w = workloadFromFlags(flags);
+
+    engine::CpuInferenceEngine eng(platform, spec);
+    const auto r = eng.infer(w);
+
+    if (flags.count("json")) {
+        std::cout << strformat(
+            "{\"model\":\"%s\",\"platform\":\"%s\",\"batch\":%lld,"
+            "\"prompt\":%lld,\"gen\":%lld,\"ttft_s\":%.6f,"
+            "\"tpot_s\":%.6f,\"e2e_s\":%.6f,\"tokens_per_s\":%.3f,"
+            "\"weights_hbm_fraction\":%.4f,\"llc_mpki\":%.2f,"
+            "\"core_utilization\":%.4f}\n",
+            spec.name.c_str(), platform.label().c_str(),
+            static_cast<long long>(w.batch),
+            static_cast<long long>(w.promptLen),
+            static_cast<long long>(w.genLen), r.timing.ttft,
+            r.timing.tpot, r.timing.e2eLatency,
+            r.timing.totalThroughput, r.weightsHbmFraction,
+            r.counters.mpki(), r.counters.coreUtilization);
+        return 0;
+    }
+
+    Table t({"metric", "value"});
+    t.setCaption(strformat("%s on %s (batch %lld, %lld+%lld tokens, "
+                           "%s weights)",
+                           spec.name.c_str(),
+                           platform.label().c_str(),
+                           static_cast<long long>(w.batch),
+                           static_cast<long long>(w.promptLen),
+                           static_cast<long long>(w.genLen),
+                           dtypeName(w.dtype).c_str()));
+    t.addRow({"TTFT", formatTime(r.timing.ttft)});
+    t.addRow({"TPOT", formatTime(r.timing.tpot)});
+    t.addRow({"E2E latency", formatTime(r.timing.e2eLatency)});
+    t.addRow({"throughput",
+              formatNumber(r.timing.totalThroughput, 1) + " tok/s"});
+    t.addRow({"weights in HBM",
+              formatNumber(100.0 * r.weightsHbmFraction, 1) + " %"});
+    t.addRow({"LLC MPKI", formatNumber(r.counters.mpki(), 1)});
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdCompare(int argc, char** argv)
+{
+    const auto flags = parseFlags(argc, argv, 2);
+    const auto spec =
+        model::modelByName(flagOr(flags, "model", "opt-30b"));
+    const perf::Workload w = workloadFromFlags(flags);
+
+    const perf::CpuPerfModel spr(hw::sprDefaultPlatform());
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const gpu::GpuPerfModel h100(hw::nvidiaH100());
+
+    const auto tc = spr.run(spec, w);
+    const auto ra = a100.run(spec, w);
+    const auto rh = h100.run(spec, w);
+
+    Table t({"device", "mode", "TTFT", "TPOT", "E2E", "tok/s",
+             "vs CPU"});
+    t.setCaption(strformat("%s, batch %lld", spec.name.c_str(),
+                           static_cast<long long>(w.batch)));
+    t.addRow({"SPR Max9468", "native", formatTime(tc.ttft),
+              formatTime(tc.tpot), formatTime(tc.e2eLatency),
+              formatNumber(tc.totalThroughput, 1), "1.00x"});
+    auto gpu_row = [&](const char* name, const gpu::GpuRunResult& r) {
+        t.addRow({name,
+                  r.placement == gpu::GpuPlacement::Offloaded
+                      ? "offload"
+                      : "resident",
+                  formatTime(r.timing.ttft), formatTime(r.timing.tpot),
+                  formatTime(r.timing.e2eLatency),
+                  formatNumber(r.timing.totalThroughput, 1),
+                  formatNumber(tc.e2eLatency / r.timing.e2eLatency,
+                               2) +
+                      "x"});
+    };
+    gpu_row("A100", ra);
+    gpu_row("H100", rh);
+    t.print(std::cout);
+    return 0;
+}
+
+int
+cmdFindings()
+{
+    bool all = true;
+    for (const auto& c : core::checkAllKeyFindings()) {
+        std::cout << "KF" << c.number << " ["
+                  << (c.passed ? "PASS" : "FAIL") << "] " << c.detail
+                  << "\n";
+        all = all && c.passed;
+    }
+    return all ? 0 : 1;
+}
+
+int
+cmdList()
+{
+    std::cout << "models:\n";
+    for (const auto& m : model::evaluatedModels()) {
+        std::cout << strformat(
+            "  %-11s %3lldL d=%lld heads=%lld  %s (BF16)\n",
+            m.name.c_str(), static_cast<long long>(m.numLayers),
+            static_cast<long long>(m.dModel),
+            static_cast<long long>(m.numHeads),
+            formatBytes(m.weightBytes(DType::BF16)).c_str());
+    }
+    std::cout << "  (also: opt-175b, tiny)\n\nplatforms:\n"
+              << "  icl                 Xeon 8352Y, 32c, DDR4\n"
+              << "  spr                 Xeon Max 9468, quad_flat, 48c\n"
+              << "  <cpu>/<clu>_<mem>/<N>c   e.g. spr/snc_cache/24c\n";
+    return 0;
+}
+
+void
+usage()
+{
+    std::cout
+        << "usage: cpullm <command> [flags]\n"
+           "  run      --model M --platform P --batch N [--prompt N]\n"
+           "           [--gen N] [--dtype bf16|i8] [--json]\n"
+           "  compare  --model M --batch N [--prompt N] [--gen N]\n"
+           "  findings validate the paper's five key findings\n"
+           "  list     known models and platforms\n";
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    if (cmd == "run")
+        return cmdRun(argc, argv);
+    if (cmd == "compare")
+        return cmdCompare(argc, argv);
+    if (cmd == "findings")
+        return cmdFindings();
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        usage();
+        return 0;
+    }
+    usage();
+    CPULLM_FATAL("unknown command '", cmd, "'");
+}
