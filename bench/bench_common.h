@@ -17,6 +17,7 @@
 
 #include "core/experiments.h"
 #include "core/figure.h"
+#include "obs/run_report.h"
 #include "util/logging.h"
 
 namespace cpullm {
@@ -33,6 +34,22 @@ printFigure(const core::FigureData& f)
             std::string(dir) + "/" + f.id() + ".csv";
         if (f.writeCsv(path))
             inform("wrote ", path);
+    }
+}
+
+/**
+ * Append a run report to $CPULLM_RESULTS_DIR/reports.jsonl, so a
+ * benchmark sweep leaves one machine-readable line per experiment
+ * next to the figure CSVs. No-op when the env var is unset.
+ */
+inline void
+appendRunReport(const obs::RunReport& report)
+{
+    if (const char* dir = std::getenv("CPULLM_RESULTS_DIR")) {
+        const std::string path =
+            std::string(dir) + "/reports.jsonl";
+        if (report.appendJsonlFile(path))
+            inform("appended report to ", path);
     }
 }
 

@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 
+#include "engine/inference_engine.h"
 #include "perf/cpu_model.h"
 
 namespace {
@@ -47,5 +48,16 @@ main(int argc, char** argv)
     const auto fig = cpullm::core::fig08E2eIclVsSpr();
     cpullm::bench::printFigure(fig.latency);
     cpullm::bench::printFigure(fig.throughput);
+    // One machine-readable run report per platform at batch 1,
+    // appended to $CPULLM_RESULTS_DIR/reports.jsonl when set.
+    for (const auto& platform : {cpullm::hw::iclDefaultPlatform(),
+                                 cpullm::hw::sprDefaultPlatform()}) {
+        const auto spec = cpullm::model::opt13b();
+        const auto w = cpullm::perf::paperWorkload(1);
+        cpullm::engine::CpuInferenceEngine eng(platform, spec);
+        const auto r = eng.infer(w);
+        cpullm::bench::appendRunReport(cpullm::obs::makeInferenceReport(
+            platform.label(), spec.name, w, r.timing, r.counters));
+    }
     return cpullm::bench::runBenchmarks(argc, argv);
 }

@@ -29,6 +29,10 @@
 #include "model/layers.h"
 #include "model/spec.h"
 #include "model/transformer.h"
+#include "obs/counters.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/span.h"
 #include "opt/hybrid.h"
 #include "opt/numa_placement.h"
 #include "perf/cpu_model.h"
@@ -36,6 +40,7 @@
 #include "serve/serving_sim.h"
 #include "stats/stats.h"
 #include "trace/timeline.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/units.h"

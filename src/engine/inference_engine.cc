@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/counters.h"
+#include "trace/timeline.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/units.h"
@@ -100,6 +102,9 @@ CpuInferenceEngine::infer(const perf::Workload& workload)
             .sample(result.timing.tpot);
     }
 
+    if (tracer_)
+        traceRequest(workload, result);
+
     if (functional_) {
         if (workload.finalSeqLen() > spec_.maxSeqLen) {
             CPULLM_FATAL("workload sequence ", workload.finalSeqLen(),
@@ -114,6 +119,104 @@ CpuInferenceEngine::infer(const perf::Workload& workload)
             functional_->generate(prompts, workload.genLen, cache);
     }
     return result;
+}
+
+double
+CpuInferenceEngine::tracePhaseSpans(obs::TrackId track,
+                                    perf::Phase phase,
+                                    const perf::Workload& workload,
+                                    std::int64_t ctx_len, double t0,
+                                    const std::string& label,
+                                    const perf::PhaseBreakdown& breakdown)
+{
+    obs::Tracer& tr = *tracer_;
+    const auto ops =
+        perf::buildPhaseOps(spec_, phase, workload, ctx_len);
+    const auto costs =
+        perf_.costPhaseOps(spec_, phase, workload, ctx_len);
+    CPULLM_ASSERT(ops.size() == costs.size(),
+                  "op/cost arity mismatch");
+
+    obs::Span phase_span = tr.begin(
+        label, phase == perf::Phase::Prefill ? "prefill" : "decode",
+        track, t0);
+    phase_span.annotate("ctx_len", static_cast<double>(ctx_len));
+
+    double t = t0;
+    std::string cur_layer;
+    obs::Span layer_span;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        // Group "layerN.*" operators under one layer span.
+        std::string layer;
+        if (ops[i].name.rfind("layer", 0) == 0) {
+            const auto dot = ops[i].name.find('.');
+            if (dot != std::string::npos)
+                layer = ops[i].name.substr(0, dot);
+        }
+        if (layer != cur_layer) {
+            layer_span.close(t);
+            cur_layer = layer;
+            if (!layer.empty())
+                layer_span = tr.begin(layer, "layer", track, t);
+        }
+        obs::Span op = tr.begin(ops[i].name,
+                                trace::opKindCategory(ops[i].kind),
+                                track, t);
+        op.annotate("bound_by",
+                    costs[i].memoryBound ? "memory" : "compute");
+        op.annotate("gflops", ops[i].flops / 1e9);
+        op.annotate("mbytes",
+                    static_cast<double>(ops[i].weightBytes +
+                                        ops[i].kvBytes +
+                                        ops[i].actBytes) /
+                        1e6);
+        t += costs[i].total;
+        op.close(t);
+    }
+    layer_span.close(t);
+    phase_span.close(t);
+
+    const auto totals = perf::sumOps(ops);
+    obs::emitPhaseCounters(
+        tr, track.pid, t0, t, breakdown.counters, totals.flops,
+        static_cast<double>(totals.weightBytes + totals.kvBytes),
+        static_cast<double>(totals.actBytes));
+    return t;
+}
+
+void
+CpuInferenceEngine::traceRequest(const perf::Workload& workload,
+                                 const InferenceResult& result)
+{
+    obs::Tracer& tr = *tracer_;
+    const obs::TrackId track =
+        tr.track("engine: " + platform().label(), "operators");
+
+    const double t0 = tr.time();
+    obs::Span request = tr.begin(
+        strformat("request (batch %lld, %lld+%lld)",
+                  static_cast<long long>(workload.batch),
+                  static_cast<long long>(workload.promptLen),
+                  static_cast<long long>(workload.genLen)),
+        "request", track, t0);
+    request.annotate("model", spec_.name);
+    request.annotate("ttft_s", result.timing.ttft);
+    request.annotate("tpot_s", result.timing.tpot);
+    request.annotate("e2e_s", result.timing.e2eLatency);
+
+    double t = tracePhaseSpans(track, perf::Phase::Prefill, workload,
+                               workload.promptLen, t0, "prefill",
+                               result.timing.prefill);
+    for (std::int64_t s = 0; s < workload.genLen - 1; ++s) {
+        t = tracePhaseSpans(
+            track, perf::Phase::Decode, workload,
+            workload.promptLen + s + 1, t,
+            strformat("decode%lld", static_cast<long long>(s)),
+            result.timing.decodeStep);
+    }
+    obs::closeCounters(tr, track.pid, t);
+    request.close(t);
+    tr.setTime(t);
 }
 
 } // namespace engine

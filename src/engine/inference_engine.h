@@ -17,6 +17,7 @@
 #include "mem/memory_system.h"
 #include "model/spec.h"
 #include "model/transformer.h"
+#include "obs/span.h"
 #include "perf/cpu_model.h"
 #include "perf/timing.h"
 #include "perf/workload.h"
@@ -94,13 +95,36 @@ class CpuInferenceEngine
     const stats::Registry& statistics() const { return stats_; }
     stats::Registry& statistics() { return stats_; }
 
+    /**
+     * Attach a tracer (non-owning; nullptr detaches). Subsequent
+     * infer() calls emit one request span with nested prefill /
+     * per-decode-step phase spans, per-layer spans, per-operator
+     * spans, and per-phase counter-track samples (bandwidth, GFLOP/s,
+     * LLC MPKI, core/UPI utilization) on the tracer's simulated
+     * timeline, starting at the tracer's current clock.
+     */
+    void setTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+    obs::Tracer* tracer() const { return tracer_; }
+
   private:
+    /** Emit the span/counter timeline of one simulated request. */
+    void traceRequest(const perf::Workload& workload,
+                      const InferenceResult& result);
+
+    /** Emit one phase's spans/counters; returns its end time. */
+    double tracePhaseSpans(obs::TrackId track, perf::Phase phase,
+                           const perf::Workload& workload,
+                           std::int64_t ctx_len, double t0,
+                           const std::string& label,
+                           const perf::PhaseBreakdown& breakdown);
+
     model::ModelSpec spec_;
     ExecutionMode mode_;
     perf::CpuPerfModel perf_;
     std::optional<model::TransformerModel> functional_;
     std::uint64_t seed_;
     stats::Registry stats_;
+    obs::Tracer* tracer_ = nullptr;
 };
 
 } // namespace engine

@@ -162,7 +162,7 @@ GpuPerfModel::timeStep(const model::ModelSpec& spec, perf::Phase phase,
 
 GpuRunResult
 GpuPerfModel::run(const model::ModelSpec& spec,
-                  const perf::Workload& w) const
+                  const perf::Workload& w, obs::Tracer* tracer) const
 {
     CPULLM_ASSERT(w.batch >= 1 && w.promptLen >= 1 && w.genLen >= 1,
                   "degenerate workload");
@@ -182,6 +182,45 @@ GpuPerfModel::run(const model::ModelSpec& spec,
     GpuRunResult r;
     r.placement = placement;
 
+    // Execution-timeline tracks (compute vs. PCIe vs. host
+    // attention), laid out on the tracer's simulated clock.
+    obs::TrackId compute_track, pcie_track, cpu_track;
+    double cursor = 0.0;
+    if (tracer) {
+        const std::string proc = strformat(
+            "gpu: %s (%s, %s)", gpu_.name.c_str(), spec.name.c_str(),
+            placement == GpuPlacement::Offloaded ? "offload"
+                                                 : "resident");
+        compute_track = tracer->track(proc, "gpu compute");
+        pcie_track = tracer->track(proc, "pcie transfer");
+        cpu_track = tracer->track(proc, "cpu attention");
+        cursor = tracer->time();
+    }
+    auto trace_step = [&](const std::string& label,
+                          const StepCost& c) {
+        if (!tracer)
+            return;
+        obs::Span g = tracer->begin(label, "gpu_compute",
+                                    compute_track, cursor);
+        g.annotate("overhead_s", c.overhead);
+        g.close(cursor + c.gpuBusy);
+        if (c.transfer > 0.0) {
+            obs::Span p =
+                tracer->begin(label, "pcie", pcie_track, cursor);
+            p.annotate("visible_s", c.visibleLoad);
+            p.annotate("hidden_s", c.transfer - c.visibleLoad);
+            p.close(cursor + c.transfer);
+        }
+        if (c.cpuAttention > 0.0) {
+            tracer->complete(label, "cpu_attention", cpu_track,
+                             cursor, c.cpuAttention);
+        }
+        tracer->counter(
+            "pcie_visible_fraction", compute_track.pid, cursor,
+            c.total > 0.0 ? c.visibleLoad / c.total : 0.0);
+        cursor += c.total;
+    };
+
     const StepCost pre =
         timeStep(spec, perf::Phase::Prefill, w, w.promptLen, placement);
     r.prefillBreakdown.pcieLoadTime = pre.visibleLoad;
@@ -189,6 +228,7 @@ GpuPerfModel::run(const model::ModelSpec& spec,
     r.prefillBreakdown.cpuAttentionTime = pre.cpuAttention;
     r.prefillBreakdown.otherTime = pre.overhead;
     r.prefillBreakdown.totalTime = pre.total;
+    trace_step("prefill", pre);
 
     const std::int64_t steps = w.genLen - 1;
     OffloadBreakdown dec;
@@ -200,6 +240,13 @@ GpuPerfModel::run(const model::ModelSpec& spec,
         dec.cpuAttentionTime += step.cpuAttention;
         dec.otherTime += step.overhead;
         dec.totalTime += step.total;
+        trace_step(strformat("decode%lld", static_cast<long long>(s)),
+                   step);
+    }
+    if (tracer) {
+        tracer->counter("pcie_visible_fraction", compute_track.pid,
+                        cursor, 0.0);
+        tracer->setTime(cursor);
     }
 
     r.totalBreakdown.pcieLoadTime =

@@ -18,6 +18,7 @@
 
 #include "hw/gpu.h"
 #include "model/spec.h"
+#include "obs/span.h"
 #include "perf/ops.h"
 #include "perf/timing.h"
 #include "perf/workload.h"
@@ -96,9 +97,19 @@ class GpuPerfModel
     GpuPlacement choosePlacement(const model::ModelSpec& spec,
                                  const perf::Workload& w) const;
 
-    /** Simulate a full request. fatal() if host DRAM cannot hold it. */
+    /**
+     * Simulate a full request. fatal() if host DRAM cannot hold it.
+     *
+     * With a @p tracer, the run emits a per-step execution timeline
+     * starting at the tracer's current clock: a "gpu compute" track,
+     * a "pcie transfer" track (weight/KV streaming, with the
+     * zig-zag-hidden share annotated — the Fig 18 breakdown,
+     * visually), a "cpu attention" track for host-side decode
+     * attention, and a visible-load-fraction counter track.
+     */
     GpuRunResult run(const model::ModelSpec& spec,
-                     const perf::Workload& w) const;
+                     const perf::Workload& w,
+                     obs::Tracer* tracer = nullptr) const;
 
     /** Achieved GEMM throughput for Fig 1. */
     double gemmThroughput(std::int64_t m, std::int64_t n,

@@ -1,0 +1,57 @@
+#include "obs/counters.h"
+
+#include <algorithm>
+
+namespace cpullm {
+namespace obs {
+
+CounterRates
+ratesFromCounters(const perf::Counters& counters, double flops,
+                  double dram_bytes, double act_bytes, double seconds)
+{
+    CounterRates r;
+    const double dt = std::max(seconds, 1e-12);
+    r.dramGBps = dram_bytes / dt / 1e9;
+    r.actGBps = act_bytes / dt / 1e9;
+    r.gflops = flops / dt / 1e9;
+    r.llcMpki = counters.mpki();
+    r.coreUtil = counters.coreUtilization;
+    r.upiUtil = counters.upiUtilization;
+    r.upiGBps = counters.upiBytes / dt / 1e9;
+    return r;
+}
+
+void
+emitCounterRates(Tracer& tracer, std::int64_t pid, double time,
+                 const CounterRates& rates)
+{
+    tracer.counter("bandwidth_GBps", pid, time,
+                   {{"dram", rates.dramGBps},
+                    {"activations", rates.actGBps},
+                    {"upi", rates.upiGBps}});
+    tracer.counter("compute_GFLOPs", pid, time,
+                   {{"achieved", rates.gflops}});
+    tracer.counter("llc_mpki", pid, time, {{"mpki", rates.llcMpki}});
+    tracer.counter("utilization", pid, time,
+                   {{"core", rates.coreUtil},
+                    {"upi", rates.upiUtil}});
+}
+
+void
+emitPhaseCounters(Tracer& tracer, std::int64_t pid, double start,
+                  double end, const perf::Counters& counters,
+                  double flops, double dram_bytes, double act_bytes)
+{
+    emitCounterRates(tracer, pid, start,
+                     ratesFromCounters(counters, flops, dram_bytes,
+                                       act_bytes, end - start));
+}
+
+void
+closeCounters(Tracer& tracer, std::int64_t pid, double time)
+{
+    emitCounterRates(tracer, pid, time, CounterRates{});
+}
+
+} // namespace obs
+} // namespace cpullm

@@ -1,0 +1,67 @@
+#ifndef CPULLM_OBS_COUNTERS_H
+#define CPULLM_OBS_COUNTERS_H
+
+/**
+ * @file
+ * Emulated-perf-counter surface: converts the timing models' counter
+ * totals (perf::Counters plus operator byte/FLOP totals) into rate
+ * samples on Chrome-trace counter tracks, so Perfetto renders the
+ * Fig 11/12/15/16-style bandwidth / MPKI / utilization timelines the
+ * paper reads off real hardware counters.
+ *
+ * Convention: one sample is emitted at the start of the interval it
+ * describes (Chrome counters step-interpolate), and closeCounters()
+ * drops every series to zero at end of run so the last interval does
+ * not bleed to infinity.
+ */
+
+#include <cstdint>
+
+#include "obs/span.h"
+#include "perf/timing.h"
+
+namespace cpullm {
+namespace obs {
+
+/** Per-interval counter rates derived from modeled totals. */
+struct CounterRates
+{
+    double dramGBps = 0.0;    ///< weight + KV streaming bandwidth
+    double actGBps = 0.0;     ///< activation (cache-level) traffic
+    double gflops = 0.0;      ///< achieved compute rate
+    double llcMpki = 0.0;     ///< LLC misses per kilo-instruction
+    double coreUtil = 0.0;    ///< 0-1
+    double upiUtil = 0.0;     ///< 0-1
+    double upiGBps = 0.0;     ///< socket-interconnect traffic
+};
+
+/**
+ * Rates over an interval of @p seconds from modeled totals:
+ * @p counters (instruction/LLC/UPI model), @p flops and the streamed
+ * @p dram_bytes / cache-level @p act_bytes.
+ */
+CounterRates ratesFromCounters(const perf::Counters& counters,
+                               double flops, double dram_bytes,
+                               double act_bytes, double seconds);
+
+/**
+ * Emit one sample of every counter track at @p time under process
+ * @p pid. Track names are stable ("bandwidth_GBps", "compute_GFLOPs",
+ * "llc_mpki", "utilization").
+ */
+void emitCounterRates(Tracer& tracer, std::int64_t pid, double time,
+                      const CounterRates& rates);
+
+/** Convenience: derive rates for [start, end) and emit at start. */
+void emitPhaseCounters(Tracer& tracer, std::int64_t pid, double start,
+                       double end, const perf::Counters& counters,
+                       double flops, double dram_bytes,
+                       double act_bytes);
+
+/** Drop all series to zero at @p time (end of run). */
+void closeCounters(Tracer& tracer, std::int64_t pid, double time);
+
+} // namespace obs
+} // namespace cpullm
+
+#endif // CPULLM_OBS_COUNTERS_H

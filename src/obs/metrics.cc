@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace obs {
+
+void
+writeRegistryJson(std::ostream& os, const stats::Registry& reg)
+{
+    os << '{';
+    bool first = true;
+    for (const auto& name : reg.names()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << jsonQuote(name) << ":{";
+        switch (reg.kind(name)) {
+          case stats::StatKind::Scalar: {
+            const auto& s = reg.getScalar(name);
+            os << strformat("\"kind\":\"scalar\",\"value\":%.9g,"
+                            "\"samples\":%llu",
+                            s.value(),
+                            static_cast<unsigned long long>(
+                                s.samples()));
+            break;
+          }
+          case stats::StatKind::Distribution: {
+            const auto& d = reg.getDistribution(name);
+            os << strformat(
+                "\"kind\":\"distribution\",\"mean\":%.9g,"
+                "\"min\":%.9g,\"max\":%.9g,\"stddev\":%.9g,"
+                "\"n\":%llu",
+                d.mean(), d.min(), d.max(), d.stddev(),
+                static_cast<unsigned long long>(d.count()));
+            break;
+          }
+          case stats::StatKind::Histogram: {
+            const auto& h = reg.getHistogram(name);
+            os << strformat(
+                "\"kind\":\"histogram\",\"p50\":%.9g,\"p95\":%.9g,"
+                "\"p99\":%.9g,\"n\":%llu,\"underflow\":%llu,"
+                "\"overflow\":%llu",
+                h.quantile(50.0), h.quantile(95.0), h.quantile(99.0),
+                static_cast<unsigned long long>(h.count()),
+                static_cast<unsigned long long>(h.underflow()),
+                static_cast<unsigned long long>(h.overflow()));
+            break;
+          }
+        }
+        const std::string& desc = reg.description(name);
+        if (!desc.empty())
+            os << ",\"desc\":" << jsonQuote(desc);
+        os << '}';
+    }
+    os << '}';
+}
+
+void
+writeRegistryCsv(std::ostream& os, const stats::Registry& reg)
+{
+    CsvWriter csv({"name", "kind", "value", "mean", "min", "max",
+                   "p50", "p95", "p99", "n", "desc"});
+    for (const auto& name : reg.names()) {
+        std::vector<std::string> row(11);
+        row[0] = name;
+        row[10] = reg.description(name);
+        switch (reg.kind(name)) {
+          case stats::StatKind::Scalar: {
+            const auto& s = reg.getScalar(name);
+            row[1] = "scalar";
+            row[2] = formatNumber(s.value(), 9);
+            row[9] = strformat(
+                "%llu",
+                static_cast<unsigned long long>(s.samples()));
+            break;
+          }
+          case stats::StatKind::Distribution: {
+            const auto& d = reg.getDistribution(name);
+            row[1] = "distribution";
+            row[3] = formatNumber(d.mean(), 9);
+            row[4] = formatNumber(d.min(), 9);
+            row[5] = formatNumber(d.max(), 9);
+            row[9] = strformat(
+                "%llu",
+                static_cast<unsigned long long>(d.count()));
+            break;
+          }
+          case stats::StatKind::Histogram: {
+            const auto& h = reg.getHistogram(name);
+            row[1] = "histogram";
+            row[6] = formatNumber(h.quantile(50.0), 9);
+            row[7] = formatNumber(h.quantile(95.0), 9);
+            row[8] = formatNumber(h.quantile(99.0), 9);
+            row[9] = strformat(
+                "%llu",
+                static_cast<unsigned long long>(h.count()));
+            break;
+          }
+        }
+        csv.addRow(std::move(row));
+    }
+    csv.write(os);
+}
+
+namespace {
+
+template <typename WriteFn>
+bool
+writeFile(const std::string& path, WriteFn&& fn)
+{
+    std::ofstream ofs(path);
+    if (!ofs) {
+        warn("could not open '", path, "' for writing");
+        return false;
+    }
+    fn(ofs);
+    return static_cast<bool>(ofs);
+}
+
+} // namespace
+
+bool
+writeRegistryJsonFile(const std::string& path,
+                      const stats::Registry& reg)
+{
+    return writeFile(path,
+                     [&](std::ostream& os) {
+                         writeRegistryJson(os, reg);
+                     });
+}
+
+bool
+writeRegistryCsvFile(const std::string& path,
+                     const stats::Registry& reg)
+{
+    return writeFile(path,
+                     [&](std::ostream& os) {
+                         writeRegistryCsv(os, reg);
+                     });
+}
+
+} // namespace obs
+} // namespace cpullm

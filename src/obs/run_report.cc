@@ -1,0 +1,109 @@
+#include "obs/run_report.h"
+
+#include <fstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace obs {
+
+void
+RunReport::setWorkload(const perf::Workload& w)
+{
+    batch = w.batch;
+    promptLen = w.promptLen;
+    genLen = w.genLen;
+    dtype = dtypeName(w.dtype);
+}
+
+void
+RunReport::addTiming(const perf::InferenceTiming& t)
+{
+    metrics["ttft_s"] = t.ttft;
+    metrics["tpot_s"] = t.tpot;
+    metrics["e2e_s"] = t.e2eLatency;
+    metrics["tokens_per_s"] = t.totalThroughput;
+    metrics["prefill_tokens_per_s"] = t.prefillThroughput;
+    metrics["decode_tokens_per_s"] = t.decodeThroughput;
+}
+
+void
+RunReport::addCounters(const perf::Counters& c)
+{
+    metrics["llc_mpki"] = c.mpki();
+    metrics["core_utilization"] = c.coreUtilization;
+    metrics["upi_utilization"] = c.upiUtilization;
+    metrics["upi_gb"] = c.upiBytes / 1e9;
+    metrics["instructions_g"] = c.instructions / 1e9;
+}
+
+std::string
+RunReport::toJson() const
+{
+    std::string out = strformat(
+        "{\"schema\":%d,\"kind\":%s,\"platform\":%s,\"model\":%s,"
+        "\"batch\":%lld,\"prompt\":%lld,\"gen\":%lld,\"dtype\":%s",
+        kSchemaVersion, jsonQuote(kind).c_str(),
+        jsonQuote(platform).c_str(), jsonQuote(model).c_str(),
+        static_cast<long long>(batch),
+        static_cast<long long>(promptLen),
+        static_cast<long long>(genLen), jsonQuote(dtype).c_str());
+    if (!metrics.empty()) {
+        out += ",\"metrics\":{";
+        bool first = true;
+        for (const auto& [k, v] : metrics) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += jsonQuote(k) + ":" + strformat("%.9g", v);
+        }
+        out += '}';
+    }
+    if (!info.empty()) {
+        out += ",\"info\":{";
+        bool first = true;
+        for (const auto& [k, v] : info) {
+            if (!first)
+                out += ',';
+            first = false;
+            out += jsonQuote(k) + ":" + jsonQuote(v);
+        }
+        out += '}';
+    }
+    out += '}';
+    return out;
+}
+
+bool
+RunReport::appendJsonlFile(const std::string& path) const
+{
+    std::ofstream ofs(path, std::ios::app);
+    if (!ofs) {
+        warn("could not open '", path, "' for appending");
+        return false;
+    }
+    ofs << toJson() << '\n';
+    return static_cast<bool>(ofs);
+}
+
+RunReport
+makeInferenceReport(const std::string& platform_label,
+                    const std::string& model_name,
+                    const perf::Workload& w,
+                    const perf::InferenceTiming& timing,
+                    const perf::Counters& counters)
+{
+    RunReport r;
+    r.kind = "single_request";
+    r.platform = platform_label;
+    r.model = model_name;
+    r.setWorkload(w);
+    r.addTiming(timing);
+    r.addCounters(counters);
+    return r;
+}
+
+} // namespace obs
+} // namespace cpullm

@@ -1,0 +1,72 @@
+#ifndef CPULLM_OBS_RUN_REPORT_H
+#define CPULLM_OBS_RUN_REPORT_H
+
+/**
+ * @file
+ * Machine-readable experiment reports. One RunReport serializes to a
+ * single JSON line (JSONL: one experiment per line, append-friendly)
+ * capturing what ran (platform, model, workload), what was measured
+ * (flat numeric metrics: timings, throughputs, counters, latency
+ * percentiles) and free-form string context. Downstream analysis —
+ * the analytical-forecasting direction of PAPERS.md arXiv:2508.00904
+ * — consumes these instead of scraping console tables.
+ */
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "perf/timing.h"
+#include "perf/workload.h"
+
+namespace cpullm {
+namespace obs {
+
+/** One experiment's machine-readable summary. See file docs. */
+struct RunReport
+{
+    /** Report schema version (bump on incompatible change). */
+    static constexpr int kSchemaVersion = 1;
+
+    std::string kind;     ///< "single_request" / "serving" / ...
+    std::string platform; ///< device label ("SPR Max9468 ...")
+    std::string model;    ///< model spec name ("opt-13b")
+
+    /** Workload knobs (batch/prompt/gen lengths, dtype names). */
+    std::int64_t batch = 0;
+    std::int64_t promptLen = 0;
+    std::int64_t genLen = 0;
+    std::string dtype;
+
+    /** Flat numeric metrics ("ttft_p99_s", "dram_gb", ...). */
+    std::map<std::string, double> metrics;
+    /** Extra string-valued context ("scheduler", "placement", ...). */
+    std::map<std::string, std::string> info;
+
+    /** Record the workload knobs. */
+    void setWorkload(const perf::Workload& w);
+
+    /** Record the standard single-request timing metrics. */
+    void addTiming(const perf::InferenceTiming& t);
+
+    /** Record the modeled hardware counters. */
+    void addCounters(const perf::Counters& c);
+
+    /** Serialize as one JSON line (no trailing newline). */
+    std::string toJson() const;
+
+    /** Append toJson() + '\n' to @p path; false on I/O failure. */
+    bool appendJsonlFile(const std::string& path) const;
+};
+
+/** Single-request report from the standard timing outputs. */
+RunReport makeInferenceReport(const std::string& platform_label,
+                              const std::string& model_name,
+                              const perf::Workload& w,
+                              const perf::InferenceTiming& timing,
+                              const perf::Counters& counters);
+
+} // namespace obs
+} // namespace cpullm
+
+#endif // CPULLM_OBS_RUN_REPORT_H

@@ -1,0 +1,391 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace obs {
+
+Span::Span(Span&& o) noexcept : tracer_(o.tracer_), index_(o.index_)
+{
+    o.tracer_ = nullptr;
+}
+
+Span&
+Span::operator=(Span&& o) noexcept
+{
+    if (this != &o) {
+        if (tracer_)
+            tracer_->closeSpanAtClock(index_);
+        tracer_ = o.tracer_;
+        index_ = o.index_;
+        o.tracer_ = nullptr;
+    }
+    return *this;
+}
+
+Span::~Span()
+{
+    if (tracer_)
+        tracer_->closeSpanAtClock(index_);
+}
+
+void
+Span::annotate(const std::string& key, const std::string& value)
+{
+    if (tracer_)
+        tracer_->annotateSpan(index_, key, value);
+}
+
+void
+Span::annotate(const std::string& key, double value)
+{
+    if (tracer_)
+        tracer_->annotateSpan(index_, key,
+                              formatNumber(value, 6));
+}
+
+void
+Span::close(double end_time)
+{
+    if (tracer_) {
+        tracer_->closeSpan(index_, end_time);
+        tracer_ = nullptr;
+    }
+}
+
+void
+Span::close()
+{
+    if (tracer_) {
+        tracer_->closeSpanAtClock(index_);
+        tracer_ = nullptr;
+    }
+}
+
+TrackId
+Tracer::track(const std::string& process, const std::string& thread)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [pit, p_new] = processes_.try_emplace(
+        process,
+        static_cast<std::int64_t>(processes_.size()) + 1);
+    (void)p_new;
+    const std::int64_t pid = pit->second;
+    std::int64_t next_tid = 1;
+    for (const auto& [key, tid] : threads_) {
+        if (key.first == pid)
+            next_tid = std::max(next_tid, tid + 1);
+    }
+    auto [tit, t_new] =
+        threads_.try_emplace({pid, thread}, next_tid);
+    (void)t_new;
+    return TrackId{pid, tit->second};
+}
+
+void
+Tracer::setTime(double t)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ = t;
+}
+
+double
+Tracer::time() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+}
+
+Span
+Tracer::begin(const std::string& name, const std::string& category,
+              TrackId track, double start_time)
+{
+    CPULLM_ASSERT(start_time >= 0.0, "negative span start");
+    std::lock_guard<std::mutex> lock(mu_);
+    SpanRecord r;
+    r.name = name;
+    r.category = category;
+    r.track = track;
+    r.start = start_time;
+    r.end = start_time;
+    r.open = true;
+    spans_.push_back(std::move(r));
+    return Span(this, spans_.size() - 1);
+}
+
+Span
+Tracer::begin(const std::string& name, const std::string& category,
+              TrackId track)
+{
+    return begin(name, category, track, time());
+}
+
+void
+Tracer::complete(const std::string& name, const std::string& category,
+                 TrackId track, double start, double duration)
+{
+    CPULLM_ASSERT(start >= 0.0 && duration >= 0.0,
+                  "negative span time");
+    std::lock_guard<std::mutex> lock(mu_);
+    SpanRecord r;
+    r.name = name;
+    r.category = category;
+    r.track = track;
+    r.start = start;
+    r.end = start + duration;
+    spans_.push_back(std::move(r));
+}
+
+void
+Tracer::instant(const std::string& name, TrackId track, double time)
+{
+    CPULLM_ASSERT(time >= 0.0, "negative instant time");
+    std::lock_guard<std::mutex> lock(mu_);
+    instants_.push_back(InstantRecord{name, track, time});
+}
+
+void
+Tracer::counter(const std::string& name, std::int64_t pid, double time,
+                double value)
+{
+    counter(name, pid, time, {{name, value}});
+}
+
+void
+Tracer::counter(const std::string& name, std::int64_t pid, double time,
+                std::vector<std::pair<std::string, double>> series)
+{
+    CPULLM_ASSERT(time >= 0.0, "negative counter time");
+    std::lock_guard<std::mutex> lock(mu_);
+    CounterSample s;
+    s.name = name;
+    s.pid = pid;
+    s.time = time;
+    s.series = std::move(series);
+    counters_.push_back(std::move(s));
+}
+
+void
+Tracer::annotateSpan(std::size_t index, const std::string& key,
+                     const std::string& value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    CPULLM_ASSERT(index < spans_.size(), "bad span index");
+    spans_[index].args.emplace_back(key, value);
+}
+
+void
+Tracer::closeSpan(std::size_t index, double end_time)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    CPULLM_ASSERT(index < spans_.size(), "bad span index");
+    SpanRecord& r = spans_[index];
+    CPULLM_ASSERT(r.open, "span closed twice");
+    CPULLM_ASSERT(end_time >= r.start,
+                  "span '", r.name, "' ends before it starts");
+    r.end = end_time;
+    r.open = false;
+}
+
+void
+Tracer::closeSpanAtClock(std::size_t index)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    CPULLM_ASSERT(index < spans_.size(), "bad span index");
+    SpanRecord& r = spans_[index];
+    if (!r.open)
+        return;
+    r.end = std::max(r.start, now_);
+    r.open = false;
+}
+
+std::size_t
+Tracer::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+}
+
+std::size_t
+Tracer::openSpanCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t n = 0;
+    for (const auto& s : spans_)
+        if (s.open)
+            ++n;
+    return n;
+}
+
+std::vector<SpanRecord>
+Tracer::spans() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+}
+
+std::vector<CounterSample>
+Tracer::counterSamples() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+std::vector<InstantRecord>
+Tracer::instants() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return instants_;
+}
+
+std::vector<SpanRecord>
+Tracer::spansOnTrack(TrackId track) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanRecord> out;
+    for (const auto& s : spans_) {
+        if (s.track.pid == track.pid && s.track.tid == track.tid)
+            out.push_back(s);
+    }
+    return out;
+}
+
+std::size_t
+Tracer::trackCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return threads_.size();
+}
+
+void
+Tracer::writeChromeTrace(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ',';
+        first = false;
+    };
+
+    // Track metadata so Perfetto shows names, not bare pid/tid.
+    for (const auto& [pname, pid] : processes_) {
+        sep();
+        os << strformat(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%lld,"
+            "\"args\":{\"name\":%s}}",
+            static_cast<long long>(pid),
+            jsonQuote(pname).c_str());
+    }
+    for (const auto& [key, tid] : threads_) {
+        sep();
+        os << strformat(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%lld,"
+            "\"tid\":%lld,\"args\":{\"name\":%s}}",
+            static_cast<long long>(key.first),
+            static_cast<long long>(tid),
+            jsonQuote(key.second).c_str());
+        // Keep tracks in creation order in the Perfetto UI.
+        sep();
+        os << strformat(
+            "{\"name\":\"thread_sort_index\",\"ph\":\"M\","
+            "\"pid\":%lld,\"tid\":%lld,"
+            "\"args\":{\"sort_index\":%lld}}",
+            static_cast<long long>(key.first),
+            static_cast<long long>(tid),
+            static_cast<long long>(tid));
+    }
+
+    // Timed events, sorted by timestamp. Ties break longer-first so
+    // parent spans precede their children.
+    struct Timed
+    {
+        double ts;
+        double tiebreak;
+        std::string json;
+    };
+    std::vector<Timed> timed;
+    timed.reserve(spans_.size() + instants_.size() +
+                  counters_.size());
+
+    for (const auto& s : spans_) {
+        const double end = s.open ? std::max(s.start, now_) : s.end;
+        std::string args;
+        for (const auto& [k, v] : s.args) {
+            if (!args.empty())
+                args += ',';
+            args += jsonQuote(k) + ":" + jsonQuote(v);
+        }
+        timed.push_back(
+            {s.start, -(end - s.start),
+             strformat("{\"name\":%s,\"cat\":%s,\"ph\":\"X\","
+                       "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%lld,"
+                       "\"tid\":%lld,\"args\":{%s}}",
+                       jsonQuote(s.name).c_str(),
+                       jsonQuote(s.category.empty() ? "span"
+                                                    : s.category)
+                           .c_str(),
+                       s.start * 1e6, (end - s.start) * 1e6,
+                       static_cast<long long>(s.track.pid),
+                       static_cast<long long>(s.track.tid),
+                       args.c_str())});
+    }
+    for (const auto& i : instants_) {
+        timed.push_back(
+            {i.time, 0.0,
+             strformat("{\"name\":%s,\"ph\":\"i\",\"ts\":%.3f,"
+                       "\"pid\":%lld,\"tid\":%lld,\"s\":\"t\"}",
+                       jsonQuote(i.name).c_str(), i.time * 1e6,
+                       static_cast<long long>(i.track.pid),
+                       static_cast<long long>(i.track.tid))});
+    }
+    for (const auto& c : counters_) {
+        std::string args;
+        for (const auto& [k, v] : c.series) {
+            if (!args.empty())
+                args += ',';
+            args += jsonQuote(k) + ":" + strformat("%.6f", v);
+        }
+        timed.push_back(
+            {c.time, 0.0,
+             strformat("{\"name\":%s,\"ph\":\"C\",\"ts\":%.3f,"
+                       "\"pid\":%lld,\"args\":{%s}}",
+                       jsonQuote(c.name).c_str(), c.time * 1e6,
+                       static_cast<long long>(c.pid),
+                       args.c_str())});
+    }
+
+    std::stable_sort(timed.begin(), timed.end(),
+                     [](const Timed& a, const Timed& b) {
+                         if (a.ts != b.ts)
+                             return a.ts < b.ts;
+                         return a.tiebreak < b.tiebreak;
+                     });
+    for (const auto& t : timed) {
+        sep();
+        os << t.json;
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+bool
+Tracer::writeChromeTraceFile(const std::string& path) const
+{
+    std::ofstream ofs(path);
+    if (!ofs) {
+        warn("could not open '", path, "' for writing");
+        return false;
+    }
+    writeChromeTrace(ofs);
+    return static_cast<bool>(ofs);
+}
+
+} // namespace obs
+} // namespace cpullm

@@ -1,0 +1,206 @@
+#ifndef CPULLM_OBS_SPAN_H
+#define CPULLM_OBS_SPAN_H
+
+/**
+ * @file
+ * Span-scoped tracing for the simulation stack.
+ *
+ * A Tracer collects spans (named, categorized time ranges on named
+ * tracks), instant markers, and counter samples, and exports the lot
+ * as Chrome-trace JSON loadable in Perfetto / chrome://tracing. All
+ * timestamps are *simulated* seconds: components pass the virtual
+ * times their timing models produce, so one trace can interleave the
+ * serving simulator, the engine's operator timeline, and the GPU
+ * offload model on a common clock. Nested spans on the same track
+ * render stacked in Perfetto as long as children lie inside their
+ * parent's time range.
+ *
+ * Span is an RAII handle: annotate it while open, close it with an
+ * explicit end time, or let the destructor close it at the tracer's
+ * current clock. Collection is thread-safe; handles stay valid while
+ * other threads append.
+ */
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cpullm {
+namespace obs {
+
+/** One horizontal track (Perfetto: process/thread pair). */
+struct TrackId
+{
+    std::int64_t pid = 1;
+    std::int64_t tid = 1;
+};
+
+/** A closed (or still-open) span as stored by the tracer. */
+struct SpanRecord
+{
+    std::string name;
+    std::string category;
+    TrackId track;
+    double start = 0.0; ///< seconds
+    double end = 0.0;   ///< seconds; == start while open
+    bool open = false;
+    /** Key/value annotations, exported into the event's "args". */
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/** One sample of a (possibly multi-series) counter track. */
+struct CounterSample
+{
+    std::string name; ///< counter track name ("dram_bandwidth")
+    std::int64_t pid = 1;
+    double time = 0.0;
+    std::vector<std::pair<std::string, double>> series;
+};
+
+/** A zero-duration marker. */
+struct InstantRecord
+{
+    std::string name;
+    TrackId track;
+    double time = 0.0;
+};
+
+class Tracer;
+
+/**
+ * Move-only RAII handle to an open span. A default-constructed Span
+ * is inert (safe to annotate/close: no-ops), so call sites can trace
+ * unconditionally against an optional tracer.
+ */
+class Span
+{
+  public:
+    Span() = default;
+    Span(Span&& o) noexcept;
+    Span& operator=(Span&& o) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+    /** Attach a string/numeric annotation (exported via "args"). */
+    void annotate(const std::string& key, const std::string& value);
+    void annotate(const std::string& key, double value);
+
+    /** Close at @p end_time (must be >= the span's start). */
+    void close(double end_time);
+
+    /** Close at the tracer's current clock. */
+    void close();
+
+    bool active() const { return tracer_ != nullptr; }
+
+  private:
+    friend class Tracer;
+    Span(Tracer* tracer, std::size_t index)
+        : tracer_(tracer), index_(index)
+    {
+    }
+
+    Tracer* tracer_ = nullptr;
+    std::size_t index_ = 0;
+};
+
+/** Thread-safe collector of spans/instants/counters; see file docs. */
+class Tracer
+{
+  public:
+    Tracer() = default;
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /**
+     * Register (or fetch) the track named @p process / @p thread.
+     * Tracks are created on first use; the pid/tid numbering is an
+     * implementation detail, the names are what Perfetto shows.
+     */
+    TrackId track(const std::string& process,
+                  const std::string& thread);
+
+    /** @name Simulated clock (used when spans close implicitly) */
+    /// @{
+    void setTime(double t);
+    double time() const;
+    /// @}
+
+    /** Open a span starting at @p start_time. */
+    Span begin(const std::string& name, const std::string& category,
+               TrackId track, double start_time);
+
+    /** Open a span starting at the current clock. */
+    Span begin(const std::string& name, const std::string& category,
+               TrackId track);
+
+    /** Record an already-closed span. */
+    void complete(const std::string& name, const std::string& category,
+                  TrackId track, double start, double duration);
+
+    /** Record a zero-duration marker. */
+    void instant(const std::string& name, TrackId track, double time);
+
+    /** Record one sample of a single-series counter track. */
+    void counter(const std::string& name, std::int64_t pid,
+                 double time, double value);
+
+    /** Record one sample of a multi-series counter track. */
+    void counter(const std::string& name, std::int64_t pid,
+                 double time,
+                 std::vector<std::pair<std::string, double>> series);
+
+    /** @name Introspection (tests, report generation) */
+    /// @{
+    std::size_t spanCount() const;
+    std::size_t openSpanCount() const;
+    /** Snapshot of the recorded spans (copies under the lock). */
+    std::vector<SpanRecord> spans() const;
+    std::vector<CounterSample> counterSamples() const;
+    std::vector<InstantRecord> instants() const;
+    /** Spans recorded on @p track, in recording order. */
+    std::vector<SpanRecord> spansOnTrack(TrackId track) const;
+    /** Number of distinct (pid, tid) tracks registered. */
+    std::size_t trackCount() const;
+    /// @}
+
+    /**
+     * Write the whole trace as Chrome-trace JSON: process/thread
+     * metadata ("M") first, then complete ("X"), instant ("i") and
+     * counter ("C") events sorted by timestamp. Open spans are
+     * exported as if closed at the tracer clock.
+     */
+    void writeChromeTrace(std::ostream& os) const;
+
+    /** Write to a file path; false on I/O failure. */
+    bool writeChromeTraceFile(const std::string& path) const;
+
+  private:
+    friend class Span;
+
+    void annotateSpan(std::size_t index, const std::string& key,
+                      const std::string& value);
+    void closeSpan(std::size_t index, double end_time);
+    void closeSpanAtClock(std::size_t index);
+
+    mutable std::mutex mu_;
+    double now_ = 0.0;
+    std::vector<SpanRecord> spans_;
+    std::vector<CounterSample> counters_;
+    std::vector<InstantRecord> instants_;
+    /** process name -> pid (1-based, creation order). */
+    std::map<std::string, std::int64_t> processes_;
+    /** (pid, thread name) -> tid (1-based per process). */
+    std::map<std::pair<std::int64_t, std::string>, std::int64_t>
+        threads_;
+};
+
+} // namespace obs
+} // namespace cpullm
+
+#endif // CPULLM_OBS_SPAN_H

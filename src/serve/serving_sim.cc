@@ -5,8 +5,10 @@
 #include <map>
 #include <memory>
 
+#include "stats/stats.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace cpullm {
 namespace serve {
@@ -56,25 +58,6 @@ gpuLatencyFn(const hw::GpuConfig& gpu_config,
     };
 }
 
-namespace {
-
-double
-percentile(std::vector<double> values, double p)
-{
-    CPULLM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
-    if (values.empty())
-        return 0.0;
-    std::sort(values.begin(), values.end());
-    const double rank = p / 100.0 *
-                        static_cast<double>(values.size() - 1);
-    const auto lo = static_cast<std::size_t>(std::floor(rank));
-    const auto hi = static_cast<std::size_t>(std::ceil(rank));
-    const double frac = rank - static_cast<double>(lo);
-    return values[lo] * (1.0 - frac) + values[hi] * frac;
-}
-
-} // namespace
-
 double
 ServingResult::tokenThroughput(std::int64_t gen_len_per_request) const
 {
@@ -91,7 +74,7 @@ ServingResult::ttftPercentile(double p) const
     v.reserve(requests.size());
     for (const auto& r : requests)
         v.push_back(r.ttft());
-    return percentile(std::move(v), p);
+    return stats::percentile(std::move(v), p);
 }
 
 double
@@ -101,11 +84,12 @@ ServingResult::e2ePercentile(double p) const
     v.reserve(requests.size());
     for (const auto& r : requests)
         v.push_back(r.e2e());
-    return percentile(std::move(v), p);
+    return stats::percentile(std::move(v), p);
 }
 
 ServingResult
-simulateServing(const ServingConfig& cfg, const LatencyFn& device)
+simulateServing(const ServingConfig& cfg, const LatencyFn& device,
+                obs::Tracer* tracer)
 {
     CPULLM_ASSERT(cfg.arrivalRate > 0.0, "arrival rate must be > 0");
     CPULLM_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
@@ -183,6 +167,8 @@ simulateServing(const ServingConfig& cfg, const LatencyFn& device)
     result.meanBatchSize =
         batch_count > 0.0 ? batch_sum / batch_count : 0.0;
     result.requests = std::move(requests);
+    if (tracer)
+        traceServing(*tracer, result, "static batching");
     return result;
 }
 
@@ -235,7 +221,8 @@ cpuStepCosts(const hw::PlatformConfig& platform,
 
 ServingResult
 simulateContinuousBatching(const ServingConfig& cfg,
-                           const StepCosts& costs)
+                           const StepCosts& costs,
+                           obs::Tracer* tracer)
 {
     CPULLM_ASSERT(cfg.arrivalRate > 0.0, "arrival rate must be > 0");
     CPULLM_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
@@ -334,7 +321,186 @@ simulateContinuousBatching(const ServingConfig& cfg,
     result.meanBatchSize =
         batch_steps > 0.0 ? batch_sum / batch_steps : 0.0;
     result.requests = std::move(requests);
+    if (tracer)
+        traceServing(*tracer, result, "continuous batching");
     return result;
+}
+
+void
+traceServing(obs::Tracer& tracer, const ServingResult& result,
+             const std::string& policy)
+{
+    // One Perfetto track per request: a request span wrapping queue /
+    // prefill / decode child spans plus an arrival marker.
+    for (std::size_t i = 0; i < result.requests.size(); ++i) {
+        const RequestStats& r = result.requests[i];
+        const obs::TrackId track = tracer.track(
+            "requests", strformat("req %04zu", i));
+        tracer.instant("arrival", track, r.arrival);
+        obs::Span req = tracer.begin(
+            strformat("request %zu", i), "request", track, r.arrival);
+        req.annotate("batch_size",
+                     static_cast<double>(r.batchSize));
+        req.annotate("ttft_s", r.ttft());
+        req.annotate("e2e_s", r.e2e());
+        tracer.complete("queue", "queue", track, r.arrival,
+                        r.queueing());
+        tracer.complete("prefill", "prefill", track, r.start,
+                        r.firstToken - r.start);
+        tracer.complete("decode", "decode", track, r.firstToken,
+                        r.finish - r.firstToken);
+        req.close(r.finish);
+    }
+
+    // Server busy track: merged [start, finish] execution intervals.
+    const obs::TrackId server =
+        tracer.track("serving (" + policy + ")", "server");
+    std::vector<std::pair<double, double>> exec;
+    exec.reserve(result.requests.size());
+    for (const auto& r : result.requests)
+        exec.emplace_back(r.start, r.finish);
+    std::sort(exec.begin(), exec.end());
+    std::size_t batch_no = 0;
+    for (std::size_t i = 0; i < exec.size();) {
+        double lo = exec[i].first;
+        double hi = exec[i].second;
+        std::size_t j = i + 1;
+        while (j < exec.size() && exec[j].first <= hi) {
+            hi = std::max(hi, exec[j].second);
+            ++j;
+        }
+        tracer.complete(
+            strformat("busy %zu (%zu reqs)", batch_no, j - i),
+            "busy", server, lo, hi - lo);
+        ++batch_no;
+        i = j;
+    }
+
+    // Counter tracks: queue depth (arrived, not yet launched) and
+    // running requests (launched, not yet finished) over time.
+    struct Edge
+    {
+        double time;
+        int queue_delta;
+        int running_delta;
+    };
+    std::vector<Edge> edges;
+    edges.reserve(result.requests.size() * 3);
+    for (const auto& r : result.requests) {
+        edges.push_back({r.arrival, +1, 0});
+        edges.push_back({r.start, -1, +1});
+        edges.push_back({r.finish, 0, -1});
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& a, const Edge& b) {
+                  return a.time < b.time;
+              });
+    int queued = 0;
+    int running = 0;
+    std::size_t k = 0;
+    while (k < edges.size()) {
+        const double t = edges[k].time;
+        while (k < edges.size() && edges[k].time == t) {
+            queued += edges[k].queue_delta;
+            running += edges[k].running_delta;
+            ++k;
+        }
+        tracer.counter("queue_depth", server.pid, t,
+                       static_cast<double>(queued));
+        tracer.counter("running_requests", server.pid, t,
+                       static_cast<double>(running));
+    }
+}
+
+obs::RunReport
+buildRunReport(const ServingResult& result, const ServingConfig& cfg,
+               const std::string& platform_label,
+               const std::string& model_name,
+               const perf::Workload& per_request,
+               const std::string& policy, stats::Registry& reg)
+{
+    // Histogram bounds: [0, 4x the observed p100] keeps every sample
+    // in range while giving the buckets useful resolution.
+    auto register_hist = [&](const std::string& name,
+                             const std::string& desc,
+                             auto&& sample_of) {
+        double hi = 0.0;
+        for (const auto& r : result.requests)
+            hi = std::max(hi, sample_of(r));
+        stats::Histogram& h = reg.histogram(
+            name, 0.0, std::max(hi, 1e-9) * 1.000001, 512, desc);
+        for (const auto& r : result.requests)
+            h.sample(sample_of(r));
+        return &h;
+    };
+
+    const stats::Histogram* ttft = register_hist(
+        "serve.ttft", "arrival-relative time to first token, s",
+        [](const RequestStats& r) { return r.ttft(); });
+    const stats::Histogram* e2e = register_hist(
+        "serve.e2e", "arrival-relative request latency, s",
+        [](const RequestStats& r) { return r.e2e(); });
+    const stats::Histogram* queueing = register_hist(
+        "serve.queueing", "time from arrival to batch launch, s",
+        [](const RequestStats& r) { return r.queueing(); });
+
+    reg.scalar("serve.requests", "requests served")
+        .set(static_cast<double>(result.requests.size()));
+    reg.scalar("serve.makespan", "simulated wall time, s")
+        .set(result.makespan);
+    reg.scalar("serve.utilization", "server busy fraction")
+        .set(result.utilization());
+    reg.scalar("serve.mean_batch", "mean launched batch size")
+        .set(result.meanBatchSize);
+
+    obs::RunReport report;
+    report.kind = "serving";
+    report.platform = platform_label;
+    report.model = model_name;
+    report.setWorkload(per_request);
+    report.info["policy"] = policy;
+    report.metrics["arrival_rate_rps"] = cfg.arrivalRate;
+    report.metrics["max_batch"] =
+        static_cast<double>(cfg.maxBatch);
+    report.metrics["requests"] =
+        static_cast<double>(result.requests.size());
+    report.metrics["makespan_s"] = result.makespan;
+    report.metrics["utilization"] = result.utilization();
+    report.metrics["mean_batch_size"] = result.meanBatchSize;
+    report.metrics["tokens_per_s"] =
+        result.tokenThroughput(per_request.genLen);
+
+    // Percentiles come from the upgraded Registry histograms, so the
+    // report and `stats dump` can never disagree.
+    auto quantiles = [&](const std::string& prefix,
+                         const stats::Histogram& h) {
+        report.metrics[prefix + "_p50_s"] = h.quantile(50.0);
+        report.metrics[prefix + "_p95_s"] = h.quantile(95.0);
+        report.metrics[prefix + "_p99_s"] = h.quantile(99.0);
+    };
+    quantiles("ttft", *ttft);
+    quantiles("e2e", *e2e);
+    quantiles("queueing", *queueing);
+
+    // TPOT per request is (e2e - ttft) / (genLen - 1).
+    if (per_request.genLen > 1) {
+        std::vector<double> tpot;
+        tpot.reserve(result.requests.size());
+        for (const auto& r : result.requests)
+            tpot.push_back((r.e2e() - r.ttft()) /
+                           static_cast<double>(per_request.genLen -
+                                               1));
+        double hi = 0.0;
+        for (double v : tpot)
+            hi = std::max(hi, v);
+        stats::Histogram& h = reg.histogram(
+            "serve.tpot", 0.0, std::max(hi, 1e-9) * 1.000001, 512,
+            "per-request time per output token, s");
+        for (double v : tpot)
+            h.sample(v);
+        quantiles("tpot", h);
+    }
+    return report;
 }
 
 } // namespace serve

@@ -13,13 +13,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "gpu/gpu_model.h"
 #include "hw/platform.h"
 #include "model/spec.h"
+#include "obs/run_report.h"
+#include "obs/span.h"
 #include "perf/cpu_model.h"
 #include "perf/workload.h"
+#include "stats/stats.h"
 
 namespace cpullm {
 namespace serve {
@@ -106,9 +110,15 @@ struct ServingResult
  * The server launches a batch whenever it is idle and either
  * maxBatch requests are waiting or the oldest waiting request has
  * aged past maxWait (and at least one request is waiting).
+ *
+ * With a @p tracer, the run emits one Perfetto track per request
+ * (queue / prefill / decode spans inside a request span), a server
+ * busy track, and queue-depth / running-request counter tracks; see
+ * traceServing().
  */
 ServingResult simulateServing(const ServingConfig& cfg,
-                              const LatencyFn& device);
+                              const LatencyFn& device,
+                              obs::Tracer* tracer = nullptr);
 
 /** @name Continuous batching (Orca-style iteration scheduling) */
 /// @{
@@ -135,9 +145,44 @@ StepCosts cpuStepCosts(const hw::PlatformConfig& platform,
  * at iteration boundaries as soon as a slot is free and leave the
  * moment they finish, instead of waiting for whole static batches.
  * maxWait is ignored (admission is continuous).
+ *
+ * Tracing as in simulateServing().
  */
 ServingResult simulateContinuousBatching(const ServingConfig& cfg,
-                                         const StepCosts& costs);
+                                         const StepCosts& costs,
+                                         obs::Tracer* tracer = nullptr);
+/// @}
+
+/** @name Observability */
+/// @{
+
+/**
+ * Emit the request-lifecycle view of a finished simulation into
+ * @p tracer: per request one "requests" track holding a request span
+ * with nested queue ([arrival, start]) / prefill ([start, first
+ * token]) / decode ([first token, finish]) spans plus an arrival
+ * marker; a "serving" process with the server's merged busy
+ * intervals; and counter tracks for queue depth and running
+ * requests. @p policy labels the scheduler ("static batching", ...).
+ */
+void traceServing(obs::Tracer& tracer, const ServingResult& result,
+                  const std::string& policy);
+
+/**
+ * Build the machine-readable run report of a serving simulation.
+ * TTFT / E2E / queueing percentiles (p50/p95/p99) are sourced from
+ * stats::Registry histograms registered into @p reg ("serve.ttft",
+ * "serve.e2e", "serve.queueing", seconds), alongside throughput,
+ * utilization, and batch-size metrics.
+ */
+obs::RunReport buildRunReport(const ServingResult& result,
+                              const ServingConfig& cfg,
+                              const std::string& platform_label,
+                              const std::string& model_name,
+                              const perf::Workload& per_request,
+                              const std::string& policy,
+                              stats::Registry& reg);
+
 /// @}
 
 } // namespace serve

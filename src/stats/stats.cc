@@ -9,6 +9,21 @@
 namespace cpullm {
 namespace stats {
 
+double
+percentile(std::vector<double> values, double p)
+{
+    CPULLM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 *
+                        static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
 void
 Distribution::sample(double v)
 {
@@ -89,6 +104,28 @@ Histogram::bucketHigh(std::size_t i) const
     return bucketLow(i + 1);
 }
 
+double
+Histogram::quantile(double p) const
+{
+    CPULLM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    if (count_ == 0)
+        return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(count_);
+    double cum = static_cast<double>(underflow_);
+    if (rank <= cum)
+        return lo_;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const double n = static_cast<double>(buckets_[i]);
+        if (rank <= cum + n && n > 0.0) {
+            const double frac = (rank - cum) / n;
+            return bucketLow(i) +
+                   frac * (bucketHigh(i) - bucketLow(i));
+        }
+        cum += n;
+    }
+    return hi_;
+}
+
 Scalar&
 Registry::scalar(const std::string& name, const std::string& desc)
 {
@@ -113,6 +150,19 @@ Registry::distribution(const std::string& name, const std::string& desc)
     return *e.dist;
 }
 
+Histogram&
+Registry::histogram(const std::string& name, double lo, double hi,
+                    std::size_t buckets, const std::string& desc)
+{
+    Entry& e = entries_[name];
+    if (!e.hist) {
+        e.hist = std::make_unique<Histogram>(lo, hi, buckets);
+        if (!desc.empty())
+            e.desc = desc;
+    }
+    return *e.hist;
+}
+
 bool
 Registry::has(const std::string& name) const
 {
@@ -128,6 +178,45 @@ Registry::getScalar(const std::string& name) const
     return *it->second.scalar;
 }
 
+const Distribution&
+Registry::getDistribution(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    CPULLM_ASSERT(it != entries_.end() && it->second.dist,
+                  "unknown distribution stat '", name, "'");
+    return *it->second.dist;
+}
+
+const Histogram&
+Registry::getHistogram(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    CPULLM_ASSERT(it != entries_.end() && it->second.hist,
+                  "unknown histogram stat '", name, "'");
+    return *it->second.hist;
+}
+
+const std::string&
+Registry::description(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    CPULLM_ASSERT(it != entries_.end(), "unknown stat '", name, "'");
+    return it->second.desc;
+}
+
+StatKind
+Registry::kind(const std::string& name) const
+{
+    auto it = entries_.find(name);
+    CPULLM_ASSERT(it != entries_.end(), "unknown stat '", name, "'");
+    if (it->second.scalar)
+        return StatKind::Scalar;
+    if (it->second.dist)
+        return StatKind::Distribution;
+    CPULLM_ASSERT(it->second.hist, "empty stat entry '", name, "'");
+    return StatKind::Histogram;
+}
+
 void
 Registry::resetAll()
 {
@@ -136,6 +225,8 @@ Registry::resetAll()
             e.scalar->reset();
         if (e.dist)
             e.dist->reset();
+        if (e.hist)
+            e.hist->reset();
     }
 }
 
@@ -154,6 +245,16 @@ Registry::dump(std::ostream& os) const
                             formatNumber(e.dist->max(), 6).c_str(),
                             static_cast<unsigned long long>(
                                 e.dist->count()));
+        } else if (e.hist) {
+            os << strformat(
+                "%-48s p50=%s p95=%s p99=%s n=%llu (uf=%llu of=%llu)",
+                name.c_str(),
+                formatNumber(e.hist->quantile(50.0), 6).c_str(),
+                formatNumber(e.hist->quantile(95.0), 6).c_str(),
+                formatNumber(e.hist->quantile(99.0), 6).c_str(),
+                static_cast<unsigned long long>(e.hist->count()),
+                static_cast<unsigned long long>(e.hist->underflow()),
+                static_cast<unsigned long long>(e.hist->overflow()));
         }
         if (!e.desc.empty())
             os << "  # " << e.desc;

@@ -18,6 +18,13 @@
 namespace cpullm {
 namespace stats {
 
+/**
+ * Linearly interpolated percentile (0-100) over raw samples; the one
+ * definition shared by the serving simulator, the metrics exporters,
+ * and the run reports. Returns 0 for an empty sample set.
+ */
+double percentile(std::vector<double> values, double p);
+
 /** A named scalar accumulator (sum; also tracks sample count). */
 class Scalar
 {
@@ -90,6 +97,16 @@ class Histogram
     double bucketLow(std::size_t i) const;
     double bucketHigh(std::size_t i) const;
 
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+
+    /**
+     * Estimated percentile (0-100), linearly interpolated within the
+     * containing bucket. Underflow samples clamp to lo(), overflow
+     * samples to hi(). Returns 0 with no samples.
+     */
+    double quantile(double p) const;
+
   private:
     double lo_;
     double hi_;
@@ -98,6 +115,9 @@ class Histogram
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
 };
+
+/** Which concrete statistic a Registry entry holds. */
+enum class StatKind { Scalar, Distribution, Histogram };
 
 /**
  * Owns named statistics. Names are hierarchical, dot-separated
@@ -113,11 +133,32 @@ class Registry
     Distribution& distribution(const std::string& name,
                                const std::string& desc = "");
 
+    /**
+     * Register (or fetch) a histogram by name. Bounds are fixed at
+     * first registration; later calls with the same name return the
+     * existing histogram and ignore the bounds.
+     */
+    Histogram& histogram(const std::string& name, double lo, double hi,
+                         std::size_t buckets,
+                         const std::string& desc = "");
+
     /** True if a statistic with this name exists. */
     bool has(const std::string& name) const;
 
     /** Look up a scalar; panics if absent (internal error). */
     const Scalar& getScalar(const std::string& name) const;
+
+    /** Look up a distribution; panics if absent (internal error). */
+    const Distribution& getDistribution(const std::string& name) const;
+
+    /** Look up a histogram; panics if absent (internal error). */
+    const Histogram& getHistogram(const std::string& name) const;
+
+    /** Description registered with a statistic ("" if none). */
+    const std::string& description(const std::string& name) const;
+
+    /** Kind of a registered statistic; panics if absent. */
+    StatKind kind(const std::string& name) const;
 
     /** Reset all statistics to zero. */
     void resetAll();
@@ -134,6 +175,7 @@ class Registry
         std::string desc;
         std::unique_ptr<Scalar> scalar;
         std::unique_ptr<Distribution> dist;
+        std::unique_ptr<Histogram> hist;
     };
 
     std::map<std::string, Entry> entries_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -62,18 +63,22 @@ void
 Timeline::writeChromeTrace(std::ostream& os) const
 {
     os << "{\"traceEvents\":[";
-    bool first = true;
+    // Process/thread metadata so Perfetto shows names instead of
+    // bare pid/tid numbers.
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"args\":{\"name\":\"cpullm\"}},"
+          "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+          "\"tid\":1,\"args\":{\"name\":\"operators\"}}";
     for (const auto& e : events_) {
-        if (!first)
-            os << ',';
-        first = false;
+        os << ',';
         os << strformat(
-            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "{\"name\":%s,\"cat\":%s,\"ph\":\"X\","
             "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,"
-            "\"args\":{\"bound_by\":\"%s\",\"gflops\":%.3f,"
+            "\"args\":{\"bound_by\":%s,\"gflops\":%.3f,"
             "\"mbytes\":%.3f}}",
-            e.name.c_str(), e.category.c_str(), e.startTime * 1e6,
-            e.duration * 1e6, e.boundBy.c_str(), e.flops / 1e9,
+            jsonQuote(e.name).c_str(), jsonQuote(e.category).c_str(),
+            e.startTime * 1e6, e.duration * 1e6,
+            jsonQuote(e.boundBy).c_str(), e.flops / 1e9,
             static_cast<double>(e.bytes) / 1e6);
     }
     os << "]}";

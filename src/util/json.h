@@ -1,0 +1,31 @@
+#ifndef CPULLM_UTIL_JSON_H
+#define CPULLM_UTIL_JSON_H
+
+/**
+ * @file
+ * Minimal JSON helpers: string escaping for the writers (trace export,
+ * run reports) and a dependency-free syntax validator used by the
+ * self-check tests so exported traces are guaranteed loadable by
+ * Perfetto / chrome://tracing without a Python toolchain.
+ */
+
+#include <string>
+
+namespace cpullm {
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string& s);
+
+/** Quote and escape: returns "\"...\"". */
+std::string jsonQuote(const std::string& s);
+
+/**
+ * True if @p text is one syntactically valid JSON value (object,
+ * array, string, number, true/false/null) with nothing but
+ * whitespace after it. Accepts strict RFC 8259 JSON only.
+ */
+bool jsonValid(const std::string& text);
+
+} // namespace cpullm
+
+#endif // CPULLM_UTIL_JSON_H

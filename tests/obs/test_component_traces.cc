@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "engine/inference_engine.h"
+#include "gpu/gpu_model.h"
+#include "hw/gpu.h"
+#include "model/spec.h"
+#include "obs/span.h"
+#include "perf/workload.h"
+#include "util/json.h"
+
+namespace cpullm {
+namespace obs {
+namespace {
+
+std::string
+exportTrace(const Tracer& tr)
+{
+    std::ostringstream os;
+    tr.writeChromeTrace(os);
+    return os.str();
+}
+
+perf::Workload
+tinyWorkload()
+{
+    perf::Workload w = perf::paperWorkload(1);
+    w.genLen = 3;
+    return w;
+}
+
+TEST(EngineTrace, EmitsRequestPhaseAndOperatorSpans)
+{
+    engine::CpuInferenceEngine eng(hw::sprDefaultPlatform(),
+                                   model::opt13b());
+    Tracer tracer;
+    eng.setTracer(&tracer);
+    EXPECT_EQ(eng.tracer(), &tracer);
+    const auto r = eng.infer(tinyWorkload());
+
+    EXPECT_EQ(tracer.openSpanCount(), 0u);
+    bool request = false, prefill = false, decode = false,
+         layer_op = false;
+    for (const auto& s : tracer.spans()) {
+        if (s.name.rfind("request", 0) == 0) {
+            request = true;
+            // The request span covers the modeled latency (the
+            // per-operator sum may drop barrier/UPI residuals).
+            EXPECT_NEAR(s.end - s.start, r.timing.e2eLatency,
+                        r.timing.e2eLatency * 0.10 + 1e-9);
+        }
+        if (s.category == "prefill")
+            prefill = true;
+        if (s.category == "decode")
+            decode = true;
+        if (s.category == "gemm")
+            layer_op = true;
+    }
+    EXPECT_TRUE(request);
+    EXPECT_TRUE(prefill);
+    EXPECT_TRUE(decode);
+    EXPECT_TRUE(layer_op);
+
+    bool bandwidth = false;
+    for (const auto& c : tracer.counterSamples())
+        if (c.name == "bandwidth_GBps")
+            bandwidth = true;
+    EXPECT_TRUE(bandwidth);
+    EXPECT_TRUE(jsonValid(exportTrace(tracer)));
+}
+
+TEST(EngineTrace, NoTracerNoSpans)
+{
+    engine::CpuInferenceEngine eng(hw::sprDefaultPlatform(),
+                                   model::opt13b());
+    EXPECT_EQ(eng.tracer(), nullptr);
+    eng.infer(tinyWorkload()); // must not crash
+}
+
+TEST(EngineTrace, AdvancesTracerClock)
+{
+    engine::CpuInferenceEngine eng(hw::sprDefaultPlatform(),
+                                   model::opt13b());
+    Tracer tracer;
+    eng.setTracer(&tracer);
+    const auto r = eng.infer(tinyWorkload());
+    EXPECT_NEAR(tracer.time(), r.timing.e2eLatency,
+                r.timing.e2eLatency * 0.10 + 1e-9);
+}
+
+TEST(GpuTrace, ResidentRunHasComputeButNoPcieSpans)
+{
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    Tracer tracer;
+    const auto r = a100.run(model::opt13b(), tinyWorkload(), &tracer);
+    ASSERT_EQ(r.placement, gpu::GpuPlacement::Resident);
+
+    bool compute = false, pcie = false;
+    for (const auto& s : tracer.spans()) {
+        if (s.category == "gpu_compute")
+            compute = true;
+        if (s.category == "pcie")
+            pcie = true;
+    }
+    EXPECT_TRUE(compute);
+    EXPECT_FALSE(pcie);
+    EXPECT_TRUE(jsonValid(exportTrace(tracer)));
+}
+
+TEST(GpuTrace, OffloadRunEmitsPcieAndCpuAttentionTracks)
+{
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    Tracer tracer;
+    const auto r = a100.run(model::opt66b(), tinyWorkload(), &tracer);
+    ASSERT_EQ(r.placement, gpu::GpuPlacement::Offloaded);
+
+    bool pcie = false, cpu_attention = false;
+    for (const auto& s : tracer.spans()) {
+        if (s.category == "pcie")
+            pcie = true;
+        if (s.category == "cpu_attention")
+            cpu_attention = true;
+    }
+    EXPECT_TRUE(pcie);
+    EXPECT_TRUE(cpu_attention);
+
+    bool visible_fraction = false;
+    for (const auto& c : tracer.counterSamples())
+        if (c.name == "pcie_visible_fraction")
+            visible_fraction = true;
+    EXPECT_TRUE(visible_fraction);
+
+    const std::string json = exportTrace(tracer);
+    EXPECT_TRUE(jsonValid(json));
+    EXPECT_NE(json.find("pcie transfer"), std::string::npos);
+    EXPECT_NE(json.find("gpu compute"), std::string::npos);
+}
+
+TEST(GpuTrace, TracerDoesNotChangeTiming)
+{
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    Tracer tracer;
+    const auto with = a100.run(model::opt66b(), tinyWorkload(),
+                               &tracer);
+    const auto without = a100.run(model::opt66b(), tinyWorkload());
+    EXPECT_DOUBLE_EQ(with.timing.e2eLatency,
+                     without.timing.e2eLatency);
+}
+
+TEST(SharedClock, EngineAndGpuTracesInterleaveOnOneTimeline)
+{
+    Tracer tracer;
+    engine::CpuInferenceEngine eng(hw::sprDefaultPlatform(),
+                                   model::opt13b());
+    eng.setTracer(&tracer);
+    eng.infer(tinyWorkload());
+    const double after_engine = tracer.time();
+
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    a100.run(model::opt13b(), tinyWorkload(), &tracer);
+    EXPECT_GT(tracer.time(), after_engine);
+    EXPECT_TRUE(jsonValid(exportTrace(tracer)));
+}
+
+} // namespace
+} // namespace obs
+} // namespace cpullm

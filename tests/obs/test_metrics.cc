@@ -1,0 +1,83 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.h"
+
+namespace cpullm {
+namespace obs {
+namespace {
+
+stats::Registry
+sampleRegistry()
+{
+    stats::Registry reg;
+    reg.scalar("serve.requests", "requests served") += 100.0;
+    auto& d = reg.distribution("serve.batch", "launched batch sizes");
+    d.sample(1.0);
+    d.sample(3.0);
+    auto& h = reg.histogram("serve.ttft", 0.0, 10.0, 100,
+                            "time to first token, s");
+    for (int i = 0; i < 100; ++i)
+        h.sample(i * 0.05); // 0 .. 4.95
+    return reg;
+}
+
+TEST(RegistryJson, ValidAndComplete)
+{
+    const auto reg = sampleRegistry();
+    std::ostringstream os;
+    writeRegistryJson(os, reg);
+    const std::string json = os.str();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"serve.requests\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"scalar\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"distribution\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("time to first token, s"), std::string::npos);
+}
+
+TEST(RegistryJson, EmptyRegistryIsEmptyObject)
+{
+    stats::Registry reg;
+    std::ostringstream os;
+    writeRegistryJson(os, reg);
+    EXPECT_EQ(os.str(), "{}");
+}
+
+TEST(RegistryCsv, HeaderAndOneRowPerStat)
+{
+    const auto reg = sampleRegistry();
+    std::ostringstream os;
+    writeRegistryCsv(os, reg);
+    const std::string csv = os.str();
+    EXPECT_EQ(csv.rfind("name,kind,value,mean,min,max,"
+                        "p50,p95,p99,n,desc",
+                        0),
+              0u);
+    std::size_t lines = 0;
+    for (char c : csv)
+        if (c == '\n')
+            ++lines;
+    EXPECT_EQ(lines, 1u + reg.names().size());
+    EXPECT_NE(csv.find("serve.ttft,histogram"), std::string::npos);
+    EXPECT_NE(csv.find("serve.batch,distribution"),
+              std::string::npos);
+}
+
+TEST(RegistryJson, HistogramQuantilesAreOrdered)
+{
+    const auto reg = sampleRegistry();
+    const auto& h = reg.getHistogram("serve.ttft");
+    EXPECT_LE(h.quantile(50.0), h.quantile(95.0));
+    EXPECT_LE(h.quantile(95.0), h.quantile(99.0));
+    EXPECT_NEAR(h.quantile(50.0), 2.5, 0.2);
+}
+
+} // namespace
+} // namespace obs
+} // namespace cpullm

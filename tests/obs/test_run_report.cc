@@ -1,0 +1,113 @@
+#include "obs/run_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "perf/workload.h"
+#include "util/json.h"
+
+namespace cpullm {
+namespace obs {
+namespace {
+
+RunReport
+sampleReport()
+{
+    RunReport r;
+    r.kind = "single_request";
+    r.platform = "spr/quad_flat/48c";
+    r.model = "OPT-13B";
+    r.setWorkload(perf::paperWorkload(8));
+    r.metrics["ttft_s"] = 0.25;
+    r.metrics["tokens_per_s"] = 42.0;
+    r.info["note"] = "unit \"test\"";
+    return r;
+}
+
+TEST(RunReport, JsonLineIsValid)
+{
+    const std::string line = sampleReport().toJson();
+    EXPECT_TRUE(jsonValid(line)) << line;
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+    EXPECT_NE(line.find("\"schema\":1"), std::string::npos);
+    EXPECT_NE(line.find("\"kind\":\"single_request\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"batch\":8"), std::string::npos);
+    EXPECT_NE(line.find("\"dtype\":\"bf16\""), std::string::npos);
+    EXPECT_NE(line.find("\"ttft_s\""), std::string::npos);
+    // String values escape correctly.
+    EXPECT_NE(line.find("unit \\\"test\\\""), std::string::npos);
+}
+
+TEST(RunReport, SetWorkloadCopiesKnobs)
+{
+    RunReport r;
+    perf::Workload w = perf::paperWorkload(4);
+    w.promptLen = 256;
+    w.genLen = 64;
+    r.setWorkload(w);
+    EXPECT_EQ(r.batch, 4);
+    EXPECT_EQ(r.promptLen, 256);
+    EXPECT_EQ(r.genLen, 64);
+    EXPECT_EQ(r.dtype, "bf16");
+}
+
+TEST(RunReport, AddTimingRecordsStandardMetrics)
+{
+    perf::InferenceTiming t;
+    t.ttft = 0.5;
+    t.tpot = 0.05;
+    t.e2eLatency = 2.05;
+    t.totalThroughput = 15.6;
+    RunReport r;
+    r.addTiming(t);
+    EXPECT_DOUBLE_EQ(r.metrics.at("ttft_s"), 0.5);
+    EXPECT_DOUBLE_EQ(r.metrics.at("tpot_s"), 0.05);
+    EXPECT_DOUBLE_EQ(r.metrics.at("e2e_s"), 2.05);
+    EXPECT_DOUBLE_EQ(r.metrics.at("tokens_per_s"), 15.6);
+}
+
+TEST(RunReport, AppendJsonlAccumulatesLines)
+{
+    const std::string path =
+        testing::TempDir() + "cpullm_report_test.jsonl";
+    std::remove(path.c_str());
+    ASSERT_TRUE(sampleReport().appendJsonlFile(path));
+    ASSERT_TRUE(sampleReport().appendJsonlFile(path));
+
+    std::ifstream ifs(path);
+    std::string line;
+    int lines = 0;
+    while (std::getline(ifs, line)) {
+        EXPECT_TRUE(jsonValid(line)) << line;
+        ++lines;
+    }
+    EXPECT_EQ(lines, 2);
+    std::remove(path.c_str());
+}
+
+TEST(MakeInferenceReport, CarriesTimingAndCounters)
+{
+    perf::InferenceTiming t;
+    t.ttft = 0.1;
+    t.tpot = 0.02;
+    t.e2eLatency = 0.72;
+    perf::Counters c;
+    c.instructions = 5e9;
+    c.llcMisses = 1e7;
+    const RunReport r = makeInferenceReport(
+        "icl/quad_flat/32c", "OPT-13B", perf::paperWorkload(1), t, c);
+    EXPECT_EQ(r.kind, "single_request");
+    EXPECT_EQ(r.platform, "icl/quad_flat/32c");
+    EXPECT_EQ(r.model, "OPT-13B");
+    EXPECT_DOUBLE_EQ(r.metrics.at("ttft_s"), 0.1);
+    EXPECT_GT(r.metrics.at("llc_mpki"), 0.0);
+    EXPECT_TRUE(jsonValid(r.toJson()));
+}
+
+} // namespace
+} // namespace obs
+} // namespace cpullm

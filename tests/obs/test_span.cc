@@ -1,0 +1,201 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cpullm {
+namespace obs {
+namespace {
+
+TEST(Track, NamesMapToStablePidTidPairs)
+{
+    Tracer tr;
+    const TrackId a = tr.track("serving", "req 0");
+    const TrackId b = tr.track("serving", "req 1");
+    const TrackId c = tr.track("engine", "operators");
+    EXPECT_EQ(a.pid, b.pid);
+    EXPECT_NE(a.tid, b.tid);
+    EXPECT_NE(a.pid, c.pid);
+    // Re-registering returns the identical ids.
+    const TrackId a2 = tr.track("serving", "req 0");
+    EXPECT_EQ(a2.pid, a.pid);
+    EXPECT_EQ(a2.tid, a.tid);
+    EXPECT_EQ(tr.trackCount(), 3u);
+}
+
+TEST(Span, ExplicitCloseRecordsRange)
+{
+    Tracer tr;
+    const TrackId t = tr.track("p", "t");
+    Span s = tr.begin("work", "cat", t, 1.0);
+    s.annotate("key", "value");
+    s.annotate("x", 2.5);
+    s.close(3.0);
+    EXPECT_FALSE(s.active());
+
+    const auto spans = tr.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "work");
+    EXPECT_EQ(spans[0].category, "cat");
+    EXPECT_DOUBLE_EQ(spans[0].start, 1.0);
+    EXPECT_DOUBLE_EQ(spans[0].end, 3.0);
+    EXPECT_FALSE(spans[0].open);
+    ASSERT_EQ(spans[0].args.size(), 2u);
+    EXPECT_EQ(spans[0].args[0].first, "key");
+    EXPECT_EQ(spans[0].args[0].second, "value");
+    EXPECT_EQ(spans[0].args[1].first, "x");
+}
+
+TEST(Span, DestructorClosesAtTracerClock)
+{
+    Tracer tr;
+    const TrackId t = tr.track("p", "t");
+    {
+        Span s = tr.begin("scoped", "", t, 1.0);
+        EXPECT_EQ(tr.openSpanCount(), 1u);
+        tr.setTime(4.0);
+    }
+    EXPECT_EQ(tr.openSpanCount(), 0u);
+    EXPECT_DOUBLE_EQ(tr.spans()[0].end, 4.0);
+}
+
+TEST(Span, ClockBehindStartClampsToStart)
+{
+    Tracer tr;
+    const TrackId t = tr.track("p", "t");
+    {
+        Span s = tr.begin("late", "", t, 5.0);
+        // Clock (0.0) is behind the span start; the implicit close
+        // must not produce end < start.
+    }
+    EXPECT_DOUBLE_EQ(tr.spans()[0].end, 5.0);
+}
+
+TEST(Span, MoveTransfersOwnership)
+{
+    Tracer tr;
+    const TrackId t = tr.track("p", "t");
+    Span a = tr.begin("moved", "", t, 0.0);
+    Span b = std::move(a);
+    EXPECT_FALSE(a.active());
+    EXPECT_TRUE(b.active());
+    b.close(1.0);
+    EXPECT_EQ(tr.openSpanCount(), 0u);
+}
+
+TEST(Span, DefaultConstructedIsInert)
+{
+    Span s;
+    EXPECT_FALSE(s.active());
+    s.annotate("k", "v"); // must not crash
+    s.close(1.0);
+    s.close();
+}
+
+TEST(Span, NestedSpansStayInsideParentRange)
+{
+    Tracer tr;
+    const TrackId t = tr.track("engine", "operators");
+    Span request = tr.begin("request", "", t, 0.0);
+    Span prefill = tr.begin("prefill", "prefill", t, 0.0);
+    prefill.close(2.0);
+    Span decode = tr.begin("decode", "decode", t, 2.0);
+    decode.close(3.0);
+    request.close(3.0);
+
+    const auto spans = tr.spansOnTrack(t);
+    ASSERT_EQ(spans.size(), 3u);
+    // Recording order: parent first, children after.
+    EXPECT_EQ(spans[0].name, "request");
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+        EXPECT_GE(spans[i].start, spans[0].start);
+        EXPECT_LE(spans[i].end, spans[0].end);
+    }
+    // Children are disjoint and ordered.
+    EXPECT_LE(spans[1].end, spans[2].start);
+}
+
+TEST(Tracer, CompleteInstantAndCounterRecords)
+{
+    Tracer tr;
+    const TrackId t = tr.track("p", "t");
+    tr.complete("done", "cat", t, 1.0, 0.5);
+    tr.instant("marker", t, 1.25);
+    tr.counter("queue_depth", t.pid, 0.0, 3.0);
+    tr.counter("bw", t.pid, 1.0, {{"dram", 100.0}, {"upi", 10.0}});
+
+    const auto spans = tr.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_DOUBLE_EQ(spans[0].end, 1.5);
+    EXPECT_FALSE(spans[0].open);
+
+    const auto inst = tr.instants();
+    ASSERT_EQ(inst.size(), 1u);
+    EXPECT_EQ(inst[0].name, "marker");
+
+    const auto ctr = tr.counterSamples();
+    ASSERT_EQ(ctr.size(), 2u);
+    ASSERT_EQ(ctr[0].series.size(), 1u);
+    EXPECT_EQ(ctr[0].series[0].first, "queue_depth");
+    ASSERT_EQ(ctr[1].series.size(), 2u);
+    EXPECT_EQ(ctr[1].series[1].first, "upi");
+}
+
+TEST(Tracer, ClockIsSettable)
+{
+    Tracer tr;
+    EXPECT_DOUBLE_EQ(tr.time(), 0.0);
+    tr.setTime(7.5);
+    EXPECT_DOUBLE_EQ(tr.time(), 7.5);
+    const TrackId t = tr.track("p", "t");
+    Span s = tr.begin("clocked", "", t); // starts at the clock
+    s.close();
+    EXPECT_DOUBLE_EQ(tr.spans()[0].start, 7.5);
+}
+
+TEST(Tracer, ConcurrentAppendsAreLossless)
+{
+    Tracer tr;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 200;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&tr, w] {
+            const TrackId t =
+                tr.track("worker", "t" + std::to_string(w));
+            for (int i = 0; i < kPerThread; ++i) {
+                Span s = tr.begin("op", "cat", t, i * 1.0);
+                s.annotate("i", static_cast<double>(i));
+                s.close(i * 1.0 + 0.5);
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+    EXPECT_EQ(tr.spanCount(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_EQ(tr.openSpanCount(), 0u);
+    EXPECT_EQ(tr.trackCount(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(SpanDeath, NegativeStartPanics)
+{
+    Tracer tr;
+    const TrackId t = tr.track("p", "t");
+    EXPECT_DEATH(tr.begin("bad", "", t, -1.0), "negative span start");
+}
+
+TEST(SpanDeath, EndBeforeStartPanics)
+{
+    Tracer tr;
+    const TrackId t = tr.track("p", "t");
+    Span s = tr.begin("bad", "", t, 2.0);
+    EXPECT_DEATH(s.close(1.0), "ends before it starts");
+    s.close(2.0);
+}
+
+} // namespace
+} // namespace obs
+} // namespace cpullm

@@ -1,0 +1,173 @@
+#include "serve/serving_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace serve {
+namespace {
+
+/** Synthetic device: prefill 0.1 s, 0.02 s/token decode per batch. */
+LatencyFn
+syntheticDevice()
+{
+    return [](std::int64_t batch) {
+        BatchLatency l;
+        l.ttft = 0.1 * static_cast<double>(batch);
+        l.e2e = l.ttft + 0.3;
+        return l;
+    };
+}
+
+ServingConfig
+smallConfig(std::int64_t n)
+{
+    ServingConfig cfg;
+    cfg.arrivalRate = 2.0;
+    cfg.maxBatch = 4;
+    cfg.numRequests = n;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(ServingTrace, OneTrackPerRequest)
+{
+    obs::Tracer tracer;
+    const auto res =
+        simulateServing(smallConfig(6), syntheticDevice(), &tracer);
+    ASSERT_EQ(res.requests.size(), 6u);
+
+    // Each request gets its own thread on the "requests" process,
+    // holding exactly one request span plus its three child phases.
+    for (std::size_t i = 0; i < res.requests.size(); ++i) {
+        const obs::TrackId track = tracer.track(
+            "requests", strformat("req %04zu", i));
+        const auto spans = tracer.spansOnTrack(track);
+        ASSERT_EQ(spans.size(), 4u) << "request " << i;
+        EXPECT_EQ(spans[0].category, "request");
+        const auto& req = spans[0];
+        for (std::size_t s = 1; s < spans.size(); ++s) {
+            EXPECT_GE(spans[s].start, req.start - 1e-12);
+            EXPECT_LE(spans[s].end, req.end + 1e-12);
+        }
+    }
+    EXPECT_EQ(tracer.openSpanCount(), 0u);
+}
+
+TEST(ServingTrace, RequestPhasesMatchStats)
+{
+    obs::Tracer tracer;
+    const auto res =
+        simulateServing(smallConfig(4), syntheticDevice(), &tracer);
+    const obs::TrackId track = tracer.track("requests", "req 0000");
+    const auto spans = tracer.spansOnTrack(track);
+    ASSERT_EQ(spans.size(), 4u);
+    const RequestStats& r = res.requests[0];
+    EXPECT_DOUBLE_EQ(spans[0].start, r.arrival);
+    EXPECT_DOUBLE_EQ(spans[0].end, r.finish);
+    // queue / prefill / decode in recording order.
+    EXPECT_EQ(spans[1].name, "queue");
+    EXPECT_DOUBLE_EQ(spans[1].end - spans[1].start, r.queueing());
+    EXPECT_EQ(spans[2].name, "prefill");
+    EXPECT_DOUBLE_EQ(spans[2].end, r.firstToken);
+    EXPECT_EQ(spans[3].name, "decode");
+    EXPECT_DOUBLE_EQ(spans[3].end, r.finish);
+}
+
+TEST(ServingTrace, ArrivalMarkersAndCounters)
+{
+    obs::Tracer tracer;
+    simulateServing(smallConfig(5), syntheticDevice(), &tracer);
+    EXPECT_EQ(tracer.instants().size(), 5u);
+
+    bool queue_depth = false, running = false;
+    for (const auto& c : tracer.counterSamples()) {
+        if (c.name == "queue_depth")
+            queue_depth = true;
+        if (c.name == "running_requests")
+            running = true;
+        EXPECT_GE(c.time, 0.0);
+    }
+    EXPECT_TRUE(queue_depth);
+    EXPECT_TRUE(running);
+}
+
+TEST(ServingTrace, ExportIsValidChromeJson)
+{
+    obs::Tracer tracer;
+    simulateServing(smallConfig(5), syntheticDevice(), &tracer);
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    EXPECT_TRUE(jsonValid(os.str()));
+    EXPECT_NE(os.str().find("static batching"), std::string::npos);
+}
+
+TEST(ServingTrace, ContinuousBatchingTracesToo)
+{
+    StepCosts costs;
+    costs.prefill = [](std::int64_t b) { return 0.05 * b; };
+    costs.decode = [](std::int64_t b) { return 0.004 * b; };
+    costs.genLen = 8;
+    obs::Tracer tracer;
+    const auto res = simulateContinuousBatching(
+        smallConfig(5), costs, &tracer);
+    ASSERT_EQ(res.requests.size(), 5u);
+    for (std::size_t i = 0; i < res.requests.size(); ++i) {
+        const obs::TrackId track = tracer.track(
+            "requests", strformat("req %04zu", i));
+        EXPECT_EQ(tracer.spansOnTrack(track).size(), 4u);
+    }
+    std::ostringstream os;
+    tracer.writeChromeTrace(os);
+    EXPECT_TRUE(jsonValid(os.str()));
+    EXPECT_NE(os.str().find("continuous batching"),
+              std::string::npos);
+}
+
+TEST(ServingTrace, NullTracerUnchangedResult)
+{
+    const auto cfg = smallConfig(8);
+    const auto with_null =
+        simulateServing(cfg, syntheticDevice(), nullptr);
+    obs::Tracer tracer;
+    const auto with_tracer =
+        simulateServing(cfg, syntheticDevice(), &tracer);
+    ASSERT_EQ(with_null.requests.size(), with_tracer.requests.size());
+    for (std::size_t i = 0; i < with_null.requests.size(); ++i) {
+        EXPECT_DOUBLE_EQ(with_null.requests[i].finish,
+                         with_tracer.requests[i].finish);
+    }
+    EXPECT_DOUBLE_EQ(with_null.makespan, with_tracer.makespan);
+}
+
+TEST(ServingRunReport, PercentilesSourcedFromRegistry)
+{
+    const auto cfg = smallConfig(50);
+    const auto res = simulateServing(cfg, syntheticDevice(), nullptr);
+
+    stats::Registry reg;
+    const obs::RunReport report = buildRunReport(
+        res, cfg, "spr/quad_flat/48c", "OPT-13B",
+        perf::paperWorkload(1), "static batching", reg);
+
+    EXPECT_EQ(report.kind, "serving");
+    EXPECT_EQ(report.info.at("policy"), "static batching");
+    ASSERT_TRUE(reg.has("serve.ttft"));
+    EXPECT_DOUBLE_EQ(report.metrics.at("ttft_p95_s"),
+                     reg.getHistogram("serve.ttft").quantile(95.0));
+    EXPECT_DOUBLE_EQ(report.metrics.at("e2e_p99_s"),
+                     reg.getHistogram("serve.e2e").quantile(99.0));
+    // Histogram estimate tracks the exact sample percentile.
+    EXPECT_NEAR(report.metrics.at("ttft_p50_s"),
+                res.ttftPercentile(50.0),
+                0.05 * res.ttftPercentile(50.0) + 1e-3);
+    EXPECT_TRUE(jsonValid(report.toJson()));
+}
+
+} // namespace
+} // namespace serve
+} // namespace cpullm

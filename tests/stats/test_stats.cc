@@ -140,6 +140,76 @@ TEST(RegistryDeath, UnknownScalarPanics)
     EXPECT_DEATH(r.getScalar("missing"), "unknown scalar");
 }
 
+TEST(Percentile, InterpolatesBetweenSamples)
+{
+    std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+    // Unsorted input gets sorted internally.
+    std::vector<double> shuffled{40.0, 10.0, 30.0, 20.0};
+    EXPECT_DOUBLE_EQ(percentile(shuffled, 50.0), 25.0);
+}
+
+TEST(Percentile, DegenerateInputs)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(HistogramQuantile, MatchesUniformSamples)
+{
+    Histogram h(0.0, 100.0, 1000);
+    for (int i = 0; i < 1000; ++i)
+        h.sample(i * 0.1); // uniform over [0, 100)
+    EXPECT_NEAR(h.quantile(50.0), 50.0, 1.0);
+    EXPECT_NEAR(h.quantile(95.0), 95.0, 1.0);
+    EXPECT_NEAR(h.quantile(99.0), 99.0, 1.0);
+    EXPECT_LE(h.quantile(50.0), h.quantile(95.0));
+}
+
+TEST(HistogramQuantile, EmptyAndOutOfRange)
+{
+    Histogram h(1.0, 2.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(50.0), 0.0); // empty
+    h.sample(-5.0);                          // all underflow
+    EXPECT_DOUBLE_EQ(h.quantile(50.0), 1.0);
+    Histogram g(1.0, 2.0, 4);
+    g.sample(10.0); // all overflow
+    EXPECT_DOUBLE_EQ(g.quantile(99.0), 2.0);
+}
+
+TEST(Registry, HistogramPersistenceAndKind)
+{
+    Registry r;
+    r.histogram("h", 0.0, 10.0, 10, "a histogram").sample(5.0);
+    r.histogram("h", 99.0, 999.0, 3).sample(6.0); // bounds ignored
+    const auto& h = r.getHistogram("h");
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.lo(), 0.0);
+    EXPECT_DOUBLE_EQ(h.hi(), 10.0);
+    EXPECT_EQ(r.kind("h"), StatKind::Histogram);
+}
+
+TEST(Registry, HistogramInNamesDumpAndReset)
+{
+    Registry r;
+    r.histogram("serve.ttft", 0.0, 4.0, 8, "ttft histogram")
+        .sample(1.0);
+    const auto names = r.names();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "serve.ttft");
+
+    std::ostringstream os;
+    r.dump(os);
+    EXPECT_NE(os.str().find("serve.ttft"), std::string::npos);
+    EXPECT_NE(os.str().find("p99"), std::string::npos);
+    EXPECT_NE(os.str().find("ttft histogram"), std::string::npos);
+
+    r.resetAll();
+    EXPECT_EQ(r.getHistogram("serve.ttft").count(), 0u);
+}
+
 } // namespace
 } // namespace stats
 } // namespace cpullm

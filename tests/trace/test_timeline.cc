@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "util/json.h"
+
 namespace cpullm {
 namespace trace {
 namespace {
@@ -69,6 +71,37 @@ TEST(Timeline, ChromeTraceJsonShape)
     // Durations in microseconds.
     EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);
     EXPECT_EQ(json.back(), '}');
+}
+
+TEST(Timeline, ChromeTraceEmitsTrackMetadata)
+{
+    Timeline tl;
+    tl.add(makeEvent("op1", "gemm", 0.0, 0.001));
+    std::ostringstream os;
+    tl.writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(json.find("{\"name\":\"cpullm\"}"), std::string::npos);
+}
+
+TEST(Timeline, ChromeTraceIsParseableJson)
+{
+    Timeline tl;
+    tl.add(makeEvent("odd \"name\"\n", "cat\\x", 0.0, 0.001));
+    tl.add(makeEvent("op2", "gemm", 0.001, 0.002));
+    std::ostringstream os;
+    tl.writeChromeTrace(os);
+    EXPECT_TRUE(jsonValid(os.str())) << os.str();
+}
+
+TEST(Timeline, EmptyChromeTraceIsParseableJson)
+{
+    Timeline tl;
+    std::ostringstream os;
+    tl.writeChromeTrace(os);
+    EXPECT_TRUE(jsonValid(os.str()));
 }
 
 TEST(OpKindCategory, AllNamed)

@@ -1,0 +1,91 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace cpullm {
+namespace {
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("hello world"), "hello world");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonQuote, WrapsAndEscapes)
+{
+    EXPECT_EQ(jsonQuote("x"), "\"x\"");
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+}
+
+TEST(JsonQuote, RoundTripsThroughValidator)
+{
+    EXPECT_TRUE(jsonValid(jsonQuote("with \"quotes\" and \\slashes\\"
+                                    " and \n newlines")));
+}
+
+TEST(JsonValid, AcceptsScalars)
+{
+    EXPECT_TRUE(jsonValid("true"));
+    EXPECT_TRUE(jsonValid("false"));
+    EXPECT_TRUE(jsonValid("null"));
+    EXPECT_TRUE(jsonValid("0"));
+    EXPECT_TRUE(jsonValid("-12.5e3"));
+    EXPECT_TRUE(jsonValid("\"str\""));
+    EXPECT_TRUE(jsonValid("  42  "));
+}
+
+TEST(JsonValid, AcceptsContainers)
+{
+    EXPECT_TRUE(jsonValid("{}"));
+    EXPECT_TRUE(jsonValid("[]"));
+    EXPECT_TRUE(jsonValid("[1,2,3]"));
+    EXPECT_TRUE(jsonValid("{\"a\":1,\"b\":[true,{\"c\":null}]}"));
+}
+
+TEST(JsonValid, RejectsMalformedInput)
+{
+    EXPECT_FALSE(jsonValid(""));
+    EXPECT_FALSE(jsonValid("{"));
+    EXPECT_FALSE(jsonValid("[1,2,]"));
+    EXPECT_FALSE(jsonValid("{\"a\":}"));
+    EXPECT_FALSE(jsonValid("{\"a\" 1}"));
+    EXPECT_FALSE(jsonValid("{a:1}"));
+    EXPECT_FALSE(jsonValid("'single'"));
+    EXPECT_FALSE(jsonValid("01"));
+    EXPECT_FALSE(jsonValid("1.")); // digit required after '.'
+    EXPECT_FALSE(jsonValid("nul"));
+    EXPECT_FALSE(jsonValid("{} trailing"));
+    EXPECT_FALSE(jsonValid("\"unterminated"));
+    EXPECT_FALSE(jsonValid("\"bad \\x escape\""));
+}
+
+TEST(JsonValid, RejectsRawControlCharInString)
+{
+    EXPECT_FALSE(jsonValid("\"a\nb\""));
+    EXPECT_TRUE(jsonValid("\"a\\nb\""));
+}
+
+TEST(JsonValid, HandlesDeepNestingWithoutOverflow)
+{
+    // Deeper than the validator's recursion cap: must return false,
+    // not crash.
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    EXPECT_FALSE(jsonValid(deep));
+    std::string ok(100, '[');
+    ok += "1";
+    ok += std::string(100, ']');
+    EXPECT_TRUE(jsonValid(ok));
+}
+
+} // namespace
+} // namespace cpullm

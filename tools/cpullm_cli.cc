@@ -4,15 +4,25 @@
  *
  *   cpullm run --model opt-13b --platform spr --batch 8 [--prompt N]
  *              [--gen N] [--dtype bf16|i8] [--json]
+ *              [--trace-out F] [--report-out F]
+ *   cpullm serve --model opt-13b [--device cpu|gpu] [--rate R]
+ *                [--requests N] [--max-batch B] [--continuous]
+ *                [--trace-out F] [--report-out F] [--json]
+ *   cpullm report --model opt-13b [serve flags] [--report-out F]
  *   cpullm compare --model opt-66b --batch 1
  *   cpullm findings
  *   cpullm list
  *
- * `run` simulates one request on a CPU platform; `compare` pits the
- * SPR CPU against both GPUs; `findings` validates the paper's five
- * key findings; `list` shows known models and platforms.
+ * `run` simulates one request on a CPU platform; `serve` runs the
+ * serving simulator (static or continuous batching, CPU or GPU
+ * device) with optional Perfetto trace and JSONL run-report export;
+ * `report` is `serve` with the machine-readable report on stdout;
+ * `compare` pits the SPR CPU against both GPUs; `findings` validates
+ * the paper's five key findings; `list` shows known models and
+ * platforms.
  */
 
+#include <cmath>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -24,6 +34,13 @@ using namespace cpullm;
 
 namespace {
 
+/** Flags that take no value. */
+bool
+isBooleanFlag(const std::string& key)
+{
+    return key == "json" || key == "continuous";
+}
+
 /** Minimal --key value parser; fatal() on malformed input. */
 std::map<std::string, std::string>
 parseFlags(int argc, char** argv, int first)
@@ -34,7 +51,7 @@ parseFlags(int argc, char** argv, int first)
         if (!startsWith(key, "--"))
             CPULLM_FATAL("expected --flag, got '", key, "'");
         key = key.substr(2);
-        if (key == "json") {
+        if (isBooleanFlag(key)) {
             flags[key] = "1";
             continue;
         }
@@ -75,7 +92,20 @@ cmdRun(int argc, char** argv)
     const perf::Workload w = workloadFromFlags(flags);
 
     engine::CpuInferenceEngine eng(platform, spec);
+    obs::Tracer tracer;
+    if (flags.count("trace-out"))
+        eng.setTracer(&tracer);
     const auto r = eng.infer(w);
+
+    if (flags.count("trace-out") &&
+        tracer.writeChromeTraceFile(flags.at("trace-out")))
+        inform("wrote trace ", flags.at("trace-out"));
+    if (flags.count("report-out")) {
+        const obs::RunReport report = obs::makeInferenceReport(
+            platform.label(), spec.name, w, r.timing, r.counters);
+        if (report.appendJsonlFile(flags.at("report-out")))
+            inform("appended report to ", flags.at("report-out"));
+    }
 
     if (flags.count("json")) {
         std::cout << strformat(
@@ -111,6 +141,123 @@ cmdRun(int argc, char** argv)
     t.addRow({"weights in HBM",
               formatNumber(100.0 * r.weightsHbmFraction, 1) + " %"});
     t.addRow({"LLC MPKI", formatNumber(r.counters.mpki(), 1)});
+    t.print(std::cout);
+    return 0;
+}
+
+/**
+ * Shared implementation of `serve` and `report`. `report` prints the
+ * run-report JSON line on stdout; `serve` prints a summary table
+ * (or, with --json, the same JSON line).
+ */
+int
+cmdServe(int argc, char** argv, bool report_mode)
+{
+    const auto flags = parseFlags(argc, argv, 2);
+    const auto spec =
+        model::modelByName(flagOr(flags, "model", "opt-13b"));
+    perf::Workload w = workloadFromFlags(flags);
+    w.batch = 1; // per-request workload; the server forms batches
+
+    serve::ServingConfig cfg;
+    cfg.arrivalRate =
+        std::atof(flagOr(flags, "rate", "0.5").c_str());
+    cfg.maxBatch =
+        std::atoll(flagOr(flags, "max-batch", "8").c_str());
+    cfg.maxWait =
+        std::atof(flagOr(flags, "max-wait", "0").c_str());
+    cfg.numRequests =
+        std::atoll(flagOr(flags, "requests", "100").c_str());
+    cfg.seed = static_cast<std::uint64_t>(
+        std::atoll(flagOr(flags, "seed", "1").c_str()));
+
+    obs::Tracer tracer;
+    obs::Tracer* tp =
+        flags.count("trace-out") ? &tracer : nullptr;
+    const bool continuous = flags.count("continuous") != 0;
+    const std::string device = flagOr(flags, "device", "cpu");
+
+    serve::ServingResult res;
+    std::string platform_label;
+    std::string policy;
+    if (device == "cpu") {
+        const auto platform =
+            hw::platformByName(flagOr(flags, "platform", "spr"));
+        platform_label = platform.label();
+        if (continuous) {
+            policy = "continuous batching";
+            res = serve::simulateContinuousBatching(
+                cfg, serve::cpuStepCosts(platform, spec, w), tp);
+        } else {
+            policy = "static batching";
+            res = serve::simulateServing(
+                cfg, serve::cpuLatencyFn(platform, spec, w), tp);
+        }
+    } else if (device == "gpu") {
+        if (continuous)
+            CPULLM_FATAL("--continuous requires --device cpu");
+        const hw::GpuConfig gpu_config =
+            flagOr(flags, "gpu", "a100") == "h100"
+                ? hw::nvidiaH100()
+                : hw::nvidiaA100();
+        platform_label = gpu_config.name;
+        policy = "static batching";
+        res = serve::simulateServing(
+            cfg, serve::gpuLatencyFn(gpu_config, spec, w), tp);
+        if (tp) {
+            // Device-execution timeline (compute vs. PCIe vs. host
+            // attention) at the served mean batch size — the Fig 18
+            // breakdown alongside the request lifecycle view.
+            perf::Workload bw = w;
+            bw.batch = std::max<std::int64_t>(
+                1, std::llround(res.meanBatchSize));
+            gpu::GpuPerfModel(gpu_config).run(spec, bw, tp);
+        }
+    } else {
+        CPULLM_FATAL("unknown --device '", device,
+                     "' (expected cpu or gpu)");
+    }
+
+    stats::Registry reg;
+    const obs::RunReport report = serve::buildRunReport(
+        res, cfg, platform_label, spec.name, w, policy, reg);
+
+    if (tp && tracer.writeChromeTraceFile(flags.at("trace-out")))
+        inform("wrote trace ", flags.at("trace-out"));
+    if (flags.count("report-out") &&
+        report.appendJsonlFile(flags.at("report-out")))
+        inform("appended report to ", flags.at("report-out"));
+
+    if (report_mode || flags.count("json")) {
+        std::cout << report.toJson() << "\n";
+        return 0;
+    }
+
+    Table t({"metric", "value"});
+    t.setCaption(strformat(
+        "%s on %s: %lld reqs @ %.2f req/s, %s (max batch %lld)",
+        spec.name.c_str(), platform_label.c_str(),
+        static_cast<long long>(cfg.numRequests), cfg.arrivalRate,
+        policy.c_str(), static_cast<long long>(cfg.maxBatch)));
+    auto metric = [&](const char* label, const char* key) {
+        auto it = report.metrics.find(key);
+        if (it != report.metrics.end())
+            t.addRow({label, formatTime(it->second)});
+    };
+    metric("TTFT p50", "ttft_p50_s");
+    metric("TTFT p95", "ttft_p95_s");
+    metric("TTFT p99", "ttft_p99_s");
+    metric("E2E p50", "e2e_p50_s");
+    metric("E2E p95", "e2e_p95_s");
+    metric("E2E p99", "e2e_p99_s");
+    metric("TPOT p50", "tpot_p50_s");
+    t.addRow({"throughput",
+              formatNumber(res.tokenThroughput(w.genLen), 1) +
+                  " tok/s"});
+    t.addRow({"utilization",
+              formatNumber(100.0 * res.utilization(), 1) + " %"});
+    t.addRow({"mean batch",
+              formatNumber(res.meanBatchSize, 2)});
     t.print(std::cout);
     return 0;
 }
@@ -195,6 +342,13 @@ usage()
         << "usage: cpullm <command> [flags]\n"
            "  run      --model M --platform P --batch N [--prompt N]\n"
            "           [--gen N] [--dtype bf16|i8] [--json]\n"
+           "           [--trace-out F] [--report-out F]\n"
+           "  serve    --model M [--device cpu|gpu] [--gpu a100|h100]\n"
+           "           [--platform P] [--rate R] [--requests N]\n"
+           "           [--max-batch B] [--max-wait S] [--seed N]\n"
+           "           [--continuous] [--json]\n"
+           "           [--trace-out F] [--report-out F]\n"
+           "  report   serve, printing the JSON run report on stdout\n"
            "  compare  --model M --batch N [--prompt N] [--gen N]\n"
            "  findings validate the paper's five key findings\n"
            "  list     known models and platforms\n";
@@ -212,6 +366,10 @@ main(int argc, char** argv)
     const std::string cmd = argv[1];
     if (cmd == "run")
         return cmdRun(argc, argv);
+    if (cmd == "serve")
+        return cmdServe(argc, argv, /*report_mode=*/false);
+    if (cmd == "report")
+        return cmdServe(argc, argv, /*report_mode=*/true);
     if (cmd == "compare")
         return cmdCompare(argc, argv);
     if (cmd == "findings")

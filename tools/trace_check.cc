@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Dependency-free self-check for exported observability artifacts:
+ *
+ *   trace_check FILE...           each file is one JSON document
+ *   trace_check --jsonl FILE...   each *line* is one JSON document
+ *
+ * Exit 0 when every document parses as strict JSON (so Perfetto /
+ * chrome://tracing will load the traces), non-zero otherwise. Runs
+ * as a ctest fixture consumer after the CLI smoke tests have written
+ * their trace/report files — no Python toolchain involved.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "util/json.h"
+
+namespace {
+
+bool
+checkWholeFile(const std::string& path)
+{
+    std::ifstream ifs(path);
+    if (!ifs) {
+        std::cerr << "trace_check: cannot open " << path << "\n";
+        return false;
+    }
+    std::stringstream buf;
+    buf << ifs.rdbuf();
+    if (!cpullm::jsonValid(buf.str())) {
+        std::cerr << "trace_check: " << path
+                  << " is not valid JSON\n";
+        return false;
+    }
+    std::cout << "trace_check: " << path << " ok\n";
+    return true;
+}
+
+bool
+checkJsonlFile(const std::string& path)
+{
+    std::ifstream ifs(path);
+    if (!ifs) {
+        std::cerr << "trace_check: cannot open " << path << "\n";
+        return false;
+    }
+    std::string line;
+    std::size_t lineno = 0, docs = 0;
+    while (std::getline(ifs, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (!cpullm::jsonValid(line)) {
+            std::cerr << "trace_check: " << path << ":" << lineno
+                      << " is not valid JSON\n";
+            return false;
+        }
+        ++docs;
+    }
+    if (docs == 0) {
+        std::cerr << "trace_check: " << path
+                  << " holds no JSON documents\n";
+        return false;
+    }
+    std::cout << "trace_check: " << path << " ok (" << docs
+              << " lines)\n";
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool jsonl = false;
+    bool all_ok = true;
+    int files = 0;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jsonl") {
+            jsonl = true;
+            continue;
+        }
+        ++files;
+        all_ok = (jsonl ? checkJsonlFile(arg)
+                        : checkWholeFile(arg)) &&
+                 all_ok;
+    }
+    if (files == 0) {
+        std::cerr << "usage: trace_check [--jsonl] FILE...\n";
+        return 2;
+    }
+    return all_ok ? 0 : 1;
+}
