@@ -5,23 +5,48 @@
  * @file
  * Shared helpers for the per-figure benchmark binaries: print a
  * reproduced figure as a console table (and as CSV when
- * CPULLM_RESULTS_DIR is set), then hand control to google-benchmark
- * for the registered simulator timers.
+ * CPULLM_RESULTS_DIR is set), append machine-readable run reports
+ * next to the CSVs, then hand control to google-benchmark for the
+ * registered simulator timers.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 
 #include "core/experiments.h"
 #include "core/figure.h"
+#include "engine/inference_engine.h"
+#include "gpu/gpu_attribution.h"
+#include "gpu/gpu_model.h"
 #include "obs/run_report.h"
 #include "util/logging.h"
 
 namespace cpullm {
 namespace bench {
+
+/**
+ * Results directory from $CPULLM_RESULTS_DIR, created if needed; ""
+ * when the variable is unset (callers skip their export then). The
+ * one place the env var is consulted.
+ */
+inline std::string
+resultsDir()
+{
+    const char* dir = std::getenv("CPULLM_RESULTS_DIR");
+    if (!dir || !*dir)
+        return "";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        warn("cannot create ", dir, ": ", ec.message());
+        return "";
+    }
+    return dir;
+}
 
 /** Print one figure; dump CSV when CPULLM_RESULTS_DIR is set. */
 inline void
@@ -29,9 +54,9 @@ printFigure(const core::FigureData& f)
 {
     f.toTable().print(std::cout);
     std::cout << '\n';
-    if (const char* dir = std::getenv("CPULLM_RESULTS_DIR")) {
-        const std::string path =
-            std::string(dir) + "/" + f.id() + ".csv";
+    const std::string dir = resultsDir();
+    if (!dir.empty()) {
+        const std::string path = dir + "/" + f.id() + ".csv";
         if (f.writeCsv(path))
             inform("wrote ", path);
     }
@@ -45,12 +70,51 @@ printFigure(const core::FigureData& f)
 inline void
 appendRunReport(const obs::RunReport& report)
 {
-    if (const char* dir = std::getenv("CPULLM_RESULTS_DIR")) {
-        const std::string path =
-            std::string(dir) + "/reports.jsonl";
-        if (report.appendJsonlFile(path))
-            inform("appended report to ", path);
-    }
+    const std::string dir = resultsDir();
+    if (dir.empty())
+        return;
+    const std::string path = dir + "/reports.jsonl";
+    if (report.appendJsonlFile(path))
+        inform("appended report to ", path);
+}
+
+/**
+ * Simulate one CPU request and append its run report (bottleneck
+ * attribution embedded). No-op when CPULLM_RESULTS_DIR is unset, so
+ * binaries pay nothing in plain runs.
+ */
+inline void
+reportSingleRequest(const hw::PlatformConfig& platform,
+                    const model::ModelSpec& spec,
+                    const perf::Workload& w)
+{
+    if (resultsDir().empty())
+        return;
+    engine::CpuInferenceEngine eng(platform, spec);
+    const auto r = eng.infer(w);
+    appendRunReport(obs::makeInferenceReport(platform.label(),
+                                             spec.name, w, r.timing,
+                                             r.counters,
+                                             &r.attribution));
+}
+
+/**
+ * Same for a GPU board: simulate, attribute (Fig 18 components for
+ * offloaded runs) and append. Modeled CPU counters do not apply.
+ */
+inline void
+reportGpuRequest(const hw::GpuConfig& gpu,
+                 const model::ModelSpec& spec, const perf::Workload& w)
+{
+    if (resultsDir().empty())
+        return;
+    const gpu::GpuPerfModel m(gpu);
+    const auto r = m.run(spec, w);
+    const obs::Attribution attr = gpu::attributeGpuResult(m, r);
+    appendRunReport(obs::makeInferenceReport(attr.device, spec.name,
+                                             w, r.timing,
+                                             perf::Counters{},
+                                             &attr));
 }
 
 /** Standard google-benchmark driver tail for every binary. */

@@ -73,5 +73,11 @@ main(int argc, char** argv)
                  "(see tests/perf RunDeath.ModelTooBigForMachine for "
                  "the ICL case); with the expander it serves:\n\n";
     cpullm::bench::printFigure(buildCxlFigure());
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::bench::reportSingleRequest(
+        cxlPlatform(), cpullm::model::opt175b(),
+        cpullm::perf::paperWorkload(1));
     return cpullm::bench::runBenchmarks(argc, argv);
 }

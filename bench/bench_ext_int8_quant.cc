@@ -68,5 +68,16 @@ int
 main(int argc, char** argv)
 {
     cpullm::bench::printFigure(buildInt8Figure());
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::perf::Workload wq = cpullm::perf::paperWorkload(1);
+    wq.dtype = cpullm::DType::I8;
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::llama2_13b(),
+                                       cpullm::perf::paperWorkload(1));
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::llama2_13b(),
+                                       wq);
     return cpullm::bench::runBenchmarks(argc, argv);
 }

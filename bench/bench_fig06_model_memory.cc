@@ -29,5 +29,11 @@ int
 main(int argc, char** argv)
 {
     cpullm::bench::printFigure(cpullm::core::fig06ModelMemory());
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::llama2_13b(),
+                                       cpullm::perf::paperWorkload(1));
     return cpullm::bench::runBenchmarks(argc, argv);
 }

@@ -34,5 +34,11 @@ int
 main(int argc, char** argv)
 {
     cpullm::bench::printFigure(cpullm::core::fig07KvCacheFootprint());
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::llama2_13b(),
+                                       cpullm::perf::paperWorkload(8));
     return cpullm::bench::runBenchmarks(argc, argv);
 }

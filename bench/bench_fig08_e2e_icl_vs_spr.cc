@@ -52,12 +52,9 @@ main(int argc, char** argv)
     // appended to $CPULLM_RESULTS_DIR/reports.jsonl when set.
     for (const auto& platform : {cpullm::hw::iclDefaultPlatform(),
                                  cpullm::hw::sprDefaultPlatform()}) {
-        const auto spec = cpullm::model::opt13b();
-        const auto w = cpullm::perf::paperWorkload(1);
-        cpullm::engine::CpuInferenceEngine eng(platform, spec);
-        const auto r = eng.infer(w);
-        cpullm::bench::appendRunReport(cpullm::obs::makeInferenceReport(
-            platform.label(), spec.name, w, r.timing, r.counters));
+        cpullm::bench::reportSingleRequest(
+            platform, cpullm::model::opt13b(),
+            cpullm::perf::paperWorkload(1));
     }
     return cpullm::bench::runBenchmarks(argc, argv);
 }

@@ -48,5 +48,14 @@ main(int argc, char** argv)
     const auto fig = cpullm::core::fig09PhaseLatency();
     cpullm::bench::printFigure(fig.prefill);
     cpullm::bench::printFigure(fig.decode);
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    for (const auto& platform : {cpullm::hw::iclDefaultPlatform(),
+                                 cpullm::hw::sprDefaultPlatform()}) {
+        cpullm::bench::reportSingleRequest(
+            platform, cpullm::model::opt13b(),
+            cpullm::perf::paperWorkload(8));
+    }
     return cpullm::bench::runBenchmarks(argc, argv);
 }

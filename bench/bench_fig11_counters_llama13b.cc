@@ -31,5 +31,14 @@ main(int argc, char** argv)
 {
     cpullm::bench::printFigure(
         cpullm::core::figCountersVsBatch(cpullm::model::llama2_13b()));
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::llama2_13b(),
+                                       cpullm::perf::paperWorkload(1));
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::llama2_13b(),
+                                       cpullm::perf::paperWorkload(8));
     return cpullm::bench::runBenchmarks(argc, argv);
 }

@@ -33,5 +33,11 @@ int
 main(int argc, char** argv)
 {
     cpullm::bench::printFigure(cpullm::core::fig14CoreScaling());
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::llama2_7b(),
+                                       cpullm::perf::paperWorkload(8));
     return cpullm::bench::runBenchmarks(argc, argv);
 }

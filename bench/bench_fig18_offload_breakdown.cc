@@ -33,5 +33,14 @@ main(int argc, char** argv)
     const auto fig = cpullm::core::fig18OffloadBreakdown();
     cpullm::bench::printFigure(fig.a100Opt30b);
     cpullm::bench::printFigure(fig.h100Opt66b);
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::bench::reportGpuRequest(cpullm::hw::nvidiaA100(),
+                                    cpullm::model::opt30b(),
+                                    cpullm::perf::paperWorkload(8));
+    cpullm::bench::reportGpuRequest(cpullm::hw::nvidiaH100(),
+                                    cpullm::model::opt66b(),
+                                    cpullm::perf::paperWorkload(8));
     return cpullm::bench::runBenchmarks(argc, argv);
 }

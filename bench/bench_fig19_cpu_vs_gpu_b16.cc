@@ -31,5 +31,17 @@ main(int argc, char** argv)
     const auto fig = cpullm::core::figCpuVsGpu(16);
     cpullm::bench::printFigure(fig.latency);
     cpullm::bench::printFigure(fig.throughput);
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::opt30b(),
+                                       cpullm::perf::paperWorkload(16));
+    cpullm::bench::reportGpuRequest(cpullm::hw::nvidiaA100(),
+                                    cpullm::model::opt30b(),
+                                    cpullm::perf::paperWorkload(16));
+    cpullm::bench::reportGpuRequest(cpullm::hw::nvidiaH100(),
+                                    cpullm::model::opt30b(),
+                                    cpullm::perf::paperWorkload(16));
     return cpullm::bench::runBenchmarks(argc, argv);
 }

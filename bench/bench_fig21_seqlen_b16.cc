@@ -46,5 +46,13 @@ main(int argc, char** argv)
     const auto fig = cpullm::core::figSeqLenSweep(16);
     cpullm::bench::printFigure(fig.latency);
     cpullm::bench::printFigure(fig.throughput);
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::perf::Workload wl = cpullm::perf::paperWorkload(16);
+    wl.promptLen = 1024;
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::llama2_13b(),
+                                       wl);
     return cpullm::bench::runBenchmarks(argc, argv);
 }

@@ -69,5 +69,11 @@ main(int argc, char** argv)
 {
     cpullm::bench::printFigure(buildHybridFigure(1));
     cpullm::bench::printFigure(buildHybridFigure(16));
+    // Machine-readable run report(s) for this figure's
+    // representative configuration (no-op without
+    // CPULLM_RESULTS_DIR).
+    cpullm::bench::reportSingleRequest(cpullm::hw::sprDefaultPlatform(),
+                                       cpullm::model::llama2_13b(),
+                                       cpullm::perf::paperWorkload(16));
     return cpullm::bench::runBenchmarks(argc, argv);
 }

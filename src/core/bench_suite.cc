@@ -1,0 +1,498 @@
+#include "core/bench_suite.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "core/experiments.h"
+#include "gpu/gpu_attribution.h"
+#include "hw/platform.h"
+#include "model/spec.h"
+#include "obs/attribution.h"
+#include "perf/cpu_model.h"
+#include "perf/workload.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/string_util.h"
+
+namespace cpullm {
+namespace core {
+
+namespace {
+
+/** Metric-key-safe form of a series/x label. */
+std::string
+sanitizeKey(const std::string& s)
+{
+    std::string out = s;
+    for (char& c : out) {
+        if (c == ' ' || c == ',' || c == '/')
+            c = '_';
+    }
+    return out;
+}
+
+/** One suite entry: its id/title and the generator to run. */
+struct SuiteEntry
+{
+    std::string id;
+    std::string title;
+    std::function<BenchBaseline()> run;
+};
+
+BenchBaseline
+attributionCpuBaseline(const std::string& id, std::int64_t batch)
+{
+    const perf::CpuPerfModel m(hw::sprDefaultPlatform());
+    const model::ModelSpec spec = model::llama2_13b();
+    const perf::Workload w = perf::paperWorkload(batch);
+
+    BenchBaseline b;
+    b.id = id;
+    b.title = strformat("bottleneck attribution: %s on %s, batch %lld",
+                        spec.name.c_str(), m.platform().label().c_str(),
+                        static_cast<long long>(batch));
+    obs::attributeCpuRun(m, spec, w).summaryMetrics(b.metrics);
+    const auto t = m.run(spec, w);
+    b.metrics["ttft_s"] = t.ttft;
+    b.metrics["tpot_s"] = t.tpot;
+    b.metrics["e2e_s"] = t.e2eLatency;
+    b.metrics["tokens_per_s"] = t.totalThroughput;
+    return b;
+}
+
+BenchBaseline
+attributionGpuBaseline()
+{
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const model::ModelSpec spec = model::opt30b();
+    const perf::Workload w = perf::paperWorkload(8);
+
+    BenchBaseline b;
+    b.id = "attr_opt30b_a100_b8";
+    b.title = "bottleneck attribution: opt-30b offloaded on A100, "
+              "batch 8 (Fig 18 components)";
+    gpu::attributeGpuRun(a100, spec, w).summaryMetrics(b.metrics);
+    const auto r = a100.run(spec, w);
+    b.metrics["e2e_s"] = r.timing.e2eLatency;
+    b.metrics["tokens_per_s"] = r.timing.totalThroughput;
+    return b;
+}
+
+std::vector<SuiteEntry>
+suiteEntries(const BenchSuiteOptions& opt)
+{
+    // Quick mode: the models the CI gate can sweep in seconds.
+    std::vector<model::ModelSpec> models;
+    for (const auto& m : model::evaluatedModels()) {
+        if (!opt.quick || m.weightBytes(DType::BF16) <= 30e9)
+            models.push_back(m);
+    }
+    const std::vector<std::int64_t> batches =
+        opt.quick ? std::vector<std::int64_t>{1, 8}
+                  : paperBatchSweep();
+    const std::vector<std::int64_t> gemm_sizes =
+        opt.quick ? std::vector<std::int64_t>{256, 1024, 4096}
+                  : std::vector<std::int64_t>{256, 512, 1024, 2048,
+                                              4096, 8192, 16384};
+
+    auto fig = [](const std::string& id, const std::string& title,
+                  std::function<FigureData()> gen) {
+        return SuiteEntry{id, title, [id, gen]() {
+                              return baselineFromFigure(gen(), id);
+                          }};
+    };
+
+    std::vector<SuiteEntry> entries;
+    entries.push_back(fig(
+        "fig01_gemm", "Fig 1: GEMM TFLOPS vs matrix size",
+        [gemm_sizes]() { return fig01GemmThroughput(gemm_sizes); }));
+    entries.push_back(fig("fig06_model_memory",
+                          "Fig 6: model weight footprints",
+                          []() { return fig06ModelMemory(); }));
+    entries.push_back(fig("fig07_kv_cache",
+                          "Fig 7: KV-cache footprint",
+                          []() { return fig07KvCacheFootprint(); }));
+    entries.push_back(fig("fig08_latency",
+                          "Fig 8: E2E latency, ICL vs SPR",
+                          [models, batches]() {
+                              return fig08E2eIclVsSpr(models, batches)
+                                  .latency;
+                          }));
+    entries.push_back(fig("fig08_throughput",
+                          "Fig 8: E2E throughput, ICL vs SPR",
+                          [models, batches]() {
+                              return fig08E2eIclVsSpr(models, batches)
+                                  .throughput;
+                          }));
+    entries.push_back(fig("fig09_prefill",
+                          "Fig 9: prefill latency, ICL vs SPR",
+                          [models, batches]() {
+                              return fig09PhaseLatency(models, batches)
+                                  .prefill;
+                          }));
+    entries.push_back(fig("fig09_decode",
+                          "Fig 9: decode latency, ICL vs SPR",
+                          [models, batches]() {
+                              return fig09PhaseLatency(models, batches)
+                                  .decode;
+                          }));
+    entries.push_back(fig("fig10_prefill",
+                          "Fig 10: prefill throughput speedup",
+                          [models, batches]() {
+                              return fig10PhaseThroughput(models,
+                                                          batches)
+                                  .prefill;
+                          }));
+    entries.push_back(fig("fig10_decode",
+                          "Fig 10: decode throughput speedup",
+                          [models, batches]() {
+                              return fig10PhaseThroughput(models,
+                                                          batches)
+                                  .decode;
+                          }));
+    entries.push_back(fig("fig11_counters",
+                          "Fig 11: counters vs batch, LLaMA2-13B",
+                          [batches]() {
+                              return figCountersVsBatch(
+                                  model::llama2_13b(), batches);
+                          }));
+    entries.push_back(fig("fig13_numa",
+                          "Fig 13: SPR NUMA/memory modes",
+                          [models, batches]() {
+                              return fig13NumaModes(models, batches);
+                          }));
+    entries.push_back(fig("fig14_cores", "Fig 14: core-count scaling",
+                          [models, batches]() {
+                              return fig14CoreScaling(models, batches);
+                          }));
+    entries.push_back(fig("fig15_numa_counters",
+                          "Fig 15: counters per NUMA config",
+                          []() { return fig15NumaCounters(); }));
+    entries.push_back(fig("fig16_core_counters",
+                          "Fig 16: counters vs core count",
+                          []() { return fig16CoreCounters(); }));
+    entries.push_back(fig("fig17_latency",
+                          "Fig 17: CPU vs GPU latency, batch 1",
+                          []() { return figCpuVsGpu(1).latency; }));
+    entries.push_back(fig("fig17_throughput",
+                          "Fig 17: CPU vs GPU throughput, batch 1",
+                          []() { return figCpuVsGpu(1).throughput; }));
+    entries.push_back(fig("fig18_a100_opt30b",
+                          "Fig 18: offload breakdown, A100 OPT-30B",
+                          []() {
+                              return fig18OffloadBreakdown()
+                                  .a100Opt30b;
+                          }));
+    entries.push_back(fig("fig18_h100_opt66b",
+                          "Fig 18: offload breakdown, H100 OPT-66B",
+                          []() {
+                              return fig18OffloadBreakdown()
+                                  .h100Opt66b;
+                          }));
+    if (!opt.quick) {
+        entries.push_back(fig("fig12_counters",
+                              "Fig 12: counters vs batch, OPT-66B",
+                              [batches]() {
+                                  return figCountersVsBatch(
+                                      model::opt66b(), batches);
+                              }));
+        entries.push_back(
+            fig("fig19_latency",
+                "Fig 19: CPU vs GPU latency, batch 16",
+                []() { return figCpuVsGpu(16).latency; }));
+        entries.push_back(
+            fig("fig19_throughput",
+                "Fig 19: CPU vs GPU throughput, batch 16",
+                []() { return figCpuVsGpu(16).throughput; }));
+        entries.push_back(
+            fig("fig20_latency", "Fig 20: latency vs seq len, batch 1",
+                []() { return figSeqLenSweep(1).latency; }));
+    }
+    entries.push_back(
+        {"attr_llama2_13b_spr_b1",
+         "attribution: llama2-13b on SPR, batch 1", []() {
+             return attributionCpuBaseline("attr_llama2_13b_spr_b1",
+                                           1);
+         }});
+    entries.push_back(
+        {"attr_llama2_13b_spr_b8",
+         "attribution: llama2-13b on SPR, batch 8", []() {
+             return attributionCpuBaseline("attr_llama2_13b_spr_b8",
+                                           8);
+         }});
+    entries.push_back({"attr_opt30b_a100_b8",
+                       "attribution: opt-30b offloaded on A100",
+                       []() { return attributionGpuBaseline(); }});
+    return entries;
+}
+
+} // namespace
+
+std::vector<std::string>
+benchSuiteIds(const BenchSuiteOptions& opt)
+{
+    std::vector<std::string> ids;
+    for (const auto& e : suiteEntries(opt))
+        ids.push_back(e.id);
+    return ids;
+}
+
+std::vector<BenchBaseline>
+runBenchSuite(const BenchSuiteOptions& opt, stats::Registry* stats)
+{
+    const auto entries = suiteEntries(opt);
+    std::vector<BenchBaseline> out(entries.size());
+    // One registry shard per entry, merged after the parallel sweep:
+    // the entries run concurrently and Registry is not synchronized.
+    std::vector<stats::Registry> shards(entries.size());
+    parallelFor(0, entries.size(), [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        out[i] = entries[i].run();
+        out[i].id = entries[i].id;
+        if (out[i].title.empty())
+            out[i].title = entries[i].title;
+        out[i].wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        shards[i].scalar("bench.entries", "suite entries run") += 1.0;
+        shards[i].scalar("bench.metrics", "metric values emitted") +=
+            static_cast<double>(out[i].metrics.size());
+        shards[i]
+            .distribution("bench.entry_seconds",
+                          "wall time per suite entry")
+            .sample(out[i].wallSeconds);
+    });
+    if (stats) {
+        for (const auto& s : shards)
+            stats->merge(s);
+    }
+    return out;
+}
+
+BenchBaseline
+baselineFromFigure(const FigureData& f, const std::string& id)
+{
+    BenchBaseline b;
+    b.id = id;
+    b.title = f.title();
+    for (const auto& s : f.series()) {
+        const auto& xs = f.xLabels();
+        CPULLM_ASSERT(s.values.size() == xs.size(),
+                      "series/x-label arity mismatch in ", f.id());
+        for (std::size_t i = 0; i < xs.size(); ++i) {
+            b.metrics[sanitizeKey(s.name) + "/" +
+                      sanitizeKey(xs[i])] = s.values[i];
+        }
+    }
+    return b;
+}
+
+std::string
+BenchBaseline::toJson() const
+{
+    std::string out = strformat(
+        "{\n  \"schema\": %d,\n  \"id\": %s,\n  \"title\": %s,\n"
+        "  \"wall_s\": %.6g,\n  \"metrics\": {",
+        kSchemaVersion, jsonQuote(id).c_str(),
+        jsonQuote(title).c_str(), wallSeconds);
+    bool first = true;
+    for (const auto& [key, value] : metrics) {
+        out += strformat("%s\n    %s: %.17g", first ? "" : ",",
+                         jsonQuote(key).c_str(), value);
+        first = false;
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+bool
+writeBaseline(const BenchBaseline& b, const std::string& dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const std::string path = dir + "/" + b.filename();
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write ", path);
+        return false;
+    }
+    os << b.toJson();
+    return static_cast<bool>(os);
+}
+
+bool
+parseBaseline(const std::string& json, BenchBaseline* out)
+{
+    JsonValue doc;
+    if (!JsonValue::parse(json, &doc) || !doc.isObject())
+        return false;
+    const JsonValue* schema = doc.find("schema");
+    const JsonValue* id = doc.find("id");
+    const JsonValue* metrics = doc.find("metrics");
+    if (!schema || !schema->isNumber() || !id || !id->isString() ||
+        !metrics || !metrics->isObject())
+        return false;
+    if (static_cast<int>(schema->asNumber()) >
+        BenchBaseline::kSchemaVersion)
+        return false; // written by a newer tool
+    out->id = id->asString();
+    out->title = doc.stringOr("title", "");
+    out->wallSeconds = doc.numberOr("wall_s", 0.0);
+    out->metrics.clear();
+    for (const auto& [key, value] : metrics->asObject()) {
+        if (!value.isNumber())
+            return false;
+        out->metrics[key] = value.asNumber();
+    }
+    return true;
+}
+
+bool
+loadBaselineFile(const std::string& path, BenchBaseline* out)
+{
+    std::ifstream is(path);
+    if (!is)
+        return false;
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return parseBaseline(ss.str(), out);
+}
+
+std::vector<BenchBaseline>
+loadBaselineDir(const std::string& dir)
+{
+    std::vector<BenchBaseline> out;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) != 0 ||
+            name.size() < 11 ||
+            name.compare(name.size() - 5, 5, ".json") != 0)
+            continue;
+        BenchBaseline b;
+        if (loadBaselineFile(entry.path().string(), &b))
+            out.push_back(std::move(b));
+        else
+            warn("skipping malformed baseline ", entry.path().string());
+    }
+    if (ec)
+        warn("cannot list ", dir, ": ", ec.message());
+    std::sort(out.begin(), out.end(),
+              [](const BenchBaseline& a, const BenchBaseline& b) {
+                  return a.id < b.id;
+              });
+    return out;
+}
+
+MetricDirection
+metricDirection(const std::string& key)
+{
+    std::string k = key;
+    std::transform(k.begin(), k.end(), k.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    auto has = [&](const char* needle) {
+        return k.find(needle) != std::string::npos;
+    };
+    // Throughput-flavored keys first: "tokens_per_s" ends in "_s".
+    if (has("tokens_per_s") || has("tok_s") || has("throughput") ||
+        has("tflops") || has("speedup"))
+        return MetricDirection::HigherBetter;
+    if ((k.size() >= 2 && k.compare(k.size() - 2, 2, "_s") == 0) ||
+        has("latency") || has("ttft") || has("tpot") || has("e2e") ||
+        has("time") || has("mpki") || has("_bytes") || has("_gb"))
+        return MetricDirection::LowerBetter;
+    return MetricDirection::Characterization;
+}
+
+int
+diffBaselines(const std::vector<BenchBaseline>& baseline,
+              const std::vector<BenchBaseline>& fresh,
+              const BenchDiffOptions& opt, std::ostream& os)
+{
+    std::map<std::string, const BenchBaseline*> by_id;
+    for (const auto& f : fresh)
+        by_id[f.id] = &f;
+
+    int failures = 0;
+    for (const auto& base : baseline) {
+        auto it = by_id.find(base.id);
+        if (it == by_id.end()) {
+            os << "FAIL " << base.id
+               << ": bench missing from fresh results\n";
+            ++failures;
+            continue;
+        }
+        const BenchBaseline& cur = *it->second;
+        for (const auto& [key, base_v] : base.metrics) {
+            auto mv = cur.metrics.find(key);
+            if (mv == cur.metrics.end()) {
+                os << "FAIL " << base.id << " " << key
+                   << ": metric missing from fresh results\n";
+                ++failures;
+                continue;
+            }
+            const double cur_v = mv->second;
+            const double diff = cur_v - base_v;
+            if (std::abs(diff) <= opt.absTol)
+                continue;
+            const double rel =
+                std::abs(diff) /
+                std::max(std::abs(base_v), opt.absTol);
+            if (rel <= opt.relTol)
+                continue;
+            const MetricDirection dir = metricDirection(key);
+            const bool worse =
+                dir == MetricDirection::Characterization ||
+                (dir == MetricDirection::LowerBetter ? diff > 0.0
+                                                     : diff < 0.0);
+            const char* what =
+                dir == MetricDirection::Characterization
+                    ? "drift"
+                    : (worse ? "regression" : "improvement");
+            if (worse || opt.strict) {
+                os << strformat(
+                    "FAIL %s %s: %s %.6g -> %.6g (%+.2f%%)\n",
+                    base.id.c_str(), key.c_str(), what, base_v,
+                    cur_v, 100.0 * diff / base_v);
+                ++failures;
+            } else {
+                os << strformat(
+                    "note %s %s: %s %.6g -> %.6g (%+.2f%%); refresh "
+                    "the baseline to lock it in\n",
+                    base.id.c_str(), key.c_str(), what, base_v,
+                    cur_v, 100.0 * diff / base_v);
+            }
+        }
+        for (const auto& [key, value] : cur.metrics) {
+            if (!base.metrics.count(key)) {
+                os << "note " << base.id << " " << key
+                   << ": new metric (not in baseline)\n";
+                if (opt.strict)
+                    ++failures;
+            }
+        }
+    }
+    for (const auto& f : fresh) {
+        const bool known =
+            std::any_of(baseline.begin(), baseline.end(),
+                        [&](const BenchBaseline& b) {
+                            return b.id == f.id;
+                        });
+        if (!known)
+            os << "note " << f.id
+               << ": new bench (not in baseline)\n";
+    }
+    return failures;
+}
+
+} // namespace core
+} // namespace cpullm

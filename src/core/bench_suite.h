@@ -1,0 +1,134 @@
+#ifndef CPULLM_CORE_BENCH_SUITE_H
+#define CPULLM_CORE_BENCH_SUITE_H
+
+/**
+ * @file
+ * Machine-readable bench baselines and the regression gate.
+ *
+ * runBenchSuite() sweeps the paper-figure experiments plus the
+ * bottleneck-attribution runs and flattens each into a BenchBaseline:
+ * a schema-versioned {id, title, metrics, wall_s} record written as
+ * BENCH_<id>.json. Committed baselines live in bench/baselines/; CI
+ * regenerates them and diffBaselines() compares fresh against
+ * committed with noise-aware thresholds, failing the build on
+ * regression.
+ *
+ * The simulator is deterministic, so metric drift means a *model*
+ * change: the tolerance only absorbs libm/compiler variation across
+ * toolchains. Wall-clock is recorded but informational — it depends
+ * on the machine, not the model.
+ */
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/figure.h"
+#include "stats/stats.h"
+
+namespace cpullm {
+namespace core {
+
+/** One benchmark's flattened result set. */
+struct BenchBaseline
+{
+    static constexpr int kSchemaVersion = 1;
+
+    std::string id;    ///< "fig08_latency", "attr_llama2_13b_spr_b1"
+    std::string title; ///< human-readable description
+    std::map<std::string, double> metrics; ///< key -> value, sorted
+    double wallSeconds = 0.0; ///< generation time (informational)
+
+    /** Canonical file name: BENCH_<id>.json. */
+    std::string filename() const { return "BENCH_" + id + ".json"; }
+
+    /** Serialize as one pretty-printed JSON object. */
+    std::string toJson() const;
+};
+
+/** Suite scope. Quick mode is what the CI gate runs (< 5 min). */
+struct BenchSuiteOptions
+{
+    /**
+     * Trim the sweep: models up to 30 GB of BF16 weights, batches
+     * {1, 8}, three GEMM sizes. Full mode uses the paper's sweeps.
+     */
+    bool quick = false;
+};
+
+/** Titles/ids of the suite entries (same order runBenchSuite emits). */
+std::vector<std::string> benchSuiteIds(const BenchSuiteOptions& opt);
+
+/**
+ * Run every suite entry and return its baseline records. Entries run
+ * concurrently via parallelFor; each entry samples into its own
+ * stats::Registry and the shards are merged into @p stats (entry
+ * wall-time distribution, metric counts) when it is non-null.
+ */
+std::vector<BenchBaseline> runBenchSuite(
+    const BenchSuiteOptions& opt = {},
+    stats::Registry* stats = nullptr);
+
+/**
+ * Flatten one figure into baseline metrics, one per (series, x)
+ * point, keyed "<series>/<x_label>" with spaces and commas replaced
+ * by '_'.
+ */
+BenchBaseline baselineFromFigure(const FigureData& f,
+                                 const std::string& id);
+
+/** Write @p b as <dir>/BENCH_<id>.json (dir created). */
+bool writeBaseline(const BenchBaseline& b, const std::string& dir);
+
+/** Parse one BENCH_*.json document. False on malformed input. */
+bool parseBaseline(const std::string& json, BenchBaseline* out);
+
+/** Load one baseline file. False if unreadable or malformed. */
+bool loadBaselineFile(const std::string& path, BenchBaseline* out);
+
+/**
+ * Load every BENCH_*.json in @p dir, sorted by id. Unparseable files
+ * are skipped with a warning.
+ */
+std::vector<BenchBaseline> loadBaselineDir(const std::string& dir);
+
+/** How a metric's drift is judged. */
+enum class MetricDirection {
+    LowerBetter,      ///< latencies, times, MPKI, footprints
+    HigherBetter,     ///< throughputs, TFLOPS, speedups
+    Characterization, ///< shares, ratios: any drift is suspect
+};
+
+/** Direction heuristic from the metric key. */
+MetricDirection metricDirection(const std::string& key);
+
+/** Thresholds for diffBaselines. */
+struct BenchDiffOptions
+{
+    /**
+     * Relative tolerance. The simulator is deterministic; 2% absorbs
+     * libm/compiler differences, nothing else.
+     */
+    double relTol = 0.02;
+    /** Absolute slack for values near zero. */
+    double absTol = 1e-9;
+    /** Also fail on improvements (baseline refresh hygiene). */
+    bool strict = false;
+};
+
+/**
+ * Compare @p fresh against @p baseline, printing one line per
+ * difference to @p os. Returns the number of failures: regressions,
+ * characterization drifts, and baseline benches/metrics missing from
+ * fresh. Improvements and brand-new metrics are notes unless
+ * opt.strict. Wall-clock is never judged.
+ */
+int diffBaselines(const std::vector<BenchBaseline>& baseline,
+                  const std::vector<BenchBaseline>& fresh,
+                  const BenchDiffOptions& opt, std::ostream& os);
+
+} // namespace core
+} // namespace cpullm
+
+#endif // CPULLM_CORE_BENCH_SUITE_H

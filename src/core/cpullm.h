@@ -15,11 +15,13 @@
  *  - core:       paper-figure experiment harness and key findings
  */
 
+#include "core/bench_suite.h"
 #include "core/experiments.h"
 #include "core/figure.h"
 #include "core/key_findings.h"
 #include "engine/inference_engine.h"
 #include "gemm/gemm.h"
+#include "gpu/gpu_attribution.h"
 #include "gpu/gpu_model.h"
 #include "hw/platform.h"
 #include "isa/amx.h"
@@ -29,6 +31,7 @@
 #include "model/layers.h"
 #include "model/spec.h"
 #include "model/transformer.h"
+#include "obs/attribution.h"
 #include "obs/counters.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"

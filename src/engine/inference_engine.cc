@@ -61,6 +61,8 @@ CpuInferenceEngine::infer(const perf::Workload& workload)
 {
     InferenceResult result;
     result.timing = perf_.run(spec_, workload);
+    result.attribution =
+        obs::attributeCpuRun(perf_, spec_, workload);
 
     // Whole-run counters: prefill plus the decode-step sums.
     result.counters = result.timing.prefill.counters;
@@ -204,9 +206,13 @@ CpuInferenceEngine::traceRequest(const perf::Workload& workload,
     request.annotate("tpot_s", result.timing.tpot);
     request.annotate("e2e_s", result.timing.e2eLatency);
 
+    if (const auto* prefill = result.attribution.phase("prefill"))
+        obs::emitAttributionShares(tr, track.pid, t0, *prefill);
     double t = tracePhaseSpans(track, perf::Phase::Prefill, workload,
                                workload.promptLen, t0, "prefill",
                                result.timing.prefill);
+    if (const auto* decode = result.attribution.phase("decode"))
+        obs::emitAttributionShares(tr, track.pid, t, *decode);
     for (std::int64_t s = 0; s < workload.genLen - 1; ++s) {
         t = tracePhaseSpans(
             track, perf::Phase::Decode, workload,
@@ -215,6 +221,7 @@ CpuInferenceEngine::traceRequest(const perf::Workload& workload,
             result.timing.decodeStep);
     }
     obs::closeCounters(tr, track.pid, t);
+    obs::closeAttributionShares(tr, track.pid, t);
     request.close(t);
     tr.setTime(t);
 }

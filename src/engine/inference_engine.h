@@ -17,6 +17,7 @@
 #include "mem/memory_system.h"
 #include "model/spec.h"
 #include "model/transformer.h"
+#include "obs/attribution.h"
 #include "obs/span.h"
 #include "perf/cpu_model.h"
 #include "perf/timing.h"
@@ -38,6 +39,11 @@ struct InferenceResult
     perf::InferenceTiming timing;
     /** Whole-run counters (prefill + all decode steps). */
     perf::Counters counters;
+    /**
+     * Bottleneck attribution of the run (run -> phase -> layer ->
+     * op kind; see obs/attribution.h).
+     */
+    obs::Attribution attribution;
     /** Solved memory placement of the run. */
     mem::RegionSizes regions;
     double weightsHbmFraction = 0.0;

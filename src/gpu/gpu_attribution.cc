@@ -1,0 +1,100 @@
+#include "gpu/gpu_attribution.h"
+
+namespace cpullm {
+namespace gpu {
+
+namespace {
+
+/** Append one Fig 18 component when it has nonzero time. */
+void
+addComponent(obs::AttributionNode& phase, const char* name,
+             double time, obs::BoundBy bound)
+{
+    if (time <= 0.0)
+        return;
+    obs::AttributionNode c;
+    c.name = name;
+    c.kind = "component";
+    c.time = time;
+    switch (bound) {
+      case obs::BoundBy::Compute:
+        c.boundCompute = c.computeTime = time;
+        break;
+      case obs::BoundBy::Memory:
+        c.boundMemory = c.memoryTime = time;
+        break;
+      case obs::BoundBy::Overhead:
+        c.boundOverhead = c.overheadTime = time;
+        break;
+      case obs::BoundBy::Transfer:
+        c.boundTransfer = time;
+        break;
+    }
+    phase.children.push_back(std::move(c));
+}
+
+void
+addPhase(obs::AttributionNode& root, const char* name,
+         const OffloadBreakdown& b)
+{
+    obs::AttributionNode phase;
+    phase.name = name;
+    phase.kind = "phase";
+    addComponent(phase, "pcie_load", b.pcieLoadTime,
+                 obs::BoundBy::Transfer);
+    addComponent(phase, "gpu_compute", b.gpuComputeTime,
+                 obs::BoundBy::Compute);
+    addComponent(phase, "cpu_attention", b.cpuAttentionTime,
+                 obs::BoundBy::Memory);
+    addComponent(phase, "framework", b.otherTime,
+                 obs::BoundBy::Overhead);
+    root.children.push_back(std::move(phase));
+}
+
+} // namespace
+
+obs::Attribution
+attributeGpuResult(const GpuPerfModel& model, const GpuRunResult& r)
+{
+    obs::Attribution a;
+    a.device = model.gpu().name +
+               (r.placement == GpuPlacement::Offloaded
+                    ? " (offload)"
+                    : " (resident)");
+    a.peakGflops = model.gpu().bf16Flops / 1e9;
+    a.peakDramGBps = model.gpu().memory.bandwidth / 1e9;
+
+    a.root.name = "run";
+    a.root.kind = "run";
+    addPhase(a.root, "prefill", r.prefillBreakdown);
+
+    // Whole-run decode totals: the stored decode breakdown is a
+    // per-step average, so recover the sums from the run totals.
+    OffloadBreakdown decode;
+    decode.pcieLoadTime = r.totalBreakdown.pcieLoadTime -
+                          r.prefillBreakdown.pcieLoadTime;
+    decode.gpuComputeTime = r.totalBreakdown.gpuComputeTime -
+                            r.prefillBreakdown.gpuComputeTime;
+    decode.cpuAttentionTime = r.totalBreakdown.cpuAttentionTime -
+                              r.prefillBreakdown.cpuAttentionTime;
+    decode.otherTime =
+        r.totalBreakdown.otherTime - r.prefillBreakdown.otherTime;
+    decode.totalTime =
+        r.totalBreakdown.totalTime - r.prefillBreakdown.totalTime;
+    if (decode.totalTime > 0.0)
+        addPhase(a.root, "decode", decode);
+
+    a.root.finalize();
+    a.root.share = 1.0;
+    return a;
+}
+
+obs::Attribution
+attributeGpuRun(const GpuPerfModel& model,
+                const model::ModelSpec& spec, const perf::Workload& w)
+{
+    return attributeGpuResult(model, model.run(spec, w));
+}
+
+} // namespace gpu
+} // namespace cpullm

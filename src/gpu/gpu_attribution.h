@@ -1,0 +1,38 @@
+#ifndef CPULLM_GPU_GPU_ATTRIBUTION_H
+#define CPULLM_GPU_GPU_ATTRIBUTION_H
+
+/**
+ * @file
+ * Bottleneck attribution of GPU (and FlexGen-offload) runs, on the
+ * same obs::Attribution tree the CPU engine produces. An offloaded
+ * run's phases decompose into the Fig 18 components — visible PCIe
+ * load (transfer), GPU compute, host-side decode attention (host
+ * memory bandwidth) and framework overhead — so the attributed
+ * transfer share of a phase equals the paper's execution-time "load"
+ * fraction.
+ */
+
+#include "gpu/gpu_model.h"
+#include "obs/attribution.h"
+
+namespace cpullm {
+namespace gpu {
+
+/**
+ * Attribute one GPU run: run -> phase -> component
+ * (pcie_load / gpu_compute / cpu_attention / framework). Component
+ * times reproduce GpuPerfModel::run's OffloadBreakdown exactly;
+ * resident runs only carry gpu_compute and framework components.
+ */
+obs::Attribution attributeGpuRun(const GpuPerfModel& model,
+                                 const model::ModelSpec& spec,
+                                 const perf::Workload& w);
+
+/** Same, from an already-simulated result (no re-run). */
+obs::Attribution attributeGpuResult(const GpuPerfModel& model,
+                                    const GpuRunResult& result);
+
+} // namespace gpu
+} // namespace cpullm
+
+#endif // CPULLM_GPU_GPU_ATTRIBUTION_H

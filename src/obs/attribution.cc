@@ -1,0 +1,379 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/units.h"
+
+namespace cpullm {
+namespace obs {
+
+namespace {
+
+/** Category label of an operator kind (attribution-local copy). */
+const char*
+opKindName(perf::OpKind kind)
+{
+    switch (kind) {
+      case perf::OpKind::Gemm:
+        return "gemm";
+      case perf::OpKind::Attention:
+        return "attention";
+      case perf::OpKind::Elementwise:
+        return "elementwise";
+      case perf::OpKind::Embedding:
+        return "embedding";
+    }
+    return "unknown";
+}
+
+/** Layer-group name of an operator ("layer3", else "model"). */
+std::string
+layerGroup(const std::string& op_name)
+{
+    if (op_name.rfind("layer", 0) == 0) {
+        const auto dot = op_name.find('.');
+        if (dot != std::string::npos)
+            return op_name.substr(0, dot);
+    }
+    return "model";
+}
+
+/** Child named @p name, appended with @p kind if absent. */
+AttributionNode&
+childOrAdd(AttributionNode& parent, const std::string& name,
+           const std::string& kind)
+{
+    for (auto& c : parent.children) {
+        if (c.name == name)
+            return c;
+    }
+    AttributionNode node;
+    node.name = name;
+    node.kind = kind;
+    parent.children.push_back(std::move(node));
+    return parent.children.back();
+}
+
+} // namespace
+
+const char*
+boundByName(BoundBy b)
+{
+    switch (b) {
+      case BoundBy::Compute:
+        return "compute";
+      case BoundBy::Memory:
+        return "memory";
+      case BoundBy::Overhead:
+        return "overhead";
+      case BoundBy::Transfer:
+        return "transfer";
+    }
+    return "unknown";
+}
+
+const AttributionNode*
+AttributionNode::child(const std::string& child_name) const
+{
+    for (const auto& c : children) {
+        if (c.name == child_name)
+            return &c;
+    }
+    return nullptr;
+}
+
+void
+AttributionNode::accumulateOp(const perf::OpDesc& op,
+                              const perf::CpuPerfModel::OpCost& cost)
+{
+    computeTime += cost.compute;
+    memoryTime += cost.memory;
+    overheadTime += cost.overhead;
+
+    // The op's visible time is max(compute, memory) + overhead; the
+    // max part belongs to whichever resource bounded it.
+    const double visible = cost.total - cost.overhead;
+    if (cost.memoryBound)
+        boundMemory += visible;
+    else
+        boundCompute += visible;
+    boundOverhead += cost.overhead;
+    time += cost.total;
+
+    flops += op.flops;
+    dramBytes += static_cast<double>(op.weightBytes + op.kvBytes);
+    actBytes += static_cast<double>(op.actBytes);
+}
+
+void
+AttributionNode::finalize()
+{
+    if (!children.empty()) {
+        time = computeTime = memoryTime = overheadTime = 0.0;
+        boundCompute = boundMemory = boundOverhead = boundTransfer =
+            0.0;
+        flops = dramBytes = actBytes = 0.0;
+        for (auto& c : children) {
+            c.finalize();
+            time += c.time;
+            computeTime += c.computeTime;
+            memoryTime += c.memoryTime;
+            overheadTime += c.overheadTime;
+            boundCompute += c.boundCompute;
+            boundMemory += c.boundMemory;
+            boundOverhead += c.boundOverhead;
+            boundTransfer += c.boundTransfer;
+            flops += c.flops;
+            dramBytes += c.dramBytes;
+            actBytes += c.actBytes;
+        }
+        for (auto& c : children)
+            c.share = time > 0.0 ? c.time / time : 0.0;
+    }
+
+    boundBy = BoundBy::Compute;
+    double best = boundCompute;
+    if (boundMemory > best) {
+        best = boundMemory;
+        boundBy = BoundBy::Memory;
+    }
+    if (boundOverhead > best) {
+        best = boundOverhead;
+        boundBy = BoundBy::Overhead;
+    }
+    if (boundTransfer > best)
+        boundBy = BoundBy::Transfer;
+}
+
+const AttributionNode*
+Attribution::phase(const std::string& name) const
+{
+    return root.child(name);
+}
+
+namespace {
+
+std::string
+nodeJson(const AttributionNode& n)
+{
+    std::string out = strformat(
+        "{\"name\":%s,\"kind\":%s,\"time_s\":%.9g,\"share\":%.9g,"
+        "\"bound_by\":%s,\"compute_s\":%.9g,\"memory_s\":%.9g,"
+        "\"overhead_s\":%.9g,\"bound\":{\"compute\":%.9g,"
+        "\"memory\":%.9g,\"overhead\":%.9g,\"transfer\":%.9g},"
+        "\"flops\":%.9g,\"dram_bytes\":%.9g,\"gflops\":%.9g,"
+        "\"dram_gbps\":%.9g",
+        jsonQuote(n.name).c_str(), jsonQuote(n.kind).c_str(), n.time,
+        n.share, jsonQuote(boundByName(n.boundBy)).c_str(),
+        n.computeTime, n.memoryTime, n.overheadTime, n.boundCompute,
+        n.boundMemory, n.boundOverhead, n.boundTransfer, n.flops,
+        n.dramBytes, n.achievedGflops(), n.achievedDramGBps());
+    if (!n.children.empty()) {
+        out += ",\"children\":[";
+        for (std::size_t i = 0; i < n.children.size(); ++i) {
+            if (i)
+                out += ',';
+            out += nodeJson(n.children[i]);
+        }
+        out += ']';
+    }
+    out += '}';
+    return out;
+}
+
+} // namespace
+
+std::string
+Attribution::toJson() const
+{
+    return strformat("{\"schema\":%d,\"device\":%s,"
+                     "\"peak_gflops\":%.9g,\"peak_dram_gbps\":%.9g,"
+                     "\"run\":%s}",
+                     kSchemaVersion, jsonQuote(device).c_str(),
+                     peakGflops, peakDramGBps,
+                     nodeJson(root).c_str());
+}
+
+void
+Attribution::summaryMetrics(std::map<std::string, double>& out) const
+{
+    for (const auto& p : root.children) {
+        const std::string pre = "attr_" + p.name + "_";
+        out[pre + "share"] = p.share;
+        if (p.time > 0.0) {
+            out[pre + "compute_share"] = p.boundCompute / p.time;
+            out[pre + "memory_share"] = p.boundMemory / p.time;
+            out[pre + "overhead_share"] = p.boundOverhead / p.time;
+            out[pre + "transfer_share"] = p.boundTransfer / p.time;
+        }
+        out[pre + "gflops"] = p.achievedGflops();
+        out[pre + "dram_gbps"] = p.achievedDramGBps();
+        out[pre + "bound_" + boundByName(p.boundBy)] = 1.0;
+    }
+}
+
+Attribution
+attributeCpuRun(const perf::CpuPerfModel& model,
+                const model::ModelSpec& spec, const perf::Workload& w)
+{
+    CPULLM_ASSERT(w.batch >= 1 && w.promptLen >= 1 && w.genLen >= 1,
+                  "degenerate workload");
+
+    Attribution a;
+    a.device = model.platform().label();
+    const perf::CpuPerfModel::PhaseResources res =
+        model.phaseResources(spec, w);
+    a.peakGflops = res.peakFlops / 1e9;
+    a.peakDramGBps = res.weightBw / 1e9;
+
+    a.root.name = "run";
+    a.root.kind = "run";
+
+    auto build_phase = [&](const std::string& name, perf::Phase phase,
+                           std::int64_t ctx_begin,
+                           std::int64_t ctx_end) {
+        AttributionNode& pn = childOrAdd(a.root, name, "phase");
+        double upi_time = 0.0;
+        for (std::int64_t ctx = ctx_begin; ctx < ctx_end; ++ctx) {
+            const auto ops =
+                perf::buildPhaseOps(spec, phase, w, ctx);
+            const auto costs =
+                model.costPhaseOps(spec, phase, w, ctx);
+            CPULLM_ASSERT(ops.size() == costs.size(),
+                          "op/cost arity mismatch");
+            for (std::size_t i = 0; i < ops.size(); ++i) {
+                AttributionNode& layer = childOrAdd(
+                    pn, layerGroup(ops[i].name), "layer");
+                AttributionNode& kind_node = childOrAdd(
+                    layer, opKindName(ops[i].kind), "op_kind");
+                kind_node.accumulateOp(ops[i], costs[i]);
+            }
+            upi_time +=
+                model.timePhase(spec, phase, w, ctx).upiTime;
+        }
+        if (upi_time > 0.0) {
+            AttributionNode& upi =
+                childOrAdd(pn, "upi_exchange", "component");
+            upi.time = upi.boundTransfer = upi_time;
+        }
+    };
+
+    build_phase("prefill", perf::Phase::Prefill, w.promptLen,
+                w.promptLen + 1);
+    build_phase("decode", perf::Phase::Decode, w.promptLen + 1,
+                w.promptLen + w.genLen);
+    a.root.finalize();
+    a.root.share = 1.0;
+    return a;
+}
+
+namespace {
+
+std::string
+shareBar(double share, int width = 20)
+{
+    const int fill = static_cast<int>(
+        std::lround(std::clamp(share, 0.0, 1.0) * width));
+    return std::string(static_cast<std::size_t>(fill), '#') +
+           std::string(static_cast<std::size_t>(width - fill), '.');
+}
+
+void
+renderNode(std::ostream& os, const AttributionNode& n, int depth,
+           int max_depth, double peak_gflops, double peak_dram_gbps)
+{
+    os << strformat("%-*s%-14s %10s %6.1f%% [%s] %s",
+                    2 * depth, "", n.name.c_str(),
+                    formatTime(n.time).c_str(), 100.0 * n.share,
+                    shareBar(n.share).c_str(),
+                    boundByName(n.boundBy));
+    if (n.kind == "phase") {
+        // Roofline verdict: how close the phase runs to the binding
+        // resource's peak.
+        if (n.boundBy == BoundBy::Compute && peak_gflops > 0.0) {
+            os << strformat("  %.1f%% of %.0f GFLOP/s peak",
+                            100.0 * n.achievedGflops() / peak_gflops,
+                            peak_gflops);
+        } else if (n.boundBy == BoundBy::Memory &&
+                   peak_dram_gbps > 0.0) {
+            os << strformat("  %.1f%% of %.0f GB/s peak",
+                            100.0 * n.achievedDramGBps() /
+                                peak_dram_gbps,
+                            peak_dram_gbps);
+        }
+    }
+    os << '\n';
+
+    if (depth >= max_depth || n.children.empty())
+        return;
+    // Largest children first; elide the long tail of layers.
+    std::vector<const AttributionNode*> order;
+    order.reserve(n.children.size());
+    for (const auto& c : n.children)
+        order.push_back(&c);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const AttributionNode* x,
+                        const AttributionNode* y) {
+                         return x->time > y->time;
+                     });
+    const std::size_t show =
+        n.kind == "phase" ? std::min<std::size_t>(order.size(), 6)
+                          : order.size();
+    for (std::size_t i = 0; i < show; ++i) {
+        renderNode(os, *order[i], depth + 1, max_depth, peak_gflops,
+                   peak_dram_gbps);
+    }
+    if (show < order.size()) {
+        double rest = 0.0;
+        for (std::size_t i = show; i < order.size(); ++i)
+            rest += order[i]->share;
+        os << strformat("%-*s... (+%zu more, %.1f%%)\n",
+                        2 * (depth + 1), "", order.size() - show,
+                        100.0 * rest);
+    }
+}
+
+} // namespace
+
+void
+renderAttributionReport(std::ostream& os, const Attribution& a,
+                        int max_depth)
+{
+    os << "bottleneck attribution: " << a.device << '\n'
+       << strformat("roofline peak: %.0f GFLOP/s, %.0f GB/s weight "
+                    "stream\n",
+                    a.peakGflops, a.peakDramGBps);
+    renderNode(os, a.root, 0, max_depth, a.peakGflops,
+               a.peakDramGBps);
+}
+
+void
+emitAttributionShares(Tracer& tracer, std::int64_t pid, double time,
+                      const AttributionNode& node)
+{
+    if (node.time <= 0.0)
+        return;
+    tracer.counter(
+        "attribution_share", pid, time,
+        {{"compute", node.boundCompute / node.time},
+         {"memory", node.boundMemory / node.time},
+         {"overhead", node.boundOverhead / node.time},
+         {"transfer", node.boundTransfer / node.time}});
+}
+
+void
+closeAttributionShares(Tracer& tracer, std::int64_t pid, double time)
+{
+    tracer.counter("attribution_share", pid, time,
+                   {{"compute", 0.0},
+                    {"memory", 0.0},
+                    {"overhead", 0.0},
+                    {"transfer", 0.0}});
+}
+
+} // namespace obs
+} // namespace cpullm

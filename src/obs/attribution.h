@@ -1,0 +1,175 @@
+#ifndef CPULLM_OBS_ATTRIBUTION_H
+#define CPULLM_OBS_ATTRIBUTION_H
+
+/**
+ * @file
+ * Top-down bottleneck attribution (the paper's core deliverable,
+ * Findings 1-3): which resource each part of an inference run is
+ * bound by, and how the wall clock divides across the hierarchy
+ * run -> phase -> layer -> operator kind.
+ *
+ * The tree is built from the same per-operator compute/memory/
+ * overhead decomposition the analytical timing models already solve
+ * (perf::CpuPerfModel::costPhaseOps and the GPU offload StepCost);
+ * instead of being collapsed into one latency number, every node
+ * keeps
+ *
+ *  - its wall time and its share of the parent,
+ *  - the *raw* resource demands (what compute or memory alone would
+ *    have taken),
+ *  - a wall-time attribution: each operator's visible time assigned
+ *    to the resource that bounded it (compute / memory / dispatch
+ *    overhead / interconnect transfer), which sums exactly to the
+ *    node time, and
+ *  - a bound_by verdict (the largest attributed bucket).
+ *
+ * The result renders as an ASCII roofline report, embeds into JSONL
+ * run reports (RunReport::attribution), flattens into the
+ * BENCH_*.json baseline metrics, and exports as Perfetto counter
+ * tracks.
+ */
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+#include "perf/cpu_model.h"
+#include "perf/workload.h"
+
+namespace cpullm {
+namespace obs {
+
+/** The resource buckets wall time is attributed to. */
+enum class BoundBy {
+    Compute,  ///< matrix/vector engine throughput
+    Memory,   ///< DRAM/HBM (or host-side) bandwidth
+    Overhead, ///< kernel dispatch, barriers, framework cost
+    Transfer, ///< socket interconnect (UPI) or host link (PCIe)
+};
+
+const char* boundByName(BoundBy b);
+
+/** One node of the attribution tree. Times are seconds. */
+struct AttributionNode
+{
+    std::string name; ///< "run", "prefill", "layer3", "gemm", ...
+    std::string kind; ///< "run" / "phase" / "layer" / "op_kind" /
+                      ///< "component"
+
+    double time = 0.0;  ///< wall time attributed to this node
+    double share = 1.0; ///< fraction of the parent's time
+
+    /** Raw resource demand (not overlap-aware; for the roofline). */
+    double computeTime = 0.0;
+    double memoryTime = 0.0;
+    double overheadTime = 0.0;
+
+    /** Wall-time attribution; the four buckets sum to `time`. */
+    double boundCompute = 0.0;
+    double boundMemory = 0.0;
+    double boundOverhead = 0.0;
+    double boundTransfer = 0.0;
+
+    /** Work done inside this node. */
+    double flops = 0.0;
+    double dramBytes = 0.0; ///< streamed weight + KV traffic
+    double actBytes = 0.0;  ///< cache-level activation traffic
+
+    BoundBy boundBy = BoundBy::Compute;
+
+    std::vector<AttributionNode> children;
+
+    double
+    achievedGflops() const
+    {
+        return time > 0.0 ? flops / time / 1e9 : 0.0;
+    }
+
+    double
+    achievedDramGBps() const
+    {
+        return time > 0.0 ? dramBytes / time / 1e9 : 0.0;
+    }
+
+    /** Child by name; nullptr if absent. */
+    const AttributionNode* child(const std::string& name) const;
+
+    /**
+     * Fold one operator's cost into the raw/attributed buckets and
+     * work totals (not into `time`/`share`, which finalize() owns).
+     */
+    void accumulateOp(const perf::OpDesc& op,
+                      const perf::CpuPerfModel::OpCost& cost);
+
+    /**
+     * Recursively sum children into this node (when it has any),
+     * recompute every child's share of this node's time, and settle
+     * the bound_by verdict from the attributed buckets.
+     */
+    void finalize();
+};
+
+/** Whole-run attribution plus the roofline it is judged against. */
+struct Attribution
+{
+    static constexpr int kSchemaVersion = 1;
+
+    std::string device; ///< platform / GPU label
+    double peakGflops = 0.0;   ///< matrix-engine peak, GFLOP/s
+    double peakDramGBps = 0.0; ///< weight-stream bandwidth, GB/s
+
+    AttributionNode root; ///< kind "run"; children are the phases
+
+    /** Phase node ("prefill"/"decode"); nullptr if absent. */
+    const AttributionNode* phase(const std::string& name) const;
+
+    /** Serialize the tree as one JSON object (schema-versioned). */
+    std::string toJson() const;
+
+    /**
+     * Flatten phase-level results into metric keys for the bench
+     * baselines: attr_<phase>_{share, compute_share, memory_share,
+     * overhead_share, transfer_share, gflops, dram_gbps} plus
+     * attr_<phase>_bound_<verdict> = 1.
+     */
+    void summaryMetrics(std::map<std::string, double>& out) const;
+};
+
+/**
+ * Attribute one CPU inference run: prefill plus every decode step,
+ * hierarchy run -> phase -> layer -> operator kind, with a
+ * "upi_exchange" component under a phase when the platform spans
+ * sockets. Node times reproduce perf::CpuPerfModel::run exactly.
+ */
+Attribution attributeCpuRun(const perf::CpuPerfModel& model,
+                            const model::ModelSpec& spec,
+                            const perf::Workload& w);
+
+/**
+ * Render as an indented ASCII report with share bars and per-phase
+ * achieved-vs-peak roofline lines. @p max_depth limits recursion
+ * (1 = phases only); layer levels print their slowest entries first
+ * and elide the rest.
+ */
+void renderAttributionReport(std::ostream& os, const Attribution& a,
+                             int max_depth = 2);
+
+/**
+ * Emit the attributed time shares of @p node as one sample of the
+ * multi-series counter track "attribution_share" at @p time (series
+ * compute/memory/overhead/transfer, values 0-1).
+ */
+void emitAttributionShares(Tracer& tracer, std::int64_t pid,
+                           double time, const AttributionNode& node);
+
+/** Drop every attribution-share series to zero at @p time. */
+void closeAttributionShares(Tracer& tracer, std::int64_t pid,
+                            double time);
+
+} // namespace obs
+} // namespace cpullm
+
+#endif // CPULLM_OBS_ATTRIBUTION_H

@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "obs/attribution.h"
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -27,6 +28,12 @@ RunReport::addTiming(const perf::InferenceTiming& t)
     metrics["tokens_per_s"] = t.totalThroughput;
     metrics["prefill_tokens_per_s"] = t.prefillThroughput;
     metrics["decode_tokens_per_s"] = t.decodeThroughput;
+}
+
+void
+RunReport::setAttribution(const Attribution& a)
+{
+    attribution = a.toJson();
 }
 
 void
@@ -72,6 +79,8 @@ RunReport::toJson() const
         }
         out += '}';
     }
+    if (!attribution.empty())
+        out += ",\"attribution\":" + attribution;
     out += '}';
     return out;
 }
@@ -93,7 +102,8 @@ makeInferenceReport(const std::string& platform_label,
                     const std::string& model_name,
                     const perf::Workload& w,
                     const perf::InferenceTiming& timing,
-                    const perf::Counters& counters)
+                    const perf::Counters& counters,
+                    const Attribution* attribution)
 {
     RunReport r;
     r.kind = "single_request";
@@ -102,6 +112,8 @@ makeInferenceReport(const std::string& platform_label,
     r.setWorkload(w);
     r.addTiming(timing);
     r.addCounters(counters);
+    if (attribution)
+        r.setAttribution(*attribution);
     return r;
 }
 

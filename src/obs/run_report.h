@@ -22,6 +22,8 @@
 namespace cpullm {
 namespace obs {
 
+struct Attribution;
+
 /** One experiment's machine-readable summary. See file docs. */
 struct RunReport
 {
@@ -42,9 +44,18 @@ struct RunReport
     std::map<std::string, double> metrics;
     /** Extra string-valued context ("scheduler", "placement", ...). */
     std::map<std::string, std::string> info;
+    /**
+     * Pre-serialized bottleneck-attribution JSON object (see
+     * obs/attribution.h), embedded verbatim as the "attribution"
+     * field when non-empty.
+     */
+    std::string attribution;
 
     /** Record the workload knobs. */
     void setWorkload(const perf::Workload& w);
+
+    /** Embed @p a as the report's attribution object. */
+    void setAttribution(const Attribution& a);
 
     /** Record the standard single-request timing metrics. */
     void addTiming(const perf::InferenceTiming& t);
@@ -59,12 +70,16 @@ struct RunReport
     bool appendJsonlFile(const std::string& path) const;
 };
 
-/** Single-request report from the standard timing outputs. */
+/**
+ * Single-request report from the standard timing outputs, with the
+ * run's bottleneck attribution embedded when provided.
+ */
 RunReport makeInferenceReport(const std::string& platform_label,
                               const std::string& model_name,
                               const perf::Workload& w,
                               const perf::InferenceTiming& timing,
-                              const perf::Counters& counters);
+                              const perf::Counters& counters,
+                              const Attribution* attribution = nullptr);
 
 } // namespace obs
 } // namespace cpullm

@@ -194,6 +194,20 @@ CpuPerfModel::costPhaseOps(const model::ModelSpec& spec, Phase phase,
     return costs;
 }
 
+CpuPerfModel::PhaseResources
+CpuPerfModel::phaseResources(const model::ModelSpec& spec,
+                             const Workload& w) const
+{
+    const PhaseContext ctx = makePhaseContext(spec, w);
+    PhaseResources res;
+    res.peakFlops = ctx.peak;
+    res.weightBw = ctx.weightBw;
+    res.kvBw = ctx.kvBw;
+    res.actBw = ctx.actBw;
+    res.opOverhead = ctx.overhead;
+    return res;
+}
+
 PhaseBreakdown
 CpuPerfModel::timePhase(const model::ModelSpec& spec, Phase phase,
                         const Workload& w, std::int64_t ctx_len) const

@@ -106,6 +106,23 @@ class CpuPerfModel
                                      std::int64_t ctx_len) const;
 
     /**
+     * The solved resource envelope of a run: the peaks and effective
+     * bandwidths every operator cost is computed against. This is the
+     * roofline the attribution layer compares achieved rates to.
+     */
+    struct PhaseResources
+    {
+        double peakFlops = 0.0;   ///< matrix-engine peak, FLOP/s
+        double weightBw = 0.0;    ///< weight-stream bandwidth, B/s
+        double kvBw = 0.0;        ///< KV-cache bandwidth, B/s
+        double actBw = 0.0;       ///< activation bandwidth, B/s
+        double opOverhead = 0.0;  ///< dispatch cost per operator, s
+    };
+
+    PhaseResources phaseResources(const model::ModelSpec& spec,
+                                  const Workload& w) const;
+
+    /**
      * Achieved GEMM throughput (FLOP/s) for an isolated C=A*B of the
      * given dimensions, including streaming the operands (Fig 1).
      */

@@ -46,6 +46,28 @@ Distribution::reset()
     min_ = max_ = mean_ = m2_ = 0.0;
 }
 
+void
+Distribution::merge(const Distribution& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    const double total =
+        static_cast<double>(count_ + other.count_);
+    const double delta = other.mean_ - mean_;
+    // Chan et al. parallel variance combine.
+    m2_ += other.m2_ + delta * delta *
+                           static_cast<double>(count_) *
+                           static_cast<double>(other.count_) / total;
+    mean_ += delta * static_cast<double>(other.count_) / total;
+    count_ += other.count_;
+}
+
 double
 Distribution::variance() const
 {
@@ -89,6 +111,19 @@ Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = underflow_ = overflow_ = 0;
+}
+
+void
+Histogram::merge(const Histogram& other)
+{
+    CPULLM_ASSERT(lo_ == other.lo_ && hi_ == other.hi_ &&
+                      buckets_.size() == other.buckets_.size(),
+                  "merging histograms with different bounds");
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
 }
 
 double
@@ -227,6 +262,38 @@ Registry::resetAll()
             e.dist->reset();
         if (e.hist)
             e.hist->reset();
+    }
+}
+
+void
+Registry::merge(const Registry& other)
+{
+    for (const auto& [name, oe] : other.entries_) {
+        Entry& e = entries_[name];
+        if (e.desc.empty())
+            e.desc = oe.desc;
+        if (oe.scalar) {
+            CPULLM_ASSERT(!e.dist && !e.hist,
+                          "stat kind mismatch merging '", name, "'");
+            if (!e.scalar)
+                e.scalar = std::make_unique<Scalar>();
+            e.scalar->merge(*oe.scalar);
+        } else if (oe.dist) {
+            CPULLM_ASSERT(!e.scalar && !e.hist,
+                          "stat kind mismatch merging '", name, "'");
+            if (!e.dist)
+                e.dist = std::make_unique<Distribution>();
+            e.dist->merge(*oe.dist);
+        } else if (oe.hist) {
+            CPULLM_ASSERT(!e.scalar && !e.dist,
+                          "stat kind mismatch merging '", name, "'");
+            if (!e.hist) {
+                e.hist = std::make_unique<Histogram>(
+                    oe.hist->lo(), oe.hist->hi(),
+                    oe.hist->buckets().size());
+            }
+            e.hist->merge(*oe.hist);
+        }
     }
 }
 

@@ -50,6 +50,13 @@ class Scalar
         samples_ = 0;
     }
 
+    /** Fold another accumulator in (sum and sample counts add). */
+    void merge(const Scalar& other)
+    {
+        sum_ += other.sum_;
+        samples_ += other.samples_;
+    }
+
     double value() const { return sum_; }
     std::uint64_t samples() const { return samples_; }
     double mean() const { return samples_ ? sum_ / samples_ : 0.0; }
@@ -65,6 +72,9 @@ class Distribution
   public:
     void sample(double v);
     void reset();
+
+    /** Fold another distribution in (parallel Welford combine). */
+    void merge(const Distribution& other);
 
     std::uint64_t count() const { return count_; }
     double min() const { return count_ ? min_ : 0.0; }
@@ -89,6 +99,9 @@ class Histogram
 
     void sample(double v);
     void reset();
+
+    /** Fold another histogram in; bounds must match (panic if not). */
+    void merge(const Histogram& other);
 
     std::uint64_t count() const { return count_; }
     std::uint64_t underflow() const { return underflow_; }
@@ -162,6 +175,14 @@ class Registry
 
     /** Reset all statistics to zero. */
     void resetAll();
+
+    /**
+     * Fold every statistic of @p other into this registry, creating
+     * entries (with @p other's descriptions) where absent. Same-name
+     * entries must hold the same statistic kind — this is how
+     * per-thread registries combine after a parallelFor sweep.
+     */
+    void merge(const Registry& other);
 
     /** Emit "name value description" lines, sorted by name. */
     void dump(std::ostream& os) const;

@@ -2,6 +2,9 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
 
 namespace cpullm {
 
@@ -274,6 +277,388 @@ bool
 jsonValid(const std::string& text)
 {
     return JsonChecker(text).check();
+}
+
+bool
+JsonValue::asBool() const
+{
+    CPULLM_ASSERT(type_ == Type::Bool, "JSON value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    CPULLM_ASSERT(type_ == Type::Number, "JSON value is not a number");
+    return number_;
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    CPULLM_ASSERT(type_ == Type::String, "JSON value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue>&
+JsonValue::asArray() const
+{
+    CPULLM_ASSERT(type_ == Type::Array, "JSON value is not an array");
+    return array_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>&
+JsonValue::asObject() const
+{
+    CPULLM_ASSERT(type_ == Type::Object, "JSON value is not an object");
+    return object_;
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (type_ != Type::Object)
+        return nullptr;
+    for (const auto& [k, v] : object_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberOr(const std::string& key, double fallback) const
+{
+    const JsonValue* v = find(key);
+    return v && v->isNumber() ? v->number_ : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string& key,
+                    const std::string& fallback) const
+{
+    const JsonValue* v = find(key);
+    return v && v->isString() ? v->string_ : fallback;
+}
+
+/**
+ * Recursive-descent parser building a JsonValue tree. Mirrors the
+ * checker's grammar; \uXXXX escapes decode to UTF-8 (surrogate pairs
+ * included).
+ */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string& text) : s_(text) {}
+
+    bool
+    parse(JsonValue* out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value(JsonValue* out)
+    {
+        if (depth_ > kMaxDepth || pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object(out);
+          case '[':
+            return array(out);
+          case '"':
+            out->type_ = JsonValue::Type::String;
+            return string(&out->string_);
+          case 't':
+            out->type_ = JsonValue::Type::Bool;
+            out->bool_ = true;
+            return literal("true");
+          case 'f':
+            out->type_ = JsonValue::Type::Bool;
+            out->bool_ = false;
+            return literal("false");
+          case 'n':
+            out->type_ = JsonValue::Type::Null;
+            return literal("null");
+          default:
+            out->type_ = JsonValue::Type::Number;
+            return number(&out->number_);
+        }
+    }
+
+    bool
+    object(JsonValue* out)
+    {
+        out->type_ = JsonValue::Type::Object;
+        ++depth_;
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (peek() != '"' || !string(&key))
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            JsonValue member;
+            if (!value(&member))
+                return false;
+            out->object_.emplace_back(std::move(key),
+                                      std::move(member));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array(JsonValue* out)
+    {
+        out->type_ = JsonValue::Type::Array;
+        ++depth_;
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue element;
+            if (!value(&element))
+                return false;
+            out->array_.push_back(std::move(element));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                --depth_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    hex4(unsigned* out)
+    {
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= s_.size())
+                return false;
+            const char c = s_[pos_++];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return false;
+        }
+        *out = v;
+        return true;
+    }
+
+    static void
+    appendUtf8(std::string* out, unsigned cp)
+    {
+        if (cp < 0x80) {
+            *out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            *out += static_cast<char>(0xC0 | (cp >> 6));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            *out += static_cast<char>(0xE0 | (cp >> 12));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            *out += static_cast<char>(0xF0 | (cp >> 18));
+            *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    string(std::string* out)
+    {
+        ++pos_; // '"'
+        while (pos_ < s_.size()) {
+            const unsigned char c =
+                static_cast<unsigned char>(s_[pos_]);
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c < 0x20)
+                return false;
+            if (c != '\\') {
+                *out += static_cast<char>(c);
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= s_.size())
+                return false;
+            const char e = s_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                *out += e;
+                break;
+              case 'b':
+                *out += '\b';
+                break;
+              case 'f':
+                *out += '\f';
+                break;
+              case 'n':
+                *out += '\n';
+                break;
+              case 'r':
+                *out += '\r';
+                break;
+              case 't':
+                *out += '\t';
+                break;
+              case 'u': {
+                unsigned cp = 0;
+                if (!hex4(&cp))
+                    return false;
+                if (cp >= 0xD800 && cp <= 0xDBFF) {
+                    // High surrogate; require the low half.
+                    if (pos_ + 1 >= s_.size() || s_[pos_] != '\\' ||
+                        s_[pos_ + 1] != 'u')
+                        return false;
+                    pos_ += 2;
+                    unsigned lo = 0;
+                    if (!hex4(&lo) || lo < 0xDC00 || lo > 0xDFFF)
+                        return false;
+                    cp = 0x10000 + ((cp - 0xD800) << 10) +
+                         (lo - 0xDC00);
+                }
+                appendUtf8(out, cp);
+                break;
+              }
+              default:
+                return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool
+    number(double* out)
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        if (!digit())
+            return false;
+        if (s_[pos_] == '0') {
+            ++pos_;
+        } else {
+            while (digit())
+                ++pos_;
+        }
+        if (peek() == '.') {
+            ++pos_;
+            if (!digit())
+                return false;
+            while (digit())
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            if (!digit())
+                return false;
+            while (digit())
+                ++pos_;
+        }
+        *out = std::strtod(s_.c_str() + start, nullptr);
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char* word)
+    {
+        for (const char* p = word; *p; ++p, ++pos_) {
+            if (pos_ >= s_.size() || s_[pos_] != *p)
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    digit() const
+    {
+        return pos_ < s_.size() &&
+               std::isdigit(static_cast<unsigned char>(s_[pos_]));
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    static constexpr int kMaxDepth = 512;
+
+    const std::string& s_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+bool
+JsonValue::parse(const std::string& text, JsonValue* out)
+{
+    JsonValue parsed;
+    if (!JsonParser(text).parse(&parsed)) {
+        *out = JsonValue();
+        return false;
+    }
+    *out = std::move(parsed);
+    return true;
 }
 
 } // namespace cpullm

@@ -4,12 +4,17 @@
 /**
  * @file
  * Minimal JSON helpers: string escaping for the writers (trace export,
- * run reports) and a dependency-free syntax validator used by the
+ * run reports), a dependency-free syntax validator used by the
  * self-check tests so exported traces are guaranteed loadable by
- * Perfetto / chrome://tracing without a Python toolchain.
+ * Perfetto / chrome://tracing without a Python toolchain, and a small
+ * DOM parser (JsonValue) for the readers — the bench_diff baseline
+ * comparator consumes BENCH_*.json through it.
  */
 
+#include <cstddef>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cpullm {
 
@@ -25,6 +30,57 @@ std::string jsonQuote(const std::string& s);
  * whitespace after it. Accepts strict RFC 8259 JSON only.
  */
 bool jsonValid(const std::string& text);
+
+/**
+ * A parsed JSON value. Objects keep their members in document order
+ * (std::vector, which unlike std::map supports the recursive member
+ * type); lookup is linear, fine for the small documents we read.
+ */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    /**
+     * Parse one strict (RFC 8259) JSON value; trailing non-space
+     * input or any syntax error yields false and leaves @p out null.
+     */
+    static bool parse(const std::string& text, JsonValue* out);
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Typed accessors; panic on kind mismatch (internal error). */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string& asString() const;
+    const std::vector<JsonValue>& asArray() const;
+    const std::vector<std::pair<std::string, JsonValue>>&
+    asObject() const;
+
+    /** Object member by key; nullptr if absent or not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** Member as a number/string with a fallback. */
+    double numberOr(const std::string& key, double fallback) const;
+    std::string stringOr(const std::string& key,
+                         const std::string& fallback) const;
+
+  private:
+    friend class JsonParser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::vector<std::pair<std::string, JsonValue>> object_;
+};
 
 } // namespace cpullm
 

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Bench baselines and the regression gate: suite coverage, JSON
+ * round-trip fidelity, self-diff cleanliness, and that the
+ * comparator actually fails on regressions, drifts, and missing
+ * metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "core/bench_suite.h"
+#include "util/json.h"
+
+using namespace cpullm;
+using core::BenchBaseline;
+using core::BenchDiffOptions;
+using core::MetricDirection;
+
+namespace {
+
+BenchBaseline
+sampleBaseline()
+{
+    BenchBaseline b;
+    b.id = "sample";
+    b.title = "a sample bench";
+    b.wallSeconds = 0.25;
+    b.metrics = {{"e2e_s", 1.5},
+                 {"tokens_per_s", 100.0},
+                 {"attr_decode_memory_share", 0.8}};
+    return b;
+}
+
+std::string
+tempDir(const char* leaf)
+{
+    const auto dir =
+        std::filesystem::temp_directory_path() / leaf;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+} // namespace
+
+TEST(BenchSuite, QuickSuiteCoversAtLeastTenEntries)
+{
+    core::BenchSuiteOptions opt;
+    opt.quick = true;
+    const auto ids = core::benchSuiteIds(opt);
+    EXPECT_GE(ids.size(), 10u);
+    const std::set<std::string> unique(ids.begin(), ids.end());
+    EXPECT_EQ(unique.size(), ids.size()) << "duplicate bench ids";
+    // The attribution entries ride along with the figure sweeps.
+    EXPECT_TRUE(unique.count("attr_llama2_13b_spr_b1"));
+    EXPECT_TRUE(unique.count("fig08_latency"));
+}
+
+TEST(BenchSuite, RunQuickSuiteMergesRunnerStats)
+{
+    core::BenchSuiteOptions opt;
+    opt.quick = true;
+    stats::Registry reg;
+    const auto baselines = core::runBenchSuite(opt, &reg);
+    EXPECT_EQ(baselines.size(), core::benchSuiteIds(opt).size());
+    for (const auto& b : baselines) {
+        EXPECT_FALSE(b.metrics.empty()) << b.id;
+        EXPECT_TRUE(jsonValid(b.toJson())) << b.id;
+    }
+    // Per-entry registry shards merged into one view.
+    EXPECT_EQ(reg.getScalar("bench.entries").value(),
+              static_cast<double>(baselines.size()));
+    EXPECT_EQ(reg.getDistribution("bench.entry_seconds").count(),
+              baselines.size());
+    EXPECT_GT(reg.getScalar("bench.metrics").value(), 0.0);
+}
+
+TEST(BenchSuite, BaselineJsonRoundTripsExactly)
+{
+    const BenchBaseline b = sampleBaseline();
+    BenchBaseline parsed;
+    ASSERT_TRUE(core::parseBaseline(b.toJson(), &parsed));
+    EXPECT_EQ(parsed.id, b.id);
+    EXPECT_EQ(parsed.title, b.title);
+    ASSERT_EQ(parsed.metrics.size(), b.metrics.size());
+    for (const auto& [key, value] : b.metrics) {
+        ASSERT_TRUE(parsed.metrics.count(key)) << key;
+        // %.17g writes doubles losslessly: bit-exact round trip.
+        EXPECT_EQ(parsed.metrics[key], value) << key;
+    }
+}
+
+TEST(BenchSuite, ParseRejectsMalformedDocuments)
+{
+    BenchBaseline b;
+    EXPECT_FALSE(core::parseBaseline("", &b));
+    EXPECT_FALSE(core::parseBaseline("not json", &b));
+    EXPECT_FALSE(core::parseBaseline("{\"id\":\"x\"}", &b));
+    EXPECT_FALSE(core::parseBaseline(
+        "{\"schema\":1,\"id\":\"x\",\"metrics\":{\"k\":\"str\"}}",
+        &b));
+    // A newer schema than this build understands is rejected.
+    EXPECT_FALSE(core::parseBaseline(
+        "{\"schema\":99,\"id\":\"x\",\"metrics\":{}}", &b));
+    EXPECT_TRUE(core::parseBaseline(
+        "{\"schema\":1,\"id\":\"x\",\"metrics\":{\"k\":2.0}}", &b));
+    EXPECT_EQ(b.id, "x");
+}
+
+TEST(BenchSuite, WriteAndLoadBaselineDir)
+{
+    const std::string dir = tempDir("cpullm_bench_suite_test");
+    BenchBaseline b = sampleBaseline();
+    ASSERT_TRUE(core::writeBaseline(b, dir));
+    b.id = "another";
+    ASSERT_TRUE(core::writeBaseline(b, dir));
+
+    const auto loaded = core::loadBaselineDir(dir);
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].id, "another"); // sorted by id
+    EXPECT_EQ(loaded[1].id, "sample");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(BenchSuite, MetricDirectionHeuristic)
+{
+    EXPECT_EQ(core::metricDirection("e2e_s"),
+              MetricDirection::LowerBetter);
+    EXPECT_EQ(core::metricDirection("ttft_p99_s"),
+              MetricDirection::LowerBetter);
+    EXPECT_EQ(core::metricDirection("llc_mpki"),
+              MetricDirection::LowerBetter);
+    EXPECT_EQ(core::metricDirection("tokens_per_s"),
+              MetricDirection::HigherBetter);
+    EXPECT_EQ(core::metricDirection("SPR/decode_throughput"),
+              MetricDirection::HigherBetter);
+    EXPECT_EQ(core::metricDirection("gemm_tflops/4096"),
+              MetricDirection::HigherBetter);
+    EXPECT_EQ(core::metricDirection("attr_decode_memory_share"),
+              MetricDirection::Characterization);
+    EXPECT_EQ(core::metricDirection("int8_gain"),
+              MetricDirection::Characterization);
+}
+
+TEST(BenchSuite, SelfDiffIsClean)
+{
+    const std::vector<BenchBaseline> set = {sampleBaseline()};
+    std::ostringstream os;
+    EXPECT_EQ(core::diffBaselines(set, set, {}, os), 0);
+}
+
+TEST(BenchSuite, DiffCatchesRegressionByDirection)
+{
+    const std::vector<BenchBaseline> base = {sampleBaseline()};
+    std::vector<BenchBaseline> fresh = base;
+    fresh[0].metrics["e2e_s"] *= 1.10; // latency up 10% = regression
+    std::ostringstream os;
+    EXPECT_EQ(core::diffBaselines(base, fresh, {}, os), 1);
+    EXPECT_NE(os.str().find("regression"), std::string::npos);
+
+    // The mirror image: latency down is an improvement, not a
+    // failure — unless strict mode demands a baseline refresh.
+    fresh = base;
+    fresh[0].metrics["e2e_s"] *= 0.90;
+    std::ostringstream os2;
+    EXPECT_EQ(core::diffBaselines(base, fresh, {}, os2), 0);
+    EXPECT_NE(os2.str().find("improvement"), std::string::npos);
+    BenchDiffOptions strict;
+    strict.strict = true;
+    std::ostringstream os3;
+    EXPECT_EQ(core::diffBaselines(base, fresh, strict, os3), 1);
+}
+
+TEST(BenchSuite, DiffCatchesCharacterizationDriftBothWays)
+{
+    const std::vector<BenchBaseline> base = {sampleBaseline()};
+    for (const double factor : {1.10, 0.90}) {
+        std::vector<BenchBaseline> fresh = base;
+        fresh[0].metrics["attr_decode_memory_share"] *= factor;
+        std::ostringstream os;
+        EXPECT_EQ(core::diffBaselines(base, fresh, {}, os), 1)
+            << factor;
+        EXPECT_NE(os.str().find("drift"), std::string::npos);
+    }
+}
+
+TEST(BenchSuite, DiffCatchesMissingBenchAndMetric)
+{
+    const std::vector<BenchBaseline> base = {sampleBaseline()};
+    std::ostringstream os;
+    EXPECT_EQ(core::diffBaselines(base, {}, {}, os), 1);
+    EXPECT_NE(os.str().find("missing"), std::string::npos);
+
+    std::vector<BenchBaseline> fresh = base;
+    fresh[0].metrics.erase("tokens_per_s");
+    std::ostringstream os2;
+    EXPECT_EQ(core::diffBaselines(base, fresh, {}, os2), 1);
+}
+
+TEST(BenchSuite, DiffToleratesNoiseWithinThreshold)
+{
+    const std::vector<BenchBaseline> base = {sampleBaseline()};
+    std::vector<BenchBaseline> fresh = base;
+    // 1% wiggle on every metric: inside the 2% gate.
+    for (auto& [key, value] : fresh[0].metrics)
+        value *= 1.01;
+    fresh[0].wallSeconds *= 10.0; // wall clock is never judged
+    std::ostringstream os;
+    EXPECT_EQ(core::diffBaselines(base, fresh, {}, os), 0);
+}
+
+TEST(BenchSuite, QuickSuiteIsDeterministic)
+{
+    core::BenchSuiteOptions opt;
+    opt.quick = true;
+    const auto a = core::runBenchSuite(opt);
+    const auto b = core::runBenchSuite(opt);
+    ASSERT_EQ(a.size(), b.size());
+    BenchDiffOptions exact;
+    exact.relTol = 0.0;
+    exact.absTol = 0.0;
+    std::ostringstream os;
+    EXPECT_EQ(core::diffBaselines(a, b, exact, os), 0) << os.str();
+}

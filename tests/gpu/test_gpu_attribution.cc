@@ -1,0 +1,111 @@
+/**
+ * @file
+ * GPU-side bottleneck attribution: component times reproduce the
+ * OffloadBreakdown exactly, the attributed transfer share of an
+ * offloaded run equals the paper's Fig 18 "load" fraction, and
+ * resident runs carry no PCIe component.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpu/gpu_attribution.h"
+#include "hw/platform.h"
+#include "model/spec.h"
+#include "util/json.h"
+
+using namespace cpullm;
+using obs::Attribution;
+using obs::AttributionNode;
+using obs::BoundBy;
+
+TEST(GpuAttribution, OffloadedSharesSumToOne)
+{
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const Attribution a = gpu::attributeGpuRun(
+        a100, model::opt30b(), perf::paperWorkload(8));
+    ASSERT_FALSE(a.root.children.empty());
+    double share_sum = 0.0;
+    for (const auto& phase : a.root.children) {
+        share_sum += phase.share;
+        EXPECT_NEAR(phase.boundCompute + phase.boundMemory +
+                        phase.boundOverhead + phase.boundTransfer,
+                    phase.time, 1e-9 * std::max(1.0, phase.time))
+            << phase.name;
+        double child_share = 0.0;
+        for (const auto& c : phase.children)
+            child_share += c.share;
+        EXPECT_NEAR(child_share, 1.0, 1e-9) << phase.name;
+    }
+    EXPECT_NEAR(share_sum, 1.0, 1e-9);
+}
+
+TEST(GpuAttribution, TransferShareMatchesFig18LoadFraction)
+{
+    // OPT-30B does not fit in 80 GB: FlexGen-style offload, where the
+    // run is dominated by streaming weights over PCIe (Fig 18).
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const model::ModelSpec spec = model::opt30b();
+    const perf::Workload w = perf::paperWorkload(8);
+    const auto r = a100.run(spec, w);
+    ASSERT_EQ(r.placement, gpu::GpuPlacement::Offloaded);
+
+    const Attribution a = gpu::attributeGpuResult(a100, r);
+    EXPECT_NEAR(a.root.time, r.totalBreakdown.totalTime,
+                1e-9 * r.totalBreakdown.totalTime);
+    EXPECT_NEAR(a.root.boundTransfer / a.root.time,
+                r.totalBreakdown.loadFraction(), 1e-9);
+    // Decode at small batch is load-dominated: transfer verdict.
+    const AttributionNode* decode = a.phase("decode");
+    ASSERT_NE(decode, nullptr);
+    EXPECT_EQ(decode->boundBy, BoundBy::Transfer);
+    EXPECT_NE(a.device.find("offload"), std::string::npos);
+}
+
+TEST(GpuAttribution, PhaseComponentsReproduceBreakdown)
+{
+    const gpu::GpuPerfModel h100(hw::nvidiaH100());
+    const model::ModelSpec spec = model::opt66b();
+    const perf::Workload w = perf::paperWorkload(8);
+    const auto r = h100.run(spec, w);
+    ASSERT_EQ(r.placement, gpu::GpuPlacement::Offloaded);
+
+    const Attribution a = gpu::attributeGpuResult(h100, r);
+    const AttributionNode* prefill = a.phase("prefill");
+    ASSERT_NE(prefill, nullptr);
+    EXPECT_NEAR(prefill->time, r.prefillBreakdown.totalTime,
+                1e-9 * r.prefillBreakdown.totalTime);
+    const AttributionNode* load = prefill->child("pcie_load");
+    if (r.prefillBreakdown.pcieLoadTime > 0.0) {
+        ASSERT_NE(load, nullptr);
+        EXPECT_NEAR(load->time, r.prefillBreakdown.pcieLoadTime,
+                    1e-12);
+        EXPECT_EQ(load->boundBy, BoundBy::Transfer);
+    }
+}
+
+TEST(GpuAttribution, ResidentRunHasNoPcieComponent)
+{
+    // OPT-13B fits on the A100: no offload, compute-bound phases.
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const model::ModelSpec spec = model::opt13b();
+    const perf::Workload w = perf::paperWorkload(8);
+    const auto r = a100.run(spec, w);
+    ASSERT_EQ(r.placement, gpu::GpuPlacement::Resident);
+
+    const Attribution a = gpu::attributeGpuResult(a100, r);
+    for (const auto& phase : a.root.children) {
+        EXPECT_EQ(phase.child("pcie_load"), nullptr) << phase.name;
+        EXPECT_DOUBLE_EQ(phase.boundTransfer, 0.0) << phase.name;
+    }
+    EXPECT_NE(a.device.find("resident"), std::string::npos);
+}
+
+TEST(GpuAttribution, JsonSerializesValid)
+{
+    const gpu::GpuPerfModel a100(hw::nvidiaA100());
+    const Attribution a = gpu::attributeGpuRun(
+        a100, model::opt30b(), perf::paperWorkload(1));
+    EXPECT_TRUE(jsonValid(a.toJson()));
+}

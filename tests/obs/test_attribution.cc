@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Bottleneck-attribution math: shares sum to one at every level, the
+ * attributed buckets reproduce the wall clock exactly, node times
+ * reproduce the timing model, and the phase verdicts land on the
+ * paper's Findings 1-2 (prefill compute-bound, decode bound by DRAM
+ * bandwidth on SPR).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "hw/platform.h"
+#include "model/spec.h"
+#include "obs/attribution.h"
+#include "obs/span.h"
+#include "util/json.h"
+
+using namespace cpullm;
+using obs::Attribution;
+using obs::AttributionNode;
+using obs::BoundBy;
+
+namespace {
+
+Attribution
+llamaSprAttribution(std::int64_t batch)
+{
+    const perf::CpuPerfModel m(hw::sprDefaultPlatform());
+    return obs::attributeCpuRun(m, model::llama2_13b(),
+                                perf::paperWorkload(batch));
+}
+
+/** Recursively check the tree invariants at every level. */
+void
+checkNode(const AttributionNode& n)
+{
+    // The four attributed buckets partition the node's wall time.
+    EXPECT_NEAR(n.boundCompute + n.boundMemory + n.boundOverhead +
+                    n.boundTransfer,
+                n.time, 1e-9 * std::max(1.0, n.time))
+        << n.name;
+    if (!n.children.empty()) {
+        double share_sum = 0.0, time_sum = 0.0;
+        for (const auto& c : n.children) {
+            share_sum += c.share;
+            time_sum += c.time;
+            checkNode(c);
+        }
+        EXPECT_NEAR(share_sum, 1.0, 1e-9) << n.name;
+        EXPECT_NEAR(time_sum, n.time, 1e-9 * std::max(1.0, n.time))
+            << n.name;
+    }
+}
+
+} // namespace
+
+TEST(Attribution, SharesSumToOneAtEveryLevel)
+{
+    const Attribution a = llamaSprAttribution(8);
+    ASSERT_FALSE(a.root.children.empty());
+    EXPECT_EQ(a.root.share, 1.0);
+    checkNode(a.root);
+}
+
+TEST(Attribution, PrefillComputeBoundDecodeMemoryBound)
+{
+    // Finding 1/2 at paper batch 8: prefill streams the weights once
+    // per 1024 scheduled tokens (compute-bound); decode streams them
+    // per generated token (DRAM-bandwidth-bound).
+    const Attribution a = llamaSprAttribution(8);
+    const AttributionNode* prefill = a.phase("prefill");
+    const AttributionNode* decode = a.phase("decode");
+    ASSERT_NE(prefill, nullptr);
+    ASSERT_NE(decode, nullptr);
+    EXPECT_EQ(prefill->boundBy, BoundBy::Compute);
+    EXPECT_GT(prefill->boundCompute, 0.5 * prefill->time);
+    EXPECT_EQ(decode->boundBy, BoundBy::Memory);
+    EXPECT_GT(decode->boundMemory, 0.5 * decode->time);
+}
+
+TEST(Attribution, DecodeMemoryBoundAtBatchOne)
+{
+    const Attribution a = llamaSprAttribution(1);
+    const AttributionNode* decode = a.phase("decode");
+    ASSERT_NE(decode, nullptr);
+    EXPECT_EQ(decode->boundBy, BoundBy::Memory);
+}
+
+TEST(Attribution, RootTimeReproducesTimingModel)
+{
+    const perf::CpuPerfModel m(hw::sprDefaultPlatform());
+    const auto spec = model::llama2_13b();
+    const auto w = perf::paperWorkload(8);
+    const Attribution a = obs::attributeCpuRun(m, spec, w);
+    const auto t = m.run(spec, w);
+    EXPECT_NEAR(a.root.time, t.e2eLatency, 1e-9 * t.e2eLatency);
+    const AttributionNode* prefill = a.phase("prefill");
+    ASSERT_NE(prefill, nullptr);
+    EXPECT_NEAR(prefill->time, t.ttft, 1e-9 * t.ttft);
+}
+
+TEST(Attribution, HierarchyRunPhaseLayerOpKind)
+{
+    const Attribution a = llamaSprAttribution(1);
+    EXPECT_EQ(a.root.kind, "run");
+    const AttributionNode* decode = a.phase("decode");
+    ASSERT_NE(decode, nullptr);
+    EXPECT_EQ(decode->kind, "phase");
+    const AttributionNode* layer0 = decode->child("layer0");
+    ASSERT_NE(layer0, nullptr);
+    EXPECT_EQ(layer0->kind, "layer");
+    const AttributionNode* gemm = layer0->child("gemm");
+    ASSERT_NE(gemm, nullptr);
+    EXPECT_EQ(gemm->kind, "op_kind");
+    EXPECT_GT(gemm->flops, 0.0);
+    EXPECT_GT(gemm->dramBytes, 0.0);
+}
+
+TEST(Attribution, UpiExchangeAttributedToTransfer)
+{
+    // At 96 cores the SPR run spans both sockets: each phase carries
+    // a upi_exchange component and a nonzero transfer share. The
+    // 48-core default fits one socket and must show no transfer.
+    const perf::CpuPerfModel spanning(hw::sprPlatform(
+        hw::ClusteringMode::Quadrant, hw::MemoryMode::Flat, 96));
+    const Attribution a = obs::attributeCpuRun(
+        spanning, model::llama2_13b(), perf::paperWorkload(8));
+    const AttributionNode* prefill = a.phase("prefill");
+    ASSERT_NE(prefill, nullptr);
+    const AttributionNode* upi = prefill->child("upi_exchange");
+    ASSERT_NE(upi, nullptr);
+    EXPECT_EQ(upi->boundBy, BoundBy::Transfer);
+    EXPECT_GT(prefill->boundTransfer, 0.0);
+    EXPECT_NEAR(upi->time, upi->boundTransfer, 1e-12);
+
+    const Attribution single = llamaSprAttribution(8);
+    const AttributionNode* sp = single.phase("prefill");
+    ASSERT_NE(sp, nullptr);
+    EXPECT_EQ(sp->child("upi_exchange"), nullptr);
+    EXPECT_DOUBLE_EQ(sp->boundTransfer, 0.0);
+}
+
+TEST(Attribution, AchievedBelowPeakRoofline)
+{
+    const Attribution a = llamaSprAttribution(8);
+    EXPECT_GT(a.peakGflops, 0.0);
+    EXPECT_GT(a.peakDramGBps, 0.0);
+    for (const auto& phase : a.root.children) {
+        EXPECT_LE(phase.achievedGflops(), a.peakGflops * 1.0001)
+            << phase.name;
+        EXPECT_LE(phase.achievedDramGBps(), a.peakDramGBps * 1.0001)
+            << phase.name;
+    }
+}
+
+TEST(Attribution, ToJsonIsValidAndCarriesVerdicts)
+{
+    const Attribution a = llamaSprAttribution(1);
+    const std::string json = a.toJson();
+    EXPECT_TRUE(jsonValid(json));
+
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(json, &doc));
+    EXPECT_EQ(doc.numberOr("schema", 0), Attribution::kSchemaVersion);
+    const JsonValue* run = doc.find("run");
+    ASSERT_NE(run, nullptr);
+    const JsonValue* children = run->find("children");
+    ASSERT_NE(children, nullptr);
+    bool saw_decode_memory = false;
+    for (const auto& phase : children->asArray()) {
+        if (phase.stringOr("name", "") == "decode")
+            saw_decode_memory =
+                phase.stringOr("bound_by", "") == "memory";
+    }
+    EXPECT_TRUE(saw_decode_memory);
+}
+
+TEST(Attribution, SummaryMetricsSharesSumToOne)
+{
+    const Attribution a = llamaSprAttribution(8);
+    std::map<std::string, double> m;
+    a.summaryMetrics(m);
+    for (const char* phase : {"prefill", "decode"}) {
+        const std::string pre = std::string("attr_") + phase + "_";
+        ASSERT_TRUE(m.count(pre + "compute_share")) << phase;
+        EXPECT_NEAR(m[pre + "compute_share"] +
+                        m[pre + "memory_share"] +
+                        m[pre + "overhead_share"] +
+                        m[pre + "transfer_share"],
+                    1.0, 1e-9)
+            << phase;
+    }
+    EXPECT_NEAR(m["attr_prefill_share"] + m["attr_decode_share"], 1.0,
+                1e-9);
+    EXPECT_EQ(m.count("attr_prefill_bound_compute"), 1u);
+    EXPECT_EQ(m.count("attr_decode_bound_memory"), 1u);
+}
+
+TEST(Attribution, RenderReportMentionsVerdictsAndPeaks)
+{
+    const Attribution a = llamaSprAttribution(8);
+    std::ostringstream os;
+    obs::renderAttributionReport(os, a);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("bottleneck attribution"), std::string::npos);
+    EXPECT_NE(out.find("prefill"), std::string::npos);
+    EXPECT_NE(out.find("decode"), std::string::npos);
+    EXPECT_NE(out.find("% of"), std::string::npos); // roofline line
+}
+
+TEST(Attribution, CounterTrackExportsShares)
+{
+    const Attribution a = llamaSprAttribution(1);
+    obs::Tracer tr;
+    const obs::TrackId track = tr.track("attr", "test");
+    obs::emitAttributionShares(tr, track.pid, 0.0,
+                               *a.phase("decode"));
+    obs::closeAttributionShares(tr, track.pid, 1.0);
+    std::ostringstream os;
+    tr.writeChromeTrace(os);
+    const std::string json = os.str();
+    EXPECT_TRUE(jsonValid(json));
+    EXPECT_NE(json.find("attribution_share"), std::string::npos);
+}

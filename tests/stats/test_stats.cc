@@ -210,6 +210,115 @@ TEST(Registry, HistogramInNamesDumpAndReset)
     EXPECT_EQ(r.getHistogram("serve.ttft").count(), 0u);
 }
 
+TEST(Merge, ScalarAddsSumsAndCounts)
+{
+    Scalar a, b;
+    a += 2.0;
+    a += 3.0;
+    b += 10.0;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.value(), 15.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Merge, DistributionMatchesSingleStream)
+{
+    // Split one sample stream across two shards; the merged result
+    // must agree with sampling everything into one distribution.
+    const std::vector<double> all{4.0, 1.5, 7.0, 2.0, -3.0, 9.5, 0.1};
+    Distribution whole, left, right;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        whole.sample(all[i]);
+        (i < 3 ? left : right).sample(all[i]);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+}
+
+TEST(Merge, DistributionWithEmptySides)
+{
+    Distribution empty, filled;
+    filled.sample(2.0);
+    filled.sample(4.0);
+
+    Distribution a = filled;
+    a.merge(empty); // no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+
+    Distribution b; // empty absorbs the other side wholesale
+    b.merge(filled);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.min(), 2.0);
+    EXPECT_DOUBLE_EQ(b.max(), 4.0);
+}
+
+TEST(Merge, HistogramAddsBuckets)
+{
+    Histogram a(0.0, 10.0, 5), b(0.0, 10.0, 5);
+    a.sample(1.0);
+    a.sample(-1.0); // underflow
+    b.sample(1.5);
+    b.sample(25.0); // overflow
+    a.merge(b);
+    EXPECT_EQ(a.count(), 4u);
+    EXPECT_EQ(a.underflow(), 1u);
+    EXPECT_EQ(a.overflow(), 1u);
+    EXPECT_EQ(a.buckets()[0], 2u); // both 1.0 and 1.5 in [0,2)
+}
+
+TEST(MergeDeath, HistogramBoundsMustMatch)
+{
+    Histogram a(0.0, 10.0, 5), b(0.0, 20.0, 5);
+    EXPECT_DEATH(a.merge(b), "different bounds");
+}
+
+TEST(Merge, RegistryCombinesPerThreadShards)
+{
+    // The parallel-sweep pattern: every worker samples into its own
+    // registry, then the shards fold into one.
+    Registry total, shard1, shard2;
+    shard1.scalar("requests", "requests served") += 2.0;
+    shard1.distribution("ttft", "time to first token").sample(0.5);
+    shard1.histogram("e2e", 0.0, 8.0, 4).sample(1.0);
+    shard2.scalar("requests") += 3.0;
+    shard2.distribution("ttft").sample(1.5);
+    shard2.histogram("e2e", 0.0, 8.0, 4).sample(5.0);
+
+    total.merge(shard1);
+    total.merge(shard2);
+    EXPECT_DOUBLE_EQ(total.getScalar("requests").value(), 5.0);
+    EXPECT_EQ(total.getDistribution("ttft").count(), 2u);
+    EXPECT_DOUBLE_EQ(total.getDistribution("ttft").mean(), 1.0);
+    EXPECT_EQ(total.getHistogram("e2e").count(), 2u);
+    // Descriptions travel with the first shard that carries them.
+    EXPECT_EQ(total.description("requests"), "requests served");
+}
+
+TEST(Merge, RegistryMergeIntoExistingEntries)
+{
+    Registry a, b;
+    a.scalar("x") += 1.0;
+    b.scalar("x") += 2.0;
+    b.scalar("only_b") += 7.0;
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.getScalar("x").value(), 3.0);
+    EXPECT_DOUBLE_EQ(a.getScalar("only_b").value(), 7.0);
+    EXPECT_EQ(a.names().size(), 2u);
+}
+
+TEST(MergeDeath, RegistryKindMismatchPanics)
+{
+    Registry a, b;
+    a.scalar("stat") += 1.0;
+    b.distribution("stat").sample(1.0);
+    EXPECT_DEATH(a.merge(b), "kind mismatch");
+}
+
 } // namespace
 } // namespace stats
 } // namespace cpullm

@@ -87,5 +87,100 @@ TEST(JsonValid, HandlesDeepNestingWithoutOverflow)
     EXPECT_TRUE(jsonValid(ok));
 }
 
+TEST(JsonValue, ParsesScalars)
+{
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse("true", &v));
+    EXPECT_TRUE(v.isBool());
+    EXPECT_TRUE(v.asBool());
+    ASSERT_TRUE(JsonValue::parse("null", &v));
+    EXPECT_TRUE(v.isNull());
+    ASSERT_TRUE(JsonValue::parse("-12.5e3", &v));
+    EXPECT_TRUE(v.isNumber());
+    EXPECT_DOUBLE_EQ(v.asNumber(), -12500.0);
+    ASSERT_TRUE(JsonValue::parse("\"str\"", &v));
+    EXPECT_EQ(v.asString(), "str");
+}
+
+TEST(JsonValue, ParsesContainersInDocumentOrder)
+{
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse(
+        "{\"b\": 2, \"a\": [1, true, \"x\"], \"c\": {\"d\": null}}",
+        &v));
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.asObject().size(), 3u);
+    EXPECT_EQ(v.asObject()[0].first, "b"); // not sorted
+    const JsonValue* a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_TRUE(a->isArray());
+    ASSERT_EQ(a->asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(a->asArray()[0].asNumber(), 1.0);
+    EXPECT_TRUE(a->asArray()[1].asBool());
+    EXPECT_EQ(a->asArray()[2].asString(), "x");
+    const JsonValue* c = v.find("c");
+    ASSERT_NE(c, nullptr);
+    ASSERT_NE(c->find("d"), nullptr);
+    EXPECT_TRUE(c->find("d")->isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonValue, LookupHelpersWithFallbacks)
+{
+    JsonValue v;
+    ASSERT_TRUE(
+        JsonValue::parse("{\"n\": 2.5, \"s\": \"hi\"}", &v));
+    EXPECT_DOUBLE_EQ(v.numberOr("n", 0.0), 2.5);
+    EXPECT_DOUBLE_EQ(v.numberOr("absent", 7.0), 7.0);
+    EXPECT_DOUBLE_EQ(v.numberOr("s", 7.0), 7.0); // wrong type
+    EXPECT_EQ(v.stringOr("s", ""), "hi");
+    EXPECT_EQ(v.stringOr("n", "fb"), "fb");
+    // find() on a non-object is a nullptr, not a panic.
+    JsonValue num;
+    ASSERT_TRUE(JsonValue::parse("3", &num));
+    EXPECT_EQ(num.find("x"), nullptr);
+}
+
+TEST(JsonValue, DecodesEscapes)
+{
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse(
+        "\"a\\\"b\\\\c\\/d\\n\\t\\u0041\"", &v));
+    EXPECT_EQ(v.asString(), "a\"b\\c/d\n\tA");
+    // Non-ASCII \u escapes become UTF-8; surrogate pairs decode.
+    ASSERT_TRUE(JsonValue::parse("\"\\u00e9\"", &v));
+    EXPECT_EQ(v.asString(), "\xc3\xa9"); // é
+    ASSERT_TRUE(JsonValue::parse("\"\\ud83d\\ude00\"", &v));
+    EXPECT_EQ(v.asString(), "\xf0\x9f\x98\x80"); // 😀
+}
+
+TEST(JsonValue, RejectsWhatTheValidatorRejects)
+{
+    JsonValue v;
+    for (const char* bad :
+         {"", "{", "[1,2,]", "{\"a\":}", "01", "1.", "nul",
+          "{} trailing", "\"unterminated", "\"bad \\x\"",
+          "\"\\ud83d\"" /* lone high surrogate */}) {
+        EXPECT_FALSE(JsonValue::parse(bad, &v)) << bad;
+        EXPECT_TRUE(v.isNull()) << bad; // out reset on failure
+    }
+}
+
+TEST(JsonValue, RoundTripsEscapedStrings)
+{
+    const std::string original = "quotes \" slashes \\ and\nlines";
+    JsonValue v;
+    ASSERT_TRUE(JsonValue::parse(jsonQuote(original), &v));
+    EXPECT_EQ(v.asString(), original);
+}
+
+TEST(JsonValue, DeepNestingFailsGracefully)
+{
+    std::string deep(1000, '[');
+    deep += std::string(1000, ']');
+    JsonValue v;
+    EXPECT_FALSE(JsonValue::parse(deep, &v));
+}
+
 } // namespace
 } // namespace cpullm

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Baseline comparator for the bench regression gate.
+ *
+ *   bench_diff <baseline> <fresh> [--rel-tol X] [--abs-tol X]
+ *              [--strict]
+ *
+ * Each operand is either a directory of BENCH_*.json files (as
+ * written by `cpullm bench --out DIR`) or one such file. Exits 0 when
+ * fresh matches baseline within tolerance, 1 on any regression /
+ * characterization drift / missing metric, 2 on a bad invocation.
+ * Improvements are reported as notes (failures with --strict, for
+ * enforcing that intentional gains come with a baseline refresh).
+ */
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bench_suite.h"
+#include "util/logging.h"
+
+using namespace cpullm;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: bench_diff <baseline-dir-or-file> "
+           "<fresh-dir-or-file>\n"
+           "                  [--rel-tol X] [--abs-tol X] [--strict]\n"
+           "exits 0 = match, 1 = regression, 2 = bad invocation\n";
+    return 2;
+}
+
+std::vector<core::BenchBaseline>
+loadOperand(const std::string& path, bool* ok)
+{
+    *ok = true;
+    if (std::filesystem::is_directory(path)) {
+        auto out = core::loadBaselineDir(path);
+        if (out.empty()) {
+            std::cerr << "bench_diff: no BENCH_*.json under " << path
+                      << "\n";
+            *ok = false;
+        }
+        return out;
+    }
+    core::BenchBaseline b;
+    if (!core::loadBaselineFile(path, &b)) {
+        std::cerr << "bench_diff: cannot load " << path << "\n";
+        *ok = false;
+        return {};
+    }
+    return {b};
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> paths;
+    core::BenchDiffOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--strict") {
+            opt.strict = true;
+        } else if (arg == "--rel-tol" || arg == "--abs-tol") {
+            if (i + 1 >= argc)
+                return usage();
+            const double v = std::atof(argv[++i]);
+            if (v < 0.0)
+                return usage();
+            (arg == "--rel-tol" ? opt.relTol : opt.absTol) = v;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "bench_diff: unknown flag " << arg << "\n";
+            return usage();
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.size() != 2)
+        return usage();
+
+    bool ok_base = false, ok_fresh = false;
+    const auto baseline = loadOperand(paths[0], &ok_base);
+    const auto fresh = loadOperand(paths[1], &ok_fresh);
+    if (!ok_base || !ok_fresh)
+        return 1;
+
+    const int failures =
+        core::diffBaselines(baseline, fresh, opt, std::cout);
+    if (failures) {
+        std::cout << failures << " failure(s) across "
+                  << baseline.size() << " baseline bench(es)\n";
+        return 1;
+    }
+    std::cout << "OK: " << fresh.size() << " bench(es) match "
+              << baseline.size() << " baseline(s) within "
+              << 100.0 * opt.relTol << "%\n";
+    return 0;
+}

@@ -3,13 +3,14 @@
  * cpullm command-line driver.
  *
  *   cpullm run --model opt-13b --platform spr --batch 8 [--prompt N]
- *              [--gen N] [--dtype bf16|i8] [--json]
+ *              [--gen N] [--dtype bf16|i8] [--json] [--attribution]
  *              [--trace-out F] [--report-out F]
  *   cpullm serve --model opt-13b [--device cpu|gpu] [--rate R]
  *                [--requests N] [--max-batch B] [--continuous]
  *                [--trace-out F] [--report-out F] [--json]
  *   cpullm report --model opt-13b [serve flags] [--report-out F]
  *   cpullm compare --model opt-66b --batch 1
+ *   cpullm bench [--out DIR] [--quick]
  *   cpullm findings
  *   cpullm list
  *
@@ -17,15 +18,21 @@
  * serving simulator (static or continuous batching, CPU or GPU
  * device) with optional Perfetto trace and JSONL run-report export;
  * `report` is `serve` with the machine-readable report on stdout;
- * `compare` pits the SPR CPU against both GPUs; `findings` validates
- * the paper's five key findings; `list` shows known models and
- * platforms.
+ * `compare` pits the SPR CPU against both GPUs; `bench` sweeps the
+ * figure experiments into BENCH_*.json baselines (see bench_diff);
+ * `findings` validates the paper's five key findings; `list` shows
+ * known models and platforms.
+ *
+ * Bad invocations — unknown command, unknown flag, missing value —
+ * print an error pointing at --help and exit with status 2.
  */
 
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <set>
 #include <string>
 
 #include "core/cpullm.h"
@@ -34,32 +41,65 @@ using namespace cpullm;
 
 namespace {
 
+/** Exit status for malformed invocations (not simulation errors). */
+constexpr int kUsageExit = 2;
+
+/** Report a bad invocation and exit with status 2. */
+[[noreturn]] void
+usageError(const std::string& msg)
+{
+    std::cerr << "cpullm: " << msg
+              << "\nrun 'cpullm --help' for usage\n";
+    std::exit(kUsageExit);
+}
+
 /** Flags that take no value. */
 bool
 isBooleanFlag(const std::string& key)
 {
-    return key == "json" || key == "continuous";
+    return key == "json" || key == "continuous" ||
+           key == "attribution" || key == "quick";
 }
 
-/** Minimal --key value parser; fatal() on malformed input. */
+/**
+ * Minimal --key value parser. Only flags in @p allowed are accepted;
+ * anything else (including non-flag tokens and a flag without its
+ * value) is a usage error, exit 2.
+ */
 std::map<std::string, std::string>
-parseFlags(int argc, char** argv, int first)
+parseFlags(int argc, char** argv, int first,
+           const std::set<std::string>& allowed)
 {
     std::map<std::string, std::string> flags;
     for (int i = first; i < argc; ++i) {
         std::string key = argv[i];
         if (!startsWith(key, "--"))
-            CPULLM_FATAL("expected --flag, got '", key, "'");
+            usageError("expected --flag, got '" + key + "'");
         key = key.substr(2);
+        if (!allowed.count(key)) {
+            usageError("unknown flag --" + key + " for '" +
+                       std::string(argv[1]) + "'");
+        }
         if (isBooleanFlag(key)) {
             flags[key] = "1";
             continue;
         }
         if (i + 1 >= argc)
-            CPULLM_FATAL("missing value for --", key);
+            usageError("missing value for --" + key);
         flags[key] = argv[++i];
     }
     return flags;
+}
+
+/** Flags every workload-taking command understands. */
+const std::set<std::string> kWorkloadFlags = {"batch", "prompt",
+                                              "gen", "dtype"};
+
+std::set<std::string>
+withWorkloadFlags(std::set<std::string> extra)
+{
+    extra.insert(kWorkloadFlags.begin(), kWorkloadFlags.end());
+    return extra;
 }
 
 std::string
@@ -84,7 +124,10 @@ workloadFromFlags(const std::map<std::string, std::string>& flags)
 int
 cmdRun(int argc, char** argv)
 {
-    const auto flags = parseFlags(argc, argv, 2);
+    const auto flags = parseFlags(
+        argc, argv, 2,
+        withWorkloadFlags({"model", "platform", "json", "attribution",
+                           "trace-out", "report-out"}));
     const auto spec =
         model::modelByName(flagOr(flags, "model", "llama2-7b"));
     const auto platform =
@@ -102,10 +145,13 @@ cmdRun(int argc, char** argv)
         inform("wrote trace ", flags.at("trace-out"));
     if (flags.count("report-out")) {
         const obs::RunReport report = obs::makeInferenceReport(
-            platform.label(), spec.name, w, r.timing, r.counters);
+            platform.label(), spec.name, w, r.timing, r.counters,
+            &r.attribution);
         if (report.appendJsonlFile(flags.at("report-out")))
             inform("appended report to ", flags.at("report-out"));
     }
+    if (flags.count("attribution"))
+        obs::renderAttributionReport(std::cout, r.attribution);
 
     if (flags.count("json")) {
         std::cout << strformat(
@@ -153,7 +199,12 @@ cmdRun(int argc, char** argv)
 int
 cmdServe(int argc, char** argv, bool report_mode)
 {
-    const auto flags = parseFlags(argc, argv, 2);
+    const auto flags = parseFlags(
+        argc, argv, 2,
+        withWorkloadFlags({"model", "device", "gpu", "platform",
+                           "rate", "requests", "max-batch", "max-wait",
+                           "seed", "continuous", "json", "trace-out",
+                           "report-out"}));
     const auto spec =
         model::modelByName(flagOr(flags, "model", "opt-13b"));
     perf::Workload w = workloadFromFlags(flags);
@@ -265,7 +316,8 @@ cmdServe(int argc, char** argv, bool report_mode)
 int
 cmdCompare(int argc, char** argv)
 {
-    const auto flags = parseFlags(argc, argv, 2);
+    const auto flags =
+        parseFlags(argc, argv, 2, withWorkloadFlags({"model"}));
     const auto spec =
         model::modelByName(flagOr(flags, "model", "opt-30b"));
     const perf::Workload w = workloadFromFlags(flags);
@@ -301,6 +353,31 @@ cmdCompare(int argc, char** argv)
     gpu_row("H100", rh);
     t.print(std::cout);
     return 0;
+}
+
+/**
+ * Sweep the figure experiments into BENCH_*.json baseline files (see
+ * core/bench_suite.h and tools/bench_diff).
+ */
+int
+cmdBench(int argc, char** argv)
+{
+    const auto flags = parseFlags(argc, argv, 2, {"out", "quick"});
+    core::BenchSuiteOptions opt;
+    opt.quick = flags.count("quick") != 0;
+    const std::string dir = flagOr(flags, "out", "bench_results");
+
+    stats::Registry reg;
+    const auto baselines = core::runBenchSuite(opt, &reg);
+    int written = 0;
+    for (const auto& b : baselines) {
+        if (core::writeBaseline(b, dir))
+            ++written;
+    }
+    reg.dump(std::cout);
+    inform("wrote ", written, " of ", baselines.size(),
+           " baselines to ", dir, "/");
+    return written == static_cast<int>(baselines.size()) ? 0 : 1;
 }
 
 int
@@ -350,6 +427,8 @@ usage()
            "           [--trace-out F] [--report-out F]\n"
            "  report   serve, printing the JSON run report on stdout\n"
            "  compare  --model M --batch N [--prompt N] [--gen N]\n"
+           "  bench    [--out DIR] [--quick]  write BENCH_*.json\n"
+           "           baselines (compare with bench_diff)\n"
            "  findings validate the paper's five key findings\n"
            "  list     known models and platforms\n";
 }
@@ -361,7 +440,7 @@ main(int argc, char** argv)
 {
     if (argc < 2) {
         usage();
-        return 1;
+        return kUsageExit;
     }
     const std::string cmd = argv[1];
     if (cmd == "run")
@@ -372,14 +451,19 @@ main(int argc, char** argv)
         return cmdServe(argc, argv, /*report_mode=*/true);
     if (cmd == "compare")
         return cmdCompare(argc, argv);
-    if (cmd == "findings")
+    if (cmd == "bench")
+        return cmdBench(argc, argv);
+    if (cmd == "findings") {
+        parseFlags(argc, argv, 2, {});
         return cmdFindings();
-    if (cmd == "list")
+    }
+    if (cmd == "list") {
+        parseFlags(argc, argv, 2, {});
         return cmdList();
+    }
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
         usage();
         return 0;
     }
-    usage();
-    CPULLM_FATAL("unknown command '", cmd, "'");
+    usageError("unknown command '" + cmd + "'");
 }
