@@ -34,15 +34,19 @@
 #include "obs/attribution.h"
 #include "obs/counters.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/run_report.h"
 #include "obs/span.h"
+#include "obs/timeseries.h"
 #include "opt/hybrid.h"
 #include "opt/numa_placement.h"
 #include "perf/cpu_model.h"
 #include "perf/workload.h"
 #include "serve/serving_sim.h"
+#include "serve/telemetry.h"
 #include "stats/stats.h"
 #include "trace/timeline.h"
+#include "util/http_server.h"
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/string_util.h"

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <fstream>
 
 #include "util/csv.h"
@@ -41,12 +42,17 @@ writeRegistryJson(std::ostream& os, const stats::Registry& reg)
             break;
           }
           case stats::StatKind::Histogram: {
+            // Quantiles of an empty histogram are NaN; jsonNumber
+            // turns them into null so the document stays parseable.
             const auto& h = reg.getHistogram(name);
             os << strformat(
-                "\"kind\":\"histogram\",\"p50\":%.9g,\"p95\":%.9g,"
-                "\"p99\":%.9g,\"n\":%llu,\"underflow\":%llu,"
-                "\"overflow\":%llu",
-                h.quantile(50.0), h.quantile(95.0), h.quantile(99.0),
+                "\"kind\":\"histogram\",\"p50\":%s,\"p95\":%s,"
+                "\"p99\":%s,\"sum\":%s,\"n\":%llu,"
+                "\"underflow\":%llu,\"overflow\":%llu",
+                jsonNumber(h.quantile(50.0)).c_str(),
+                jsonNumber(h.quantile(95.0)).c_str(),
+                jsonNumber(h.quantile(99.0)).c_str(),
+                jsonNumber(h.sum()).c_str(),
                 static_cast<unsigned long long>(h.count()),
                 static_cast<unsigned long long>(h.underflow()),
                 static_cast<unsigned long long>(h.overflow()));
@@ -93,10 +99,15 @@ writeRegistryCsv(std::ostream& os, const stats::Registry& reg)
           }
           case stats::StatKind::Histogram: {
             const auto& h = reg.getHistogram(name);
+            // Empty cells, not "nan", for quantiles with no samples.
+            auto cell = [](double v) {
+                return std::isfinite(v) ? formatNumber(v, 9)
+                                        : std::string();
+            };
             row[1] = "histogram";
-            row[6] = formatNumber(h.quantile(50.0), 9);
-            row[7] = formatNumber(h.quantile(95.0), 9);
-            row[8] = formatNumber(h.quantile(99.0), 9);
+            row[6] = cell(h.quantile(50.0));
+            row[7] = cell(h.quantile(95.0));
+            row[8] = cell(h.quantile(99.0));
             row[9] = strformat(
                 "%llu",
                 static_cast<unsigned long long>(h.count()));

@@ -64,7 +64,7 @@ RunReport::toJson() const
             if (!first)
                 out += ',';
             first = false;
-            out += jsonQuote(k) + ":" + strformat("%.9g", v);
+            out += jsonQuote(k) + ":" + jsonNumber(v);
         }
         out += '}';
     }

@@ -1,0 +1,231 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace cpullm {
+namespace obs {
+
+namespace detail {
+
+BucketRing::BucketRing(double window_s, std::size_t slots)
+    : width_(window_s / static_cast<double>(slots)),
+      epochs_(slots, -1)
+{
+    CPULLM_ASSERT(window_s > 0.0 && slots > 0,
+                  "invalid time-series window");
+}
+
+std::int64_t
+BucketRing::epochOf(double t) const
+{
+    return static_cast<std::int64_t>(std::floor(t / width_));
+}
+
+std::size_t
+BucketRing::touch(double t, bool* reused)
+{
+    if (t < 0.0)
+        return kDropped;
+    const std::int64_t e = epochOf(t);
+    const std::size_t s =
+        static_cast<std::size_t>(e) % epochs_.size();
+    if (epochs_[s] == e) {
+        *reused = false;
+        return s;
+    }
+    if (epochs_[s] > e) {
+        // The slot already wrapped past this epoch: the sample is
+        // older than one full window. Drop it.
+        return kDropped;
+    }
+    epochs_[s] = e;
+    *reused = true;
+    return s;
+}
+
+bool
+BucketRing::live(std::size_t i, double now) const
+{
+    if (epochs_[i] < 0)
+        return false;
+    const std::int64_t e = epochOf(now);
+    return epochs_[i] <= e &&
+           epochs_[i] > e - static_cast<std::int64_t>(epochs_.size());
+}
+
+} // namespace detail
+
+WindowedCounter::WindowedCounter(double window_s, std::size_t slots)
+    : ring_(window_s, slots), slots_(slots)
+{
+}
+
+void
+WindowedCounter::record(double t, double amount)
+{
+    bool reused = false;
+    const std::size_t s = ring_.touch(t, &reused);
+    if (s == detail::BucketRing::kDropped)
+        return;
+    if (reused)
+        slots_[s] = Slot{};
+    slots_[s].sum += amount;
+    ++slots_[s].count;
+    if (first_ < 0.0 || t < first_)
+        first_ = t;
+}
+
+double
+WindowedCounter::count(double now) const
+{
+    double n = 0.0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (ring_.live(i, now))
+            n += static_cast<double>(slots_[i].count);
+    }
+    return n;
+}
+
+double
+WindowedCounter::sum(double now) const
+{
+    double s = 0.0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (ring_.live(i, now))
+            s += slots_[i].sum;
+    }
+    return s;
+}
+
+double
+WindowedCounter::rate(double now) const
+{
+    // While the first window is filling, divide by the elapsed span
+    // instead of the full window so early readings aren't biased low.
+    double span = ring_.window();
+    if (first_ >= 0.0 && now - first_ < span)
+        span = std::max(now - first_, ring_.slotWidth());
+    return span > 0.0 ? sum(now) / span : 0.0;
+}
+
+WindowedGauge::WindowedGauge(double window_s, std::size_t slots)
+    : ring_(window_s, slots), slots_(slots)
+{
+}
+
+void
+WindowedGauge::record(double t, double v)
+{
+    bool reused = false;
+    const std::size_t s = ring_.touch(t, &reused);
+    if (s != detail::BucketRing::kDropped) {
+        if (reused)
+            slots_[s] = Slot{};
+        Slot& slot = slots_[s];
+        if (slot.count == 0) {
+            slot.min = slot.max = v;
+        } else {
+            slot.min = std::min(slot.min, v);
+            slot.max = std::max(slot.max, v);
+        }
+        slot.sum += v;
+        ++slot.count;
+    }
+    last_ = v;
+    has_last_ = true;
+}
+
+double
+WindowedGauge::min(double now) const
+{
+    double m = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (ring_.live(i, now) && slots_[i].count > 0)
+            m = std::isnan(m) ? slots_[i].min
+                              : std::min(m, slots_[i].min);
+    }
+    return m;
+}
+
+double
+WindowedGauge::max(double now) const
+{
+    double m = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (ring_.live(i, now) && slots_[i].count > 0)
+            m = std::isnan(m) ? slots_[i].max
+                              : std::max(m, slots_[i].max);
+    }
+    return m;
+}
+
+double
+WindowedGauge::mean(double now) const
+{
+    double sum = 0.0;
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (ring_.live(i, now)) {
+            sum += slots_[i].sum;
+            n += slots_[i].count;
+        }
+    }
+    return n ? sum / static_cast<double>(n)
+             : std::numeric_limits<double>::quiet_NaN();
+}
+
+RollingHistogram::RollingHistogram(double window_s,
+                                   std::size_t slices, double lo,
+                                   double hi, std::size_t buckets)
+    : ring_(window_s, slices),
+      slices_(slices, stats::Histogram(lo, hi, buckets))
+{
+}
+
+void
+RollingHistogram::record(double t, double v)
+{
+    bool reused = false;
+    const std::size_t s = ring_.touch(t, &reused);
+    if (s == detail::BucketRing::kDropped)
+        return;
+    if (reused)
+        slices_[s].reset();
+    slices_[s].sample(v);
+}
+
+std::uint64_t
+RollingHistogram::count(double now) const
+{
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < slices_.size(); ++i) {
+        if (ring_.live(i, now))
+            n += slices_[i].count();
+    }
+    return n;
+}
+
+stats::Histogram
+RollingHistogram::merged(double now) const
+{
+    stats::Histogram out(slices_[0].lo(), slices_[0].hi(),
+                         slices_[0].buckets().size());
+    for (std::size_t i = 0; i < slices_.size(); ++i) {
+        if (ring_.live(i, now))
+            out.merge(slices_[i]);
+    }
+    return out;
+}
+
+double
+RollingHistogram::quantile(double now, double p) const
+{
+    return merged(now).quantile(p);
+}
+
+} // namespace obs
+} // namespace cpullm

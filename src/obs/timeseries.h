@@ -1,0 +1,172 @@
+#ifndef CPULLM_OBS_TIMESERIES_H
+#define CPULLM_OBS_TIMESERIES_H
+
+/**
+ * @file
+ * Sliding-window time-series aggregators for live serving telemetry.
+ * The post-hoc observability stack (Perfetto traces, run reports)
+ * answers "what happened"; these answer "what is happening now":
+ * request rates, queue-depth gauges, and rolling latency quantiles
+ * over the trailing window, queryable while the simulation runs.
+ *
+ * All classes share the same ring-of-time-buckets design: the window
+ * is divided into N slots of width window/N, each slot tagged with
+ * the epoch (= floor(t / width)) it currently holds. A write lands in
+ * slot epoch%N, lazily clearing it when the epoch advanced; a read at
+ * time `now` aggregates only slots whose epoch lies within the
+ * trailing window. Writes older than one full window are dropped.
+ * Timestamps are caller-provided seconds — simulated time in the
+ * serving simulator, wall time in a real server.
+ *
+ * None of these classes lock; serve::ServingTelemetry serializes
+ * concurrent access behind its own mutex.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/stats.h"
+
+namespace cpullm {
+namespace obs {
+
+namespace detail {
+
+/** Epoch bookkeeping shared by the windowed aggregators. */
+class BucketRing
+{
+  public:
+    BucketRing(double window_s, std::size_t slots);
+
+    static constexpr std::size_t kDropped =
+        static_cast<std::size_t>(-1);
+
+    /**
+     * Slot for a write at time @p t; sets @p reused when the slot
+     * held an older epoch (caller must clear its payload first).
+     * Returns kDropped for samples older than the ring can hold.
+     */
+    std::size_t touch(double t, bool* reused);
+
+    /** True if slot @p i holds data within [now - window, now]. */
+    bool live(std::size_t i, double now) const;
+
+    std::size_t slots() const { return epochs_.size(); }
+    double window() const { return width_ * static_cast<double>(
+                                epochs_.size()); }
+    double slotWidth() const { return width_; }
+
+  private:
+    std::int64_t epochOf(double t) const;
+
+    double width_;
+    std::vector<std::int64_t> epochs_; // -1 = never written
+};
+
+} // namespace detail
+
+/**
+ * Windowed event counter: record(t, amount) accumulates, rate(now)
+ * yields amount/second over the trailing window (over the elapsed
+ * time instead while the first window is still filling). The live
+ * requests-per-second and tokens-per-second series.
+ */
+class WindowedCounter
+{
+  public:
+    explicit WindowedCounter(double window_s = 60.0,
+                             std::size_t slots = 12);
+
+    void record(double t, double amount = 1.0);
+
+    /** Events in the trailing window. */
+    double count(double now) const;
+    /** Sum of amounts in the trailing window. */
+    double sum(double now) const;
+    /** sum(now) per second of covered window. */
+    double rate(double now) const;
+
+    double window() const { return ring_.window(); }
+
+  private:
+    struct Slot
+    {
+        double sum = 0.0;
+        std::uint64_t count = 0;
+    };
+
+    detail::BucketRing ring_;
+    std::vector<Slot> slots_;
+    double first_ = -1.0; // earliest recorded time, for ramp-up rate
+};
+
+/**
+ * Windowed gauge: tracks the last recorded value plus min/mean/max
+ * over the trailing window. Queue depth and batch occupancy.
+ */
+class WindowedGauge
+{
+  public:
+    explicit WindowedGauge(double window_s = 60.0,
+                           std::size_t slots = 12);
+
+    void record(double t, double v);
+
+    /** Most recent value ever recorded (0 before any sample). */
+    double last() const { return last_; }
+    bool empty() const { return !has_last_; }
+
+    /** Window aggregates; NaN when no sample lies in the window. */
+    double min(double now) const;
+    double max(double now) const;
+    double mean(double now) const;
+
+  private:
+    struct Slot
+    {
+        double min = 0.0;
+        double max = 0.0;
+        double sum = 0.0;
+        std::uint64_t count = 0;
+    };
+
+    detail::BucketRing ring_;
+    std::vector<Slot> slots_;
+    double last_ = 0.0;
+    bool has_last_ = false;
+};
+
+/**
+ * Rolling histogram: one fixed-bucket stats::Histogram per time
+ * slice; queries merge the live slices, so quantile(now, p) is the
+ * interpolated percentile over the trailing window only. The live
+ * TTFT/TPOT/E2E tail-latency series.
+ */
+class RollingHistogram
+{
+  public:
+    RollingHistogram(double window_s, std::size_t slices, double lo,
+                     double hi, std::size_t buckets);
+
+    void record(double t, double v);
+
+    /** Samples in the trailing window. */
+    std::uint64_t count(double now) const;
+
+    /** Merged view of the live slices. */
+    stats::Histogram merged(double now) const;
+
+    /** Windowed percentile (0-100); NaN when the window is empty. */
+    double quantile(double now, double p) const;
+
+    double window() const { return ring_.window(); }
+
+  private:
+    detail::BucketRing ring_;
+    std::vector<stats::Histogram> slices_;
+};
+
+} // namespace obs
+} // namespace cpullm
+
+#endif // CPULLM_OBS_TIMESERIES_H

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "serve/telemetry.h"
 #include "stats/stats.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -89,7 +90,7 @@ ServingResult::e2ePercentile(double p) const
 
 ServingResult
 simulateServing(const ServingConfig& cfg, const LatencyFn& device,
-                obs::Tracer* tracer)
+                obs::Tracer* tracer, ServingTelemetry* telemetry)
 {
     CPULLM_ASSERT(cfg.arrivalRate > 0.0, "arrival rate must be > 0");
     CPULLM_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
@@ -155,6 +156,27 @@ simulateServing(const ServingConfig& cfg, const LatencyFn& device,
             r.firstToken = launch + lat.ttft;
             r.finish = launch + lat.e2e;
             r.batchSize = static_cast<std::int64_t>(count);
+        }
+        if (telemetry) {
+            for (std::size_t i = 0; i < count; ++i)
+                telemetry->onEnqueue(requests[next + i].arrival);
+            // Requests that arrived before the launch but did not
+            // fit the batch stay behind as backlog.
+            std::size_t backlog = 0;
+            while (next + count + backlog < requests.size() &&
+                   requests[next + count + backlog].arrival <=
+                       launch) {
+                ++backlog;
+            }
+            telemetry->onBatchFormed(
+                launch, static_cast<std::int64_t>(count),
+                static_cast<std::int64_t>(backlog));
+            for (std::size_t i = 0; i < count; ++i) {
+                const RequestStats& r = requests[next + i];
+                telemetry->onPrefillDone(r.firstToken, r.ttft());
+                telemetry->onDecodeDone(r.finish, r.ttft(),
+                                        r.e2e());
+            }
         }
         server_free = launch + lat.e2e;
         result.busyTime += lat.e2e;
@@ -222,7 +244,8 @@ cpuStepCosts(const hw::PlatformConfig& platform,
 ServingResult
 simulateContinuousBatching(const ServingConfig& cfg,
                            const StepCosts& costs,
-                           obs::Tracer* tracer)
+                           obs::Tracer* tracer,
+                           ServingTelemetry* telemetry)
 {
     CPULLM_ASSERT(cfg.arrivalRate > 0.0, "arrival rate must be > 0");
     CPULLM_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
@@ -275,15 +298,37 @@ simulateContinuousBatching(const ServingConfig& cfg,
             const double start = now;
             const std::size_t running_before = active.size();
             now += costs.prefill(static_cast<std::int64_t>(admit));
+            if (telemetry) {
+                for (std::size_t i = 0; i < admit; ++i)
+                    telemetry->onEnqueue(
+                        requests[next + i].arrival);
+                std::size_t backlog = 0;
+                while (next + admit + backlog < requests.size() &&
+                       requests[next + admit + backlog].arrival <=
+                           start) {
+                    ++backlog;
+                }
+                telemetry->onBatchFormed(
+                    start,
+                    static_cast<std::int64_t>(running_before +
+                                              admit),
+                    static_cast<std::int64_t>(backlog));
+            }
             for (std::size_t i = 0; i < admit; ++i) {
                 RequestStats& r = requests[next + i];
                 r.start = start;
                 r.firstToken = now; // prefill emits token #1
                 r.batchSize = static_cast<std::int64_t>(
                     running_before + admit);
+                if (telemetry)
+                    telemetry->onPrefillDone(r.firstToken,
+                                             r.ttft());
                 if (costs.genLen <= 1) {
                     r.finish = now;
                     ++done;
+                    if (telemetry)
+                        telemetry->onDecodeDone(r.finish, r.ttft(),
+                                                r.e2e());
                 } else {
                     active.push_back(
                         Active{next + i, costs.genLen - 1});
@@ -303,12 +348,20 @@ simulateContinuousBatching(const ServingConfig& cfg,
         result.busyTime += step;
         batch_sum += static_cast<double>(active.size());
         batch_steps += 1.0;
+        if (telemetry)
+            telemetry->onStep(
+                now, static_cast<std::int64_t>(active.size()));
 
         for (std::size_t i = 0; i < active.size();) {
             Active& a = active[i];
             if (--a.remaining == 0) {
                 requests[a.index].finish = now;
                 ++done;
+                if (telemetry) {
+                    const RequestStats& r = requests[a.index];
+                    telemetry->onDecodeDone(r.finish, r.ttft(),
+                                            r.e2e());
+                }
                 active[i] = active.back();
                 active.pop_back();
             } else {

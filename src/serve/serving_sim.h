@@ -28,6 +28,8 @@
 namespace cpullm {
 namespace serve {
 
+class ServingTelemetry; // serve/telemetry.h
+
 /** Latency of one batched execution. */
 struct BatchLatency
 {
@@ -115,10 +117,16 @@ struct ServingResult
  * (queue / prefill / decode spans inside a request span), a server
  * busy track, and queue-depth / running-request counter tracks; see
  * traceServing().
+ *
+ * With @p telemetry, the per-request lifecycle (enqueue ->
+ * batch-formed -> prefill-done -> decode-done) is streamed into the
+ * live telemetry layer as the event loop advances, so its HTTP
+ * endpoints observe the run in flight (see serve/telemetry.h).
  */
 ServingResult simulateServing(const ServingConfig& cfg,
                               const LatencyFn& device,
-                              obs::Tracer* tracer = nullptr);
+                              obs::Tracer* tracer = nullptr,
+                              ServingTelemetry* telemetry = nullptr);
 
 /** @name Continuous batching (Orca-style iteration scheduling) */
 /// @{
@@ -146,11 +154,14 @@ StepCosts cpuStepCosts(const hw::PlatformConfig& platform,
  * moment they finish, instead of waiting for whole static batches.
  * maxWait is ignored (admission is continuous).
  *
- * Tracing as in simulateServing().
+ * Tracing and live telemetry as in simulateServing(); continuous
+ * batching additionally reports per-iteration batch occupancy.
  */
-ServingResult simulateContinuousBatching(const ServingConfig& cfg,
-                                         const StepCosts& costs,
-                                         obs::Tracer* tracer = nullptr);
+ServingResult
+simulateContinuousBatching(const ServingConfig& cfg,
+                           const StepCosts& costs,
+                           obs::Tracer* tracer = nullptr,
+                           ServingTelemetry* telemetry = nullptr);
 /// @}
 
 /** @name Observability */

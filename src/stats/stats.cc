@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -14,7 +15,7 @@ percentile(std::vector<double> values, double p)
 {
     CPULLM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
     if (values.empty())
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     std::sort(values.begin(), values.end());
     const double rank = p / 100.0 *
                         static_cast<double>(values.size() - 1);
@@ -90,6 +91,7 @@ void
 Histogram::sample(double v)
 {
     ++count_;
+    sum_ += v;
     if (v < lo_) {
         ++underflow_;
         return;
@@ -111,6 +113,7 @@ Histogram::reset()
 {
     std::fill(buckets_.begin(), buckets_.end(), 0);
     count_ = underflow_ = overflow_ = 0;
+    sum_ = 0.0;
 }
 
 void
@@ -124,6 +127,7 @@ Histogram::merge(const Histogram& other)
     count_ += other.count_;
     underflow_ += other.underflow_;
     overflow_ += other.overflow_;
+    sum_ += other.sum_;
 }
 
 double
@@ -144,7 +148,7 @@ Histogram::quantile(double p) const
 {
     CPULLM_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
     if (count_ == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     const double rank = p / 100.0 * static_cast<double>(count_);
     double cum = static_cast<double>(underflow_);
     if (rank <= cum)
@@ -268,6 +272,7 @@ Registry::resetAll()
 void
 Registry::merge(const Registry& other)
 {
+    const auto lock = lockIfPresent();
     for (const auto& [name, oe] : other.entries_) {
         Entry& e = entries_[name];
         if (e.desc.empty())
@@ -295,6 +300,24 @@ Registry::merge(const Registry& other)
             e.hist->merge(*oe.hist);
         }
     }
+}
+
+Registry
+Registry::snapshot() const
+{
+    const auto lock = lockIfPresent();
+    Registry out;
+    for (const auto& [name, e] : entries_) {
+        Entry& ne = out.entries_[name];
+        ne.desc = e.desc;
+        if (e.scalar)
+            ne.scalar = std::make_unique<Scalar>(*e.scalar);
+        if (e.dist)
+            ne.dist = std::make_unique<Distribution>(*e.dist);
+        if (e.hist)
+            ne.hist = std::make_unique<Histogram>(*e.hist);
+    }
+    return out;
 }
 
 void

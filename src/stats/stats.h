@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -21,7 +22,9 @@ namespace stats {
 /**
  * Linearly interpolated percentile (0-100) over raw samples; the one
  * definition shared by the serving simulator, the metrics exporters,
- * and the run reports. Returns 0 for an empty sample set.
+ * and the run reports. An empty sample set has no percentiles:
+ * returns quiet NaN (JSON writers must map it to null, see
+ * obs::writeRegistryJson).
  */
 double percentile(std::vector<double> values, double p);
 
@@ -113,10 +116,19 @@ class Histogram
     double lo() const { return lo_; }
     double hi() const { return hi_; }
 
+    /** Sum of all samples (incl. under/overflow), for mean and the
+     *  Prometheus `_sum` series. */
+    double sum() const { return sum_; }
+    double mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
     /**
      * Estimated percentile (0-100), linearly interpolated within the
      * containing bucket. Underflow samples clamp to lo(), overflow
-     * samples to hi(). Returns 0 with no samples.
+     * samples to hi(). An empty histogram has no quantiles: returns
+     * quiet NaN (JSON writers must map it to null).
      */
     double quantile(double p) const;
 
@@ -127,6 +139,7 @@ class Histogram
     std::uint64_t count_ = 0;
     std::uint64_t underflow_ = 0;
     std::uint64_t overflow_ = 0;
+    double sum_ = 0.0;
 };
 
 /** Which concrete statistic a Registry entry holds. */
@@ -135,6 +148,14 @@ enum class StatKind { Scalar, Distribution, Histogram };
 /**
  * Owns named statistics. Names are hierarchical, dot-separated
  * ("engine.decode.tokens"); dump() emits them in sorted order.
+ *
+ * Threading: recording through the references returned by
+ * scalar()/distribution()/histogram() is NOT synchronized — each
+ * simulation thread records into its own shard registry. The
+ * supported concurrent pattern is shard-and-merge: merge() and
+ * snapshot() serialize on an internal mutex, so a reader (e.g. the
+ * telemetry HTTP endpoint) takes snapshot() copies while writer
+ * threads fold their shards in via merge().
  */
 class Registry
 {
@@ -181,8 +202,18 @@ class Registry
      * entries (with @p other's descriptions) where absent. Same-name
      * entries must hold the same statistic kind — this is how
      * per-thread registries combine after a parallelFor sweep.
+     * Serializes with snapshot() on this registry's mutex (@p other
+     * is read unlocked: it is the caller's thread-local shard).
      */
     void merge(const Registry& other);
+
+    /**
+     * Deep copy of every statistic, taken under the registry mutex —
+     * the read side of the shard-and-merge pattern. The copy is
+     * private to the caller and safe to read while writers keep
+     * merging into this registry.
+     */
+    Registry snapshot() const;
 
     /** Emit "name value description" lines, sorted by name. */
     void dump(std::ostream& os) const;
@@ -200,6 +231,16 @@ class Registry
     };
 
     std::map<std::string, Entry> entries_;
+    /** Guards merge()/snapshot(); heap-allocated so the registry
+     *  stays movable (null after a move — see lockIfPresent()). */
+    mutable std::unique_ptr<std::mutex> mu_ =
+        std::make_unique<std::mutex>();
+
+    std::unique_lock<std::mutex> lockIfPresent() const
+    {
+        return mu_ ? std::unique_lock<std::mutex>(*mu_)
+                   : std::unique_lock<std::mutex>();
+    }
 };
 
 } // namespace stats

@@ -1,0 +1,98 @@
+#ifndef CPULLM_UTIL_HTTP_SERVER_H
+#define CPULLM_UTIL_HTTP_SERVER_H
+
+/**
+ * @file
+ * Minimal dependency-free HTTP/1.1 server over POSIX sockets, in the
+ * spirit of ScaleLLM's embedded /metrics endpoint: GET-only, exact
+ * path routing, a small worker-thread pool, Connection: close per
+ * request. Built for the serving simulator's telemetry endpoints
+ * (/metrics, /health, /stats.json) — not a general web server.
+ *
+ * A matching one-shot client (httpGet) backs `cpullm serve --probe`
+ * and the http-server tests, so the whole socket path is exercised
+ * without curl.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cpullm {
+
+/** One HTTP response; handlers fill status/type/body. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/**
+ * GET-only HTTP server bound to 127.0.0.1. Handlers run on the
+ * worker threads — they must be thread-safe against the simulation
+ * thread (the telemetry layer snapshots under a mutex).
+ */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse()>;
+
+    HttpServer() = default;
+    ~HttpServer();
+
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /** Register @p handler for exact path @p path (query ignored). */
+    void route(const std::string& path, Handler handler);
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral, see port()) and start
+     * the accept loop plus @p threads workers. False if the socket
+     * can't be bound.
+     */
+    bool start(int port, int threads = 2);
+
+    /** Bound port after a successful start(). */
+    int port() const { return port_; }
+
+    bool running() const { return running_.load(); }
+
+    /** Stop accepting, drain workers, join all threads. Idempotent. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void workerLoop();
+    void handleConnection(int fd);
+
+    std::map<std::string, Handler> routes_;
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> running_{false};
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+
+    std::mutex queueMu_;
+    std::condition_variable queueCv_;
+    std::vector<int> pending_; // accepted fds awaiting a worker
+};
+
+/**
+ * Blocking one-shot GET http://@p host:@p port@p path. Returns the
+ * response body; @p status receives the HTTP status (0 on transport
+ * failure). @p timeout_ms bounds connect+read.
+ */
+std::string httpGet(const std::string& host, int port,
+                    const std::string& path, int* status = nullptr,
+                    int timeout_ms = 5000);
+
+} // namespace cpullm
+
+#endif // CPULLM_UTIL_HTTP_SERVER_H

@@ -1,6 +1,7 @@
 #include "util/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -53,6 +54,16 @@ std::string
 jsonQuote(const std::string& s)
 {
     return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
 }
 
 namespace {

@@ -25,6 +25,14 @@ std::string jsonEscape(const std::string& s);
 std::string jsonQuote(const std::string& s);
 
 /**
+ * Serialize a double as a JSON number token. JSON has no NaN or
+ * Infinity literal, so non-finite values (empty-histogram quantiles,
+ * division-by-zero rates) become "null" — parsers see a typed
+ * absent-value instead of a syntax error.
+ */
+std::string jsonNumber(double v);
+
+/**
  * True if @p text is one syntactically valid JSON value (object,
  * array, string, number, true/false/null) with nothing but
  * whitespace after it. Accepts strict RFC 8259 JSON only.

@@ -78,6 +78,32 @@ TEST(RegistryJson, HistogramQuantilesAreOrdered)
     EXPECT_NEAR(h.quantile(50.0), 2.5, 0.2);
 }
 
+TEST(RegistryJson, EmptyHistogramEmitsNullNotNaN)
+{
+    // Regression: an empty histogram's quantiles are NaN, which is
+    // not a JSON literal. The JSON view must stay machine-parseable.
+    stats::Registry reg;
+    reg.histogram("serve.ttft", 0.0, 10.0, 16, "no samples yet");
+    std::ostringstream os;
+    writeRegistryJson(os, reg);
+    const std::string json = os.str();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"p50\":null"), std::string::npos) << json;
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(RegistryCsv, EmptyHistogramLeavesQuantileCellsBlank)
+{
+    stats::Registry reg;
+    reg.histogram("serve.ttft", 0.0, 10.0, 16, "no samples yet");
+    std::ostringstream os;
+    writeRegistryCsv(os, reg);
+    const std::string csv = os.str();
+    EXPECT_EQ(csv.find("nan"), std::string::npos) << csv;
+    EXPECT_NE(csv.find("serve.ttft,histogram"), std::string::npos);
+}
+
 } // namespace
 } // namespace obs
 } // namespace cpullm

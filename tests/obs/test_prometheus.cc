@@ -1,0 +1,225 @@
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace cpullm {
+namespace obs {
+namespace {
+
+stats::Registry
+sampleRegistry()
+{
+    stats::Registry reg;
+    reg.scalar("serve.requests", "requests served") += 100.0;
+    auto& d = reg.distribution("serve.batch", "launched batch sizes");
+    d.sample(1.0);
+    d.sample(3.0);
+    auto& h = reg.histogram("serve.ttft", 0.0, 10.0, 100,
+                            "time to first token, s");
+    for (int i = 0; i < 100; ++i)
+        h.sample(i * 0.05);
+    return reg;
+}
+
+TEST(PromMetricName, SanitizesHostileNames)
+{
+    EXPECT_EQ(promMetricName("serve.ttft"), "serve_ttft");
+    EXPECT_EQ(promMetricName("serve.ttft", "cpullm"),
+              "cpullm_serve_ttft");
+    // Spaces, quotes, unicode, dashes all become '_'.
+    EXPECT_EQ(promMetricName("has space"), "has_space");
+    EXPECT_EQ(promMetricName("quo\"te"), "quo_te");
+    EXPECT_EQ(promMetricName("emoji\xF0\x9F\x98\x80x"),
+              "emoji____x");
+    EXPECT_EQ(promMetricName("a-b/c"), "a_b_c");
+    // Leading digit gains a '_' prefix; colons stay legal.
+    EXPECT_EQ(promMetricName("9lives"), "_9lives");
+    EXPECT_EQ(promMetricName("ns:metric"), "ns:metric");
+}
+
+TEST(PromEscapeLabel, EscapesBackslashQuoteNewline)
+{
+    EXPECT_EQ(promEscapeLabel("plain"), "plain");
+    EXPECT_EQ(promEscapeLabel("a\"b"), "a\\\"b");
+    EXPECT_EQ(promEscapeLabel("a\\b"), "a\\\\b");
+    EXPECT_EQ(promEscapeLabel("a\nb"), "a\\nb");
+}
+
+TEST(WritePrometheus, RoundTripsThroughStrictParser)
+{
+    const auto reg = sampleRegistry();
+    std::ostringstream os;
+    writePrometheus(os, reg);
+    const std::string text = os.str();
+
+    std::vector<std::string> errors;
+    PromDoc doc;
+    ASSERT_TRUE(promParse(text, &doc, &errors))
+        << (errors.empty() ? text : errors.front());
+
+    // Scalar comes back with its value.
+    const auto* scalar = doc.find("cpullm_serve_requests");
+    ASSERT_NE(scalar, nullptr);
+    EXPECT_DOUBLE_EQ(scalar->value, 100.0);
+
+    // Distribution family.
+    EXPECT_NE(doc.find("cpullm_serve_batch_mean"), nullptr);
+    EXPECT_NE(doc.find("cpullm_serve_batch_count"), nullptr);
+
+    // Histogram family: TYPE declared, +Inf bucket == _count.
+    EXPECT_EQ(doc.types.at("cpullm_serve_ttft"), "histogram");
+    const auto* inf =
+        doc.find("cpullm_serve_ttft_bucket", "le", "+Inf");
+    ASSERT_NE(inf, nullptr);
+    EXPECT_DOUBLE_EQ(inf->value, 100.0);
+    const auto* count = doc.find("cpullm_serve_ttft_count");
+    ASSERT_NE(count, nullptr);
+    EXPECT_DOUBLE_EQ(count->value, 100.0);
+    const auto* sum = doc.find("cpullm_serve_ttft_sum");
+    ASSERT_NE(sum, nullptr);
+    EXPECT_NEAR(sum->value, 100 * 99 * 0.05 / 2.0, 1e-6);
+}
+
+TEST(WritePrometheus, BucketsAreMonotoneAndBounded)
+{
+    stats::Registry reg;
+    auto& h = reg.histogram("lat", 0.0, 1.0, 512, "latency");
+    for (int i = 0; i < 1000; ++i)
+        h.sample((i % 100) * 0.01);
+
+    std::ostringstream os;
+    PromWriteOptions opt;
+    opt.maxHistogramBuckets = 16;
+    writePrometheus(os, reg, opt);
+
+    PromDoc doc;
+    ASSERT_TRUE(promParse(os.str(), &doc, nullptr)) << os.str();
+
+    double prev = -1.0, prev_le = -1.0;
+    std::size_t buckets = 0;
+    for (const auto& s : doc.samples) {
+        if (s.name != "cpullm_lat_bucket")
+            continue;
+        ++buckets;
+        EXPECT_GE(s.value, prev); // cumulative counts never drop
+        prev = s.value;
+        const std::string le = s.label("le");
+        if (le != "+Inf") {
+            const double b = std::stod(le);
+            EXPECT_GT(b, prev_le); // boundaries strictly increase
+            prev_le = b;
+        }
+    }
+    EXPECT_GT(buckets, 2u);
+    EXPECT_LE(buckets, 17u); // 16 boundaries + the +Inf bucket
+}
+
+TEST(WritePromSample, NonFiniteLiterals)
+{
+    std::ostringstream os;
+    writePromSample(os, "m", {}, std::nan(""));
+    writePromSample(os, "m", {},
+                    std::numeric_limits<double>::infinity());
+    writePromSample(os, "m", {},
+                    -std::numeric_limits<double>::infinity());
+    const std::string text = os.str();
+    EXPECT_NE(text.find("m NaN\n"), std::string::npos);
+    EXPECT_NE(text.find("m +Inf\n"), std::string::npos);
+    EXPECT_NE(text.find("m -Inf\n"), std::string::npos);
+    EXPECT_TRUE(promValid(text));
+}
+
+TEST(PromParse, AcceptsLabelsCommentsTimestamps)
+{
+    const std::string text =
+        "# a free comment\n"
+        "# HELP api_requests requests, by \"route\"\n"
+        "# TYPE api_requests counter\n"
+        "api_requests{route=\"/metrics\",code=\"200\"} 7 1712000\n"
+        "api_requests{route=\"a\\\"b\",code=\"500\"} NaN\n";
+    PromDoc doc;
+    std::vector<std::string> errors;
+    ASSERT_TRUE(promParse(text, &doc, &errors))
+        << (errors.empty() ? "" : errors.front());
+    ASSERT_EQ(doc.samples.size(), 2u);
+    EXPECT_EQ(doc.samples[0].label("route"), "/metrics");
+    EXPECT_EQ(doc.samples[1].label("route"), "a\"b");
+    EXPECT_TRUE(std::isnan(doc.samples[1].value));
+    EXPECT_EQ(doc.helps.at("api_requests"),
+              "requests, by \"route\"");
+}
+
+TEST(PromParse, RejectsMalformedDocuments)
+{
+    // Bad metric name.
+    EXPECT_FALSE(promValid("9bad 1\n"));
+    // Bad value.
+    EXPECT_FALSE(promValid("m one\n"));
+    // Unterminated label value.
+    EXPECT_FALSE(promValid("m{l=\"x} 1\n"));
+    // Sample before its TYPE line.
+    EXPECT_FALSE(promValid("m 1\n# TYPE m gauge\n"));
+    // Duplicate TYPE.
+    EXPECT_FALSE(
+        promValid("# TYPE m gauge\n# TYPE m counter\nm 1\n"));
+}
+
+TEST(PromParse, RejectsBrokenHistograms)
+{
+    // Non-monotone cumulative buckets.
+    EXPECT_FALSE(promValid("# TYPE h histogram\n"
+                           "h_bucket{le=\"1\"} 5\n"
+                           "h_bucket{le=\"2\"} 3\n"
+                           "h_bucket{le=\"+Inf\"} 5\n"
+                           "h_sum 4\n"
+                           "h_count 5\n"));
+    // Missing +Inf bucket.
+    EXPECT_FALSE(promValid("# TYPE h histogram\n"
+                           "h_bucket{le=\"1\"} 5\n"
+                           "h_sum 4\n"
+                           "h_count 5\n"));
+    // _count disagrees with the +Inf bucket.
+    EXPECT_FALSE(promValid("# TYPE h histogram\n"
+                           "h_bucket{le=\"+Inf\"} 5\n"
+                           "h_sum 4\n"
+                           "h_count 7\n"));
+    // The well-formed variant passes.
+    EXPECT_TRUE(promValid("# TYPE h histogram\n"
+                          "h_bucket{le=\"1\"} 3\n"
+                          "h_bucket{le=\"+Inf\"} 5\n"
+                          "h_sum 4\n"
+                          "h_count 5\n"));
+}
+
+TEST(WritePrometheus, HostileStatNamesStillValidate)
+{
+    stats::Registry reg;
+    reg.scalar("weird name \"x\"", "hostile") += 1.0;
+    reg.scalar("123.starts.with.digit", "hostile") += 2.0;
+    std::ostringstream os;
+    writePrometheus(os, reg);
+    std::vector<std::string> errors;
+    EXPECT_TRUE(promValid(os.str(), &errors))
+        << (errors.empty() ? os.str() : errors.front());
+}
+
+TEST(WritePrometheus, EmptyHistogramRoundTrips)
+{
+    stats::Registry reg;
+    reg.histogram("empty", 0.0, 1.0, 16, "no samples yet");
+    std::ostringstream os;
+    writePrometheus(os, reg);
+    PromDoc doc;
+    ASSERT_TRUE(promParse(os.str(), &doc, nullptr)) << os.str();
+    const auto* inf = doc.find("cpullm_empty_bucket", "le", "+Inf");
+    ASSERT_NE(inf, nullptr);
+    EXPECT_DOUBLE_EQ(inf->value, 0.0);
+}
+
+} // namespace
+} // namespace obs
+} // namespace cpullm

@@ -1,0 +1,122 @@
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cpullm {
+namespace obs {
+namespace {
+
+TEST(WindowedCounter, CountsWithinWindowOnly)
+{
+    WindowedCounter c(10.0, 10); // 10 s window, 1 s slots
+    c.record(0.5);
+    c.record(1.5);
+    c.record(2.5);
+    EXPECT_DOUBLE_EQ(c.count(3.0), 3.0);
+
+    // Advance far enough that the early samples expire.
+    c.record(11.2);
+    EXPECT_DOUBLE_EQ(c.count(11.2), 2.0); // 2.5 and 11.2 survive
+    EXPECT_DOUBLE_EQ(c.count(30.0), 0.0); // everything expired
+}
+
+TEST(WindowedCounter, SumAccumulatesAmounts)
+{
+    WindowedCounter c(10.0, 10);
+    c.record(1.0, 32.0);
+    c.record(2.0, 32.0);
+    EXPECT_DOUBLE_EQ(c.sum(2.0), 64.0);
+}
+
+TEST(WindowedCounter, RampUpRateUsesElapsedTime)
+{
+    WindowedCounter c(60.0, 12);
+    // 10 events over 5 s, queried at t=5: the window hasn't filled,
+    // so rate divides by the elapsed span, not by 60.
+    for (int i = 0; i < 10; ++i)
+        c.record(i * 0.5);
+    const double r = c.rate(5.0);
+    EXPECT_GT(r, 1.5);
+    EXPECT_LT(r, 2.5);
+}
+
+TEST(WindowedCounter, DropsSamplesOlderThanWindow)
+{
+    WindowedCounter c(10.0, 10);
+    c.record(100.0);
+    c.record(50.0); // a full window behind: dropped
+    EXPECT_DOUBLE_EQ(c.count(100.0), 1.0);
+}
+
+TEST(WindowedGauge, LastMinMeanMax)
+{
+    WindowedGauge g(10.0, 10);
+    EXPECT_TRUE(g.empty());
+    g.record(1.0, 4.0);
+    g.record(2.0, 8.0);
+    g.record(3.0, 6.0);
+    EXPECT_FALSE(g.empty());
+    EXPECT_DOUBLE_EQ(g.last(), 6.0);
+    EXPECT_DOUBLE_EQ(g.min(3.0), 4.0);
+    EXPECT_DOUBLE_EQ(g.max(3.0), 8.0);
+    EXPECT_DOUBLE_EQ(g.mean(3.0), 6.0);
+}
+
+TEST(WindowedGauge, EmptyWindowIsNaN)
+{
+    WindowedGauge g(10.0, 10);
+    EXPECT_TRUE(std::isnan(g.min(5.0)));
+    g.record(1.0, 7.0);
+    // The sample expires out of the window; last() survives.
+    EXPECT_TRUE(std::isnan(g.mean(100.0)));
+    EXPECT_DOUBLE_EQ(g.last(), 7.0);
+}
+
+TEST(RollingHistogram, WindowedQuantile)
+{
+    RollingHistogram h(10.0, 10, 0.0, 10.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.record(1.0, i * 0.1); // uniform 0 .. 9.9 at t=1
+    EXPECT_EQ(h.count(1.0), 100u);
+    const double p50 = h.quantile(1.0, 50.0);
+    EXPECT_NEAR(p50, 5.0, 0.3);
+    const double p99 = h.quantile(1.0, 99.0);
+    EXPECT_NEAR(p99, 9.9, 0.3);
+}
+
+TEST(RollingHistogram, OldSlicesExpire)
+{
+    RollingHistogram h(10.0, 10, 0.0, 10.0, 100);
+    h.record(1.0, 2.0);
+    h.record(12.0, 8.0); // first sample now out of window
+    EXPECT_EQ(h.count(12.0), 1u);
+    EXPECT_NEAR(h.quantile(12.0, 50.0), 8.0, 0.3);
+}
+
+TEST(RollingHistogram, EmptyWindowQuantileIsNaN)
+{
+    RollingHistogram h(10.0, 10, 0.0, 10.0, 100);
+    EXPECT_TRUE(std::isnan(h.quantile(0.0, 50.0)));
+    h.record(1.0, 2.0);
+    EXPECT_TRUE(std::isnan(h.quantile(100.0, 50.0)));
+    EXPECT_EQ(h.count(100.0), 0u);
+}
+
+TEST(RollingHistogram, MergedMatchesDirectHistogram)
+{
+    RollingHistogram rolling(60.0, 12, 0.0, 10.0, 100);
+    stats::Histogram direct(0.0, 10.0, 100);
+    for (int i = 0; i < 50; ++i) {
+        rolling.record(i * 0.1, i * 0.2);
+        direct.sample(i * 0.2);
+    }
+    const auto merged = rolling.merged(4.9);
+    EXPECT_EQ(merged.count(), direct.count());
+    EXPECT_DOUBLE_EQ(merged.quantile(95.0), direct.quantile(95.0));
+}
+
+} // namespace
+} // namespace obs
+} // namespace cpullm

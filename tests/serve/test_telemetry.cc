@@ -1,0 +1,243 @@
+#include "serve/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/prometheus.h"
+#include "serve/serving_sim.h"
+#include "util/json.h"
+
+namespace cpullm {
+namespace serve {
+namespace {
+
+/** Synthetic device: TTFT 0.2 s, E2E 1.0 s, batch-independent. */
+LatencyFn
+flatLatency()
+{
+    return [](std::int64_t) {
+        BatchLatency l;
+        l.ttft = 0.2;
+        l.e2e = 1.0;
+        return l;
+    };
+}
+
+ServingConfig
+smallConfig()
+{
+    ServingConfig cfg;
+    cfg.arrivalRate = 4.0;
+    cfg.maxBatch = 4;
+    cfg.numRequests = 40;
+    cfg.seed = 7;
+    return cfg;
+}
+
+TEST(ServingTelemetry, LifecycleCountsMatchSimulation)
+{
+    ServingTelemetry::Options opt;
+    opt.genLen = 32;
+    ServingTelemetry t(opt);
+    const auto cfg = smallConfig();
+    const auto res =
+        simulateServing(cfg, flatLatency(), nullptr, &t);
+
+    EXPECT_EQ(t.completed(), static_cast<std::uint64_t>(
+                                 res.requests.size()));
+    const auto snap = t.snapshot();
+    EXPECT_DOUBLE_EQ(snap.getScalar("serve.live.arrivals").value(),
+                     static_cast<double>(cfg.numRequests));
+    EXPECT_DOUBLE_EQ(
+        snap.getScalar("serve.live.completions").value(),
+        static_cast<double>(cfg.numRequests));
+    EXPECT_DOUBLE_EQ(snap.getScalar("serve.live.tokens").value(),
+                     static_cast<double>(cfg.numRequests * 32));
+    EXPECT_GT(snap.getScalar("serve.live.batches").value(), 0.0);
+    EXPECT_EQ(snap.getHistogram("serve.live.ttft").count(),
+              static_cast<std::uint64_t>(cfg.numRequests));
+}
+
+TEST(ServingTelemetry, CumulativeQuantilesTrackPostHocResult)
+{
+    ServingTelemetry t;
+    const auto res =
+        simulateServing(smallConfig(), flatLatency(), nullptr, &t);
+
+    const auto snap = t.snapshot();
+    const double live_p95 =
+        snap.getHistogram("serve.live.ttft").quantile(95.0);
+    const double posthoc_p95 = res.ttftPercentile(95.0);
+    // Same samples, binned vs. exact: agree within bin width.
+    EXPECT_NEAR(live_p95, posthoc_p95, 0.5 + posthoc_p95 * 0.1);
+}
+
+TEST(ServingTelemetry, ContinuousBatchingFeedsOccupancy)
+{
+    StepCosts costs;
+    costs.prefill = [](std::int64_t b) { return 0.05 * b; };
+    costs.decode = [](std::int64_t) { return 0.01; };
+    costs.genLen = 8;
+    ServingTelemetry::Options opt;
+    opt.genLen = costs.genLen;
+    ServingTelemetry t(opt);
+    const auto res = simulateContinuousBatching(
+        smallConfig(), costs, nullptr, &t);
+
+    EXPECT_EQ(t.completed(), static_cast<std::uint64_t>(
+                                 res.requests.size()));
+    const auto snap = t.snapshot();
+    // onStep ran once per decode iteration.
+    EXPECT_GT(snap.getDistribution("serve.live.batch_occupancy")
+                  .count(),
+              0u);
+}
+
+TEST(ServingTelemetry, SloVerdictsMetAndViolated)
+{
+    ServingTelemetry::Options opt;
+    opt.slo.ttft_s = 10.0;  // generous: met
+    opt.slo.e2e_s = 0.001;  // impossible: violated
+    opt.slo.tpot_s = 0.0;   // disabled
+    opt.slo.budget = 0.01;
+    ServingTelemetry t(opt);
+    simulateServing(smallConfig(), flatLatency(), nullptr, &t);
+
+    const auto verdicts = t.sloVerdicts();
+    ASSERT_EQ(verdicts.size(), 2u); // tpot disabled
+    for (const auto& v : verdicts) {
+        EXPECT_GT(v.total, 0u);
+        if (v.metric == "ttft") {
+            EXPECT_TRUE(v.met);
+            EXPECT_DOUBLE_EQ(v.violationRatio, 0.0);
+        } else {
+            ASSERT_EQ(v.metric, "e2e");
+            EXPECT_FALSE(v.met);
+            EXPECT_DOUBLE_EQ(v.violationRatio, 1.0);
+            EXPECT_DOUBLE_EQ(v.burnRate, 100.0); // 1.0 / 0.01
+        }
+    }
+}
+
+TEST(ServingTelemetry, NoSamplesYieldsNaNRatio)
+{
+    ServingTelemetry::Options opt;
+    opt.slo.ttft_s = 1.0;
+    ServingTelemetry t(opt);
+    const auto verdicts = t.sloVerdicts();
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_EQ(verdicts[0].total, 0u);
+    EXPECT_TRUE(std::isnan(verdicts[0].violationRatio));
+    EXPECT_TRUE(verdicts[0].met); // no evidence of violation
+}
+
+TEST(ServingTelemetry, AnnotateReportAddsVerdictBlock)
+{
+    ServingTelemetry::Options opt;
+    opt.slo.ttft_s = 10.0;
+    opt.slo.e2e_s = 0.001;
+    ServingTelemetry t(opt);
+    const auto cfg = smallConfig();
+    stats::Registry reg;
+    const auto res =
+        simulateServing(cfg, flatLatency(), nullptr, &t);
+    obs::RunReport report = buildRunReport(
+        res, cfg, "test", "model", perf::Workload{}, "static", reg);
+    t.annotateReport(report);
+
+    const std::string json = report.toJson();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"slo_ttft_target_s\":10"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"slo_ttft\":\"met\""), std::string::npos);
+    EXPECT_NE(json.find("\"slo_e2e\":\"violated\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"slo\":\"violated\""), std::string::npos);
+}
+
+TEST(ServingTelemetry, AnnotateReportNoOpWithoutObjectives)
+{
+    ServingTelemetry t; // all targets default 0 = disabled
+    obs::RunReport report;
+    report.kind = "serving";
+    t.annotateReport(report);
+    EXPECT_EQ(report.toJson().find("slo_"), std::string::npos);
+}
+
+TEST(ServingTelemetry, PrometheusViewValidates)
+{
+    ServingTelemetry::Options opt;
+    opt.slo.ttft_s = 1.0;
+    opt.genLen = 16;
+    ServingTelemetry t(opt);
+    simulateServing(smallConfig(), flatLatency(), nullptr, &t);
+
+    std::ostringstream os;
+    t.writePrometheus(os);
+    std::vector<std::string> errors;
+    EXPECT_TRUE(obs::promValid(os.str(), &errors))
+        << (errors.empty() ? os.str() : errors.front());
+    EXPECT_NE(os.str().find("cpullm_window_arrival_rate_rps"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("cpullm_slo_burn_rate{slo=\"ttft\"}"),
+              std::string::npos);
+}
+
+TEST(ServingTelemetry, StatsJsonViewValidates)
+{
+    ServingTelemetry t;
+    simulateServing(smallConfig(), flatLatency(), nullptr, &t);
+    std::ostringstream os;
+    t.writeStatsJson(os);
+    EXPECT_TRUE(jsonValid(os.str())) << os.str();
+    EXPECT_NE(os.str().find("\"window\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"completed\":40"), std::string::npos);
+}
+
+TEST(ServingTelemetry, ReportPublication)
+{
+    ServingTelemetry t;
+    EXPECT_EQ(t.latestReportJson(), "");
+    t.setLatestReportJson("{\"x\":1}");
+    EXPECT_EQ(t.latestReportJson(), "{\"x\":1}");
+}
+
+TEST(ServingTelemetry, ConcurrentReadersDuringHooks)
+{
+    // Hammer the views from reader threads while the simulation
+    // drives the hooks; TSan/ASan builds catch races, and the final
+    // counts must still be exact.
+    ServingTelemetry::Options opt;
+    opt.slo.ttft_s = 1.0;
+    ServingTelemetry t(opt);
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int i = 0; i < 2; ++i) {
+        readers.emplace_back([&t, &stop] {
+            while (!stop.load()) {
+                std::ostringstream os;
+                t.writePrometheus(os);
+                t.writeStatsJson(os);
+                (void)t.snapshot();
+                (void)t.sloVerdicts();
+            }
+        });
+    }
+    auto cfg = smallConfig();
+    cfg.numRequests = 200;
+    simulateServing(cfg, flatLatency(), nullptr, &t);
+    stop.store(true);
+    for (auto& th : readers)
+        th.join();
+    EXPECT_EQ(t.completed(), 200u);
+}
+
+} // namespace
+} // namespace serve
+} // namespace cpullm

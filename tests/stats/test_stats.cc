@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 namespace cpullm {
 namespace stats {
@@ -153,7 +155,9 @@ TEST(Percentile, InterpolatesBetweenSamples)
 
 TEST(Percentile, DegenerateInputs)
 {
-    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    // Empty input has no percentile: NaN, not a fake 0 that could be
+    // mistaken for a real measurement downstream.
+    EXPECT_TRUE(std::isnan(percentile({}, 50.0)));
     EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
 }
 
@@ -171,8 +175,8 @@ TEST(HistogramQuantile, MatchesUniformSamples)
 TEST(HistogramQuantile, EmptyAndOutOfRange)
 {
     Histogram h(1.0, 2.0, 4);
-    EXPECT_DOUBLE_EQ(h.quantile(50.0), 0.0); // empty
-    h.sample(-5.0);                          // all underflow
+    EXPECT_TRUE(std::isnan(h.quantile(50.0))); // empty -> NaN
+    h.sample(-5.0);                            // all underflow
     EXPECT_DOUBLE_EQ(h.quantile(50.0), 1.0);
     Histogram g(1.0, 2.0, 4);
     g.sample(10.0); // all overflow
@@ -317,6 +321,66 @@ TEST(MergeDeath, RegistryKindMismatchPanics)
     a.scalar("stat") += 1.0;
     b.distribution("stat").sample(1.0);
     EXPECT_DEATH(a.merge(b), "kind mismatch");
+}
+
+TEST(HistogramSum, TracksSamplesAcrossResetAndMerge)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.sample(1.0);
+    h.sample(2.5);
+    h.sample(20.0); // overflow still counts toward the sum
+    EXPECT_DOUBLE_EQ(h.sum(), 23.5);
+    EXPECT_NEAR(h.mean(), 23.5 / 3.0, 1e-12);
+
+    Histogram other(0.0, 10.0, 10);
+    other.sample(6.5);
+    h.merge(other);
+    EXPECT_DOUBLE_EQ(h.sum(), 30.0);
+
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Registry, SnapshotIsDeepCopy)
+{
+    Registry live;
+    live.scalar("requests", "requests served") += 4.0;
+    live.distribution("depth").sample(2.0);
+    live.histogram("ttft", 0.0, 4.0, 8, "ttft, s").sample(1.0);
+
+    const Registry snap = live.snapshot();
+    // Mutating the live registry must not leak into the snapshot.
+    live.scalar("requests") += 10.0;
+    live.histogram("ttft", 0.0, 4.0, 8).sample(3.0);
+
+    EXPECT_DOUBLE_EQ(snap.getScalar("requests").value(), 4.0);
+    EXPECT_EQ(snap.getHistogram("ttft").count(), 1u);
+    EXPECT_DOUBLE_EQ(live.getScalar("requests").value(), 14.0);
+    EXPECT_EQ(snap.description("requests"), "requests served");
+    EXPECT_EQ(snap.names().size(), 3u);
+}
+
+TEST(Registry, SnapshotConcurrentWithMerge)
+{
+    // The documented shard-and-merge pattern: merges and snapshots
+    // from different threads synchronize on the registry mutex.
+    Registry total;
+    std::atomic<bool> stop{false};
+    std::thread reader([&total, &stop] {
+        while (!stop.load())
+            (void)total.snapshot();
+    });
+    for (int i = 0; i < 200; ++i) {
+        Registry shard;
+        shard.scalar("n") += 1.0;
+        shard.histogram("h", 0.0, 1.0, 4).sample(0.5);
+        total.merge(shard);
+    }
+    stop.store(true);
+    reader.join();
+    EXPECT_DOUBLE_EQ(total.getScalar("n").value(), 200.0);
+    EXPECT_EQ(total.snapshot().getHistogram("h").count(), 200u);
 }
 
 } // namespace

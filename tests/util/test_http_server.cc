@@ -1,0 +1,142 @@
+#include "util/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cpullm {
+namespace {
+
+TEST(HttpServer, EphemeralPortAndBasicGet)
+{
+    HttpServer s;
+    s.route("/hello", [] {
+        return HttpResponse{200, "text/plain", "world\n"};
+    });
+    ASSERT_TRUE(s.start(0));
+    EXPECT_TRUE(s.running());
+    EXPECT_GT(s.port(), 0); // kernel picked a real port
+
+    int status = 0;
+    const std::string body =
+        httpGet("127.0.0.1", s.port(), "/hello", &status);
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, "world\n");
+    s.stop();
+    EXPECT_FALSE(s.running());
+}
+
+TEST(HttpServer, UnknownRouteIs404)
+{
+    HttpServer s;
+    s.route("/x", [] { return HttpResponse{200, "text/plain", "x"}; });
+    ASSERT_TRUE(s.start(0));
+    int status = 0;
+    httpGet("127.0.0.1", s.port(), "/nope", &status);
+    EXPECT_EQ(status, 404);
+    s.stop();
+}
+
+TEST(HttpServer, QueryStringIsStripped)
+{
+    HttpServer s;
+    s.route("/metrics", [] {
+        return HttpResponse{200, "text/plain", "m 1\n"};
+    });
+    ASSERT_TRUE(s.start(0));
+    int status = 0;
+    const std::string body = httpGet("127.0.0.1", s.port(),
+                                     "/metrics?format=prom", &status);
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, "m 1\n");
+    s.stop();
+}
+
+TEST(HttpServer, HandlerStatusAndTypePropagate)
+{
+    HttpServer s;
+    s.route("/teapot", [] {
+        return HttpResponse{418, "application/json", "{}"};
+    });
+    ASSERT_TRUE(s.start(0));
+    int status = 0;
+    httpGet("127.0.0.1", s.port(), "/teapot", &status);
+    EXPECT_EQ(status, 418);
+    s.stop();
+}
+
+TEST(HttpServer, ConcurrentGets)
+{
+    HttpServer s;
+    std::atomic<int> hits{0};
+    s.route("/count", [&hits] {
+        ++hits;
+        return HttpResponse{200, "text/plain", "ok"};
+    });
+    ASSERT_TRUE(s.start(0, /*threads=*/4));
+
+    constexpr int kClients = 8, kRequests = 5;
+    std::atomic<int> ok{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&s, &ok] {
+            for (int r = 0; r < kRequests; ++r) {
+                int status = 0;
+                httpGet("127.0.0.1", s.port(), "/count", &status);
+                if (status == 200)
+                    ++ok;
+            }
+        });
+    }
+    for (auto& t : clients)
+        t.join();
+    s.stop();
+    EXPECT_EQ(ok.load(), kClients * kRequests);
+    EXPECT_EQ(hits.load(), kClients * kRequests);
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable)
+{
+    HttpServer s;
+    s.route("/", [] { return HttpResponse{}; });
+    ASSERT_TRUE(s.start(0));
+    const int first_port = s.port();
+    s.stop();
+    s.stop(); // second stop is a no-op
+
+    // A fresh server can bind again immediately.
+    HttpServer s2;
+    s2.route("/", [] { return HttpResponse{}; });
+    ASSERT_TRUE(s2.start(0));
+    EXPECT_NE(s2.port(), 0);
+    (void)first_port;
+    s2.stop();
+}
+
+TEST(HttpServer, GetFailsAfterStop)
+{
+    HttpServer s;
+    s.route("/", [] { return HttpResponse{}; });
+    ASSERT_TRUE(s.start(0));
+    const int port = s.port();
+    s.stop();
+    int status = -1;
+    httpGet("127.0.0.1", port, "/", &status);
+    EXPECT_EQ(status, 0); // transport failure, not an HTTP status
+}
+
+TEST(HttpGet, UnreachableHostReportsTransportFailure)
+{
+    int status = -1;
+    // Port 1 on localhost: nothing listens there in the sandbox.
+    const std::string body =
+        httpGet("127.0.0.1", 1, "/", &status, /*timeout_ms=*/500);
+    EXPECT_EQ(status, 0);
+    EXPECT_TRUE(body.empty());
+}
+
+} // namespace
+} // namespace cpullm

@@ -8,6 +8,9 @@
  *   cpullm serve --model opt-13b [--device cpu|gpu] [--rate R]
  *                [--requests N] [--max-batch B] [--continuous]
  *                [--trace-out F] [--report-out F] [--json]
+ *                [--telemetry-port P] [--prom-out F] [--linger S]
+ *                [--probe] [--slo-ttft-ms X] [--slo-tpot-ms X]
+ *                [--slo-e2e-ms X] [--slo-budget R]
  *   cpullm report --model opt-13b [serve flags] [--report-out F]
  *   cpullm compare --model opt-66b --batch 1
  *   cpullm bench [--out DIR] [--quick]
@@ -16,7 +19,12 @@
  *
  * `run` simulates one request on a CPU platform; `serve` runs the
  * serving simulator (static or continuous batching, CPU or GPU
- * device) with optional Perfetto trace and JSONL run-report export;
+ * device) with optional Perfetto trace and JSONL run-report export.
+ * With --telemetry-port, `serve` embeds an HTTP endpoint exposing
+ * live /metrics (Prometheus 0.0.4), /health, /stats.json and
+ * /report while the simulation runs; --prom-out writes the same
+ * exposition headlessly and --slo-* targets feed the run report's
+ * SLO verdict block;
  * `report` is `serve` with the machine-readable report on stdout;
  * `compare` pits the SPR CPU against both GPUs; `bench` sweeps the
  * figure experiments into BENCH_*.json baselines (see bench_diff);
@@ -27,13 +35,17 @@
  * print an error pointing at --help and exit with status 2.
  */
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/cpullm.h"
 
@@ -58,7 +70,7 @@ bool
 isBooleanFlag(const std::string& key)
 {
     return key == "json" || key == "continuous" ||
-           key == "attribution" || key == "quick";
+           key == "attribution" || key == "quick" || key == "probe";
 }
 
 /**
@@ -110,13 +122,44 @@ flagOr(const std::map<std::string, std::string>& flags,
     return it == flags.end() ? fallback : it->second;
 }
 
+/**
+ * Strictly parsed numeric flag value: the whole token must be a
+ * number, otherwise it's a usage error (exit 2) — "--rate fast"
+ * must not silently become 0.
+ */
+double
+numberFlag(const std::map<std::string, std::string>& flags,
+           const std::string& key, double fallback)
+{
+    auto it = flags.find(key);
+    if (it == flags.end())
+        return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (it->second.empty() || !end || *end != '\0')
+        usageError("--" + key + " expects a number, got '" +
+                   it->second + "'");
+    return v;
+}
+
+std::int64_t
+intFlag(const std::map<std::string, std::string>& flags,
+        const std::string& key, std::int64_t fallback)
+{
+    const double v = numberFlag(flags, key,
+                                static_cast<double>(fallback));
+    if (v != std::floor(v))
+        usageError("--" + key + " expects an integer");
+    return static_cast<std::int64_t>(v);
+}
+
 perf::Workload
 workloadFromFlags(const std::map<std::string, std::string>& flags)
 {
     perf::Workload w;
-    w.batch = std::atoll(flagOr(flags, "batch", "1").c_str());
-    w.promptLen = std::atoll(flagOr(flags, "prompt", "128").c_str());
-    w.genLen = std::atoll(flagOr(flags, "gen", "32").c_str());
+    w.batch = intFlag(flags, "batch", 1);
+    w.promptLen = intFlag(flags, "prompt", 128);
+    w.genLen = intFlag(flags, "gen", 32);
     w.dtype = dtypeFromName(flagOr(flags, "dtype", "bf16"));
     return w;
 }
@@ -196,31 +239,143 @@ cmdRun(int argc, char** argv)
  * run-report JSON line on stdout; `serve` prints a summary table
  * (or, with --json, the same JSON line).
  */
+/**
+ * Self-check the live telemetry endpoint over a real TCP
+ * round-trip: fetch every route and validate the payloads with the
+ * in-process checkers (Prometheus parse-back, strict JSON). The
+ * telemetry smoke ctest/CI job runs `serve --telemetry-port 0
+ * --probe` so the whole socket path is exercised without curl.
+ */
+bool
+probeTelemetry(int port)
+{
+    bool ok = true;
+    int status = 0;
+
+    const std::string health =
+        httpGet("127.0.0.1", port, "/health", &status);
+    if (status != 200 || health.find("ok") == std::string::npos) {
+        warn("probe: /health failed (status ", status, ")");
+        ok = false;
+    }
+
+    const std::string metrics =
+        httpGet("127.0.0.1", port, "/metrics", &status);
+    std::vector<std::string> errors;
+    if (status != 200 || !obs::promValid(metrics, &errors)) {
+        warn("probe: /metrics invalid (status ", status, ")");
+        for (const auto& e : errors)
+            warn("probe:   ", e);
+        ok = false;
+    }
+
+    for (const char* path : {"/stats.json", "/report"}) {
+        const std::string body =
+            httpGet("127.0.0.1", port, path, &status);
+        if (status != 200 || !jsonValid(body)) {
+            warn("probe: ", path, " is not valid JSON (status ",
+                 status, ")");
+            ok = false;
+        }
+    }
+
+    status = 0;
+    httpGet("127.0.0.1", port, "/no-such-route", &status);
+    if (status != 404) {
+        warn("probe: expected 404 for unknown route, got ", status);
+        ok = false;
+    }
+
+    if (ok)
+        inform("probe: /metrics /health /stats.json /report ok on "
+               "port ", port);
+    return ok;
+}
+
 int
 cmdServe(int argc, char** argv, bool report_mode)
 {
     const auto flags = parseFlags(
         argc, argv, 2,
-        withWorkloadFlags({"model", "device", "gpu", "platform",
-                           "rate", "requests", "max-batch", "max-wait",
-                           "seed", "continuous", "json", "trace-out",
-                           "report-out"}));
+        withWorkloadFlags(
+            {"model", "device", "gpu", "platform", "rate",
+             "requests", "max-batch", "max-wait", "seed",
+             "continuous", "json", "trace-out", "report-out",
+             "telemetry-port", "prom-out", "linger", "probe",
+             "slo-ttft-ms", "slo-tpot-ms", "slo-e2e-ms",
+             "slo-budget"}));
     const auto spec =
         model::modelByName(flagOr(flags, "model", "opt-13b"));
     perf::Workload w = workloadFromFlags(flags);
     w.batch = 1; // per-request workload; the server forms batches
 
     serve::ServingConfig cfg;
-    cfg.arrivalRate =
-        std::atof(flagOr(flags, "rate", "0.5").c_str());
-    cfg.maxBatch =
-        std::atoll(flagOr(flags, "max-batch", "8").c_str());
-    cfg.maxWait =
-        std::atof(flagOr(flags, "max-wait", "0").c_str());
-    cfg.numRequests =
-        std::atoll(flagOr(flags, "requests", "100").c_str());
-    cfg.seed = static_cast<std::uint64_t>(
-        std::atoll(flagOr(flags, "seed", "1").c_str()));
+    cfg.arrivalRate = numberFlag(flags, "rate", 0.5);
+    cfg.maxBatch = intFlag(flags, "max-batch", 8);
+    cfg.maxWait = numberFlag(flags, "max-wait", 0.0);
+    cfg.numRequests = intFlag(flags, "requests", 100);
+    cfg.seed =
+        static_cast<std::uint64_t>(intFlag(flags, "seed", 1));
+
+    // Live telemetry: SLO targets default to a chatbot-style
+    // operating point (paper Section II-C); 0 disables a target.
+    serve::ServingTelemetry::Options topt;
+    topt.slo.ttft_s = numberFlag(flags, "slo-ttft-ms", 10000.0) /
+                      1000.0;
+    topt.slo.tpot_s = numberFlag(flags, "slo-tpot-ms", 500.0) /
+                      1000.0;
+    topt.slo.e2e_s = numberFlag(flags, "slo-e2e-ms", 60000.0) /
+                     1000.0;
+    topt.slo.budget = numberFlag(flags, "slo-budget", 0.01);
+    if (topt.slo.budget <= 0.0 || topt.slo.budget > 1.0)
+        usageError("--slo-budget must be in (0, 1]");
+    topt.genLen = w.genLen;
+    serve::ServingTelemetry telemetry(topt);
+
+    const int telemetry_port = static_cast<int>(
+        intFlag(flags, "telemetry-port", -1));
+    const bool probe = flags.count("probe") != 0;
+    if (probe && telemetry_port < 0)
+        usageError("--probe requires --telemetry-port");
+    HttpServer http;
+    if (telemetry_port >= 0) {
+        http.route("/metrics", [&telemetry] {
+            std::ostringstream os;
+            telemetry.writePrometheus(os);
+            return HttpResponse{200, obs::kPromContentType,
+                                os.str()};
+        });
+        http.route("/health", [] {
+            return HttpResponse{200, "application/json",
+                                "{\"status\":\"ok\"}\n"};
+        });
+        http.route("/stats.json", [&telemetry] {
+            std::ostringstream os;
+            telemetry.writeStatsJson(os);
+            return HttpResponse{200, "application/json", os.str()};
+        });
+        http.route("/report", [&telemetry] {
+            const std::string report =
+                telemetry.latestReportJson();
+            return HttpResponse{
+                200, "application/json",
+                report.empty() ? "{\"status\":\"pending\"}\n"
+                               : report + "\n"};
+        });
+        if (!http.start(telemetry_port))
+            CPULLM_FATAL("cannot bind telemetry port ",
+                         telemetry_port);
+        const std::string url = strformat(
+            "http://127.0.0.1:%d", http.port());
+        // The startup line scripts grep for; keep stdout clean for
+        // the machine-readable modes.
+        if (!report_mode && !flags.count("json"))
+            std::cout << "telemetry listening on " << url
+                      << " (/metrics /health /stats.json /report)"
+                      << std::endl;
+        else
+            inform("telemetry listening on ", url);
+    }
 
     obs::Tracer tracer;
     obs::Tracer* tp =
@@ -238,11 +393,13 @@ cmdServe(int argc, char** argv, bool report_mode)
         if (continuous) {
             policy = "continuous batching";
             res = serve::simulateContinuousBatching(
-                cfg, serve::cpuStepCosts(platform, spec, w), tp);
+                cfg, serve::cpuStepCosts(platform, spec, w), tp,
+                &telemetry);
         } else {
             policy = "static batching";
             res = serve::simulateServing(
-                cfg, serve::cpuLatencyFn(platform, spec, w), tp);
+                cfg, serve::cpuLatencyFn(platform, spec, w), tp,
+                &telemetry);
         }
     } else if (device == "gpu") {
         if (continuous)
@@ -254,7 +411,8 @@ cmdServe(int argc, char** argv, bool report_mode)
         platform_label = gpu_config.name;
         policy = "static batching";
         res = serve::simulateServing(
-            cfg, serve::gpuLatencyFn(gpu_config, spec, w), tp);
+            cfg, serve::gpuLatencyFn(gpu_config, spec, w), tp,
+            &telemetry);
         if (tp) {
             // Device-execution timeline (compute vs. PCIe vs. host
             // attention) at the served mean batch size — the Fig 18
@@ -270,14 +428,41 @@ cmdServe(int argc, char** argv, bool report_mode)
     }
 
     stats::Registry reg;
-    const obs::RunReport report = serve::buildRunReport(
+    obs::RunReport report = serve::buildRunReport(
         res, cfg, platform_label, spec.name, w, policy, reg);
+    telemetry.annotateReport(report);
+    telemetry.setLatestReportJson(report.toJson());
 
     if (tp && tracer.writeChromeTraceFile(flags.at("trace-out")))
         inform("wrote trace ", flags.at("trace-out"));
     if (flags.count("report-out") &&
         report.appendJsonlFile(flags.at("report-out")))
         inform("appended report to ", flags.at("report-out"));
+    if (flags.count("prom-out")) {
+        std::ofstream ofs(flags.at("prom-out"));
+        if (ofs) {
+            telemetry.writePrometheus(ofs);
+            inform("wrote exposition ", flags.at("prom-out"));
+        } else {
+            warn("could not open '", flags.at("prom-out"),
+                 "' for writing");
+        }
+    }
+
+    bool probe_ok = true;
+    if (telemetry_port >= 0) {
+        if (probe)
+            probe_ok = probeTelemetry(http.port());
+        const double linger = numberFlag(flags, "linger", 0.0);
+        if (linger > 0.0) {
+            inform("telemetry lingering for ", linger, " s");
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(linger));
+        }
+        http.stop();
+    }
+    if (!probe_ok)
+        return 1;
 
     if (report_mode || flags.count("json")) {
         std::cout << report.toJson() << "\n";
@@ -425,6 +610,10 @@ usage()
            "           [--max-batch B] [--max-wait S] [--seed N]\n"
            "           [--continuous] [--json]\n"
            "           [--trace-out F] [--report-out F]\n"
+           "           [--telemetry-port P] [--prom-out F]\n"
+           "           [--linger S] [--probe] [--slo-ttft-ms X]\n"
+           "           [--slo-tpot-ms X] [--slo-e2e-ms X]\n"
+           "           [--slo-budget R]\n"
            "  report   serve, printing the JSON run report on stdout\n"
            "  compare  --model M --batch N [--prompt N] [--gen N]\n"
            "  bench    [--out DIR] [--quick]  write BENCH_*.json\n"

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dependency-free self-check for Prometheus exposition artifacts:
+ *
+ *   telemetry_check FILE...
+ *
+ * Each file must be a well-formed Prometheus text-format 0.0.4
+ * document: metric/label name grammar, TYPE-before-sample ordering,
+ * monotone cumulative histogram buckets with a mandatory le="+Inf"
+ * bound. Exit 0 when every file validates, non-zero otherwise —
+ * the telemetry analogue of trace_check, run as a ctest fixture
+ * consumer after the CLI smoke tests have written their --prom-out
+ * files (no Python prometheus_client involved).
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/prometheus.h"
+
+namespace {
+
+bool
+checkFile(const std::string& path)
+{
+    std::ifstream ifs(path);
+    if (!ifs) {
+        std::cerr << "telemetry_check: cannot open " << path
+                  << "\n";
+        return false;
+    }
+    std::stringstream buf;
+    buf << ifs.rdbuf();
+
+    std::vector<std::string> errors;
+    cpullm::obs::PromDoc doc;
+    if (!cpullm::obs::promParse(buf.str(), &doc, &errors)) {
+        for (const auto& e : errors)
+            std::cerr << "telemetry_check: " << path << ": " << e
+                      << "\n";
+        return false;
+    }
+    if (doc.samples.empty()) {
+        std::cerr << "telemetry_check: " << path
+                  << " holds no samples\n";
+        return false;
+    }
+    std::cout << "telemetry_check: " << path << " ok ("
+              << doc.samples.size() << " samples)\n";
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool all_ok = true;
+    int files = 0;
+    for (int i = 1; i < argc; ++i) {
+        ++files;
+        all_ok = checkFile(argv[i]) && all_ok;
+    }
+    if (files == 0) {
+        std::cerr << "usage: telemetry_check FILE...\n";
+        return 2;
+    }
+    return all_ok ? 0 : 1;
+}
