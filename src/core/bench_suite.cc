@@ -404,7 +404,7 @@ metricDirection(const std::string& key)
     };
     // Throughput-flavored keys first: "tokens_per_s" ends in "_s".
     if (has("tokens_per_s") || has("tok_s") || has("throughput") ||
-        has("tflops") || has("speedup"))
+        has("flops") || has("speedup"))
         return MetricDirection::HigherBetter;
     if ((k.size() >= 2 && k.compare(k.size() - 2, 2, "_s") == 0) ||
         has("latency") || has("ttft") || has("tpot") || has("e2e") ||

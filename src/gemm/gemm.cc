@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "gemm/pack.h"
+#include "gemm/packed_weights.h"
 #include "isa/amx.h"
 #include "isa/avx512.h"
 #include "util/logging.h"
@@ -13,15 +14,8 @@
 namespace cpullm {
 namespace gemm {
 
-namespace {
-
-// AMX palette-1 native block sizes.
-constexpr int kTileM = 16; // rows of A / C per tile
-constexpr int kTileN = 16; // FP32/INT32 columns of C per tile
-constexpr int kTileKBf16 = 32; // BF16 K elements per tile step
-constexpr int kTileKI8 = 64; // INT8 K elements per tile step
-
-} // namespace
+// Tile geometry constants (kTileM etc.) live in packed_weights.h so
+// the packing cache and the kernels agree on block sizes.
 
 std::string
 engineName(Engine e)
@@ -214,6 +208,302 @@ gemmAmxI8(const std::int8_t* a, const std::int8_t* b, float* c,
             }
         },
         1);
+}
+
+namespace {
+
+/**
+ * Thread-local AMX context for the packed kernels: one AmxUnit per
+ * worker, reconfigured only when the accumulator row shape changes
+ * instead of constructing unit+config per block task.
+ *
+ * Tile roles (2x2 register blocking): TMM0-3 = accumulators for
+ * (m0,n0) (m0,n1) (m1,n0) (m1,n1), TMM4/5 = the two A tiles,
+ * TMM6/7 = the two pre-packed B tiles. Accumulator and A tiles are
+ * trimmed to the actual M remainder — the trimmed rows would only
+ * ever accumulate zero-padding, and the emulated TMUL cost scales
+ * with configured rows, so decode shapes (M << 16) skip almost all
+ * of the dot-product work. BF16 and INT8 share the configuration:
+ * both use 64-byte A/B rows and 16-row B tiles.
+ */
+struct AmxContext
+{
+    isa::AmxUnit amx;
+    int rows0 = -1; ///< rows of the first accumulator pair
+    int rows1 = -1; ///< rows of the second pair (0 = single M tile)
+};
+
+AmxContext&
+amxContext()
+{
+    thread_local AmxContext ctx;
+    return ctx;
+}
+
+void
+ensureAmxConfig(AmxContext& ctx, int rows0, int rows1)
+{
+    if (ctx.rows0 == rows0 && ctx.rows1 == rows1)
+        return;
+    isa::TileConfig cfg;
+    cfg.setTile(0, rows0, kTileN * 4);
+    cfg.setTile(1, rows0, kTileN * 4);
+    cfg.setTile(4, rows0, isa::kMaxColsb);
+    if (rows1 > 0) {
+        cfg.setTile(2, rows1, kTileN * 4);
+        cfg.setTile(3, rows1, kTileN * 4);
+        cfg.setTile(5, rows1, isa::kMaxColsb);
+    }
+    cfg.setTile(6, kTileKBf16 / 2, kTileN * 4);
+    cfg.setTile(7, kTileKBf16 / 2, kTileN * 4);
+    ctx.amx.ldtilecfg(cfg);
+    ctx.rows0 = rows0;
+    ctx.rows1 = rows1;
+}
+
+} // namespace
+
+void
+gemmAmxBf16Packed(const BFloat16* a, const PackedWeightsBf16& b,
+                  float* c, std::int64_t m)
+{
+    const std::int64_t n = b.n();
+    const std::int64_t k = b.k();
+    const std::int64_t m_blocks = (m + kTileM - 1) / kTileM;
+    const std::int64_t n_blocks = b.nBlocks();
+    const std::int64_t k_steps = b.kSteps();
+    // 2x2 register blocking: each task owns up to 2 M x 2 N tiles, so
+    // every A tile load feeds two TMULs.
+    const std::int64_t mm = (m_blocks + 1) / 2;
+    const std::int64_t nn = (n_blocks + 1) / 2;
+
+    parallelFor(
+        0, static_cast<std::size_t>(mm * nn),
+        [&](std::size_t idx) {
+            const std::int64_t bm0 =
+                2 * (static_cast<std::int64_t>(idx) / nn);
+            const std::int64_t bn0 =
+                2 * (static_cast<std::int64_t>(idx) % nn);
+            const std::int64_t m0 = bm0 * kTileM;
+            const std::int64_t n0 = bn0 * kTileN;
+            const int mrem0 = static_cast<int>(
+                std::min<std::int64_t>(kTileM, m - m0));
+            const int mrem1 =
+                bm0 + 1 < m_blocks
+                    ? static_cast<int>(std::min<std::int64_t>(
+                          kTileM, m - (m0 + kTileM)))
+                    : 0;
+            const int nrem0 = static_cast<int>(
+                std::min<std::int64_t>(kTileN, n - n0));
+            const int nrem1 =
+                bn0 + 1 < n_blocks
+                    ? static_cast<int>(std::min<std::int64_t>(
+                          kTileN, n - (n0 + kTileN)))
+                    : 0;
+
+            AmxContext& ctx = amxContext();
+            ensureAmxConfig(ctx, mrem0, mrem1);
+            isa::AmxUnit& amx = ctx.amx;
+
+            alignas(64) BFloat16 a0_img[kTileM * kTileKBf16];
+            alignas(64) BFloat16 a1_img[kTileM * kTileKBf16];
+            alignas(64) float c_img[kTileM * kTileN];
+
+            amx.tilezero(0);
+            if (nrem1 > 0)
+                amx.tilezero(1);
+            if (mrem1 > 0) {
+                amx.tilezero(2);
+                if (nrem1 > 0)
+                    amx.tilezero(3);
+            }
+            for (std::int64_t ks = 0; ks < k_steps; ++ks) {
+                const std::int64_t k0 = ks * kTileKBf16;
+                const int krem = static_cast<int>(
+                    std::min<std::int64_t>(kTileKBf16, k - k0));
+                packATile(a, k, m0, k0, mrem0, krem, mrem0, kTileKBf16,
+                          a0_img);
+                amx.tileloadd(4, a0_img,
+                              kTileKBf16 * sizeof(BFloat16));
+                if (mrem1 > 0) {
+                    packATile(a, k, m0 + kTileM, k0, mrem1, krem,
+                              mrem1, kTileKBf16, a1_img);
+                    amx.tileloadd(5, a1_img,
+                                  kTileKBf16 * sizeof(BFloat16));
+                }
+                amx.tileloadd(6, b.tile(bn0, ks),
+                              kTileN * 2 * sizeof(BFloat16));
+                if (nrem1 > 0)
+                    amx.tileloadd(7, b.tile(bn0 + 1, ks),
+                                  kTileN * 2 * sizeof(BFloat16));
+                amx.tdpbf16ps(0, 4, 6);
+                if (nrem1 > 0)
+                    amx.tdpbf16ps(1, 4, 7);
+                if (mrem1 > 0) {
+                    amx.tdpbf16ps(2, 5, 6);
+                    if (nrem1 > 0)
+                        amx.tdpbf16ps(3, 5, 7);
+                }
+            }
+
+            const auto store = [&](int t, std::int64_t mb,
+                                   std::int64_t nb, int mr, int nr) {
+                amx.tilestored(t, c_img, kTileN * sizeof(float));
+                for (int r = 0; r < mr; ++r) {
+                    float* crow = c + (mb + r) * n + nb;
+                    for (int cc = 0; cc < nr; ++cc)
+                        crow[cc] = c_img[r * kTileN + cc];
+                }
+            };
+            store(0, m0, n0, mrem0, nrem0);
+            if (nrem1 > 0)
+                store(1, m0, n0 + kTileN, mrem0, nrem1);
+            if (mrem1 > 0) {
+                store(2, m0 + kTileM, n0, mrem1, nrem0);
+                if (nrem1 > 0)
+                    store(3, m0 + kTileM, n0 + kTileN, mrem1, nrem1);
+            }
+        },
+        1);
+}
+
+void
+gemmAmxI8Packed(const std::int8_t* a, const PackedWeightsI8& b, float* c,
+                std::int64_t m, float scale_a)
+{
+    const std::int64_t n = b.n();
+    const std::int64_t k = b.k();
+    const std::int64_t m_blocks = (m + kTileM - 1) / kTileM;
+    const std::int64_t n_blocks = b.nBlocks();
+    const std::int64_t k_steps = b.kSteps();
+    const float scale = scale_a * b.scale();
+    const std::int64_t mm = (m_blocks + 1) / 2;
+    const std::int64_t nn = (n_blocks + 1) / 2;
+
+    parallelFor(
+        0, static_cast<std::size_t>(mm * nn),
+        [&](std::size_t idx) {
+            const std::int64_t bm0 =
+                2 * (static_cast<std::int64_t>(idx) / nn);
+            const std::int64_t bn0 =
+                2 * (static_cast<std::int64_t>(idx) % nn);
+            const std::int64_t m0 = bm0 * kTileM;
+            const std::int64_t n0 = bn0 * kTileN;
+            const int mrem0 = static_cast<int>(
+                std::min<std::int64_t>(kTileM, m - m0));
+            const int mrem1 =
+                bm0 + 1 < m_blocks
+                    ? static_cast<int>(std::min<std::int64_t>(
+                          kTileM, m - (m0 + kTileM)))
+                    : 0;
+            const int nrem0 = static_cast<int>(
+                std::min<std::int64_t>(kTileN, n - n0));
+            const int nrem1 =
+                bn0 + 1 < n_blocks
+                    ? static_cast<int>(std::min<std::int64_t>(
+                          kTileN, n - (n0 + kTileN)))
+                    : 0;
+
+            AmxContext& ctx = amxContext();
+            ensureAmxConfig(ctx, mrem0, mrem1);
+            isa::AmxUnit& amx = ctx.amx;
+
+            alignas(64) std::int8_t a0_img[kTileM * kTileKI8];
+            alignas(64) std::int8_t a1_img[kTileM * kTileKI8];
+            alignas(64) std::int32_t c_img[kTileM * kTileN];
+
+            amx.tilezero(0);
+            if (nrem1 > 0)
+                amx.tilezero(1);
+            if (mrem1 > 0) {
+                amx.tilezero(2);
+                if (nrem1 > 0)
+                    amx.tilezero(3);
+            }
+            for (std::int64_t ks = 0; ks < k_steps; ++ks) {
+                const std::int64_t k0 = ks * kTileKI8;
+                const int krem = static_cast<int>(
+                    std::min<std::int64_t>(kTileKI8, k - k0));
+                packATileI8(a, k, m0, k0, mrem0, krem, mrem0, kTileKI8,
+                            a0_img);
+                amx.tileloadd(4, a0_img, kTileKI8);
+                if (mrem1 > 0) {
+                    packATileI8(a, k, m0 + kTileM, k0, mrem1, krem,
+                                mrem1, kTileKI8, a1_img);
+                    amx.tileloadd(5, a1_img, kTileKI8);
+                }
+                amx.tileloadd(6, b.tile(bn0, ks), kTileN * 4);
+                if (nrem1 > 0)
+                    amx.tileloadd(7, b.tile(bn0 + 1, ks), kTileN * 4);
+                amx.tdpbssd(0, 4, 6);
+                if (nrem1 > 0)
+                    amx.tdpbssd(1, 4, 7);
+                if (mrem1 > 0) {
+                    amx.tdpbssd(2, 5, 6);
+                    if (nrem1 > 0)
+                        amx.tdpbssd(3, 5, 7);
+                }
+            }
+
+            const auto store = [&](int t, std::int64_t mb,
+                                   std::int64_t nb, int mr, int nr) {
+                amx.tilestored(t, c_img,
+                               kTileN * sizeof(std::int32_t));
+                for (int r = 0; r < mr; ++r) {
+                    float* crow = c + (mb + r) * n + nb;
+                    for (int cc = 0; cc < nr; ++cc)
+                        crow[cc] =
+                            scale *
+                            static_cast<float>(c_img[r * kTileN + cc]);
+                }
+            };
+            store(0, m0, n0, mrem0, nrem0);
+            if (nrem1 > 0)
+                store(1, m0, n0 + kTileN, mrem0, nrem1);
+            if (mrem1 > 0) {
+                store(2, m0 + kTileM, n0, mrem1, nrem0);
+                if (nrem1 > 0)
+                    store(3, m0 + kTileM, n0 + kTileN, mrem1, nrem1);
+            }
+        },
+        1);
+}
+
+void
+gemmAvx512Bf16Packed(const BFloat16* a, const PackedWeightsVnni& b,
+                     float* c, std::int64_t m)
+{
+    using isa::Vec512;
+    using isa::Vec512Bf16;
+
+    const std::int64_t n = b.n();
+    const std::int64_t k = b.k();
+    const std::int64_t k_pairs = b.kPairs();
+    const std::int64_t n_vec = Vec512::kF32Lanes;
+    parallelFor(0, static_cast<std::size_t>(m), [&](std::size_t mi_s) {
+        const auto mi = static_cast<std::int64_t>(mi_s);
+        const BFloat16* arow = a + mi * k;
+        float* crow = c + mi * n;
+        for (std::int64_t n0 = 0; n0 < n; n0 += n_vec) {
+            const int nrem = static_cast<int>(
+                std::min<std::int64_t>(n_vec, n - n0));
+            Vec512 acc = Vec512::zero();
+            for (std::int64_t p = 0; p < k_pairs; ++p) {
+                // B rows are already pair-interleaved; the odd-K tail
+                // pair is zero-padded on both operands, matching the
+                // unpacked kernel's tail handling bit for bit.
+                const Vec512Bf16 av = Vec512Bf16::broadcastPair(
+                    arow[2 * p],
+                    2 * p + 1 < k ? arow[2 * p + 1] : BFloat16());
+                Vec512Bf16 bv;
+                const BFloat16* row = b.pairRow(p) + 2 * n0;
+                std::copy(row, row + 2 * nrem, bv.lanes.begin());
+                acc = isa::dpbf16ps(acc, av, bv);
+            }
+            for (int lane = 0; lane < nrem; ++lane)
+                crow[n0 + lane] = acc.f32[static_cast<size_t>(lane)];
+        }
+    }, 2);
 }
 
 Tensor

@@ -1,0 +1,211 @@
+#include "gemm/packed_weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gemm/pack.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace cpullm {
+namespace gemm {
+
+PackedWeightsBf16::PackedWeightsBf16(const BFloat16* b, std::int64_t k,
+                                     std::int64_t n)
+    : k_(k), n_(n), k_steps_((k + kTileKBf16 - 1) / kTileKBf16),
+      n_blocks_((n + kTileN - 1) / kTileN)
+{
+    CPULLM_ASSERT(k > 0 && n > 0, "PackedWeightsBf16 needs K,N >= 1");
+    data_.resize(
+        static_cast<std::size_t>(n_blocks_ * k_steps_ * kTileElems));
+    parallelFor(0, static_cast<std::size_t>(n_blocks_),
+                [&](std::size_t bn_s) {
+        const auto bn = static_cast<std::int64_t>(bn_s);
+        const std::int64_t n0 = bn * kTileN;
+        const int nrem = static_cast<int>(
+            std::min<std::int64_t>(kTileN, n - n0));
+        for (std::int64_t ks = 0; ks < k_steps_; ++ks) {
+            const std::int64_t k0 = ks * kTileKBf16;
+            const int krem = static_cast<int>(
+                std::min<std::int64_t>(kTileKBf16, k - k0));
+            packBTileVnni(b, n, k0, n0, krem, nrem, kTileKBf16 / 2,
+                          kTileN,
+                          data_.data() + (bn * k_steps_ + ks) *
+                                             kTileElems);
+        }
+    });
+}
+
+PackedWeightsI8::PackedWeightsI8(const float* b, std::int64_t k,
+                                 std::int64_t n)
+    : k_(k), n_(n), k_steps_((k + kTileKI8 - 1) / kTileKI8),
+      n_blocks_((n + kTileN - 1) / kTileN)
+{
+    CPULLM_ASSERT(k > 0 && n > 0, "PackedWeightsI8 needs K,N >= 1");
+    // Same per-tensor symmetric quantization matmul applies per call.
+    float bmax = 0.0f;
+    for (std::int64_t i = 0; i < k * n; ++i)
+        bmax = std::max(bmax, std::fabs(b[i]));
+    const QuantParams qb = QuantParams::forAbsMax(bmax);
+    scale_ = qb.scale;
+    std::vector<std::int8_t> bq(static_cast<std::size_t>(k * n));
+    for (std::int64_t i = 0; i < k * n; ++i)
+        bq[static_cast<std::size_t>(i)] = qb.quantize(b[i]);
+
+    data_.resize(
+        static_cast<std::size_t>(n_blocks_ * k_steps_ * kTileElems));
+    parallelFor(0, static_cast<std::size_t>(n_blocks_),
+                [&](std::size_t bn_s) {
+        const auto bn = static_cast<std::int64_t>(bn_s);
+        const std::int64_t n0 = bn * kTileN;
+        const int nrem = static_cast<int>(
+            std::min<std::int64_t>(kTileN, n - n0));
+        for (std::int64_t ks = 0; ks < k_steps_; ++ks) {
+            const std::int64_t k0 = ks * kTileKI8;
+            const int krem = static_cast<int>(
+                std::min<std::int64_t>(kTileKI8, k - k0));
+            packBTileVnniI8(bq.data(), n, k0, n0, krem, nrem,
+                            kTileKI8 / 4, kTileN,
+                            data_.data() + (bn * k_steps_ + ks) *
+                                               kTileElems);
+        }
+    });
+}
+
+PackedWeightsVnni::PackedWeightsVnni(const BFloat16* b, std::int64_t k,
+                                     std::int64_t n)
+    : k_(k), n_(n), k_pairs_((k + 1) / 2)
+{
+    CPULLM_ASSERT(k > 0 && n > 0, "PackedWeightsVnni needs K,N >= 1");
+    data_.resize(static_cast<std::size_t>(k_pairs_ * 2 * n));
+    parallelFor(0, static_cast<std::size_t>(k_pairs_),
+                [&](std::size_t p_s) {
+        const auto p = static_cast<std::int64_t>(p_s);
+        BFloat16* row = data_.data() + p * 2 * n;
+        const BFloat16* b0 = b + 2 * p * n;
+        const BFloat16* b1 = b0 + n;
+        const bool has_hi = 2 * p + 1 < k;
+        for (std::int64_t j = 0; j < n; ++j) {
+            row[2 * j] = b0[j];
+            row[2 * j + 1] = has_hi ? b1[j] : BFloat16();
+        }
+    }, 8);
+}
+
+PreparedB::PreparedB(Engine engine, const Tensor& b) : engine_(engine)
+{
+    CPULLM_ASSERT(b.rank() == 2,
+                  "PreparedB expects a rank-2 weight, got ",
+                  shapeToString(b.shape()));
+    k_ = b.dim(0);
+    n_ = b.dim(1);
+    switch (engine) {
+      case Engine::Reference:
+        ref_b_ = b.cast(DType::F32);
+        return;
+      case Engine::AmxBf16: {
+        const Tensor bb = b.cast(DType::BF16);
+        amx_bf16_ = PackedWeightsBf16(bb.data<BFloat16>(), k_, n_);
+        return;
+      }
+      case Engine::Avx512Bf16: {
+        const Tensor bb = b.cast(DType::BF16);
+        avx512_ = PackedWeightsVnni(bb.data<BFloat16>(), k_, n_);
+        return;
+      }
+      case Engine::AmxI8: {
+        const Tensor bf = b.cast(DType::F32);
+        amx_i8_ = PackedWeightsI8(bf.data<float>(), k_, n_);
+        return;
+      }
+    }
+    CPULLM_PANIC("unhandled engine");
+}
+
+const Tensor&
+PreparedB::refB() const
+{
+    CPULLM_ASSERT(engine_ == Engine::Reference,
+                  "PreparedB holds ", engineName(engine_),
+                  ", not reference-fp32");
+    return ref_b_;
+}
+
+const PackedWeightsBf16&
+PreparedB::amxBf16() const
+{
+    CPULLM_ASSERT(engine_ == Engine::AmxBf16, "PreparedB holds ",
+                  engineName(engine_), ", not amx-bf16");
+    return amx_bf16_;
+}
+
+const PackedWeightsI8&
+PreparedB::amxI8() const
+{
+    CPULLM_ASSERT(engine_ == Engine::AmxI8, "PreparedB holds ",
+                  engineName(engine_), ", not amx-int8");
+    return amx_i8_;
+}
+
+const PackedWeightsVnni&
+PreparedB::avx512() const
+{
+    CPULLM_ASSERT(engine_ == Engine::Avx512Bf16, "PreparedB holds ",
+                  engineName(engine_), ", not avx512-bf16");
+    return avx512_;
+}
+
+Tensor
+matmul(Engine engine, const Tensor& a, const PreparedB& b)
+{
+    CPULLM_ASSERT(engine == b.engine(),
+                  "matmul engine ", engineName(engine),
+                  " mismatches PreparedB engine ",
+                  engineName(b.engine()));
+    CPULLM_ASSERT(a.rank() == 2, "matmul expects a rank-2 activation, "
+                  "got ", shapeToString(a.shape()));
+    const std::int64_t m = a.dim(0);
+    const std::int64_t k = a.dim(1);
+    CPULLM_ASSERT(k == b.k(), "matmul inner dimension mismatch: ",
+                  shapeToString(a.shape()), " x packed [", b.k(), ", ",
+                  b.n(), "]");
+
+    Tensor out({m, b.n()}, DType::F32);
+    float* cp = out.data<float>();
+
+    switch (engine) {
+      case Engine::Reference: {
+        const Tensor af = a.cast(DType::F32);
+        gemmRef(af.data<float>(), b.refB().data<float>(), cp, m, b.n(),
+                k);
+        return out;
+      }
+      case Engine::AmxBf16: {
+        const Tensor ab = a.cast(DType::BF16);
+        gemmAmxBf16Packed(ab.data<BFloat16>(), b.amxBf16(), cp, m);
+        return out;
+      }
+      case Engine::Avx512Bf16: {
+        const Tensor ab = a.cast(DType::BF16);
+        gemmAvx512Bf16Packed(ab.data<BFloat16>(), b.avx512(), cp, m);
+        return out;
+      }
+      case Engine::AmxI8: {
+        // Activations are still quantized per call from their
+        // observed range; only the weight side is cached.
+        float amax = 0.0f;
+        for (std::int64_t i = 0; i < a.size(); ++i)
+            amax = std::max(amax, std::fabs(a.at(i)));
+        const QuantParams qa = QuantParams::forAbsMax(amax);
+        std::vector<std::int8_t> aq(static_cast<std::size_t>(a.size()));
+        for (std::int64_t i = 0; i < a.size(); ++i)
+            aq[static_cast<std::size_t>(i)] = qa.quantize(a.at(i));
+        gemmAmxI8Packed(aq.data(), b.amxI8(), cp, m, qa.scale);
+        return out;
+      }
+    }
+    CPULLM_PANIC("unhandled engine");
+}
+
+} // namespace gemm
+} // namespace cpullm

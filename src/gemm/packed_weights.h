@@ -1,0 +1,195 @@
+#ifndef CPULLM_GEMM_PACKED_WEIGHTS_H
+#define CPULLM_GEMM_PACKED_WEIGHTS_H
+
+/**
+ * @file
+ * Pre-packed weight cache for the functional GEMM path. The unpacked
+ * kernels re-run packBTileVnni on the static B operand for every
+ * M-block of every call — a decode run re-packs the full weight
+ * matrix once per token per layer. These classes pack B exactly once
+ * (at model construction) into the tile images the AMX TMUL consumes,
+ * and the *Packed kernels stream them straight into TILELOADD.
+ *
+ * Packing only reorders bytes; the packed kernels execute the same
+ * FP32/INT32 accumulation sequence as the unpacked ones, so results
+ * are bitwise identical (tests/gemm/test_packed_weights.cc holds the
+ * kernels to that).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "gemm/gemm.h"
+#include "numerics/bf16.h"
+#include "numerics/dtype.h"
+#include "tensor/tensor.h"
+
+namespace cpullm {
+namespace gemm {
+
+/** AMX palette-1 native block sizes shared by every tiled kernel. */
+inline constexpr int kTileM = 16;      ///< rows of A / C per tile
+inline constexpr int kTileN = 16;      ///< FP32/INT32 C columns per tile
+inline constexpr int kTileKBf16 = 32;  ///< BF16 K elements per tile step
+inline constexpr int kTileKI8 = 64;    ///< INT8 K elements per tile step
+
+/**
+ * B[K,N] packed once into VNNI pair-interleaved 16x64-byte tile
+ * images, laid out [n_block][k_step] with k-steps contiguous so a
+ * full accumulation sweep streams linearly.
+ */
+class PackedWeightsBf16
+{
+  public:
+    /** BF16 elements per tile image (16 pair-rows x 2*16 columns). */
+    static constexpr std::int64_t kTileElems =
+        (kTileKBf16 / 2) * (2 * kTileN);
+
+    PackedWeightsBf16() = default;
+    PackedWeightsBf16(const BFloat16* b, std::int64_t k, std::int64_t n);
+
+    bool empty() const { return data_.empty(); }
+    std::int64_t k() const { return k_; }
+    std::int64_t n() const { return n_; }
+    std::int64_t kSteps() const { return k_steps_; }
+    std::int64_t nBlocks() const { return n_blocks_; }
+
+    /** Tile image for n-block @p bn, k-step @p ks (row stride 64 B). */
+    const BFloat16* tile(std::int64_t bn, std::int64_t ks) const
+    {
+        return data_.data() + (bn * k_steps_ + ks) * kTileElems;
+    }
+
+  private:
+    std::int64_t k_ = 0;
+    std::int64_t n_ = 0;
+    std::int64_t k_steps_ = 0;
+    std::int64_t n_blocks_ = 0;
+    std::vector<BFloat16> data_;
+};
+
+/**
+ * FP32 B[K,N] quantized once (per-tensor symmetric absmax, the same
+ * scheme matmul applies per call) and packed into VNNI quad-
+ * interleaved INT8 tile images; remembers the quantization scale.
+ */
+class PackedWeightsI8
+{
+  public:
+    /** INT8 elements per tile image (16 quad-rows x 4*16 columns). */
+    static constexpr std::int64_t kTileElems =
+        (kTileKI8 / 4) * (4 * kTileN);
+
+    PackedWeightsI8() = default;
+    PackedWeightsI8(const float* b, std::int64_t k, std::int64_t n);
+
+    bool empty() const { return data_.empty(); }
+    std::int64_t k() const { return k_; }
+    std::int64_t n() const { return n_; }
+    std::int64_t kSteps() const { return k_steps_; }
+    std::int64_t nBlocks() const { return n_blocks_; }
+    float scale() const { return scale_; }
+
+    const std::int8_t* tile(std::int64_t bn, std::int64_t ks) const
+    {
+        return data_.data() + (bn * k_steps_ + ks) * kTileElems;
+    }
+
+  private:
+    std::int64_t k_ = 0;
+    std::int64_t n_ = 0;
+    std::int64_t k_steps_ = 0;
+    std::int64_t n_blocks_ = 0;
+    float scale_ = 0.0f;
+    std::vector<std::int8_t> data_;
+};
+
+/**
+ * B[K,N] pair-interleaved for the AVX-512 VDPBF16PS kernel: row p
+ * holds (b[2p][j], b[2p+1][j]) for every column j, zero-padded on odd
+ * K, so the kernel loads pair registers with one contiguous copy
+ * instead of gathering two B rows lane by lane.
+ */
+class PackedWeightsVnni
+{
+  public:
+    PackedWeightsVnni() = default;
+    PackedWeightsVnni(const BFloat16* b, std::int64_t k, std::int64_t n);
+
+    bool empty() const { return data_.empty(); }
+    std::int64_t k() const { return k_; }
+    std::int64_t n() const { return n_; }
+    std::int64_t kPairs() const { return k_pairs_; }
+
+    /** Interleaved row for K-pair @p p: 2*n() BF16 elements. */
+    const BFloat16* pairRow(std::int64_t p) const
+    {
+        return data_.data() + p * 2 * n_;
+    }
+
+  private:
+    std::int64_t k_ = 0;
+    std::int64_t n_ = 0;
+    std::int64_t k_pairs_ = 0;
+    std::vector<BFloat16> data_;
+};
+
+/** BF16 GEMM over pre-packed B on the functional AMX unit. */
+void gemmAmxBf16Packed(const BFloat16* a, const PackedWeightsBf16& b,
+                       float* c, std::int64_t m);
+
+/** INT8 GEMM over pre-quantized+packed B; output scale_a*b.scale(). */
+void gemmAmxI8Packed(const std::int8_t* a, const PackedWeightsI8& b,
+                     float* c, std::int64_t m, float scale_a);
+
+/** BF16 GEMM over pair-interleaved B on the AVX-512 BF16 kernel. */
+void gemmAvx512Bf16Packed(const BFloat16* a, const PackedWeightsVnni& b,
+                          float* c, std::int64_t m);
+
+/**
+ * A weight matrix prepared once for a specific engine: the engine's
+ * native dtype conversion, quantization, and tile packing all happen
+ * here instead of per matmul call. Reference keeps a plain FP32 copy.
+ */
+class PreparedB
+{
+  public:
+    PreparedB() = default;
+
+    /** Prepare rank-2 @p b ([K, N], any dtype) for @p engine. */
+    PreparedB(Engine engine, const Tensor& b);
+
+    Engine engine() const { return engine_; }
+    std::int64_t k() const { return k_; }
+    std::int64_t n() const { return n_; }
+    bool empty() const { return k_ == 0; }
+
+    /** @name Engine-specific views (panic on engine mismatch) */
+    /// @{
+    const Tensor& refB() const;
+    const PackedWeightsBf16& amxBf16() const;
+    const PackedWeightsI8& amxI8() const;
+    const PackedWeightsVnni& avx512() const;
+    /// @}
+
+  private:
+    Engine engine_ = Engine::Reference;
+    std::int64_t k_ = 0;
+    std::int64_t n_ = 0;
+    Tensor ref_b_;
+    PackedWeightsBf16 amx_bf16_;
+    PackedWeightsI8 amx_i8_;
+    PackedWeightsVnni avx512_;
+};
+
+/**
+ * matmul against a prepared B. Numerically identical to
+ * matmul(engine, a, b_tensor) for the tensor @p b was prepared from;
+ * @p engine must match b.engine().
+ */
+Tensor matmul(Engine engine, const Tensor& a, const PreparedB& b);
+
+} // namespace gemm
+} // namespace cpullm
+
+#endif // CPULLM_GEMM_PACKED_WEIGHTS_H

@@ -7,11 +7,11 @@
 namespace cpullm {
 namespace model {
 
+namespace {
+
 Tensor
-linear(gemm::Engine engine, const Tensor& x, const Tensor& w,
-       const Tensor* bias)
+addBias(Tensor y, const Tensor* bias)
 {
-    Tensor y = gemm::matmul(engine, x, w);
     if (bias) {
         CPULLM_ASSERT(bias->size() == y.dim(1),
                       "bias size mismatches output width");
@@ -23,6 +23,22 @@ linear(gemm::Engine engine, const Tensor& x, const Tensor& w,
                 yp[r * cols + c] += bias->at(c);
     }
     return y;
+}
+
+} // namespace
+
+Tensor
+linear(gemm::Engine engine, const Tensor& x, const Tensor& w,
+       const Tensor* bias)
+{
+    return addBias(gemm::matmul(engine, x, w), bias);
+}
+
+Tensor
+linear(gemm::Engine engine, const Tensor& x, const gemm::PreparedB& w,
+       const Tensor* bias)
+{
+    return addBias(gemm::matmul(engine, x, w), bias);
 }
 
 void

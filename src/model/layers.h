@@ -10,6 +10,7 @@
  */
 
 #include "gemm/gemm.h"
+#include "gemm/packed_weights.h"
 #include "model/spec.h"
 #include "tensor/tensor.h"
 
@@ -22,6 +23,14 @@ namespace model {
  */
 Tensor linear(gemm::Engine engine, const Tensor& x, const Tensor& w,
               const Tensor* bias);
+
+/**
+ * Same projection over a weight prepared once with gemm::PreparedB —
+ * the hot path: no per-call dtype conversion or tile packing.
+ * Numerically identical to the Tensor overload.
+ */
+Tensor linear(gemm::Engine engine, const Tensor& x,
+              const gemm::PreparedB& w, const Tensor* bias);
 
 /** In-place LayerNorm over the last dimension. */
 void layerNormInPlace(Tensor& x, const Tensor& gamma, const Tensor& beta,

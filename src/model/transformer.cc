@@ -75,6 +75,36 @@ TransformerModel::TransformerModel(ModelSpec spec, gemm::Engine engine,
         }
         layers_.push_back(std::move(w));
     }
+
+    // Prepare every projection weight for the engine once: dtype
+    // conversion, INT8 quantization, and AMX tile packing move from
+    // per-matmul to construction time.
+    prepared_.reserve(static_cast<size_t>(spec_.numLayers));
+    for (const LayerWeights& w : layers_) {
+        PreparedLayerWeights p;
+        p.wq = gemm::PreparedB(engine_, w.wq);
+        p.wk = gemm::PreparedB(engine_, w.wk);
+        p.wv = gemm::PreparedB(engine_, w.wv);
+        p.wo = gemm::PreparedB(engine_, w.wo);
+        if (spec_.gatedFfn)
+            p.wGate = gemm::PreparedB(engine_, w.wGate);
+        p.wUp = gemm::PreparedB(engine_, w.wUp);
+        p.wDown = gemm::PreparedB(engine_, w.wDown);
+        prepared_.push_back(std::move(p));
+    }
+    if (spec_.tiedEmbedding) {
+        // logits = x * E^T; prepare the explicit [d, vocab] transpose
+        // once instead of rebuilding it for every forward call.
+        Tensor et({d, spec_.vocabSize}, DType::F32);
+        float* ep = et.data<float>();
+        const float* emb = tokenEmbedding_.data<float>();
+        for (std::int64_t vtok = 0; vtok < spec_.vocabSize; ++vtok)
+            for (std::int64_t c = 0; c < d; ++c)
+                ep[c * spec_.vocabSize + vtok] = emb[vtok * d + c];
+        preparedHead_ = gemm::PreparedB(engine_, et);
+    } else {
+        preparedHead_ = gemm::PreparedB(engine_, lmHead_);
+    }
 }
 
 kv::KvCache
@@ -115,6 +145,8 @@ TransformerModel::attention(std::int64_t layer, const Tensor& x,
                             std::int64_t position, kv::KvCache& cache)
 {
     const LayerWeights& w = layers_[static_cast<size_t>(layer)];
+    const PreparedLayerWeights& pw =
+        prepared_[static_cast<size_t>(layer)];
     const std::int64_t batch = x.dim(0);
     const std::int64_t d = spec_.dModel;
     const std::int64_t heads = spec_.numHeads;
@@ -122,11 +154,11 @@ TransformerModel::attention(std::int64_t layer, const Tensor& x,
     const std::int64_t kv_heads = spec_.numKvHeads;
     const std::int64_t group = heads / kv_heads;
 
-    Tensor q = linear(engine_, x, w.wq,
+    Tensor q = linear(engine_, x, pw.wq,
                       spec_.linearBias ? &w.bq : nullptr);
-    Tensor k = linear(engine_, x, w.wk,
+    Tensor k = linear(engine_, x, pw.wk,
                       spec_.linearBias ? &w.bk : nullptr);
-    Tensor v = linear(engine_, x, w.wv,
+    Tensor v = linear(engine_, x, pw.wv,
                       spec_.linearBias ? &w.bv : nullptr);
 
     float* qp = q.data<float>();
@@ -191,7 +223,7 @@ TransformerModel::attention(std::int64_t layer, const Tensor& x,
             }
         }
     }
-    return linear(engine_, ctx, w.wo,
+    return linear(engine_, ctx, pw.wo,
                   spec_.linearBias ? &w.bo : nullptr);
 }
 
@@ -199,10 +231,12 @@ Tensor
 TransformerModel::ffn(std::int64_t layer, const Tensor& x)
 {
     const LayerWeights& w = layers_[static_cast<size_t>(layer)];
-    Tensor up = linear(engine_, x, w.wUp,
+    const PreparedLayerWeights& pw =
+        prepared_[static_cast<size_t>(layer)];
+    Tensor up = linear(engine_, x, pw.wUp,
                        spec_.linearBias ? &w.bUp : nullptr);
     if (spec_.gatedFfn) {
-        Tensor gate = linear(engine_, x, w.wGate, nullptr);
+        Tensor gate = linear(engine_, x, pw.wGate, nullptr);
         activationInPlace(gate, spec_.activation);
         float* up_p = up.data<float>();
         const float* g_p = gate.data<float>();
@@ -211,7 +245,7 @@ TransformerModel::ffn(std::int64_t layer, const Tensor& x)
     } else {
         activationInPlace(up, spec_.activation);
     }
-    return linear(engine_, up, w.wDown,
+    return linear(engine_, up, pw.wDown,
                   spec_.linearBias ? &w.bDown : nullptr);
 }
 
@@ -257,19 +291,9 @@ TransformerModel::forwardTokens(const std::vector<std::int64_t>& tokens,
 
     cache.setSeqLen(position + 1);
 
-    if (spec_.tiedEmbedding) {
-        // logits = x * E^T; compute with explicit transpose since the
-        // GEMM kernels take row-major [K, N].
-        const std::int64_t d = spec_.dModel;
-        Tensor et({d, spec_.vocabSize}, DType::F32);
-        float* ep = et.data<float>();
-        const float* emb = tokenEmbedding_.data<float>();
-        for (std::int64_t vtok = 0; vtok < spec_.vocabSize; ++vtok)
-            for (std::int64_t c = 0; c < d; ++c)
-                ep[c * spec_.vocabSize + vtok] = emb[vtok * d + c];
-        return linear(engine_, x, et, nullptr);
-    }
-    return linear(engine_, x, lmHead_, nullptr);
+    // Output head (tied-embedding transpose or lmHead), prepared once
+    // in the constructor.
+    return linear(engine_, x, preparedHead_, nullptr);
 }
 
 std::vector<std::int64_t>

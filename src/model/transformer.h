@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "gemm/gemm.h"
+#include "gemm/packed_weights.h"
 #include "kv/kv_cache.h"
 #include "model/spec.h"
 #include "tensor/tensor.h"
@@ -31,6 +32,18 @@ struct LayerWeights
     Tensor wGate; ///< SwiGLU gate (empty when !gatedFfn)
     Tensor wUp, wDown;
     Tensor bUp, bDown;
+};
+
+/**
+ * One decoder block's projection weights prepared for the model's
+ * engine (converted/quantized/tile-packed once at construction, see
+ * gemm::PreparedB) — what the forward pass actually multiplies by.
+ */
+struct PreparedLayerWeights
+{
+    gemm::PreparedB wq, wk, wv, wo;
+    gemm::PreparedB wGate; ///< empty when !gatedFfn
+    gemm::PreparedB wUp, wDown;
 };
 
 /**
@@ -112,6 +125,11 @@ class TransformerModel
     Tensor finalNormW_, finalNormB_;
     Tensor lmHead_; ///< [d, vocab] (empty when tied)
     std::vector<LayerWeights> layers_;
+    std::vector<PreparedLayerWeights> prepared_;
+    /** The output head prepared for the engine: lmHead_, or for tied
+     *  embeddings the [d, vocab] transpose of tokenEmbedding_ that
+     *  forwardTokens previously rebuilt on every call. */
+    gemm::PreparedB preparedHead_;
 };
 
 } // namespace model

@@ -7,6 +7,7 @@
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace cpullm {
 namespace obs {
@@ -154,6 +155,33 @@ writeRegistryCsvFile(const std::string& path,
                      [&](std::ostream& os) {
                          writeRegistryCsv(os, reg);
                      });
+}
+
+void
+recordHostPoolStats(stats::Registry& reg)
+{
+    const ThreadPool::Stats s = ThreadPool::instance().stats();
+    auto set = [&reg](const char* name, const char* desc,
+                      std::uint64_t v) {
+        reg.scalar(name, desc).set(static_cast<double>(v));
+    };
+    set("host.pool.size", "persistent host worker threads",
+        s.poolSize);
+    set("host.pool.parallel_ops",
+        "parallelFor calls executed on the pool", s.parallelOps);
+    set("host.pool.serial_ops",
+        "parallelFor calls that ran serial (small range or "
+        "single-thread cap)",
+        s.serialOps);
+    set("host.pool.inline_ops",
+        "nested parallelFor calls inlined on a pool thread",
+        s.inlineOps);
+    set("host.pool.tasks", "loop indices executed via the pool",
+        s.tasks);
+    set("host.pool.chunks", "work chunks dealt to worker deques",
+        s.chunks);
+    set("host.pool.steals", "chunks stolen from another worker",
+        s.steals);
 }
 
 } // namespace obs

@@ -30,6 +30,14 @@ bool writeRegistryJsonFile(const std::string& path,
 bool writeRegistryCsvFile(const std::string& path,
                           const stats::Registry& reg);
 
+/**
+ * Snapshot the process-wide host thread-pool counters (util's
+ * ThreadPool) into @p reg as host.pool.* scalars. Lives here rather
+ * than in util because the stats library sits above util in the
+ * dependency order.
+ */
+void recordHostPoolStats(stats::Registry& reg);
+
 } // namespace obs
 } // namespace cpullm
 

@@ -8,6 +8,7 @@
 #include "obs/prometheus.h"
 #include "util/json.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace cpullm {
 namespace serve {
@@ -227,6 +228,21 @@ ServingTelemetry::writePrometheus(std::ostream& os) const
           "windowed request completion rate", completions_.rate(now));
     gauge("cpullm_window_tokens_per_second",
           "windowed output-token throughput", tokens_.rate(now));
+
+    // Host execution counters: live view of the persistent thread
+    // pool driving the functional kernels under this server.
+    const ThreadPool::Stats pool = ThreadPool::instance().stats();
+    gauge("cpullm_host_pool_size", "persistent host worker threads",
+          static_cast<double>(pool.poolSize));
+    gauge("cpullm_host_pool_parallel_ops_total",
+          "parallelFor calls executed on the host pool",
+          static_cast<double>(pool.parallelOps));
+    gauge("cpullm_host_pool_tasks_total",
+          "loop indices executed via the host pool",
+          static_cast<double>(pool.tasks));
+    gauge("cpullm_host_pool_steals_total",
+          "work chunks stolen between host workers",
+          static_cast<double>(pool.steals));
 
     auto gaugeStats = [&](const char* name, const char* help,
                           const obs::WindowedGauge& g) {

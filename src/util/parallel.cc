@@ -1,14 +1,20 @@
 #include "util/parallel.h"
 
 #include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_pool.h"
 
 namespace cpullm {
 
 namespace {
 
 std::atomic<std::size_t> max_threads{0};
+std::atomic<int> backend{static_cast<int>(ParallelBackend::Pool)};
 
 } // namespace
 
@@ -31,11 +37,44 @@ setMaxThreads(std::size_t n)
 }
 
 void
-parallelFor(std::size_t begin, std::size_t end,
-            const std::function<void(std::size_t)>& fn, std::size_t grain)
+setParallelBackend(ParallelBackend b)
+{
+    backend.store(static_cast<int>(b), std::memory_order_relaxed);
+}
+
+ParallelBackend
+parallelBackend()
+{
+    return static_cast<ParallelBackend>(
+        backend.load(std::memory_order_relaxed));
+}
+
+bool
+applyThreadsEnv(std::string* err_value)
+{
+    const char* v = std::getenv("CPULLM_THREADS");
+    if (v == nullptr || *v == '\0')
+        return true;
+    char* end = nullptr;
+    const long n = std::strtol(v, &end, 10);
+    if (end == v || *end != '\0' || n < 0) {
+        if (err_value != nullptr)
+            *err_value = v;
+        return false;
+    }
+    setMaxThreads(static_cast<std::size_t>(n));
+    return true;
+}
+
+void
+parallelForSpawn(std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& fn,
+                 std::size_t grain)
 {
     if (end <= begin)
         return;
+    if (grain == 0)
+        grain = 1;
     const std::size_t total = end - begin;
     const std::size_t workers = hardwareThreads();
     if (workers <= 1 || total <= grain) {
@@ -45,6 +84,9 @@ parallelFor(std::size_t begin, std::size_t end,
     }
 
     std::atomic<std::size_t> next{begin};
+    std::atomic<bool> failed{false};
+    std::mutex err_mu;
+    std::exception_ptr error;
     auto worker = [&] {
         for (;;) {
             const std::size_t start =
@@ -52,8 +94,16 @@ parallelFor(std::size_t begin, std::size_t end,
             if (start >= end)
                 return;
             const std::size_t stop = std::min(start + grain, end);
-            for (std::size_t i = start; i < stop; ++i)
-                fn(i);
+            if (failed.load(std::memory_order_relaxed))
+                continue; // drain the range without running the body
+            try {
+                for (std::size_t i = start; i < stop; ++i)
+                    fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lk(err_mu);
+                if (!failed.exchange(true))
+                    error = std::current_exception();
+            }
         }
     };
 
@@ -65,6 +115,19 @@ parallelFor(std::size_t begin, std::size_t end,
     worker();
     for (auto& t : threads)
         t.join();
+    if (failed.load(std::memory_order_acquire))
+        std::rethrow_exception(error);
+}
+
+void
+parallelFor(std::size_t begin, std::size_t end,
+            const std::function<void(std::size_t)>& fn, std::size_t grain)
+{
+    if (parallelBackend() == ParallelBackend::Spawn) {
+        parallelForSpawn(begin, end, fn, grain);
+        return;
+    }
+    ThreadPool::instance().parallelFor(begin, end, fn, grain);
 }
 
 } // namespace cpullm

@@ -1,0 +1,194 @@
+#include "gemm/packed_weights.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <tuple>
+
+#include "gemm/gemm.h"
+#include "tensor/tensor.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace cpullm {
+namespace gemm {
+namespace {
+
+Tensor
+randomMatrix(std::int64_t r, std::int64_t c, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return Tensor::randomUniform({r, c}, DType::F32, rng, -1.0f, 1.0f);
+}
+
+/** True when both FP32 tensors hold the same bit patterns. */
+bool
+bitwiseEqual(const Tensor& a, const Tensor& b)
+{
+    if (a.size() != b.size())
+        return false;
+    return std::memcmp(a.data<float>(), b.data<float>(),
+                       static_cast<std::size_t>(a.size()) *
+                           sizeof(float)) == 0;
+}
+
+/** Restores the thread cap and backend on scope exit. */
+struct ParallelConfigGuard
+{
+    ~ParallelConfigGuard()
+    {
+        setMaxThreads(0);
+        setParallelBackend(ParallelBackend::Pool);
+    }
+};
+
+using GemmShape = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+class PackedMatchesUnpacked
+    : public testing::TestWithParam<std::tuple<Engine, GemmShape>>
+{
+};
+
+// Packing only reorders bytes; the packed kernels must reproduce the
+// unpacked results bit for bit, ragged edges included.
+TEST_P(PackedMatchesUnpacked, BitwiseIdentical)
+{
+    const auto [engine, shape] = GetParam();
+    const auto [m, n, k] = shape;
+    const Tensor a = randomMatrix(m, k, 101 + static_cast<unsigned>(m));
+    const Tensor b = randomMatrix(k, n, 211 + static_cast<unsigned>(n));
+
+    const Tensor want = matmul(engine, a, b);
+    const PreparedB pb(engine, b);
+    const Tensor got = matmul(engine, a, pb);
+    EXPECT_TRUE(bitwiseEqual(got, want))
+        << engineName(engine) << " m=" << m << " n=" << n << " k=" << k
+        << " max diff " << maxAbsDiff(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEngines, PackedMatchesUnpacked,
+    testing::Combine(
+        testing::Values(Engine::Reference, Engine::AmxBf16,
+                        Engine::Avx512Bf16, Engine::AmxI8),
+        testing::Values(GemmShape{16, 16, 32}, GemmShape{1, 16, 64},
+                        GemmShape{16, 1, 32}, GemmShape{1, 1, 1},
+                        GemmShape{5, 7, 9}, GemmShape{33, 17, 31},
+                        GemmShape{64, 48, 96}, GemmShape{2, 100, 3},
+                        GemmShape{100, 2, 5}, GemmShape{31, 31, 33},
+                        GemmShape{48, 33, 65})));
+
+class PackedAgreesWithRef
+    : public testing::TestWithParam<std::tuple<Engine, GemmShape>>
+{
+};
+
+// Same tolerance discipline as GemmEngineAgreement in test_gemm.cc:
+// reference on BF16-rounded inputs, slack scaled by K.
+TEST_P(PackedAgreesWithRef, WithinBf16Tolerance)
+{
+    const auto [engine, shape] = GetParam();
+    const auto [m, n, k] = shape;
+    const Tensor a = randomMatrix(m, k, 11 + static_cast<unsigned>(m));
+    const Tensor b = randomMatrix(k, n, 23 + static_cast<unsigned>(n));
+
+    const Tensor aq = a.cast(DType::BF16).cast(DType::F32);
+    const Tensor bq = b.cast(DType::BF16).cast(DType::F32);
+    const Tensor want = matmul(Engine::Reference, aq, bq);
+
+    const Tensor got = matmul(engine, a, PreparedB(engine, b));
+    const float tol = 1e-5f * static_cast<float>(k) + 1e-4f;
+    EXPECT_LE(maxAbsDiff(got, want), tol)
+        << engineName(engine) << " m=" << m << " n=" << n
+        << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bf16Engines, PackedAgreesWithRef,
+    testing::Combine(
+        testing::Values(Engine::AmxBf16, Engine::Avx512Bf16),
+        testing::Values(GemmShape{16, 16, 32}, GemmShape{1, 16, 64},
+                        GemmShape{5, 7, 9}, GemmShape{33, 17, 31},
+                        GemmShape{64, 48, 96}, GemmShape{2, 100, 3},
+                        GemmShape{100, 2, 5}, GemmShape{31, 31, 33})));
+
+TEST(PackedInt8, ApproximatesReference)
+{
+    const Tensor a = randomMatrix(16, 32, 7);
+    const Tensor b = randomMatrix(32, 16, 8);
+    const Tensor want = matmul(Engine::Reference, a, b);
+    const Tensor got =
+        matmul(Engine::AmxI8, a, PreparedB(Engine::AmxI8, b));
+    const float tol = 0.05f * 32.0f / 4.0f; // scale with K
+    EXPECT_LE(maxAbsDiff(got, want), tol);
+}
+
+// The invariance the paper's determinism story depends on: results
+// must not depend on how many host threads executed the loop.
+TEST(PackedThreadInvariance, BitwiseIdenticalAcrossThreadCounts)
+{
+    ParallelConfigGuard guard;
+    const Tensor a = randomMatrix(37, 96, 31);
+    const Tensor b = randomMatrix(96, 53, 32);
+    for (const Engine engine :
+         {Engine::AmxBf16, Engine::Avx512Bf16, Engine::AmxI8}) {
+        const PreparedB pb(engine, b);
+        setMaxThreads(1);
+        const Tensor one = matmul(engine, a, pb);
+        setMaxThreads(2);
+        const Tensor two = matmul(engine, a, pb);
+        setMaxThreads(0); // hardware default
+        const Tensor hw = matmul(engine, a, pb);
+        EXPECT_TRUE(bitwiseEqual(one, two)) << engineName(engine);
+        EXPECT_TRUE(bitwiseEqual(one, hw)) << engineName(engine);
+    }
+}
+
+// Same invariance across the two parallelFor backends.
+TEST(PackedThreadInvariance, BitwiseIdenticalAcrossBackends)
+{
+    ParallelConfigGuard guard;
+    const Tensor a = randomMatrix(21, 64, 41);
+    const Tensor b = randomMatrix(64, 33, 42);
+    const PreparedB pb(Engine::AmxBf16, b);
+    setParallelBackend(ParallelBackend::Pool);
+    const Tensor pooled = matmul(Engine::AmxBf16, a, pb);
+    setParallelBackend(ParallelBackend::Spawn);
+    const Tensor spawned = matmul(Engine::AmxBf16, a, pb);
+    EXPECT_TRUE(bitwiseEqual(pooled, spawned));
+}
+
+TEST(PreparedBAccessors, ReportShapeAndEngine)
+{
+    const Tensor b = randomMatrix(40, 24, 5);
+    const PreparedB pb(Engine::AmxBf16, b);
+    EXPECT_EQ(pb.engine(), Engine::AmxBf16);
+    EXPECT_EQ(pb.k(), 40);
+    EXPECT_EQ(pb.n(), 24);
+    EXPECT_FALSE(pb.empty());
+    EXPECT_EQ(pb.amxBf16().kSteps(), 2);  // ceil(40/32)
+    EXPECT_EQ(pb.amxBf16().nBlocks(), 2); // ceil(24/16)
+
+    const PreparedB empty;
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(PreparedBDeath, EngineMismatchPanics)
+{
+    const Tensor a = randomMatrix(4, 8, 1);
+    const Tensor b = randomMatrix(8, 4, 2);
+    const PreparedB pb(Engine::AmxBf16, b);
+    EXPECT_DEATH(matmul(Engine::Avx512Bf16, a, pb), "mismatches");
+}
+
+TEST(PreparedBDeath, InnerDimMismatchPanics)
+{
+    const Tensor a = randomMatrix(4, 5, 1);
+    const Tensor b = randomMatrix(6, 4, 2);
+    const PreparedB pb(Engine::Reference, b);
+    EXPECT_DEATH(matmul(Engine::Reference, a, pb), "inner dimension");
+}
+
+} // namespace
+} // namespace gemm
+} // namespace cpullm

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 
 #include "util/json.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace cpullm {
 namespace obs {
@@ -91,6 +94,37 @@ TEST(RegistryJson, EmptyHistogramEmitsNullNotNaN)
     EXPECT_NE(json.find("\"p50\":null"), std::string::npos) << json;
     EXPECT_EQ(json.find("nan"), std::string::npos);
     EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(HostPoolStats, RecordedAsScalars)
+{
+    // Drive at least one loop through the pool backend so the
+    // counters are live, then snapshot them into a registry.
+    std::atomic<std::uint64_t> sum{0};
+    parallelFor(0, 2048, [&](std::size_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    stats::Registry reg;
+    recordHostPoolStats(reg);
+    const ThreadPool::Stats s = ThreadPool::instance().stats();
+    EXPECT_EQ(reg.getScalar("host.pool.size").value(),
+              static_cast<double>(s.poolSize));
+    EXPECT_GE(reg.getScalar("host.pool.parallel_ops").value() +
+                  reg.getScalar("host.pool.serial_ops").value(),
+              1.0);
+    for (const char* name :
+         {"host.pool.size", "host.pool.parallel_ops",
+          "host.pool.serial_ops", "host.pool.inline_ops",
+          "host.pool.tasks", "host.pool.chunks",
+          "host.pool.steals"})
+        EXPECT_EQ(reg.kind(name), stats::StatKind::Scalar) << name;
+
+    // The snapshot also survives the machine-readable exports.
+    std::ostringstream os;
+    writeRegistryJson(os, reg);
+    EXPECT_TRUE(jsonValid(os.str()));
+    EXPECT_NE(os.str().find("\"host.pool.steals\""),
+              std::string::npos);
 }
 
 TEST(RegistryCsv, EmptyHistogramLeavesQuantileCellsBlank)

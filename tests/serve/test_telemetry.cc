@@ -186,6 +186,10 @@ TEST(ServingTelemetry, PrometheusViewValidates)
               std::string::npos);
     EXPECT_NE(os.str().find("cpullm_slo_burn_rate{slo=\"ttft\"}"),
               std::string::npos);
+    EXPECT_NE(os.str().find("cpullm_host_pool_size"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("cpullm_host_pool_steals_total"),
+              std::string::npos);
 }
 
 TEST(ServingTelemetry, StatsJsonViewValidates)

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace cpullm {
@@ -50,6 +51,27 @@ TEST(MaxThreads, CapIsRespected)
     EXPECT_EQ(hardwareThreads(), 1u);
     setMaxThreads(0);
     EXPECT_GE(hardwareThreads(), 1u);
+}
+
+TEST(ParallelFor, WorkerExceptionRethrownOnCaller)
+{
+    // A throwing body used to std::terminate the process; now the
+    // first exception is rethrown on the calling thread.
+    EXPECT_THROW(parallelFor(0, 1000,
+                             [](std::size_t i) {
+                                 if (i % 2 == 0)
+                                     throw std::runtime_error("odd");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(SpawnBackend, CoversEveryIndexExactlyOnce)
+{
+    const std::size_t n = 5000;
+    std::vector<std::atomic<int>> hits(n);
+    parallelForSpawn(0, n, [&](std::size_t i) { ++hits[i]; }, 8);
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
 }
 
 TEST(ParallelFor, LargeGrainStillCoversAll)

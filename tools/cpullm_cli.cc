@@ -13,9 +13,14 @@
  *                [--slo-e2e-ms X] [--slo-budget R]
  *   cpullm report --model opt-13b [serve flags] [--report-out F]
  *   cpullm compare --model opt-66b --batch 1
- *   cpullm bench [--out DIR] [--quick]
+ *   cpullm bench [--out DIR] [--quick] [--threads N]
  *   cpullm findings
  *   cpullm list
+ *
+ * Host thread cap: CPULLM_THREADS=N applies to every command
+ * (malformed values are usage errors, exit 2); serve/bench also
+ * accept --threads N, which overrides the env var. 0 means the
+ * hardware default.
  *
  * `run` simulates one request on a CPU platform; `serve` runs the
  * serving simulator (static or continuous batching, CPU or GPU
@@ -48,6 +53,7 @@
 #include <thread>
 
 #include "core/cpullm.h"
+#include "util/parallel.h"
 
 using namespace cpullm;
 
@@ -151,6 +157,22 @@ intFlag(const std::map<std::string, std::string>& flags,
     if (v != std::floor(v))
         usageError("--" + key + " expects an integer");
     return static_cast<std::int64_t>(v);
+}
+
+/**
+ * Cap host threads from --threads (0 = hardware default). The env
+ * var CPULLM_THREADS is applied first in main(); the flag wins when
+ * both are given.
+ */
+void
+applyThreadsFlag(const std::map<std::string, std::string>& flags)
+{
+    if (!flags.count("threads"))
+        return;
+    const std::int64_t n = intFlag(flags, "threads", 0);
+    if (n < 0)
+        usageError("--threads expects a non-negative integer");
+    setMaxThreads(static_cast<std::size_t>(n));
 }
 
 perf::Workload
@@ -303,7 +325,8 @@ cmdServe(int argc, char** argv, bool report_mode)
              "continuous", "json", "trace-out", "report-out",
              "telemetry-port", "prom-out", "linger", "probe",
              "slo-ttft-ms", "slo-tpot-ms", "slo-e2e-ms",
-             "slo-budget"}));
+             "slo-budget", "threads"}));
+    applyThreadsFlag(flags);
     const auto spec =
         model::modelByName(flagOr(flags, "model", "opt-13b"));
     perf::Workload w = workloadFromFlags(flags);
@@ -547,13 +570,16 @@ cmdCompare(int argc, char** argv)
 int
 cmdBench(int argc, char** argv)
 {
-    const auto flags = parseFlags(argc, argv, 2, {"out", "quick"});
+    const auto flags =
+        parseFlags(argc, argv, 2, {"out", "quick", "threads"});
+    applyThreadsFlag(flags);
     core::BenchSuiteOptions opt;
     opt.quick = flags.count("quick") != 0;
     const std::string dir = flagOr(flags, "out", "bench_results");
 
     stats::Registry reg;
     const auto baselines = core::runBenchSuite(opt, &reg);
+    obs::recordHostPoolStats(reg);
     int written = 0;
     for (const auto& b : baselines) {
         if (core::writeBaseline(b, dir))
@@ -613,13 +639,16 @@ usage()
            "           [--telemetry-port P] [--prom-out F]\n"
            "           [--linger S] [--probe] [--slo-ttft-ms X]\n"
            "           [--slo-tpot-ms X] [--slo-e2e-ms X]\n"
-           "           [--slo-budget R]\n"
+           "           [--slo-budget R] [--threads N]\n"
            "  report   serve, printing the JSON run report on stdout\n"
            "  compare  --model M --batch N [--prompt N] [--gen N]\n"
-           "  bench    [--out DIR] [--quick]  write BENCH_*.json\n"
-           "           baselines (compare with bench_diff)\n"
+           "  bench    [--out DIR] [--quick] [--threads N]\n"
+           "           write BENCH_*.json baselines (bench_diff)\n"
            "  findings validate the paper's five key findings\n"
-           "  list     known models and platforms\n";
+           "  list     known models and platforms\n"
+           "\n"
+           "CPULLM_THREADS=N caps host worker threads for any\n"
+           "command (0 = hardware default); --threads overrides it.\n";
 }
 
 } // namespace
@@ -630,6 +659,12 @@ main(int argc, char** argv)
     if (argc < 2) {
         usage();
         return kUsageExit;
+    }
+    {
+        std::string bad;
+        if (!applyThreadsEnv(&bad))
+            usageError("CPULLM_THREADS expects a non-negative "
+                       "integer, got '" + bad + "'");
     }
     const std::string cmd = argv[1];
     if (cmd == "run")
