@@ -1,0 +1,124 @@
+#ifndef CPULLM_GEMM_ATTENTION_H
+#define CPULLM_GEMM_ATTENTION_H
+
+/**
+ * @file
+ * Fused decode/prefill attention over contiguous KV-cache spans.
+ *
+ * This is the functional hot path the paper's decode analysis points
+ * at (Figs 6/7): per generated token, attention streams every cached
+ * K and V vector once — a bandwidth-bound sweep that the naive
+ * implementation (per-position readK/readV copies, per-element dtype
+ * conversion, one scalar dot per head per position, a two-pass
+ * softmax) turns into a compute-bound crawl. attnFused replaces it
+ * with a single-pass flash-style kernel:
+ *
+ *  - K/V rows are read straight from KvSpan views in the storage
+ *    dtype (BF16 widened once per row, FP32 streamed in place) —
+ *    never copied per (head, position) like readK/readV.
+ *  - Scores, the running softmax max/sum, and the V accumulation are
+ *    fused into one sweep over the span (online softmax, the flash
+ *    attention recurrence), so the span is traversed once instead of
+ *    twice and no scores array is materialized.
+ *  - GQA-aware: the (sequence x kv-head) grid reads each kv-head's
+ *    K/V stream once and reuses it for all query heads of the group.
+ *  - The grid fans out on util's persistent thread pool with
+ *    per-thread scratch owned by the kernel, so a decode step costs
+ *    no heap allocation. Task boundaries align with output rows,
+ *    making results invariant to the thread count.
+ *  - Prefill batches query positions: with m > 1 queries at absolute
+ *    positions [pos0, pos0 + m), query row i attends causally over
+ *    span rows [0, pos0 + i].
+ *
+ * Inner dot/axpy loops run on the emulated AVX-512 unit (isa::Vec512
+ * FMA lanes), the same dispatch conventions as the packed GEMM
+ * kernels: activations in FP32, reductions in FP32 lane order.
+ *
+ * Numerics: attnRef reproduces the naive path's arithmetic order
+ * exactly (scalar dots in position order, two-pass softmax), so it is
+ * bit-identical to the pre-fused TransformerModel::attention loop.
+ * attnFused changes only the reduction order (16-lane dots, online
+ * rescaling); outputs match attnRef within kAttnTolerance for
+ * O(1)-scaled inputs. Where the order is preserved — a span short
+ * enough that the online max never updates after the first row and
+ * head_dim <= one vector — the two are exact.
+ */
+
+#include <cstdint>
+
+#include "kv/kv_span.h"
+
+namespace cpullm {
+namespace gemm {
+
+/**
+ * Documented output tolerance of attnFused vs attnRef (max abs diff)
+ * for inputs with O(1) per-element magnitude, e.g. LayerNorm/RMSNorm
+ * activations. Both kernels accumulate in FP32; they differ only in
+ * summation order, so the gap is a few ULPs amplified by exp().
+ */
+inline constexpr float kAttnTolerance = 1e-3f;
+
+/** Attention head geometry shared by every sequence in a call. */
+struct AttnShape
+{
+    std::int64_t heads = 0;   ///< query heads
+    std::int64_t kvHeads = 0; ///< kv heads (== heads for MHA)
+    std::int64_t headDim = 0; ///< elements per head
+};
+
+/**
+ * One sequence's inputs: q/out are row-major [m, heads * headDim]
+ * FP32; k/v are span chunk arrays (in position order, jointly
+ * covering at least pos0 + m rows of kvHeads * headDim elements).
+ * Contiguous caches pass one chunk; paged caches pass one per block.
+ */
+struct AttnSeqView
+{
+    const float* q = nullptr;
+    float* out = nullptr;
+    const kv::KvSpan* k = nullptr;
+    const kv::KvSpan* v = nullptr;
+    std::size_t chunks = 0;
+};
+
+/**
+ * Monotonic process-wide kernel counters (exported as host.attn.* in
+ * run reports). scratchAllocs only grows when a thread's scratch
+ * buffers must grow — steady-state decode adds zero.
+ */
+struct AttnStats
+{
+    std::uint64_t decodeCalls = 0;  ///< attnFused calls with m == 1
+    std::uint64_t prefillCalls = 0; ///< attnFused calls with m > 1
+    std::uint64_t tasks = 0;        ///< (sequence x kv-head) grid tasks
+    std::uint64_t spanRows = 0;     ///< K/V rows streamed (per task)
+    std::uint64_t scratchAllocs = 0; ///< per-thread scratch growths
+};
+
+/** Snapshot of the process-wide counters (atomic reads). */
+AttnStats attnStats();
+
+/**
+ * Fused attention for @p n_seqs sequences: for each sequence, each
+ * query row i in [0, m) attends over cached rows [0, pos0 + i] with
+ * softmax(q k / sqrt(headDim)) v per head. Decode is m == 1.
+ * Parallel over (sequence x kv-head); thread-count invariant.
+ */
+void attnFused(const AttnShape& shape, std::int64_t m,
+               std::int64_t pos0, const AttnSeqView* seqs,
+               std::size_t n_seqs);
+
+/**
+ * Reference implementation over the same views: single-threaded
+ * scalar loops in the naive path's exact arithmetic order (scores in
+ * position order, two-pass softmax, weighted V sum). Ground truth
+ * for tests and the host benchmark.
+ */
+void attnRef(const AttnShape& shape, std::int64_t m, std::int64_t pos0,
+             const AttnSeqView* seqs, std::size_t n_seqs);
+
+} // namespace gemm
+} // namespace cpullm
+
+#endif // CPULLM_GEMM_ATTENTION_H

@@ -72,6 +72,40 @@ KvCache::readV(std::int64_t layer, std::int64_t b, std::int64_t pos,
         out[i] = vt.at(base + i);
 }
 
+KvSpan
+KvCache::span(const Tensor& t, std::int64_t b, std::int64_t len) const
+{
+    if (len < 0)
+        len = seq_len_;
+    CPULLM_ASSERT(len >= 0 && len <= max_seq_,
+                  "span length ", len, " out of capacity ", max_seq_);
+    const std::int64_t base = offset(b, 0);
+    KvSpan s;
+    s.data = static_cast<const std::uint8_t*>(t.raw()) +
+             static_cast<std::uint64_t>(base) * dtypeSize(dtype_);
+    s.dtype = dtype_;
+    s.len = len;
+    s.rowElems = d_kv_;
+    s.stride = d_kv_;
+    return s;
+}
+
+KvSpan
+KvCache::kSpan(std::int64_t layer, std::int64_t b,
+               std::int64_t len) const
+{
+    CPULLM_ASSERT(layer >= 0 && layer < layers_, "layer out of range");
+    return span(k_[static_cast<size_t>(layer)], b, len);
+}
+
+KvSpan
+KvCache::vSpan(std::int64_t layer, std::int64_t b,
+               std::int64_t len) const
+{
+    CPULLM_ASSERT(layer >= 0 && layer < layers_, "layer out of range");
+    return span(v_[static_cast<size_t>(layer)], b, len);
+}
+
 std::uint64_t
 KvCache::capacityBytes() const
 {

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "kv/kv_span.h"
 #include "tensor/tensor.h"
 
 namespace cpullm {
@@ -63,6 +64,25 @@ class KvCache
     void readV(std::int64_t layer, std::int64_t b, std::int64_t pos,
                float* out) const;
 
+    /** @name Contiguous span views (the fused-attention fast path) */
+    /// @{
+    /**
+     * View over the first @p len cached K rows of (layer, b) in the
+     * storage dtype: row @p pos starts at data + pos * stride and the
+     * rows match readK element for element. @p len = -1 means the
+     * current seqLen(); pass an explicit length mid-step, before
+     * setSeqLen() publishes the new count. The view aliases cache
+     * storage (no copy) and stays valid until the cache is destroyed;
+     * write() and reset() do not invalidate it.
+     */
+    KvSpan kSpan(std::int64_t layer, std::int64_t b,
+                 std::int64_t len = -1) const;
+
+    /** Same view over the V rows. */
+    KvSpan vSpan(std::int64_t layer, std::int64_t b,
+                 std::int64_t len = -1) const;
+    /// @}
+
     /** Bytes held by the cache allocation (full capacity). */
     std::uint64_t capacityBytes() const;
 
@@ -74,6 +94,9 @@ class KvCache
 
   private:
     std::int64_t offset(std::int64_t b, std::int64_t pos) const;
+
+    KvSpan span(const Tensor& t, std::int64_t b,
+                std::int64_t len) const;
 
     std::int64_t layers_;
     std::int64_t batch_;

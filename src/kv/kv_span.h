@@ -1,0 +1,74 @@
+#ifndef CPULLM_KV_KV_SPAN_H
+#define CPULLM_KV_KV_SPAN_H
+
+/**
+ * @file
+ * Typed strided views over contiguous runs of KV-cache rows.
+ *
+ * The decode-attention hot loop is bandwidth bound (paper Figs 6/7):
+ * it streams every cached K and V vector of the span once per step.
+ * readK/readV serve that loop one position at a time through a
+ * per-element dtype conversion and a d_kv-float copy; a KvSpan
+ * instead hands the kernel a raw pointer into the cache storage so
+ * it can stream rows in the storage dtype with no intermediate copy.
+ *
+ * A span covers rows [0, len) of one (layer, sequence) at a fixed
+ * element stride. Contiguous caches (KvCache) produce one span per
+ * (layer, sequence); paged caches produce one span per block, in
+ * position order (a chunk list). Spans are non-owning and are
+ * invalidated by whatever invalidates the cache storage itself.
+ */
+
+#include <cstdint>
+
+#include "numerics/bf16.h"
+#include "numerics/dtype.h"
+#include "util/logging.h"
+
+namespace cpullm {
+namespace kv {
+
+/** Non-owning view over @p len cache rows of @p rowElems elements. */
+struct KvSpan
+{
+    const void* data = nullptr; ///< first row (storage dtype)
+    DType dtype = DType::F32;   ///< storage dtype of the rows
+    std::int64_t len = 0;       ///< rows (token positions) in view
+    std::int64_t rowElems = 0;  ///< valid elements per row (d_kv)
+    std::int64_t stride = 0;    ///< elements between consecutive rows
+
+    bool empty() const { return len == 0; }
+
+    /** Typed row pointers; panic on dtype mismatch. */
+    const BFloat16*
+    rowBf16(std::int64_t pos) const
+    {
+        CPULLM_ASSERT(dtype == DType::BF16,
+                      "KvSpan holds ", dtypeName(dtype), ", not bf16");
+        return static_cast<const BFloat16*>(data) + pos * stride;
+    }
+
+    const float*
+    rowF32(std::int64_t pos) const
+    {
+        CPULLM_ASSERT(dtype == DType::F32,
+                      "KvSpan holds ", dtypeName(dtype), ", not f32");
+        return static_cast<const float*>(data) + pos * stride;
+    }
+
+    /** Element (pos, i) widened to FP32 regardless of storage dtype. */
+    float
+    at(std::int64_t pos, std::int64_t i) const
+    {
+        CPULLM_ASSERT(pos >= 0 && pos < len && i >= 0 && i < rowElems,
+                      "KvSpan index (", pos, ", ", i, ") out of view");
+        if (dtype == DType::BF16)
+            return rowBf16(pos)[i].toFloat();
+        return rowF32(pos)[i];
+    }
+};
+
+} // namespace kv
+} // namespace cpullm
+
+#endif // CPULLM_KV_KV_SPAN_H

@@ -1,5 +1,7 @@
 #include "kv/paged_kv_cache.h"
 
+#include <algorithm>
+
 #include "util/logging.h"
 
 namespace cpullm {
@@ -134,6 +136,43 @@ PagedKvCache::readV(std::int64_t seq, std::int64_t layer,
         elemOffset(block, layer, pos % block_size_);
     for (std::int64_t i = 0; i < d_kv_; ++i)
         out[i] = v_pool_.at(base + i);
+}
+
+std::vector<KvSpan>
+PagedKvCache::spans(const Tensor& pool, std::int64_t seq,
+                    std::int64_t layer) const
+{
+    const Sequence& s = seqRef(seq);
+    CPULLM_ASSERT(layer >= 0 && layer < layers_, "layer out of range");
+    std::vector<KvSpan> out;
+    out.reserve(s.blockTable.size());
+    const auto* base = static_cast<const std::uint8_t*>(pool.raw());
+    std::int64_t remaining = s.length;
+    for (const std::int64_t block : s.blockTable) {
+        KvSpan sp;
+        sp.data = base + static_cast<std::uint64_t>(
+                             elemOffset(block, layer, 0)) *
+                             dtypeSize(dtype_);
+        sp.dtype = dtype_;
+        sp.len = std::min(remaining, block_size_);
+        sp.rowElems = d_kv_;
+        sp.stride = d_kv_;
+        out.push_back(sp);
+        remaining -= sp.len;
+    }
+    return out;
+}
+
+std::vector<KvSpan>
+PagedKvCache::kSpans(std::int64_t seq, std::int64_t layer) const
+{
+    return spans(k_pool_, seq, layer);
+}
+
+std::vector<KvSpan>
+PagedKvCache::vSpans(std::int64_t seq, std::int64_t layer) const
+{
+    return spans(v_pool_, seq, layer);
 }
 
 std::uint64_t

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "kv/kv_span.h"
 #include "numerics/dtype.h"
 #include "tensor/tensor.h"
 
@@ -87,6 +88,20 @@ class PagedKvCache
     /** Read one cached V vector. */
     void readV(std::int64_t seq, std::int64_t layer, std::int64_t pos,
                float* out) const;
+
+    /**
+     * Span chunks covering the K rows [0, seqLen(seq)) of @p layer in
+     * position order: one chunk per assigned block, each at most
+     * blockSize rows, matching readK element for element. Chunks
+     * alias pool storage (no copy); they stay valid until the
+     * sequence's blocks are released back to the pool.
+     */
+    std::vector<KvSpan> kSpans(std::int64_t seq,
+                               std::int64_t layer) const;
+
+    /** Same chunk list over the V rows. */
+    std::vector<KvSpan> vSpans(std::int64_t seq,
+                               std::int64_t layer) const;
     /// @}
 
     /** @name Accounting (the PagedAttention argument) */
@@ -124,6 +139,9 @@ class PagedKvCache
     /** Linear element offset of (layer, slot, i) inside a block. */
     std::int64_t elemOffset(std::int64_t block, std::int64_t layer,
                             std::int64_t slot) const;
+
+    std::vector<KvSpan> spans(const Tensor& pool, std::int64_t seq,
+                              std::int64_t layer) const;
 
     std::int64_t layers_;
     std::int64_t d_kv_;

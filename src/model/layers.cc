@@ -161,6 +161,54 @@ applyRope(float* vec, std::int64_t heads, std::int64_t head_dim,
     }
 }
 
+RopeTable::RopeTable(std::int64_t head_dim, std::int64_t max_pos)
+    : head_dim_(head_dim), max_pos_(max_pos)
+{
+    CPULLM_ASSERT(head_dim > 0 && head_dim % 2 == 0,
+                  "RoPE needs even head_dim");
+    CPULLM_ASSERT(max_pos > 0, "RoPE table needs max_pos > 0");
+    const std::int64_t half = head_dim / 2;
+    cos_.resize(static_cast<std::size_t>(max_pos * half));
+    sin_.resize(static_cast<std::size_t>(max_pos * half));
+    // Same double-precision expression as applyRope, evaluated once
+    // per (position, element) instead of per (head, token, layer).
+    for (std::int64_t pos = 0; pos < max_pos; ++pos) {
+        for (std::int64_t i = 0; i < half; ++i) {
+            const double freq = std::pow(
+                10000.0, -2.0 * static_cast<double>(i) /
+                             static_cast<double>(head_dim));
+            const double angle = static_cast<double>(pos) * freq;
+            const std::size_t at =
+                static_cast<std::size_t>(pos * half + i);
+            cos_[at] = static_cast<float>(std::cos(angle));
+            sin_[at] = static_cast<float>(std::sin(angle));
+        }
+    }
+}
+
+void
+RopeTable::apply(float* vec, std::int64_t heads,
+                 std::int64_t position) const
+{
+    CPULLM_ASSERT(valid(), "apply on a default RopeTable");
+    if (position >= max_pos_) {
+        applyRope(vec, heads, head_dim_, position);
+        return;
+    }
+    const std::int64_t half = head_dim_ / 2;
+    const float* c = cos_.data() + position * half;
+    const float* s = sin_.data() + position * half;
+    for (std::int64_t h = 0; h < heads; ++h) {
+        float* v = vec + h * head_dim_;
+        for (std::int64_t i = 0; i < half; ++i) {
+            const float x0 = v[i];
+            const float x1 = v[i + half];
+            v[i] = x0 * c[i] - x1 * s[i];
+            v[i + half] = x0 * s[i] + x1 * c[i];
+        }
+    }
+}
+
 std::int64_t
 argmaxRow(const Tensor& logits, std::int64_t row)
 {

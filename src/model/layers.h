@@ -9,6 +9,9 @@
  * enters — exactly as in a BF16 inference stack.
  */
 
+#include <cstdint>
+#include <vector>
+
 #include "gemm/gemm.h"
 #include "gemm/packed_weights.h"
 #include "model/spec.h"
@@ -51,6 +54,35 @@ void activationInPlace(Tensor& x, Activation act);
  */
 void applyRope(float* vec, std::int64_t heads, std::int64_t head_dim,
                std::int64_t position);
+
+/**
+ * Precomputed RoPE rotation factors. applyRope evaluates pow/cos/sin
+ * for every (head, position, element) on every token of every layer;
+ * the table computes each (position, element) pair once per model with
+ * the same double-precision math, so apply() is bit-identical to
+ * applyRope for covered positions and falls back to it beyond the
+ * table.
+ */
+class RopeTable
+{
+  public:
+    RopeTable() = default;
+
+    /** Precompute factors for positions [0, max_pos). */
+    RopeTable(std::int64_t head_dim, std::int64_t max_pos);
+
+    bool valid() const { return head_dim_ > 0; }
+
+    /** Rotate one token's [heads, head_dim] vector at @p position. */
+    void apply(float* vec, std::int64_t heads,
+               std::int64_t position) const;
+
+  private:
+    std::int64_t head_dim_ = 0;
+    std::int64_t max_pos_ = 0;
+    std::vector<float> cos_; ///< [max_pos, head_dim / 2]
+    std::vector<float> sin_;
+};
 
 /** Index of the maximum element in row @p row of [rows, cols] logits. */
 std::int64_t argmaxRow(const Tensor& logits, std::int64_t row);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "gemm/attention.h"
 #include "model/layers.h"
 #include "util/logging.h"
 
@@ -92,6 +93,8 @@ TransformerModel::TransformerModel(ModelSpec spec, gemm::Engine engine,
         p.wDown = gemm::PreparedB(engine_, w.wDown);
         prepared_.push_back(std::move(p));
     }
+    if (spec_.posEmbedding == PosEmbedding::Rotary)
+        rope_ = RopeTable(spec_.headDim(), spec_.maxSeqLen);
     if (spec_.tiedEmbedding) {
         // logits = x * E^T; prepare the explicit [d, vocab] transpose
         // once instead of rebuilding it for every forward call.
@@ -117,24 +120,24 @@ TransformerModel::makeKvCache(std::int64_t batch,
 
 Tensor
 TransformerModel::embed(const std::vector<std::int64_t>& tokens,
-                        std::int64_t position) const
+                        std::int64_t pos0, std::int64_t m) const
 {
     const std::int64_t d = spec_.dModel;
-    const auto batch = static_cast<std::int64_t>(tokens.size());
-    Tensor x({batch, d}, DType::F32);
+    const auto rows = static_cast<std::int64_t>(tokens.size());
+    Tensor x({rows, d}, DType::F32);
     float* xp = x.data<float>();
     const float* emb = tokenEmbedding_.data<float>();
-    for (std::int64_t b = 0; b < batch; ++b) {
-        const std::int64_t tok = tokens[static_cast<size_t>(b)];
+    for (std::int64_t r = 0; r < rows; ++r) {
+        const std::int64_t tok = tokens[static_cast<size_t>(r)];
         CPULLM_ASSERT(tok >= 0 && tok < spec_.vocabSize,
                       "token id ", tok, " out of vocab");
         for (std::int64_t c = 0; c < d; ++c)
-            xp[b * d + c] = emb[tok * d + c];
+            xp[r * d + c] = emb[tok * d + c];
         if (spec_.posEmbedding == PosEmbedding::Learned) {
             const float* pos = posEmbedding_.data<float>() +
-                               position * d;
+                               (pos0 + r % m) * d;
             for (std::int64_t c = 0; c < d; ++c)
-                xp[b * d + c] += pos[c];
+                xp[r * d + c] += pos[c];
         }
     }
     return x;
@@ -142,17 +145,18 @@ TransformerModel::embed(const std::vector<std::int64_t>& tokens,
 
 Tensor
 TransformerModel::attention(std::int64_t layer, const Tensor& x,
-                            std::int64_t position, kv::KvCache& cache)
+                            std::int64_t pos0, std::int64_t m,
+                            kv::KvCache& cache)
 {
     const LayerWeights& w = layers_[static_cast<size_t>(layer)];
     const PreparedLayerWeights& pw =
         prepared_[static_cast<size_t>(layer)];
-    const std::int64_t batch = x.dim(0);
+    const std::int64_t rows = x.dim(0);
+    const std::int64_t batch = rows / m;
     const std::int64_t d = spec_.dModel;
     const std::int64_t heads = spec_.numHeads;
     const std::int64_t hd = spec_.headDim();
     const std::int64_t kv_heads = spec_.numKvHeads;
-    const std::int64_t group = heads / kv_heads;
 
     Tensor q = linear(engine_, x, pw.wq,
                       spec_.linearBias ? &w.bq : nullptr);
@@ -165,64 +169,39 @@ TransformerModel::attention(std::int64_t layer, const Tensor& x,
     float* kp = k.data<float>();
     const float* vp = v.data<float>();
 
-    if (spec_.posEmbedding == PosEmbedding::Rotary) {
-        for (std::int64_t b = 0; b < batch; ++b) {
-            applyRope(qp + b * d, heads, hd, position);
-            applyRope(kp + b * spec_.dKv(), kv_heads, hd, position);
+    for (std::int64_t b = 0; b < batch; ++b) {
+        for (std::int64_t i = 0; i < m; ++i) {
+            const std::int64_t r = b * m + i;
+            if (spec_.posEmbedding == PosEmbedding::Rotary) {
+                rope_.apply(qp + r * d, heads, pos0 + i);
+                rope_.apply(kp + r * spec_.dKv(), kv_heads, pos0 + i);
+            }
+            cache.write(layer, b, pos0 + i, kp + r * spec_.dKv(),
+                        vp + r * spec_.dKv());
         }
     }
 
-    // Append this token's K/V, then attend over positions <= current.
-    for (std::int64_t b = 0; b < batch; ++b) {
-        cache.write(layer, b, position, kp + b * spec_.dKv(),
-                    vp + b * spec_.dKv());
-    }
-    const std::int64_t span = position + 1;
-    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
-
-    Tensor ctx({batch, d}, DType::F32);
+    // Attend over the cached span through contiguous views; seqLen is
+    // published by the caller after all layers, so pass the explicit
+    // span length pos0 + m.
+    Tensor ctx({rows, d}, DType::F32);
     float* cp = ctx.data<float>();
-    std::vector<float> kbuf(static_cast<size_t>(spec_.dKv()));
-    std::vector<float> vbuf(static_cast<size_t>(spec_.dKv()));
-    std::vector<float> scores(static_cast<size_t>(span));
-
+    std::vector<kv::KvSpan> kspans(static_cast<size_t>(batch));
+    std::vector<kv::KvSpan> vspans(static_cast<size_t>(batch));
+    std::vector<gemm::AttnSeqView> seqs(static_cast<size_t>(batch));
     for (std::int64_t b = 0; b < batch; ++b) {
-        for (std::int64_t h = 0; h < heads; ++h) {
-            const std::int64_t kvh = h / group;
-            const float* qh = qp + b * d + h * hd;
-            // Scores over the cached span.
-            for (std::int64_t p = 0; p < span; ++p) {
-                cache.readK(layer, b, p, kbuf.data());
-                const float* kh = kbuf.data() + kvh * hd;
-                float dot = 0.0f;
-                for (std::int64_t i = 0; i < hd; ++i)
-                    dot += qh[i] * kh[i];
-                scores[static_cast<size_t>(p)] = dot * scale;
-            }
-            // Softmax.
-            float mx = scores[0];
-            for (std::int64_t p = 1; p < span; ++p)
-                mx = std::max(mx, scores[static_cast<size_t>(p)]);
-            float sum = 0.0f;
-            for (std::int64_t p = 0; p < span; ++p) {
-                scores[static_cast<size_t>(p)] =
-                    std::exp(scores[static_cast<size_t>(p)] - mx);
-                sum += scores[static_cast<size_t>(p)];
-            }
-            const float inv = 1.0f / sum;
-            // Weighted value sum.
-            float* ch = cp + b * d + h * hd;
-            for (std::int64_t i = 0; i < hd; ++i)
-                ch[i] = 0.0f;
-            for (std::int64_t p = 0; p < span; ++p) {
-                cache.readV(layer, b, p, vbuf.data());
-                const float* vh = vbuf.data() + kvh * hd;
-                const float pw = scores[static_cast<size_t>(p)] * inv;
-                for (std::int64_t i = 0; i < hd; ++i)
-                    ch[i] += pw * vh[i];
-            }
-        }
+        const auto sb = static_cast<size_t>(b);
+        kspans[sb] = cache.kSpan(layer, b, pos0 + m);
+        vspans[sb] = cache.vSpan(layer, b, pos0 + m);
+        seqs[sb].q = qp + b * m * d;
+        seqs[sb].out = cp + b * m * d;
+        seqs[sb].k = &kspans[sb];
+        seqs[sb].v = &vspans[sb];
+        seqs[sb].chunks = 1;
     }
+    gemm::attnFused({heads, kv_heads, hd}, m, pos0, seqs.data(),
+                    static_cast<size_t>(batch));
+
     return linear(engine_, ctx, pw.wo,
                   spec_.linearBias ? &w.bo : nullptr);
 }
@@ -250,14 +229,18 @@ TransformerModel::ffn(std::int64_t layer, const Tensor& x)
 }
 
 Tensor
-TransformerModel::forwardTokens(const std::vector<std::int64_t>& tokens,
-                                std::int64_t position,
-                                kv::KvCache& cache)
+TransformerModel::forwardSpan(const std::vector<std::int64_t>& tokens,
+                              std::int64_t pos0, std::int64_t m,
+                              kv::KvCache& cache)
 {
+    CPULLM_ASSERT(m >= 1, "forwardSpan needs m >= 1");
     CPULLM_ASSERT(static_cast<std::int64_t>(tokens.size()) ==
-                      cache.batch(),
-                  "token batch mismatches cache batch");
-    Tensor x = embed(tokens, position);
+                      cache.batch() * m,
+                  "token count mismatches cache batch x span");
+    CPULLM_ASSERT(pos0 + m <= cache.maxSeq(), "span [", pos0, ", ",
+                  pos0 + m, ") beyond cache capacity");
+    const std::int64_t batch = cache.batch();
+    Tensor x = embed(tokens, pos0, m);
 
     for (std::int64_t l = 0; l < spec_.numLayers; ++l) {
         const LayerWeights& w = layers_[static_cast<size_t>(l)];
@@ -267,7 +250,7 @@ TransformerModel::forwardTokens(const std::vector<std::int64_t>& tokens,
             layerNormInPlace(normed, w.attnNormW, w.attnNormB);
         else
             rmsNormInPlace(normed, w.attnNormW);
-        Tensor attn = attention(l, normed, position, cache);
+        Tensor attn = attention(l, normed, pos0, m, cache);
         float* xp = x.data<float>();
         const float* ap = attn.data<float>();
         for (std::int64_t i = 0; i < x.size(); ++i)
@@ -284,16 +267,35 @@ TransformerModel::forwardTokens(const std::vector<std::int64_t>& tokens,
             xp[i] += fp[i];
     }
 
-    if (spec_.norm == NormKind::LayerNorm)
-        layerNormInPlace(x, finalNormW_, finalNormB_);
-    else
-        rmsNormInPlace(x, finalNormW_);
+    cache.setSeqLen(pos0 + m);
 
-    cache.setSeqLen(position + 1);
+    // Only the last position's logits are ever consumed (greedy
+    // sampling), so run the final norm and the vocab-wide head GEMM
+    // over one row per sequence instead of the whole span.
+    Tensor last({batch, spec_.dModel}, DType::F32);
+    float* lp = last.data<float>();
+    const float* xp = x.data<float>();
+    for (std::int64_t b = 0; b < batch; ++b) {
+        const float* row = xp + (b * m + m - 1) * spec_.dModel;
+        for (std::int64_t c = 0; c < spec_.dModel; ++c)
+            lp[b * spec_.dModel + c] = row[c];
+    }
+    if (spec_.norm == NormKind::LayerNorm)
+        layerNormInPlace(last, finalNormW_, finalNormB_);
+    else
+        rmsNormInPlace(last, finalNormW_);
 
     // Output head (tied-embedding transpose or lmHead), prepared once
     // in the constructor.
-    return linear(engine_, x, preparedHead_, nullptr);
+    return linear(engine_, last, preparedHead_, nullptr);
+}
+
+Tensor
+TransformerModel::forwardTokens(const std::vector<std::int64_t>& tokens,
+                                std::int64_t position,
+                                kv::KvCache& cache)
+{
+    return forwardSpan(tokens, position, 1, cache);
 }
 
 std::vector<std::int64_t>
@@ -307,14 +309,15 @@ TransformerModel::prefill(
         CPULLM_ASSERT(p.size() == plen,
                       "all prompts must have equal length");
     }
-    Tensor logits;
-    std::vector<std::int64_t> column(prompts.size());
-    for (std::size_t pos = 0; pos < plen; ++pos) {
-        for (std::size_t b = 0; b < prompts.size(); ++b)
-            column[b] = prompts[b][pos];
-        logits = forwardTokens(column,
-                               static_cast<std::int64_t>(pos), cache);
-    }
+    // One batched forward pass over all prompt positions: the fused
+    // kernel attends causally within the span, so this matches the
+    // old position-at-a-time loop token for token.
+    std::vector<std::int64_t> flat;
+    flat.reserve(prompts.size() * plen);
+    for (const auto& p : prompts)
+        flat.insert(flat.end(), p.begin(), p.end());
+    Tensor logits = forwardSpan(flat, 0,
+                                static_cast<std::int64_t>(plen), cache);
     std::vector<std::int64_t> next(prompts.size());
     for (std::size_t b = 0; b < prompts.size(); ++b)
         next[b] = argmaxRow(logits, static_cast<std::int64_t>(b));

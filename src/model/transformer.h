@@ -15,6 +15,7 @@
 #include "gemm/gemm.h"
 #include "gemm/packed_weights.h"
 #include "kv/kv_cache.h"
+#include "model/layers.h"
 #include "model/spec.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
@@ -108,13 +109,34 @@ class TransformerModel
     Tensor forwardTokens(const std::vector<std::int64_t>& tokens,
                          std::int64_t position, kv::KvCache& cache);
 
+    /**
+     * Run @p m tokens per sequence at absolute positions
+     * [pos0, pos0 + m) through the model in one pass (batched
+     * prefill; m == 1 is a decode step), appending K/V to the cache
+     * and advancing seqLen to pos0 + m. Attention is causal within
+     * the span via the fused kernel. Numerically equivalent to m
+     * stepwise forwardTokens calls: every per-row operator (GEMM
+     * rows, norms, RoPE, per-query attention sweep) sees the same
+     * inputs in the same order either way.
+     * @param tokens  batch x m ids, sequence-major: tokens[b * m + i]
+     *                is sequence b's token at position pos0 + i
+     * @return [batch, vocab] FP32 logits of the last position only
+     */
+    Tensor forwardSpan(const std::vector<std::int64_t>& tokens,
+                       std::int64_t pos0, std::int64_t m,
+                       kv::KvCache& cache);
+
   private:
     Tensor embed(const std::vector<std::int64_t>& tokens,
-                 std::int64_t position) const;
+                 std::int64_t pos0, std::int64_t m) const;
 
-    /** Attention for one position across the batch. */
+    /**
+     * Fused attention over the cached span for @p m query positions
+     * per sequence. @p x holds batch x m rows, sequence-major.
+     */
     Tensor attention(std::int64_t layer, const Tensor& x,
-                     std::int64_t position, kv::KvCache& cache);
+                     std::int64_t pos0, std::int64_t m,
+                     kv::KvCache& cache);
 
     Tensor ffn(std::int64_t layer, const Tensor& x);
 
@@ -130,6 +152,8 @@ class TransformerModel
      *  embeddings the [d, vocab] transpose of tokenEmbedding_ that
      *  forwardTokens previously rebuilt on every call. */
     gemm::PreparedB preparedHead_;
+    /** Precomputed RoPE factors (valid only for Rotary specs). */
+    RopeTable rope_;
 };
 
 } // namespace model

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <fstream>
 
+#include "gemm/attention.h"
 #include "util/csv.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -182,6 +183,27 @@ recordHostPoolStats(stats::Registry& reg)
         s.chunks);
     set("host.pool.steals", "chunks stolen from another worker",
         s.steals);
+}
+
+void
+recordHostAttnStats(stats::Registry& reg)
+{
+    const gemm::AttnStats s = gemm::attnStats();
+    auto set = [&reg](const char* name, const char* desc,
+                      std::uint64_t v) {
+        reg.scalar(name, desc).set(static_cast<double>(v));
+    };
+    set("host.attn.decode_calls", "fused attention calls with m == 1",
+        s.decodeCalls);
+    set("host.attn.prefill_calls", "fused attention calls with m > 1",
+        s.prefillCalls);
+    set("host.attn.tasks", "(sequence x kv-head) attention grid tasks",
+        s.tasks);
+    set("host.attn.span_rows", "K/V rows streamed across all tasks",
+        s.spanRows);
+    set("host.attn.scratch_allocs",
+        "per-thread attention scratch growths (0 in steady state)",
+        s.scratchAllocs);
 }
 
 } // namespace obs

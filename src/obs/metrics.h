@@ -38,6 +38,12 @@ bool writeRegistryCsvFile(const std::string& path,
  */
 void recordHostPoolStats(stats::Registry& reg);
 
+/**
+ * Snapshot the process-wide fused-attention kernel counters
+ * (gemm::attnStats) into @p reg as host.attn.* scalars.
+ */
+void recordHostAttnStats(stats::Registry& reg);
+
 } // namespace obs
 } // namespace cpullm
 

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 
+#include "gemm/attention.h"
 #include "obs/metrics.h"
 #include "serve/telemetry.h"
 #include "stats/stats.h"
@@ -508,6 +509,7 @@ buildRunReport(const ServingResult& result, const ServingConfig& cfg,
     reg.scalar("serve.mean_batch", "mean launched batch size")
         .set(result.meanBatchSize);
     obs::recordHostPoolStats(reg);
+    obs::recordHostAttnStats(reg);
 
     obs::RunReport report;
     report.kind = "serving";
@@ -549,6 +551,15 @@ buildRunReport(const ServingResult& result, const ServingConfig& cfg,
         static_cast<double>(pool.tasks);
     report.metrics["host_pool_steals"] =
         static_cast<double>(pool.steals);
+    const gemm::AttnStats attn = gemm::attnStats();
+    report.metrics["host_attn_decode_calls"] =
+        static_cast<double>(attn.decodeCalls);
+    report.metrics["host_attn_prefill_calls"] =
+        static_cast<double>(attn.prefillCalls);
+    report.metrics["host_attn_tasks"] =
+        static_cast<double>(attn.tasks);
+    report.metrics["host_attn_span_rows"] =
+        static_cast<double>(attn.spanRows);
 
     // TPOT per request is (e2e - ttft) / (genLen - 1).
     if (per_request.genLen > 1) {

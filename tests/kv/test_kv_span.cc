@@ -1,0 +1,221 @@
+#include "kv/kv_span.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/kv_cache.h"
+#include "kv/paged_kv_cache.h"
+
+namespace cpullm {
+namespace kv {
+namespace {
+
+/** Deterministic but non-trivial fill value. */
+float
+val(std::int64_t pos, std::int64_t i, float tag)
+{
+    return tag + static_cast<float>(pos) * 0.5f +
+           static_cast<float>(i) * 0.125f;
+}
+
+void
+fillCache(KvCache& c, std::int64_t tokens)
+{
+    std::vector<float> k(static_cast<std::size_t>(c.dKv()));
+    std::vector<float> v(static_cast<std::size_t>(c.dKv()));
+    for (std::int64_t l = 0; l < c.layers(); ++l) {
+        for (std::int64_t b = 0; b < c.batch(); ++b) {
+            for (std::int64_t p = 0; p < tokens; ++p) {
+                for (std::int64_t i = 0; i < c.dKv(); ++i) {
+                    const float tag =
+                        static_cast<float>(l * 100 + b * 10);
+                    k[static_cast<std::size_t>(i)] = val(p, i, tag);
+                    v[static_cast<std::size_t>(i)] =
+                        -val(p, i, tag);
+                }
+                c.write(l, b, p, k.data(), v.data());
+            }
+        }
+    }
+    c.setSeqLen(tokens);
+}
+
+class KvSpanContiguous : public ::testing::TestWithParam<DType>
+{
+};
+
+TEST_P(KvSpanContiguous, MatchesReadKReadV)
+{
+    KvCache c(2, 2, 8, 16, GetParam());
+    fillCache(c, 5);
+    std::vector<float> ref(8);
+    for (std::int64_t l = 0; l < c.layers(); ++l) {
+        for (std::int64_t b = 0; b < c.batch(); ++b) {
+            const KvSpan ks = c.kSpan(l, b);
+            const KvSpan vs = c.vSpan(l, b);
+            ASSERT_EQ(ks.len, 5);
+            ASSERT_EQ(ks.rowElems, 8);
+            ASSERT_EQ(ks.dtype, GetParam());
+            for (std::int64_t p = 0; p < 5; ++p) {
+                c.readK(l, b, p, ref.data());
+                for (std::int64_t i = 0; i < 8; ++i)
+                    EXPECT_EQ(ks.at(p, i),
+                              ref[static_cast<std::size_t>(i)])
+                        << "K l=" << l << " b=" << b << " p=" << p;
+                c.readV(l, b, p, ref.data());
+                for (std::int64_t i = 0; i < 8; ++i)
+                    EXPECT_EQ(vs.at(p, i),
+                              ref[static_cast<std::size_t>(i)]);
+            }
+        }
+    }
+}
+
+TEST_P(KvSpanContiguous, TypedRowPointersStrideByDkv)
+{
+    KvCache c(1, 2, 4, 8, GetParam());
+    fillCache(c, 3);
+    const KvSpan s = c.kSpan(0, 1);
+    ASSERT_EQ(s.stride, 4);
+    std::vector<float> ref(4);
+    for (std::int64_t p = 0; p < 3; ++p) {
+        c.readK(0, 1, p, ref.data());
+        if (GetParam() == DType::BF16) {
+            const BFloat16* row = s.rowBf16(p);
+            for (std::int64_t i = 0; i < 4; ++i)
+                EXPECT_EQ(row[i].toFloat(),
+                          ref[static_cast<std::size_t>(i)]);
+        } else {
+            const float* row = s.rowF32(p);
+            for (std::int64_t i = 0; i < 4; ++i)
+                EXPECT_EQ(row[i], ref[static_cast<std::size_t>(i)]);
+        }
+    }
+}
+
+TEST_P(KvSpanContiguous, ReflectsWritesAfterReset)
+{
+    KvCache c(1, 1, 4, 8, GetParam());
+    fillCache(c, 4);
+    c.reset();
+    EXPECT_TRUE(c.kSpan(0, 0).empty());
+
+    const float k[4] = {9.0f, 8.0f, 7.0f, 6.0f};
+    const float v[4] = {-9.0f, -8.0f, -7.0f, -6.0f};
+    c.write(0, 0, 0, k, v);
+    c.setSeqLen(1);
+    const KvSpan s = c.kSpan(0, 0);
+    ASSERT_EQ(s.len, 1);
+    std::vector<float> ref(4);
+    c.readK(0, 0, 0, ref.data());
+    for (std::int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(s.at(0, i), ref[static_cast<std::size_t>(i)]);
+}
+
+TEST_P(KvSpanContiguous, ExplicitLengthBeforeSetSeqLen)
+{
+    // Mid decode step: the token is written but seqLen not yet
+    // published — the kernel asks for the span by explicit length.
+    KvCache c(1, 1, 4, 8, GetParam());
+    fillCache(c, 2);
+    const float k[4] = {1.5f, 2.5f, 3.5f, 4.5f};
+    c.write(0, 0, 2, k, k);
+    const KvSpan s = c.kSpan(0, 0, 3);
+    ASSERT_EQ(s.len, 3);
+    EXPECT_EQ(c.seqLen(), 2); // not yet published
+    std::vector<float> ref(4);
+    c.readK(0, 0, 1, ref.data()); // old row still matches
+    EXPECT_EQ(s.at(1, 0), ref[0]);
+    // New row matches what a post-setSeqLen read returns.
+    c.setSeqLen(3);
+    c.readK(0, 0, 2, ref.data());
+    for (std::int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(s.at(2, i), ref[static_cast<std::size_t>(i)]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dtypes, KvSpanContiguous,
+                         ::testing::Values(DType::BF16, DType::F32),
+                         [](const auto& info) {
+                             return std::string(
+                                 dtypeName(info.param));
+                         });
+
+class KvSpanPaged : public ::testing::TestWithParam<DType>
+{
+};
+
+TEST_P(KvSpanPaged, ChunksMatchReadKReadV)
+{
+    // 7 tokens across block_size 3 -> chunks of 3, 3, 1.
+    PagedKvCache c(2, 8, 3, 8, GetParam());
+    const std::int64_t seq = c.addSequence();
+    std::vector<float> k(static_cast<std::size_t>(2 * 8));
+    std::vector<float> v(static_cast<std::size_t>(2 * 8));
+    for (std::int64_t p = 0; p < 7; ++p) {
+        for (std::int64_t l = 0; l < 2; ++l) {
+            for (std::int64_t i = 0; i < 8; ++i) {
+                const auto at = static_cast<std::size_t>(l * 8 + i);
+                k[at] = val(p, i, static_cast<float>(l) * 50.0f);
+                v[at] = -k[at];
+            }
+        }
+        ASSERT_TRUE(c.appendToken(seq, k.data(), v.data()));
+    }
+
+    std::vector<float> ref(8);
+    for (std::int64_t l = 0; l < 2; ++l) {
+        const auto ks = c.kSpans(seq, l);
+        const auto vs = c.vSpans(seq, l);
+        ASSERT_EQ(ks.size(), 3u);
+        EXPECT_EQ(ks[0].len, 3);
+        EXPECT_EQ(ks[1].len, 3);
+        EXPECT_EQ(ks[2].len, 1);
+        std::int64_t pos = 0;
+        for (std::size_t chunk = 0; chunk < ks.size(); ++chunk) {
+            for (std::int64_t local = 0; local < ks[chunk].len;
+                 ++local, ++pos) {
+                c.readK(seq, l, pos, ref.data());
+                for (std::int64_t i = 0; i < 8; ++i)
+                    EXPECT_EQ(ks[chunk].at(local, i),
+                              ref[static_cast<std::size_t>(i)])
+                        << "K l=" << l << " pos=" << pos;
+                c.readV(seq, l, pos, ref.data());
+                for (std::int64_t i = 0; i < 8; ++i)
+                    EXPECT_EQ(vs[chunk].at(local, i),
+                              ref[static_cast<std::size_t>(i)]);
+            }
+        }
+        EXPECT_EQ(pos, 7);
+    }
+}
+
+TEST_P(KvSpanPaged, ReusedBlocksServeNewSequence)
+{
+    // Release a sequence, let a new one claim its blocks: spans must
+    // read the new data.
+    PagedKvCache c(1, 4, 2, 2, GetParam());
+    const std::int64_t a = c.addSequence();
+    const float one[4] = {1, 1, 1, 1};
+    ASSERT_TRUE(c.appendToken(a, one, one));
+    c.releaseSequence(a);
+
+    const std::int64_t b = c.addSequence();
+    const float two[4] = {2, 2, 2, 2};
+    ASSERT_TRUE(c.appendToken(b, two, two));
+    const auto ks = c.kSpans(b, 0);
+    ASSERT_EQ(ks.size(), 1u);
+    EXPECT_EQ(ks[0].at(0, 0), 2.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dtypes, KvSpanPaged,
+                         ::testing::Values(DType::BF16, DType::F32),
+                         [](const auto& info) {
+                             return std::string(
+                                 dtypeName(info.param));
+                         });
+
+} // namespace
+} // namespace kv
+} // namespace cpullm

@@ -160,6 +160,33 @@ TEST(Rope, RelativePhaseProperty)
     EXPECT_NEAR(dot_at(0, 5), dot_at(20, 25), 1e-4f);
 }
 
+TEST(Rope, TableMatchesApplyRopeBitwise)
+{
+    // The table precomputes the same double-precision cos/sin, so
+    // covered positions must rotate bit-identically to applyRope.
+    const RopeTable table(8, 32);
+    for (std::int64_t pos : {0, 1, 7, 31}) {
+        float a[16], b[16];
+        for (int i = 0; i < 16; ++i)
+            a[i] = b[i] = 0.37f * static_cast<float>(i - 6);
+        applyRope(a, 2, 8, pos);
+        table.apply(b, 2, pos);
+        for (int i = 0; i < 16; ++i)
+            EXPECT_EQ(a[i], b[i]) << "pos " << pos << " lane " << i;
+    }
+}
+
+TEST(Rope, TableFallsBackBeyondCoveredPositions)
+{
+    const RopeTable table(4, 8);
+    float a[4] = {1, 0.5f, -0.25f, 2};
+    float b[4] = {1, 0.5f, -0.25f, 2};
+    applyRope(a, 1, 4, 100); // beyond max_pos of 8
+    table.apply(b, 1, 100);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
 TEST(ArgmaxRow, PicksMaxPerRow)
 {
     const Tensor logits =

@@ -107,6 +107,47 @@ TEST(Transformer, PrefillThenDecodeMatchesAllAtOnceContext)
     EXPECT_LE(maxAbsDiff(via_decode, via_prefill), 1e-4f);
 }
 
+TEST(Transformer, BatchedPrefillMatchesStepwiseForward)
+{
+    // forwardSpan runs the whole prompt in one pass through the fused
+    // causal kernel; it must agree with one-position-at-a-time calls
+    // on the same model (GQA spec, so the grouped kv path is covered).
+    ModelSpec spec = tinyTestModel();
+    spec.numKvHeads = 2;
+    TransformerModel m(spec, gemm::Engine::Avx512Bf16, 23);
+    const auto prompts = testPrompts(spec, 2, 7);
+
+    kv::KvCache c1 = m.makeKvCache(2, 16);
+    std::vector<std::int64_t> flat;
+    for (const auto& p : prompts)
+        flat.insert(flat.end(), p.begin(), p.end());
+    const Tensor batched = m.forwardSpan(flat, 0, 7, c1);
+    EXPECT_EQ(c1.seqLen(), 7);
+
+    kv::KvCache c2 = m.makeKvCache(2, 16);
+    Tensor stepwise;
+    std::vector<std::int64_t> column(prompts.size());
+    for (std::size_t pos = 0; pos < 7; ++pos) {
+        for (std::size_t b = 0; b < prompts.size(); ++b)
+            column[b] = prompts[b][pos];
+        stepwise = m.forwardTokens(
+            column, static_cast<std::int64_t>(pos), c2);
+    }
+    EXPECT_LE(maxAbsDiff(batched, stepwise), 1e-4f);
+
+    // And the caches they leave behind are identical entry for entry.
+    for (std::int64_t l = 0; l < spec.numLayers; ++l) {
+        for (std::int64_t b = 0; b < 2; ++b) {
+            const kv::KvSpan s1 = c1.kSpan(l, b);
+            const kv::KvSpan s2 = c2.kSpan(l, b);
+            ASSERT_EQ(s1.len, s2.len);
+            for (std::int64_t p = 0; p < s1.len; ++p)
+                for (std::int64_t i = 0; i < s1.rowElems; ++i)
+                    ASSERT_EQ(s1.at(p, i), s2.at(p, i));
+        }
+    }
+}
+
 TEST(Transformer, BatchEntriesIndependent)
 {
     // Sequence 0's output must not depend on what sequence 1 contains.

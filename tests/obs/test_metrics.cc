@@ -4,7 +4,9 @@
 
 #include <atomic>
 #include <sstream>
+#include <vector>
 
+#include "gemm/attention.h"
 #include "util/json.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
@@ -124,6 +126,47 @@ TEST(HostPoolStats, RecordedAsScalars)
     writeRegistryJson(os, reg);
     EXPECT_TRUE(jsonValid(os.str()));
     EXPECT_NE(os.str().find("\"host.pool.steals\""),
+              std::string::npos);
+}
+
+TEST(HostAttnStats, RecordedAsScalars)
+{
+    // Run one fused decode step so the kernel counters are live.
+    const gemm::AttnShape shape{2, 2, 8};
+    std::vector<float> q(16, 0.5f), out(16, 0.0f);
+    std::vector<float> kv(4 * 16, 0.25f); // 4 cached rows of d_kv=16
+    kv::KvSpan span;
+    span.data = kv.data();
+    span.dtype = DType::F32;
+    span.len = 4;
+    span.rowElems = 16;
+    span.stride = 16;
+    gemm::AttnSeqView seq;
+    seq.q = q.data();
+    seq.out = out.data();
+    seq.k = &span;
+    seq.v = &span;
+    seq.chunks = 1;
+    gemm::attnFused(shape, 1, 3, &seq, 1);
+
+    stats::Registry reg;
+    recordHostAttnStats(reg);
+    const gemm::AttnStats s = gemm::attnStats();
+    EXPECT_GE(s.decodeCalls, 1u);
+    EXPECT_EQ(reg.getScalar("host.attn.decode_calls").value(),
+              static_cast<double>(s.decodeCalls));
+    EXPECT_EQ(reg.getScalar("host.attn.tasks").value(),
+              static_cast<double>(s.tasks));
+    for (const char* name :
+         {"host.attn.decode_calls", "host.attn.prefill_calls",
+          "host.attn.tasks", "host.attn.span_rows",
+          "host.attn.scratch_allocs"})
+        EXPECT_EQ(reg.kind(name), stats::StatKind::Scalar) << name;
+
+    std::ostringstream os;
+    writeRegistryJson(os, reg);
+    EXPECT_TRUE(jsonValid(os.str()));
+    EXPECT_NE(os.str().find("\"host.attn.span_rows\""),
               std::string::npos);
 }
 

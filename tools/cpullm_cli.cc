@@ -580,6 +580,7 @@ cmdBench(int argc, char** argv)
     stats::Registry reg;
     const auto baselines = core::runBenchSuite(opt, &reg);
     obs::recordHostPoolStats(reg);
+    obs::recordHostAttnStats(reg);
     int written = 0;
     for (const auto& b : baselines) {
         if (core::writeBaseline(b, dir))
