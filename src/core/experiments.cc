@@ -4,6 +4,7 @@
 
 #include "engine/inference_engine.h"
 #include "gpu/gpu_model.h"
+#include "obs/counters.h"
 #include "hw/platform.h"
 #include "perf/cpu_model.h"
 #include "util/string_util.h"
@@ -316,13 +317,30 @@ figCountersVsBatch(const model::ModelSpec& spec,
     f.setXLabels(labels);
 
     engine::CpuInferenceEngine eng(hw::sprDefaultPlatform(), spec);
-    std::vector<double> mpki, util, loads, stores;
+    const hw::PlatformConfig& plat = eng.platform();
+    std::vector<double> mpki, util, loads, stores, ipc, gbps;
     for (auto b : batches) {
         const auto r = eng.infer(perf::paperWorkload(b));
         mpki.push_back(r.counters.mpki());
         util.push_back(r.counters.coreUtilization);
         loads.push_back(r.counters.loads);
         stores.push_back(r.counters.stores);
+        // Same derived-metric schema (llc_mpki / ipc / gbps) as the
+        // measured host path, so `cpullm counters` and bench_diff
+        // compare modeled vs measured without key mapping. Cycles
+        // come from the utilization model; DRAM bytes use the same
+        // LLC-miss-line estimate as the measured side.
+        const double cycles = obs::modeledCycles(
+            r.counters.coreUtilization,
+            static_cast<double>(plat.coresUsed),
+            plat.cpu.coreFrequency, r.timing.e2eLatency);
+        const obs::CounterMetrics m = obs::deriveCounterMetrics(
+            r.counters.instructions, cycles, r.counters.llcMisses,
+            r.counters.llcAccesses,
+            r.counters.llcMisses * obs::kCacheLineBytes,
+            r.timing.e2eLatency, 0.0);
+        ipc.push_back(m.ipc);
+        gbps.push_back(m.gbps);
     }
     const double l0 = loads.empty() || loads[0] == 0.0 ? 1.0 : loads[0];
     const double s0 =
@@ -335,6 +353,8 @@ figCountersVsBatch(const model::ModelSpec& spec,
     f.addSeries("core_utilization", std::move(util));
     f.addSeries("norm_loads", std::move(loads));
     f.addSeries("norm_stores", std::move(stores));
+    f.addSeries("ipc", std::move(ipc));
+    f.addSeries("gbps", std::move(gbps));
     return f;
 }
 

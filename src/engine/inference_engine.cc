@@ -117,8 +117,28 @@ CpuInferenceEngine::infer(const perf::Workload& workload)
                                         workload.promptLen, seed_ + 1);
         kv::KvCache cache = functional_->makeKvCache(
             workload.batch, workload.finalSeqLen());
-        result.generatedTokens =
-            functional_->generate(prompts, workload.genLen, cache);
+        // Phase-split generation (equivalent to generate()) so
+        // measured hardware counters attribute to prefill vs decode —
+        // the split every paper figure is built on. The scopes are
+        // inert unless a pmu::Session is active.
+        std::vector<std::vector<std::int64_t>> out(prompts.size());
+        std::vector<std::int64_t> last;
+        {
+            obs::pmu::CounterScope scope("prefill");
+            last = functional_->prefill(prompts, cache);
+        }
+        for (std::size_t b = 0; b < out.size(); ++b)
+            out[b].push_back(last[b]);
+        {
+            obs::pmu::CounterScope scope("decode");
+            for (std::int64_t step = 1; step < workload.genLen;
+                 ++step) {
+                last = functional_->decodeStep(last, cache);
+                for (std::size_t b = 0; b < out.size(); ++b)
+                    out[b].push_back(last[b]);
+            }
+        }
+        result.generatedTokens = std::move(out);
     }
     return result;
 }

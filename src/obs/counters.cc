@@ -1,9 +1,65 @@
 #include "obs/counters.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace cpullm {
 namespace obs {
+
+namespace {
+
+/** num/den with NaN on zero or non-finite denominators. */
+double
+safeRatio(double num, double den)
+{
+    if (!std::isfinite(num) || !std::isfinite(den) || den == 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return num / den;
+}
+
+} // namespace
+
+CounterMetrics
+deriveCounterMetrics(double instructions, double cycles,
+                     double llc_misses, double llc_references,
+                     double bytes, double seconds, double tokens)
+{
+    CounterMetrics m;
+    m.ipc = safeRatio(instructions, cycles);
+    m.llcMpki = safeRatio(llc_misses * 1000.0, instructions);
+    m.llcMissRate = safeRatio(llc_misses, llc_references);
+    m.gbps = safeRatio(bytes, seconds * 1e9);
+    m.instructionsPerToken = safeRatio(instructions, tokens);
+    m.bytesPerToken = safeRatio(bytes, tokens);
+    return m;
+}
+
+double
+estimateDramBytes(const pmu::PmuCounts& counts)
+{
+    const double imc = counts.imcReadBytes + counts.imcWriteBytes;
+    if (std::isfinite(imc))
+        return imc;
+    return counts.llcMisses * kCacheLineBytes;
+}
+
+CounterMetrics
+deriveCounterMetrics(const pmu::PmuCounts& counts, double tokens)
+{
+    return deriveCounterMetrics(
+        counts.instructions, counts.cycles, counts.llcMisses,
+        counts.llcReferences, estimateDramBytes(counts),
+        counts.wallNs / 1e9, tokens);
+}
+
+double
+modeledCycles(double core_utilization, double cores_used,
+              double core_frequency_hz, double seconds)
+{
+    return core_utilization * cores_used * core_frequency_hz *
+           seconds;
+}
 
 CounterRates
 ratesFromCounters(const perf::Counters& counters, double flops,

@@ -17,11 +17,67 @@
 
 #include <cstdint>
 
+#include "obs/perf_events.h"
 #include "obs/span.h"
 #include "perf/timing.h"
 
 namespace cpullm {
 namespace obs {
+
+/** Cache line size assumed when estimating DRAM traffic from LLC
+ *  misses (one line streamed per miss). */
+constexpr double kCacheLineBytes = 64.0;
+
+/**
+ * The paper's headline derived metrics, computed in exactly one place
+ * for both the measured (pmu::PmuCounts) and the analytical
+ * (perf::Counters / cpu_model) paths so `cpullm counters` and
+ * bench_diff compare like against like. Every field is NaN when its
+ * inputs are unavailable or the denominator is zero — downstream JSON
+ * emits null, never nan or a fake 0.
+ */
+struct CounterMetrics
+{
+    double ipc = 0.0;          ///< instructions / cycles
+    double llcMpki = 0.0;      ///< LLC misses per kilo-instruction
+    double llcMissRate = 0.0;  ///< LLC misses / references
+    double gbps = 0.0;         ///< achieved DRAM GB/s
+    double instructionsPerToken = 0.0;
+    double bytesPerToken = 0.0;
+};
+
+/**
+ * Derive the headline metrics from raw totals. @p bytes is DRAM
+ * traffic over the interval; @p seconds the wall time; @p tokens the
+ * tokens produced (0 -> per-token fields NaN). Any NaN input flows
+ * through to the metrics that need it.
+ */
+CounterMetrics deriveCounterMetrics(double instructions, double cycles,
+                                    double llc_misses,
+                                    double llc_references, double bytes,
+                                    double seconds, double tokens);
+
+/**
+ * Measured flavour: metrics from a PmuCounts interval. DRAM bytes
+ * prefer the IMC read+write counters when they opened; otherwise the
+ * LLC-miss cache-line estimate (misses * kCacheLineBytes), the same
+ * estimate the analytical path uses, keeping the two comparable.
+ */
+CounterMetrics deriveCounterMetrics(const pmu::PmuCounts& counts,
+                                    double tokens);
+
+/** DRAM bytes for a measured interval (IMC if available, else the
+ *  LLC-miss line estimate; NaN when neither was measured). */
+double estimateDramBytes(const pmu::PmuCounts& counts);
+
+/**
+ * Cycles the analytical model implies for an interval: utilization *
+ * cores * frequency * seconds. The cpu_model reports utilization, not
+ * cycles, so this is how the modeled side gets an IPC comparable to
+ * the measured one.
+ */
+double modeledCycles(double core_utilization, double cores_used,
+                     double core_frequency_hz, double seconds);
 
 /** Per-interval counter rates derived from modeled totals. */
 struct CounterRates

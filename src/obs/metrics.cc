@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "gemm/attention.h"
+#include "obs/counters.h"
 #include "util/csv.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -25,10 +26,15 @@ writeRegistryJson(std::ostream& os, const stats::Registry& reg)
         os << jsonQuote(name) << ":{";
         switch (reg.kind(name)) {
           case stats::StatKind::Scalar: {
+            // Counter ratios with a zero denominator (IPC with 0
+            // cycles, MPKI with 0 instructions) are stored as NaN;
+            // jsonNumber maps non-finite to null so the document
+            // stays parseable, matching the histogram-quantile
+            // convention below.
             const auto& s = reg.getScalar(name);
-            os << strformat("\"kind\":\"scalar\",\"value\":%.9g,"
+            os << strformat("\"kind\":\"scalar\",\"value\":%s,"
                             "\"samples\":%llu",
-                            s.value(),
+                            jsonNumber(s.value()).c_str(),
                             static_cast<unsigned long long>(
                                 s.samples()));
             break;
@@ -36,10 +42,13 @@ writeRegistryJson(std::ostream& os, const stats::Registry& reg)
           case stats::StatKind::Distribution: {
             const auto& d = reg.getDistribution(name);
             os << strformat(
-                "\"kind\":\"distribution\",\"mean\":%.9g,"
-                "\"min\":%.9g,\"max\":%.9g,\"stddev\":%.9g,"
+                "\"kind\":\"distribution\",\"mean\":%s,"
+                "\"min\":%s,\"max\":%s,\"stddev\":%s,"
                 "\"n\":%llu",
-                d.mean(), d.min(), d.max(), d.stddev(),
+                jsonNumber(d.mean()).c_str(),
+                jsonNumber(d.min()).c_str(),
+                jsonNumber(d.max()).c_str(),
+                jsonNumber(d.stddev()).c_str(),
                 static_cast<unsigned long long>(d.count()));
             break;
           }
@@ -74,6 +83,11 @@ writeRegistryCsv(std::ostream& os, const stats::Registry& reg)
 {
     CsvWriter csv({"name", "kind", "value", "mean", "min", "max",
                    "p50", "p95", "p99", "n", "desc"});
+    // Empty cells, not "nan", for unavailable values: empty
+    // quantiles, and counter ratios whose denominator was zero.
+    auto cell = [](double v) {
+        return std::isfinite(v) ? formatNumber(v, 9) : std::string();
+    };
     for (const auto& name : reg.names()) {
         std::vector<std::string> row(11);
         row[0] = name;
@@ -82,7 +96,7 @@ writeRegistryCsv(std::ostream& os, const stats::Registry& reg)
           case stats::StatKind::Scalar: {
             const auto& s = reg.getScalar(name);
             row[1] = "scalar";
-            row[2] = formatNumber(s.value(), 9);
+            row[2] = cell(s.value());
             row[9] = strformat(
                 "%llu",
                 static_cast<unsigned long long>(s.samples()));
@@ -91,9 +105,9 @@ writeRegistryCsv(std::ostream& os, const stats::Registry& reg)
           case stats::StatKind::Distribution: {
             const auto& d = reg.getDistribution(name);
             row[1] = "distribution";
-            row[3] = formatNumber(d.mean(), 9);
-            row[4] = formatNumber(d.min(), 9);
-            row[5] = formatNumber(d.max(), 9);
+            row[3] = cell(d.mean());
+            row[4] = cell(d.min());
+            row[5] = cell(d.max());
             row[9] = strformat(
                 "%llu",
                 static_cast<unsigned long long>(d.count()));
@@ -101,11 +115,6 @@ writeRegistryCsv(std::ostream& os, const stats::Registry& reg)
           }
           case stats::StatKind::Histogram: {
             const auto& h = reg.getHistogram(name);
-            // Empty cells, not "nan", for quantiles with no samples.
-            auto cell = [](double v) {
-                return std::isfinite(v) ? formatNumber(v, 9)
-                                        : std::string();
-            };
             row[1] = "histogram";
             row[6] = cell(h.quantile(50.0));
             row[7] = cell(h.quantile(95.0));
@@ -204,6 +213,60 @@ recordHostAttnStats(stats::Registry& reg)
     set("host.attn.scratch_allocs",
         "per-thread attention scratch growths (0 in steady state)",
         s.scratchAllocs);
+}
+
+void
+recordHostPmuStats(stats::Registry& reg)
+{
+    pmu::Session& session = pmu::Session::instance();
+    const std::vector<std::string> slots = session.slotNames();
+    if (!session.active() && slots.empty())
+        return;
+    auto set = [&reg](const std::string& name, const char* desc,
+                      double v) {
+        reg.scalar(name, desc).set(v);
+    };
+    set("host.pmu.backend_perf",
+        "1 when the perf_event backend is live, 0 under soft",
+        session.backend() == pmu::Backend::Perf ? 1.0 : 0.0);
+    set("host.pmu.hw_events",
+        "hardware counter events open per thread group",
+        static_cast<double>(session.hardwareEventsOpen()));
+    set("host.pmu.thread_groups",
+        "per-thread perf counter groups open",
+        static_cast<double>(session.threadGroups()));
+    for (const std::string& slot : slots) {
+        const pmu::PmuCounts c = session.slot(slot);
+        const std::string p = "host.pmu." + slot + ".";
+        set(p + "wall_ms", "measured scope wall time (ms)",
+            c.wallNs / 1e6);
+        set(p + "task_clock_ms",
+            "measured CPU time across threads (ms)",
+            c.taskClockNs / 1e6);
+        set(p + "cycles", "measured core cycles", c.cycles);
+        set(p + "instructions", "measured retired instructions",
+            c.instructions);
+        set(p + "llc_misses", "measured last-level cache misses",
+            c.llcMisses);
+        set(p + "llc_references",
+            "measured last-level cache references", c.llcReferences);
+        set(p + "branch_misses", "measured mispredicted branches",
+            c.branchMisses);
+        set(p + "page_faults", "measured minor+major page faults",
+            c.pageFaults);
+        set(p + "context_switches", "measured context switches",
+            c.contextSwitches);
+        // Tokens are unknown at this layer; per-token metrics are
+        // derived where the workload is in hand (cpullm counters).
+        const CounterMetrics m = deriveCounterMetrics(c, 0.0);
+        set(p + "ipc", "measured instructions per cycle", m.ipc);
+        set(p + "llc_mpki",
+            "measured LLC misses per kilo-instruction", m.llcMpki);
+        set(p + "gbps",
+            "measured DRAM GB/s (IMC when available, else "
+            "LLC-miss-line estimate)",
+            m.gbps);
+    }
 }
 
 } // namespace obs

@@ -44,6 +44,29 @@ void recordHostPoolStats(stats::Registry& reg);
  */
 void recordHostAttnStats(stats::Registry& reg);
 
+/**
+ * Snapshot the measured hardware-counter session (obs::pmu::Session)
+ * into @p reg as host.pmu.* scalars. Non-destructive: slots stay
+ * accumulated. Emitted keys:
+ *
+ *  - host.pmu.backend_perf    1 when the perf_event backend is live,
+ *                             0 under the software fallback
+ *  - host.pmu.hw_events       hardware events open per thread group
+ *                             (0 in PMU-less VMs and under soft)
+ *  - host.pmu.thread_groups   per-thread counter groups open
+ *  - host.pmu.<slot>.*        per accumulated scope slot (prefill,
+ *                             decode, ...): wall_ms, task_clock_ms,
+ *                             cycles, instructions, llc_misses,
+ *                             llc_references, branch_misses,
+ *                             page_faults, context_switches, and the
+ *                             derived ipc / llc_mpki / gbps.
+ *
+ * Fields the active backend cannot measure are stored as NaN and
+ * export as JSON null / empty CSV cells. No-op when the session is
+ * inactive and no slots were accumulated.
+ */
+void recordHostPmuStats(stats::Registry& reg);
+
 } // namespace obs
 } // namespace cpullm
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/counters.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "util/json.h"
@@ -243,6 +244,50 @@ ServingTelemetry::writePrometheus(std::ostream& os) const
     gauge("cpullm_host_pool_steals_total",
           "work chunks stolen between host workers",
           static_cast<double>(pool.steals));
+
+    // Measured hardware counters, when a pmu::Session is live under
+    // this server (--counters). Fields the backend cannot measure
+    // are NaN and skipped — absent series, not fake zeros.
+    const obs::pmu::Session& pmu = obs::pmu::Session::instance();
+    if (pmu.active()) {
+        gauge("cpullm_host_pmu_backend_perf",
+              "1 when the perf_event backend is live, 0 under soft",
+              pmu.backend() == obs::pmu::Backend::Perf ? 1.0 : 0.0);
+        gauge("cpullm_host_pmu_thread_groups",
+              "per-thread perf counter groups open",
+              static_cast<double>(pmu.threadGroups()));
+        const obs::pmu::PmuCounts c = pmu.readAll();
+        auto finiteGauge = [&](const char* name, const char* help,
+                               double v) {
+            if (std::isfinite(v))
+                gauge(name, help, v);
+        };
+        finiteGauge("cpullm_host_pmu_task_clock_seconds_total",
+                    "measured CPU time across threads",
+                    c.taskClockNs / 1e9);
+        finiteGauge("cpullm_host_pmu_cycles_total",
+                    "measured core cycles", c.cycles);
+        finiteGauge("cpullm_host_pmu_instructions_total",
+                    "measured retired instructions", c.instructions);
+        finiteGauge("cpullm_host_pmu_llc_misses_total",
+                    "measured last-level cache misses", c.llcMisses);
+        finiteGauge("cpullm_host_pmu_llc_references_total",
+                    "measured last-level cache references",
+                    c.llcReferences);
+        finiteGauge("cpullm_host_pmu_branch_misses_total",
+                    "measured mispredicted branches", c.branchMisses);
+        finiteGauge("cpullm_host_pmu_page_faults_total",
+                    "measured minor+major page faults", c.pageFaults);
+        finiteGauge("cpullm_host_pmu_context_switches_total",
+                    "measured context switches", c.contextSwitches);
+        const obs::CounterMetrics m =
+            obs::deriveCounterMetrics(c, 0.0);
+        finiteGauge("cpullm_host_pmu_ipc",
+                    "measured instructions per cycle", m.ipc);
+        finiteGauge("cpullm_host_pmu_llc_mpki",
+                    "measured LLC misses per kilo-instruction",
+                    m.llcMpki);
+    }
 
     auto gaugeStats = [&](const char* name, const char* help,
                           const obs::WindowedGauge& g) {

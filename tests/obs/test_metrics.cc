@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <sstream>
 #include <vector>
 
 #include "gemm/attention.h"
+#include "obs/perf_events.h"
 #include "util/json.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
@@ -96,6 +98,77 @@ TEST(RegistryJson, EmptyHistogramEmitsNullNotNaN)
     EXPECT_NE(json.find("\"p50\":null"), std::string::npos) << json;
     EXPECT_EQ(json.find("nan"), std::string::npos);
     EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(RegistryJson, NaNScalarAndDistributionEmitNull)
+{
+    // Regression: scalars and distribution moments holding NaN (the
+    // pmu "unavailable" marker) used to be printed with raw %g,
+    // producing `nan` — not a JSON literal.
+    stats::Registry reg;
+    reg.scalar("host.pmu.run.ipc", "measured IPC") +=
+        std::nan("");
+    reg.distribution("host.pmu.run.mpki", "measured MPKI")
+        .sample(std::nan(""));
+    std::ostringstream os;
+    writeRegistryJson(os, reg);
+    const std::string json = os.str();
+    EXPECT_TRUE(jsonValid(json)) << json;
+    EXPECT_NE(json.find("\"value\":null"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"mean\":null"), std::string::npos) << json;
+    EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+}
+
+TEST(RegistryCsv, NaNScalarLeavesValueCellBlank)
+{
+    stats::Registry reg;
+    reg.scalar("host.pmu.run.ipc", "measured IPC") += std::nan("");
+    std::ostringstream os;
+    writeRegistryCsv(os, reg);
+    const std::string csv = os.str();
+    EXPECT_EQ(csv.find("nan"), std::string::npos) << csv;
+    EXPECT_NE(csv.find("host.pmu.run.ipc,scalar,,"),
+              std::string::npos)
+        << csv;
+}
+
+TEST(HostPmuStats, RecordedFromSessionSlots)
+{
+    auto& session = pmu::Session::instance();
+    session.end();
+    session.clearSlots();
+
+    // No active session: nothing to record.
+    {
+        stats::Registry reg;
+        recordHostPmuStats(reg);
+        std::ostringstream os;
+        writeRegistryJson(os, reg);
+        EXPECT_EQ(os.str(), "{}");
+    }
+
+    ASSERT_EQ(session.begin(pmu::Mode::Soft), pmu::Backend::Soft);
+    {
+        pmu::CounterScope scope("run");
+        volatile double acc = 0.0;
+        for (int i = 0; i < 4 * 1000 * 1000; ++i)
+            acc = acc + 1.0;
+        (void)acc;
+    }
+
+    stats::Registry reg;
+    recordHostPmuStats(reg);
+    EXPECT_EQ(reg.getScalar("host.pmu.backend_perf").value(), 0.0);
+    EXPECT_GE(reg.getScalar("host.pmu.run.wall_ms").value(), 0.0);
+    // Hardware-only fields stay NaN under the software backend and
+    // must survive the JSON export as null.
+    std::ostringstream os;
+    writeRegistryJson(os, reg);
+    EXPECT_TRUE(jsonValid(os.str())) << os.str();
+    EXPECT_EQ(os.str().find("nan"), std::string::npos);
+
+    session.end();
+    session.clearSlots();
 }
 
 TEST(HostPoolStats, RecordedAsScalars)

@@ -1,0 +1,443 @@
+#include "obs/perf_events.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"
+#include "obs/span.h"
+
+namespace cpullm {
+namespace obs {
+namespace pmu {
+namespace {
+
+// ---------------------------------------------------------------
+// Mode parsing and naming
+// ---------------------------------------------------------------
+
+TEST(PmuMode, ParseRoundTrip)
+{
+    for (Mode m : {Mode::Auto, Mode::Perf, Mode::Soft, Mode::Off}) {
+        Mode parsed = Mode::Off;
+        ASSERT_TRUE(modeFromString(modeName(m), &parsed))
+            << modeName(m);
+        EXPECT_EQ(parsed, m);
+    }
+}
+
+TEST(PmuMode, RejectsUnknownStrings)
+{
+    Mode parsed = Mode::Auto;
+    for (const char* bad :
+         {"", "on", "hardware", "AUTO", "perf ", "0", "true"}) {
+        EXPECT_FALSE(modeFromString(bad, &parsed)) << bad;
+        // A failed parse must not clobber the output.
+        EXPECT_EQ(parsed, Mode::Auto) << bad;
+    }
+}
+
+// ---------------------------------------------------------------
+// Multiplex-scaling correction
+// ---------------------------------------------------------------
+
+TEST(MultiplexScale, NoMultiplexingReturnsValueUnchanged)
+{
+    EXPECT_DOUBLE_EQ(multiplexScale(1000, 500, 500), 1000.0);
+    EXPECT_DOUBLE_EQ(multiplexScale(0, 123, 123), 0.0);
+}
+
+TEST(MultiplexScale, ScalesByEnabledOverRunning)
+{
+    // Counted half the window: the estimate doubles the raw count.
+    EXPECT_DOUBLE_EQ(multiplexScale(1000, 800, 400), 2000.0);
+    // Counted a quarter of the window.
+    EXPECT_DOUBLE_EQ(multiplexScale(100, 1000, 250), 400.0);
+}
+
+TEST(MultiplexScale, NeverScheduledIsNaNNotZero)
+{
+    // time_running == 0: the event never got PMU time. Claiming 0
+    // counts would fake an infinite IPC or a perfect cache.
+    EXPECT_TRUE(std::isnan(multiplexScale(0, 1000, 0)));
+    EXPECT_TRUE(std::isnan(multiplexScale(42, 1000, 0)));
+}
+
+// ---------------------------------------------------------------
+// PERF_FORMAT_GROUP wire decoding
+// ---------------------------------------------------------------
+
+TEST(GroupRead, DecodesWellFormedBuffer)
+{
+    // nr=2, enabled=900, running=450, then {value,id} pairs.
+    const std::uint64_t words[] = {2, 900, 450, 1111, 7, 2222, 8};
+    GroupReading r;
+    ASSERT_TRUE(parseGroupReadBuffer(words, 7, &r));
+    EXPECT_EQ(r.timeEnabled, 900u);
+    EXPECT_EQ(r.timeRunning, 450u);
+    ASSERT_EQ(r.values.size(), 2u);
+    EXPECT_EQ(r.values[0].first, 7u);
+    EXPECT_EQ(r.values[0].second, 1111u);
+    EXPECT_EQ(r.values[1].first, 8u);
+    EXPECT_EQ(r.values[1].second, 2222u);
+}
+
+TEST(GroupRead, DecodesEmptyGroup)
+{
+    const std::uint64_t words[] = {0, 10, 10};
+    GroupReading r;
+    ASSERT_TRUE(parseGroupReadBuffer(words, 3, &r));
+    EXPECT_TRUE(r.values.empty());
+}
+
+TEST(GroupRead, RejectsTruncatedBuffer)
+{
+    // Header promises 2 events but only one pair is present.
+    const std::uint64_t words[] = {2, 900, 450, 1111, 7};
+    GroupReading r;
+    EXPECT_FALSE(parseGroupReadBuffer(words, 5, &r));
+    // Shorter than the 3-word header.
+    EXPECT_FALSE(parseGroupReadBuffer(words, 2, &r));
+    EXPECT_FALSE(parseGroupReadBuffer(nullptr, 0, &r));
+}
+
+TEST(GroupRead, RejectsInconsistentEventCount)
+{
+    // nr says 1 but the buffer carries two pairs: do not guess which
+    // half is real.
+    const std::uint64_t words[] = {1, 900, 450, 1111, 7, 2222, 8};
+    GroupReading r;
+    EXPECT_FALSE(parseGroupReadBuffer(words, 7, &r));
+}
+
+// ---------------------------------------------------------------
+// PmuCounts NaN algebra
+// ---------------------------------------------------------------
+
+TEST(PmuCounts, UnavailableIsAllNaN)
+{
+    const PmuCounts u = PmuCounts::unavailable();
+    EXPECT_TRUE(std::isnan(u.wallNs));
+    EXPECT_TRUE(std::isnan(u.taskClockNs));
+    EXPECT_TRUE(std::isnan(u.cycles));
+    EXPECT_TRUE(std::isnan(u.instructions));
+    EXPECT_TRUE(std::isnan(u.llcMisses));
+    EXPECT_TRUE(std::isnan(u.llcReferences));
+    EXPECT_TRUE(std::isnan(u.branchMisses));
+    EXPECT_TRUE(std::isnan(u.pageFaults));
+    EXPECT_TRUE(std::isnan(u.contextSwitches));
+    EXPECT_TRUE(std::isnan(u.imcReadBytes));
+    EXPECT_TRUE(std::isnan(u.imcWriteBytes));
+}
+
+TEST(PmuCounts, AccumulateAbsorbsNaN)
+{
+    PmuCounts a = PmuCounts::unavailable();
+    a.cycles = 100.0;
+
+    PmuCounts b = PmuCounts::unavailable();
+    b.cycles = 50.0;
+    b.instructions = 10.0;
+
+    a += b;
+    // Finite + finite sums.
+    EXPECT_DOUBLE_EQ(a.cycles, 150.0);
+    // NaN + finite keeps the measurement instead of poisoning it.
+    EXPECT_DOUBLE_EQ(a.instructions, 10.0);
+    // NaN + NaN stays NaN (nothing was ever measured).
+    EXPECT_TRUE(std::isnan(a.llcMisses));
+}
+
+TEST(PmuCounts, MinusPropagatesNaNPerField)
+{
+    PmuCounts end = PmuCounts::unavailable();
+    end.cycles = 500.0;
+    end.taskClockNs = 90.0;
+
+    PmuCounts start = PmuCounts::unavailable();
+    start.cycles = 200.0;
+
+    const PmuCounts d = end.minus(start);
+    EXPECT_DOUBLE_EQ(d.cycles, 300.0);
+    // Either side NaN -> the delta is unknown.
+    EXPECT_TRUE(std::isnan(d.taskClockNs));
+    EXPECT_TRUE(std::isnan(d.instructions));
+}
+
+// ---------------------------------------------------------------
+// Probe and fallback chain
+// ---------------------------------------------------------------
+
+std::string
+writeTempParanoid(const std::string& content)
+{
+    static int counter = 0;
+    const std::string path =
+        ::testing::TempDir() + "cpullm_paranoid_" +
+        std::to_string(++counter) + ".txt";
+    std::ofstream ofs(path);
+    ofs << content;
+    return path;
+}
+
+TEST(PerfProbe, ParanoidLevelGatesUnprivilegedCounting)
+{
+    for (int level : {-1, 0, 1, 2}) {
+        const auto p =
+            probePerf(writeTempParanoid(std::to_string(level) + "\n"));
+        EXPECT_EQ(p.paranoid, level);
+        EXPECT_TRUE(p.paranoidOk) << level;
+    }
+    for (int level : {3, 4}) {
+        const auto p =
+            probePerf(writeTempParanoid(std::to_string(level) + "\n"));
+        EXPECT_EQ(p.paranoid, level);
+        EXPECT_FALSE(p.paranoidOk) << level;
+        // Restrictive level short-circuits the syscall probe.
+        EXPECT_FALSE(p.syscallOk) << level;
+    }
+}
+
+TEST(PerfProbe, UnreadableFileIsMostRestrictive)
+{
+    const auto p = probePerf("/nonexistent/perf_event_paranoid");
+    EXPECT_EQ(p.paranoid, 3);
+    EXPECT_FALSE(p.paranoidOk);
+    EXPECT_FALSE(p.syscallOk);
+}
+
+TEST(FallbackChain, FullMatrix)
+{
+    PerfProbe ok;
+    ok.paranoid = 1;
+    ok.paranoidOk = true;
+    ok.syscallOk = true;
+
+    PerfProbe denied;
+    denied.paranoid = 3;
+
+    // Off always disables, whatever the machine supports.
+    EXPECT_EQ(chooseBackend(Mode::Off, ok), Backend::Disabled);
+    EXPECT_EQ(chooseBackend(Mode::Off, denied), Backend::Disabled);
+    // Soft never touches perf even when it would work.
+    EXPECT_EQ(chooseBackend(Mode::Soft, ok), Backend::Soft);
+    EXPECT_EQ(chooseBackend(Mode::Soft, denied), Backend::Soft);
+    // Auto/Perf take perf when the probe succeeded...
+    EXPECT_EQ(chooseBackend(Mode::Auto, ok), Backend::Perf);
+    EXPECT_EQ(chooseBackend(Mode::Perf, ok), Backend::Perf);
+    // ...and degrade (never fail) when it did not.
+    EXPECT_EQ(chooseBackend(Mode::Auto, denied), Backend::Soft);
+    EXPECT_EQ(chooseBackend(Mode::Perf, denied), Backend::Soft);
+}
+
+TEST(FallbackChain, ParanoidOkButSyscallBlocked)
+{
+    // seccomp or a kernel without CONFIG_PERF_EVENTS: the level
+    // looks fine but the syscall probe failed.
+    PerfProbe p;
+    p.paranoid = 1;
+    p.paranoidOk = true;
+    p.syscallOk = false;
+    EXPECT_EQ(chooseBackend(Mode::Auto, p), Backend::Soft);
+    EXPECT_EQ(chooseBackend(Mode::Perf, p), Backend::Soft);
+}
+
+// ---------------------------------------------------------------
+// Session + CounterScope (software backend: portable everywhere)
+// ---------------------------------------------------------------
+
+/** Burn CPU so rusage-visible time advances. */
+double
+burnCpu()
+{
+    volatile double acc = 0.0;
+    for (int i = 0; i < 8 * 1000 * 1000; ++i)
+        acc = acc + static_cast<double>(i) * 1e-9;
+    return acc;
+}
+
+TEST(PmuSession, SoftBackendMeasuresCpuTime)
+{
+    auto& s = Session::instance();
+    s.clearSlots();
+    ASSERT_EQ(s.begin(Mode::Soft), Backend::Soft);
+    EXPECT_TRUE(s.active());
+    EXPECT_EQ(s.hardwareEventsOpen(), 0);
+
+    const PmuCounts before = s.readAll();
+    ASSERT_FALSE(std::isnan(before.taskClockNs));
+    burnCpu();
+    const PmuCounts after = s.readAll();
+    EXPECT_GT(after.taskClockNs, before.taskClockNs);
+    // The software backend cannot see hardware events.
+    EXPECT_TRUE(std::isnan(after.cycles));
+    EXPECT_TRUE(std::isnan(after.llcMisses));
+
+    s.end();
+    EXPECT_FALSE(s.active());
+    // Inactive sessions read as unavailable.
+    EXPECT_TRUE(std::isnan(s.readAll().taskClockNs));
+}
+
+TEST(PmuSession, ReBeginOfActiveSessionIsNoOp)
+{
+    auto& s = Session::instance();
+    s.clearSlots();
+    ASSERT_EQ(s.begin(Mode::Soft), Backend::Soft);
+    // Asking again (even for a different mode) keeps the live
+    // backend instead of tearing down mid-measurement.
+    EXPECT_EQ(s.begin(Mode::Auto), Backend::Soft);
+    s.end();
+}
+
+TEST(PmuSession, SlotsAccumulateAndHarvest)
+{
+    auto& s = Session::instance();
+    s.clearSlots();
+    ASSERT_EQ(s.begin(Mode::Soft), Backend::Soft);
+
+    {
+        CounterScope scope("decode");
+        EXPECT_TRUE(scope.active());
+        burnCpu();
+    } // destructor closes
+    {
+        CounterScope scope("decode");
+        burnCpu();
+        scope.close();
+        EXPECT_FALSE(scope.active());
+        EXPECT_GT(scope.counts().wallNs, 0.0);
+        // Closing twice must not double-record.
+        scope.close();
+    }
+
+    const auto names = s.slotNames();
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "decode");
+    const PmuCounts d = s.slot("decode");
+    EXPECT_GT(d.wallNs, 0.0);
+    EXPECT_GT(d.taskClockNs, 0.0);
+
+    // Absent slots read as unavailable, not zero.
+    EXPECT_TRUE(std::isnan(s.slot("no-such-slot").wallNs));
+
+    auto harvested = s.takeSlots();
+    EXPECT_EQ(harvested.size(), 1u);
+    EXPECT_TRUE(s.slotNames().empty());
+    s.end();
+}
+
+TEST(PmuSession, CounterScopeInertWithoutSession)
+{
+    auto& s = Session::instance();
+    s.end();
+    s.clearSlots();
+    {
+        CounterScope scope("prefill");
+        EXPECT_FALSE(scope.active());
+    }
+    EXPECT_TRUE(s.slotNames().empty());
+}
+
+TEST(PmuSession, CounterScopeAnnotatesSpan)
+{
+    auto& s = Session::instance();
+    s.clearSlots();
+    ASSERT_EQ(s.begin(Mode::Soft), Backend::Soft);
+
+    Tracer tracer;
+    {
+        auto span = tracer.begin("decode.step", "engine",
+                                 tracer.track("engine", "main"));
+        CounterScope scope("decode", &span);
+        burnCpu();
+    }
+    s.end();
+
+    const auto spans = tracer.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    const auto& args = spans[0].args;
+    // The software backend measured CPU time; it must appear as a
+    // pmu.* span arg. Hardware-only fields are NaN and omitted.
+    bool saw_task_clock = false;
+    bool saw_cycles = false;
+    for (const auto& kv : args) {
+        if (kv.first == "pmu.task_clock_ms")
+            saw_task_clock = true;
+        if (kv.first == "pmu.cycles")
+            saw_cycles = true;
+    }
+    EXPECT_TRUE(saw_task_clock);
+    EXPECT_FALSE(saw_cycles);
+}
+
+// ---------------------------------------------------------------
+// Derived metrics (obs/counters.h additions)
+// ---------------------------------------------------------------
+
+TEST(DerivedMetrics, HappyPath)
+{
+    // 2e9 instr / 1e9 cycles, 1e6 misses, 64B/line, 0.5s, 100 tokens.
+    const auto m = deriveCounterMetrics(
+        2e9, 1e9, 1e6, 4e6, 1e6 * kCacheLineBytes, 0.5, 100.0);
+    EXPECT_DOUBLE_EQ(m.ipc, 2.0);
+    EXPECT_DOUBLE_EQ(m.llcMpki, 0.5); // 1e6 * 1000 / 2e9
+    EXPECT_DOUBLE_EQ(m.llcMissRate, 0.25);
+    EXPECT_DOUBLE_EQ(m.gbps, 1e6 * 64.0 / (0.5 * 1e9));
+    EXPECT_DOUBLE_EQ(m.instructionsPerToken, 2e7);
+    EXPECT_DOUBLE_EQ(m.bytesPerToken, 1e6 * 64.0 / 100.0);
+}
+
+TEST(DerivedMetrics, ZeroDenominatorsAreNaN)
+{
+    const auto m = deriveCounterMetrics(1e9, 0.0, 1e6, 0.0, 1e8,
+                                        0.0, 0.0);
+    EXPECT_TRUE(std::isnan(m.ipc));         // cycles == 0
+    EXPECT_TRUE(std::isnan(m.llcMissRate)); // references == 0
+    EXPECT_TRUE(std::isnan(m.gbps));        // seconds == 0
+    EXPECT_TRUE(std::isnan(m.instructionsPerToken)); // tokens == 0
+    EXPECT_TRUE(std::isnan(m.bytesPerToken));
+    // MPKI only needs instructions, which were measured.
+    EXPECT_DOUBLE_EQ(m.llcMpki, 1.0);
+}
+
+TEST(DerivedMetrics, NaNInputsFlowThrough)
+{
+    const double nan = std::nan("");
+    const auto m =
+        deriveCounterMetrics(nan, nan, nan, nan, nan, 1.0, 10.0);
+    EXPECT_TRUE(std::isnan(m.ipc));
+    EXPECT_TRUE(std::isnan(m.llcMpki));
+    EXPECT_TRUE(std::isnan(m.gbps));
+}
+
+TEST(DerivedMetrics, DramBytesPreferImcOverLlcEstimate)
+{
+    PmuCounts c = PmuCounts::unavailable();
+    c.llcMisses = 1000.0;
+    // No IMC: fall back to the cache-line estimate.
+    EXPECT_DOUBLE_EQ(estimateDramBytes(c), 1000.0 * kCacheLineBytes);
+    // IMC counters opened: use the real uncore traffic.
+    c.imcReadBytes = 5e6;
+    c.imcWriteBytes = 1e6;
+    EXPECT_DOUBLE_EQ(estimateDramBytes(c), 6e6);
+    // Nothing measured at all.
+    EXPECT_TRUE(std::isnan(
+        estimateDramBytes(PmuCounts::unavailable())));
+}
+
+TEST(DerivedMetrics, ModeledCycles)
+{
+    // 0.5 utilization * 8 cores * 2 GHz * 2 s.
+    EXPECT_DOUBLE_EQ(modeledCycles(0.5, 8.0, 2e9, 2.0), 1.6e10);
+    EXPECT_DOUBLE_EQ(modeledCycles(1.0, 1.0, 1e9, 0.0), 0.0);
+}
+
+} // namespace
+} // namespace pmu
+} // namespace obs
+} // namespace cpullm

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Self-check consumer for `cpullm counters --out` documents: parses
+ * the JSON with the strict in-tree DOM, validates the schema (the
+ * counters block, both phase blocks with measured/modeled/rel_err,
+ * the trend verdicts) and enforces the fallback-chain contract —
+ * with --expect-backend soft it asserts the run really degraded to
+ * the software backend and that every perf-only measured field is
+ * JSON null, not 0 and not garbage. The modeled side must always be
+ * present and finite, and the modeled Fig 11/12 ordering (decode
+ * MPKI > prefill MPKI) must hold.
+ *
+ * Usage: counters_check FILE [--expect-backend perf|soft]
+ * Exit codes: 0 ok, 1 validation failure, 2 usage error.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace {
+
+using cpullm::JsonValue;
+
+int g_failures = 0;
+
+void
+fail(const std::string& msg)
+{
+    std::cerr << "counters_check: " << msg << "\n";
+    ++g_failures;
+}
+
+/** Member must exist and be a JSON number (not null). */
+double
+requireNumber(const JsonValue& obj, const std::string& key)
+{
+    const JsonValue* v = obj.find(key);
+    if (!v || !v->isNumber()) {
+        fail("'" + key + "' missing or not a number");
+        return 0.0;
+    }
+    return v->asNumber();
+}
+
+/** Member must exist and be either a number or null. */
+void
+requireNumberOrNull(const JsonValue& obj, const std::string& key,
+                    const std::string& where)
+{
+    const JsonValue* v = obj.find(key);
+    if (!v || (!v->isNumber() && !v->isNull()))
+        fail(where + "." + key + " missing or not number/null");
+}
+
+/** Member must exist and be exactly null. */
+void
+requireNull(const JsonValue& obj, const std::string& key,
+            const std::string& where)
+{
+    const JsonValue* v = obj.find(key);
+    if (!v || !v->isNull())
+        fail(where + "." + key + " should be null when no hardware "
+                                 "events are available");
+}
+
+const char* const kMetricKeys[] = {"ipc", "llc_mpki", "gbps",
+                                   "instructions_per_token",
+                                   "bytes_per_token"};
+
+void
+checkPhase(const JsonValue& phases, const std::string& name,
+           bool expect_hw_null)
+{
+    const JsonValue* phase = phases.find(name);
+    if (!phase || !phase->isObject()) {
+        fail("phases." + name + " missing");
+        return;
+    }
+    const JsonValue* measured = phase->find("measured");
+    const JsonValue* modeled = phase->find("modeled");
+    const JsonValue* rel = phase->find("rel_err");
+    if (!measured || !measured->isObject() || !modeled ||
+        !modeled->isObject() || !rel || !rel->isObject()) {
+        fail("phases." + name +
+             " needs measured/modeled/rel_err objects");
+        return;
+    }
+    for (const char* key : kMetricKeys) {
+        requireNumberOrNull(*measured, key, name + ".measured");
+        // The analytical model always produces these.
+        requireNumber(*modeled, key);
+    }
+    for (const char* key : {"ipc", "llc_mpki", "gbps"})
+        requireNumberOrNull(*rel, key, name + ".rel_err");
+    if (expect_hw_null) {
+        // No PMU access: every hardware-derived measured field must
+        // degrade to null.
+        for (const char* key : {"ipc", "llc_mpki", "gbps"})
+            requireNull(*measured, key, name + ".measured");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string path;
+    std::string expect_backend;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--expect-backend") {
+            if (i + 1 >= argc) {
+                std::cerr << "counters_check: --expect-backend "
+                             "needs a value\n";
+                return 2;
+            }
+            expect_backend = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "counters_check: unknown flag " << arg
+                      << "\n";
+            return 2;
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::cerr << "counters_check: more than one FILE\n";
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::cerr << "usage: counters_check FILE "
+                     "[--expect-backend perf|soft]\n";
+        return 2;
+    }
+
+    std::ifstream ifs(path);
+    if (!ifs) {
+        fail("cannot open " + path);
+        return 1;
+    }
+    std::stringstream ss;
+    ss << ifs.rdbuf();
+
+    JsonValue doc;
+    if (!JsonValue::parse(ss.str(), &doc) || !doc.isObject()) {
+        fail(path + " is not a valid JSON object");
+        return 1;
+    }
+
+    const JsonValue* counters = doc.find("counters");
+    if (!counters || !counters->isObject()) {
+        fail("'counters' block missing");
+        return 1;
+    }
+    const std::string backend = counters->stringOr("backend", "");
+    if (backend != "perf" && backend != "soft")
+        fail("counters.backend is '" + backend +
+             "', expected perf or soft (disabled runs should not "
+             "produce a document)");
+    if (!expect_backend.empty() && backend != expect_backend)
+        fail("counters.backend is '" + backend + "', expected '" +
+             expect_backend + "'");
+    requireNumber(*counters, "paranoid");
+    const double hw_events = requireNumber(*counters, "hw_events");
+    requireNumber(*counters, "thread_groups");
+
+    const JsonValue* phases = doc.find("phases");
+    if (!phases || !phases->isObject()) {
+        fail("'phases' block missing");
+        return 1;
+    }
+    // Measured hardware fields must be null whenever no hardware
+    // events opened — soft backend, or perf in a PMU-less VM.
+    const bool expect_hw_null =
+        expect_backend == "soft" || hw_events == 0.0;
+    checkPhase(*phases, "prefill", expect_hw_null);
+    checkPhase(*phases, "decode", expect_hw_null);
+
+    const JsonValue* trends = doc.find("trends");
+    if (!trends || !trends->isObject()) {
+        fail("'trends' block missing");
+    } else {
+        for (const char* key :
+             {"decode_mpki_gt_prefill", "prefill_ipc_gt_decode"}) {
+            const JsonValue* v = trends->find(key);
+            if (!v || (!v->isBool() && !v->isNull()))
+                fail(std::string("trends.") + key +
+                     " missing or not bool/null");
+            else if (expect_hw_null && !v->isNull())
+                fail(std::string("trends.") + key +
+                     " should be null without hardware events");
+        }
+        const JsonValue* mod =
+            trends->find("modeled_decode_mpki_gt_prefill");
+        if (!mod || !mod->isBool() || !mod->asBool())
+            fail("trends.modeled_decode_mpki_gt_prefill should be "
+                 "true (the analytical model must reproduce the "
+                 "Fig 11/12 ordering)");
+    }
+
+    if (g_failures) {
+        std::cerr << "counters_check: " << path << ": " << g_failures
+                  << " failure(s)\n";
+        return 1;
+    }
+    std::cout << "counters_check: " << path << " ok (backend "
+              << backend << ", " << hw_events << " hw events)\n";
+    return 0;
+}

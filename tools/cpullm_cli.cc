@@ -14,6 +14,9 @@
  *   cpullm report --model opt-13b [serve flags] [--report-out F]
  *   cpullm compare --model opt-66b --batch 1
  *   cpullm bench [--out DIR] [--quick] [--threads N]
+ *   cpullm counters [--model tiny] [--platform spr] [--batch N]
+ *                   [--prompt N] [--gen N] [--counters MODE]
+ *                   [--json] [--out F] [--threads N]
  *   cpullm findings
  *   cpullm list
  *
@@ -21,6 +24,15 @@
  * (malformed values are usage errors, exit 2); serve/bench also
  * accept --threads N, which overrides the env var. 0 means the
  * hardware default.
+ *
+ * Hardware counters: CPULLM_COUNTERS=auto|perf|soft|off (same exit-2
+ * contract) selects the measured-counter backend for any command;
+ * run/serve/bench/counters also accept --counters MODE, which
+ * overrides the env var. Default off except for `counters`, which
+ * defaults to auto. `counters` executes the functional host path
+ * under measurement and prints the measured-vs-analytical side-by-
+ * side (IPC, LLC MPKI, GB/s) with relative errors and the paper's
+ * Fig 11/12 trend verdicts.
  *
  * `run` simulates one request on a CPU platform; `serve` runs the
  * serving simulator (static or continuous batching, CPU or GPU
@@ -46,6 +58,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -175,6 +188,52 @@ applyThreadsFlag(const std::map<std::string, std::string>& flags)
     setMaxThreads(static_cast<std::size_t>(n));
 }
 
+/**
+ * Select the measured-counter mode from --counters (overriding the
+ * CPULLM_COUNTERS env var, which main() applies first). Malformed
+ * values are usage errors, exit 2 — matching --threads.
+ */
+void
+applyCountersFlag(const std::map<std::string, std::string>& flags)
+{
+    auto it = flags.find("counters");
+    if (it == flags.end())
+        return;
+    obs::pmu::Mode m;
+    if (!obs::pmu::modeFromString(it->second, &m))
+        usageError("--counters expects auto|perf|soft|off, got '" +
+                   it->second + "'");
+    obs::pmu::setRequestedMode(m);
+}
+
+/**
+ * RAII pmu::Session for one command: begins with the requested mode
+ * (no-op when Off) and ends on scope exit. Accumulated slots survive
+ * end() for harvesting.
+ */
+class CountersSessionGuard
+{
+  public:
+    CountersSessionGuard()
+    {
+        obs::pmu::Session& s = obs::pmu::Session::instance();
+        if (obs::pmu::requestedMode() != obs::pmu::Mode::Off) {
+            s.clearSlots();
+            backend_ = s.begin(obs::pmu::requestedMode());
+        }
+    }
+    ~CountersSessionGuard() { obs::pmu::Session::instance().end(); }
+
+    bool enabled() const
+    {
+        return backend_ != obs::pmu::Backend::Disabled;
+    }
+    obs::pmu::Backend backend() const { return backend_; }
+
+  private:
+    obs::pmu::Backend backend_ = obs::pmu::Backend::Disabled;
+};
+
 perf::Workload
 workloadFromFlags(const std::map<std::string, std::string>& flags)
 {
@@ -192,7 +251,8 @@ cmdRun(int argc, char** argv)
     const auto flags = parseFlags(
         argc, argv, 2,
         withWorkloadFlags({"model", "platform", "json", "attribution",
-                           "trace-out", "report-out"}));
+                           "trace-out", "report-out", "counters"}));
+    applyCountersFlag(flags);
     const auto spec =
         model::modelByName(flagOr(flags, "model", "llama2-7b"));
     const auto platform =
@@ -203,7 +263,11 @@ cmdRun(int argc, char** argv)
     obs::Tracer tracer;
     if (flags.count("trace-out"))
         eng.setTracer(&tracer);
+    CountersSessionGuard pmu;
+    obs::pmu::CounterScope pmu_scope("run");
     const auto r = eng.infer(w);
+    pmu_scope.close();
+    const obs::pmu::PmuCounts measured = pmu_scope.counts();
 
     if (flags.count("trace-out") &&
         tracer.writeChromeTraceFile(flags.at("trace-out")))
@@ -219,19 +283,31 @@ cmdRun(int argc, char** argv)
         obs::renderAttributionReport(std::cout, r.attribution);
 
     if (flags.count("json")) {
+        std::string pmu_json;
+        if (pmu.enabled()) {
+            const obs::CounterMetrics m =
+                obs::deriveCounterMetrics(measured, 0.0);
+            pmu_json = strformat(
+                ",\"counters_backend\":\"%s\","
+                "\"measured_ipc\":%s,\"measured_llc_mpki\":%s",
+                obs::pmu::backendName(pmu.backend()),
+                jsonNumber(m.ipc).c_str(),
+                jsonNumber(m.llcMpki).c_str());
+        }
         std::cout << strformat(
             "{\"model\":\"%s\",\"platform\":\"%s\",\"batch\":%lld,"
             "\"prompt\":%lld,\"gen\":%lld,\"ttft_s\":%.6f,"
             "\"tpot_s\":%.6f,\"e2e_s\":%.6f,\"tokens_per_s\":%.3f,"
             "\"weights_hbm_fraction\":%.4f,\"llc_mpki\":%.2f,"
-            "\"core_utilization\":%.4f}\n",
+            "\"core_utilization\":%.4f%s}\n",
             spec.name.c_str(), platform.label().c_str(),
             static_cast<long long>(w.batch),
             static_cast<long long>(w.promptLen),
             static_cast<long long>(w.genLen), r.timing.ttft,
             r.timing.tpot, r.timing.e2eLatency,
             r.timing.totalThroughput, r.weightsHbmFraction,
-            r.counters.mpki(), r.counters.coreUtilization);
+            r.counters.mpki(), r.counters.coreUtilization,
+            pmu_json.c_str());
         return 0;
     }
 
@@ -252,6 +328,20 @@ cmdRun(int argc, char** argv)
     t.addRow({"weights in HBM",
               formatNumber(100.0 * r.weightsHbmFraction, 1) + " %"});
     t.addRow({"LLC MPKI", formatNumber(r.counters.mpki(), 1)});
+    if (pmu.enabled()) {
+        const obs::CounterMetrics m =
+            obs::deriveCounterMetrics(measured, 0.0);
+        auto cell = [](double v, int digits) {
+            return std::isfinite(v) ? formatNumber(v, digits)
+                                    : std::string("n/a");
+        };
+        t.addRow({"counters backend",
+                  obs::pmu::backendName(pmu.backend())});
+        t.addRow({"measured CPU time",
+                  cell(measured.taskClockNs / 1e9, 3) + " s"});
+        t.addRow({"measured IPC", cell(m.ipc, 2)});
+        t.addRow({"measured LLC MPKI", cell(m.llcMpki, 1)});
+    }
     t.print(std::cout);
     return 0;
 }
@@ -325,8 +415,12 @@ cmdServe(int argc, char** argv, bool report_mode)
              "continuous", "json", "trace-out", "report-out",
              "telemetry-port", "prom-out", "linger", "probe",
              "slo-ttft-ms", "slo-tpot-ms", "slo-e2e-ms",
-             "slo-budget", "threads"}));
+             "slo-budget", "threads", "counters"}));
     applyThreadsFlag(flags);
+    applyCountersFlag(flags);
+    // Live for the whole serve run: the telemetry /metrics endpoint
+    // exports cpullm_host_pmu_* gauges while the session is active.
+    CountersSessionGuard pmu;
     const auto spec =
         model::modelByName(flagOr(flags, "model", "opt-13b"));
     perf::Workload w = workloadFromFlags(flags);
@@ -570,9 +664,12 @@ cmdCompare(int argc, char** argv)
 int
 cmdBench(int argc, char** argv)
 {
-    const auto flags =
-        parseFlags(argc, argv, 2, {"out", "quick", "threads"});
+    const auto flags = parseFlags(argc, argv, 2,
+                                  {"out", "quick", "threads",
+                                   "counters"});
     applyThreadsFlag(flags);
+    applyCountersFlag(flags);
+    CountersSessionGuard pmu;
     core::BenchSuiteOptions opt;
     opt.quick = flags.count("quick") != 0;
     const std::string dir = flagOr(flags, "out", "bench_results");
@@ -581,6 +678,7 @@ cmdBench(int argc, char** argv)
     const auto baselines = core::runBenchSuite(opt, &reg);
     obs::recordHostPoolStats(reg);
     obs::recordHostAttnStats(reg);
+    obs::recordHostPmuStats(reg);
     int written = 0;
     for (const auto& b : baselines) {
         if (core::writeBaseline(b, dir))
@@ -590,6 +688,256 @@ cmdBench(int argc, char** argv)
     inform("wrote ", written, " of ", baselines.size(),
            " baselines to ", dir, "/");
     return written == static_cast<int>(baselines.size()) ? 0 : 1;
+}
+
+/** Signed relative error (measured - modeled) / modeled; NaN when
+ *  either side is unavailable or the modeled value is zero. */
+double
+relativeError(double measured, double modeled)
+{
+    if (!std::isfinite(measured) || !std::isfinite(modeled) ||
+        modeled == 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return (measured - modeled) / modeled;
+}
+
+/** JSON object for one derived-metric set (nulls for NaN). */
+std::string
+counterMetricsJson(const obs::CounterMetrics& m)
+{
+    return strformat(
+        "{\"ipc\":%s,\"llc_mpki\":%s,\"gbps\":%s,"
+        "\"instructions_per_token\":%s,\"bytes_per_token\":%s}",
+        jsonNumber(m.ipc).c_str(), jsonNumber(m.llcMpki).c_str(),
+        jsonNumber(m.gbps).c_str(),
+        jsonNumber(m.instructionsPerToken).c_str(),
+        jsonNumber(m.bytesPerToken).c_str());
+}
+
+/** "true"/"false", or "null" when the inputs were unmeasurable. */
+std::string
+jsonTrend(double lhs, double rhs)
+{
+    if (!std::isfinite(lhs) || !std::isfinite(rhs))
+        return "null";
+    return lhs > rhs ? "true" : "false";
+}
+
+/**
+ * `cpullm counters`: execute the functional host path (real kernels
+ * on the thread pool) under measured hardware counters and print the
+ * measured-vs-analytical side-by-side the paper's methodology is
+ * built on — IPC, LLC MPKI and achieved GB/s per phase with signed
+ * relative errors, plus the Fig 11/12 trend verdicts (decode MPKI >
+ * prefill MPKI; prefill IPC > decode IPC) evaluated on the measured
+ * numbers. Defaults to --counters auto; under the software fallback
+ * (or a PMU-less VM) the hardware-derived fields print n/a and emit
+ * JSON null, and the command still exits 0.
+ */
+int
+cmdCounters(int argc, char** argv)
+{
+    const auto flags = parseFlags(
+        argc, argv, 2,
+        withWorkloadFlags({"model", "platform", "counters", "json",
+                           "out", "threads"}));
+    applyThreadsFlag(flags);
+    applyCountersFlag(flags);
+    if (!flags.count("counters") && !obs::pmu::countersEnvPresent())
+        obs::pmu::setRequestedMode(obs::pmu::Mode::Auto);
+    if (obs::pmu::requestedMode() == obs::pmu::Mode::Off)
+        usageError("'counters' needs a live backend; use --counters "
+                   "auto|perf|soft");
+
+    const auto spec =
+        model::modelByName(flagOr(flags, "model", "tiny"));
+    const auto platform =
+        hw::platformByName(flagOr(flags, "platform", "spr"));
+    perf::Workload w = workloadFromFlags(flags);
+    // Defaults sized for the tiny functional model (maxSeqLen 64)
+    // with enough decode steps for stable counters.
+    if (!flags.count("prompt"))
+        w.promptLen = 32;
+    if (!flags.count("gen"))
+        w.genLen = 32;
+    if (spec.weightBytes(w.dtype) > engine::kMaxFunctionalWeightBytes)
+        usageError("model '" + spec.name +
+                   "' is too large for functional execution; "
+                   "use a small model (e.g. --model tiny)");
+
+    engine::CpuInferenceEngine eng(
+        platform, spec, engine::ExecutionMode::FunctionalAndTiming);
+
+    obs::pmu::Session& session = obs::pmu::Session::instance();
+    session.clearSlots();
+    const obs::pmu::Backend backend =
+        session.begin(obs::pmu::requestedMode());
+    const auto r = eng.infer(w);
+    const obs::pmu::PerfProbe probe = session.probe();
+    const int hw_events = session.hardwareEventsOpen();
+    const std::size_t groups = session.threadGroups();
+    const bool imc = session.imcOpen();
+    session.end();
+    const auto slots = session.takeSlots();
+
+    auto slotCounts = [&](const char* name) {
+        auto it = slots.find(name);
+        return it == slots.end() ? obs::pmu::PmuCounts::unavailable()
+                                 : it->second;
+    };
+    const obs::pmu::PmuCounts c_pre = slotCounts("prefill");
+    const obs::pmu::PmuCounts c_dec = slotCounts("decode");
+    const double prefill_tokens = static_cast<double>(w.batch);
+    const double decode_tokens =
+        static_cast<double>(w.batch) *
+        static_cast<double>(std::max<std::int64_t>(0, w.genLen - 1));
+    const obs::CounterMetrics meas_pre =
+        obs::deriveCounterMetrics(c_pre, prefill_tokens);
+    const obs::CounterMetrics meas_dec =
+        obs::deriveCounterMetrics(c_dec, decode_tokens);
+
+    // The analytical twin of the same workload on the chosen
+    // platform. Modeled cycles assume the used cores are unhalted
+    // for the whole phase (utilization 1), because that is what the
+    // cycles PMU measures: memory-stalled cores still burn cycles,
+    // which is exactly why decode IPC collapses in the paper. DRAM
+    // bytes use the LLC-miss-line estimate on both sides so the
+    // comparison is like-for-like.
+    auto modeled = [&](const perf::Counters& pc, double seconds,
+                       double tokens) {
+        const double cycles = obs::modeledCycles(
+            1.0, static_cast<double>(platform.coresUsed),
+            platform.cpu.coreFrequency, seconds);
+        return obs::deriveCounterMetrics(
+            pc.instructions, cycles, pc.llcMisses, pc.llcAccesses,
+            pc.llcMisses * obs::kCacheLineBytes, seconds, tokens);
+    };
+    const obs::CounterMetrics mod_pre =
+        modeled(r.timing.prefill.counters, r.timing.prefill.totalTime,
+                prefill_tokens);
+    const obs::CounterMetrics mod_dec = modeled(
+        r.timing.decodeStep.counters, r.timing.decodeTime,
+        decode_tokens);
+
+    const std::string backend_name = obs::pmu::backendName(backend);
+    if (flags.count("json") || flags.count("out")) {
+        const std::string doc = strformat(
+            "{\"model\":\"%s\",\"platform\":\"%s\",\"batch\":%lld,"
+            "\"prompt\":%lld,\"gen\":%lld,"
+            "\"counters\":{\"requested\":\"%s\",\"backend\":\"%s\","
+            "\"paranoid\":%d,\"hw_events\":%d,"
+            "\"thread_groups\":%llu,\"imc\":%s},"
+            "\"phases\":{"
+            "\"prefill\":{\"measured\":%s,\"modeled\":%s,"
+            "\"rel_err\":{\"ipc\":%s,\"llc_mpki\":%s,\"gbps\":%s}},"
+            "\"decode\":{\"measured\":%s,\"modeled\":%s,"
+            "\"rel_err\":{\"ipc\":%s,\"llc_mpki\":%s,\"gbps\":%s}}},"
+            "\"trends\":{\"decode_mpki_gt_prefill\":%s,"
+            "\"prefill_ipc_gt_decode\":%s,"
+            "\"modeled_decode_mpki_gt_prefill\":%s}}",
+            spec.name.c_str(), platform.label().c_str(),
+            static_cast<long long>(w.batch),
+            static_cast<long long>(w.promptLen),
+            static_cast<long long>(w.genLen),
+            obs::pmu::modeName(obs::pmu::requestedMode()),
+            backend_name.c_str(), probe.paranoid, hw_events,
+            static_cast<unsigned long long>(groups),
+            imc ? "true" : "false",
+            counterMetricsJson(meas_pre).c_str(),
+            counterMetricsJson(mod_pre).c_str(),
+            jsonNumber(relativeError(meas_pre.ipc, mod_pre.ipc))
+                .c_str(),
+            jsonNumber(
+                relativeError(meas_pre.llcMpki, mod_pre.llcMpki))
+                .c_str(),
+            jsonNumber(relativeError(meas_pre.gbps, mod_pre.gbps))
+                .c_str(),
+            counterMetricsJson(meas_dec).c_str(),
+            counterMetricsJson(mod_dec).c_str(),
+            jsonNumber(relativeError(meas_dec.ipc, mod_dec.ipc))
+                .c_str(),
+            jsonNumber(
+                relativeError(meas_dec.llcMpki, mod_dec.llcMpki))
+                .c_str(),
+            jsonNumber(relativeError(meas_dec.gbps, mod_dec.gbps))
+                .c_str(),
+            jsonTrend(meas_dec.llcMpki, meas_pre.llcMpki).c_str(),
+            jsonTrend(meas_pre.ipc, meas_dec.ipc).c_str(),
+            jsonTrend(mod_dec.llcMpki, mod_pre.llcMpki).c_str());
+        if (flags.count("out")) {
+            std::ofstream ofs(flags.at("out"));
+            if (!ofs) {
+                warn("could not open '", flags.at("out"),
+                     "' for writing");
+                return 1;
+            }
+            ofs << doc << "\n";
+            inform("wrote ", flags.at("out"));
+        }
+        if (flags.count("json"))
+            std::cout << doc << "\n";
+        return 0;
+    }
+
+    auto cell = [](double v) {
+        return std::isfinite(v) ? formatNumber(v, 2)
+                                : std::string("n/a");
+    };
+    auto errCell = [&](double m, double a) {
+        const double e = relativeError(m, a);
+        return std::isfinite(e)
+                   ? formatNumber(100.0 * e, 1) + " %"
+                   : std::string("n/a");
+    };
+    Table t({"metric", "phase", "measured", "modeled", "rel err"});
+    t.setCaption(strformat(
+        "%s on %s (batch %lld, %lld+%lld tokens) -- backend %s, "
+        "%d hw events, %llu thread groups, paranoid %d",
+        spec.name.c_str(), platform.label().c_str(),
+        static_cast<long long>(w.batch),
+        static_cast<long long>(w.promptLen),
+        static_cast<long long>(w.genLen), backend_name.c_str(),
+        hw_events, static_cast<unsigned long long>(groups),
+        probe.paranoid));
+    auto metricRows = [&](const char* name, double mp, double ap,
+                          double md, double ad) {
+        t.addRow({name, "prefill", cell(mp), cell(ap),
+                  errCell(mp, ap)});
+        t.addRow({name, "decode", cell(md), cell(ad),
+                  errCell(md, ad)});
+    };
+    metricRows("IPC", meas_pre.ipc, mod_pre.ipc, meas_dec.ipc,
+               mod_dec.ipc);
+    metricRows("LLC MPKI", meas_pre.llcMpki, mod_pre.llcMpki,
+               meas_dec.llcMpki, mod_dec.llcMpki);
+    metricRows("GB/s", meas_pre.gbps, mod_pre.gbps, meas_dec.gbps,
+               mod_dec.gbps);
+    metricRows("Minstr/token", meas_pre.instructionsPerToken / 1e6,
+               mod_pre.instructionsPerToken / 1e6,
+               meas_dec.instructionsPerToken / 1e6,
+               mod_dec.instructionsPerToken / 1e6);
+    metricRows("KB/token", meas_pre.bytesPerToken / 1e3,
+               mod_pre.bytesPerToken / 1e3,
+               meas_dec.bytesPerToken / 1e3,
+               mod_dec.bytesPerToken / 1e3);
+    t.print(std::cout);
+
+    auto verdict = [](const char* what, double lhs, double rhs) {
+        if (!std::isfinite(lhs) || !std::isfinite(rhs))
+            std::cout << "trend [ n/a ] " << what
+                      << " (needs hardware events)\n";
+        else
+            std::cout << "trend ["
+                      << (lhs > rhs ? "PASS" : "FAIL") << " ] "
+                      << what << "\n";
+    };
+    verdict("measured decode MPKI > prefill MPKI (Fig 11/12)",
+            meas_dec.llcMpki, meas_pre.llcMpki);
+    verdict("measured prefill IPC > decode IPC", meas_pre.ipc,
+            meas_dec.ipc);
+    verdict("modeled decode MPKI > prefill MPKI", mod_dec.llcMpki,
+            mod_pre.llcMpki);
+    return 0;
 }
 
 int
@@ -645,11 +993,20 @@ usage()
            "  compare  --model M --batch N [--prompt N] [--gen N]\n"
            "  bench    [--out DIR] [--quick] [--threads N]\n"
            "           write BENCH_*.json baselines (bench_diff)\n"
+           "  counters [--model tiny] [--platform P] [--batch N]\n"
+           "           [--prompt N] [--gen N] [--counters MODE]\n"
+           "           [--json] [--out F] [--threads N]\n"
+           "           measured vs modeled hardware counters on the\n"
+           "           functional host path\n"
            "  findings validate the paper's five key findings\n"
            "  list     known models and platforms\n"
            "\n"
            "CPULLM_THREADS=N caps host worker threads for any\n"
-           "command (0 = hardware default); --threads overrides it.\n";
+           "command (0 = hardware default); --threads overrides it.\n"
+           "CPULLM_COUNTERS=auto|perf|soft|off selects the measured\n"
+           "hardware-counter backend; --counters overrides it. The\n"
+           "perf backend needs perf_event_paranoid <= 2 and degrades\n"
+           "to the rusage-based soft backend otherwise.\n";
 }
 
 } // namespace
@@ -666,6 +1023,9 @@ main(int argc, char** argv)
         if (!applyThreadsEnv(&bad))
             usageError("CPULLM_THREADS expects a non-negative "
                        "integer, got '" + bad + "'");
+        if (!obs::pmu::applyCountersEnv(&bad))
+            usageError("CPULLM_COUNTERS expects auto|perf|soft|off, "
+                       "got '" + bad + "'");
     }
     const std::string cmd = argv[1];
     if (cmd == "run")
@@ -678,6 +1038,8 @@ main(int argc, char** argv)
         return cmdCompare(argc, argv);
     if (cmd == "bench")
         return cmdBench(argc, argv);
+    if (cmd == "counters")
+        return cmdCounters(argc, argv);
     if (cmd == "findings") {
         parseFlags(argc, argv, 2, {});
         return cmdFindings();
