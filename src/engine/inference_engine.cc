@@ -6,6 +6,7 @@
 #include "trace/timeline.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_registry.h"
 #include "util/units.h"
 
 namespace cpullm {
@@ -125,12 +126,14 @@ CpuInferenceEngine::infer(const perf::Workload& workload)
         std::vector<std::int64_t> last;
         {
             obs::pmu::CounterScope scope("prefill");
+            threadreg::ScopedFrame frame("prefill");
             last = functional_->prefill(prompts, cache);
         }
         for (std::size_t b = 0; b < out.size(); ++b)
             out[b].push_back(last[b]);
         {
             obs::pmu::CounterScope scope("decode");
+            threadreg::ScopedFrame frame("decode");
             for (std::int64_t step = 1; step < workload.genLen;
                  ++step) {
                 last = functional_->decodeStep(last, cache);

@@ -5,6 +5,7 @@
 #include "gemm/attention.h"
 #include "model/layers.h"
 #include "util/logging.h"
+#include "util/thread_registry.h"
 
 namespace cpullm {
 namespace model {
@@ -158,50 +159,65 @@ TransformerModel::attention(std::int64_t layer, const Tensor& x,
     const std::int64_t hd = spec_.headDim();
     const std::int64_t kv_heads = spec_.numKvHeads;
 
-    Tensor q = linear(engine_, x, pw.wq,
+    Tensor q = [&] {
+        threadreg::ScopedFrame frame("q_proj");
+        return linear(engine_, x, pw.wq,
                       spec_.linearBias ? &w.bq : nullptr);
-    Tensor k = linear(engine_, x, pw.wk,
+    }();
+    Tensor k = [&] {
+        threadreg::ScopedFrame frame("k_proj");
+        return linear(engine_, x, pw.wk,
                       spec_.linearBias ? &w.bk : nullptr);
-    Tensor v = linear(engine_, x, pw.wv,
+    }();
+    Tensor v = [&] {
+        threadreg::ScopedFrame frame("v_proj");
+        return linear(engine_, x, pw.wv,
                       spec_.linearBias ? &w.bv : nullptr);
+    }();
 
-    float* qp = q.data<float>();
-    float* kp = k.data<float>();
-    const float* vp = v.data<float>();
-
-    for (std::int64_t b = 0; b < batch; ++b) {
-        for (std::int64_t i = 0; i < m; ++i) {
-            const std::int64_t r = b * m + i;
-            if (spec_.posEmbedding == PosEmbedding::Rotary) {
-                rope_.apply(qp + r * d, heads, pos0 + i);
-                rope_.apply(kp + r * spec_.dKv(), kv_heads, pos0 + i);
-            }
-            cache.write(layer, b, pos0 + i, kp + r * spec_.dKv(),
-                        vp + r * spec_.dKv());
-        }
-    }
-
-    // Attend over the cached span through contiguous views; seqLen is
-    // published by the caller after all layers, so pass the explicit
-    // span length pos0 + m.
     Tensor ctx({rows, d}, DType::F32);
-    float* cp = ctx.data<float>();
-    std::vector<kv::KvSpan> kspans(static_cast<size_t>(batch));
-    std::vector<kv::KvSpan> vspans(static_cast<size_t>(batch));
-    std::vector<gemm::AttnSeqView> seqs(static_cast<size_t>(batch));
-    for (std::int64_t b = 0; b < batch; ++b) {
-        const auto sb = static_cast<size_t>(b);
-        kspans[sb] = cache.kSpan(layer, b, pos0 + m);
-        vspans[sb] = cache.vSpan(layer, b, pos0 + m);
-        seqs[sb].q = qp + b * m * d;
-        seqs[sb].out = cp + b * m * d;
-        seqs[sb].k = &kspans[sb];
-        seqs[sb].v = &vspans[sb];
-        seqs[sb].chunks = 1;
-    }
-    gemm::attnFused({heads, kv_heads, hd}, m, pos0, seqs.data(),
-                    static_cast<size_t>(batch));
+    {
+        threadreg::ScopedFrame frame("attention");
+        float* qp = q.data<float>();
+        float* kp = k.data<float>();
+        const float* vp = v.data<float>();
 
+        for (std::int64_t b = 0; b < batch; ++b) {
+            for (std::int64_t i = 0; i < m; ++i) {
+                const std::int64_t r = b * m + i;
+                if (spec_.posEmbedding == PosEmbedding::Rotary) {
+                    rope_.apply(qp + r * d, heads, pos0 + i);
+                    rope_.apply(kp + r * spec_.dKv(), kv_heads,
+                                pos0 + i);
+                }
+                cache.write(layer, b, pos0 + i, kp + r * spec_.dKv(),
+                            vp + r * spec_.dKv());
+            }
+        }
+
+        // Attend over the cached span through contiguous views;
+        // seqLen is published by the caller after all layers, so pass
+        // the explicit span length pos0 + m.
+        float* cp = ctx.data<float>();
+        std::vector<kv::KvSpan> kspans(static_cast<size_t>(batch));
+        std::vector<kv::KvSpan> vspans(static_cast<size_t>(batch));
+        std::vector<gemm::AttnSeqView> seqs(
+            static_cast<size_t>(batch));
+        for (std::int64_t b = 0; b < batch; ++b) {
+            const auto sb = static_cast<size_t>(b);
+            kspans[sb] = cache.kSpan(layer, b, pos0 + m);
+            vspans[sb] = cache.vSpan(layer, b, pos0 + m);
+            seqs[sb].q = qp + b * m * d;
+            seqs[sb].out = cp + b * m * d;
+            seqs[sb].k = &kspans[sb];
+            seqs[sb].v = &vspans[sb];
+            seqs[sb].chunks = 1;
+        }
+        gemm::attnFused({heads, kv_heads, hd}, m, pos0, seqs.data(),
+                        static_cast<size_t>(batch));
+    }
+
+    threadreg::ScopedFrame frame("out_proj");
     return linear(engine_, ctx, pw.wo,
                   spec_.linearBias ? &w.bo : nullptr);
 }
@@ -212,18 +228,27 @@ TransformerModel::ffn(std::int64_t layer, const Tensor& x)
     const LayerWeights& w = layers_[static_cast<size_t>(layer)];
     const PreparedLayerWeights& pw =
         prepared_[static_cast<size_t>(layer)];
-    Tensor up = linear(engine_, x, pw.wUp,
-                       spec_.linearBias ? &w.bUp : nullptr);
+    Tensor up = [&] {
+        threadreg::ScopedFrame frame("ffn_up");
+        return linear(engine_, x, pw.wUp,
+                      spec_.linearBias ? &w.bUp : nullptr);
+    }();
     if (spec_.gatedFfn) {
-        Tensor gate = linear(engine_, x, pw.wGate, nullptr);
+        Tensor gate = [&] {
+            threadreg::ScopedFrame frame("ffn_gate");
+            return linear(engine_, x, pw.wGate, nullptr);
+        }();
+        threadreg::ScopedFrame frame("ffn_act");
         activationInPlace(gate, spec_.activation);
         float* up_p = up.data<float>();
         const float* g_p = gate.data<float>();
         for (std::int64_t i = 0; i < up.size(); ++i)
             up_p[i] *= g_p[i];
     } else {
+        threadreg::ScopedFrame frame("ffn_act");
         activationInPlace(up, spec_.activation);
     }
+    threadreg::ScopedFrame frame("ffn_down");
     return linear(engine_, up, pw.wDown,
                   spec_.linearBias ? &w.bDown : nullptr);
 }
@@ -240,27 +265,38 @@ TransformerModel::forwardSpan(const std::vector<std::int64_t>& tokens,
     CPULLM_ASSERT(pos0 + m <= cache.maxSeq(), "span [", pos0, ", ",
                   pos0 + m, ") beyond cache capacity");
     const std::int64_t batch = cache.batch();
-    Tensor x = embed(tokens, pos0, m);
+    Tensor x = [&] {
+        threadreg::ScopedFrame frame("embedding");
+        return embed(tokens, pos0, m);
+    }();
 
     for (std::int64_t l = 0; l < spec_.numLayers; ++l) {
         const LayerWeights& w = layers_[static_cast<size_t>(l)];
         // Pre-norm residual block: x += Attn(Norm(x)).
-        Tensor normed = x.cast(DType::F32);
-        if (spec_.norm == NormKind::LayerNorm)
-            layerNormInPlace(normed, w.attnNormW, w.attnNormB);
-        else
-            rmsNormInPlace(normed, w.attnNormW);
+        Tensor normed = [&] {
+            threadreg::ScopedFrame frame("attn_norm");
+            Tensor n = x.cast(DType::F32);
+            if (spec_.norm == NormKind::LayerNorm)
+                layerNormInPlace(n, w.attnNormW, w.attnNormB);
+            else
+                rmsNormInPlace(n, w.attnNormW);
+            return n;
+        }();
         Tensor attn = attention(l, normed, pos0, m, cache);
         float* xp = x.data<float>();
         const float* ap = attn.data<float>();
         for (std::int64_t i = 0; i < x.size(); ++i)
             xp[i] += ap[i];
 
-        Tensor normed2 = x.cast(DType::F32);
-        if (spec_.norm == NormKind::LayerNorm)
-            layerNormInPlace(normed2, w.ffnNormW, w.ffnNormB);
-        else
-            rmsNormInPlace(normed2, w.ffnNormW);
+        Tensor normed2 = [&] {
+            threadreg::ScopedFrame frame("ffn_norm");
+            Tensor n = x.cast(DType::F32);
+            if (spec_.norm == NormKind::LayerNorm)
+                layerNormInPlace(n, w.ffnNormW, w.ffnNormB);
+            else
+                rmsNormInPlace(n, w.ffnNormW);
+            return n;
+        }();
         Tensor f = ffn(l, normed2);
         const float* fp = f.data<float>();
         for (std::int64_t i = 0; i < x.size(); ++i)
@@ -280,13 +316,17 @@ TransformerModel::forwardSpan(const std::vector<std::int64_t>& tokens,
         for (std::int64_t c = 0; c < spec_.dModel; ++c)
             lp[b * spec_.dModel + c] = row[c];
     }
-    if (spec_.norm == NormKind::LayerNorm)
-        layerNormInPlace(last, finalNormW_, finalNormB_);
-    else
-        rmsNormInPlace(last, finalNormW_);
+    {
+        threadreg::ScopedFrame frame("final_norm");
+        if (spec_.norm == NormKind::LayerNorm)
+            layerNormInPlace(last, finalNormW_, finalNormB_);
+        else
+            rmsNormInPlace(last, finalNormW_);
+    }
 
     // Output head (tied-embedding transpose or lmHead), prepared once
     // in the constructor.
+    threadreg::ScopedFrame frame("lm_head");
     return linear(engine_, last, preparedHead_, nullptr);
 }
 

@@ -1,0 +1,748 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/thread_registry.h"
+
+namespace cpullm {
+namespace obs {
+namespace flightrec {
+
+namespace {
+
+std::uint64_t
+monotonicNs() noexcept
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+void
+copyClipped(char* dst, std::size_t cap, const char* src) noexcept
+{
+    std::size_t i = 0;
+    if (src != nullptr) {
+        for (; i + 1 < cap && src[i] != '\0'; ++i) {
+            dst[i] = src[i];
+        }
+    }
+    dst[i] = '\0';
+}
+
+/**
+ * Byte sink behind the dump formatter: an fd (async-signal-safe) or a
+ * string (convenience paths). Virtual dispatch is fine in a signal
+ * handler; what matters is that FdSink never allocates.
+ */
+struct Sink
+{
+    virtual ~Sink() = default;
+    virtual void write(const char* p, std::size_t n) noexcept = 0;
+};
+
+struct FdSink : Sink
+{
+    int fd;
+    explicit FdSink(int f) : fd(f) {}
+    void write(const char* p, std::size_t n) noexcept override
+    {
+        while (n > 0) {
+            const ::ssize_t w = ::write(fd, p, n);
+            if (w <= 0) {
+                return; // best effort: we may be crashing
+            }
+            p += w;
+            n -= static_cast<std::size_t>(w);
+        }
+    }
+};
+
+struct StringSink : Sink
+{
+    std::string* out;
+    explicit StringSink(std::string* s) : out(s) {}
+    void write(const char* p, std::size_t n) noexcept override
+    {
+        out->append(p, n);
+    }
+};
+
+/**
+ * Fixed-capacity line composer: allocation-free JSON fragments. A
+ * record line is < 250 bytes by construction (fixed keys, clipped
+ * names, 20-digit integer bound), so 320 never truncates; if it ever
+ * would, bytes are dropped rather than overflowing.
+ */
+struct LineBuf
+{
+    char b[320];
+    std::size_t n = 0;
+
+    void reset() noexcept { n = 0; }
+    void ch(char c) noexcept
+    {
+        if (n < sizeof(b)) {
+            b[n++] = c;
+        }
+    }
+    void lit(const char* s) noexcept
+    {
+        for (; *s != '\0'; ++s) {
+            ch(*s);
+        }
+    }
+    void u64(std::uint64_t v) noexcept
+    {
+        char tmp[20];
+        int k = 0;
+        do {
+            tmp[k++] = static_cast<char>('0' + v % 10);
+            v /= 10;
+        } while (v != 0);
+        while (k > 0) {
+            ch(tmp[--k]);
+        }
+    }
+    void i64(std::int64_t v) noexcept
+    {
+        if (v < 0) {
+            ch('-');
+            // Negate via unsigned to survive INT64_MIN.
+            u64(~static_cast<std::uint64_t>(v) + 1);
+        } else {
+            u64(static_cast<std::uint64_t>(v));
+        }
+    }
+    /** Emit a name as a JSON string body: non-printables, quotes and
+     *  backslashes become '_' so no escaping is ever needed. */
+    void name(const char* s) noexcept
+    {
+        for (; *s != '\0'; ++s) {
+            const char c = *s;
+            ch((c >= 0x20 && c < 0x7f && c != '"' && c != '\\') ? c : '_');
+        }
+    }
+    void flushTo(Sink& out) noexcept
+    {
+        out.write(b, n);
+        n = 0;
+    }
+};
+
+void
+emitRecordLine(Sink& out, const Record& r) noexcept
+{
+    LineBuf lb;
+    lb.lit("{\"type\":\"");
+    lb.lit(eventTypeName(static_cast<EventType>(r.type)));
+    lb.lit("\",\"tid\":");
+    lb.u64(r.tid);
+    lb.lit(",\"seq\":");
+    lb.u64(r.seq);
+    lb.lit(",\"t_ns\":");
+    lb.u64(r.t_ns);
+    lb.lit(",\"name\":\"");
+    lb.name(r.name);
+    lb.lit("\",\"a\":");
+    lb.i64(r.a);
+    lb.lit(",\"b\":");
+    lb.i64(r.b);
+    lb.lit("}\n");
+    lb.flushTo(out);
+}
+
+/** @name Process-wide recorder state */
+/// @{
+std::atomic<bool> g_enabled{false};
+std::atomic<Ring*> g_ring{nullptr};
+std::atomic<std::uint64_t> g_unknown_seq{0};
+
+struct CrashState
+{
+    std::atomic<bool> installed{false};
+    std::atomic<bool> dumped{false};
+    char path[512] = {};
+};
+CrashState g_crash;
+/// @}
+
+void emitHeaderLine(Sink& out, const Ring& ring) noexcept
+{
+    LineBuf lb;
+    lb.lit("{\"flightrec_version\":");
+    lb.u64(kDumpVersion);
+    lb.lit(",\"pushed\":");
+    lb.u64(ring.pushed());
+    lb.lit(",\"overwritten\":");
+    lb.u64(ring.overwritten());
+    lb.lit(",\"capacity\":");
+    lb.u64(ring.capacity());
+    lb.lit(",\"threads\":[");
+    lb.flushTo(out);
+    const std::size_t n = threadreg::threadCount();
+    for (std::size_t i = 0; i < n; ++i) {
+        const threadreg::ThreadState* ts = threadreg::threadAt(i);
+        if (i > 0) {
+            lb.ch(',');
+        }
+        lb.lit("{\"tid\":");
+        lb.u64(ts->id);
+        lb.lit(",\"name\":\"");
+        lb.name(ts->name);
+        lb.lit("\"}");
+        lb.flushTo(out);
+    }
+    lb.lit("]}\n");
+    lb.flushTo(out);
+}
+
+/** Record a per-thread event on behalf of @p ts (cross-thread OK). */
+void recordFor(threadreg::ThreadState* ts, EventType type, const char* name,
+               std::int64_t a, std::int64_t b) noexcept
+{
+    if (!g_enabled.load(std::memory_order_acquire)) {
+        return;
+    }
+    Ring* ring = g_ring.load(std::memory_order_acquire);
+    if (ring == nullptr) {
+        return;
+    }
+    Record r;
+    r.type = static_cast<std::uint32_t>(type);
+    if (ts != nullptr) {
+        r.tid = ts->id;
+        r.seq = ts->seq.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        r.tid = kUnknownTid;
+        r.seq = g_unknown_seq.fetch_add(1, std::memory_order_relaxed);
+    }
+    r.t_ns = monotonicNs();
+    copyClipped(r.name, sizeof(r.name), name);
+    r.a = a;
+    r.b = b;
+    ring->push(r);
+}
+
+void frameSink(bool begin, const char* name)
+{
+    const threadreg::ThreadState* ts = threadreg::current();
+    const std::int64_t depth =
+        ts != nullptr ? ts->depth.load(std::memory_order_relaxed) : 0;
+    record(begin ? EventType::SpanBegin : EventType::SpanEnd, name, depth, 0);
+}
+
+void registerSink(threadreg::ThreadState& ts)
+{
+    recordFor(&ts, EventType::Marker, "thread_start", 0, 0);
+}
+
+const char*
+signalName(int sig) noexcept
+{
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGABRT: return "SIGABRT";
+      case SIGTERM: return "SIGTERM";
+      case SIGBUS: return "SIGBUS";
+      case SIGILL: return "SIGILL";
+      case SIGFPE: return "SIGFPE";
+      default: return "signal";
+    }
+}
+
+/** Dump to the crash path exactly once per process. Signal-safe. */
+void dumpOnceToCrashPath() noexcept
+{
+    if (g_crash.path[0] == '\0' || g_crash.dumped.exchange(true)) {
+        return;
+    }
+    const int fd =
+        ::open(g_crash.path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        return;
+    }
+    signalSafeDump(fd);
+    ::close(fd);
+    LineBuf lb;
+    lb.lit("[cpullm:flightrec] dumped ring to ");
+    lb.lit(g_crash.path);
+    lb.ch('\n');
+    FdSink err(2);
+    lb.flushTo(err);
+}
+
+void crashSignalHandler(int sig)
+{
+    record(EventType::Crash, signalName(sig), sig, 0);
+    dumpOnceToCrashPath();
+    // Restore the default disposition and re-raise so the process
+    // still dies *by the signal* (wait status, core dumps, sanitizer
+    // reports all keep working).
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+void loggingCrashHook(const char* what)
+{
+    record(EventType::Marker, what, 0, 0);
+    dumpOnceToCrashPath();
+}
+
+} // namespace
+
+const char*
+eventTypeName(EventType t) noexcept
+{
+    switch (t) {
+      case EventType::Marker: return "marker";
+      case EventType::SpanBegin: return "span_begin";
+      case EventType::SpanEnd: return "span_end";
+      case EventType::Pmu: return "pmu";
+      case EventType::Telemetry: return "telemetry";
+      case EventType::Crash: return "crash";
+    }
+    return "unknown";
+}
+
+bool
+eventTypeFromName(const std::string& s, EventType* out)
+{
+    static const struct { const char* name; EventType t; } kMap[] = {
+        {"marker", EventType::Marker},
+        {"span_begin", EventType::SpanBegin},
+        {"span_end", EventType::SpanEnd},
+        {"pmu", EventType::Pmu},
+        {"telemetry", EventType::Telemetry},
+        {"crash", EventType::Crash},
+    };
+    for (const auto& m : kMap) {
+        if (s == m.name) {
+            *out = m.t;
+            return true;
+        }
+    }
+    return false;
+}
+
+Ring::Ring(std::size_t min_capacity)
+{
+    std::size_t cap = 8;
+    while (cap < min_capacity) {
+        cap <<= 1;
+    }
+    slots_ = new Slot[cap];
+    mask_ = cap - 1;
+}
+
+Ring::~Ring()
+{
+    delete[] slots_;
+}
+
+std::uint64_t
+Ring::pushed() const noexcept
+{
+    return head_.load(std::memory_order_acquire);
+}
+
+std::uint64_t
+Ring::overwritten() const noexcept
+{
+    const std::uint64_t head = pushed();
+    const std::uint64_t cap = mask_ + 1;
+    return head > cap ? head - cap : 0;
+}
+
+void
+Ring::push(const Record& r) noexcept
+{
+    const std::uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[idx & mask_];
+    // Seqlock publish: odd stamp while the bytes are in flux, even
+    // stamp (encoding the claim index) once the record is whole.
+    s.stamp.store(idx * 2 + 1, std::memory_order_release);
+    s.rec = r;
+    s.stamp.store(idx * 2 + 2, std::memory_order_release);
+}
+
+namespace {
+
+/** Seqlock-validated iteration over the live window, oldest first.
+ *  SlotT is deduced as Ring::Slot from the member-function call sites
+ *  (it is private, so it cannot be named here). */
+template <typename SlotT, typename Fn>
+void
+forEachValid(const std::atomic<std::uint64_t>& head_atomic,
+             const SlotT* slots, std::size_t mask, Fn&& fn) noexcept
+{
+    const std::uint64_t head = head_atomic.load(std::memory_order_acquire);
+    const std::uint64_t cap = mask + 1;
+    const std::uint64_t begin = head > cap ? head - cap : 0;
+    for (std::uint64_t idx = begin; idx < head; ++idx) {
+        const SlotT& s = slots[idx & mask];
+        const std::uint64_t want = idx * 2 + 2;
+        if (s.stamp.load(std::memory_order_acquire) != want) {
+            continue; // mid-write or already overwritten: skip
+        }
+        Record r = s.rec;
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.stamp.load(std::memory_order_relaxed) != want) {
+            continue; // torn: a writer lapped us during the copy
+        }
+        fn(r);
+    }
+}
+
+} // namespace
+
+std::size_t
+Ring::snapshot(std::vector<Record>* out) const
+{
+    std::size_t n = 0;
+    forEachValid(head_, slots_, mask_, [&](const Record& r) {
+        out->push_back(r);
+        ++n;
+    });
+    return n;
+}
+
+void
+Ring::dumpRecordsToFd(int fd) const noexcept
+{
+    if (fd < 0) {
+        return;
+    }
+    FdSink sink(fd);
+    forEachValid(head_, slots_, mask_,
+                 [&](const Record& r) { emitRecordLine(sink, r); });
+}
+
+void
+enable(std::size_t min_capacity)
+{
+    Ring* cur = g_ring.load(std::memory_order_acquire);
+    if (cur == nullptr || cur->capacity() < min_capacity) {
+        // The old ring is intentionally leaked: a concurrent writer or
+        // a crash handler may still hold a pointer to it, and enable()
+        // is a handful of calls per process.
+        g_ring.store(new Ring(min_capacity), std::memory_order_release);
+    }
+    g_enabled.store(true, std::memory_order_release);
+    threadreg::setFrameSink(frameSink);
+    threadreg::addRegisterSink(registerSink);
+    // Threads registered before enable() still get their thread_start
+    // marker, so every registered thread has >= 1 record in any dump.
+    const std::size_t n = threadreg::threadCount();
+    for (std::size_t i = 0; i < n; ++i) {
+        recordFor(threadreg::threadAt(i), EventType::Marker, "thread_start",
+                  0, 0);
+    }
+}
+
+bool
+enabled() noexcept
+{
+    return g_enabled.load(std::memory_order_acquire);
+}
+
+void
+disable() noexcept
+{
+    threadreg::setFrameSink(nullptr);
+    g_enabled.store(false, std::memory_order_release);
+}
+
+std::uint64_t
+pushedCount() noexcept
+{
+    Ring* ring = g_ring.load(std::memory_order_acquire);
+    return ring != nullptr ? ring->pushed() : 0;
+}
+
+std::size_t
+ringCapacity() noexcept
+{
+    Ring* ring = g_ring.load(std::memory_order_acquire);
+    return ring != nullptr ? ring->capacity() : 0;
+}
+
+void
+record(EventType type, const char* name, std::int64_t a,
+       std::int64_t b) noexcept
+{
+    recordFor(threadreg::current(), type, name, a, b);
+}
+
+void
+signalSafeDump(int fd) noexcept
+{
+    FdSink sink(fd);
+    Ring* ring = g_ring.load(std::memory_order_acquire);
+    if (ring == nullptr) {
+        LineBuf lb;
+        lb.lit("{\"flightrec_version\":");
+        lb.u64(kDumpVersion);
+        lb.lit(",\"pushed\":0,\"overwritten\":0,\"capacity\":0,"
+               "\"threads\":[]}\n");
+        lb.flushTo(sink);
+        return;
+    }
+    emitHeaderLine(sink, *ring);
+    ring->dumpRecordsToFd(fd);
+}
+
+bool
+dumpToFile(const std::string& path)
+{
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        return false;
+    }
+    signalSafeDump(fd);
+    ::close(fd);
+    return true;
+}
+
+std::string
+dumpToString()
+{
+    std::string out;
+    StringSink sink(&out);
+    Ring* ring = g_ring.load(std::memory_order_acquire);
+    if (ring == nullptr) {
+        LineBuf lb;
+        lb.lit("{\"flightrec_version\":");
+        lb.u64(kDumpVersion);
+        lb.lit(",\"pushed\":0,\"overwritten\":0,\"capacity\":0,"
+               "\"threads\":[]}\n");
+        lb.flushTo(sink);
+        return out;
+    }
+    emitHeaderLine(sink, *ring);
+    std::vector<Record> records;
+    ring->snapshot(&records);
+    for (const Record& r : records) {
+        emitRecordLine(sink, r);
+    }
+    return out;
+}
+
+void
+installCrashHandler(const std::string& dump_path)
+{
+    copyClipped(g_crash.path, sizeof(g_crash.path), dump_path.c_str());
+    if (g_crash.installed.exchange(true)) {
+        return;
+    }
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = crashSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGSEGV, &sa, nullptr);
+    ::sigaction(SIGABRT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    setCrashHook(loggingCrashHook);
+}
+
+const char*
+crashDumpPath() noexcept
+{
+    return g_crash.installed.load(std::memory_order_acquire) ? g_crash.path
+                                                             : "";
+}
+
+namespace {
+
+bool
+fail(std::string* err, const std::string& why)
+{
+    if (err != nullptr) {
+        *err = why;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+parseDump(const std::string& text, ParsedDump* out, std::string* err)
+{
+    *out = ParsedDump();
+    std::istringstream in(text);
+    std::string line;
+    bool saw_header = false;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) {
+            continue;
+        }
+        JsonValue v;
+        if (!JsonValue::parse(line, &v) || !v.isObject()) {
+            return fail(err, "line " + std::to_string(lineno) +
+                                 ": not a JSON object");
+        }
+        if (!saw_header) {
+            const JsonValue* ver = v.find("flightrec_version");
+            if (ver == nullptr || !ver->isNumber()) {
+                return fail(err, "header: missing flightrec_version");
+            }
+            out->version = static_cast<int>(ver->asNumber());
+            if (out->version != kDumpVersion) {
+                return fail(err, "header: unsupported flightrec_version " +
+                                     std::to_string(out->version));
+            }
+            for (const char* key : {"pushed", "overwritten", "capacity"}) {
+                const JsonValue* f = v.find(key);
+                if (f == nullptr || !f->isNumber()) {
+                    return fail(err, std::string("header: missing ") + key);
+                }
+            }
+            out->pushed = static_cast<std::uint64_t>(v.numberOr("pushed", 0));
+            out->overwritten =
+                static_cast<std::uint64_t>(v.numberOr("overwritten", 0));
+            out->capacity =
+                static_cast<std::size_t>(v.numberOr("capacity", 0));
+            const JsonValue* threads = v.find("threads");
+            if (threads == nullptr || !threads->isArray()) {
+                return fail(err, "header: missing threads array");
+            }
+            for (const JsonValue& t : threads->asArray()) {
+                if (!t.isObject() || t.find("tid") == nullptr ||
+                    t.find("name") == nullptr) {
+                    return fail(err, "header: malformed thread entry");
+                }
+                DumpThread dt;
+                dt.tid = static_cast<std::uint32_t>(t.numberOr("tid", 0));
+                dt.name = t.stringOr("name", "");
+                out->threads.push_back(dt);
+            }
+            saw_header = true;
+            continue;
+        }
+        const JsonValue* type = v.find("type");
+        if (type == nullptr || !type->isString()) {
+            return fail(err, "line " + std::to_string(lineno) +
+                                 ": missing type");
+        }
+        EventType et;
+        if (!eventTypeFromName(type->asString(), &et)) {
+            return fail(err, "line " + std::to_string(lineno) +
+                                 ": unknown event type '" +
+                                 type->asString() + "'");
+        }
+        for (const char* key : {"tid", "seq", "t_ns", "a", "b"}) {
+            const JsonValue* f = v.find(key);
+            if (f == nullptr || !f->isNumber()) {
+                return fail(err, "line " + std::to_string(lineno) +
+                                     ": missing numeric field '" + key + "'");
+            }
+        }
+        const JsonValue* name = v.find("name");
+        if (name == nullptr || !name->isString()) {
+            return fail(err, "line " + std::to_string(lineno) +
+                                 ": missing name");
+        }
+        Record r;
+        r.type = static_cast<std::uint32_t>(et);
+        r.tid = static_cast<std::uint32_t>(v.numberOr("tid", 0));
+        r.seq = static_cast<std::uint64_t>(v.numberOr("seq", 0));
+        r.t_ns = static_cast<std::uint64_t>(v.numberOr("t_ns", 0));
+        copyClipped(r.name, sizeof(r.name), name->asString().c_str());
+        r.a = static_cast<std::int64_t>(v.numberOr("a", 0));
+        r.b = static_cast<std::int64_t>(v.numberOr("b", 0));
+        out->records.push_back(r);
+    }
+    if (!saw_header) {
+        return fail(err, "empty dump: no header line");
+    }
+    return true;
+}
+
+bool
+parseDumpFile(const std::string& path, ParsedDump* out, std::string* err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return fail(err, "cannot open " + path);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseDump(ss.str(), out, err);
+}
+
+bool
+writePerfettoFile(const std::string& path, const ParsedDump& dump)
+{
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    auto emit = [&](const std::string& body) {
+        if (!first) {
+            out << ",";
+        }
+        first = false;
+        out << body;
+    };
+    for (const DumpThread& t : dump.threads) {
+        emit("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":" +
+             std::to_string(t.tid) + ",\"args\":{\"name\":" +
+             jsonQuote(t.name) + "}}");
+    }
+    // Depth per tid so dangling begin/end at the ring boundaries
+    // still produce balanced (viewer-loadable) slices.
+    std::map<std::uint32_t, std::vector<std::uint64_t>> open;
+    std::uint64_t last_ns = 0;
+    auto us = [](std::uint64_t ns) { return jsonNumber(ns / 1e3); };
+    for (const Record& r : dump.records) {
+        last_ns = r.t_ns > last_ns ? r.t_ns : last_ns;
+        const std::string tid = std::to_string(r.tid);
+        const EventType t = static_cast<EventType>(r.type);
+        if (t == EventType::SpanBegin) {
+            open[r.tid].push_back(r.t_ns);
+            emit("{\"ph\":\"B\",\"name\":" + jsonQuote(r.name) +
+                 ",\"pid\":1,\"tid\":" + tid + ",\"ts\":" + us(r.t_ns) + "}");
+        } else if (t == EventType::SpanEnd) {
+            auto it = open.find(r.tid);
+            if (it != open.end() && !it->second.empty()) {
+                it->second.pop_back();
+                emit("{\"ph\":\"E\",\"pid\":1,\"tid\":" + tid +
+                     ",\"ts\":" + us(r.t_ns) + "}");
+            }
+            // An end without a begin fell off the ring: drop it.
+        } else {
+            emit("{\"ph\":\"i\",\"s\":\"t\",\"name\":" + jsonQuote(r.name) +
+                 ",\"pid\":1,\"tid\":" + tid + ",\"ts\":" + us(r.t_ns) +
+                 ",\"args\":{\"a\":" + std::to_string(r.a) +
+                 ",\"b\":" + std::to_string(r.b) + "}}");
+        }
+    }
+    for (const auto& kv : open) {
+        for (std::size_t i = 0; i < kv.second.size(); ++i) {
+            emit("{\"ph\":\"E\",\"pid\":1,\"tid\":" +
+                 std::to_string(kv.first) + ",\"ts\":" + us(last_ns) + "}");
+        }
+    }
+    out << "]}\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace flightrec
+} // namespace obs
+} // namespace cpullm

@@ -1,0 +1,225 @@
+#ifndef CPULLM_OBS_FLIGHT_RECORDER_H
+#define CPULLM_OBS_FLIGHT_RECORDER_H
+
+/**
+ * @file
+ * Always-on flight recorder: a fixed-size lock-free MPSC ring of the
+ * most recent span begin/end, pmu, and telemetry events, dumped for
+ * post-mortem triage when something goes wrong.
+ *
+ * Writers (any registered thread, including signal handlers) claim a
+ * slot with one fetch_add and publish it seqlock-style: the slot's
+ * stamp goes odd (2*idx+1) before the record bytes are copied in and
+ * even (2*idx+2) after, so a reader that observes a mismatched or odd
+ * stamp simply skips the slot instead of consuming a torn record.
+ * Old records are overwritten once the ring wraps — by design: the
+ * recorder keeps the *last* `capacity` events leading up to an
+ * incident, like an aircraft flight recorder.
+ *
+ * Records are versioned fixed-size binary structs in memory and
+ * render to JSONL (one header line, then one line per record) via an
+ * async-signal-safe formatter — the dump path allocates nothing and
+ * only calls write(2), so it can run from the SIGSEGV/SIGABRT/SIGTERM
+ * crash handler installed by installCrashHandler(). The same records
+ * can be re-exported as a Perfetto/Chrome trace for timeline viewing.
+ *
+ * Dump triggers, in increasing order of automation:
+ *   - on demand: `GET /debug/flightrec` on the serve telemetry port,
+ *     or `cpullm run --flightrec-out dump.jsonl`;
+ *   - on crash: SIGSEGV/SIGABRT/SIGTERM and CPULLM_FATAL/CPULLM_PANIC
+ *     (via the logging crash hook);
+ *   - on SLO incident: the serving telemetry layer calls dumpToFile()
+ *     when a burn-rate breach or latency z-score outlier fires.
+ */
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cpullm {
+namespace obs {
+namespace flightrec {
+
+/** Bumped whenever the Record layout or dump schema changes. */
+constexpr int kDumpVersion = 1;
+
+/** Record name storage (including NUL); longer names are clipped. */
+constexpr int kRecNameChars = 24;
+
+/** tid used for records emitted by unregistered threads. */
+constexpr std::uint32_t kUnknownTid = 0xFFFFFFFFu;
+
+enum class EventType : std::uint32_t
+{
+    Marker = 1,    ///< thread_start, incident reasons, free-form notes
+    SpanBegin = 2, ///< logical-stack frame entered (a = depth)
+    SpanEnd = 3,   ///< logical-stack frame left
+    Pmu = 4,       ///< counter scope closed (a/b = cycles/instructions)
+    Telemetry = 5, ///< serving lifecycle events (a = value, e.g. ms)
+    Crash = 6,     ///< emitted by the crash handler (a = signal)
+};
+
+/** Stable lower-case token for the JSONL "type" field. */
+const char* eventTypeName(EventType t) noexcept;
+
+/** Inverse of eventTypeName; false when @p s is not a known token. */
+bool eventTypeFromName(const std::string& s, EventType* out);
+
+/** One fixed-size versioned record; trivially copyable. */
+struct Record
+{
+    std::uint32_t type = 0; ///< EventType as integer
+    std::uint32_t tid = 0;  ///< threadreg slot id (or kUnknownTid)
+    std::uint64_t seq = 0;  ///< per-thread monotonic sequence number
+    std::uint64_t t_ns = 0; ///< CLOCK_MONOTONIC nanoseconds
+    char name[kRecNameChars] = {};
+    std::int64_t a = 0;     ///< type-specific payload
+    std::int64_t b = 0;     ///< type-specific payload
+};
+
+/**
+ * The lock-free MPSC ring itself, usable standalone in tests. The
+ * process-wide recorder below owns one instance.
+ */
+class Ring
+{
+  public:
+    /** Capacity is @p min_capacity rounded up to a power of two. */
+    explicit Ring(std::size_t min_capacity);
+    ~Ring();
+    Ring(const Ring&) = delete;
+    Ring& operator=(const Ring&) = delete;
+
+    std::size_t capacity() const noexcept { return mask_ + 1; }
+    /** Total records ever pushed (monotonic). */
+    std::uint64_t pushed() const noexcept;
+    /** Records lost to wraparound: max(0, pushed - capacity). */
+    std::uint64_t overwritten() const noexcept;
+
+    /** Lock-free, async-signal-safe, wait-free for writers. */
+    void push(const Record& r) noexcept;
+
+    /**
+     * Copy the currently valid records, oldest first, skipping slots
+     * that are mid-write. Safe concurrently with writers. Returns the
+     * number of records appended to @p out.
+     */
+    std::size_t snapshot(std::vector<Record>* out) const;
+
+    /**
+     * Async-signal-safe record dump: one JSONL line per live record
+     * written straight to @p fd with no allocation. (The process-wide
+     * signalSafeDump() prepends the header line.)
+     */
+    void dumpRecordsToFd(int fd) const noexcept;
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::uint64_t> stamp{0};
+        Record rec;
+    };
+
+    Slot* slots_ = nullptr;
+    std::size_t mask_ = 0;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+/** @name Process-wide recorder */
+/// @{
+
+/**
+ * Turn the recorder on with a ring of at least @p min_capacity
+ * records and subscribe to threadreg frame/register sinks (spans and
+ * thread_start markers start flowing immediately). Idempotent; a
+ * repeated call with a different capacity swaps in a fresh ring.
+ */
+void enable(std::size_t min_capacity = 1 << 14);
+bool enabled() noexcept;
+/** Detach sinks and stop recording (tests). Dumps still see the old ring. */
+void disable() noexcept;
+
+std::uint64_t pushedCount() noexcept;
+std::size_t ringCapacity() noexcept;
+
+/**
+ * Append one event for the calling thread (tid + per-thread seq come
+ * from its threadreg slot; unregistered threads record under
+ * kUnknownTid with a shared sequence). No-op while disabled.
+ * Async-signal-safe.
+ */
+void record(EventType type, const char* name, std::int64_t a = 0,
+            std::int64_t b = 0) noexcept;
+
+/**
+ * Full dump (header line + records) to an open fd. Async-signal-safe:
+ * no allocation, write(2) only. Safe to call while writers are live.
+ */
+void signalSafeDump(int fd) noexcept;
+
+/** Full dump to a file path; false on open/write failure. */
+bool dumpToFile(const std::string& path);
+
+/** Full dump rendered to a string (same bytes as dumpToFile). */
+std::string dumpToString();
+
+/**
+ * Install SIGSEGV/SIGABRT/SIGTERM handlers and the logging crash hook
+ * (CPULLM_FATAL/CPULLM_PANIC): on the first of any of these, the ring
+ * is dumped to @p dump_path, then the original disposition is
+ * restored and the signal re-raised so the process still dies by the
+ * signal. A dump-once guard keeps panic→abort→SIGABRT from dumping
+ * twice. Idempotent; the path is captured at install time.
+ */
+void installCrashHandler(const std::string& dump_path);
+
+/** Path captured by installCrashHandler, or "" when not installed. */
+const char* crashDumpPath() noexcept;
+
+/// @}
+
+/** @name Dump parsing / re-export */
+/// @{
+
+struct DumpThread
+{
+    std::uint32_t tid = 0;
+    std::string name;
+};
+
+struct ParsedDump
+{
+    int version = 0;
+    std::uint64_t pushed = 0;
+    std::uint64_t overwritten = 0;
+    std::size_t capacity = 0;
+    std::vector<DumpThread> threads;
+    std::vector<Record> records; ///< oldest first, ring order
+};
+
+/**
+ * Strict parse of a JSONL dump. Returns false (with a reason in
+ * @p err) on schema violations: bad header, unknown event type,
+ * malformed record line.
+ */
+bool parseDump(const std::string& text, ParsedDump* out,
+               std::string* err = nullptr);
+bool parseDumpFile(const std::string& path, ParsedDump* out,
+                   std::string* err = nullptr);
+
+/**
+ * Re-export a parsed dump as a Perfetto/Chrome trace: span begin/end
+ * pairs become duration slices per thread track, everything else
+ * becomes instant events. False on write failure.
+ */
+bool writePerfettoFile(const std::string& path, const ParsedDump& dump);
+
+/// @}
+
+} // namespace flightrec
+} // namespace obs
+} // namespace cpullm
+
+#endif // CPULLM_OBS_FLIGHT_RECORDER_H

@@ -9,6 +9,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/flight_recorder.h"
 #include "obs/span.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -901,6 +902,9 @@ CounterScope::close()
     delta_ = s.readAll().minus(start_);
     delta_.wallNs = static_cast<double>(monotonicNs() - startNs_);
     s.add(slot_, delta_);
+    flightrec::record(flightrec::EventType::Pmu, slot_.c_str(),
+                      static_cast<std::int64_t>(delta_.cycles),
+                      static_cast<std::int64_t>(delta_.instructions));
     if (span_ && span_->active()) {
         auto annotate = [this](const char* key, double v) {
             if (std::isfinite(v))

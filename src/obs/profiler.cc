@@ -1,0 +1,495 @@
+#include "obs/profiler.h"
+
+#include <signal.h>
+#include <sys/time.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "obs/prometheus.h"
+#include "util/logging.h"
+#include "util/thread_registry.h"
+
+namespace cpullm {
+namespace obs {
+namespace prof {
+
+namespace {
+
+/** One retired SIGPROF tick: a bounded copy of the logical stack. */
+struct Sample
+{
+    std::int32_t depth = 0;
+    char frames[threadreg::kMaxDepth][threadreg::kFrameChars];
+};
+
+/**
+ * Per-thread SPSC sample ring. Writer = the owning thread's SIGPROF
+ * handler (signals do not nest themselves, so single writer); reader
+ * = whichever thread runs collect(). Same seqlock slot protocol as
+ * the flight-recorder ring so a lapped reader skips torn slots.
+ */
+struct SampleRing
+{
+    struct Slot
+    {
+        std::atomic<std::uint64_t> stamp{0};
+        Sample sample;
+    };
+
+    explicit SampleRing(std::size_t min_capacity)
+    {
+        std::size_t cap = 64;
+        while (cap < min_capacity) {
+            cap <<= 1;
+        }
+        slots = new Slot[cap];
+        mask = cap - 1;
+    }
+    ~SampleRing() { delete[] slots; }
+
+    Slot* slots = nullptr;
+    std::size_t mask = 0;
+    std::atomic<std::uint64_t> head{0};
+    std::uint64_t lastRead = 0; ///< consumer-side cursor (under g_mu)
+};
+
+std::atomic<SampleRing*> g_rings[threadreg::kMaxThreads];
+std::atomic<bool> g_running{false};
+std::atomic<bool> g_handler_installed{false};
+std::atomic<std::uint64_t> g_unregistered{0};
+
+std::mutex g_mu; // guards everything below
+Options g_opt;
+FoldedProfile g_fold;
+
+void
+onSigprof(int)
+{
+    if (!g_running.load(std::memory_order_relaxed)) {
+        return;
+    }
+    threadreg::ThreadState* ts = threadreg::current();
+    SampleRing* ring =
+        ts != nullptr ? g_rings[ts->id].load(std::memory_order_acquire)
+                      : nullptr;
+    if (ring == nullptr) {
+        g_unregistered.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    const std::uint64_t idx = ring->head.load(std::memory_order_relaxed);
+    SampleRing::Slot& s = ring->slots[idx & ring->mask];
+    s.stamp.store(idx * 2 + 1, std::memory_order_release);
+    int d = ts->depth.load(std::memory_order_relaxed);
+    // Pairs with the signal fence in threadreg::pushFrame: the frame
+    // bytes for every published depth level are already in place.
+    std::atomic_signal_fence(std::memory_order_acquire);
+    if (d > threadreg::kMaxDepth) {
+        d = threadreg::kMaxDepth;
+    }
+    s.sample.depth = d;
+    for (int i = 0; i < d; ++i) {
+        std::memcpy(s.sample.frames[i], ts->frames[i],
+                    threadreg::kFrameChars);
+    }
+    s.stamp.store(idx * 2 + 2, std::memory_order_release);
+    ring->head.store(idx + 1, std::memory_order_release);
+}
+
+/** Late-registered threads (pool growth) get a ring on the spot. */
+void
+profilerRegisterSink(threadreg::ThreadState& ts)
+{
+    if (!g_running.load(std::memory_order_acquire)) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_rings[ts.id].load(std::memory_order_acquire) == nullptr) {
+        g_rings[ts.id].store(new SampleRing(g_opt.ringSlots),
+                             std::memory_order_release);
+    }
+}
+
+/** Fold one sample under the thread named @p tname into @p fold. */
+void
+foldSample(FoldedProfile* fold, const char* tname, const Sample& s)
+{
+    std::string key = tname;
+    for (int i = 0; i < s.depth; ++i) {
+        key += ';';
+        key += s.frames[i];
+    }
+    ++fold->stacks[key];
+    ++fold->samples;
+    for (int i = 0; i < s.depth; ++i) {
+        // Count each distinct frame once per sample for "total".
+        bool repeat = false;
+        for (int k = 0; k < i; ++k) {
+            if (std::strncmp(s.frames[i], s.frames[k],
+                             threadreg::kFrameChars) == 0) {
+                repeat = true;
+                break;
+            }
+        }
+        if (!repeat) {
+            ++fold->ops[s.frames[i]].total;
+        }
+    }
+    if (s.depth > 0) {
+        ++fold->ops[s.frames[s.depth - 1]].self;
+    }
+}
+
+} // namespace
+
+double
+FoldedProfile::selfSeconds(const std::string& op) const
+{
+    if (hz <= 0) {
+        return 0.0;
+    }
+    const auto it = ops.find(op);
+    return it == ops.end() ? 0.0
+                           : static_cast<double>(it->second.self) / hz;
+}
+
+std::string
+FoldedProfile::topOpBySelf() const
+{
+    std::string best;
+    std::uint64_t best_n = 0;
+    for (const auto& kv : ops) {
+        if (kv.second.self > best_n) {
+            best = kv.first;
+            best_n = kv.second.self;
+        }
+    }
+    return best;
+}
+
+std::string
+FoldedProfile::topKindBySelf() const
+{
+    std::map<std::string, std::uint64_t> kinds;
+    for (const auto& kv : ops) {
+        const char* kind = frameKind(kv.first);
+        if (kind[0] != '\0') {
+            kinds[kind] += kv.second.self;
+        }
+    }
+    std::string best;
+    std::uint64_t best_n = 0;
+    for (const auto& kv : kinds) {
+        if (kv.second > best_n) {
+            best = kv.first;
+            best_n = kv.second;
+        }
+    }
+    return best;
+}
+
+Profiler&
+Profiler::instance()
+{
+    static Profiler p;
+    return p;
+}
+
+bool
+Profiler::start(const Options& opt)
+{
+    if (opt.hz <= 0 || opt.hz > 10000) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (g_running.load(std::memory_order_acquire)) {
+        return false;
+    }
+    g_opt = opt;
+    for (std::size_t i = 0; i < threadreg::threadCount(); ++i) {
+        if (g_rings[i].load(std::memory_order_acquire) == nullptr) {
+            g_rings[i].store(new SampleRing(opt.ringSlots),
+                             std::memory_order_release);
+        }
+    }
+    threadreg::addRegisterSink(profilerRegisterSink);
+    if (!g_handler_installed.exchange(true)) {
+        struct sigaction sa;
+        std::memset(&sa, 0, sizeof(sa));
+        sa.sa_handler = onSigprof;
+        sa.sa_flags = SA_RESTART;
+        sigemptyset(&sa.sa_mask);
+        if (::sigaction(SIGPROF, &sa, nullptr) != 0) {
+            g_handler_installed.store(false);
+            return false;
+        }
+    }
+    g_running.store(true, std::memory_order_release);
+    struct itimerval it;
+    const long usec = std::max(1L, static_cast<long>(1e6 / opt.hz));
+    it.it_interval.tv_sec = usec / 1000000;
+    it.it_interval.tv_usec = usec % 1000000;
+    it.it_value = it.it_interval;
+    if (::setitimer(ITIMER_PROF, &it, nullptr) != 0) {
+        g_running.store(false, std::memory_order_release);
+        return false;
+    }
+    return true;
+}
+
+void
+Profiler::stop()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    if (!g_running.load(std::memory_order_acquire)) {
+        return;
+    }
+    struct itimerval it;
+    std::memset(&it, 0, sizeof(it));
+    ::setitimer(ITIMER_PROF, &it, nullptr);
+    // The handler stays installed (and inert): a signal already in
+    // flight must not hit SIGPROF's lethal default disposition.
+    g_running.store(false, std::memory_order_release);
+}
+
+bool
+Profiler::running() const noexcept
+{
+    return g_running.load(std::memory_order_acquire);
+}
+
+double
+Profiler::hz() const noexcept
+{
+    return running() ? g_opt.hz : 0.0;
+}
+
+FoldedProfile
+Profiler::collect()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_fold.hz = g_opt.hz;
+    for (std::size_t tid = 0; tid < threadreg::threadCount(); ++tid) {
+        SampleRing* ring = g_rings[tid].load(std::memory_order_acquire);
+        if (ring == nullptr) {
+            continue;
+        }
+        const threadreg::ThreadState* ts = threadreg::threadAt(tid);
+        const std::uint64_t head =
+            ring->head.load(std::memory_order_acquire);
+        std::uint64_t from = ring->lastRead;
+        const std::uint64_t cap = ring->mask + 1;
+        if (head - from > cap) {
+            g_fold.dropped += head - from - cap;
+            from = head - cap;
+        }
+        for (std::uint64_t idx = from; idx < head; ++idx) {
+            const SampleRing::Slot& s = ring->slots[idx & ring->mask];
+            const std::uint64_t want = idx * 2 + 2;
+            if (s.stamp.load(std::memory_order_acquire) != want) {
+                ++g_fold.dropped;
+                continue;
+            }
+            Sample copy = s.sample;
+            std::atomic_thread_fence(std::memory_order_acquire);
+            if (s.stamp.load(std::memory_order_relaxed) != want) {
+                ++g_fold.dropped;
+                continue;
+            }
+            foldSample(&g_fold, ts->name, copy);
+        }
+        ring->lastRead = head;
+    }
+    g_fold.unregistered =
+        g_unregistered.load(std::memory_order_relaxed);
+    return g_fold;
+}
+
+void
+Profiler::reset()
+{
+    std::lock_guard<std::mutex> lock(g_mu);
+    g_fold = FoldedProfile();
+}
+
+bool
+writeCollapsedFile(const std::string& path, const FoldedProfile& p)
+{
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    for (const auto& kv : p.stacks) {
+        out << kv.first << ' ' << kv.second << '\n';
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+parseCollapsed(const std::string& text, FoldedProfile* out,
+               std::string* err)
+{
+    *out = FoldedProfile();
+    std::istringstream in(text);
+    std::string line;
+    std::size_t lineno = 0;
+    auto fail = [&](const std::string& why) {
+        if (err != nullptr) {
+            *err = "line " + std::to_string(lineno) + ": " + why;
+        }
+        return false;
+    };
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty()) {
+            continue;
+        }
+        const std::size_t sp = line.rfind(' ');
+        if (sp == std::string::npos || sp == 0 ||
+            sp + 1 >= line.size()) {
+            return fail("expected 'stack count'");
+        }
+        const std::string stack = line.substr(0, sp);
+        const std::string count_s = line.substr(sp + 1);
+        char* end = nullptr;
+        const unsigned long long count =
+            std::strtoull(count_s.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || count == 0) {
+            return fail("bad sample count '" + count_s + "'");
+        }
+        out->stacks[stack] += count;
+        out->samples += count;
+        // Re-derive per-op stats; token 0 is the thread name.
+        std::vector<std::string> frames;
+        std::size_t pos = stack.find(';');
+        while (pos != std::string::npos) {
+            const std::size_t next = stack.find(';', pos + 1);
+            frames.push_back(
+                stack.substr(pos + 1, next == std::string::npos
+                                          ? std::string::npos
+                                          : next - pos - 1));
+            pos = next;
+        }
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            bool repeat = false;
+            for (std::size_t k = 0; k < i; ++k) {
+                repeat = repeat || frames[k] == frames[i];
+            }
+            if (!repeat) {
+                out->ops[frames[i]].total += count;
+            }
+        }
+        if (!frames.empty()) {
+            out->ops[frames.back()].self += count;
+        }
+    }
+    return true;
+}
+
+bool
+parseCollapsedFile(const std::string& path, FoldedProfile* out,
+                   std::string* err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err != nullptr) {
+            *err = "cannot open " + path;
+        }
+        return false;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return parseCollapsed(ss.str(), out, err);
+}
+
+void
+writePromGauges(std::ostream& os, const FoldedProfile& p,
+                std::size_t top_ops)
+{
+    writePromHeader(os, "cpullm_prof_samples_total",
+                    "Logical-stack samples folded so far", "gauge");
+    writePromSample(os, "cpullm_prof_samples_total", {},
+                    static_cast<double>(p.samples));
+    writePromHeader(os, "cpullm_prof_dropped_total",
+                    "Samples lost to ring wraparound or torn slots",
+                    "gauge");
+    writePromSample(os, "cpullm_prof_dropped_total", {},
+                    static_cast<double>(p.dropped));
+    writePromHeader(os, "cpullm_prof_unregistered_total",
+                    "SIGPROF ticks on unregistered threads", "gauge");
+    writePromSample(os, "cpullm_prof_unregistered_total", {},
+                    static_cast<double>(p.unregistered));
+    writePromHeader(os, "cpullm_prof_hz", "Sampling frequency", "gauge");
+    writePromSample(os, "cpullm_prof_hz", {}, p.hz);
+
+    std::vector<std::pair<std::string, OpStat>> ranked(p.ops.begin(),
+                                                       p.ops.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                  return a.second.self != b.second.self
+                             ? a.second.self > b.second.self
+                             : a.first < b.first;
+              });
+    if (ranked.size() > top_ops) {
+        ranked.resize(top_ops);
+    }
+    if (!ranked.empty()) {
+        writePromHeader(os, "cpullm_prof_op_self_seconds",
+                        "Self CPU-seconds per op (samples / hz)",
+                        "gauge");
+        for (const auto& kv : ranked) {
+            writePromSample(
+                os, "cpullm_prof_op_self_seconds", {{"op", kv.first}},
+                p.hz > 0
+                    ? static_cast<double>(kv.second.self) / p.hz
+                    : static_cast<double>(kv.second.self));
+        }
+        writePromHeader(os, "cpullm_prof_op_total_seconds",
+                        "Total (inclusive) CPU-seconds per op", "gauge");
+        for (const auto& kv : ranked) {
+            writePromSample(
+                os, "cpullm_prof_op_total_seconds", {{"op", kv.first}},
+                p.hz > 0
+                    ? static_cast<double>(kv.second.total) / p.hz
+                    : static_cast<double>(kv.second.total));
+        }
+    }
+}
+
+const char*
+frameKind(const std::string& frame)
+{
+    // Accept both bare op names ("q_proj") and the analytical model's
+    // layer-qualified ones ("layer3.q_proj").
+    std::string f = frame;
+    const std::size_t dot = f.rfind('.');
+    if (dot != std::string::npos && f.rfind("layer", 0) == 0) {
+        f = f.substr(dot + 1);
+    }
+    static const struct { const char* op; const char* kind; } kMap[] = {
+        {"q_proj", "gemm"},       {"k_proj", "gemm"},
+        {"v_proj", "gemm"},       {"out_proj", "gemm"},
+        {"ffn_gate", "gemm"},     {"ffn_up", "gemm"},
+        {"ffn_down", "gemm"},     {"lm_head", "gemm"},
+        {"attention", "attention"},
+        {"attn_norm", "elementwise"}, {"softmax", "elementwise"},
+        {"ffn_norm", "elementwise"},  {"ffn_act", "elementwise"},
+        {"final_norm", "elementwise"},
+        {"embedding", "embedding"},
+    };
+    for (const auto& m : kMap) {
+        if (f == m.op) {
+            return m.kind;
+        }
+    }
+    return "";
+}
+
+} // namespace prof
+} // namespace obs
+} // namespace cpullm

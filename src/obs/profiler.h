@@ -1,0 +1,157 @@
+#ifndef CPULLM_OBS_PROFILER_H
+#define CPULLM_OBS_PROFILER_H
+
+/**
+ * @file
+ * Continuous sampling profiler over *logical stacks*.
+ *
+ * A POSIX interval timer (ITIMER_PROF) delivers SIGPROF to whichever
+ * thread is currently burning CPU; the handler copies that thread's
+ * own threadreg logical stack ("prefill; layer op frames" pushed by
+ * the instrumented engine/model/pool code) into a per-thread
+ * lock-free sample ring. Because the handler only ever reads the
+ * interrupted thread's *own* stack there is no cross-thread race to
+ * reason about — just a signal interrupting its thread, handled with
+ * relaxed atomics + signal fences in threadreg. The handler is
+ * async-signal-safe and allocation-free: a bounded memcpy of at most
+ * kMaxDepth fixed-width frames.
+ *
+ * ITIMER_PROF counts CPU time (user+system) consumed by the process,
+ * so each retired sample represents 1/hz CPU-seconds on the sampled
+ * thread — idle threads are never sampled and never pay. collect()
+ * drains the rings off the hot path and folds samples into
+ * - collapsed-stack lines ("thread;frame0;frame1 count") loadable by
+ *   any flamegraph viewer,
+ * - per-op self/total sample counts (self = op on top of the stack),
+ * - `cpullm_prof_*` Prometheus gauges for the serve /metrics page.
+ *
+ * The measured profile is comparable against the *analytical*
+ * attribution tree (obs/attribution.h): frameKind() buckets frame
+ * names into the same op kinds (gemm/attention/elementwise/
+ * embedding), and `cpullm run --profile-hz` asserts the two agree on
+ * the #1 op kind.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace cpullm {
+namespace obs {
+namespace prof {
+
+/** Profiler configuration. */
+struct Options
+{
+    /** Sampling frequency. 97 Hz default: prime, so periodic program
+     *  phases do not alias with the sampling clock. */
+    double hz = 97.0;
+    /** Per-thread sample-ring capacity (rounded up to a power of 2);
+     *  sized so collect() at ~1 Hz never loses samples at 1 kHz. */
+    std::size_t ringSlots = 1 << 13;
+};
+
+/** Per-op sample counts folded out of the rings. */
+struct OpStat
+{
+    std::uint64_t self = 0;  ///< samples with this op on top
+    std::uint64_t total = 0; ///< samples with this op anywhere on stack
+};
+
+/** Cumulative folded profile returned by Profiler::collect(). */
+struct FoldedProfile
+{
+    double hz = 0.0;
+    std::uint64_t samples = 0;      ///< folded samples
+    std::uint64_t dropped = 0;      ///< lost to ring wraparound / tears
+    std::uint64_t unregistered = 0; ///< ticks on unregistered threads
+
+    /** "thread;frame0;frame1" -> sample count (collapsed stacks). */
+    std::map<std::string, std::uint64_t> stacks;
+    /** frame name -> self/total sample counts. */
+    std::map<std::string, OpStat> ops;
+
+    /** Self CPU-seconds attributed to @p op (self / hz). */
+    double selfSeconds(const std::string& op) const;
+    /** Frame with the most self samples, or "" when empty. */
+    std::string topOpBySelf() const;
+    /** Op kind (per frameKind) with the most self samples, or "". */
+    std::string topKindBySelf() const;
+};
+
+/**
+ * The process-wide profiler. One instance: SIGPROF and ITIMER_PROF
+ * are process-level resources.
+ */
+class Profiler
+{
+  public:
+    static Profiler& instance();
+
+    /**
+     * Install the SIGPROF handler, allocate sample rings for all
+     * currently registered threads (late registrants get theirs via
+     * the threadreg register sink), and arm the interval timer.
+     * Returns false if already running or the timer cannot be armed.
+     */
+    bool start(const Options& opt);
+
+    /**
+     * Disarm the timer and stop sampling. The handler stays installed
+     * but inert (a late-delivered SIGPROF must not kill the process,
+     * which is the default disposition). Pending samples remain
+     * collectable.
+     */
+    void stop();
+
+    bool running() const noexcept;
+    double hz() const noexcept;
+
+    /**
+     * Drain all per-thread rings and fold the new samples into the
+     * cumulative profile, a copy of which is returned. Callable while
+     * running (continuous mode) or after stop(). Not signal-safe;
+     * serialized internally.
+     */
+    FoldedProfile collect();
+
+    /** Forget the cumulative profile (rings keep their backlog). */
+    void reset();
+
+  private:
+    Profiler() = default;
+};
+
+/**
+ * Write the profile as collapsed-stack lines ("stack count\n"),
+ * ready for inferno/flamegraph.pl or speedscope. False on I/O error.
+ */
+bool writeCollapsedFile(const std::string& path, const FoldedProfile& p);
+
+/** Parse a collapsed-stack file back (hz is unknown: left 0). */
+bool parseCollapsedFile(const std::string& path, FoldedProfile* out,
+                        std::string* err = nullptr);
+bool parseCollapsed(const std::string& text, FoldedProfile* out,
+                    std::string* err = nullptr);
+
+/**
+ * Append `cpullm_prof_*` gauges (samples/dropped/hz plus per-op self
+ * seconds for the top @p top_ops ops) in Prometheus exposition format.
+ */
+void writePromGauges(std::ostream& os, const FoldedProfile& p,
+                     std::size_t top_ops = 10);
+
+/**
+ * Bucket an instrumented frame name into the attribution tree's op
+ * kind: "gemm", "attention", "elementwise", "embedding" — or "" for
+ * frames outside the model's op vocabulary (phases, pool scopes).
+ */
+const char* frameKind(const std::string& frame);
+
+} // namespace prof
+} // namespace obs
+} // namespace cpullm
+
+#endif // CPULLM_OBS_PROFILER_H

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "obs/counters.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/prometheus.h"
 #include "util/json.h"
@@ -81,10 +82,15 @@ ServingTelemetry::ServingTelemetry(const Options& opt)
 void
 ServingTelemetry::onEnqueue(double t)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    now_ = std::max(now_, t);
-    arrivals_.record(t);
-    reg_.scalar("serve.live.arrivals") += 1.0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        now_ = std::max(now_, t);
+        arrivals_.record(t);
+        reg_.scalar("serve.live.arrivals") += 1.0;
+    }
+    obs::flightrec::record(obs::flightrec::EventType::Telemetry,
+                           "enqueue",
+                           static_cast<std::int64_t>(t * 1e3), 0);
 }
 
 void
@@ -131,38 +137,102 @@ ServingTelemetry::onPrefillDone(double t, double ttft_s)
 void
 ServingTelemetry::onDecodeDone(double t, double ttft_s, double e2e_s)
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    now_ = std::max(now_, t);
-    ++completed_;
-    completions_.record(t);
-    reg_.scalar("serve.live.completions") += 1.0;
-    e2eWin_.record(t, e2e_s);
-    reg_.histogram("serve.live.e2e", 0.0, opt_.latencyHi_s,
-                   opt_.latencyBuckets)
-        .sample(e2e_s);
-    if (opt_.slo.e2e_s > 0.0) {
-        ++e2eTotal_;
-        if (e2e_s > opt_.slo.e2e_s)
-            ++e2eViol_;
-    }
-    if (opt_.genLen > 0) {
-        tokens_.record(t, static_cast<double>(opt_.genLen));
-        reg_.scalar("serve.live.tokens") +=
-            static_cast<double>(opt_.genLen);
-    }
-    if (opt_.genLen > 1) {
-        const double tpot =
-            (e2e_s - ttft_s) / static_cast<double>(opt_.genLen - 1);
-        tpotWin_.record(t, tpot);
-        reg_.histogram("serve.live.tpot", 0.0, opt_.tpotHi_s,
+    std::vector<std::string> fired;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        now_ = std::max(now_, t);
+        ++completed_;
+        completions_.record(t);
+        reg_.scalar("serve.live.completions") += 1.0;
+        e2eWin_.record(t, e2e_s);
+        reg_.histogram("serve.live.e2e", 0.0, opt_.latencyHi_s,
                        opt_.latencyBuckets)
-            .sample(tpot);
-        if (opt_.slo.tpot_s > 0.0) {
-            ++tpotTotal_;
-            if (tpot > opt_.slo.tpot_s)
-                ++tpotViol_;
+            .sample(e2e_s);
+        if (opt_.slo.e2e_s > 0.0) {
+            ++e2eTotal_;
+            if (e2e_s > opt_.slo.e2e_s)
+                ++e2eViol_;
+        }
+        if (opt_.genLen > 0) {
+            tokens_.record(t, static_cast<double>(opt_.genLen));
+            reg_.scalar("serve.live.tokens") +=
+                static_cast<double>(opt_.genLen);
+        }
+        if (opt_.genLen > 1) {
+            const double tpot =
+                (e2e_s - ttft_s) /
+                static_cast<double>(opt_.genLen - 1);
+            tpotWin_.record(t, tpot);
+            reg_.histogram("serve.live.tpot", 0.0, opt_.tpotHi_s,
+                           opt_.latencyBuckets)
+                .sample(tpot);
+            if (opt_.slo.tpot_s > 0.0) {
+                ++tpotTotal_;
+                if (tpot > opt_.slo.tpot_s)
+                    ++tpotViol_;
+            }
+        }
+
+        // Latency outlier: z-score of this sample against the running
+        // mean/variance of all *prior* completions (Welford), so the
+        // outlier itself does not inflate the baseline it is judged
+        // against.
+        if (opt_.incidentZscore > 0.0 &&
+            e2eN_ >= std::max<std::uint64_t>(2, opt_.zscoreMinSamples)) {
+            const double var =
+                e2eM2_ / static_cast<double>(e2eN_ - 1);
+            if (var > 0.0) {
+                const double z = (e2e_s - e2eMean_) / std::sqrt(var);
+                if (z >= opt_.incidentZscore)
+                    fireLocked("latency_zscore_e2e", &fired);
+            }
+        }
+        ++e2eN_;
+        const double delta = e2e_s - e2eMean_;
+        e2eMean_ += delta / static_cast<double>(e2eN_);
+        e2eM2_ += delta * (e2e_s - e2eMean_);
+
+        // SLO burn-rate breach on any armed objective.
+        if (opt_.incidentBurnRate > 0.0) {
+            for (const SloVerdict& v : verdictsLocked()) {
+                if (v.total >= opt_.burnMinSamples &&
+                    v.burnRate > opt_.incidentBurnRate) {
+                    fireLocked("burn_rate_" + v.metric, &fired);
+                }
+            }
         }
     }
+    obs::flightrec::record(obs::flightrec::EventType::Telemetry,
+                           "request_done",
+                           static_cast<std::int64_t>(e2e_s * 1e3),
+                           static_cast<std::int64_t>(ttft_s * 1e3));
+    // Callbacks run unlocked: an incident sink that dumps the flight
+    // recorder (or scrapes this telemetry) must not deadlock.
+    for (const std::string& reason : fired) {
+        obs::flightrec::record(obs::flightrec::EventType::Marker,
+                               reason.c_str(), 0, 0);
+        if (opt_.onIncident)
+            opt_.onIncident(reason);
+    }
+}
+
+std::vector<std::string>
+ServingTelemetry::incidents() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return incidents_;
+}
+
+void
+ServingTelemetry::fireLocked(const std::string& reason,
+                             std::vector<std::string>* fired)
+{
+    for (const std::string& seen : incidents_) {
+        if (seen == reason)
+            return; // fire-once per distinct reason
+    }
+    incidents_.push_back(reason);
+    fired->push_back(reason);
 }
 
 double
@@ -398,6 +468,14 @@ ServingTelemetry::writeStatsJson(std::ostream& os) const
            << jsonNumber(v.violationRatio) << ",\"burn_rate\":"
            << jsonNumber(v.burnRate) << ",\"met\":"
            << (v.met ? "true" : "false") << "}";
+    }
+    os << "],\"incidents\":[";
+    first = true;
+    for (const std::string& reason : incidents_) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << jsonQuote(reason);
     }
     os << "],\"stats\":";
     obs::writeRegistryJson(os, reg_);

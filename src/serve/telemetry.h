@@ -22,6 +22,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -84,6 +85,29 @@ class ServingTelemetry
         std::size_t latencyBuckets = 256;
         /** Output tokens per request, for tokens/s (0 = unknown). */
         std::int64_t genLen = 0;
+
+        /** @name Incident triggers (flight-recorder integration)
+         *  Each distinct reason fires at most once per run; the
+         *  callback runs outside the telemetry mutex. */
+        /// @{
+
+        /** An e2e latency sample more than this many standard
+         *  deviations above the running mean fires an incident
+         *  "latency_zscore_e2e" (0 disables). */
+        double incidentZscore = 0.0;
+        /** Completed requests required before z-score arming (the
+         *  running variance is meaningless on a handful of samples). */
+        std::uint64_t zscoreMinSamples = 32;
+        /** Any enabled SLO whose burn rate exceeds this fires
+         *  "burn_rate_<metric>" (0 disables). 1.0 = "budget consumed
+         *  faster than provisioned". */
+        double incidentBurnRate = 0.0;
+        /** Samples required per objective before burn-rate arming. */
+        std::uint64_t burnMinSamples = 16;
+        /** Incident sink; typically dumps the flight recorder. */
+        std::function<void(const std::string& reason)> onIncident;
+
+        /// @}
     };
 
     ServingTelemetry() : ServingTelemetry(Options{}) {}
@@ -128,6 +152,9 @@ class ServingTelemetry
     /** Verdicts for every enabled objective (empty if none). */
     std::vector<SloVerdict> sloVerdicts() const;
 
+    /** Incident reasons fired so far, in firing order. */
+    std::vector<std::string> incidents() const;
+
     /** Prometheus 0.0.4 exposition: cumulative registry + windowed
      *  gauges + SLO series. */
     void writePrometheus(std::ostream& os) const;
@@ -150,6 +177,9 @@ class ServingTelemetry
   private:
     std::vector<SloVerdict> verdictsLocked() const;
     void windowJsonLocked(std::ostream& os) const;
+    /** Record @p reason once; appends to @p fired when new. */
+    void fireLocked(const std::string& reason,
+                    std::vector<std::string>* fired);
 
     mutable std::mutex mu_;
     Options opt_;
@@ -169,6 +199,11 @@ class ServingTelemetry
     std::uint64_t ttftTotal_ = 0, ttftViol_ = 0;
     std::uint64_t tpotTotal_ = 0, tpotViol_ = 0;
     std::uint64_t e2eTotal_ = 0, e2eViol_ = 0;
+
+    /** Welford running mean/variance of e2e latency (z-score). */
+    double e2eMean_ = 0.0, e2eM2_ = 0.0;
+    std::uint64_t e2eN_ = 0;
+    std::vector<std::string> incidents_; ///< fired reasons, in order
 
     std::string latestReport_;
 };

@@ -227,6 +227,14 @@ HttpServer::handleConnection(int fd)
 
     const auto it = routes_.find(path);
     if (it == routes_.end()) {
+        // Built-in liveness endpoint: answers as soon as the socket
+        // machinery is up, independent of what the application
+        // routed. An explicit route("/healthz", ...) overrides it.
+        if (path == "/healthz") {
+            sendAll(fd, serialize({200, "text/plain; charset=utf-8",
+                                   "ok\n"}));
+            return;
+        }
         sendAll(fd, serialize({404, "text/plain; charset=utf-8",
                                "not found\n"}));
         return;

@@ -9,6 +9,12 @@
  * request. Built for the serving simulator's telemetry endpoints
  * (/metrics, /health, /stats.json) — not a general web server.
  *
+ * `/healthz` is built in: every server answers it with "ok" as a pure
+ * liveness probe (the process accepts connections), unlike the
+ * application-level /health routes which may carry readiness
+ * semantics. An explicit route("/healthz", ...) overrides it.
+ * Unknown paths get 404, non-GET methods 405, garbage 400.
+ *
  * A matching one-shot client (httpGet) backs `cpullm serve --probe`
  * and the http-server tests, so the whole socket path is exercised
  * without curl.

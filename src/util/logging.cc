@@ -12,6 +12,18 @@ namespace {
 std::atomic<LogLevel> global_level{LogLevel::Info};
 std::mutex log_mutex;
 
+std::atomic<CrashHook> g_crash_hook{nullptr};
+std::atomic<bool> g_in_crash_hook{false};
+
+void
+runCrashHook(const char* what)
+{
+    CrashHook hook = g_crash_hook.load(std::memory_order_acquire);
+    if (hook != nullptr && !g_in_crash_hook.exchange(true)) {
+        hook(what);
+    }
+}
+
 } // namespace
 
 void
@@ -24,6 +36,59 @@ LogLevel
 logLevel()
 {
     return global_level.load(std::memory_order_relaxed);
+}
+
+bool
+logLevelFromString(const std::string& s, LogLevel* out)
+{
+    if (s == "silent") {
+        *out = LogLevel::Silent;
+    } else if (s == "warn") {
+        *out = LogLevel::Warn;
+    } else if (s == "info") {
+        *out = LogLevel::Info;
+    } else if (s == "debug") {
+        *out = LogLevel::Debug;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char*
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent: return "silent";
+      case LogLevel::Warn: return "warn";
+      case LogLevel::Info: return "info";
+      case LogLevel::Debug: return "debug";
+    }
+    return "info";
+}
+
+void
+applyLogLevelEnv()
+{
+    const char* env = std::getenv("CPULLM_LOG_LEVEL");
+    if (env == nullptr || env[0] == '\0') {
+        return;
+    }
+    LogLevel level;
+    if (!logLevelFromString(env, &level)) {
+        std::fprintf(stderr,
+                     "[cpullm:usage] CPULLM_LOG_LEVEL must be one of "
+                     "silent|warn|info|debug, got '%s'\n",
+                     env);
+        std::exit(2);
+    }
+    setLogLevel(level);
+}
+
+CrashHook
+setCrashHook(CrashHook hook) noexcept
+{
+    return g_crash_hook.exchange(hook, std::memory_order_acq_rel);
 }
 
 namespace detail {
@@ -44,6 +109,7 @@ fatalImpl(const char* file, int line, const std::string& msg)
 {
     std::fprintf(stderr, "[cpullm:fatal] %s (%s:%d)\n", msg.c_str(), file,
                  line);
+    runCrashHook("fatal");
     std::exit(1);
 }
 
@@ -52,6 +118,7 @@ panicImpl(const char* file, int line, const std::string& msg)
 {
     std::fprintf(stderr, "[cpullm:panic] %s (%s:%d)\n", msg.c_str(), file,
                  line);
+    runCrashHook("panic");
     std::abort();
 }
 

@@ -29,6 +29,33 @@ void setLogLevel(LogLevel level);
 /** Current global verbosity. */
 LogLevel logLevel();
 
+/**
+ * Parse a user-facing level name ("silent", "warn", "info", "debug",
+ * case-sensitive); false when @p s is not one of them.
+ */
+bool logLevelFromString(const std::string& s, LogLevel* out);
+
+/** Inverse of logLevelFromString. */
+const char* logLevelName(LogLevel level);
+
+/**
+ * Apply the CPULLM_LOG_LEVEL environment variable, mirroring
+ * setLogLevel. Unset/empty leaves the level untouched. A malformed
+ * value follows the usual env contract (CPULLM_THREADS,
+ * CPULLM_COUNTERS): print a usage error and exit 2.
+ */
+void applyLogLevelEnv();
+
+/**
+ * Crash hook: invoked exactly once from CPULLM_FATAL / CPULLM_PANIC
+ * (after the message is printed, before exit/abort) so the flight
+ * recorder can dump its ring for post-mortem triage. The hook must be
+ * reentrancy-safe: a hook that itself crashes must not recurse.
+ * Returns the previously installed hook (nullptr initially).
+ */
+using CrashHook = void (*)(const char* what);
+CrashHook setCrashHook(CrashHook hook) noexcept;
+
 namespace detail {
 
 /** Emit one formatted log line to stderr if @p level is enabled. */

@@ -1,11 +1,14 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <deque>
 #include <exception>
 #include <memory>
 
 #include "util/parallel.h"
+#include "util/thread_registry.h"
 
 namespace cpullm {
 
@@ -43,6 +46,11 @@ struct ThreadPool::Job
     const std::function<void(std::size_t)>* fn = nullptr;
     std::unique_ptr<Lane[]> lanes;
     std::size_t laneCount = 0;
+    /** Submitter's logical stack, re-pushed on each worker for the
+     *  job's duration so profiler samples on pool threads attribute
+     *  to the op that spawned the loop. */
+    int frameDepth = 0;
+    char frames[threadreg::kMaxDepth][threadreg::kFrameChars];
     /** Chunks not yet fully executed. */
     std::atomic<std::size_t> pending{0};
     /** Participants currently inside runJob (guards Job lifetime). */
@@ -161,6 +169,12 @@ ThreadPool::runJob(Job& job, std::size_t lane)
 void
 ThreadPool::workerLoop(std::size_t id)
 {
+    // Lane 0 is the calling thread; workers are lanes id + 1. The
+    // registry name shows up in profiler collapsed stacks and
+    // flight-recorder dumps.
+    char name[16];
+    std::snprintf(name, sizeof(name), "pool%zu", id + 1);
+    threadreg::registerCurrentThread(name);
     std::uint64_t seen = 0;
     for (;;) {
         Job* job = nullptr;
@@ -181,7 +195,11 @@ ThreadPool::workerLoop(std::size_t id)
         }
         if (job == nullptr)
             continue;
+        for (int i = 0; i < job->frameDepth; ++i)
+            threadreg::pushFrame(job->frames[i]);
         runJob(*job, id + 1);
+        for (int i = 0; i < job->frameDepth; ++i)
+            threadreg::popFrame();
         {
             std::lock_guard<std::mutex> lk(mu_);
             job->active.fetch_sub(1, std::memory_order_acq_rel);
@@ -230,6 +248,15 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     Job job;
     job.fn = &fn;
     job.laneCount = lanes;
+    if (threadreg::ThreadState* ts = threadreg::current()) {
+        int d = ts->depth.load(std::memory_order_relaxed);
+        if (d > threadreg::kMaxDepth)
+            d = threadreg::kMaxDepth;
+        job.frameDepth = d;
+        for (int i = 0; i < d; ++i)
+            std::memcpy(job.frames[i], ts->frames[i],
+                        threadreg::kFrameChars);
+    }
     job.lanes = std::make_unique<Job::Lane[]>(lanes);
     std::size_t chunk_begin = begin;
     for (std::size_t c = 0; c < nchunks; ++c) {

@@ -1,0 +1,148 @@
+#include "util/thread_registry.h"
+
+#include <cstring>
+
+namespace cpullm {
+namespace threadreg {
+
+namespace {
+
+ThreadState g_threads[kMaxThreads];
+std::atomic<std::size_t> g_count{0};
+std::atomic<FrameSink> g_frame_sink{nullptr};
+
+constexpr int kMaxRegisterSinks = 4;
+std::atomic<RegisterSink> g_register_sinks[kMaxRegisterSinks];
+std::atomic<int> g_register_sink_count{0};
+
+thread_local ThreadState* t_state = nullptr;
+
+void copyClipped(char* dst, std::size_t cap, const char* src)
+{
+    std::size_t i = 0;
+    if (src != nullptr) {
+        for (; i + 1 < cap && src[i] != '\0'; ++i) {
+            dst[i] = src[i];
+        }
+    }
+    dst[i] = '\0';
+}
+
+} // namespace
+
+ThreadState* registerCurrentThread(const char* name)
+{
+    if (t_state != nullptr) {
+        return t_state;
+    }
+    const std::size_t slot =
+        g_count.fetch_add(1, std::memory_order_acq_rel);
+    if (slot >= kMaxThreads) {
+        // Over budget: park the counter at the cap so threadCount()
+        // stays meaningful, and leave the thread unregistered.
+        g_count.store(kMaxThreads, std::memory_order_release);
+        return nullptr;
+    }
+    ThreadState& ts = g_threads[slot];
+    ts.id = static_cast<std::uint32_t>(slot);
+    copyClipped(ts.name, sizeof(ts.name),
+                (name != nullptr && name[0] != '\0') ? name : "thread");
+    t_state = &ts;
+    const int sinks = g_register_sink_count.load(std::memory_order_acquire);
+    for (int i = 0; i < sinks; ++i) {
+        RegisterSink sink =
+            g_register_sinks[i].load(std::memory_order_acquire);
+        if (sink != nullptr) {
+            sink(ts);
+        }
+    }
+    return &ts;
+}
+
+ThreadState* current() noexcept
+{
+    return t_state;
+}
+
+std::size_t threadCount() noexcept
+{
+    const std::size_t n = g_count.load(std::memory_order_acquire);
+    return n < kMaxThreads ? n : kMaxThreads;
+}
+
+ThreadState* threadAt(std::size_t i) noexcept
+{
+    return i < threadCount() ? &g_threads[i] : nullptr;
+}
+
+void setFrameSink(FrameSink sink) noexcept
+{
+    g_frame_sink.store(sink, std::memory_order_release);
+}
+
+void addRegisterSink(RegisterSink sink)
+{
+    if (sink == nullptr) {
+        return;
+    }
+    const int i = g_register_sink_count.load(std::memory_order_acquire);
+    // Duplicate installs are idempotent (enable() may run twice).
+    for (int k = 0; k < i; ++k) {
+        if (g_register_sinks[k].load(std::memory_order_acquire) == sink) {
+            return;
+        }
+    }
+    if (i < kMaxRegisterSinks) {
+        g_register_sinks[i].store(sink, std::memory_order_release);
+        g_register_sink_count.store(i + 1, std::memory_order_release);
+    }
+}
+
+void pushFrame(const char* name) noexcept
+{
+    ThreadState* ts = t_state;
+    if (ts == nullptr) {
+        return;
+    }
+    const int d = ts->depth.load(std::memory_order_relaxed);
+    if (d >= kMaxDepth) {
+        ts->overflow.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        copyClipped(ts->frames[d], kFrameChars, name);
+        // The SIGPROF handler samples this thread's own stack: a
+        // signal fence is all that is needed to make sure the frame
+        // bytes land before the published depth.
+        std::atomic_signal_fence(std::memory_order_release);
+        ts->depth.store(d + 1, std::memory_order_relaxed);
+    }
+    FrameSink sink = g_frame_sink.load(std::memory_order_acquire);
+    if (sink != nullptr) {
+        sink(true, name);
+    }
+}
+
+void popFrame() noexcept
+{
+    ThreadState* ts = t_state;
+    if (ts == nullptr) {
+        return;
+    }
+    const char* name = "";
+    if (ts->overflow.load(std::memory_order_relaxed) > 0) {
+        ts->overflow.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+        const int d = ts->depth.load(std::memory_order_relaxed);
+        if (d > 0) {
+            name = ts->frames[d - 1];
+            ts->depth.store(d - 1, std::memory_order_relaxed);
+            std::atomic_signal_fence(std::memory_order_release);
+        }
+    }
+    FrameSink sink = g_frame_sink.load(std::memory_order_acquire);
+    if (sink != nullptr) {
+        sink(false, name);
+    }
+}
+
+} // namespace threadreg
+} // namespace cpullm

@@ -1,0 +1,135 @@
+#ifndef CPULLM_UTIL_THREAD_REGISTRY_H
+#define CPULLM_UTIL_THREAD_REGISTRY_H
+
+/**
+ * @file
+ * Process-wide thread registry with per-thread *logical stacks* — the
+ * substrate under the sampling profiler (obs/profiler.h) and the
+ * flight recorder (obs/flight_recorder.h).
+ *
+ * Every participating thread (the main thread, the persistent thread
+ * pool's workers, test threads) claims one fixed slot holding a small
+ * name, a flight-recorder sequence counter, and a bounded stack of
+ * fixed-width frame names that instrumented code pushes and pops via
+ * ScopedFrame ("prefill", "q_proj", "attention", ...). The SIGPROF
+ * sampling handler reads the *current thread's own* stack, so the
+ * only concurrency between mutator and sampler is a signal
+ * interrupting its own thread: plain-compiler ordering via relaxed
+ * atomics plus signal fences is sufficient, and every operation here
+ * is async-signal-safe and allocation-free once the thread is
+ * registered.
+ *
+ * The registry lives in util (below obs) so the thread pool and the
+ * functional model can instrument themselves without a dependency on
+ * the observability stack; obs subscribes through the frame/register
+ * sinks instead.
+ *
+ * Slots are never reclaimed: registration is for long-lived threads
+ * (pool workers are persistent). Short-lived threads may register in
+ * tests; the fixed budget (kMaxThreads) is generous and exhaustion
+ * degrades to "unregistered" (push/pop become no-ops) rather than
+ * failing.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+namespace cpullm {
+namespace threadreg {
+
+/** Fixed slot budget; registration beyond it is refused (nullptr). */
+constexpr std::size_t kMaxThreads = 256;
+/** Logical-stack depth bound; deeper pushes count as truncated. */
+constexpr int kMaxDepth = 16;
+/** Frame name storage (including NUL); longer names are clipped. */
+constexpr int kFrameChars = 24;
+/** Thread name storage (including NUL). */
+constexpr int kNameChars = 16;
+
+/** One registered thread's slot. POD-ish; all fields fixed-size. */
+struct ThreadState
+{
+    std::uint32_t id = 0;     ///< slot index (dump "tid")
+    char name[kNameChars] = {};
+
+    /** Flight-recorder per-thread sequence number (fetch_add). */
+    std::atomic<std::uint64_t> seq{0};
+
+    /** @name Logical stack (same-thread mutator + signal reader) */
+    /// @{
+    std::atomic<int> depth{0};
+    char frames[kMaxDepth][kFrameChars] = {};
+    /** Pushes rejected because the stack was full (paired by pop). */
+    std::atomic<int> overflow{0};
+    /// @}
+};
+
+/**
+ * Register the calling thread under @p name (clipped to fit) and
+ * return its slot; idempotent — a second call returns the existing
+ * slot without renaming it. Returns nullptr when the slot budget is
+ * exhausted. Not async-signal-safe (first call may notify sinks).
+ */
+ThreadState* registerCurrentThread(const char* name);
+
+/**
+ * The calling thread's slot, or nullptr when it never registered.
+ * Async-signal-safe (one TLS pointer load).
+ */
+ThreadState* current() noexcept;
+
+/** Registered slots so far (slots [0, count) are valid forever). */
+std::size_t threadCount() noexcept;
+
+/** Slot @p i (< threadCount()); async-signal-safe. */
+ThreadState* threadAt(std::size_t i) noexcept;
+
+/**
+ * Frame sink: called (outside signal context) after every push (begin
+ * = true) and before every pop. The flight recorder installs one to
+ * turn scopes into span begin/end records. A single slot; installing
+ * replaces. Pass nullptr to clear.
+ */
+using FrameSink = void (*)(bool begin, const char* name);
+void setFrameSink(FrameSink sink) noexcept;
+
+/**
+ * Register sink: called on the *registering thread* right after a new
+ * slot is claimed. Multiple subscribers are supported (bounded,
+ * add-only): the flight recorder marks thread starts, the profiler
+ * allocates sample buffers for late-registered threads.
+ */
+using RegisterSink = void (*)(ThreadState& ts);
+void addRegisterSink(RegisterSink sink);
+
+/**
+ * Push @p name onto the calling thread's logical stack. No-op for
+ * unregistered threads. Beyond kMaxDepth the push is counted in
+ * ThreadState::overflow and the stack is left untouched (the
+ * matching pop unwinds the overflow count first).
+ */
+void pushFrame(const char* name) noexcept;
+
+/** Pop the top logical-stack frame (or one overflow level). */
+void popFrame() noexcept;
+
+/**
+ * RAII logical-stack frame. Cheap enough for per-operator use on the
+ * host path (a bounded copy plus two relaxed atomic stores); inert on
+ * unregistered threads.
+ */
+class ScopedFrame
+{
+  public:
+    explicit ScopedFrame(const char* name) { pushFrame(name); }
+    ~ScopedFrame() { popFrame(); }
+
+    ScopedFrame(const ScopedFrame&) = delete;
+    ScopedFrame& operator=(const ScopedFrame&) = delete;
+};
+
+} // namespace threadreg
+} // namespace cpullm
+
+#endif // CPULLM_UTIL_THREAD_REGISTRY_H

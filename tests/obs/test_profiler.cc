@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Sampling-profiler tests: the thread registry's logical-stack
+ * discipline (depth, clipping, overflow pairing), frame-to-op-kind
+ * bucketing, the collapsed-stack write/parse round trip, Prometheus
+ * gauge emission, and a live start/sample/stop cycle that proves
+ * SIGPROF samples land on the instrumented frame.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "obs/profiler.h"
+#include "obs/prometheus.h"
+#include "util/thread_registry.h"
+
+using namespace cpullm;
+using namespace cpullm::obs::prof;
+
+TEST(ThreadRegistry, RegisterIsIdempotent)
+{
+    threadreg::ThreadState* a =
+        threadreg::registerCurrentThread("prof-test");
+    ASSERT_NE(a, nullptr);
+    threadreg::ThreadState* b =
+        threadreg::registerCurrentThread("other-name");
+    EXPECT_EQ(a, b); // second call keeps the slot (and its name)
+    EXPECT_EQ(threadreg::current(), a);
+}
+
+TEST(ThreadRegistry, PushPopDepthAndClipping)
+{
+    threadreg::registerCurrentThread("prof-test");
+    threadreg::ThreadState* ts = threadreg::current();
+    ASSERT_NE(ts, nullptr);
+    const int base = ts->depth.load();
+
+    threadreg::pushFrame("abc");
+    EXPECT_EQ(ts->depth.load(), base + 1);
+    {
+        threadreg::ScopedFrame f(
+            "this-name-is-far-longer-than-the-frame-buffer");
+        EXPECT_EQ(ts->depth.load(), base + 2);
+        // Clipped to kFrameChars - 1 characters plus NUL.
+        const std::string stored = ts->frames[base + 1];
+        EXPECT_EQ(stored.size(),
+                  static_cast<std::size_t>(threadreg::kFrameChars - 1));
+        EXPECT_EQ(stored,
+                  std::string("this-name-is-far-longer-than-the-"
+                              "frame-buffer")
+                      .substr(0, threadreg::kFrameChars - 1));
+    }
+    EXPECT_EQ(ts->depth.load(), base + 1);
+    threadreg::popFrame();
+    EXPECT_EQ(ts->depth.load(), base);
+}
+
+TEST(ThreadRegistry, OverflowBeyondMaxDepthPairsWithPops)
+{
+    threadreg::registerCurrentThread("prof-test");
+    threadreg::ThreadState* ts = threadreg::current();
+    ASSERT_NE(ts, nullptr);
+    ASSERT_EQ(ts->depth.load(), 0) << "test needs a clean stack";
+
+    for (int i = 0; i < threadreg::kMaxDepth + 5; ++i)
+        threadreg::pushFrame("deep");
+    EXPECT_EQ(ts->depth.load(), threadreg::kMaxDepth);
+    for (int i = 0; i < threadreg::kMaxDepth + 5; ++i)
+        threadreg::popFrame();
+    EXPECT_EQ(ts->depth.load(), 0);
+}
+
+TEST(ProfilerFrameKind, BucketsMatchAttributionOpKinds)
+{
+    EXPECT_STREQ(frameKind("q_proj"), "gemm");
+    EXPECT_STREQ(frameKind("k_proj"), "gemm");
+    EXPECT_STREQ(frameKind("v_proj"), "gemm");
+    EXPECT_STREQ(frameKind("out_proj"), "gemm");
+    EXPECT_STREQ(frameKind("ffn_gate"), "gemm");
+    EXPECT_STREQ(frameKind("ffn_up"), "gemm");
+    EXPECT_STREQ(frameKind("ffn_down"), "gemm");
+    EXPECT_STREQ(frameKind("lm_head"), "gemm");
+    EXPECT_STREQ(frameKind("attention"), "attention");
+    EXPECT_STREQ(frameKind("attn_norm"), "elementwise");
+    EXPECT_STREQ(frameKind("ffn_norm"), "elementwise");
+    EXPECT_STREQ(frameKind("ffn_act"), "elementwise");
+    EXPECT_STREQ(frameKind("final_norm"), "elementwise");
+    EXPECT_STREQ(frameKind("embedding"), "embedding");
+    // Layer-prefixed trace names fold to the same kinds.
+    EXPECT_STREQ(frameKind("layer3.q_proj"), "gemm");
+    EXPECT_STREQ(frameKind("layer12.attention"), "attention");
+    // Phases and pool scopes are outside the op vocabulary.
+    EXPECT_STREQ(frameKind("prefill"), "");
+    EXPECT_STREQ(frameKind("decode"), "");
+    EXPECT_STREQ(frameKind("no-such-op"), "");
+}
+
+TEST(ProfilerFold, SelfSecondsAndTopOps)
+{
+    FoldedProfile p;
+    p.hz = 100.0;
+    p.samples = 30;
+    p.ops["q_proj"] = {20, 20};
+    p.ops["attention"] = {10, 12};
+    EXPECT_DOUBLE_EQ(p.selfSeconds("q_proj"), 0.2);
+    EXPECT_DOUBLE_EQ(p.selfSeconds("nope"), 0.0);
+    EXPECT_EQ(p.topOpBySelf(), "q_proj");
+    EXPECT_EQ(p.topKindBySelf(), "gemm");
+}
+
+TEST(ProfilerCollapsed, WriteParseRoundTrip)
+{
+    FoldedProfile p;
+    p.hz = 97.0;
+    p.stacks["main;prefill;layer0.q_proj"] = 41;
+    p.stacks["main;prefill;attention"] = 17;
+    p.stacks["pool1;decode"] = 5;
+    p.samples = 63;
+
+    const std::string path =
+        ::testing::TempDir() + "profiler_roundtrip.collapsed";
+    ASSERT_TRUE(writeCollapsedFile(path, p));
+
+    FoldedProfile back;
+    std::string err;
+    ASSERT_TRUE(parseCollapsedFile(path, &back, &err)) << err;
+    std::remove(path.c_str());
+
+    EXPECT_EQ(back.samples, 63u);
+    EXPECT_EQ(back.stacks, p.stacks);
+    // Ops are rebuilt from the stack frames (thread token skipped).
+    EXPECT_EQ(back.ops.at("layer0.q_proj").self, 41u);
+    EXPECT_EQ(back.ops.at("attention").self, 17u);
+    EXPECT_EQ(back.ops.at("prefill").total, 58u);
+    EXPECT_EQ(back.ops.at("prefill").self, 0u);
+    EXPECT_EQ(back.ops.at("decode").self, 5u);
+    EXPECT_EQ(back.topKindBySelf(), "gemm");
+}
+
+TEST(ProfilerCollapsed, ParserRejectsGarbage)
+{
+    FoldedProfile p;
+    std::string err;
+    EXPECT_FALSE(parseCollapsed("stack-without-count\n", &p, &err));
+    EXPECT_FALSE(parseCollapsed("stack notanumber\n", &p, &err));
+    EXPECT_FALSE(parseCollapsed(" 12\n", &p, &err));
+    EXPECT_TRUE(parseCollapsed("", &p, &err)); // empty profile is valid
+}
+
+TEST(ProfilerProm, GaugesAreValidExposition)
+{
+    FoldedProfile p;
+    p.hz = 97.0;
+    p.samples = 100;
+    p.dropped = 2;
+    p.ops["q_proj"] = {60, 60};
+    p.ops["attention"] = {40, 80};
+
+    std::ostringstream os;
+    writePromGauges(os, p);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("cpullm_prof_samples_total 100"),
+              std::string::npos);
+    EXPECT_NE(text.find("cpullm_prof_hz 97"), std::string::npos);
+    EXPECT_NE(text.find("cpullm_prof_op_self_seconds{op=\"q_proj\"}"),
+              std::string::npos);
+    std::vector<std::string> errors;
+    EXPECT_TRUE(obs::promValid(text, &errors))
+        << (errors.empty() ? "" : errors.front());
+}
+
+TEST(ProfilerLive, SamplesLandOnInstrumentedFrame)
+{
+    threadreg::registerCurrentThread("prof-test");
+    Profiler& prof = Profiler::instance();
+    Options opt;
+    opt.hz = 997.0; // fast sampling keeps the test short
+    ASSERT_TRUE(prof.start(opt));
+    EXPECT_TRUE(prof.running());
+    EXPECT_FALSE(prof.start(opt)) << "double start must fail";
+
+    // Burn CPU under an instrumented frame until samples arrive;
+    // ITIMER_PROF counts CPU time, so the loop bounds total burn, not
+    // wall time (generous for loaded CI machines).
+    std::uint64_t found = 0;
+    {
+        threadreg::ScopedFrame frame("hotspot");
+        volatile double sink = 0.0;
+        for (int spin = 0; spin < 4000 && found == 0; ++spin) {
+            for (int i = 0; i < 200000; ++i)
+                sink = sink + static_cast<double>(i) * 1e-9;
+            found = prof.collect().samples;
+        }
+    }
+    prof.stop();
+    EXPECT_FALSE(prof.running());
+
+    const FoldedProfile p = prof.collect();
+    ASSERT_GT(p.samples, 0u) << "no SIGPROF samples after ~CPU-bound "
+                                "spinning; is ITIMER_PROF available?";
+    ASSERT_TRUE(p.ops.count("hotspot"));
+    EXPECT_GT(p.ops.at("hotspot").self, 0u);
+    EXPECT_DOUBLE_EQ(p.hz, 997.0);
+
+    bool in_stack = false;
+    for (const auto& kv : p.stacks) {
+        if (kv.first.find("hotspot") != std::string::npos &&
+            kv.first.find("prof-test") == 0)
+            in_stack = true;
+    }
+    EXPECT_TRUE(in_stack)
+        << "collapsed stacks miss 'prof-test;...;hotspot'";
+
+    prof.reset();
+    EXPECT_EQ(prof.collect().samples, 0u);
+}

@@ -242,6 +242,109 @@ TEST(ServingTelemetry, ConcurrentReadersDuringHooks)
     EXPECT_EQ(t.completed(), 200u);
 }
 
+TEST(TelemetryIncidents, ZscoreOutlierFiresOnce)
+{
+    ServingTelemetry::Options opt;
+    opt.incidentZscore = 4.0;
+    opt.zscoreMinSamples = 8;
+    std::vector<std::string> fired;
+    opt.onIncident = [&fired](const std::string& reason) {
+        fired.push_back(reason);
+    };
+    ServingTelemetry t(opt);
+
+    // Tight latency distribution, then a gross outlier — twice.
+    for (int i = 0; i < 20; ++i)
+        t.onDecodeDone(i, 0.2, 1.0 + 0.001 * (i % 3));
+    EXPECT_TRUE(t.incidents().empty()) << "no outlier yet";
+    t.onDecodeDone(21.0, 0.2, 50.0);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], "latency_zscore_e2e");
+    t.onDecodeDone(22.0, 0.2, 60.0);
+    EXPECT_EQ(fired.size(), 1u) << "fires at most once per run";
+    EXPECT_EQ(t.incidents(),
+              std::vector<std::string>{"latency_zscore_e2e"});
+}
+
+TEST(TelemetryIncidents, ZscoreNeedsMinSamplesToArm)
+{
+    ServingTelemetry::Options opt;
+    opt.incidentZscore = 3.0;
+    opt.zscoreMinSamples = 100;
+    ServingTelemetry t(opt);
+    for (int i = 0; i < 20; ++i)
+        t.onDecodeDone(i, 0.2, 1.0);
+    t.onDecodeDone(21.0, 0.2, 1000.0); // below the arming threshold
+    EXPECT_TRUE(t.incidents().empty());
+}
+
+TEST(TelemetryIncidents, BurnRateBreachFiresPerMetric)
+{
+    ServingTelemetry::Options opt;
+    opt.slo.ttft_s = 0.1;  // every request violates TTFT
+    opt.slo.e2e_s = 100.0; // E2E comfortably met
+    opt.slo.budget = 0.01;
+    opt.incidentBurnRate = 1.0;
+    opt.burnMinSamples = 16;
+    std::vector<std::string> fired;
+    opt.onIncident = [&fired](const std::string& reason) {
+        fired.push_back(reason);
+    };
+    ServingTelemetry t(opt);
+
+    for (int i = 0; i < 32; ++i) {
+        t.onPrefillDone(i, 0.2); // TTFT samples arm the ttft verdict
+        t.onDecodeDone(i, 0.2, 1.0);
+    }
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], "burn_rate_ttft");
+    for (int i = 32; i < 64; ++i) {
+        t.onPrefillDone(i, 0.2);
+        t.onDecodeDone(i, 0.2, 1.0);
+    }
+    EXPECT_EQ(fired.size(), 1u) << "breach reported once";
+    EXPECT_EQ(t.incidents(), std::vector<std::string>{"burn_rate_ttft"});
+}
+
+TEST(TelemetryIncidents, DisabledTriggersNeverFire)
+{
+    ServingTelemetry::Options opt; // both thresholds default to 0
+    opt.slo.ttft_s = 0.1;
+    std::vector<std::string> fired;
+    opt.onIncident = [&fired](const std::string& reason) {
+        fired.push_back(reason);
+    };
+    ServingTelemetry t(opt);
+    for (int i = 0; i < 64; ++i)
+        t.onDecodeDone(i, 0.2, i == 40 ? 1000.0 : 1.0);
+    EXPECT_TRUE(fired.empty());
+    EXPECT_TRUE(t.incidents().empty());
+}
+
+TEST(TelemetryIncidents, IncidentsAppearInStatsJson)
+{
+    ServingTelemetry::Options opt;
+    opt.slo.ttft_s = 0.1;
+    opt.incidentBurnRate = 1.0;
+    opt.burnMinSamples = 4;
+    ServingTelemetry t(opt);
+    for (int i = 0; i < 8; ++i) {
+        t.onPrefillDone(i, 0.2);
+        t.onDecodeDone(i, 0.2, 1.0);
+    }
+    ASSERT_FALSE(t.incidents().empty());
+
+    std::ostringstream os;
+    t.writeStatsJson(os);
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(os.str(), &doc));
+    const JsonValue* incidents = doc.find("incidents");
+    ASSERT_NE(incidents, nullptr);
+    ASSERT_TRUE(incidents->isArray());
+    ASSERT_EQ(incidents->asArray().size(), 1u);
+    EXPECT_EQ(incidents->asArray()[0].asString(), "burn_rate_ttft");
+}
+
 } // namespace
 } // namespace serve
 } // namespace cpullm

@@ -35,8 +35,38 @@ TEST(HttpServer, UnknownRouteIs404)
     s.route("/x", [] { return HttpResponse{200, "text/plain", "x"}; });
     ASSERT_TRUE(s.start(0));
     int status = 0;
-    httpGet("127.0.0.1", s.port(), "/nope", &status);
+    const std::string body =
+        httpGet("127.0.0.1", s.port(), "/nope", &status);
     EXPECT_EQ(status, 404);
+    EXPECT_NE(body.find("not found"), std::string::npos);
+    s.stop();
+}
+
+TEST(HttpServer, BuiltInHealthzNeedsNoRoute)
+{
+    HttpServer s;
+    s.route("/x", [] { return HttpResponse{200, "text/plain", "x"}; });
+    ASSERT_TRUE(s.start(0));
+    int status = 0;
+    const std::string body =
+        httpGet("127.0.0.1", s.port(), "/healthz", &status);
+    EXPECT_EQ(status, 200);
+    EXPECT_EQ(body, "ok\n");
+    s.stop();
+}
+
+TEST(HttpServer, ExplicitHealthzRouteOverridesBuiltIn)
+{
+    HttpServer s;
+    s.route("/healthz", [] {
+        return HttpResponse{503, "text/plain", "draining\n"};
+    });
+    ASSERT_TRUE(s.start(0));
+    int status = 0;
+    const std::string body =
+        httpGet("127.0.0.1", s.port(), "/healthz", &status);
+    EXPECT_EQ(status, 503);
+    EXPECT_EQ(body, "draining\n");
     s.stop();
 }
 

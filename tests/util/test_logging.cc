@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 namespace cpullm {
 namespace {
 
@@ -48,6 +52,105 @@ TEST(FatalDeath, FatalExitsWithCode1)
 {
     EXPECT_EXIT({ CPULLM_FATAL("user error"); },
                 testing::ExitedWithCode(1), "user error");
+}
+
+TEST(LogLevel, FromStringAcceptsTheFourNames)
+{
+    LogLevel l = LogLevel::Info;
+    ASSERT_TRUE(logLevelFromString("silent", &l));
+    EXPECT_EQ(l, LogLevel::Silent);
+    ASSERT_TRUE(logLevelFromString("warn", &l));
+    EXPECT_EQ(l, LogLevel::Warn);
+    ASSERT_TRUE(logLevelFromString("info", &l));
+    EXPECT_EQ(l, LogLevel::Info);
+    ASSERT_TRUE(logLevelFromString("debug", &l));
+    EXPECT_EQ(l, LogLevel::Debug);
+    EXPECT_FALSE(logLevelFromString("verbose", &l));
+    EXPECT_FALSE(logLevelFromString("DEBUG", &l)); // case-sensitive
+    EXPECT_FALSE(logLevelFromString("", &l));
+}
+
+TEST(LogLevel, NameRoundTrip)
+{
+    for (LogLevel l : {LogLevel::Silent, LogLevel::Warn,
+                       LogLevel::Info, LogLevel::Debug}) {
+        LogLevel back = LogLevel::Info;
+        ASSERT_TRUE(logLevelFromString(logLevelName(l), &back));
+        EXPECT_EQ(back, l);
+    }
+}
+
+TEST(LogLevelEnv, AppliesValidValue)
+{
+    const LogLevel prev = logLevel();
+    ASSERT_EQ(setenv("CPULLM_LOG_LEVEL", "debug", 1), 0);
+    applyLogLevelEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    unsetenv("CPULLM_LOG_LEVEL");
+    setLogLevel(prev);
+}
+
+TEST(LogLevelEnv, UnsetAndEmptyLeaveLevelUntouched)
+{
+    const LogLevel prev = logLevel();
+    setLogLevel(LogLevel::Warn);
+    unsetenv("CPULLM_LOG_LEVEL");
+    applyLogLevelEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    ASSERT_EQ(setenv("CPULLM_LOG_LEVEL", "", 1), 0);
+    applyLogLevelEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    unsetenv("CPULLM_LOG_LEVEL");
+    setLogLevel(prev);
+}
+
+TEST(LogLevelEnvDeath, MalformedValueIsUsageErrorExit2)
+{
+    EXPECT_EXIT(
+        {
+            setenv("CPULLM_LOG_LEVEL", "loud", 1);
+            applyLogLevelEnv();
+        },
+        testing::ExitedWithCode(2), "CPULLM_LOG_LEVEL");
+}
+
+namespace {
+int g_hook_calls = 0;
+std::string g_hook_what;
+void
+recordingHook(const char* what)
+{
+    ++g_hook_calls;
+    g_hook_what = what;
+}
+} // namespace
+
+TEST(CrashHook, InstallReturnsPreviousHook)
+{
+    CrashHook prev = setCrashHook(recordingHook);
+    EXPECT_EQ(setCrashHook(prev), recordingHook);
+}
+
+TEST(CrashHookDeath, FatalAndPanicRunTheHook)
+{
+    // The hook's output proves it ran inside the dying process; the
+    // exit path must still be exit(1) for fatal and SIGABRT for
+    // panic.
+    CrashHook hook = [](const char* what) {
+        std::fprintf(stderr, "[hook ran: %s]\n", what);
+    };
+    EXPECT_EXIT(
+        {
+            setCrashHook(hook);
+            CPULLM_FATAL("bad config");
+        },
+        testing::ExitedWithCode(1), "hook ran: fatal");
+    EXPECT_DEATH(
+        {
+            setCrashHook(hook);
+            CPULLM_PANIC("bad invariant");
+        },
+        "hook ran: panic");
 }
 
 } // namespace

@@ -4,7 +4,9 @@
  *
  *   cpullm run --model opt-13b --platform spr --batch 8 [--prompt N]
  *              [--gen N] [--dtype bf16|i8] [--json] [--attribution]
- *              [--trace-out F] [--report-out F]
+ *              [--trace-out F] [--report-out F] [--profile-hz HZ]
+ *              [--profile-out F] [--profile-reps N]
+ *              [--flightrec-out F] [--flightrec-events N]
  *   cpullm serve --model opt-13b [--device cpu|gpu] [--rate R]
  *                [--requests N] [--max-batch B] [--continuous]
  *                [--trace-out F] [--report-out F] [--json]
@@ -12,6 +14,8 @@
  *                [--probe] [--slo-ttft-ms X] [--slo-tpot-ms X]
  *                [--slo-e2e-ms X] [--slo-budget R]
  *   cpullm report --model opt-13b [serve flags] [--report-out F]
+ *   cpullm profile [--collapsed F] [--flightrec F]
+ *                  [--perfetto-out F] [--top N] [--json]
  *   cpullm compare --model opt-66b --batch 1
  *   cpullm bench [--out DIR] [--quick] [--threads N]
  *   cpullm counters [--model tiny] [--platform spr] [--batch N]
@@ -48,10 +52,24 @@
  * `findings` validates the paper's five key findings; `list` shows
  * known models and platforms.
  *
+ * Observability: --profile-hz samples every registered thread's
+ * logical stack with the SIGPROF sampling profiler (obs/profiler.h)
+ * and prints the measured top ops alongside the analytical
+ * attribution tree's verdict; --flightrec-out keeps the always-on
+ * flight recorder (obs/flight_recorder.h) running and dumps its event
+ * ring to a JSONL file at exit, on SIGSEGV/SIGABRT/SIGTERM, on
+ * CPULLM_FATAL/PANIC, and — under `serve` with --flightrec-zscore /
+ * --flightrec-burn-rate — on SLO incidents. Both switches put `run`
+ * in functional execution mode (real kernels on the thread pool),
+ * since samples and span events need actual CPU work.
+ * CPULLM_LOG_LEVEL=silent|warn|info|debug sets verbosity (same
+ * exit-2 contract as the other env knobs).
+ *
  * Bad invocations — unknown command, unknown flag, missing value —
  * print an error pointing at --help and exit with status 2.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -64,9 +82,14 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/cpullm.h"
+#include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "util/parallel.h"
+#include "util/thread_registry.h"
 
 using namespace cpullm;
 
@@ -245,29 +268,221 @@ workloadFromFlags(const std::map<std::string, std::string>& flags)
     return w;
 }
 
+/**
+ * Turn on the flight recorder + crash-dump handler from the
+ * --flightrec-* flags (no-op when --flightrec-out is absent). The
+ * crash handler captures the dump path, so a SIGSEGV mid-run still
+ * leaves the artifact the user asked for.
+ */
+void
+setupFlightRecorder(const std::map<std::string, std::string>& flags)
+{
+    if (!flags.count("flightrec-out")) {
+        if (flags.count("flightrec-events"))
+            usageError("--flightrec-events requires --flightrec-out");
+        return;
+    }
+    const std::int64_t events =
+        intFlag(flags, "flightrec-events", 1 << 14);
+    if (events < 1)
+        usageError("--flightrec-events expects a positive integer");
+    obs::flightrec::enable(static_cast<std::size_t>(events));
+    obs::flightrec::installCrashHandler(flags.at("flightrec-out"));
+}
+
+/** Start the sampling profiler from --profile-hz; false if absent. */
+bool
+setupProfiler(const std::map<std::string, std::string>& flags)
+{
+    if (!flags.count("profile-hz")) {
+        if (flags.count("profile-out") || flags.count("profile-reps"))
+            usageError("--profile-out/--profile-reps require "
+                       "--profile-hz");
+        return false;
+    }
+    obs::prof::Options popt;
+    popt.hz = numberFlag(flags, "profile-hz", popt.hz);
+    if (popt.hz <= 0.0 || popt.hz > 10000.0)
+        usageError("--profile-hz expects a frequency in (0, 10000]");
+    if (!obs::prof::Profiler::instance().start(popt))
+        CPULLM_FATAL("cannot start the sampling profiler (already "
+                     "running, or the interval timer is unavailable)");
+    return true;
+}
+
+/** Sum attributed wall time per operator kind over the whole tree. */
+void
+sumOpKindTimes(const obs::AttributionNode& node,
+               std::map<std::string, double>& acc)
+{
+    if (node.kind == "op_kind")
+        acc[node.name] += node.time;
+    for (const auto& child : node.children)
+        sumOpKindTimes(child, acc);
+}
+
+/** The op kind the analytical model spends the most time in ("" for
+ *  an empty tree) — the modeled side of the profile agreement check. */
+std::string
+attributionTopKind(const obs::Attribution& a)
+{
+    std::map<std::string, double> acc;
+    sumOpKindTimes(a.root, acc);
+    std::string best;
+    double best_t = -1.0;
+    for (const auto& kv : acc) {
+        if (kv.second > best_t) {
+            best_t = kv.second;
+            best = kv.first;
+        }
+    }
+    return best;
+}
+
+/** Ops of @p p sorted by self samples, descending. */
+std::vector<std::pair<std::string, obs::prof::OpStat>>
+opsBySelf(const obs::prof::FoldedProfile& p)
+{
+    std::vector<std::pair<std::string, obs::prof::OpStat>> ops(
+        p.ops.begin(), p.ops.end());
+    std::sort(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
+        if (a.second.self != b.second.self)
+            return a.second.self > b.second.self;
+        return a.first < b.first;
+    });
+    return ops;
+}
+
+/**
+ * Render the measured profile: top ops by self CPU time plus the
+ * measured-vs-modeled top-op-kind agreement verdict (skipped when no
+ * samples landed — a sub-millisecond run on an idle box).
+ */
+void
+printProfileReport(std::ostream& os, const obs::prof::FoldedProfile& p,
+                   const std::string& attr_kind, std::size_t top_ops)
+{
+    Table t({"op", "kind", "self s", "total s", "self %"});
+    t.setCaption(strformat(
+        "profile: %llu samples @ %.0f Hz (%llu dropped, %llu on "
+        "unregistered threads)",
+        static_cast<unsigned long long>(p.samples), p.hz,
+        static_cast<unsigned long long>(p.dropped),
+        static_cast<unsigned long long>(p.unregistered)));
+    std::size_t shown = 0;
+    for (const auto& kv : opsBySelf(p)) {
+        if (shown++ >= top_ops)
+            break;
+        const char* kind = obs::prof::frameKind(kv.first);
+        const double denom =
+            p.samples > 0 ? static_cast<double>(p.samples) : 1.0;
+        t.addRow({kv.first, *kind ? kind : "-",
+                  formatNumber(p.selfSeconds(kv.first), 3),
+                  formatNumber(p.hz > 0.0 ? static_cast<double>(
+                                                kv.second.total) /
+                                                p.hz
+                                          : 0.0,
+                               3),
+                  formatNumber(100.0 * static_cast<double>(
+                                           kv.second.self) /
+                                   denom,
+                               1)});
+    }
+    t.print(os);
+    if (p.samples == 0) {
+        os << "profile [ n/a ] no samples (run too short for "
+           << formatNumber(p.hz, 0) << " Hz)\n";
+        return;
+    }
+    const std::string measured = p.topKindBySelf();
+    os << "profile [" << (measured == attr_kind ? "PASS" : "FAIL")
+       << "] measured top op kind '" << measured
+       << "' vs attribution '" << attr_kind << "'\n";
+}
+
 int
 cmdRun(int argc, char** argv)
 {
     const auto flags = parseFlags(
         argc, argv, 2,
         withWorkloadFlags({"model", "platform", "json", "attribution",
-                           "trace-out", "report-out", "counters"}));
+                           "trace-out", "report-out", "counters",
+                           "profile-hz", "profile-out", "profile-reps",
+                           "flightrec-out", "flightrec-events"}));
     applyCountersFlag(flags);
-    const auto spec =
-        model::modelByName(flagOr(flags, "model", "llama2-7b"));
+    // Observed runs (profiler or flight recorder) execute the
+    // functional host path: real kernels on the thread pool, so
+    // SIGPROF samples and span events measure actual CPU work.
+    // Defaults mirror `cpullm counters` (tiny model, 32+32 tokens).
+    const bool observed = flags.count("profile-hz") != 0 ||
+                          flags.count("flightrec-out") != 0;
+    const auto spec = model::modelByName(
+        flagOr(flags, "model", observed ? "tiny" : "llama2-7b"));
     const auto platform =
         hw::platformByName(flagOr(flags, "platform", "spr"));
-    const perf::Workload w = workloadFromFlags(flags);
+    perf::Workload w = workloadFromFlags(flags);
+    if (observed) {
+        if (!flags.count("prompt"))
+            w.promptLen = 32;
+        if (!flags.count("gen"))
+            w.genLen = 32;
+        if (spec.weightBytes(w.dtype) >
+            engine::kMaxFunctionalWeightBytes)
+            usageError("model '" + spec.name +
+                       "' is too large for observed (functional) "
+                       "execution; use a small model (e.g. --model "
+                       "tiny)");
+    }
+    setupFlightRecorder(flags);
+    const bool profiling = setupProfiler(flags);
+    // More repetitions mean more samples; 3 gives a stable top-op
+    // ranking for the tiny default workload at the default 97 Hz.
+    const std::int64_t reps =
+        intFlag(flags, "profile-reps", profiling ? 3 : 1);
+    if (reps < 1)
+        usageError("--profile-reps expects a positive integer");
 
-    engine::CpuInferenceEngine eng(platform, spec);
+    engine::CpuInferenceEngine eng(
+        platform, spec,
+        observed ? engine::ExecutionMode::FunctionalAndTiming
+                 : engine::ExecutionMode::TimingOnly);
     obs::Tracer tracer;
     if (flags.count("trace-out"))
         eng.setTracer(&tracer);
     CountersSessionGuard pmu;
     obs::pmu::CounterScope pmu_scope("run");
-    const auto r = eng.infer(w);
+    auto r = eng.infer(w);
+    for (std::int64_t rep = 1; rep < reps; ++rep)
+        r = eng.infer(w);
     pmu_scope.close();
     const obs::pmu::PmuCounts measured = pmu_scope.counts();
+
+    obs::prof::FoldedProfile profile;
+    std::string attr_kind;
+    if (profiling) {
+        obs::prof::Profiler::instance().stop();
+        profile = obs::prof::Profiler::instance().collect();
+        attr_kind = attributionTopKind(r.attribution);
+        if (flags.count("profile-out")) {
+            if (obs::prof::writeCollapsedFile(flags.at("profile-out"),
+                                              profile))
+                inform("wrote collapsed profile ",
+                       flags.at("profile-out"));
+            else
+                warn("could not write '", flags.at("profile-out"),
+                     "'");
+        }
+    }
+    if (flags.count("flightrec-out")) {
+        obs::flightrec::record(obs::flightrec::EventType::Marker,
+                               "run_done");
+        if (obs::flightrec::dumpToFile(flags.at("flightrec-out")))
+            inform("wrote flight-recorder dump ",
+                   flags.at("flightrec-out"));
+        else
+            warn("could not write '", flags.at("flightrec-out"),
+                 "'");
+    }
 
     if (flags.count("trace-out") &&
         tracer.writeChromeTraceFile(flags.at("trace-out")))
@@ -293,6 +508,24 @@ cmdRun(int argc, char** argv)
                 obs::pmu::backendName(pmu.backend()),
                 jsonNumber(m.ipc).c_str(),
                 jsonNumber(m.llcMpki).c_str());
+        }
+        if (profiling) {
+            const std::string measured_kind = profile.topKindBySelf();
+            pmu_json += strformat(
+                ",\"profile\":{\"hz\":%s,\"samples\":%llu,"
+                "\"dropped\":%llu,\"unregistered\":%llu,"
+                "\"top_op\":\"%s\",\"top_kind\":\"%s\","
+                "\"attr_kind\":\"%s\",\"kinds_agree\":%s}",
+                jsonNumber(profile.hz).c_str(),
+                static_cast<unsigned long long>(profile.samples),
+                static_cast<unsigned long long>(profile.dropped),
+                static_cast<unsigned long long>(profile.unregistered),
+                profile.topOpBySelf().c_str(), measured_kind.c_str(),
+                attr_kind.c_str(),
+                profile.samples == 0
+                    ? "null"
+                    : (measured_kind == attr_kind ? "true"
+                                                  : "false"));
         }
         std::cout << strformat(
             "{\"model\":\"%s\",\"platform\":\"%s\",\"batch\":%lld,"
@@ -343,6 +576,8 @@ cmdRun(int argc, char** argv)
         t.addRow({"measured LLC MPKI", cell(m.llcMpki, 1)});
     }
     t.print(std::cout);
+    if (profiling)
+        printProfileReport(std::cout, profile, attr_kind, 10);
     return 0;
 }
 
@@ -368,6 +603,33 @@ probeTelemetry(int port)
         httpGet("127.0.0.1", port, "/health", &status);
     if (status != 200 || health.find("ok") == std::string::npos) {
         warn("probe: /health failed (status ", status, ")");
+        ok = false;
+    }
+
+    // Built-in liveness route (util/http_server.cc), no app handler.
+    const std::string healthz =
+        httpGet("127.0.0.1", port, "/healthz", &status);
+    if (status != 200 || healthz.find("ok") == std::string::npos) {
+        warn("probe: /healthz failed (status ", status, ")");
+        ok = false;
+    }
+
+    // 200 with a parseable dump when the recorder is on, a JSON 404
+    // otherwise.
+    const std::string frec =
+        httpGet("127.0.0.1", port, "/debug/flightrec", &status);
+    if (obs::flightrec::enabled()) {
+        obs::flightrec::ParsedDump dump;
+        std::string err;
+        if (status != 200 ||
+            !obs::flightrec::parseDump(frec, &dump, &err)) {
+            warn("probe: /debug/flightrec bad (status ", status, "): ",
+                 err);
+            ok = false;
+        }
+    } else if (status != 404) {
+        warn("probe: expected 404 from /debug/flightrec while "
+             "disabled, got ", status);
         ok = false;
     }
 
@@ -399,8 +661,8 @@ probeTelemetry(int port)
     }
 
     if (ok)
-        inform("probe: /metrics /health /stats.json /report ok on "
-               "port ", port);
+        inform("probe: /metrics /health /healthz /stats.json /report "
+               "/debug/flightrec ok on port ", port);
     return ok;
 }
 
@@ -415,9 +677,14 @@ cmdServe(int argc, char** argv, bool report_mode)
              "continuous", "json", "trace-out", "report-out",
              "telemetry-port", "prom-out", "linger", "probe",
              "slo-ttft-ms", "slo-tpot-ms", "slo-e2e-ms",
-             "slo-budget", "threads", "counters"}));
+             "slo-budget", "threads", "counters", "profile-hz",
+             "profile-out", "flightrec-out", "flightrec-events",
+             "flightrec-zscore", "flightrec-burn-rate"}));
     applyThreadsFlag(flags);
     applyCountersFlag(flags);
+    setupFlightRecorder(flags);
+    const bool profiling = setupProfiler(flags);
+    const bool flightrec_on = flags.count("flightrec-out") != 0;
     // Live for the whole serve run: the telemetry /metrics endpoint
     // exports cpullm_host_pmu_* gauges while the session is active.
     CountersSessionGuard pmu;
@@ -447,6 +714,29 @@ cmdServe(int argc, char** argv, bool report_mode)
     if (topt.slo.budget <= 0.0 || topt.slo.budget > 1.0)
         usageError("--slo-budget must be in (0, 1]");
     topt.genLen = w.genLen;
+    // Incident triggers: a latency z-score outlier or an SLO burn-
+    // rate breach dumps the flight recorder to the --flightrec-out
+    // path the moment it fires, while the ring still holds the
+    // events leading up to the anomaly.
+    topt.incidentZscore = numberFlag(flags, "flightrec-zscore", 0.0);
+    topt.incidentBurnRate =
+        numberFlag(flags, "flightrec-burn-rate", 0.0);
+    if (topt.incidentZscore < 0.0)
+        usageError("--flightrec-zscore must be >= 0");
+    if (topt.incidentBurnRate < 0.0)
+        usageError("--flightrec-burn-rate must be >= 0");
+    if ((topt.incidentZscore > 0.0 || topt.incidentBurnRate > 0.0) &&
+        !flightrec_on)
+        usageError("--flightrec-zscore/--flightrec-burn-rate require "
+                   "--flightrec-out");
+    if (flightrec_on) {
+        const std::string dump_path = flags.at("flightrec-out");
+        topt.onIncident = [dump_path](const std::string& reason) {
+            if (obs::flightrec::dumpToFile(dump_path))
+                warn("incident '", reason,
+                     "': dumped flight recorder to ", dump_path);
+        };
+    }
     serve::ServingTelemetry telemetry(topt);
 
     const int telemetry_port = static_cast<int>(
@@ -459,8 +749,21 @@ cmdServe(int argc, char** argv, bool report_mode)
         http.route("/metrics", [&telemetry] {
             std::ostringstream os;
             telemetry.writePrometheus(os);
+            obs::prof::Profiler& prof =
+                obs::prof::Profiler::instance();
+            if (prof.running())
+                obs::prof::writePromGauges(os, prof.collect());
             return HttpResponse{200, obs::kPromContentType,
                                 os.str()};
+        });
+        http.route("/debug/flightrec", [] {
+            if (!obs::flightrec::enabled())
+                return HttpResponse{
+                    404, "application/json",
+                    "{\"error\":\"flight recorder disabled; rerun "
+                    "with --flightrec-out\"}\n"};
+            return HttpResponse{200, "application/x-ndjson",
+                                obs::flightrec::dumpToString()};
         });
         http.route("/health", [] {
             return HttpResponse{200, "application/json",
@@ -578,6 +881,32 @@ cmdServe(int argc, char** argv, bool report_mode)
         }
         http.stop();
     }
+    if (profiling) {
+        obs::prof::Profiler& prof = obs::prof::Profiler::instance();
+        prof.stop();
+        const obs::prof::FoldedProfile p = prof.collect();
+        if (flags.count("profile-out")) {
+            if (obs::prof::writeCollapsedFile(flags.at("profile-out"),
+                                              p))
+                inform("wrote collapsed profile ",
+                       flags.at("profile-out"));
+            else
+                warn("could not write '", flags.at("profile-out"),
+                     "'");
+        }
+        inform("profile: ", p.samples, " samples @ ", p.hz, " Hz (",
+               p.dropped, " dropped)");
+    }
+    if (flightrec_on) {
+        obs::flightrec::record(obs::flightrec::EventType::Marker,
+                               "serve_done");
+        if (obs::flightrec::dumpToFile(flags.at("flightrec-out")))
+            inform("wrote flight-recorder dump ",
+                   flags.at("flightrec-out"));
+        else
+            warn("could not write '", flags.at("flightrec-out"),
+                 "'");
+    }
     if (!probe_ok)
         return 1;
 
@@ -612,6 +941,153 @@ cmdServe(int argc, char** argv, bool report_mode)
     t.addRow({"mean batch",
               formatNumber(res.meanBatchSize, 2)});
     t.print(std::cout);
+    return 0;
+}
+
+/**
+ * `cpullm profile`: offline report over profiling artifacts — a
+ * collapsed-stack file (--collapsed) and/or a flight-recorder JSONL
+ * dump (--flightrec). Prints the top ops and the dump composition,
+ * re-exports the dump as a Perfetto/Chrome trace with --perfetto-out,
+ * and emits a machine-readable summary with --json. A malformed
+ * artifact is a data error (exit 1), not a usage error.
+ */
+int
+cmdProfile(int argc, char** argv)
+{
+    const auto flags = parseFlags(argc, argv, 2,
+                                  {"collapsed", "flightrec",
+                                   "perfetto-out", "top", "json"});
+    const bool have_collapsed = flags.count("collapsed") != 0;
+    const bool have_dump = flags.count("flightrec") != 0;
+    if (!have_collapsed && !have_dump)
+        usageError("profile needs --collapsed F and/or "
+                   "--flightrec F");
+    if (flags.count("perfetto-out") && !have_dump)
+        usageError("--perfetto-out requires --flightrec");
+    const std::int64_t top = intFlag(flags, "top", 10);
+    if (top < 1)
+        usageError("--top expects a positive integer");
+
+    obs::prof::FoldedProfile prof;
+    obs::flightrec::ParsedDump dump;
+    std::string err;
+    if (have_collapsed &&
+        !obs::prof::parseCollapsedFile(flags.at("collapsed"), &prof,
+                                       &err)) {
+        warn("bad collapsed profile '", flags.at("collapsed"),
+             "': ", err);
+        return 1;
+    }
+    if (have_dump &&
+        !obs::flightrec::parseDumpFile(flags.at("flightrec"), &dump,
+                                       &err)) {
+        warn("bad flight-recorder dump '", flags.at("flightrec"),
+             "': ", err);
+        return 1;
+    }
+    if (flags.count("perfetto-out")) {
+        if (!obs::flightrec::writePerfettoFile(
+                flags.at("perfetto-out"), dump)) {
+            warn("could not write '", flags.at("perfetto-out"), "'");
+            return 1;
+        }
+        inform("wrote perfetto trace ", flags.at("perfetto-out"));
+    }
+
+    std::map<std::string, std::uint64_t> by_type;
+    for (const auto& rec : dump.records) {
+        by_type[obs::flightrec::eventTypeName(
+            static_cast<obs::flightrec::EventType>(rec.type))] += 1;
+    }
+
+    if (flags.count("json")) {
+        std::string doc = "{";
+        if (have_collapsed) {
+            doc += strformat(
+                "\"collapsed\":{\"samples\":%llu,\"stacks\":%llu,"
+                "\"ops\":%llu,\"top_op\":\"%s\","
+                "\"top_kind\":\"%s\"}",
+                static_cast<unsigned long long>(prof.samples),
+                static_cast<unsigned long long>(prof.stacks.size()),
+                static_cast<unsigned long long>(prof.ops.size()),
+                prof.topOpBySelf().c_str(),
+                prof.topKindBySelf().c_str());
+        }
+        if (have_dump) {
+            if (have_collapsed)
+                doc += ",";
+            doc += strformat(
+                "\"flightrec\":{\"version\":%d,\"pushed\":%llu,"
+                "\"overwritten\":%llu,\"capacity\":%llu,"
+                "\"threads\":%llu,\"records\":%llu,\"events\":{",
+                dump.version,
+                static_cast<unsigned long long>(dump.pushed),
+                static_cast<unsigned long long>(dump.overwritten),
+                static_cast<unsigned long long>(dump.capacity),
+                static_cast<unsigned long long>(dump.threads.size()),
+                static_cast<unsigned long long>(dump.records.size()));
+            bool first = true;
+            for (const auto& kv : by_type) {
+                doc += strformat(
+                    "%s\"%s\":%llu", first ? "" : ",",
+                    kv.first.c_str(),
+                    static_cast<unsigned long long>(kv.second));
+                first = false;
+            }
+            doc += "}}";
+        }
+        doc += "}";
+        std::cout << doc << "\n";
+        return 0;
+    }
+
+    if (have_collapsed) {
+        Table t({"op", "kind", "self", "total", "self %"});
+        t.setCaption(strformat(
+            "%s: %llu samples, %llu stacks, %llu ops",
+            flags.at("collapsed").c_str(),
+            static_cast<unsigned long long>(prof.samples),
+            static_cast<unsigned long long>(prof.stacks.size()),
+            static_cast<unsigned long long>(prof.ops.size())));
+        std::int64_t shown = 0;
+        for (const auto& kv : opsBySelf(prof)) {
+            if (shown++ >= top)
+                break;
+            const char* kind = obs::prof::frameKind(kv.first);
+            const double denom = prof.samples > 0
+                                     ? static_cast<double>(
+                                           prof.samples)
+                                     : 1.0;
+            t.addRow({kv.first, *kind ? kind : "-",
+                      formatNumber(
+                          static_cast<double>(kv.second.self), 0),
+                      formatNumber(
+                          static_cast<double>(kv.second.total), 0),
+                      formatNumber(100.0 * static_cast<double>(
+                                               kv.second.self) /
+                                       denom,
+                                   1)});
+        }
+        t.print(std::cout);
+    }
+    if (have_dump) {
+        Table t({"event", "records"});
+        t.setCaption(strformat(
+            "%s: v%d, %llu pushed (%llu overwritten), capacity %llu, "
+            "%llu threads",
+            flags.at("flightrec").c_str(), dump.version,
+            static_cast<unsigned long long>(dump.pushed),
+            static_cast<unsigned long long>(dump.overwritten),
+            static_cast<unsigned long long>(dump.capacity),
+            static_cast<unsigned long long>(dump.threads.size())));
+        for (const auto& kv : by_type) {
+            t.addRow({kv.first,
+                      formatNumber(static_cast<double>(kv.second),
+                                   0)});
+        }
+        t.print(std::cout);
+    }
     return 0;
 }
 
@@ -980,6 +1456,9 @@ usage()
            "  run      --model M --platform P --batch N [--prompt N]\n"
            "           [--gen N] [--dtype bf16|i8] [--json]\n"
            "           [--trace-out F] [--report-out F]\n"
+           "           [--profile-hz HZ] [--profile-out F]\n"
+           "           [--profile-reps N] [--flightrec-out F]\n"
+           "           [--flightrec-events N]\n"
            "  serve    --model M [--device cpu|gpu] [--gpu a100|h100]\n"
            "           [--platform P] [--rate R] [--requests N]\n"
            "           [--max-batch B] [--max-wait S] [--seed N]\n"
@@ -989,7 +1468,13 @@ usage()
            "           [--linger S] [--probe] [--slo-ttft-ms X]\n"
            "           [--slo-tpot-ms X] [--slo-e2e-ms X]\n"
            "           [--slo-budget R] [--threads N]\n"
+           "           [--profile-hz HZ] [--profile-out F]\n"
+           "           [--flightrec-out F] [--flightrec-events N]\n"
+           "           [--flightrec-zscore Z] [--flightrec-burn-rate R]\n"
            "  report   serve, printing the JSON run report on stdout\n"
+           "  profile  [--collapsed F] [--flightrec F] [--top N]\n"
+           "           [--perfetto-out F] [--json]\n"
+           "           report over profiling artifacts\n"
            "  compare  --model M --batch N [--prompt N] [--gen N]\n"
            "  bench    [--out DIR] [--quick] [--threads N]\n"
            "           write BENCH_*.json baselines (bench_diff)\n"
@@ -1006,7 +1491,11 @@ usage()
            "CPULLM_COUNTERS=auto|perf|soft|off selects the measured\n"
            "hardware-counter backend; --counters overrides it. The\n"
            "perf backend needs perf_event_paranoid <= 2 and degrades\n"
-           "to the rusage-based soft backend otherwise.\n";
+           "to the rusage-based soft backend otherwise.\n"
+           "CPULLM_LOG_LEVEL=silent|warn|info|debug sets verbosity.\n"
+           "--profile-hz samples logical stacks with SIGPROF;\n"
+           "--flightrec-out records the last N events and dumps them\n"
+           "at exit, on crash, and (serve) on SLO incidents.\n";
 }
 
 } // namespace
@@ -1026,7 +1515,11 @@ main(int argc, char** argv)
         if (!obs::pmu::applyCountersEnv(&bad))
             usageError("CPULLM_COUNTERS expects auto|perf|soft|off, "
                        "got '" + bad + "'");
+        applyLogLevelEnv();
     }
+    // The main thread's registry slot: profiler samples and flight-
+    // recorder events on this thread attribute to "main".
+    threadreg::registerCurrentThread("main");
     const std::string cmd = argv[1];
     if (cmd == "run")
         return cmdRun(argc, argv);
@@ -1034,6 +1527,8 @@ main(int argc, char** argv)
         return cmdServe(argc, argv, /*report_mode=*/false);
     if (cmd == "report")
         return cmdServe(argc, argv, /*report_mode=*/true);
+    if (cmd == "profile")
+        return cmdProfile(argc, argv);
     if (cmd == "compare")
         return cmdCompare(argc, argv);
     if (cmd == "bench")

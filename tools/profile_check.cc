@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Self-check consumer for the continuous-profiling artifacts.
+ *
+ *   profile_check --crash-dump PATH   end-to-end crash drill: fork a
+ *       child that registers worker threads, enables the flight
+ *       recorder, installs the crash handler with PATH and dies by
+ *       SIGSEGV; assert the child terminated by that signal, that the
+ *       dump it left behind parses strictly, carries at least one
+ *       record for every registered thread, and contains the crash
+ *       record itself.
+ *   profile_check --dump FILE         validate an existing JSONL
+ *       flight-recorder dump (schema, per-thread sequence
+ *       monotonicity, no duplicate records, per-thread timestamps).
+ *   profile_check --collapsed FILE    validate a collapsed-stack
+ *       profile (parses, has samples, every frame folds to a known
+ *       or empty op kind).
+ *
+ * Exit codes: 0 ok, 1 validation failure, 2 usage error.
+ */
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/flight_recorder.h"
+#include "obs/profiler.h"
+#include "util/thread_registry.h"
+
+using namespace cpullm;
+
+namespace {
+
+int g_failures = 0;
+
+void
+fail(const std::string& msg)
+{
+    std::cerr << "profile_check: " << msg << "\n";
+    ++g_failures;
+}
+
+[[noreturn]] void
+usage()
+{
+    std::cerr << "usage: profile_check --crash-dump PATH | "
+                 "--dump FILE | --collapsed FILE\n";
+    std::exit(2);
+}
+
+/**
+ * Structural validation shared by every dump source. Per-thread
+ * sequence numbers must be strictly increasing in ring order (the
+ * seqlock can drop torn slots, never reorder or duplicate them), and
+ * per-thread timestamps must be non-decreasing. Thread coverage
+ * (>= 1 record per header thread) is only checkable when nothing was
+ * overwritten — a wrapped ring legitimately lost its oldest records.
+ */
+void
+validateDump(const obs::flightrec::ParsedDump& dump,
+             bool require_crash_record)
+{
+    if (dump.version != obs::flightrec::kDumpVersion)
+        fail("dump version " + std::to_string(dump.version) +
+             " != " + std::to_string(obs::flightrec::kDumpVersion));
+    if (dump.capacity == 0)
+        fail("dump capacity is zero");
+    if (dump.records.size() > dump.capacity)
+        fail("more records than ring capacity");
+    if (dump.pushed < dump.records.size())
+        fail("pushed counter below record count");
+
+    std::map<std::uint32_t, std::uint64_t> last_seq;
+    std::map<std::uint32_t, std::uint64_t> last_ns;
+    std::set<std::pair<std::uint32_t, std::uint64_t>> seen;
+    bool crash_seen = false;
+    for (const auto& r : dump.records) {
+        if (!seen.insert({r.tid, r.seq}).second)
+            fail("duplicate record (tid " + std::to_string(r.tid) +
+                 ", seq " + std::to_string(r.seq) + ")");
+        auto it = last_seq.find(r.tid);
+        if (it != last_seq.end() && r.seq <= it->second)
+            fail("per-thread seq not strictly increasing (tid " +
+                 std::to_string(r.tid) + ": " +
+                 std::to_string(it->second) + " then " +
+                 std::to_string(r.seq) + ")");
+        last_seq[r.tid] = r.seq;
+        auto tn = last_ns.find(r.tid);
+        if (tn != last_ns.end() && r.t_ns < tn->second)
+            fail("per-thread timestamps went backwards (tid " +
+                 std::to_string(r.tid) + ")");
+        last_ns[r.tid] = r.t_ns;
+        if (static_cast<obs::flightrec::EventType>(r.type) ==
+            obs::flightrec::EventType::Crash)
+            crash_seen = true;
+    }
+
+    if (dump.overwritten == 0) {
+        for (const auto& th : dump.threads) {
+            if (!last_seq.count(th.tid))
+                fail("registered thread '" + th.name + "' (tid " +
+                     std::to_string(th.tid) +
+                     ") left no record in the dump");
+        }
+    }
+    if (require_crash_record && !crash_seen)
+        fail("no crash record in the dump");
+}
+
+int
+checkDumpFile(const std::string& path, bool require_crash_record)
+{
+    obs::flightrec::ParsedDump dump;
+    std::string err;
+    if (!obs::flightrec::parseDumpFile(path, &dump, &err)) {
+        fail("cannot parse '" + path + "': " + err);
+        return 1;
+    }
+    validateDump(dump, require_crash_record);
+    if (g_failures == 0)
+        std::cout << "profile_check: " << path << " ok ("
+                  << dump.records.size() << " records, "
+                  << dump.threads.size() << " threads)\n";
+    return g_failures == 0 ? 0 : 1;
+}
+
+/**
+ * The child half of the crash drill: real threads, real frames, a
+ * real SIGSEGV. Never returns.
+ */
+[[noreturn]] void
+crashChild(const std::string& path)
+{
+    threadreg::registerCurrentThread("main");
+    obs::flightrec::enable(1 << 12);
+    obs::flightrec::installCrashHandler(path);
+
+    // Worker threads register (emitting thread_start markers via the
+    // register sink) and trace a few spans so every thread owns
+    // records beyond its start marker.
+    std::vector<std::thread> workers;
+    for (int i = 0; i < 3; ++i) {
+        workers.emplace_back([i] {
+            char name[16];
+            std::snprintf(name, sizeof(name), "worker%d", i);
+            threadreg::registerCurrentThread(name);
+            for (int rep = 0; rep < 4; ++rep) {
+                threadreg::ScopedFrame frame("spin");
+                obs::flightrec::record(
+                    obs::flightrec::EventType::Marker, "work", rep);
+            }
+        });
+    }
+    for (auto& w : workers)
+        w.join();
+
+    {
+        threadreg::ScopedFrame frame("doomed");
+        std::raise(SIGSEGV); // handler dumps, re-raises, process dies
+    }
+    std::_Exit(3); // unreachable: SIGSEGV must have killed us
+}
+
+int
+checkCrashDump(const std::string& path)
+{
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        fail("fork failed");
+        return 1;
+    }
+    if (pid == 0)
+        crashChild(path);
+
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid) {
+        fail("waitpid failed");
+        return 1;
+    }
+    if (!WIFSIGNALED(status) || WTERMSIG(status) != SIGSEGV) {
+        fail("child did not die by SIGSEGV (status " +
+             std::to_string(status) + ")");
+        return 1;
+    }
+    return checkDumpFile(path, /*require_crash_record=*/true);
+}
+
+int
+checkCollapsed(const std::string& path)
+{
+    obs::prof::FoldedProfile prof;
+    std::string err;
+    if (!obs::prof::parseCollapsedFile(path, &prof, &err)) {
+        fail("cannot parse '" + path + "': " + err);
+        return 1;
+    }
+    if (prof.samples == 0)
+        fail("collapsed profile has no samples");
+    std::uint64_t self_sum = 0;
+    for (const auto& kv : prof.ops)
+        self_sum += kv.second.self;
+    // Each sample contributes at most one leaf op (frameless samples
+    // carry only the thread name).
+    if (self_sum > prof.samples)
+        fail("self samples (" + std::to_string(self_sum) +
+             ") exceed total samples (" +
+             std::to_string(prof.samples) + ")");
+    if (g_failures == 0)
+        std::cout << "profile_check: " << path << " ok ("
+                  << prof.samples << " samples, " << prof.ops.size()
+                  << " ops, top kind '" << prof.topKindBySelf()
+                  << "')\n";
+    return g_failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc != 3)
+        usage();
+    const std::string mode = argv[1];
+    const std::string path = argv[2];
+    if (mode == "--crash-dump")
+        return checkCrashDump(path);
+    if (mode == "--dump")
+        return checkDumpFile(path, /*require_crash_record=*/false);
+    if (mode == "--collapsed")
+        return checkCollapsed(path);
+    usage();
+}
