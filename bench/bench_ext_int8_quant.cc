@@ -1,9 +1,12 @@
 /**
  * @file
- * Extension: weight-only INT8 quantization (related work [48],
- * Shen et al.). Weights stream at half the bytes and compute at the
- * AMX INT8 rate while activations/KV stay BF16. Prints BF16 vs INT8
- * decode throughput and HBM residency over the model zoo.
+ * Extension: weight-only INT8/INT4 quantization (related work [48],
+ * Shen et al.). Weights stream at half (INT8) or a quarter (INT4) of
+ * the BF16 bytes and compute at the AMX INT8 rate while
+ * activations/KV stay BF16. Prints BF16 vs INT8 vs INT4 decode
+ * throughput and HBM residency over the model zoo; series names
+ * (`*_gain`, `*_hbm_frac`) line up with the measured-kernel
+ * counterparts in bench_host_quant.
  */
 
 #include "bench_common.h"
@@ -18,34 +21,44 @@ using namespace cpullm;
 core::FigureData
 buildInt8Figure()
 {
-    core::FigureData f("ext_int8",
-                       "BF16 vs weight-only INT8 on SPR (batch 1)",
-                       "model", "value");
+    core::FigureData f(
+        "ext_int8", "BF16 vs weight-only INT8/INT4 on SPR (batch 1)",
+        "model", "value");
     std::vector<std::string> labels;
-    std::vector<double> bf16_tput, int8_tput, gain, hbm_bf16,
-        hbm_int8;
+    std::vector<double> bf16_tput, int8_tput, int4_tput, gain8, gain4,
+        hbm_bf16, hbm_int8, hbm_int4;
 
     for (const auto& m : model::evaluatedModels()) {
         engine::CpuInferenceEngine eng(hw::sprDefaultPlatform(), m);
         const auto wb = perf::paperWorkload(1);
         perf::Workload wq = wb;
         wq.dtype = DType::I8;
+        perf::Workload wq4 = wb;
+        wq4.dtype = DType::I4;
         const auto rb = eng.infer(wb);
         const auto rq = eng.infer(wq);
+        const auto rq4 = eng.infer(wq4);
         labels.push_back(m.name);
         bf16_tput.push_back(rb.timing.decodeThroughput);
         int8_tput.push_back(rq.timing.decodeThroughput);
-        gain.push_back(rq.timing.decodeThroughput /
-                       rb.timing.decodeThroughput);
+        int4_tput.push_back(rq4.timing.decodeThroughput);
+        gain8.push_back(rq.timing.decodeThroughput /
+                        rb.timing.decodeThroughput);
+        gain4.push_back(rq4.timing.decodeThroughput /
+                        rb.timing.decodeThroughput);
         hbm_bf16.push_back(rb.weightsHbmFraction);
         hbm_int8.push_back(rq.weightsHbmFraction);
+        hbm_int4.push_back(rq4.weightsHbmFraction);
     }
     f.setXLabels(labels);
     f.addSeries("bf16_decode_tok_s", std::move(bf16_tput));
     f.addSeries("int8_decode_tok_s", std::move(int8_tput));
-    f.addSeries("int8_gain", std::move(gain));
+    f.addSeries("int4_decode_tok_s", std::move(int4_tput));
+    f.addSeries("int8_gain", std::move(gain8));
+    f.addSeries("int4_gain", std::move(gain4));
     f.addSeries("bf16_hbm_frac", std::move(hbm_bf16));
     f.addSeries("int8_hbm_frac", std::move(hbm_int8));
+    f.addSeries("int4_hbm_frac", std::move(hbm_int4));
     return f;
 }
 

@@ -34,8 +34,10 @@ syntheticPrompts(std::int64_t vocab, std::int64_t batch,
 CpuInferenceEngine::CpuInferenceEngine(const hw::PlatformConfig& platform,
                                        model::ModelSpec spec,
                                        ExecutionMode mode,
-                                       std::uint64_t seed)
-    : spec_(std::move(spec)), mode_(mode), perf_(platform), seed_(seed)
+                                       std::uint64_t seed,
+                                       gemm::WeightDtype wquant)
+    : spec_(std::move(spec)), mode_(mode), perf_(platform),
+      seed_(seed), wquant_(wquant)
 {
     spec_.validate();
     if (mode_ == ExecutionMode::FunctionalAndTiming) {
@@ -46,7 +48,7 @@ CpuInferenceEngine::CpuInferenceEngine(const hw::PlatformConfig& platform,
                 formatBytes(wbytes),
                 " of host memory; use ExecutionMode::TimingOnly");
         }
-        functional_.emplace(spec_, gemmEngine(), seed_);
+        functional_.emplace(spec_, gemmEngine(), seed_, wquant_);
     }
 }
 

@@ -72,11 +72,17 @@ class CpuInferenceEngine
      * @param platform validated platform (see hw::platformByName)
      * @param spec     model architecture
      * @param mode     TimingOnly for paper-scale models
+     * @param seed     RNG seed for functional-mode weights
+     * @param wquant   weight-only quantization of the functional
+     *                 model's weight caches; defaults to the
+     *                 process-wide --wquant / CPULLM_WQUANT request
      */
     CpuInferenceEngine(const hw::PlatformConfig& platform,
                        model::ModelSpec spec,
                        ExecutionMode mode = ExecutionMode::TimingOnly,
-                       std::uint64_t seed = 7);
+                       std::uint64_t seed = 7,
+                       gemm::WeightDtype wquant =
+                           gemm::requestedWeightDtype());
 
     const hw::PlatformConfig& platform() const
     {
@@ -89,6 +95,15 @@ class CpuInferenceEngine
     /** The GEMM engine the platform maps to (AMX on SPR, AVX-512 on
      *  ICL). */
     gemm::Engine gemmEngine() const;
+
+    /** Weight quantization applied to the functional weight caches. */
+    gemm::WeightDtype weightQuant() const { return wquant_; }
+
+    /** The functional model, when FunctionalAndTiming built one. */
+    const model::TransformerModel* functionalModel() const
+    {
+        return functional_ ? &*functional_ : nullptr;
+    }
 
     /** Simulate (and in functional mode also execute) one request. */
     InferenceResult infer(const perf::Workload& workload);
@@ -129,6 +144,7 @@ class CpuInferenceEngine
     perf::CpuPerfModel perf_;
     std::optional<model::TransformerModel> functional_;
     std::uint64_t seed_;
+    gemm::WeightDtype wquant_ = gemm::WeightDtype::Native;
     stats::Registry stats_;
     obs::Tracer* tracer_ = nullptr;
 };

@@ -1,14 +1,183 @@
 #include "gemm/packed_weights.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+// The INT4 fast path uses AVX-512F intrinsics inside a
+// target("avx512f") function, which GCC/Clang permit without any
+// -march flag; runtime dispatch below keeps the binary portable.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define CPULLM_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
 
 #include "gemm/pack.h"
+#include "isa/avx512.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/string_util.h"
 
 namespace cpullm {
 namespace gemm {
+
+namespace {
+
+std::atomic<WeightDtype> requested_wdtype_{WeightDtype::Native};
+
+// Process-wide quantization counters (the AttnStats pattern).
+// Error aggregates are doubles merged under a mutex: preparation is
+// cold (once per weight), the kernels never touch it.
+std::atomic<std::uint64_t> q_tensors_{0};
+std::atomic<std::uint64_t> q_tensors_i4_{0};
+std::atomic<std::uint64_t> q_packed_bytes_{0};
+std::atomic<std::uint64_t> q_native_bytes_{0};
+std::atomic<std::uint64_t> q_gemm_calls_{0};
+std::atomic<std::uint64_t> q_gemv_calls_{0};
+std::atomic<std::uint64_t> q_bytes_streamed_{0};
+std::mutex q_err_mu_;
+double q_max_abs_err_ = 0.0;
+double q_err_sum_sq_ = 0.0;
+std::uint64_t q_err_elems_ = 0;
+
+void
+quantStatsOnPrepare(bool is_i4, std::uint64_t packed_bytes,
+                    std::uint64_t native_bytes, double max_abs_err,
+                    double err_sum_sq, std::uint64_t elems)
+{
+    q_tensors_.fetch_add(1, std::memory_order_relaxed);
+    if (is_i4)
+        q_tensors_i4_.fetch_add(1, std::memory_order_relaxed);
+    q_packed_bytes_.fetch_add(packed_bytes,
+                              std::memory_order_relaxed);
+    q_native_bytes_.fetch_add(native_bytes,
+                              std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(q_err_mu_);
+    q_max_abs_err_ = std::max(q_max_abs_err_, max_abs_err);
+    q_err_sum_sq_ += err_sum_sq;
+    q_err_elems_ += elems;
+}
+
+void
+quantStatsOnCall(bool is_gemv, std::uint64_t bytes)
+{
+    (is_gemv ? q_gemv_calls_ : q_gemm_calls_)
+        .fetch_add(1, std::memory_order_relaxed);
+    q_bytes_streamed_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+} // namespace
+
+const char*
+weightDtypeName(WeightDtype d)
+{
+    switch (d) {
+      case WeightDtype::Native:
+        return "bf16";
+      case WeightDtype::I8Grouped:
+        return "int8";
+      case WeightDtype::I4Grouped:
+        return "int4";
+    }
+    CPULLM_PANIC("unhandled weight dtype");
+}
+
+bool
+weightDtypeFromName(const std::string& name, WeightDtype* out)
+{
+    const std::string n = toLower(name);
+    if (n == "bf16" || n == "native" || n == "none") {
+        *out = WeightDtype::Native;
+        return true;
+    }
+    if (n == "int8" || n == "i8" || n == "i8g") {
+        *out = WeightDtype::I8Grouped;
+        return true;
+    }
+    if (n == "int4" || n == "i4" || n == "i4g") {
+        *out = WeightDtype::I4Grouped;
+        return true;
+    }
+    return false;
+}
+
+WeightDtype
+requestedWeightDtype()
+{
+    return requested_wdtype_.load(std::memory_order_relaxed);
+}
+
+void
+setRequestedWeightDtype(WeightDtype d)
+{
+    requested_wdtype_.store(d, std::memory_order_relaxed);
+}
+
+bool
+applyWquantEnv(std::string* err_value)
+{
+    const char* env = std::getenv("CPULLM_WQUANT");
+    if (env == nullptr || *env == '\0')
+        return true;
+    WeightDtype d;
+    if (!weightDtypeFromName(env, &d)) {
+        if (err_value != nullptr)
+            *err_value = env;
+        return false;
+    }
+    setRequestedWeightDtype(d);
+    return true;
+}
+
+QuantStats
+quantStats()
+{
+    QuantStats s;
+    s.tensors = q_tensors_.load(std::memory_order_relaxed);
+    s.tensorsI4 = q_tensors_i4_.load(std::memory_order_relaxed);
+    s.packedBytes = q_packed_bytes_.load(std::memory_order_relaxed);
+    s.nativeBytes = q_native_bytes_.load(std::memory_order_relaxed);
+    s.gemmCalls = q_gemm_calls_.load(std::memory_order_relaxed);
+    s.gemvCalls = q_gemv_calls_.load(std::memory_order_relaxed);
+    s.bytesStreamed =
+        q_bytes_streamed_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(q_err_mu_);
+    s.maxAbsErr = q_max_abs_err_;
+    s.rmsErr = q_err_elems_ > 0
+                   ? std::sqrt(q_err_sum_sq_ /
+                               static_cast<double>(q_err_elems_))
+                   : 0.0;
+    return s;
+}
+
+void
+resetQuantStats()
+{
+    q_tensors_.store(0, std::memory_order_relaxed);
+    q_tensors_i4_.store(0, std::memory_order_relaxed);
+    q_packed_bytes_.store(0, std::memory_order_relaxed);
+    q_native_bytes_.store(0, std::memory_order_relaxed);
+    q_gemm_calls_.store(0, std::memory_order_relaxed);
+    q_gemv_calls_.store(0, std::memory_order_relaxed);
+    q_bytes_streamed_.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(q_err_mu_);
+    q_max_abs_err_ = 0.0;
+    q_err_sum_sq_ = 0.0;
+    q_err_elems_ = 0;
+}
+
+std::uint64_t
+packedBf16Bytes(std::int64_t k, std::int64_t n)
+{
+    const std::int64_t n_blocks = (n + kTileN - 1) / kTileN;
+    const std::int64_t k_steps = (k + kTileKBf16 - 1) / kTileKBf16;
+    return static_cast<std::uint64_t>(n_blocks * k_steps *
+                                      PackedWeightsBf16::kTileElems) *
+           sizeof(BFloat16);
+}
 
 PackedWeightsBf16::PackedWeightsBf16(const BFloat16* b, std::int64_t k,
                                      std::int64_t n)
@@ -46,11 +215,18 @@ PackedWeightsI8::PackedWeightsI8(const float* b, std::int64_t k,
     float bmax = 0.0f;
     for (std::int64_t i = 0; i < k * n; ++i)
         bmax = std::max(bmax, std::fabs(b[i]));
-    const QuantParams qb = QuantParams::forAbsMax(bmax);
-    scale_ = qb.scale;
     std::vector<std::int8_t> bq(static_cast<std::size_t>(k * n));
-    for (std::int64_t i = 0; i < k * n; ++i)
-        bq[static_cast<std::size_t>(i)] = qb.quantize(b[i]);
+    if (bmax > 0.0f) {
+        const QuantParams qb = QuantParams::forAbsMax(bmax);
+        scale_ = qb.scale;
+        for (std::int64_t i = 0; i < k * n; ++i)
+            bq[static_cast<std::size_t>(i)] = qb.quantize(b[i]);
+    } else {
+        // All-zero weights: an explicit scale-1 / zero-tile guard so
+        // no divisor can be 0 and the dequantized output is exactly
+        // zero rather than 0 * (1/0) = NaN.
+        scale_ = 1.0f;
+    }
 
     data_.resize(
         static_cast<std::size_t>(n_blocks_ * k_steps_ * kTileElems));
@@ -92,6 +268,585 @@ PackedWeightsVnni::PackedWeightsVnni(const BFloat16* b, std::int64_t k,
     }, 8);
 }
 
+PackedWeightsI8G::PackedWeightsI8G(const float* b, std::int64_t k,
+                                   std::int64_t n, std::int64_t group)
+    : k_(k), n_(n), group_(group), groups_(group > 0 ? (k + group - 1) / group : 0)
+{
+    CPULLM_ASSERT(k > 0 && n > 0, "PackedWeightsI8G needs K,N >= 1");
+    CPULLM_ASSERT(group > 0 &&
+                      group % isa::Vec512::kF32Lanes == 0,
+                  "quant group must be a positive multiple of ",
+                  isa::Vec512::kF32Lanes, ", got ", group);
+    const std::int64_t k_pad = kPad();
+    data_.assign(static_cast<std::size_t>(n * k_pad), 0);
+    scales_.assign(static_cast<std::size_t>(n * groups_), 1.0f);
+    // Per-column error partials merged serially below so the stored
+    // aggregates are independent of thread count.
+    std::vector<double> col_max(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> col_sq(static_cast<std::size_t>(n), 0.0);
+    parallelFor(0, static_cast<std::size_t>(n), [&](std::size_t j_s) {
+        const auto j = static_cast<std::int64_t>(j_s);
+        std::int8_t* codes = data_.data() + j * k_pad;
+        float* scales = scales_.data() + j * groups_;
+        double cmax = 0.0, csq = 0.0;
+        for (std::int64_t g = 0; g < groups_; ++g) {
+            const std::int64_t k0 = g * group_;
+            const std::int64_t kend =
+                std::min(k, k0 + group_);
+            float absmax = 0.0f;
+            for (std::int64_t kk = k0; kk < kend; ++kk)
+                absmax = std::max(absmax,
+                                  std::fabs(b[kk * n + j]));
+            // All-zero groups keep the default scale 1 / zero codes
+            // (same guard as the per-tensor INT8 path).
+            const float scale =
+                absmax > 0.0f ? absmax / 127.0f : 1.0f;
+            scales[g] = scale;
+            for (std::int64_t kk = k0; kk < kend; ++kk) {
+                const float v = b[kk * n + j];
+                float r = std::nearbyint(v / scale);
+                r = std::min(127.0f, std::max(-127.0f, r));
+                codes[kk] = static_cast<std::int8_t>(r);
+                const double err = std::fabs(
+                    static_cast<double>(scale) *
+                        static_cast<double>(r) -
+                    static_cast<double>(v));
+                cmax = std::max(cmax, err);
+                csq += err * err;
+            }
+        }
+        col_max[j_s] = cmax;
+        col_sq[j_s] = csq;
+    }, 4);
+    for (std::int64_t j = 0; j < n; ++j) {
+        max_abs_err_ = std::max(
+            max_abs_err_, col_max[static_cast<std::size_t>(j)]);
+        err_sum_sq_ += col_sq[static_cast<std::size_t>(j)];
+    }
+    quantStatsOnPrepare(/*is_i4=*/false, bytes(),
+                        packedBf16Bytes(k, n), max_abs_err_,
+                        err_sum_sq_,
+                        static_cast<std::uint64_t>(k * n));
+}
+
+PackedWeightsI4G::PackedWeightsI4G(const float* b, std::int64_t k,
+                                   std::int64_t n, std::int64_t group,
+                                   bool with_offset)
+    : k_(k), n_(n), group_(group), groups_(group > 0 ? (k + group - 1) / group : 0)
+{
+    CPULLM_ASSERT(k > 0 && n > 0, "PackedWeightsI4G needs K,N >= 1");
+    CPULLM_ASSERT(group > 0 &&
+                      group % isa::Vec512::kF32Lanes == 0,
+                  "quant group must be a positive multiple of ",
+                  isa::Vec512::kF32Lanes, ", got ", group);
+    const std::int64_t k_pad = kPad();
+    // Padding bytes hold the symmetric zero code in both nibbles so
+    // dequant() of the padded tail is exactly 0 (the kernels never
+    // read padding at all — activations are zero-padded instead).
+    const std::uint8_t pad_byte =
+        with_offset ? 0
+                    : static_cast<std::uint8_t>(kSymBias |
+                                                (kSymBias << 4));
+    data_.assign(static_cast<std::size_t>(n * (k_pad / 2)), pad_byte);
+    scales_.assign(static_cast<std::size_t>(n * groups_), 1.0f);
+    if (with_offset)
+        offsets_.assign(static_cast<std::size_t>(n * groups_), 0.0f);
+    std::vector<double> col_max(static_cast<std::size_t>(n), 0.0);
+    std::vector<double> col_sq(static_cast<std::size_t>(n), 0.0);
+    parallelFor(0, static_cast<std::size_t>(n), [&](std::size_t j_s) {
+        const auto j = static_cast<std::int64_t>(j_s);
+        std::uint8_t* bytes_row = data_.data() + j * (k_pad / 2);
+        float* scales = scales_.data() + j * groups_;
+        double cmax = 0.0, csq = 0.0;
+        for (std::int64_t g = 0; g < groups_; ++g) {
+            const std::int64_t k0 = g * group_;
+            const std::int64_t kend = std::min(k, k0 + group_);
+            float scale = 1.0f, offset = 0.0f;
+            if (with_offset) {
+                // NF4-style affine range: real = scale * u + offset,
+                // u in [0, 15]. Constant groups degenerate to
+                // scale 1 / offset = value, reproduced by u = 0.
+                float vmin = b[k0 * n + j], vmax = vmin;
+                for (std::int64_t kk = k0; kk < kend; ++kk) {
+                    const float v = b[kk * n + j];
+                    vmin = std::min(vmin, v);
+                    vmax = std::max(vmax, v);
+                }
+                scale = (vmax - vmin) / 15.0f;
+                if (!(scale > 0.0f))
+                    scale = 1.0f;
+                offset = vmin;
+                offsets_[static_cast<std::size_t>(j * groups_ + g)] =
+                    offset;
+            } else {
+                float absmax = 0.0f;
+                for (std::int64_t kk = k0; kk < kend; ++kk)
+                    absmax = std::max(absmax,
+                                      std::fabs(b[kk * n + j]));
+                scale = absmax > 0.0f ? absmax / 7.0f : 1.0f;
+            }
+            scales[g] = scale;
+            for (std::int64_t kk = k0; kk < kend; ++kk) {
+                const float v = b[kk * n + j];
+                int u;
+                float deq;
+                if (with_offset) {
+                    float r = std::nearbyint((v - offset) / scale);
+                    r = std::min(15.0f, std::max(0.0f, r));
+                    u = static_cast<int>(r);
+                    deq = scale * static_cast<float>(u) + offset;
+                } else {
+                    float r = std::nearbyint(v / scale);
+                    r = std::min(7.0f, std::max(-7.0f, r));
+                    u = static_cast<int>(r) + kSymBias;
+                    deq = scale * static_cast<float>(u - kSymBias);
+                }
+                // Planar 16-element micro-blocks: byte i of a block
+                // holds element i in the low nibble and element i+8
+                // in the high one, so the decode loop splits a whole
+                // block with two mask/shift ops on one 64-bit load.
+                const std::int64_t r = kk & 15;
+                std::uint8_t& byte =
+                    bytes_row[(kk >> 4) * 8 + (r & 7)];
+                byte = r < 8
+                           ? static_cast<std::uint8_t>(
+                                 (byte & 0xf0) | u)
+                           : static_cast<std::uint8_t>(
+                                 (byte & 0x0f) | (u << 4));
+                const double err =
+                    std::fabs(static_cast<double>(deq) -
+                              static_cast<double>(v));
+                cmax = std::max(cmax, err);
+                csq += err * err;
+            }
+        }
+        col_max[j_s] = cmax;
+        col_sq[j_s] = csq;
+    }, 4);
+    for (std::int64_t j = 0; j < n; ++j) {
+        max_abs_err_ = std::max(
+            max_abs_err_, col_max[static_cast<std::size_t>(j)]);
+        err_sum_sq_ += col_sq[static_cast<std::size_t>(j)];
+    }
+    quantStatsOnPrepare(/*is_i4=*/true, bytes(),
+                        packedBf16Bytes(k, n), max_abs_err_,
+                        err_sum_sq_,
+                        static_cast<std::uint64_t>(k * n));
+}
+
+namespace {
+
+/**
+ * The hot dot loops below are written lane-parallel (16 independent
+ * accumulation chains, folded in a fixed pairwise tree) so the
+ * compiler can map them onto whatever vector unit the host has, and
+ * are cloned per ISA level with runtime ifunc dispatch where the
+ * toolchain supports it. Every clone executes the same fixed
+ * accumulation sequence on a given machine (dispatch is resolved
+ * once per process), so thread-count invariance and the GEMV==GEMM
+ * agreement are unaffected.
+ */
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#define CPULLM_HOT_CLONES \
+    __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3", \
+                                 "default")))
+#else
+#define CPULLM_HOT_CLONES
+#endif
+
+constexpr int kDotLanes = 16;
+
+/** Fixed pairwise-tree fold of the lane accumulators. */
+inline float
+foldLanes(float* lanes)
+{
+    for (int stride = kDotLanes / 2; stride > 0; stride /= 2)
+        for (int l = 0; l < stride; ++l)
+            lanes[l] += lanes[l + stride];
+    return lanes[0];
+}
+
+/**
+ * Dot of activation row @p arow against output column @p j of the
+ * grouped-INT8 weight. The group scale is factored out of the inner
+ * loop (sum codes-times-activation first, scale once per group); the
+ * code bytes widen to float inside the lane loop, which the vector
+ * clones turn into sign-extend + convert + FMA. The per-group scale
+ * applies lane-wise into a column-level accumulator (one more FMA
+ * per group), so the lane fold happens exactly once per column. The
+ * whole column is computed by one caller with one deterministic
+ * accumulation sequence — that is what makes the GEMM/GEMV paths and
+ * every thread count bitwise agree.
+ */
+CPULLM_HOT_CLONES float
+dotColI8gPortable(const float* arow, const PackedWeightsI8G& b,
+                  std::int64_t j)
+{
+    const std::int64_t k = b.k();
+    const std::int64_t group = b.group();
+    const std::int8_t* codes = b.row(j);
+    const float* scales = b.scaleRow(j);
+    float accl[kDotLanes] = {};
+    float acc_tail = 0.0f;
+    for (std::int64_t g = 0; g < b.groups(); ++g) {
+        const std::int64_t k0 = g * group;
+        const std::int64_t kend = std::min(k, k0 + group);
+        float lanes[kDotLanes] = {};
+        std::int64_t kk = k0;
+        for (; kk + kDotLanes <= kend; kk += kDotLanes)
+            for (int l = 0; l < kDotLanes; ++l)
+                lanes[l] += arow[kk + l] *
+                            static_cast<float>(codes[kk + l]);
+        float t = 0.0f;
+        for (; kk < kend; ++kk)
+            t += arow[kk] * static_cast<float>(codes[kk]);
+        for (int l = 0; l < kDotLanes; ++l)
+            accl[l] += scales[g] * lanes[l];
+        acc_tail += scales[g] * t;
+    }
+    return foldLanes(accl) + acc_tail;
+}
+
+#if CPULLM_X86_DISPATCH
+// GCC's _mm512_undefined_*() helpers (inside the convert intrinsics)
+// trip -Wmaybe-uninitialized when AVX-512 is enabled per-function
+// instead of globally (GCC PR105593); the values are intentionally
+// undefined inputs to masked builtins, so silence the false alarm.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+/**
+ * AVX-512F INT8 dot: one 16-byte code load, one VPMOVSXBD widen, one
+ * convert and one FMA per 16 elements; the group scale applies as a
+ * vector FMA into the column accumulator and the pairwise fold runs
+ * once per column, mirroring the portable path's fixed accumulation
+ * structure (dispatch is resolved once per process, so a given
+ * machine always sees one deterministic sequence).
+ */
+__attribute__((target("avx512f"))) float
+dotColI8gAvx512(const float* arow, const PackedWeightsI8G& b,
+                std::int64_t j)
+{
+    const std::int64_t k = b.k();
+    const std::int64_t group = b.group();
+    const std::int8_t* codes = b.row(j);
+    const float* scales = b.scaleRow(j);
+    __m512 acc = _mm512_setzero_ps();
+    float acc_tail = 0.0f;
+    for (std::int64_t g = 0; g < b.groups(); ++g) {
+        const std::int64_t k0 = g * group;
+        const std::int64_t kend = std::min(k, k0 + group);
+        __m512 lanes = _mm512_setzero_ps();
+        std::int64_t kk = k0;
+        for (; kk + kDotLanes <= kend; kk += kDotLanes) {
+            const __m128i c16 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(codes + kk));
+            const __m512 w =
+                _mm512_cvtepi32_ps(_mm512_cvtepi8_epi32(c16));
+            lanes = _mm512_fmadd_ps(_mm512_loadu_ps(arow + kk), w,
+                                    lanes);
+        }
+        float t = 0.0f;
+        for (; kk < kend; ++kk)
+            t += arow[kk] * static_cast<float>(codes[kk]);
+        acc = _mm512_fmadd_ps(_mm512_set1_ps(scales[g]), lanes, acc);
+        acc_tail += scales[g] * t;
+    }
+    alignas(64) float accl[kDotLanes];
+    _mm512_store_ps(accl, acc);
+    return foldLanes(accl) + acc_tail;
+}
+#pragma GCC diagnostic pop
+#endif // CPULLM_X86_DISPATCH
+
+/** One-time runtime dispatch between the INT8 dot implementations
+ *  (resolved once per process — see dotColI4g). */
+inline float
+dotColI8g(const float* arow, const PackedWeightsI8G& b, std::int64_t j)
+{
+#if CPULLM_X86_DISPATCH
+    static const bool use_avx512 = __builtin_cpu_supports("avx512f");
+    if (use_avx512)
+        return dotColI8gAvx512(arow, b, j);
+#endif
+    return dotColI8gPortable(arow, b, j);
+}
+
+/**
+ * Per-group sums of the activation row (asums[g] = sum of arow over
+ * group g's K range). These are column-independent, so the callers
+ * compute them once per activation row and every dotColI4g call
+ * reuses them to fold the nibble bias / affine offset analytically —
+ * the per-column work never touches a second reduction pass.
+ */
+CPULLM_HOT_CLONES void
+groupActSums(const float* arow, std::int64_t k, std::int64_t group,
+             std::int64_t groups, float* asums)
+{
+    for (std::int64_t g = 0; g < groups; ++g) {
+        const std::int64_t k0 = g * group;
+        const std::int64_t kend = std::min(k, k0 + group);
+        float lanes[kDotLanes] = {};
+        std::int64_t kk = k0;
+        for (; kk + kDotLanes <= kend; kk += kDotLanes)
+            for (int l = 0; l < kDotLanes; ++l)
+                lanes[l] += arow[kk + l];
+        float s = foldLanes(lanes);
+        for (; kk < kend; ++kk)
+            s += arow[kk];
+        asums[g] = s;
+    }
+}
+
+/** Per-group decode buffer length for the portable INT4 path (a
+ *  multiple of kDotLanes; bounds the stack frame). */
+constexpr std::int64_t kDotChunk = 256;
+
+/**
+ * Portable INT4 counterpart of dotColI8g: each chunk of the group
+ * first splits the planar 16-element nibble blocks into an
+ * unsigned-code stack buffer — one 64-bit load plus two mask/shift
+ * ops per block — then runs the INT8 path's lane-parallel widen+FMA
+ * dot over it. The nibble bias and the affine offset both fold
+ * analytically per group against the precomputed activation sums
+ * @p asums (groupActSums): sum(a * s*(u-8)) = s * sum(a*u) - 8*s *
+ * sum(a), and sum(a * (s*u + o)) = s * sum(a*u) + o * sum(a), so the
+ * per-column work is one decode+dot pass with a single lane fold at
+ * the end. Deterministic fixed accumulation order, same bitwise
+ * contract as dotColI8g.
+ */
+CPULLM_HOT_CLONES float
+dotColI4gPortable(const float* arow, const PackedWeightsI4G& b,
+                  std::int64_t j, const float* asums)
+{
+    const std::int64_t k = b.k();
+    const std::int64_t group = b.group();
+    const std::uint8_t* bytes_row = b.row(j);
+    const float* scales = b.scaleRow(j);
+    const bool affine = b.withOffset();
+    const float* offsets = affine ? b.offsetRow(j) : nullptr;
+    std::uint8_t w8[kDotChunk];
+    float accl[kDotLanes] = {};
+    float acc_tail = 0.0f;
+    for (std::int64_t g = 0; g < b.groups(); ++g) {
+        // Group starts are block-aligned: group is a multiple of 16.
+        const std::int64_t k0 = g * group;
+        const std::int64_t kend = std::min(k, k0 + group);
+        float lanes[kDotLanes] = {};
+        float gtail = 0.0f;
+        for (std::int64_t c0 = k0; c0 < kend; c0 += kDotChunk) {
+            const std::int64_t len =
+                std::min(kDotChunk, kend - c0);
+            const std::uint8_t* bp = bytes_row + c0 / 2;
+            const std::int64_t full = (len / 16) * 16;
+            constexpr std::uint64_t kLoMask = 0x0f0f0f0f0f0f0f0fULL;
+            for (std::int64_t t = 0; t < full; t += 16) {
+                std::uint64_t v;
+                std::memcpy(&v, bp + t / 2, sizeof v);
+#if defined(__BYTE_ORDER__) && \
+    __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+                const std::uint64_t lo = v & kLoMask;
+                const std::uint64_t hi = (v >> 4) & kLoMask;
+                std::memcpy(w8 + t, &lo, sizeof lo);
+                std::memcpy(w8 + t + 8, &hi, sizeof hi);
+#else
+                for (int i = 0; i < 8; ++i) {
+                    const std::uint8_t byte = bp[t / 2 + i];
+                    w8[t + i] = byte & 0xf;
+                    w8[t + 8 + i] = byte >> 4;
+                }
+#endif
+            }
+            for (std::int64_t t = full; t < len; ++t) {
+                // Ragged final block: same planar indexing as code().
+                const std::int64_t r = t & 15;
+                const std::uint8_t byte =
+                    bp[(t >> 4) * 8 + (r & 7)];
+                w8[t] = r < 8 ? (byte & 0xf) : (byte >> 4);
+            }
+            const float* a0 = arow + c0;
+            std::int64_t i = 0;
+            for (; i + kDotLanes <= len; i += kDotLanes)
+                for (int l = 0; l < kDotLanes; ++l)
+                    lanes[l] += a0[i + l] *
+                                static_cast<float>(w8[i + l]);
+            for (; i < len; ++i)
+                gtail += a0[i] * static_cast<float>(w8[i]);
+        }
+        // Symmetric: w = s*(u-8); affine: w = s*u + o.
+        const float off = affine ? offsets[g] : -8.0f * scales[g];
+        for (int l = 0; l < kDotLanes; ++l)
+            accl[l] += scales[g] * lanes[l];
+        acc_tail += scales[g] * gtail + off * asums[g];
+    }
+    return foldLanes(accl) + acc_tail;
+}
+
+#if CPULLM_X86_DISPATCH
+// Same GCC PR105593 false alarm as the INT8 block above.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+/**
+ * AVX-512F INT4 dot: the planar block layout decodes in-register —
+ * one 8-byte load, two mask/shift ops to split the nibbles (low
+ * nibbles are block elements 0-7, high nibbles elements 8-15), one
+ * VPMOVZXBD widen, one convert and one FMA per 16 elements, so the
+ * inner loop costs the same as the INT8 path while streaming half
+ * the bytes. Same analytic bias/offset folding against @p asums and
+ * the same fixed pairwise fold as the portable path (values may
+ * differ from it in the last bit, but dispatch is resolved once per
+ * process, so every caller on a given machine sees one deterministic
+ * accumulation sequence).
+ */
+__attribute__((target("avx512f"))) float
+dotColI4gAvx512(const float* arow, const PackedWeightsI4G& b,
+                std::int64_t j, const float* asums)
+{
+    const std::int64_t k = b.k();
+    const std::int64_t group = b.group();
+    const std::uint8_t* bytes_row = b.row(j);
+    const float* scales = b.scaleRow(j);
+    const bool affine = b.withOffset();
+    const float* offsets = affine ? b.offsetRow(j) : nullptr;
+    const __m128i lo_mask = _mm_set1_epi8(0x0f);
+    __m512 acc = _mm512_setzero_ps();
+    float acc_tail = 0.0f;
+    for (std::int64_t g = 0; g < b.groups(); ++g) {
+        // Group starts are block-aligned: group is a multiple of 16.
+        const std::int64_t k0 = g * group;
+        const std::int64_t kend = std::min(k, k0 + group);
+        const std::int64_t len = kend - k0;
+        const std::int64_t blocks = len / 16;
+        const std::uint8_t* bp = bytes_row + (k0 / 16) * 8;
+        const float* a0 = arow + k0;
+        __m512 lanes = _mm512_setzero_ps();
+        for (std::int64_t t = 0; t < blocks; ++t) {
+            std::uint64_t v;
+            std::memcpy(&v, bp + t * 8, sizeof v);
+            const __m128i bytes =
+                _mm_set_epi64x(0, static_cast<long long>(v));
+            const __m128i lo = _mm_and_si128(bytes, lo_mask);
+            const __m128i hi = _mm_and_si128(
+                _mm_srli_epi16(bytes, 4), lo_mask);
+            const __m512 w = _mm512_cvtepi32_ps(
+                _mm512_cvtepu8_epi32(_mm_unpacklo_epi64(lo, hi)));
+            lanes = _mm512_fmadd_ps(_mm512_loadu_ps(a0 + t * 16), w,
+                                    lanes);
+        }
+        float gtail = 0.0f;
+        for (std::int64_t t = blocks * 16; t < len; ++t) {
+            // Ragged final block: same planar indexing as code().
+            const std::int64_t r = t & 15;
+            const std::uint8_t byte = bp[(t >> 4) * 8 + (r & 7)];
+            gtail += a0[t] * static_cast<float>(
+                                 r < 8 ? (byte & 0xf) : (byte >> 4));
+        }
+        // Symmetric: w = s*(u-8); affine: w = s*u + o.
+        const float off = affine ? offsets[g] : -8.0f * scales[g];
+        acc = _mm512_fmadd_ps(_mm512_set1_ps(scales[g]), lanes, acc);
+        acc_tail += scales[g] * gtail + off * asums[g];
+    }
+    alignas(64) float accl[kDotLanes];
+    _mm512_store_ps(accl, acc);
+    return foldLanes(accl) + acc_tail;
+}
+#pragma GCC diagnostic pop
+#endif // CPULLM_X86_DISPATCH
+
+/** One-time runtime dispatch between the INT4 dot implementations
+ *  (resolved once per process, so the per-machine accumulation
+ *  sequence is fixed — the thread-invariance contract holds). */
+inline float
+dotColI4g(const float* arow, const PackedWeightsI4G& b, std::int64_t j,
+          const float* asums)
+{
+#if CPULLM_X86_DISPATCH
+    static const bool use_avx512 = __builtin_cpu_supports("avx512f");
+    if (use_avx512)
+        return dotColI4gAvx512(arow, b, j, asums);
+#endif
+    return dotColI4gPortable(arow, b, j, asums);
+}
+
+} // namespace
+
+void
+gemmAvx512I8gPacked(const float* a, const PackedWeightsI8G& b,
+                    float* c, std::int64_t m)
+{
+    CPULLM_ASSERT(!b.empty(), "gemmAvx512I8gPacked on empty weights");
+    const std::int64_t n = b.n();
+    const std::int64_t k = b.k();
+    const std::int64_t n_chunks = (n + kTileN - 1) / kTileN;
+    quantStatsOnCall(/*is_gemv=*/false, b.bytes());
+    // Fixed 16-column tasks: every output element is computed whole
+    // inside one task, so any thread count / backend produces the
+    // same bits.
+    parallelFor(0, static_cast<std::size_t>(n_chunks),
+                [&](std::size_t cb) {
+        const std::int64_t j0 =
+            static_cast<std::int64_t>(cb) * kTileN;
+        const std::int64_t j1 =
+            std::min<std::int64_t>(n, j0 + kTileN);
+        for (std::int64_t j = j0; j < j1; ++j)
+            for (std::int64_t mi = 0; mi < m; ++mi)
+                c[mi * n + j] = dotColI8g(a + mi * k, b, j);
+    });
+}
+
+void
+gemmAvx512I4gPacked(const float* a, const PackedWeightsI4G& b,
+                    float* c, std::int64_t m)
+{
+    CPULLM_ASSERT(!b.empty(), "gemmAvx512I4gPacked on empty weights");
+    const std::int64_t n = b.n();
+    const std::int64_t k = b.k();
+    const std::int64_t n_chunks = (n + kTileN - 1) / kTileN;
+    quantStatsOnCall(/*is_gemv=*/false, b.bytes());
+    // Per-row activation group sums, shared read-only by every task
+    // (they fold the nibble bias / affine offset analytically).
+    std::vector<float> asums(static_cast<std::size_t>(m * b.groups()));
+    for (std::int64_t mi = 0; mi < m; ++mi)
+        groupActSums(a + mi * k, k, b.group(), b.groups(),
+                     asums.data() + mi * b.groups());
+    parallelFor(0, static_cast<std::size_t>(n_chunks),
+                [&](std::size_t cb) {
+        const std::int64_t j0 =
+            static_cast<std::int64_t>(cb) * kTileN;
+        const std::int64_t j1 =
+            std::min<std::int64_t>(n, j0 + kTileN);
+        for (std::int64_t j = j0; j < j1; ++j)
+            for (std::int64_t mi = 0; mi < m; ++mi)
+                c[mi * n + j] =
+                    dotColI4g(a + mi * k, b, j,
+                              asums.data() + mi * b.groups());
+    });
+}
+
+void
+gemvI4gFused(const float* a, const PackedWeightsI4G& b, float* c)
+{
+    CPULLM_ASSERT(!b.empty(), "gemvI4gFused on empty weights");
+    const std::int64_t n = b.n();
+    const std::int64_t n_chunks = (n + kTileN - 1) / kTileN;
+    quantStatsOnCall(/*is_gemv=*/true, b.bytes());
+    std::vector<float> asums(static_cast<std::size_t>(b.groups()));
+    groupActSums(a, b.k(), b.group(), b.groups(), asums.data());
+    // Decode specialization: no M loop, each task streams a run of
+    // column rows linearly (grain 4 = 64 columns amortizes pool
+    // dispatch). Task boundaries stay the same 16-column chunks, so
+    // the output is bitwise identical to gemmAvx512I4gPacked(m=1)
+    // for any thread count (the attnFused contract).
+    parallelFor(0, static_cast<std::size_t>(n_chunks),
+                [&](std::size_t cb) {
+        const std::int64_t j0 =
+            static_cast<std::int64_t>(cb) * kTileN;
+        const std::int64_t j1 =
+            std::min<std::int64_t>(n, j0 + kTileN);
+        for (std::int64_t j = j0; j < j1; ++j)
+            c[j] = dotColI4g(a, b, j, asums.data());
+    }, 4);
+}
+
 PreparedB::PreparedB(Engine engine, const Tensor& b) : engine_(engine)
 {
     CPULLM_ASSERT(b.rank() == 2,
@@ -120,6 +875,73 @@ PreparedB::PreparedB(Engine engine, const Tensor& b) : engine_(engine)
       }
     }
     CPULLM_PANIC("unhandled engine");
+}
+
+PreparedB::PreparedB(Engine engine, const Tensor& b,
+                     WeightDtype wdtype, std::int64_t group)
+{
+    if (wdtype == WeightDtype::Native) {
+        *this = PreparedB(engine, b);
+        return;
+    }
+    CPULLM_ASSERT(b.rank() == 2,
+                  "PreparedB expects a rank-2 weight, got ",
+                  shapeToString(b.shape()));
+    engine_ = engine;
+    wdtype_ = wdtype;
+    k_ = b.dim(0);
+    n_ = b.dim(1);
+    const Tensor bf = b.cast(DType::F32);
+    if (wdtype == WeightDtype::I8Grouped)
+        i8g_ = PackedWeightsI8G(bf.data<float>(), k_, n_, group);
+    else
+        i4g_ = PackedWeightsI4G(bf.data<float>(), k_, n_, group);
+}
+
+const PackedWeightsI8G&
+PreparedB::i8g() const
+{
+    CPULLM_ASSERT(wdtype_ == WeightDtype::I8Grouped,
+                  "PreparedB holds ", weightDtypeName(wdtype_),
+                  " weights, not int8");
+    return i8g_;
+}
+
+const PackedWeightsI4G&
+PreparedB::i4g() const
+{
+    CPULLM_ASSERT(wdtype_ == WeightDtype::I4Grouped,
+                  "PreparedB holds ", weightDtypeName(wdtype_),
+                  " weights, not int4");
+    return i4g_;
+}
+
+double
+PreparedB::quantMaxAbsErr() const
+{
+    switch (wdtype_) {
+      case WeightDtype::Native:
+        return 0.0;
+      case WeightDtype::I8Grouped:
+        return i8g_.maxAbsErr();
+      case WeightDtype::I4Grouped:
+        return i4g_.maxAbsErr();
+    }
+    CPULLM_PANIC("unhandled weight dtype");
+}
+
+double
+PreparedB::quantErrSumSq() const
+{
+    switch (wdtype_) {
+      case WeightDtype::Native:
+        return 0.0;
+      case WeightDtype::I8Grouped:
+        return i8g_.errSumSq();
+      case WeightDtype::I4Grouped:
+        return i4g_.errSumSq();
+    }
+    CPULLM_PANIC("unhandled weight dtype");
 }
 
 const Tensor&
@@ -172,6 +994,20 @@ matmul(Engine engine, const Tensor& a, const PreparedB& b)
 
     Tensor out({m, b.n()}, DType::F32);
     float* cp = out.data<float>();
+
+    if (b.weightDtype() != WeightDtype::Native) {
+        // Weight-only quantization: activations stay FP32 and the
+        // fused-dequant kernels run on every engine; only the weight
+        // stream shrinks (the decode bandwidth lever).
+        const Tensor af = a.cast(DType::F32);
+        if (b.weightDtype() == WeightDtype::I8Grouped)
+            gemmAvx512I8gPacked(af.data<float>(), b.i8g(), cp, m);
+        else if (m == 1)
+            gemvI4gFused(af.data<float>(), b.i4g(), cp);
+        else
+            gemmAvx512I4gPacked(af.data<float>(), b.i4g(), cp, m);
+        return out;
+    }
 
     switch (engine) {
       case Engine::Reference: {

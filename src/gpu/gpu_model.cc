@@ -299,11 +299,13 @@ GpuPerfModel::gemmThroughput(std::int64_t m, std::int64_t n,
     const double flops = 2.0 * static_cast<double>(m) *
                          static_cast<double>(n) *
                          static_cast<double>(k);
+    // Weight operand (k*n) sized in bits so sub-byte dtypes account
+    // honestly; activations never go below one byte per element.
     const double bytes = static_cast<double>(
+        static_cast<std::uint64_t>(k) * n * dtypeBits(dtype) / 8 +
         (static_cast<std::uint64_t>(m) * k +
-         static_cast<std::uint64_t>(k) * n +
          static_cast<std::uint64_t>(m) * n) *
-        dtypeSize(dtype));
+            dtypeSize(dtype));
     const double compute =
         flops / (gpu_.bf16Flops * gemmEfficiency(m, n, k));
     const double memory = bytes / gpu_.memory.bandwidth;

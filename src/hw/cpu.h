@@ -44,7 +44,9 @@ struct CpuComputeConfig
     double
     bestFlopsPerSocket(DType dtype) const
     {
-        if (dtype == DType::I8) {
+        // INT4 weights dequant into the INT8/VNNI units, so they
+        // share the INT8 compute peak.
+        if (dtype == DType::I8 || dtype == DType::I4) {
             return hasAmx() ? amxInt8OpsPerSocket
                             : avx512Int8OpsPerSocket;
         }

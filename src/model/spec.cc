@@ -44,7 +44,8 @@ ModelSpec::numParameters() const
 std::uint64_t
 ModelSpec::weightBytes(DType dtype) const
 {
-    return numParameters() * dtypeSize(dtype);
+    // Bit-based so sub-byte weight dtypes (INT4) report true footprint.
+    return numParameters() * dtypeBits(dtype) / 8;
 }
 
 std::uint64_t

@@ -1,5 +1,6 @@
 #include "model/transformer.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "gemm/attention.h"
@@ -24,8 +25,9 @@ initWeight(Shape shape, Rng& rng, float fan_in)
 } // namespace
 
 TransformerModel::TransformerModel(ModelSpec spec, gemm::Engine engine,
-                                   std::uint64_t seed)
-    : spec_(std::move(spec)), engine_(engine)
+                                   std::uint64_t seed,
+                                   gemm::WeightDtype wquant)
+    : spec_(std::move(spec)), engine_(engine), wquant_(wquant)
 {
     spec_.validate();
     Rng rng(seed);
@@ -79,19 +81,20 @@ TransformerModel::TransformerModel(ModelSpec spec, gemm::Engine engine,
     }
 
     // Prepare every projection weight for the engine once: dtype
-    // conversion, INT8 quantization, and AMX tile packing move from
+    // conversion, quantization (engine-native INT8 or the grouped
+    // INT8/INT4 weight-only formats), and AMX tile packing move from
     // per-matmul to construction time.
     prepared_.reserve(static_cast<size_t>(spec_.numLayers));
     for (const LayerWeights& w : layers_) {
         PreparedLayerWeights p;
-        p.wq = gemm::PreparedB(engine_, w.wq);
-        p.wk = gemm::PreparedB(engine_, w.wk);
-        p.wv = gemm::PreparedB(engine_, w.wv);
-        p.wo = gemm::PreparedB(engine_, w.wo);
+        p.wq = gemm::PreparedB(engine_, w.wq, wquant_);
+        p.wk = gemm::PreparedB(engine_, w.wk, wquant_);
+        p.wv = gemm::PreparedB(engine_, w.wv, wquant_);
+        p.wo = gemm::PreparedB(engine_, w.wo, wquant_);
         if (spec_.gatedFfn)
-            p.wGate = gemm::PreparedB(engine_, w.wGate);
-        p.wUp = gemm::PreparedB(engine_, w.wUp);
-        p.wDown = gemm::PreparedB(engine_, w.wDown);
+            p.wGate = gemm::PreparedB(engine_, w.wGate, wquant_);
+        p.wUp = gemm::PreparedB(engine_, w.wUp, wquant_);
+        p.wDown = gemm::PreparedB(engine_, w.wDown, wquant_);
         prepared_.push_back(std::move(p));
     }
     if (spec_.posEmbedding == PosEmbedding::Rotary)
@@ -105,10 +108,35 @@ TransformerModel::TransformerModel(ModelSpec spec, gemm::Engine engine,
         for (std::int64_t vtok = 0; vtok < spec_.vocabSize; ++vtok)
             for (std::int64_t c = 0; c < d; ++c)
                 ep[c * spec_.vocabSize + vtok] = emb[vtok * d + c];
-        preparedHead_ = gemm::PreparedB(engine_, et);
+        preparedHead_ = gemm::PreparedB(engine_, et, wquant_);
     } else {
-        preparedHead_ = gemm::PreparedB(engine_, lmHead_);
+        preparedHead_ = gemm::PreparedB(engine_, lmHead_, wquant_);
     }
+}
+
+std::vector<TransformerModel::LayerQuantError>
+TransformerModel::layerQuantErrors() const
+{
+    std::vector<LayerQuantError> errs;
+    errs.reserve(prepared_.size());
+    for (const PreparedLayerWeights& p : prepared_) {
+        LayerQuantError e;
+        double sum_sq = 0.0;
+        std::int64_t elems = 0;
+        const gemm::PreparedB* ws[] = {&p.wq, &p.wk,   &p.wv,  &p.wo,
+                                       &p.wGate, &p.wUp, &p.wDown};
+        for (const gemm::PreparedB* w : ws) {
+            if (w->empty())
+                continue;
+            e.maxAbsErr = std::max(e.maxAbsErr, w->quantMaxAbsErr());
+            sum_sq += w->quantErrSumSq();
+            elems += w->quantErrElems();
+        }
+        if (elems > 0)
+            e.rmsErr = std::sqrt(sum_sq / static_cast<double>(elems));
+        errs.push_back(e);
+    }
+    return errs;
 }
 
 kv::KvCache

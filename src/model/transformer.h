@@ -62,12 +62,30 @@ class TransformerModel
      * @param spec   architecture (use tinyTestModel() for tests)
      * @param engine matrix engine for all linear projections
      * @param seed   RNG seed for weight init
+     * @param wquant weight-only quantization for the projection and
+     *               LM-head caches (Native keeps the engine packing)
      */
     TransformerModel(ModelSpec spec, gemm::Engine engine,
-                     std::uint64_t seed = 7);
+                     std::uint64_t seed = 7,
+                     gemm::WeightDtype wquant =
+                         gemm::WeightDtype::Native);
 
     const ModelSpec& spec() const { return spec_; }
     gemm::Engine engine() const { return engine_; }
+    gemm::WeightDtype weightQuant() const { return wquant_; }
+
+    /** Weight-quantization error of one decoder block's caches. */
+    struct LayerQuantError
+    {
+        double maxAbsErr = 0.0; ///< worst |dequant - fp32| element
+        double rmsErr = 0.0;    ///< RMS over all block weight elements
+    };
+
+    /**
+     * Per-layer dequantization error across all prepared projection
+     * weights of each block (all zeros when wquant is Native).
+     */
+    std::vector<LayerQuantError> layerQuantErrors() const;
 
     /** Allocate a KV cache sized for @p batch x @p max_seq. */
     kv::KvCache makeKvCache(std::int64_t batch,
@@ -142,6 +160,7 @@ class TransformerModel
 
     ModelSpec spec_;
     gemm::Engine engine_;
+    gemm::WeightDtype wquant_ = gemm::WeightDtype::Native;
     Tensor tokenEmbedding_; ///< [vocab, d]
     Tensor posEmbedding_;   ///< [max_seq, d] (learned only)
     Tensor finalNormW_, finalNormB_;

@@ -18,9 +18,18 @@ dtypeSize(DType t)
       case DType::F16:
         return 2;
       case DType::I8:
+      case DType::I4: // storage ceiling; use dtypeBits for traffic math
         return 1;
     }
     CPULLM_PANIC("unhandled dtype");
+}
+
+std::size_t
+dtypeBits(DType t)
+{
+    if (t == DType::I4)
+        return 4;
+    return dtypeSize(t) * 8;
 }
 
 std::string
@@ -37,6 +46,8 @@ dtypeName(DType t)
         return "i8";
       case DType::I32:
         return "i32";
+      case DType::I4:
+        return "i4";
     }
     CPULLM_PANIC("unhandled dtype");
 }
@@ -55,6 +66,8 @@ dtypeFromName(const std::string& name)
         return DType::I8;
     if (n == "i32" || n == "int32")
         return DType::I32;
+    if (n == "i4" || n == "int4")
+        return DType::I4;
     CPULLM_FATAL("unknown dtype '", name, "'");
 }
 

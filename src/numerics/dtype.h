@@ -20,10 +20,18 @@ enum class DType : std::uint8_t {
     F16,  ///< IEEE binary16 (footprint accounting, GPU native)
     I8,   ///< signed 8-bit integer (AMX INT8 path)
     I32,  ///< 32-bit integer (INT8 accumulator)
+    I4,   ///< 4-bit integer (weight-only quantization accounting)
 };
 
-/** Bytes per element of @p t. */
+/**
+ * Bytes per element of @p t, rounded up to a whole storage byte.
+ * I4 reports 1 here (tensors never store nibbles); bandwidth and
+ * footprint math must use dtypeBits to keep sub-byte dtypes honest.
+ */
 std::size_t dtypeSize(DType t);
+
+/** Bits per element of @p t (4 for I4). */
+std::size_t dtypeBits(DType t);
 
 /** Human-readable name ("bf16", ...). */
 std::string dtypeName(DType t);

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "gemm/attention.h"
+#include "gemm/packed_weights.h"
 #include "obs/counters.h"
 #include "util/csv.h"
 #include "util/json.h"
@@ -213,6 +214,48 @@ recordHostAttnStats(stats::Registry& reg)
     set("host.attn.scratch_allocs",
         "per-thread attention scratch growths (0 in steady state)",
         s.scratchAllocs);
+}
+
+void
+recordHostQuantStats(stats::Registry& reg)
+{
+    const gemm::QuantStats s = gemm::quantStats();
+    if (s.tensors == 0)
+        return;
+    auto set = [&reg](const char* name, const char* desc, double v) {
+        reg.scalar(name, desc).set(v);
+    };
+    set("host.quant.tensors", "weight tensors quantized group-wise",
+        static_cast<double>(s.tensors));
+    set("host.quant.tensors_i4",
+        "of which nibble-packed INT4 (rest INT8)",
+        static_cast<double>(s.tensorsI4));
+    set("host.quant.packed_bytes",
+        "quantized weight bytes resident (codes + scales)",
+        static_cast<double>(s.packedBytes));
+    set("host.quant.native_bytes",
+        "packed BF16 tile bytes the quantized forms replace",
+        static_cast<double>(s.nativeBytes));
+    set("host.quant.bytes_ratio",
+        "packed_bytes / native_bytes (lower is better)",
+        s.nativeBytes > 0 ? static_cast<double>(s.packedBytes) /
+                                static_cast<double>(s.nativeBytes)
+                          : std::nan(""));
+    set("host.quant.gemm_calls",
+        "fused-dequant GEMM calls (m > 1 or INT8 grouped)",
+        static_cast<double>(s.gemmCalls));
+    set("host.quant.gemv_calls",
+        "fused decode GEMV calls (m == 1, INT4)",
+        static_cast<double>(s.gemvCalls));
+    set("host.quant.bytes_streamed",
+        "packed weight bytes streamed by the fused kernels",
+        static_cast<double>(s.bytesStreamed));
+    set("host.quant.max_abs_err",
+        "worst per-weight dequantization error",
+        s.maxAbsErr);
+    set("host.quant.rms_err",
+        "RMS dequantization error over all quantized weights",
+        s.rmsErr);
 }
 
 void

@@ -67,6 +67,16 @@ void recordHostAttnStats(stats::Registry& reg);
  */
 void recordHostPmuStats(stats::Registry& reg);
 
+/**
+ * Snapshot the process-wide quantized-weight counters
+ * (gemm::quantStats) into @p reg as host.quant.* scalars: prepared
+ * tensor counts and footprints (packed vs the BF16 tiles they
+ * replace, plus the derived bytes_ratio), fused-kernel call/byte
+ * counts, and the dequantization error aggregates (max_abs_err,
+ * rms_err). No-op when no quantized weights were prepared.
+ */
+void recordHostQuantStats(stats::Registry& reg);
+
 } // namespace obs
 } // namespace cpullm
 

@@ -334,11 +334,15 @@ CpuPerfModel::gemmThroughput(std::int64_t m, std::int64_t n,
     const double flops = 2.0 * static_cast<double>(m) *
                          static_cast<double>(n) *
                          static_cast<double>(k);
+    // The k*n operand is the streamed weight matrix; size it in bits
+    // so sub-byte weight dtypes (INT4) see their bandwidth saving.
+    // The m*k / m*n operands are activations, which never go below
+    // one byte per element.
     const std::uint64_t bytes =
+        static_cast<std::uint64_t>(k) * n * dtypeBits(dtype) / 8 +
         (static_cast<std::uint64_t>(m) * k +
-         static_cast<std::uint64_t>(k) * n +
          static_cast<std::uint64_t>(m) * n) *
-        dtypeSize(dtype);
+            dtypeSize(dtype);
 
     // Operands stream from the fastest local memory.
     mem::RegionSizes sizes;

@@ -22,10 +22,11 @@ sumOps(const std::vector<OpDesc>& ops)
 
 namespace {
 
-/** Weight GEMM over t tokens: y[t,n] = x[t,k] * W[k,n]. */
+/** Weight GEMM over t tokens: y[t,n] = x[t,k] * W[k,n]. Weight width
+ * is passed in bits so sub-byte dtypes (INT4) account honestly. */
 OpDesc
 weightGemm(const std::string& name, std::int64_t tokens, std::int64_t k,
-           std::int64_t n, std::size_t wbytes, std::size_t abytes)
+           std::int64_t n, std::size_t wbits, std::size_t abytes)
 {
     OpDesc op;
     op.name = name;
@@ -36,7 +37,7 @@ weightGemm(const std::string& name, std::int64_t tokens, std::int64_t k,
     op.flops = 2.0 * static_cast<double>(tokens) *
                static_cast<double>(k) * static_cast<double>(n);
     op.weightBytes = static_cast<std::uint64_t>(k) *
-                     static_cast<std::uint64_t>(n) * wbytes;
+                     static_cast<std::uint64_t>(n) * wbits / 8;
     op.actBytes = static_cast<std::uint64_t>(tokens) *
                   (static_cast<std::uint64_t>(k) +
                    static_cast<std::uint64_t>(n)) *
@@ -59,7 +60,7 @@ buildPhaseOps(const model::ModelSpec& spec, Phase phase, const Workload& w,
     const std::int64_t ff = spec.dFf;
     // Weight-only quantization can give weights a narrower dtype
     // than activations/KV; activations stay 16-bit.
-    const std::size_t we = dtypeSize(w.dtype);
+    const std::size_t we = dtypeBits(w.dtype);
     const std::size_t kve = dtypeSize(w.kvDtype);
     const std::size_t e = 2;
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "gemm/packed_weights.h"
 #include "obs/counters.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -357,6 +358,44 @@ ServingTelemetry::writePrometheus(std::ostream& os) const
         finiteGauge("cpullm_host_pmu_llc_mpki",
                     "measured LLC misses per kilo-instruction",
                     m.llcMpki);
+    }
+
+    // Quantized-weight counters, when --wquant / CPULLM_WQUANT put
+    // grouped INT8/INT4 weight caches behind the fused kernels.
+    const gemm::QuantStats qs = gemm::quantStats();
+    if (qs.tensors > 0) {
+        gauge("cpullm_host_quant_tensors",
+              "weight tensors quantized group-wise",
+              static_cast<double>(qs.tensors));
+        gauge("cpullm_host_quant_tensors_i4",
+              "of which nibble-packed INT4",
+              static_cast<double>(qs.tensorsI4));
+        gauge("cpullm_host_quant_packed_bytes",
+              "quantized weight bytes resident (codes + scales)",
+              static_cast<double>(qs.packedBytes));
+        gauge("cpullm_host_quant_native_bytes",
+              "packed BF16 tile bytes the quantized forms replace",
+              static_cast<double>(qs.nativeBytes));
+        if (qs.nativeBytes > 0) {
+            gauge("cpullm_host_quant_bytes_ratio",
+                  "packed / native weight bytes (lower is better)",
+                  static_cast<double>(qs.packedBytes) /
+                      static_cast<double>(qs.nativeBytes));
+        }
+        gauge("cpullm_host_quant_gemm_calls_total",
+              "fused-dequant GEMM calls",
+              static_cast<double>(qs.gemmCalls));
+        gauge("cpullm_host_quant_gemv_calls_total",
+              "fused decode GEMV calls (m == 1, INT4)",
+              static_cast<double>(qs.gemvCalls));
+        gauge("cpullm_host_quant_bytes_streamed_total",
+              "packed weight bytes streamed by the fused kernels",
+              static_cast<double>(qs.bytesStreamed));
+        gauge("cpullm_host_quant_max_abs_err",
+              "worst per-weight dequantization error", qs.maxAbsErr);
+        gauge("cpullm_host_quant_rms_err",
+              "RMS dequantization error over all quantized weights",
+              qs.rmsErr);
     }
 
     auto gaugeStats = [&](const char* name, const char* help,

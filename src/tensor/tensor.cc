@@ -136,6 +136,7 @@ Tensor::at(std::int64_t index) const
       case DType::F16:
         return reinterpret_cast<const Float16*>(base)[index].toFloat();
       case DType::I8:
+      case DType::I4: // stored one code per byte (storage ceiling)
         return static_cast<float>(
             reinterpret_cast<const std::int8_t*>(base)[index]);
       case DType::I32:
@@ -162,6 +163,7 @@ Tensor::setAt(std::int64_t index, float value)
         reinterpret_cast<Float16*>(base)[index] = Float16(value);
         return;
       case DType::I8:
+      case DType::I4: // stored one code per byte (storage ceiling)
         reinterpret_cast<std::int8_t*>(base)[index] =
             static_cast<std::int8_t>(std::clamp(
                 std::nearbyintf(value), -128.0f, 127.0f));

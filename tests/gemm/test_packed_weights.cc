@@ -112,6 +112,22 @@ INSTANTIATE_TEST_SUITE_P(
                         GemmShape{64, 48, 96}, GemmShape{2, 100, 3},
                         GemmShape{100, 2, 5}, GemmShape{31, 31, 33})));
 
+// Regression: an all-zero weight tensor used to quantize with a zero
+// absmax divisor; the guard must pin scale to 1 and produce exact
+// zeros (not NaN) through the full packed-matmul path.
+TEST(PackedInt8, AllZeroWeightsProduceExactZeros)
+{
+    const Tensor a = randomMatrix(5, 32, 9);
+    Tensor b({32, 16}, DType::F32);
+    std::memset(b.data<float>(), 0,
+                static_cast<std::size_t>(b.size()) * sizeof(float));
+    const PreparedB pb(Engine::AmxI8, b);
+    EXPECT_EQ(pb.amxI8().scale(), 1.0f);
+    const Tensor got = matmul(Engine::AmxI8, a, pb);
+    for (std::int64_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got.data<float>()[i], 0.0f) << "i=" << i;
+}
+
 TEST(PackedInt8, ApproximatesReference)
 {
     const Tensor a = randomMatrix(16, 32, 7);

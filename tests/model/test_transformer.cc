@@ -65,6 +65,55 @@ TEST(Transformer, AmxAndAvx512AgreeTokenForToken)
     EXPECT_EQ(amx.generate(p, 12, c1), avx.generate(p, 12, c2));
 }
 
+TEST(Transformer, WeightQuantTracksPerLayerError)
+{
+    const ModelSpec spec = tinyTestModel();
+    const TransformerModel native(spec, gemm::Engine::AmxBf16, 13);
+    EXPECT_EQ(native.weightQuant(), gemm::WeightDtype::Native);
+    for (const auto& e : native.layerQuantErrors()) {
+        EXPECT_EQ(e.maxAbsErr, 0.0);
+        EXPECT_EQ(e.rmsErr, 0.0);
+    }
+
+    const TransformerModel q8(spec, gemm::Engine::AmxBf16, 13,
+                              gemm::WeightDtype::I8Grouped);
+    const TransformerModel q4(spec, gemm::Engine::AmxBf16, 13,
+                              gemm::WeightDtype::I4Grouped);
+    const auto e8 = q8.layerQuantErrors();
+    const auto e4 = q4.layerQuantErrors();
+    ASSERT_EQ(e8.size(),
+              static_cast<std::size_t>(spec.numLayers));
+    ASSERT_EQ(e4.size(), e8.size());
+    for (std::size_t i = 0; i < e8.size(); ++i) {
+        EXPECT_GT(e8[i].maxAbsErr, 0.0) << "layer " << i;
+        EXPECT_GT(e8[i].rmsErr, 0.0) << "layer " << i;
+        // INT4 steps are 16x coarser than INT8 on the same weights.
+        EXPECT_GT(e4[i].maxAbsErr, e8[i].maxAbsErr) << "layer " << i;
+        EXPECT_GT(e4[i].rmsErr, e8[i].rmsErr) << "layer " << i;
+    }
+}
+
+TEST(Transformer, QuantizedModelStillGenerates)
+{
+    // Quantized weights change logits but not the contract: greedy
+    // decode over the fused dequant kernels must produce in-vocab
+    // tokens deterministically.
+    const ModelSpec spec = tinyTestModel();
+    TransformerModel m1(spec, gemm::Engine::AmxBf16, 17,
+                        gemm::WeightDtype::I4Grouped);
+    TransformerModel m2(spec, gemm::Engine::AmxBf16, 17,
+                        gemm::WeightDtype::I4Grouped);
+    kv::KvCache c1 = m1.makeKvCache(1, 32);
+    kv::KvCache c2 = m2.makeKvCache(1, 32);
+    const auto p = testPrompts(spec, 1, 6);
+    const auto out1 = m1.generate(p, 8, c1);
+    const auto out2 = m2.generate(p, 8, c2);
+    EXPECT_EQ(out1, out2);
+    for (const auto& seq : out1)
+        for (auto tok : seq)
+            EXPECT_LT(tok, spec.vocabSize);
+}
+
 TEST(Transformer, Bf16EnginesTrackFp32Reference)
 {
     // Logits from the BF16 engines must stay close to the FP32

@@ -38,6 +38,14 @@
  * side (IPC, LLC MPKI, GB/s) with relative errors and the paper's
  * Fig 11/12 trend verdicts.
  *
+ * Weight quantization: CPULLM_WQUANT=bf16|int8|int4 (same exit-2
+ * contract) selects weight-only quantization of the model's weight
+ * caches — group-wise INT8/INT4 with dequantization fused into the
+ * packed GEMM/GEMV kernels; run/serve/bench also accept --wquant,
+ * which overrides the env var. Quantization shrinks modeled weight
+ * traffic accordingly (unless --dtype is explicit) and accuracy is
+ * tracked as host.quant.* stats and cpullm_host_quant_* gauges.
+ *
  * `run` simulates one request on a CPU platform; `serve` runs the
  * serving simulator (static or continuous batching, CPU or GPU
  * device) with optional Perfetto trace and JSONL run-report export.
@@ -230,6 +238,24 @@ applyCountersFlag(const std::map<std::string, std::string>& flags)
 }
 
 /**
+ * Select the weight-only quantization from --wquant (overriding the
+ * CPULLM_WQUANT env var, which main() applies first). Malformed
+ * values are usage errors, exit 2 — matching --threads/--counters.
+ */
+void
+applyWquantFlag(const std::map<std::string, std::string>& flags)
+{
+    auto it = flags.find("wquant");
+    if (it == flags.end())
+        return;
+    gemm::WeightDtype d;
+    if (!gemm::weightDtypeFromName(it->second, &d))
+        usageError("--wquant expects bf16|int8|int4, got '" +
+                   it->second + "'");
+    gemm::setRequestedWeightDtype(d);
+}
+
+/**
  * RAII pmu::Session for one command: begins with the requested mode
  * (no-op when Off) and ends on scope exit. Accumulated slots survive
  * end() for harvesting.
@@ -266,6 +292,29 @@ workloadFromFlags(const std::map<std::string, std::string>& flags)
     w.genLen = intFlag(flags, "gen", 32);
     w.dtype = dtypeFromName(flagOr(flags, "dtype", "bf16"));
     return w;
+}
+
+/**
+ * Weight-only quantization narrows the analytical model's weight
+ * dtype as well (bytes streamed per token shrink; activations and KV
+ * stay at their own dtypes). An explicit --dtype wins.
+ */
+void
+applyWquantToWorkload(const std::map<std::string, std::string>& flags,
+                      perf::Workload* w)
+{
+    if (flags.count("dtype"))
+        return;
+    switch (gemm::requestedWeightDtype()) {
+      case gemm::WeightDtype::I8Grouped:
+        w->dtype = DType::I8;
+        break;
+      case gemm::WeightDtype::I4Grouped:
+        w->dtype = DType::I4;
+        break;
+      case gemm::WeightDtype::Native:
+        break;
+    }
 }
 
 /**
@@ -407,9 +456,11 @@ cmdRun(int argc, char** argv)
         argc, argv, 2,
         withWorkloadFlags({"model", "platform", "json", "attribution",
                            "trace-out", "report-out", "counters",
-                           "profile-hz", "profile-out", "profile-reps",
-                           "flightrec-out", "flightrec-events"}));
+                           "wquant", "profile-hz", "profile-out",
+                           "profile-reps", "flightrec-out",
+                           "flightrec-events"}));
     applyCountersFlag(flags);
+    applyWquantFlag(flags);
     // Observed runs (profiler or flight recorder) execute the
     // functional host path: real kernels on the thread pool, so
     // SIGPROF samples and span events measure actual CPU work.
@@ -421,6 +472,7 @@ cmdRun(int argc, char** argv)
     const auto platform =
         hw::platformByName(flagOr(flags, "platform", "spr"));
     perf::Workload w = workloadFromFlags(flags);
+    applyWquantToWorkload(flags, &w);
     if (observed) {
         if (!flags.count("prompt"))
             w.promptLen = 32;
@@ -488,9 +540,33 @@ cmdRun(int argc, char** argv)
         tracer.writeChromeTraceFile(flags.at("trace-out")))
         inform("wrote trace ", flags.at("trace-out"));
     if (flags.count("report-out")) {
-        const obs::RunReport report = obs::makeInferenceReport(
+        obs::RunReport report = obs::makeInferenceReport(
             platform.label(), spec.name, w, r.timing, r.counters,
             &r.attribution);
+        if (eng.weightQuant() != gemm::WeightDtype::Native) {
+            report.info["wquant"] =
+                gemm::weightDtypeName(eng.weightQuant());
+            const gemm::QuantStats qs = gemm::quantStats();
+            report.metrics["host.quant.tensors"] =
+                static_cast<double>(qs.tensors);
+            report.metrics["host.quant.packed_bytes"] =
+                static_cast<double>(qs.packedBytes);
+            report.metrics["host.quant.native_bytes"] =
+                static_cast<double>(qs.nativeBytes);
+            report.metrics["host.quant.max_abs_err"] = qs.maxAbsErr;
+            report.metrics["host.quant.rms_err"] = qs.rmsErr;
+            if (const model::TransformerModel* fm =
+                    eng.functionalModel()) {
+                const auto layers = fm->layerQuantErrors();
+                for (std::size_t l = 0; l < layers.size(); ++l) {
+                    const std::string p = strformat(
+                        "host.quant.layer%zu.", l);
+                    report.metrics[p + "rms_err"] = layers[l].rmsErr;
+                    report.metrics[p + "max_abs_err"] =
+                        layers[l].maxAbsErr;
+                }
+            }
+        }
         if (report.appendJsonlFile(flags.at("report-out")))
             inform("appended report to ", flags.at("report-out"));
     }
@@ -561,6 +637,16 @@ cmdRun(int argc, char** argv)
     t.addRow({"weights in HBM",
               formatNumber(100.0 * r.weightsHbmFraction, 1) + " %"});
     t.addRow({"LLC MPKI", formatNumber(r.counters.mpki(), 1)});
+    if (eng.weightQuant() != gemm::WeightDtype::Native) {
+        t.addRow({"weight quant",
+                  gemm::weightDtypeName(eng.weightQuant())});
+        const gemm::QuantStats qs = gemm::quantStats();
+        if (qs.tensors > 0) {
+            t.addRow({"quant max |err|",
+                      formatNumber(qs.maxAbsErr, 4)});
+            t.addRow({"quant RMS err", formatNumber(qs.rmsErr, 4)});
+        }
+    }
     if (pmu.enabled()) {
         const obs::CounterMetrics m =
             obs::deriveCounterMetrics(measured, 0.0);
@@ -677,11 +763,13 @@ cmdServe(int argc, char** argv, bool report_mode)
              "continuous", "json", "trace-out", "report-out",
              "telemetry-port", "prom-out", "linger", "probe",
              "slo-ttft-ms", "slo-tpot-ms", "slo-e2e-ms",
-             "slo-budget", "threads", "counters", "profile-hz",
-             "profile-out", "flightrec-out", "flightrec-events",
-             "flightrec-zscore", "flightrec-burn-rate"}));
+             "slo-budget", "threads", "counters", "wquant",
+             "profile-hz", "profile-out", "flightrec-out",
+             "flightrec-events", "flightrec-zscore",
+             "flightrec-burn-rate"}));
     applyThreadsFlag(flags);
     applyCountersFlag(flags);
+    applyWquantFlag(flags);
     setupFlightRecorder(flags);
     const bool profiling = setupProfiler(flags);
     const bool flightrec_on = flags.count("flightrec-out") != 0;
@@ -691,6 +779,7 @@ cmdServe(int argc, char** argv, bool report_mode)
     const auto spec =
         model::modelByName(flagOr(flags, "model", "opt-13b"));
     perf::Workload w = workloadFromFlags(flags);
+    applyWquantToWorkload(flags, &w);
     w.batch = 1; // per-request workload; the server forms batches
 
     serve::ServingConfig cfg;
@@ -1142,9 +1231,10 @@ cmdBench(int argc, char** argv)
 {
     const auto flags = parseFlags(argc, argv, 2,
                                   {"out", "quick", "threads",
-                                   "counters"});
+                                   "counters", "wquant"});
     applyThreadsFlag(flags);
     applyCountersFlag(flags);
+    applyWquantFlag(flags);
     CountersSessionGuard pmu;
     core::BenchSuiteOptions opt;
     opt.quick = flags.count("quick") != 0;
@@ -1155,6 +1245,7 @@ cmdBench(int argc, char** argv)
     obs::recordHostPoolStats(reg);
     obs::recordHostAttnStats(reg);
     obs::recordHostPmuStats(reg);
+    obs::recordHostQuantStats(reg);
     int written = 0;
     for (const auto& b : baselines) {
         if (core::writeBaseline(b, dir))
@@ -1455,6 +1546,7 @@ usage()
         << "usage: cpullm <command> [flags]\n"
            "  run      --model M --platform P --batch N [--prompt N]\n"
            "           [--gen N] [--dtype bf16|i8] [--json]\n"
+           "           [--wquant bf16|int8|int4]\n"
            "           [--trace-out F] [--report-out F]\n"
            "           [--profile-hz HZ] [--profile-out F]\n"
            "           [--profile-reps N] [--flightrec-out F]\n"
@@ -1468,6 +1560,7 @@ usage()
            "           [--linger S] [--probe] [--slo-ttft-ms X]\n"
            "           [--slo-tpot-ms X] [--slo-e2e-ms X]\n"
            "           [--slo-budget R] [--threads N]\n"
+           "           [--wquant bf16|int8|int4]\n"
            "           [--profile-hz HZ] [--profile-out F]\n"
            "           [--flightrec-out F] [--flightrec-events N]\n"
            "           [--flightrec-zscore Z] [--flightrec-burn-rate R]\n"
@@ -1477,6 +1570,7 @@ usage()
            "           report over profiling artifacts\n"
            "  compare  --model M --batch N [--prompt N] [--gen N]\n"
            "  bench    [--out DIR] [--quick] [--threads N]\n"
+           "           [--wquant bf16|int8|int4]\n"
            "           write BENCH_*.json baselines (bench_diff)\n"
            "  counters [--model tiny] [--platform P] [--batch N]\n"
            "           [--prompt N] [--gen N] [--counters MODE]\n"
@@ -1492,6 +1586,11 @@ usage()
            "hardware-counter backend; --counters overrides it. The\n"
            "perf backend needs perf_event_paranoid <= 2 and degrades\n"
            "to the rusage-based soft backend otherwise.\n"
+           "CPULLM_WQUANT=bf16|int8|int4 selects weight-only\n"
+           "quantization of the model's weight caches (group-wise,\n"
+           "dequant fused into the GEMM/GEMV kernels); --wquant\n"
+           "overrides it. Accuracy is reported as host.quant.* stats\n"
+           "and cpullm_host_quant_* /metrics gauges.\n"
            "CPULLM_LOG_LEVEL=silent|warn|info|debug sets verbosity.\n"
            "--profile-hz samples logical stacks with SIGPROF;\n"
            "--flightrec-out records the last N events and dumps them\n"
@@ -1515,6 +1614,9 @@ main(int argc, char** argv)
         if (!obs::pmu::applyCountersEnv(&bad))
             usageError("CPULLM_COUNTERS expects auto|perf|soft|off, "
                        "got '" + bad + "'");
+        if (!gemm::applyWquantEnv(&bad))
+            usageError("CPULLM_WQUANT expects bf16|int8|int4, got '" +
+                       bad + "'");
         applyLogLevelEnv();
     }
     // The main thread's registry slot: profiler samples and flight-
