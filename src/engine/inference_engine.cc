@@ -1,6 +1,7 @@
 #include "engine/inference_engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "obs/counters.h"
 #include "trace/timeline.h"
@@ -146,6 +147,63 @@ CpuInferenceEngine::infer(const perf::Workload& workload)
         result.generatedTokens = std::move(out);
     }
     return result;
+}
+
+HostBatchResult
+CpuInferenceEngine::runContinuousBatch(const perf::Workload& workload,
+                                       const serve::BatcherConfig& cfg)
+{
+    CPULLM_ASSERT(functional_,
+                  "continuous batching executes real kernels; "
+                  "construct the engine in FunctionalAndTiming mode");
+    CPULLM_ASSERT(workload.batch >= 1 && workload.promptLen >= 1 &&
+                      workload.genLen >= 1,
+                  "continuous batching needs batch/prompt/gen >= 1");
+    if (workload.finalSeqLen() > spec_.maxSeqLen) {
+        CPULLM_FATAL("workload sequence ", workload.finalSeqLen(),
+                     " exceeds ", spec_.name, " max ",
+                     spec_.maxSeqLen);
+    }
+
+    // Chatbot-style synthetic workload: a shared system-prompt
+    // prefix (half the prompt) with unique per-request tails, so the
+    // prefix cache has real blocks to reuse while every request
+    // still decodes its own continuation.
+    const std::int64_t shared = workload.promptLen / 2;
+    const auto prefix = syntheticPrompts(spec_.vocabSize, 1, shared,
+                                         seed_ + 2)[0];
+    const auto tails =
+        syntheticPrompts(spec_.vocabSize, workload.batch,
+                         workload.promptLen - shared, seed_ + 3);
+
+    serve::ContinuousBatcher batcher(*functional_, cfg);
+    for (const auto& tail : tails) {
+        serve::BatchRequest req;
+        req.prompt = prefix;
+        req.prompt.insert(req.prompt.end(), tail.begin(), tail.end());
+        req.genLen = workload.genLen;
+        batcher.submit(std::move(req));
+    }
+
+    HostBatchResult r;
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        obs::pmu::CounterScope scope("continuous_batch");
+        threadreg::ScopedFrame frame("continuous_batch");
+        r.completions = batcher.run();
+    }
+    r.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    r.stats = batcher.stats();
+    r.snapshot = serve::hostBatchSnapshot();
+    serve::recordHostBatchStats(stats_);
+    stats_.scalar("engine.requests", "requests simulated") +=
+        static_cast<double>(workload.batch);
+    stats_.scalar("engine.tokens_generated",
+                  "greedy tokens produced (simulated)") +=
+        static_cast<double>(r.stats.decodedTokens + r.stats.admitted);
+    return r;
 }
 
 double

@@ -22,6 +22,7 @@
 #include "perf/cpu_model.h"
 #include "perf/timing.h"
 #include "perf/workload.h"
+#include "serve/batcher.h"
 #include "stats/stats.h"
 
 namespace cpullm {
@@ -63,6 +64,33 @@ inline constexpr std::uint64_t kMaxFunctionalWeightBytes =
 std::vector<std::vector<std::int64_t>>
 syntheticPrompts(std::int64_t vocab, std::int64_t batch,
                  std::int64_t prompt_len, std::uint64_t seed);
+
+/**
+ * Outcome of one continuous-batching host session: real kernels,
+ * iteration-level scheduling (serve::ContinuousBatcher) instead of
+ * the lockstep batch loop infer() runs.
+ */
+struct HostBatchResult
+{
+    /** Greedy completions, in submit order. */
+    std::vector<std::vector<std::int64_t>> completions;
+    serve::BatchStats stats;
+    /** Paged-pool view at session end (watermarks, prefix reuse). */
+    serve::HostBatchSnapshot snapshot;
+    double wallSeconds = 0.0;
+
+    /** Aggregate generated-token rate over the whole session. */
+    double
+    tokensPerSecond() const
+    {
+        // Every admission's prefill yields one output token (also
+        // after a preemption re-admit: the requeued prompt resumes
+        // exactly where the eviction cut).
+        const double tokens = static_cast<double>(
+            stats.decodedTokens + stats.admitted);
+        return wallSeconds > 0.0 ? tokens / wallSeconds : 0.0;
+    }
+};
 
 /** LLM inference on one CPU platform. */
 class CpuInferenceEngine
@@ -107,6 +135,19 @@ class CpuInferenceEngine
 
     /** Simulate (and in functional mode also execute) one request. */
     InferenceResult infer(const perf::Workload& workload);
+
+    /**
+     * Execute @p workload.batch requests through the real
+     * continuous-batching decode runtime (FunctionalAndTiming mode
+     * only; asserts otherwise). The synthetic serving workload is
+     * chatbot-style: every request shares a system-prompt prefix of
+     * half the prompt length with a unique tail, so --prefix-cache
+     * has real blocks to reuse. Publishes the HostBatchSnapshot the
+     * telemetry layer exports and records host.batch.* into
+     * statistics().
+     */
+    HostBatchResult runContinuousBatch(const perf::Workload& workload,
+                                       const serve::BatcherConfig& cfg);
 
     /**
      * Lifetime statistics of this engine ("engine.requests",

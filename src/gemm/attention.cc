@@ -17,6 +17,7 @@ namespace {
 
 std::atomic<std::uint64_t> decodeCalls_{0};
 std::atomic<std::uint64_t> prefillCalls_{0};
+std::atomic<std::uint64_t> raggedCalls_{0};
 std::atomic<std::uint64_t> tasks_{0};
 std::atomic<std::uint64_t> spanRows_{0};
 std::atomic<std::uint64_t> scratchAllocs_{0};
@@ -272,6 +273,7 @@ attnStats()
     AttnStats s;
     s.decodeCalls = decodeCalls_.load(std::memory_order_relaxed);
     s.prefillCalls = prefillCalls_.load(std::memory_order_relaxed);
+    s.raggedCalls = raggedCalls_.load(std::memory_order_relaxed);
     s.tasks = tasks_.load(std::memory_order_relaxed);
     s.spanRows = spanRows_.load(std::memory_order_relaxed);
     s.scratchAllocs = scratchAllocs_.load(std::memory_order_relaxed);
@@ -304,6 +306,43 @@ attnFused(const AttnShape& shape, std::int64_t m, std::int64_t pos0,
             const std::int64_t kvh = static_cast<std::int64_t>(
                 idx % static_cast<std::size_t>(shape.kvHeads));
             fusedTask(shape, m, pos0, seqs[b], kvh, scale);
+        },
+        1);
+}
+
+void
+attnFusedRagged(const AttnShape& shape, const AttnRaggedSeq* seqs,
+                std::size_t n_seqs)
+{
+    CPULLM_ASSERT(seqs != nullptr || n_seqs == 0,
+                  "null ragged sequence slots");
+    std::uint64_t rows = 0;
+    for (std::size_t s = 0; s < n_seqs; ++s) {
+        checkArgs(shape, seqs[s].m, seqs[s].pos0, &seqs[s].view, 1);
+        rows += static_cast<std::uint64_t>(seqs[s].pos0 + seqs[s].m);
+    }
+    if (n_seqs == 0)
+        return;
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(shape.headDim));
+    const std::size_t grid =
+        n_seqs * static_cast<std::size_t>(shape.kvHeads);
+
+    raggedCalls_.fetch_add(1, std::memory_order_relaxed);
+    tasks_.fetch_add(grid, std::memory_order_relaxed);
+    spanRows_.fetch_add(rows *
+                            static_cast<std::uint64_t>(shape.kvHeads),
+                        std::memory_order_relaxed);
+
+    parallelFor(
+        0, grid,
+        [&](std::size_t idx) {
+            const std::size_t b =
+                idx / static_cast<std::size_t>(shape.kvHeads);
+            const std::int64_t kvh = static_cast<std::int64_t>(
+                idx % static_cast<std::size_t>(shape.kvHeads));
+            const AttnRaggedSeq& rs = seqs[b];
+            fusedTask(shape, rs.m, rs.pos0, rs.view, kvh, scale);
         },
         1);
 }

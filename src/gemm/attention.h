@@ -83,6 +83,19 @@ struct AttnSeqView
 };
 
 /**
+ * One sequence's slot in a ragged (continuous-batching) call: its
+ * view plus a private query span. Sequences in one call may sit at
+ * arbitrary, mutually unrelated positions — the fused decode step of
+ * the continuous batcher passes one slot per in-flight sequence.
+ */
+struct AttnRaggedSeq
+{
+    AttnSeqView view;
+    std::int64_t pos0 = 0; ///< cached rows before this query span
+    std::int64_t m = 1;    ///< query rows for this sequence
+};
+
+/**
  * Monotonic process-wide kernel counters (exported as host.attn.* in
  * run reports). scratchAllocs only grows when a thread's scratch
  * buffers must grow — steady-state decode adds zero.
@@ -91,6 +104,7 @@ struct AttnStats
 {
     std::uint64_t decodeCalls = 0;  ///< attnFused calls with m == 1
     std::uint64_t prefillCalls = 0; ///< attnFused calls with m > 1
+    std::uint64_t raggedCalls = 0;  ///< attnFusedRagged calls
     std::uint64_t tasks = 0;        ///< (sequence x kv-head) grid tasks
     std::uint64_t spanRows = 0;     ///< K/V rows streamed (per task)
     std::uint64_t scratchAllocs = 0; ///< per-thread scratch growths
@@ -108,6 +122,17 @@ AttnStats attnStats();
 void attnFused(const AttnShape& shape, std::int64_t m,
                std::int64_t pos0, const AttnSeqView* seqs,
                std::size_t n_seqs);
+
+/**
+ * Ragged fused attention: like attnFused, but each sequence carries
+ * its own (pos0, m) — the shape of one continuous-batching iteration,
+ * where in-flight sequences sit at heterogeneous positions. Each
+ * (sequence x kv-head) task runs the identical fused sweep as the
+ * uniform entry point, so outputs are bitwise equal to calling
+ * attnFused once per sequence, at any thread count.
+ */
+void attnFusedRagged(const AttnShape& shape, const AttnRaggedSeq* seqs,
+                     std::size_t n_seqs);
 
 /**
  * Reference implementation over the same views: single-threaded

@@ -277,6 +277,26 @@ gemmAmxBf16Packed(const BFloat16* a, const PackedWeightsBf16& b,
     const std::int64_t mm = (m_blocks + 1) / 2;
     const std::int64_t nn = (n_blocks + 1) / 2;
 
+    // Pack A once per (m-block, k-step) up front; the task grid spans
+    // all n-blocks, so packing inside the tasks would re-convert each
+    // A row once per n-pair — a per-row cost that caps how far batched
+    // decode can amortize the weight stream.
+    constexpr std::int64_t kATileElems = kTileM * kTileKBf16;
+    std::vector<BFloat16> apack(
+        static_cast<std::size_t>(m_blocks * k_steps * kATileElems));
+    for (std::int64_t bm = 0; bm < m_blocks; ++bm) {
+        const std::int64_t am0 = bm * kTileM;
+        const int amrem = static_cast<int>(
+            std::min<std::int64_t>(kTileM, m - am0));
+        for (std::int64_t ks = 0; ks < k_steps; ++ks) {
+            const std::int64_t k0 = ks * kTileKBf16;
+            const int krem = static_cast<int>(
+                std::min<std::int64_t>(kTileKBf16, k - k0));
+            packATile(a, k, am0, k0, amrem, krem, amrem, kTileKBf16,
+                      apack.data() + (bm * k_steps + ks) * kATileElems);
+        }
+    }
+
     parallelFor(
         0, static_cast<std::size_t>(mm * nn),
         [&](std::size_t idx) {
@@ -305,8 +325,6 @@ gemmAmxBf16Packed(const BFloat16* a, const PackedWeightsBf16& b,
             ensureAmxConfig(ctx, mrem0, mrem1);
             isa::AmxUnit& amx = ctx.amx;
 
-            alignas(64) BFloat16 a0_img[kTileM * kTileKBf16];
-            alignas(64) BFloat16 a1_img[kTileM * kTileKBf16];
             alignas(64) float c_img[kTileM * kTileN];
 
             amx.tilezero(0);
@@ -318,18 +336,16 @@ gemmAmxBf16Packed(const BFloat16* a, const PackedWeightsBf16& b,
                     amx.tilezero(3);
             }
             for (std::int64_t ks = 0; ks < k_steps; ++ks) {
-                const std::int64_t k0 = ks * kTileKBf16;
-                const int krem = static_cast<int>(
-                    std::min<std::int64_t>(kTileKBf16, k - k0));
-                packATile(a, k, m0, k0, mrem0, krem, mrem0, kTileKBf16,
-                          a0_img);
-                amx.tileloadd(4, a0_img,
+                amx.tileloadd(4,
+                              apack.data() +
+                                  (bm0 * k_steps + ks) * kATileElems,
                               kTileKBf16 * sizeof(BFloat16));
                 if (mrem1 > 0) {
-                    packATile(a, k, m0 + kTileM, k0, mrem1, krem,
-                              mrem1, kTileKBf16, a1_img);
-                    amx.tileloadd(5, a1_img,
-                                  kTileKBf16 * sizeof(BFloat16));
+                    amx.tileloadd(
+                        5,
+                        apack.data() +
+                            ((bm0 + 1) * k_steps + ks) * kATileElems,
+                        kTileKBf16 * sizeof(BFloat16));
                 }
                 amx.tileloadd(6, b.tile(bn0, ks),
                               kTileN * 2 * sizeof(BFloat16));
@@ -380,6 +396,25 @@ gemmAmxI8Packed(const std::int8_t* a, const PackedWeightsI8& b, float* c,
     const std::int64_t mm = (m_blocks + 1) / 2;
     const std::int64_t nn = (n_blocks + 1) / 2;
 
+    // Same A-pack hoist as the BF16 kernel: one conversion per
+    // (m-block, k-step) instead of one per n-pair task.
+    constexpr std::int64_t kATileElemsI8 = kTileM * kTileKI8;
+    std::vector<std::int8_t> apack(
+        static_cast<std::size_t>(m_blocks * k_steps * kATileElemsI8));
+    for (std::int64_t bm = 0; bm < m_blocks; ++bm) {
+        const std::int64_t am0 = bm * kTileM;
+        const int amrem = static_cast<int>(
+            std::min<std::int64_t>(kTileM, m - am0));
+        for (std::int64_t ks = 0; ks < k_steps; ++ks) {
+            const std::int64_t k0 = ks * kTileKI8;
+            const int krem = static_cast<int>(
+                std::min<std::int64_t>(kTileKI8, k - k0));
+            packATileI8(a, k, am0, k0, amrem, krem, amrem, kTileKI8,
+                        apack.data() +
+                            (bm * k_steps + ks) * kATileElemsI8);
+        }
+    }
+
     parallelFor(
         0, static_cast<std::size_t>(mm * nn),
         [&](std::size_t idx) {
@@ -408,8 +443,6 @@ gemmAmxI8Packed(const std::int8_t* a, const PackedWeightsI8& b, float* c,
             ensureAmxConfig(ctx, mrem0, mrem1);
             isa::AmxUnit& amx = ctx.amx;
 
-            alignas(64) std::int8_t a0_img[kTileM * kTileKI8];
-            alignas(64) std::int8_t a1_img[kTileM * kTileKI8];
             alignas(64) std::int32_t c_img[kTileM * kTileN];
 
             amx.tilezero(0);
@@ -421,16 +454,16 @@ gemmAmxI8Packed(const std::int8_t* a, const PackedWeightsI8& b, float* c,
                     amx.tilezero(3);
             }
             for (std::int64_t ks = 0; ks < k_steps; ++ks) {
-                const std::int64_t k0 = ks * kTileKI8;
-                const int krem = static_cast<int>(
-                    std::min<std::int64_t>(kTileKI8, k - k0));
-                packATileI8(a, k, m0, k0, mrem0, krem, mrem0, kTileKI8,
-                            a0_img);
-                amx.tileloadd(4, a0_img, kTileKI8);
+                amx.tileloadd(4,
+                              apack.data() +
+                                  (bm0 * k_steps + ks) * kATileElemsI8,
+                              kTileKI8);
                 if (mrem1 > 0) {
-                    packATileI8(a, k, m0 + kTileM, k0, mrem1, krem,
-                                mrem1, kTileKI8, a1_img);
-                    amx.tileloadd(5, a1_img, kTileKI8);
+                    amx.tileloadd(
+                        5,
+                        apack.data() +
+                            ((bm0 + 1) * k_steps + ks) * kATileElemsI8,
+                        kTileKI8);
                 }
                 amx.tileloadd(6, b.tile(bn0, ks), kTileN * 4);
                 if (nrem1 > 0)

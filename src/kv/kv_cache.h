@@ -43,8 +43,16 @@ class KvCache
     std::int64_t maxSeq() const { return max_seq_; }
     DType dtype() const { return dtype_; }
 
-    /** Tokens currently cached per sequence. */
-    std::int64_t seqLen() const { return seq_len_; }
+    /**
+     * Tokens currently cached across the batch: the maximum of the
+     * per-sequence lengths. In the lockstep decode path every
+     * sequence advances together so this is also each sequence's
+     * length; ragged callers must use seqLen(b).
+     */
+    std::int64_t seqLen() const;
+
+    /** Tokens currently cached for sequence @p b. */
+    std::int64_t seqLen(std::int64_t b) const;
 
     /**
      * Store the K and V vectors (d_kv floats each) of token @p pos of
@@ -53,8 +61,11 @@ class KvCache
     void write(std::int64_t layer, std::int64_t b, std::int64_t pos,
                const float* k, const float* v);
 
-    /** Mark @p n tokens as valid (after writing all layers). */
+    /** Mark @p n tokens as valid on every sequence (lockstep step). */
     void setSeqLen(std::int64_t n);
+
+    /** Mark @p n tokens of sequence @p b as valid (ragged step). */
+    void setSeqLen(std::int64_t b, std::int64_t n);
 
     /** Read one cached K vector into @p out (d_kv floats). */
     void readK(std::int64_t layer, std::int64_t b, std::int64_t pos,
@@ -90,7 +101,11 @@ class KvCache
     std::uint64_t usedBytes() const;
 
     /** Drop all cached tokens (new request), keeping the allocation. */
-    void reset() { seq_len_ = 0; }
+    void reset()
+    {
+        for (auto& len : seq_lens_)
+            len = 0;
+    }
 
   private:
     std::int64_t offset(std::int64_t b, std::int64_t pos) const;
@@ -103,7 +118,7 @@ class KvCache
     std::int64_t d_kv_;
     std::int64_t max_seq_;
     DType dtype_;
-    std::int64_t seq_len_ = 0;
+    std::vector<std::int64_t> seq_lens_; ///< valid tokens per sequence
     std::vector<Tensor> k_; ///< one [batch, max_seq, d_kv] per layer
     std::vector<Tensor> v_;
 };

@@ -1,6 +1,7 @@
 #include "kv/paged_kv_cache.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -22,6 +23,67 @@ PagedKvCache::PagedKvCache(std::int64_t layers, std::int64_t d_kv,
     // LIFO free list; push in reverse so block 0 allocates first.
     for (std::int64_t b = num_blocks - 1; b >= 0; --b)
         free_.push_back(b);
+    refcount_.assign(static_cast<std::size_t>(num_blocks), 0);
+    stats_.minFreeBlocks = num_blocks;
+}
+
+std::int64_t
+PagedKvCache::allocBlock()
+{
+    CPULLM_ASSERT(!free_.empty(), "allocBlock on exhausted pool");
+    const std::int64_t block = free_.back();
+    free_.pop_back();
+    refcount_[static_cast<std::size_t>(block)] = 1;
+    ++stats_.blockAllocs;
+    stats_.minFreeBlocks =
+        std::min(stats_.minFreeBlocks,
+                 static_cast<std::int64_t>(free_.size()));
+    return block;
+}
+
+void
+PagedKvCache::unrefBlock(std::int64_t block)
+{
+    std::int64_t& rc = refcount_[static_cast<std::size_t>(block)];
+    CPULLM_ASSERT(rc > 0, "unref of free block ", block);
+    if (--rc == 0) {
+        free_.push_back(block);
+        ++stats_.blockFrees;
+    }
+}
+
+bool
+PagedKvCache::cowBlock(Sequence& s, std::size_t idx)
+{
+    const std::int64_t old = s.blockTable[idx];
+    if (refcount_[static_cast<std::size_t>(old)] == 1)
+        return true; // already private
+    if (free_.empty())
+        return false;
+    const std::int64_t fresh = allocBlock();
+    const std::uint64_t elems =
+        static_cast<std::uint64_t>(layers_) *
+        static_cast<std::uint64_t>(block_size_) *
+        static_cast<std::uint64_t>(d_kv_);
+    const std::uint64_t bytes = elems * dtypeSize(dtype_);
+    const std::uint64_t src_off =
+        static_cast<std::uint64_t>(elemOffset(old, 0, 0)) *
+        dtypeSize(dtype_);
+    const std::uint64_t dst_off =
+        static_cast<std::uint64_t>(elemOffset(fresh, 0, 0)) *
+        dtypeSize(dtype_);
+    std::memcpy(static_cast<std::uint8_t*>(k_pool_.raw()) + dst_off,
+                static_cast<const std::uint8_t*>(k_pool_.raw()) +
+                    src_off,
+                bytes);
+    std::memcpy(static_cast<std::uint8_t*>(v_pool_.raw()) + dst_off,
+                static_cast<const std::uint8_t*>(v_pool_.raw()) +
+                    src_off,
+                bytes);
+    s.blockTable[idx] = fresh;
+    unrefBlock(old); // cannot hit zero: it was shared
+    ++stats_.cowCopies;
+    return true;
 }
 
 std::int64_t
@@ -29,6 +91,31 @@ PagedKvCache::addSequence()
 {
     Sequence s;
     s.live = true;
+    seqs_.push_back(std::move(s));
+    return static_cast<std::int64_t>(seqs_.size()) - 1;
+}
+
+std::int64_t
+PagedKvCache::addSequenceWithPrefix(std::int64_t src,
+                                    std::int64_t prefix_len)
+{
+    const Sequence& donor = seqRef(src);
+    CPULLM_ASSERT(prefix_len >= 0 && prefix_len <= donor.length,
+                  "prefix length ", prefix_len,
+                  " beyond donor length ", donor.length);
+    const std::int64_t nblocks =
+        (prefix_len + block_size_ - 1) / block_size_;
+    Sequence s;
+    s.live = true;
+    s.length = prefix_len;
+    s.blockTable.reserve(static_cast<std::size_t>(nblocks));
+    for (std::int64_t i = 0; i < nblocks; ++i) {
+        const std::int64_t block =
+            donor.blockTable[static_cast<std::size_t>(i)];
+        ++refcount_[static_cast<std::size_t>(block)];
+        s.blockTable.push_back(block);
+    }
+    stats_.prefixSharedBlocks += nblocks;
     seqs_.push_back(std::move(s));
     return static_cast<std::int64_t>(seqs_.size()) - 1;
 }
@@ -54,8 +141,14 @@ bool
 PagedKvCache::canAppend(std::int64_t seq) const
 {
     const Sequence& s = seqRef(seq);
-    if (s.length % block_size_ != 0)
-        return true; // room in the tail block
+    if (s.length % block_size_ != 0) {
+        // Room in the tail block — but a shared tail still needs a
+        // fresh block for the copy-on-write clone.
+        const std::int64_t tail = s.blockTable.back();
+        if (refcount_[static_cast<std::size_t>(tail)] > 1)
+            return !free_.empty();
+        return true;
+    }
     return !free_.empty();
 }
 
@@ -68,10 +161,28 @@ PagedKvCache::releaseSequence(std::int64_t seq)
                       s.live,
                   "releasing an invalid sequence");
     for (std::int64_t b : s.blockTable)
-        free_.push_back(b);
+        unrefBlock(b);
     s.blockTable.clear();
     s.length = 0;
     s.live = false;
+}
+
+void
+PagedKvCache::reset()
+{
+    for (auto& s : seqs_) {
+        if (!s.live)
+            continue;
+        for (std::int64_t b : s.blockTable)
+            unrefBlock(b);
+        s.blockTable.clear();
+        s.length = 0;
+        s.live = false;
+    }
+    seqs_.clear();
+    CPULLM_ASSERT(static_cast<std::int64_t>(free_.size()) ==
+                      num_blocks_,
+                  "pool leak across reset");
 }
 
 std::int64_t
@@ -85,25 +196,88 @@ bool
 PagedKvCache::appendToken(std::int64_t seq, const float* k,
                           const float* v)
 {
-    Sequence& s = seqs_[static_cast<std::size_t>(seq)];
-    CPULLM_ASSERT(s.live, "append to released sequence");
-    const std::int64_t slot = s.length % block_size_;
-    if (slot == 0) {
-        if (free_.empty())
-            return false;
-        s.blockTable.push_back(free_.back());
-        free_.pop_back();
-    }
-    const std::int64_t block = s.blockTable.back();
-    for (std::int64_t l = 0; l < layers_; ++l) {
-        const std::int64_t base = elemOffset(block, l, slot);
-        for (std::int64_t i = 0; i < d_kv_; ++i) {
-            k_pool_.setAt(base + i, k[l * d_kv_ + i]);
-            v_pool_.setAt(base + i, v[l * d_kv_ + i]);
-        }
-    }
-    ++s.length;
+    const std::int64_t pos = reserve(seq, 1);
+    if (pos < 0)
+        return false;
+    for (std::int64_t l = 0; l < layers_; ++l)
+        writeToken(seq, l, pos, k + l * d_kv_, v + l * d_kv_);
+    commit(seq, 1);
     return true;
+}
+
+std::int64_t
+PagedKvCache::reserve(std::int64_t seq, std::int64_t count)
+{
+    CPULLM_ASSERT(count > 0, "reserve of ", count, " tokens");
+    seqRef(seq); // liveness check
+    Sequence& s = seqs_[static_cast<std::size_t>(seq)];
+    const std::int64_t end = s.length + count;
+    const std::int64_t need_new =
+        std::max<std::int64_t>(0, (end + block_size_ - 1) /
+                                          block_size_ -
+                                      static_cast<std::int64_t>(
+                                          s.blockTable.size()));
+    // The first write lands at position length; if that slot sits in
+    // an existing shared block (a partial prefix tail), it must be
+    // cloned before any write, costing one extra block.
+    const bool tail_shared =
+        s.length % block_size_ != 0 &&
+        refcount_[static_cast<std::size_t>(
+            s.blockTable[static_cast<std::size_t>(s.length /
+                                                  block_size_)])] > 1;
+    const std::int64_t need = need_new + (tail_shared ? 1 : 0);
+    if (static_cast<std::int64_t>(free_.size()) < need)
+        return -1; // admission failure, nothing changed
+    if (tail_shared) {
+        const bool ok = cowBlock(
+            s, static_cast<std::size_t>(s.length / block_size_));
+        CPULLM_ASSERT(ok, "CoW failed after availability check");
+    }
+    for (std::int64_t i = 0; i < need_new; ++i)
+        s.blockTable.push_back(allocBlock());
+    return s.length;
+}
+
+void
+PagedKvCache::writeToken(std::int64_t seq, std::int64_t layer,
+                         std::int64_t pos, const float* k,
+                         const float* v)
+{
+    const Sequence& s = seqRef(seq);
+    CPULLM_ASSERT(layer >= 0 && layer < layers_, "layer out of range");
+    CPULLM_ASSERT(pos >= s.length &&
+                      pos < static_cast<std::int64_t>(
+                                s.blockTable.size()) *
+                                block_size_,
+                  "write at ", pos, " outside reserved range [",
+                  s.length, ", ",
+                  static_cast<std::int64_t>(s.blockTable.size()) *
+                      block_size_,
+                  ")");
+    const std::int64_t block =
+        s.blockTable[static_cast<std::size_t>(pos / block_size_)];
+    CPULLM_ASSERT(refcount_[static_cast<std::size_t>(block)] == 1,
+                  "write into shared block ", block);
+    const std::int64_t base =
+        elemOffset(block, layer, pos % block_size_);
+    for (std::int64_t i = 0; i < d_kv_; ++i) {
+        k_pool_.setAt(base + i, k[i]);
+        v_pool_.setAt(base + i, v[i]);
+    }
+}
+
+void
+PagedKvCache::commit(std::int64_t seq, std::int64_t count)
+{
+    seqRef(seq); // liveness check
+    Sequence& s = seqs_[static_cast<std::size_t>(seq)];
+    const std::int64_t end = s.length + count;
+    CPULLM_ASSERT(count >= 0 &&
+                      end <= static_cast<std::int64_t>(
+                                 s.blockTable.size()) *
+                                 block_size_,
+                  "commit beyond reserved capacity");
+    s.length = end;
 }
 
 void
@@ -140,15 +314,23 @@ PagedKvCache::readV(std::int64_t seq, std::int64_t layer,
 
 std::vector<KvSpan>
 PagedKvCache::spans(const Tensor& pool, std::int64_t seq,
-                    std::int64_t layer) const
+                    std::int64_t layer, std::int64_t len) const
 {
     const Sequence& s = seqRef(seq);
     CPULLM_ASSERT(layer >= 0 && layer < layers_, "layer out of range");
+    if (len < 0)
+        len = s.length;
+    CPULLM_ASSERT(len <= static_cast<std::int64_t>(
+                             s.blockTable.size()) *
+                             block_size_,
+                  "span length ", len, " beyond reserved capacity");
     std::vector<KvSpan> out;
     out.reserve(s.blockTable.size());
     const auto* base = static_cast<const std::uint8_t*>(pool.raw());
-    std::int64_t remaining = s.length;
+    std::int64_t remaining = len;
     for (const std::int64_t block : s.blockTable) {
+        if (remaining <= 0)
+            break;
         KvSpan sp;
         sp.data = base + static_cast<std::uint64_t>(
                              elemOffset(block, layer, 0)) *
@@ -164,15 +346,17 @@ PagedKvCache::spans(const Tensor& pool, std::int64_t seq,
 }
 
 std::vector<KvSpan>
-PagedKvCache::kSpans(std::int64_t seq, std::int64_t layer) const
+PagedKvCache::kSpans(std::int64_t seq, std::int64_t layer,
+                     std::int64_t len) const
 {
-    return spans(k_pool_, seq, layer);
+    return spans(k_pool_, seq, layer, len);
 }
 
 std::vector<KvSpan>
-PagedKvCache::vSpans(std::int64_t seq, std::int64_t layer) const
+PagedKvCache::vSpans(std::int64_t seq, std::int64_t layer,
+                     std::int64_t len) const
 {
-    return spans(v_pool_, seq, layer);
+    return spans(v_pool_, seq, layer, len);
 }
 
 std::uint64_t

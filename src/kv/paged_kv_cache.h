@@ -22,6 +22,20 @@
 namespace cpullm {
 namespace kv {
 
+/**
+ * Pool lifetime accounting for admission control and telemetry: the
+ * low-watermark says how close the pool came to exhaustion, the CoW /
+ * prefix counters how much sharing actually paid off.
+ */
+struct PagedPoolStats
+{
+    std::int64_t blockAllocs = 0;    ///< blocks handed to sequences
+    std::int64_t blockFrees = 0;     ///< blocks returned to the pool
+    std::int64_t cowCopies = 0;      ///< copy-on-write block clones
+    std::int64_t prefixSharedBlocks = 0; ///< blocks reused via prefix
+    std::int64_t minFreeBlocks = 0;  ///< low watermark of free list
+};
+
 /** Paged KV storage for a whole model. */
 class PagedKvCache
 {
@@ -54,6 +68,17 @@ class PagedKvCache
     /** Register a new sequence; returns its id. */
     std::int64_t addSequence();
 
+    /**
+     * Register a new sequence that shares the blocks holding the
+     * first @p prefix_len cached tokens of live sequence @p src
+     * (a common system prompt). Shared blocks are refcounted; a
+     * partial tail block is shared too and copy-on-write cloned the
+     * first time either sequence appends into it. The new sequence
+     * starts with seqLen() == prefix_len.
+     */
+    std::int64_t addSequenceWithPrefix(std::int64_t src,
+                                       std::int64_t prefix_len);
+
     /** Tokens currently cached for a sequence. */
     std::int64_t seqLen(std::int64_t seq) const;
 
@@ -65,9 +90,19 @@ class PagedKvCache
     bool canAppend(std::int64_t seq) const;
 
     /**
-     * Release a finished sequence's blocks back to the pool.
+     * Release a finished sequence's blocks back to the pool (each
+     * block returns only when its last referencing sequence drops
+     * it).
      */
     void releaseSequence(std::int64_t seq);
+
+    /**
+     * Release every sequence and return all blocks to the pool,
+     * keeping the allocation. Sequence ids are invalidated; span
+     * views must be re-taken after the next append (the pool storage
+     * they alias is unchanged).
+     */
+    void reset();
     /// @}
 
     /** @name Token data */
@@ -81,6 +116,41 @@ class PagedKvCache
     bool appendToken(std::int64_t seq, const float* k,
                      const float* v);
 
+    /**
+     * @name Layer-at-a-time append (the ragged decode path)
+     * A transformer step discovers one layer's K/V at a time, so the
+     * batched model path reserves slots up front, writes each layer
+     * as it is computed, and commits once all layers are in:
+     *
+     *   pos0 = reserve(seq, m);            // blocks + CoW up front
+     *   for each layer l, row i:
+     *       writeToken(seq, l, pos0 + i, k, v);
+     *   commit(seq, m);                    // publishes the length
+     *
+     * Span views taken with an explicit length cover the reserved
+     * rows before commit() publishes them.
+     */
+    /// @{
+    /**
+     * Ensure block capacity for the next @p count token positions of
+     * @p seq, copy-on-write cloning a shared tail block. Returns the
+     * first reserved position, or -1 if the pool cannot satisfy the
+     * reservation (no sequence state is changed in that case).
+     */
+    std::int64_t reserve(std::int64_t seq, std::int64_t count);
+
+    /**
+     * Write one layer's K and V vectors (d_kv floats each) at
+     * reserved position @p pos. @p pos must lie in
+     * [seqLen(seq), reserved capacity).
+     */
+    void writeToken(std::int64_t seq, std::int64_t layer,
+                    std::int64_t pos, const float* k, const float* v);
+
+    /** Publish @p count reserved tokens as valid. */
+    void commit(std::int64_t seq, std::int64_t count);
+    /// @}
+
     /** Read one cached K vector of @p layer at @p pos into @p out. */
     void readK(std::int64_t seq, std::int64_t layer, std::int64_t pos,
                float* out) const;
@@ -90,18 +160,20 @@ class PagedKvCache
                float* out) const;
 
     /**
-     * Span chunks covering the K rows [0, seqLen(seq)) of @p layer in
+     * Span chunks covering the K rows [0, len) of @p layer in
      * position order: one chunk per assigned block, each at most
-     * blockSize rows, matching readK element for element. Chunks
-     * alias pool storage (no copy); they stay valid until the
-     * sequence's blocks are released back to the pool.
+     * blockSize rows, matching readK element for element. @p len = -1
+     * means the current seqLen(seq); pass an explicit length mid-step
+     * to cover reserved-but-uncommitted rows. Chunks alias pool
+     * storage (no copy); they stay valid until the sequence's blocks
+     * are released back to the pool.
      */
-    std::vector<KvSpan> kSpans(std::int64_t seq,
-                               std::int64_t layer) const;
+    std::vector<KvSpan> kSpans(std::int64_t seq, std::int64_t layer,
+                               std::int64_t len = -1) const;
 
     /** Same chunk list over the V rows. */
-    std::vector<KvSpan> vSpans(std::int64_t seq,
-                               std::int64_t layer) const;
+    std::vector<KvSpan> vSpans(std::int64_t seq, std::int64_t layer,
+                               std::int64_t len = -1) const;
     /// @}
 
     /** @name Accounting (the PagedAttention argument) */
@@ -121,6 +193,9 @@ class PagedKvCache
      * max_seq tokens would instead waste (max_seq - len)/max_seq.
      */
     double fragmentation() const;
+
+    /** Lifetime pool counters (allocs, CoW, low watermark). */
+    const PagedPoolStats& stats() const { return stats_; }
     /// @}
 
   private:
@@ -141,7 +216,21 @@ class PagedKvCache
                             std::int64_t slot) const;
 
     std::vector<KvSpan> spans(const Tensor& pool, std::int64_t seq,
-                              std::int64_t layer) const;
+                              std::int64_t layer,
+                              std::int64_t len) const;
+
+    /** Pop a free block (caller checked availability). */
+    std::int64_t allocBlock();
+
+    /** Drop one reference; return the block to the pool at zero. */
+    void unrefBlock(std::int64_t block);
+
+    /**
+     * Clone table slot @p idx of @p s into a fresh block if it is
+     * shared, so subsequent writes stay private. Returns false when
+     * the pool has no block for the copy.
+     */
+    bool cowBlock(Sequence& s, std::size_t idx);
 
     std::int64_t layers_;
     std::int64_t d_kv_;
@@ -151,7 +240,9 @@ class PagedKvCache
     Tensor k_pool_; ///< [num_blocks, layers, block_size, d_kv]
     Tensor v_pool_;
     std::vector<std::int64_t> free_;
+    std::vector<std::int64_t> refcount_; ///< per-block references
     std::vector<Sequence> seqs_;
+    PagedPoolStats stats_;
 };
 
 } // namespace kv

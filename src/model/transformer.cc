@@ -147,10 +147,32 @@ TransformerModel::makeKvCache(std::int64_t batch,
                        DType::BF16);
 }
 
+kv::PagedKvCache
+TransformerModel::makePagedKvCache(std::int64_t block_size,
+                                   std::int64_t num_blocks) const
+{
+    return kv::PagedKvCache(spec_.numLayers, spec_.dKv(), block_size,
+                            num_blocks, DType::BF16);
+}
+
 Tensor
 TransformerModel::embed(const std::vector<std::int64_t>& tokens,
                         std::int64_t pos0, std::int64_t m) const
 {
+    const auto rows = static_cast<std::int64_t>(tokens.size());
+    std::vector<std::int64_t> positions(static_cast<size_t>(rows));
+    for (std::int64_t r = 0; r < rows; ++r)
+        positions[static_cast<size_t>(r)] = pos0 + r % m;
+    return embedRows(tokens, positions);
+}
+
+Tensor
+TransformerModel::embedRows(
+    const std::vector<std::int64_t>& tokens,
+    const std::vector<std::int64_t>& positions) const
+{
+    CPULLM_ASSERT(tokens.size() == positions.size(),
+                  "token/position row count mismatch");
     const std::int64_t d = spec_.dModel;
     const auto rows = static_cast<std::int64_t>(tokens.size());
     Tensor x({rows, d}, DType::F32);
@@ -164,7 +186,7 @@ TransformerModel::embed(const std::vector<std::int64_t>& tokens,
             xp[r * d + c] = emb[tok * d + c];
         if (spec_.posEmbedding == PosEmbedding::Learned) {
             const float* pos = posEmbedding_.data<float>() +
-                               (pos0 + r % m) * d;
+                               positions[static_cast<size_t>(r)] * d;
             for (std::int64_t c = 0; c < d; ++c)
                 xp[r * d + c] += pos[c];
         }
@@ -243,6 +265,92 @@ TransformerModel::attention(std::int64_t layer, const Tensor& x,
         }
         gemm::attnFused({heads, kv_heads, hd}, m, pos0, seqs.data(),
                         static_cast<size_t>(batch));
+    }
+
+    threadreg::ScopedFrame frame("out_proj");
+    return linear(engine_, ctx, pw.wo,
+                  spec_.linearBias ? &w.bo : nullptr);
+}
+
+Tensor
+TransformerModel::attentionRagged(
+    std::int64_t layer, const Tensor& x,
+    const std::vector<RaggedSeqSpan>& spans, kv::PagedKvCache& cache)
+{
+    const LayerWeights& w = layers_[static_cast<size_t>(layer)];
+    const PreparedLayerWeights& pw =
+        prepared_[static_cast<size_t>(layer)];
+    const std::int64_t rows = x.dim(0);
+    const std::int64_t d = spec_.dModel;
+    const std::int64_t heads = spec_.numHeads;
+    const std::int64_t hd = spec_.headDim();
+    const std::int64_t kv_heads = spec_.numKvHeads;
+
+    // All spans' rows fuse into one m = rows GEMM per projection —
+    // the continuous-batching weight-reuse win.
+    Tensor q = [&] {
+        threadreg::ScopedFrame frame("q_proj");
+        return linear(engine_, x, pw.wq,
+                      spec_.linearBias ? &w.bq : nullptr);
+    }();
+    Tensor k = [&] {
+        threadreg::ScopedFrame frame("k_proj");
+        return linear(engine_, x, pw.wk,
+                      spec_.linearBias ? &w.bk : nullptr);
+    }();
+    Tensor v = [&] {
+        threadreg::ScopedFrame frame("v_proj");
+        return linear(engine_, x, pw.wv,
+                      spec_.linearBias ? &w.bv : nullptr);
+    }();
+
+    Tensor ctx({rows, d}, DType::F32);
+    {
+        threadreg::ScopedFrame frame("attention");
+        float* qp = q.data<float>();
+        float* kp = k.data<float>();
+        const float* vp = v.data<float>();
+
+        // RoPE at each row's own absolute position, then write into
+        // the slots reserved by forwardRagged (committed there after
+        // all layers).
+        std::int64_t base = 0;
+        for (const RaggedSeqSpan& sp : spans) {
+            for (std::int64_t i = 0; i < sp.m; ++i) {
+                const std::int64_t r = base + i;
+                if (spec_.posEmbedding == PosEmbedding::Rotary) {
+                    rope_.apply(qp + r * d, heads, sp.pos0 + i);
+                    rope_.apply(kp + r * spec_.dKv(), kv_heads,
+                                sp.pos0 + i);
+                }
+                cache.writeToken(sp.seq, layer, sp.pos0 + i,
+                                 kp + r * spec_.dKv(),
+                                 vp + r * spec_.dKv());
+            }
+            base += sp.m;
+        }
+
+        // Per-sequence paged span chunks covering the reserved rows
+        // (explicit length: commit() hasn't published them yet).
+        float* cp = ctx.data<float>();
+        const std::size_t n = spans.size();
+        std::vector<std::vector<kv::KvSpan>> kchunks(n), vchunks(n);
+        std::vector<gemm::AttnRaggedSeq> slots(n);
+        base = 0;
+        for (std::size_t s = 0; s < n; ++s) {
+            const RaggedSeqSpan& sp = spans[s];
+            kchunks[s] = cache.kSpans(sp.seq, layer, sp.pos0 + sp.m);
+            vchunks[s] = cache.vSpans(sp.seq, layer, sp.pos0 + sp.m);
+            slots[s].view.q = qp + base * d;
+            slots[s].view.out = cp + base * d;
+            slots[s].view.k = kchunks[s].data();
+            slots[s].view.v = vchunks[s].data();
+            slots[s].view.chunks = kchunks[s].size();
+            slots[s].pos0 = sp.pos0;
+            slots[s].m = sp.m;
+            base += sp.m;
+        }
+        gemm::attnFusedRagged({heads, kv_heads, hd}, slots.data(), n);
     }
 
     threadreg::ScopedFrame frame("out_proj");
@@ -364,6 +472,146 @@ TransformerModel::forwardTokens(const std::vector<std::int64_t>& tokens,
                                 kv::KvCache& cache)
 {
     return forwardSpan(tokens, position, 1, cache);
+}
+
+Tensor
+TransformerModel::forwardRagged(
+    const std::vector<std::int64_t>& tokens,
+    const std::vector<RaggedSeqSpan>& spans, kv::PagedKvCache& cache)
+{
+    CPULLM_ASSERT(!spans.empty(), "empty ragged span list");
+    std::int64_t rows = 0;
+    for (const RaggedSeqSpan& sp : spans) {
+        CPULLM_ASSERT(sp.m >= 1, "ragged span needs m >= 1");
+        CPULLM_ASSERT(sp.pos0 == cache.seqLen(sp.seq),
+                      "span pos0 ", sp.pos0,
+                      " is not the sequence length ",
+                      cache.seqLen(sp.seq));
+        rows += sp.m;
+    }
+    CPULLM_ASSERT(static_cast<std::int64_t>(tokens.size()) == rows,
+                  "token count mismatches the span rows");
+
+    // Reserve every span's slots before touching activations.
+    // Abandoned reservations (a later span failing admission) are
+    // harmless: the blocks stay with their sequence and the next
+    // reserve() call reuses them without allocating.
+    for (const RaggedSeqSpan& sp : spans) {
+        if (cache.reserve(sp.seq, sp.m) < 0)
+            return Tensor();
+    }
+
+    std::vector<std::int64_t> positions;
+    positions.reserve(static_cast<size_t>(rows));
+    for (const RaggedSeqSpan& sp : spans)
+        for (std::int64_t i = 0; i < sp.m; ++i)
+            positions.push_back(sp.pos0 + i);
+    Tensor x = [&] {
+        threadreg::ScopedFrame frame("embedding");
+        return embedRows(tokens, positions);
+    }();
+
+    for (std::int64_t l = 0; l < spec_.numLayers; ++l) {
+        const LayerWeights& w = layers_[static_cast<size_t>(l)];
+        Tensor normed = [&] {
+            threadreg::ScopedFrame frame("attn_norm");
+            Tensor n = x.cast(DType::F32);
+            if (spec_.norm == NormKind::LayerNorm)
+                layerNormInPlace(n, w.attnNormW, w.attnNormB);
+            else
+                rmsNormInPlace(n, w.attnNormW);
+            return n;
+        }();
+        Tensor attn = attentionRagged(l, normed, spans, cache);
+        float* xp = x.data<float>();
+        const float* ap = attn.data<float>();
+        for (std::int64_t i = 0; i < x.size(); ++i)
+            xp[i] += ap[i];
+
+        Tensor normed2 = [&] {
+            threadreg::ScopedFrame frame("ffn_norm");
+            Tensor n = x.cast(DType::F32);
+            if (spec_.norm == NormKind::LayerNorm)
+                layerNormInPlace(n, w.ffnNormW, w.ffnNormB);
+            else
+                rmsNormInPlace(n, w.ffnNormW);
+            return n;
+        }();
+        Tensor f = ffn(l, normed2);
+        const float* fp = f.data<float>();
+        for (std::int64_t i = 0; i < x.size(); ++i)
+            xp[i] += fp[i];
+    }
+
+    for (const RaggedSeqSpan& sp : spans)
+        cache.commit(sp.seq, sp.m);
+
+    // Each span's last row feeds the head; the rest are cache-only.
+    const std::int64_t n_spans =
+        static_cast<std::int64_t>(spans.size());
+    Tensor last({n_spans, spec_.dModel}, DType::F32);
+    float* lp = last.data<float>();
+    const float* xp = x.data<float>();
+    std::int64_t base = 0;
+    for (std::int64_t s = 0; s < n_spans; ++s) {
+        const RaggedSeqSpan& sp = spans[static_cast<size_t>(s)];
+        const float* row = xp + (base + sp.m - 1) * spec_.dModel;
+        for (std::int64_t c = 0; c < spec_.dModel; ++c)
+            lp[s * spec_.dModel + c] = row[c];
+        base += sp.m;
+    }
+    {
+        threadreg::ScopedFrame frame("final_norm");
+        if (spec_.norm == NormKind::LayerNorm)
+            layerNormInPlace(last, finalNormW_, finalNormB_);
+        else
+            rmsNormInPlace(last, finalNormW_);
+    }
+
+    threadreg::ScopedFrame frame("lm_head");
+    return linear(engine_, last, preparedHead_, nullptr);
+}
+
+std::int64_t
+TransformerModel::prefillPaged(const std::vector<std::int64_t>& prompt,
+                               std::int64_t seq,
+                               kv::PagedKvCache& cache)
+{
+    CPULLM_ASSERT(!prompt.empty(), "empty prompt");
+    RaggedSeqSpan sp;
+    sp.seq = seq;
+    sp.pos0 = cache.seqLen(seq);
+    sp.m = static_cast<std::int64_t>(prompt.size());
+    Tensor logits = forwardRagged(prompt, {sp}, cache);
+    if (logits.empty())
+        return -1;
+    return argmaxRow(logits, 0);
+}
+
+std::vector<std::int64_t>
+TransformerModel::decodeStepRagged(const std::vector<RaggedSlot>& slots,
+                                   kv::PagedKvCache& cache)
+{
+    CPULLM_ASSERT(!slots.empty(), "empty ragged decode batch");
+    std::vector<std::int64_t> tokens;
+    std::vector<RaggedSeqSpan> spans;
+    tokens.reserve(slots.size());
+    spans.reserve(slots.size());
+    for (const RaggedSlot& s : slots) {
+        tokens.push_back(s.token);
+        RaggedSeqSpan sp;
+        sp.seq = s.seq;
+        sp.pos0 = cache.seqLen(s.seq);
+        sp.m = 1;
+        spans.push_back(sp);
+    }
+    Tensor logits = forwardRagged(tokens, spans, cache);
+    if (logits.empty())
+        return {};
+    std::vector<std::int64_t> next(slots.size());
+    for (std::size_t s = 0; s < slots.size(); ++s)
+        next[s] = argmaxRow(logits, static_cast<std::int64_t>(s));
+    return next;
 }
 
 std::vector<std::int64_t>

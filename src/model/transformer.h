@@ -15,6 +15,7 @@
 #include "gemm/gemm.h"
 #include "gemm/packed_weights.h"
 #include "kv/kv_cache.h"
+#include "kv/paged_kv_cache.h"
 #include "model/layers.h"
 #include "model/spec.h"
 #include "tensor/tensor.h"
@@ -144,9 +145,88 @@ class TransformerModel
                        std::int64_t pos0, std::int64_t m,
                        kv::KvCache& cache);
 
+    /** @name Ragged (continuous-batching) paged-cache path */
+    /// @{
+    /** One in-flight sequence's slot in a ragged decode step. */
+    struct RaggedSlot
+    {
+        std::int64_t seq = 0;   ///< paged-cache sequence id
+        std::int64_t token = 0; ///< last generated token to feed
+    };
+
+    /** One sequence's query span inside a ragged forward pass. */
+    struct RaggedSeqSpan
+    {
+        std::int64_t seq = 0;  ///< paged-cache sequence id
+        std::int64_t pos0 = 0; ///< must equal cache.seqLen(seq)
+        std::int64_t m = 1;    ///< query rows (prompt span, or 1)
+    };
+
+    /** Allocate a paged KV pool matched to this model's geometry. */
+    kv::PagedKvCache makePagedKvCache(std::int64_t block_size,
+                                      std::int64_t num_blocks) const;
+
+    /**
+     * One forward pass over heterogeneous per-sequence query spans —
+     * the continuous-batching iteration. All spans' rows fuse into
+     * single m = sum(m_s) GEMM passes per projection while attention
+     * runs per sequence at its own (pos0, m) over paged span chunks.
+     * K/V slots are reserved up front, written layer by layer, and
+     * committed at the end (reserve/writeToken/commit protocol), so
+     * on success every span's seqLen advances by its m.
+     *
+     * Row-wise numerics match the contiguous path bit for bit: every
+     * per-row operator (embedding, norms, RoPE, GEMM rows, the fused
+     * attention sweep) sees the same inputs in the same order as a
+     * per-sequence forwardSpan call, so logits are bitwise identical
+     * to running each sequence alone.
+     *
+     * @param tokens span-major ids: spans[s]'s rows are consecutive,
+     *               tokens[base_s + i] at position spans[s].pos0 + i
+     * @return [n_spans, vocab] FP32 logits of each span's last row,
+     *         or an empty tensor if the pool cannot admit the step
+     *         (no sequence length changes; the caller must evict or
+     *         release sequences and retry)
+     */
+    Tensor forwardRagged(const std::vector<std::int64_t>& tokens,
+                         const std::vector<RaggedSeqSpan>& spans,
+                         kv::PagedKvCache& cache);
+
+    /**
+     * Prefill one sequence's prompt into the paged cache; positions
+     * continue from cache.seqLen(seq), so a sequence created with
+     * addSequenceWithPrefix only runs its non-shared suffix.
+     * @return the first generated token (greedy), or -1 if the pool
+     *         cannot hold the prompt (cache state unchanged)
+     */
+    std::int64_t prefillPaged(const std::vector<std::int64_t>& prompt,
+                              std::int64_t seq,
+                              kv::PagedKvCache& cache);
+
+    /**
+     * One fused decode step over in-flight sequences at heterogeneous
+     * positions: each slot feeds its last token at its own position.
+     * @return next greedy token per slot, or an empty vector if the
+     *         pool cannot admit the step (no state published; evict
+     *         a sequence and retry)
+     */
+    std::vector<std::int64_t>
+    decodeStepRagged(const std::vector<RaggedSlot>& slots,
+                     kv::PagedKvCache& cache);
+    /// @}
+
   private:
     Tensor embed(const std::vector<std::int64_t>& tokens,
                  std::int64_t pos0, std::int64_t m) const;
+
+    /** Embedding lookup with an explicit position per row. */
+    Tensor embedRows(const std::vector<std::int64_t>& tokens,
+                     const std::vector<std::int64_t>& positions) const;
+
+    /** The ragged analogue of attention(): per-span (pos0, m). */
+    Tensor attentionRagged(std::int64_t layer, const Tensor& x,
+                           const std::vector<RaggedSeqSpan>& spans,
+                           kv::PagedKvCache& cache);
 
     /**
      * Fused attention over the cached span for @p m query positions

@@ -1,0 +1,355 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/logging.h"
+
+namespace cpullm {
+namespace serve {
+
+namespace {
+
+std::mutex g_snapshot_mu;
+HostBatchSnapshot g_snapshot;
+
+std::mutex g_requested_mu;
+BatcherConfig g_requested;
+
+/** Strict positive-integer env parse ("12", no trailing junk). */
+bool
+envPositiveInt(const char* value, std::int64_t* out)
+{
+    char* end = nullptr;
+    const long long v = std::strtoll(value, &end, 10);
+    if (end == value || *end != '\0' || v < 1)
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+void
+publishHostBatchStats(const HostBatchSnapshot& snap)
+{
+    std::lock_guard<std::mutex> lock(g_snapshot_mu);
+    g_snapshot = snap;
+    g_snapshot.valid = true;
+}
+
+HostBatchSnapshot
+hostBatchSnapshot()
+{
+    std::lock_guard<std::mutex> lock(g_snapshot_mu);
+    return g_snapshot;
+}
+
+void
+recordHostBatchStats(stats::Registry& reg)
+{
+    const HostBatchSnapshot s = hostBatchSnapshot();
+    if (!s.valid)
+        return;
+    auto set = [&reg](const char* name, const char* desc, double v) {
+        reg.scalar(name, desc).set(v);
+    };
+    set("host.batch.steps", "fused ragged decode steps",
+        static_cast<double>(s.stats.steps));
+    set("host.batch.decoded_tokens",
+        "tokens produced by fused decode steps",
+        static_cast<double>(s.stats.decodedTokens));
+    set("host.batch.prefill_tokens",
+        "prompt tokens prefilled (prefix-cache suffixes only)",
+        static_cast<double>(s.stats.prefillTokens));
+    set("host.batch.admitted", "sequence admissions incl. re-admits",
+        static_cast<double>(s.stats.admitted));
+    set("host.batch.retired", "sequences completed",
+        static_cast<double>(s.stats.retired));
+    set("host.batch.preemptions", "evict-and-requeue events",
+        static_cast<double>(s.stats.preemptions));
+    set("host.batch.admission_rejections",
+        "admissions refused because the paged pool was full",
+        static_cast<double>(s.stats.admissionRejections));
+    set("host.batch.prefix_hits",
+        "admissions that reused a cached prompt prefix",
+        static_cast<double>(s.stats.prefixHits));
+    set("host.batch.prefix_tokens_reused",
+        "prompt tokens served from shared prefix blocks",
+        static_cast<double>(s.stats.prefixTokensReused));
+    set("host.batch.mean_occupancy",
+        "mean in-flight sequences per fused decode step",
+        s.stats.meanOccupancy());
+    set("host.batch.peak_occupancy", "max in-flight sequences",
+        static_cast<double>(s.stats.peakOccupancy));
+    set("host.batch.kv_blocks_total", "paged-KV pool capacity",
+        static_cast<double>(s.blocksTotal));
+    set("host.batch.kv_blocks_in_use",
+        "paged-KV blocks held at publish time",
+        static_cast<double>(s.blocksInUse));
+    set("host.batch.kv_blocks_peak", "paged-KV pool high watermark",
+        static_cast<double>(s.peakBlocksInUse));
+    set("host.batch.kv_prefix_shared_blocks",
+        "paged-KV blocks reused via shared prefixes",
+        static_cast<double>(s.prefixSharedBlocks));
+}
+
+BatcherConfig
+requestedBatcherConfig()
+{
+    std::lock_guard<std::mutex> lock(g_requested_mu);
+    return g_requested;
+}
+
+void
+setRequestedBatcherConfig(const BatcherConfig& cfg)
+{
+    CPULLM_ASSERT(cfg.maxBatch >= 1 && cfg.blockSize >= 1 &&
+                      cfg.numBlocks >= 1,
+                  "batcher config values must be >= 1");
+    std::lock_guard<std::mutex> lock(g_requested_mu);
+    g_requested = cfg;
+}
+
+bool
+applyBatcherEnv(std::string* err_msg)
+{
+    BatcherConfig cfg = requestedBatcherConfig();
+    struct IntVar
+    {
+        const char* name;
+        std::int64_t* slot;
+    };
+    const IntVar ints[] = {{"CPULLM_BATCH_MAX", &cfg.maxBatch},
+                           {"CPULLM_KV_BLOCKS", &cfg.numBlocks}};
+    for (const IntVar& v : ints) {
+        const char* env = std::getenv(v.name);
+        if (env == nullptr || *env == '\0')
+            continue;
+        if (!envPositiveInt(env, v.slot)) {
+            if (err_msg != nullptr)
+                *err_msg = std::string(v.name) +
+                           " expects a positive integer, got '" +
+                           env + "'";
+            return false;
+        }
+    }
+    if (const char* env = std::getenv("CPULLM_PREFIX_CACHE")) {
+        const std::string v = env;
+        if (v.empty()) {
+            // unset-equivalent
+        } else if (v == "on") {
+            cfg.prefixCache = true;
+        } else if (v == "off") {
+            cfg.prefixCache = false;
+        } else {
+            if (err_msg != nullptr)
+                *err_msg = "CPULLM_PREFIX_CACHE expects on|off, "
+                           "got '" + v + "'";
+            return false;
+        }
+    }
+    setRequestedBatcherConfig(cfg);
+    return true;
+}
+
+ContinuousBatcher::ContinuousBatcher(model::TransformerModel& model,
+                                     const BatcherConfig& cfg)
+    : model_(model), cfg_(cfg),
+      cache_(model.makePagedKvCache(cfg.blockSize, cfg.numBlocks))
+{
+    CPULLM_ASSERT(cfg.maxBatch >= 1, "maxBatch must be >= 1");
+}
+
+std::int64_t
+ContinuousBatcher::submit(BatchRequest req)
+{
+    CPULLM_ASSERT(!req.prompt.empty(), "empty prompt");
+    CPULLM_ASSERT(req.genLen >= 1, "genLen must be >= 1");
+    const auto id = static_cast<std::int64_t>(done_.size());
+    done_.emplace_back();
+    Waiting w;
+    w.id = id;
+    w.prompt = std::move(req.prompt);
+    w.remaining = req.genLen;
+    waiting_.push_back(std::move(w));
+    return id;
+}
+
+void
+ContinuousBatcher::admit()
+{
+    while (!waiting_.empty() &&
+           static_cast<std::int64_t>(live_.size()) < cfg_.maxBatch) {
+        Waiting& w = waiting_.front();
+
+        // Longest cached common prefix among live sequences' prompts
+        // (their prompt tokens are fully cached after prefill). At
+        // least one suffix token must remain to prefill.
+        std::int64_t src = -1, common = 0;
+        if (cfg_.prefixCache) {
+            const std::int64_t cap =
+                static_cast<std::int64_t>(w.prompt.size()) - 1;
+            for (const Running& r : live_) {
+                const std::int64_t n = std::min(
+                    cap,
+                    static_cast<std::int64_t>(r.prompt.size()));
+                std::int64_t lcp = 0;
+                while (lcp < n &&
+                       w.prompt[static_cast<std::size_t>(lcp)] ==
+                           r.prompt[static_cast<std::size_t>(lcp)])
+                    ++lcp;
+                if (lcp > common) {
+                    common = lcp;
+                    src = r.seq;
+                }
+            }
+        }
+
+        const std::int64_t seq =
+            src >= 0 ? cache_.addSequenceWithPrefix(src, common)
+                     : cache_.addSequence();
+        const std::vector<std::int64_t> suffix(
+            w.prompt.begin() + static_cast<std::ptrdiff_t>(common),
+            w.prompt.end());
+        const std::int64_t first =
+            model_.prefillPaged(suffix, seq, cache_);
+        if (first < 0) {
+            // Pool full: back off, leave the request queued.
+            cache_.releaseSequence(seq);
+            ++stats_.admissionRejections;
+            break;
+        }
+
+        Running r;
+        r.id = w.id;
+        r.seq = seq;
+        r.prompt = std::move(w.prompt);
+        r.generated.push_back(first);
+        r.lastToken = first;
+        r.remaining = w.remaining - 1;
+        live_.push_back(std::move(r));
+        waiting_.pop_front();
+
+        ++stats_.admitted;
+        stats_.prefillTokens +=
+            static_cast<std::int64_t>(suffix.size());
+        if (src >= 0) {
+            ++stats_.prefixHits;
+            stats_.prefixTokensReused += common;
+        }
+        stats_.peakOccupancy =
+            std::max(stats_.peakOccupancy,
+                     static_cast<std::int64_t>(live_.size()));
+    }
+}
+
+void
+ContinuousBatcher::preempt()
+{
+    CPULLM_ASSERT(!live_.empty(), "nothing to preempt");
+    Running victim = std::move(live_.back());
+    live_.pop_back();
+
+    // Already-generated tokens are final output (greedy decoding is
+    // deterministic); fold them into the prompt so the re-admitted
+    // prefill resumes exactly where the eviction cut.
+    done_[static_cast<std::size_t>(victim.id)].insert(
+        done_[static_cast<std::size_t>(victim.id)].end(),
+        victim.generated.begin(), victim.generated.end());
+    Waiting w;
+    w.id = victim.id;
+    w.prompt = std::move(victim.prompt);
+    w.prompt.insert(w.prompt.end(), victim.generated.begin(),
+                    victim.generated.end());
+    w.remaining = victim.remaining;
+    waiting_.push_front(std::move(w));
+
+    cache_.releaseSequence(victim.seq);
+    ++stats_.preemptions;
+}
+
+std::vector<std::vector<std::int64_t>>
+ContinuousBatcher::run()
+{
+    while (!waiting_.empty() || !live_.empty()) {
+        admit();
+        CPULLM_ASSERT(!live_.empty(),
+                      "paged pool (", cfg_.numBlocks, " blocks of ",
+                      cfg_.blockSize,
+                      ") cannot admit any waiting request");
+
+        // Retire sequences whose prefill already satisfied genLen.
+        for (std::size_t i = 0; i < live_.size();) {
+            if (live_[i].remaining == 0) {
+                Running& r = live_[i];
+                auto& out = done_[static_cast<std::size_t>(r.id)];
+                out.insert(out.end(), r.generated.begin(),
+                           r.generated.end());
+                cache_.releaseSequence(r.seq);
+                ++stats_.retired;
+                live_.erase(live_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+        if (live_.empty())
+            continue;
+
+        // One fused ragged decode step over every live sequence;
+        // when the pool cannot cover it, evict the youngest sequence
+        // and retry with the smaller batch.
+        std::vector<std::int64_t> next;
+        for (;;) {
+            std::vector<model::TransformerModel::RaggedSlot> slots(
+                live_.size());
+            for (std::size_t i = 0; i < live_.size(); ++i) {
+                slots[i].seq = live_[i].seq;
+                slots[i].token = live_[i].lastToken;
+            }
+            next = model_.decodeStepRagged(slots, cache_);
+            if (!next.empty())
+                break;
+            CPULLM_ASSERT(live_.size() > 1,
+                          "paged pool too small to decode a single "
+                          "sequence");
+            preempt();
+        }
+
+        ++stats_.steps;
+        stats_.occupancySum +=
+            static_cast<std::int64_t>(live_.size());
+        stats_.decodedTokens +=
+            static_cast<std::int64_t>(live_.size());
+        for (std::size_t i = 0; i < live_.size(); ++i) {
+            live_[i].generated.push_back(next[i]);
+            live_[i].lastToken = next[i];
+            --live_[i].remaining;
+        }
+        publish(); // live view for /metrics scrapes mid-run
+    }
+    publish();
+    return done_;
+}
+
+void
+ContinuousBatcher::publish() const
+{
+    HostBatchSnapshot s;
+    s.stats = stats_;
+    s.maxBatch = cfg_.maxBatch;
+    s.liveSequences = static_cast<std::int64_t>(live_.size());
+    s.blockSize = cache_.blockSize();
+    s.blocksTotal = cache_.numBlocks();
+    s.blocksInUse = cache_.numBlocks() - cache_.freeBlocks();
+    s.peakBlocksInUse =
+        cache_.numBlocks() - cache_.stats().minFreeBlocks;
+    s.prefixSharedBlocks = cache_.stats().prefixSharedBlocks;
+    publishHostBatchStats(s);
+}
+
+} // namespace serve
+} // namespace cpullm

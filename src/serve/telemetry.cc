@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "gemm/packed_weights.h"
+#include "serve/batcher.h"
 #include "obs/counters.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -396,6 +397,68 @@ ServingTelemetry::writePrometheus(std::ostream& os) const
         gauge("cpullm_host_quant_rms_err",
               "RMS dequantization error over all quantized weights",
               qs.rmsErr);
+    }
+
+    // Continuous-batching counters, when a host ContinuousBatcher
+    // session has published (--batching continuous). Snapshots are
+    // refreshed every fused decode step, so a live scrape sees the
+    // in-flight occupancy, not just the final totals.
+    const HostBatchSnapshot hb = hostBatchSnapshot();
+    if (hb.valid) {
+        gauge("cpullm_host_batch_steps_total",
+              "fused ragged decode steps executed",
+              static_cast<double>(hb.stats.steps));
+        gauge("cpullm_host_batch_decoded_tokens_total",
+              "tokens produced by fused decode steps",
+              static_cast<double>(hb.stats.decodedTokens));
+        gauge("cpullm_host_batch_prefill_tokens_total",
+              "prompt tokens prefilled (prefix-cache suffixes only)",
+              static_cast<double>(hb.stats.prefillTokens));
+        gauge("cpullm_host_batch_admitted_total",
+              "sequence admissions incl. preemption re-admits",
+              static_cast<double>(hb.stats.admitted));
+        gauge("cpullm_host_batch_retired_total",
+              "sequences completed",
+              static_cast<double>(hb.stats.retired));
+        gauge("cpullm_host_batch_preemptions_total",
+              "evict-and-requeue events under pool pressure",
+              static_cast<double>(hb.stats.preemptions));
+        gauge("cpullm_host_batch_admission_rejections_total",
+              "admissions refused because the paged pool was full",
+              static_cast<double>(hb.stats.admissionRejections));
+        gauge("cpullm_host_batch_prefix_hits_total",
+              "admissions that reused a cached prompt prefix",
+              static_cast<double>(hb.stats.prefixHits));
+        gauge("cpullm_host_batch_prefix_tokens_reused_total",
+              "prompt tokens served from shared prefix blocks",
+              static_cast<double>(hb.stats.prefixTokensReused));
+        gauge("cpullm_host_batch_live_sequences",
+              "sequences in flight at the last publish",
+              static_cast<double>(hb.liveSequences));
+        gauge("cpullm_host_batch_max_batch",
+              "configured in-flight sequence cap",
+              static_cast<double>(hb.maxBatch));
+        gauge("cpullm_host_batch_mean_occupancy",
+              "mean in-flight sequences per fused decode step",
+              hb.stats.meanOccupancy());
+        gauge("cpullm_host_batch_peak_occupancy",
+              "max in-flight sequences",
+              static_cast<double>(hb.stats.peakOccupancy));
+        gauge("cpullm_host_batch_kv_blocks_total",
+              "paged-KV pool capacity in blocks",
+              static_cast<double>(hb.blocksTotal));
+        gauge("cpullm_host_batch_kv_block_size",
+              "paged-KV tokens per block",
+              static_cast<double>(hb.blockSize));
+        gauge("cpullm_host_batch_kv_blocks_in_use",
+              "paged-KV blocks held at the last publish",
+              static_cast<double>(hb.blocksInUse));
+        gauge("cpullm_host_batch_kv_blocks_peak",
+              "paged-KV pool high watermark",
+              static_cast<double>(hb.peakBlocksInUse));
+        gauge("cpullm_host_batch_kv_prefix_shared_blocks",
+              "paged-KV blocks reused via shared prefixes",
+              static_cast<double>(hb.prefixSharedBlocks));
     }
 
     auto gaugeStats = [&](const char* name, const char* help,

@@ -262,6 +262,85 @@ TEST(FusedAttention, StatsCountCallsAndRows)
               2u * 16u + 2u * 4u);
 }
 
+TEST(RaggedAttention, MatchesPerSequenceFusedBitwise)
+{
+    // Four in-flight sequences at mutually unrelated positions — the
+    // shape of one continuous-batching iteration. Paged 16-row
+    // chunking like the block pool produces.
+    const AttnShape shape{8, 2, 16};
+    const std::int64_t pos[] = {0, 7, 40, 63};
+    const std::int64_t ms[] = {1, 1, 3, 1};
+    std::vector<Problem> ragged, solo;
+    for (int s = 0; s < 4; ++s) {
+        ragged.push_back(makeProblem(shape, ms[s], pos[s],
+                                     DType::BF16, 16,
+                                     static_cast<std::uint64_t>(s)));
+        solo.push_back(makeProblem(shape, ms[s], pos[s], DType::BF16,
+                                   16,
+                                   static_cast<std::uint64_t>(s)));
+    }
+    std::vector<AttnRaggedSeq> slots(4);
+    for (int s = 0; s < 4; ++s) {
+        slots[static_cast<std::size_t>(s)].view =
+            ragged[static_cast<std::size_t>(s)].view();
+        slots[static_cast<std::size_t>(s)].pos0 = pos[s];
+        slots[static_cast<std::size_t>(s)].m = ms[s];
+    }
+    attnFusedRagged(shape, slots.data(), slots.size());
+    for (int s = 0; s < 4; ++s) {
+        AttnSeqView v = solo[static_cast<std::size_t>(s)].view();
+        attnFused(shape, ms[s], pos[s], &v, 1);
+        EXPECT_EQ(ragged[static_cast<std::size_t>(s)].out,
+                  solo[static_cast<std::size_t>(s)].out)
+            << "sequence " << s;
+    }
+}
+
+TEST(RaggedAttention, BitwiseInvariantToThreadCount)
+{
+    const AttnShape shape{8, 4, 16};
+    const std::int64_t pos[] = {3, 29, 50};
+    std::vector<Problem> p1, p4;
+    for (int s = 0; s < 3; ++s) {
+        p1.push_back(makeProblem(shape, 1, pos[s], DType::BF16, 0,
+                                 static_cast<std::uint64_t>(s + 9)));
+        p4.push_back(makeProblem(shape, 1, pos[s], DType::BF16, 0,
+                                 static_cast<std::uint64_t>(s + 9)));
+    }
+    std::vector<AttnRaggedSeq> s1(3), s4(3);
+    for (int s = 0; s < 3; ++s) {
+        s1[static_cast<std::size_t>(s)] = {
+            p1[static_cast<std::size_t>(s)].view(), pos[s], 1};
+        s4[static_cast<std::size_t>(s)] = {
+            p4[static_cast<std::size_t>(s)].view(), pos[s], 1};
+    }
+    setMaxThreads(1);
+    attnFusedRagged(shape, s1.data(), s1.size());
+    setMaxThreads(4);
+    attnFusedRagged(shape, s4.data(), s4.size());
+    setMaxThreads(0);
+    for (int s = 0; s < 3; ++s)
+        EXPECT_EQ(p1[static_cast<std::size_t>(s)].out,
+                  p4[static_cast<std::size_t>(s)].out)
+            << "sequence " << s;
+}
+
+TEST(RaggedAttention, StatsCountRaggedCallsAndRows)
+{
+    const AttnShape shape{4, 2, 8};
+    const AttnStats before = attnStats();
+    Problem a = makeProblem(shape, 1, 9, DType::F32);
+    Problem b = makeProblem(shape, 2, 4, DType::F32);
+    AttnRaggedSeq slots[2] = {{a.view(), 9, 1}, {b.view(), 4, 2}};
+    attnFusedRagged(shape, slots, 2);
+    const AttnStats after = attnStats();
+    EXPECT_EQ(after.raggedCalls - before.raggedCalls, 1u);
+    EXPECT_EQ(after.decodeCalls - before.decodeCalls, 0u);
+    // Two sequences x two kv heads.
+    EXPECT_EQ(after.tasks - before.tasks, 4u);
+    EXPECT_EQ(after.spanRows - before.spanRows, 2u * 10u + 2u * 6u);
+}
+
 } // namespace
 } // namespace gemm
 } // namespace cpullm

@@ -7,8 +7,12 @@
  *              [--trace-out F] [--report-out F] [--profile-hz HZ]
  *              [--profile-out F] [--profile-reps N]
  *              [--flightrec-out F] [--flightrec-events N]
+ *              [--batching static|continuous] [--batch-max B]
+ *              [--kv-blocks N] [--prefix-cache on|off]
  *   cpullm serve --model opt-13b [--device cpu|gpu] [--rate R]
  *                [--requests N] [--max-batch B] [--continuous]
+ *                [--batching static|continuous] [--batch-max B]
+ *                [--kv-blocks N] [--prefix-cache on|off]
  *                [--trace-out F] [--report-out F] [--json]
  *                [--telemetry-port P] [--prom-out F] [--linger S]
  *                [--probe] [--slo-ttft-ms X] [--slo-tpot-ms X]
@@ -45,6 +49,20 @@
  * which overrides the env var. Quantization shrinks modeled weight
  * traffic accordingly (unless --dtype is explicit) and accuracy is
  * tracked as host.quant.* stats and cpullm_host_quant_* gauges.
+ *
+ * Continuous batching on the real host decode path: `run --batching
+ * continuous` additionally executes the workload through
+ * serve::ContinuousBatcher — iteration-level scheduling over a
+ * paged-KV block pool, fusing the in-flight sequences into one
+ * ragged decode step per iteration (bitwise equal to sequential
+ * decode). --batch-max / --kv-blocks / --prefix-cache (env:
+ * CPULLM_BATCH_MAX / CPULLM_KV_BLOCKS / CPULLM_PREFIX_CACHE, same
+ * exit-2 contract) size the runtime; results surface as host.batch.*
+ * run-report metrics and cpullm_host_batch_* /metrics gauges. On
+ * `serve`, --batching continuous selects the continuous-batching
+ * simulator policy AND drives a small host session (the model must be
+ * small enough for functional execution) so the live telemetry
+ * exports the real scheduler's counters.
  *
  * `run` simulates one request on a CPU platform; `serve` runs the
  * serving simulator (static or continuous batching, CPU or GPU
@@ -256,6 +274,94 @@ applyWquantFlag(const std::map<std::string, std::string>& flags)
 }
 
 /**
+ * The --batching mode (strictly static|continuous, exit 2
+ * otherwise); @p fallback when the flag is absent.
+ */
+std::string
+batchingFlag(const std::map<std::string, std::string>& flags,
+             const std::string& fallback)
+{
+    const std::string v = flagOr(flags, "batching", fallback);
+    if (v != "static" && v != "continuous")
+        usageError("--batching expects static|continuous, got '" + v +
+                   "'");
+    return v;
+}
+
+/**
+ * Continuous-batching runtime config: the CPULLM_BATCH_MAX /
+ * CPULLM_KV_BLOCKS / CPULLM_PREFIX_CACHE env vars (applied in
+ * main()) overridden by --batch-max / --kv-blocks / --prefix-cache.
+ * Malformed values are usage errors, exit 2 — matching
+ * --threads/--counters/--wquant. The result also becomes the
+ * process-wide requested config.
+ */
+serve::BatcherConfig
+batcherConfigFromFlags(const std::map<std::string, std::string>& flags)
+{
+    serve::BatcherConfig cfg = serve::requestedBatcherConfig();
+    if (flags.count("batch-max")) {
+        const std::int64_t v = intFlag(flags, "batch-max",
+                                       cfg.maxBatch);
+        if (v < 1)
+            usageError("--batch-max expects a positive integer");
+        cfg.maxBatch = v;
+    }
+    if (flags.count("kv-blocks")) {
+        const std::int64_t v = intFlag(flags, "kv-blocks",
+                                       cfg.numBlocks);
+        if (v < 1)
+            usageError("--kv-blocks expects a positive integer");
+        cfg.numBlocks = v;
+    }
+    if (flags.count("prefix-cache")) {
+        const std::string& v = flags.at("prefix-cache");
+        if (v == "on")
+            cfg.prefixCache = true;
+        else if (v == "off")
+            cfg.prefixCache = false;
+        else
+            usageError("--prefix-cache expects on|off, got '" + v +
+                       "'");
+    }
+    serve::setRequestedBatcherConfig(cfg);
+    return cfg;
+}
+
+/** host.batch.* run-report metrics of one continuous-batching host
+ *  session (the report-side twin of the cpullm_host_batch_* gauges). */
+void
+addHostBatchMetrics(obs::RunReport& report,
+                    const engine::HostBatchResult& hb)
+{
+    report.info["batching"] = "continuous";
+    auto m = [&report](const char* key, double v) {
+        report.metrics[std::string("host.batch.") + key] = v;
+    };
+    m("steps", static_cast<double>(hb.stats.steps));
+    m("decoded_tokens", static_cast<double>(hb.stats.decodedTokens));
+    m("prefill_tokens", static_cast<double>(hb.stats.prefillTokens));
+    m("admitted", static_cast<double>(hb.stats.admitted));
+    m("retired", static_cast<double>(hb.stats.retired));
+    m("preemptions", static_cast<double>(hb.stats.preemptions));
+    m("admission_rejections",
+      static_cast<double>(hb.stats.admissionRejections));
+    m("prefix_hits", static_cast<double>(hb.stats.prefixHits));
+    m("prefix_tokens_reused",
+      static_cast<double>(hb.stats.prefixTokensReused));
+    m("mean_occupancy", hb.stats.meanOccupancy());
+    m("peak_occupancy",
+      static_cast<double>(hb.stats.peakOccupancy));
+    m("kv_blocks_total", static_cast<double>(hb.snapshot.blocksTotal));
+    m("kv_blocks_peak",
+      static_cast<double>(hb.snapshot.peakBlocksInUse));
+    m("kv_prefix_shared_blocks",
+      static_cast<double>(hb.snapshot.prefixSharedBlocks));
+    m("wall_s", hb.wallSeconds);
+    m("tokens_per_s", hb.tokensPerSecond());
+}
+
+/**
  * RAII pmu::Session for one command: begins with the requested mode
  * (no-op when Off) and ends on scope exit. Accumulated slots survive
  * end() for harvesting.
@@ -458,15 +564,21 @@ cmdRun(int argc, char** argv)
                            "trace-out", "report-out", "counters",
                            "wquant", "profile-hz", "profile-out",
                            "profile-reps", "flightrec-out",
-                           "flightrec-events"}));
+                           "flightrec-events", "batching", "batch-max",
+                           "kv-blocks", "prefix-cache"}));
     applyCountersFlag(flags);
     applyWquantFlag(flags);
-    // Observed runs (profiler or flight recorder) execute the
-    // functional host path: real kernels on the thread pool, so
-    // SIGPROF samples and span events measure actual CPU work.
-    // Defaults mirror `cpullm counters` (tiny model, 32+32 tokens).
+    const bool continuous = batchingFlag(flags, "static") ==
+                            "continuous";
+    const serve::BatcherConfig bcfg = batcherConfigFromFlags(flags);
+    // Observed runs (profiler or flight recorder) and continuous
+    // batching execute the functional host path: real kernels on the
+    // thread pool, so SIGPROF samples, span events and the fused
+    // ragged decode steps are actual CPU work. Defaults mirror
+    // `cpullm counters` (tiny model, 32+32 tokens).
     const bool observed = flags.count("profile-hz") != 0 ||
-                          flags.count("flightrec-out") != 0;
+                          flags.count("flightrec-out") != 0 ||
+                          continuous;
     const auto spec = model::modelByName(
         flagOr(flags, "model", observed ? "tiny" : "llama2-7b"));
     const auto platform =
@@ -506,6 +618,12 @@ cmdRun(int argc, char** argv)
     auto r = eng.infer(w);
     for (std::int64_t rep = 1; rep < reps; ++rep)
         r = eng.infer(w);
+    // The continuous-batching host session: the same workload through
+    // iteration-level scheduling on the paged-KV pool, publishing the
+    // HostBatchSnapshot the telemetry layer exports.
+    engine::HostBatchResult hb;
+    if (continuous)
+        hb = eng.runContinuousBatch(w, bcfg);
     pmu_scope.close();
     const obs::pmu::PmuCounts measured = pmu_scope.counts();
 
@@ -543,6 +661,8 @@ cmdRun(int argc, char** argv)
         obs::RunReport report = obs::makeInferenceReport(
             platform.label(), spec.name, w, r.timing, r.counters,
             &r.attribution);
+        if (continuous)
+            addHostBatchMetrics(report, hb);
         if (eng.weightQuant() != gemm::WeightDtype::Native) {
             report.info["wquant"] =
                 gemm::weightDtypeName(eng.weightQuant());
@@ -603,6 +723,23 @@ cmdRun(int argc, char** argv)
                     : (measured_kind == attr_kind ? "true"
                                                   : "false"));
         }
+        if (continuous) {
+            pmu_json += strformat(
+                ",\"host_batch\":{\"steps\":%lld,"
+                "\"mean_occupancy\":%.3f,\"peak_occupancy\":%lld,"
+                "\"preemptions\":%lld,\"admission_rejections\":%lld,"
+                "\"prefix_hits\":%lld,\"kv_blocks_peak\":%lld,"
+                "\"kv_blocks_total\":%lld,\"tokens_per_s\":%.3f}",
+                static_cast<long long>(hb.stats.steps),
+                hb.stats.meanOccupancy(),
+                static_cast<long long>(hb.stats.peakOccupancy),
+                static_cast<long long>(hb.stats.preemptions),
+                static_cast<long long>(hb.stats.admissionRejections),
+                static_cast<long long>(hb.stats.prefixHits),
+                static_cast<long long>(hb.snapshot.peakBlocksInUse),
+                static_cast<long long>(hb.snapshot.blocksTotal),
+                hb.tokensPerSecond());
+        }
         std::cout << strformat(
             "{\"model\":\"%s\",\"platform\":\"%s\",\"batch\":%lld,"
             "\"prompt\":%lld,\"gen\":%lld,\"ttft_s\":%.6f,"
@@ -637,6 +774,29 @@ cmdRun(int argc, char** argv)
     t.addRow({"weights in HBM",
               formatNumber(100.0 * r.weightsHbmFraction, 1) + " %"});
     t.addRow({"LLC MPKI", formatNumber(r.counters.mpki(), 1)});
+    if (continuous) {
+        t.addRow({"batching", "continuous"});
+        t.addRow({"batch steps",
+                  std::to_string(hb.stats.steps)});
+        t.addRow({"mean occupancy",
+                  formatNumber(hb.stats.meanOccupancy(), 2)});
+        t.addRow({"peak occupancy",
+                  std::to_string(hb.stats.peakOccupancy)});
+        t.addRow({"host throughput",
+                  formatNumber(hb.tokensPerSecond(), 1) + " tok/s"});
+        t.addRow({"preemptions",
+                  std::to_string(hb.stats.preemptions)});
+        t.addRow({"admit rejections",
+                  std::to_string(hb.stats.admissionRejections)});
+        t.addRow({"prefix reuse",
+                  std::to_string(hb.stats.prefixTokensReused) +
+                      " tokens / " +
+                      std::to_string(hb.snapshot.prefixSharedBlocks) +
+                      " blocks"});
+        t.addRow({"KV blocks peak",
+                  std::to_string(hb.snapshot.peakBlocksInUse) + " / " +
+                      std::to_string(hb.snapshot.blocksTotal)});
+    }
     if (eng.weightQuant() != gemm::WeightDtype::Native) {
         t.addRow({"weight quant",
                   gemm::weightDtypeName(eng.weightQuant())});
@@ -760,7 +920,8 @@ cmdServe(int argc, char** argv, bool report_mode)
         withWorkloadFlags(
             {"model", "device", "gpu", "platform", "rate",
              "requests", "max-batch", "max-wait", "seed",
-             "continuous", "json", "trace-out", "report-out",
+             "continuous", "batching", "batch-max", "kv-blocks",
+             "prefix-cache", "json", "trace-out", "report-out",
              "telemetry-port", "prom-out", "linger", "probe",
              "slo-ttft-ms", "slo-tpot-ms", "slo-e2e-ms",
              "slo-budget", "threads", "counters", "wquant",
@@ -781,6 +942,28 @@ cmdServe(int argc, char** argv, bool report_mode)
     perf::Workload w = workloadFromFlags(flags);
     applyWquantToWorkload(flags, &w);
     w.batch = 1; // per-request workload; the server forms batches
+
+    // --batching continuous selects the continuous-batching simulator
+    // policy AND a real host session (serve::ContinuousBatcher over
+    // the functional model) whose counters the live telemetry
+    // exports; the legacy --continuous switch keeps driving the
+    // simulator alone.
+    bool continuous = flags.count("continuous") != 0;
+    const bool host_batch =
+        flags.count("batching") != 0 &&
+        batchingFlag(flags, "static") == "continuous";
+    if (flags.count("batching")) {
+        if (continuous && !host_batch)
+            usageError("--batching static conflicts with "
+                       "--continuous");
+        continuous = host_batch;
+    }
+    const serve::BatcherConfig bcfg = batcherConfigFromFlags(flags);
+    if (host_batch &&
+        spec.weightBytes(w.dtype) > engine::kMaxFunctionalWeightBytes)
+        usageError("model '" + spec.name +
+                   "' is too large for the continuous-batching host "
+                   "session; use a small model (e.g. --model tiny)");
 
     serve::ServingConfig cfg;
     cfg.arrivalRate = numberFlag(flags, "rate", 0.5);
@@ -889,16 +1072,28 @@ cmdServe(int argc, char** argv, bool report_mode)
     obs::Tracer tracer;
     obs::Tracer* tp =
         flags.count("trace-out") ? &tracer : nullptr;
-    const bool continuous = flags.count("continuous") != 0;
     const std::string device = flagOr(flags, "device", "cpu");
 
     serve::ServingResult res;
+    std::optional<engine::HostBatchResult> hostres;
     std::string platform_label;
     std::string policy;
     if (device == "cpu") {
         const auto platform =
             hw::platformByName(flagOr(flags, "platform", "spr"));
         platform_label = platform.label();
+        if (host_batch) {
+            // Run the real scheduler first so its
+            // cpullm_host_batch_* gauges are live for /metrics
+            // scrapes during the (much longer) simulation.
+            engine::CpuInferenceEngine heng(
+                platform, spec,
+                engine::ExecutionMode::FunctionalAndTiming);
+            perf::Workload hw_w = w;
+            hw_w.batch = std::max<std::int64_t>(
+                1, std::min(cfg.numRequests, 2 * bcfg.maxBatch));
+            hostres = heng.runContinuousBatch(hw_w, bcfg);
+        }
         if (continuous) {
             policy = "continuous batching";
             res = serve::simulateContinuousBatching(
@@ -940,6 +1135,8 @@ cmdServe(int argc, char** argv, bool report_mode)
     obs::RunReport report = serve::buildRunReport(
         res, cfg, platform_label, spec.name, w, policy, reg);
     telemetry.annotateReport(report);
+    if (hostres)
+        addHostBatchMetrics(report, *hostres);
     telemetry.setLatestReportJson(report.toJson());
 
     if (tp && tracer.writeChromeTraceFile(flags.at("trace-out")))
@@ -1029,6 +1226,16 @@ cmdServe(int argc, char** argv, bool report_mode)
               formatNumber(100.0 * res.utilization(), 1) + " %"});
     t.addRow({"mean batch",
               formatNumber(res.meanBatchSize, 2)});
+    if (hostres) {
+        t.addRow({"host batch occupancy",
+                  formatNumber(hostres->stats.meanOccupancy(), 2) +
+                      " mean / " +
+                      std::to_string(hostres->stats.peakOccupancy) +
+                      " peak"});
+        t.addRow({"host throughput",
+                  formatNumber(hostres->tokensPerSecond(), 1) +
+                      " tok/s"});
+    }
     t.print(std::cout);
     return 0;
 }
@@ -1231,10 +1438,15 @@ cmdBench(int argc, char** argv)
 {
     const auto flags = parseFlags(argc, argv, 2,
                                   {"out", "quick", "threads",
-                                   "counters", "wquant"});
+                                   "counters", "wquant", "batch-max",
+                                   "kv-blocks", "prefix-cache"});
     applyThreadsFlag(flags);
     applyCountersFlag(flags);
     applyWquantFlag(flags);
+    // Validated and published for any host continuous-batching
+    // execution in this process (bench_host_batch_decode reads the
+    // same env knobs standalone).
+    batcherConfigFromFlags(flags);
     CountersSessionGuard pmu;
     core::BenchSuiteOptions opt;
     opt.quick = flags.count("quick") != 0;
@@ -1246,6 +1458,7 @@ cmdBench(int argc, char** argv)
     obs::recordHostAttnStats(reg);
     obs::recordHostPmuStats(reg);
     obs::recordHostQuantStats(reg);
+    serve::recordHostBatchStats(reg);
     int written = 0;
     for (const auto& b : baselines) {
         if (core::writeBaseline(b, dir))
@@ -1551,10 +1764,14 @@ usage()
            "           [--profile-hz HZ] [--profile-out F]\n"
            "           [--profile-reps N] [--flightrec-out F]\n"
            "           [--flightrec-events N]\n"
+           "           [--batching static|continuous] [--batch-max B]\n"
+           "           [--kv-blocks N] [--prefix-cache on|off]\n"
            "  serve    --model M [--device cpu|gpu] [--gpu a100|h100]\n"
            "           [--platform P] [--rate R] [--requests N]\n"
            "           [--max-batch B] [--max-wait S] [--seed N]\n"
            "           [--continuous] [--json]\n"
+           "           [--batching static|continuous] [--batch-max B]\n"
+           "           [--kv-blocks N] [--prefix-cache on|off]\n"
            "           [--trace-out F] [--report-out F]\n"
            "           [--telemetry-port P] [--prom-out F]\n"
            "           [--linger S] [--probe] [--slo-ttft-ms X]\n"
@@ -1570,7 +1787,8 @@ usage()
            "           report over profiling artifacts\n"
            "  compare  --model M --batch N [--prompt N] [--gen N]\n"
            "  bench    [--out DIR] [--quick] [--threads N]\n"
-           "           [--wquant bf16|int8|int4]\n"
+           "           [--wquant bf16|int8|int4] [--batch-max B]\n"
+           "           [--kv-blocks N] [--prefix-cache on|off]\n"
            "           write BENCH_*.json baselines (bench_diff)\n"
            "  counters [--model tiny] [--platform P] [--batch N]\n"
            "           [--prompt N] [--gen N] [--counters MODE]\n"
@@ -1591,6 +1809,14 @@ usage()
            "dequant fused into the GEMM/GEMV kernels); --wquant\n"
            "overrides it. Accuracy is reported as host.quant.* stats\n"
            "and cpullm_host_quant_* /metrics gauges.\n"
+           "--batching continuous runs the continuous-batching host\n"
+           "runtime (iteration-level scheduling, paged-KV pool,\n"
+           "shared-prefix reuse) on the functional model;\n"
+           "CPULLM_BATCH_MAX / CPULLM_KV_BLOCKS /\n"
+           "CPULLM_PREFIX_CACHE=on|off size it (--batch-max /\n"
+           "--kv-blocks / --prefix-cache override). Results surface\n"
+           "as host.batch.* report metrics and cpullm_host_batch_*\n"
+           "/metrics gauges.\n"
            "CPULLM_LOG_LEVEL=silent|warn|info|debug sets verbosity.\n"
            "--profile-hz samples logical stacks with SIGPROF;\n"
            "--flightrec-out records the last N events and dumps them\n"
@@ -1617,6 +1843,8 @@ main(int argc, char** argv)
         if (!gemm::applyWquantEnv(&bad))
             usageError("CPULLM_WQUANT expects bf16|int8|int4, got '" +
                        bad + "'");
+        if (!serve::applyBatcherEnv(&bad))
+            usageError(bad);
         applyLogLevelEnv();
     }
     // The main thread's registry slot: profiler samples and flight-

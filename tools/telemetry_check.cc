@@ -2,15 +2,19 @@
  * @file
  * Dependency-free self-check for Prometheus exposition artifacts:
  *
- *   telemetry_check FILE...
+ *   telemetry_check [--expect PREFIX]... FILE...
  *
  * Each file must be a well-formed Prometheus text-format 0.0.4
  * document: metric/label name grammar, TYPE-before-sample ordering,
  * monotone cumulative histogram buckets with a mandatory le="+Inf"
- * bound. Exit 0 when every file validates, non-zero otherwise —
- * the telemetry analogue of trace_check, run as a ctest fixture
- * consumer after the CLI smoke tests have written their --prom-out
- * files (no Python prometheus_client involved).
+ * bound. Every --expect PREFIX must match at least one sample name
+ * in every file (parse-back: the series the CLI claims to export are
+ * actually there, e.g. --expect cpullm_host_batch_ after a
+ * continuous-batching serve run). Exit 0 when every file validates,
+ * 1 on validation/expectation failure, 2 on usage errors — the
+ * telemetry analogue of trace_check, run as a ctest fixture consumer
+ * after the CLI smoke tests have written their --prom-out files (no
+ * Python prometheus_client involved).
  */
 
 #include <fstream>
@@ -24,7 +28,8 @@
 namespace {
 
 bool
-checkFile(const std::string& path)
+checkFile(const std::string& path,
+          const std::vector<std::string>& expect)
 {
     std::ifstream ifs(path);
     if (!ifs) {
@@ -48,9 +53,35 @@ checkFile(const std::string& path)
                   << " holds no samples\n";
         return false;
     }
-    std::cout << "telemetry_check: " << path << " ok ("
-              << doc.samples.size() << " samples)\n";
-    return true;
+    bool ok = true;
+    for (const std::string& prefix : expect) {
+        std::size_t hits = 0;
+        for (const auto& s : doc.samples) {
+            if (s.name.rfind(prefix, 0) == 0)
+                ++hits;
+        }
+        if (hits == 0) {
+            std::cerr << "telemetry_check: " << path
+                      << " has no sample named " << prefix << "*\n";
+            ok = false;
+        } else {
+            std::cout << "telemetry_check: " << path << " exports "
+                      << hits << " " << prefix << "* series\n";
+        }
+    }
+    if (ok)
+        std::cout << "telemetry_check: " << path << " ok ("
+                  << doc.samples.size() << " samples)\n";
+    return ok;
+}
+
+[[noreturn]] void
+usageError(const std::string& msg)
+{
+    std::cerr << "telemetry_check: " << msg
+              << "\nusage: telemetry_check [--expect PREFIX]... "
+                 "FILE...\n";
+    std::exit(2);
 }
 
 } // namespace
@@ -58,15 +89,24 @@ checkFile(const std::string& path)
 int
 main(int argc, char** argv)
 {
-    bool all_ok = true;
-    int files = 0;
+    std::vector<std::string> expect;
+    std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
-        ++files;
-        all_ok = checkFile(argv[i]) && all_ok;
+        const std::string arg = argv[i];
+        if (arg == "--expect") {
+            if (i + 1 >= argc)
+                usageError("--expect needs a metric-name prefix");
+            expect.push_back(argv[++i]);
+        } else if (arg.rfind("--", 0) == 0) {
+            usageError("unknown flag " + arg);
+        } else {
+            files.push_back(arg);
+        }
     }
-    if (files == 0) {
-        std::cerr << "usage: telemetry_check FILE...\n";
-        return 2;
-    }
+    if (files.empty())
+        usageError("no files given");
+    bool all_ok = true;
+    for (const std::string& f : files)
+        all_ok = checkFile(f, expect) && all_ok;
     return all_ok ? 0 : 1;
 }
